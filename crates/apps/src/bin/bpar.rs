@@ -1,0 +1,288 @@
+//! `bpar` — command-line front end for the B-Par stack.
+//!
+//! ```text
+//! bpar train-speech [--layers N] [--hidden N] [--epochs N] [--mbs N]
+//!                   [--save PATH]                 train a BLSTM digit classifier
+//! bpar train-chars  [--layers N] [--hidden N] [--steps N] [--cell lstm|gru]
+//!                   [--save PATH]                 train a next-char model
+//! bpar eval         --model PATH                  evaluate a checkpoint
+//! bpar simulate     [--layers N] [--hidden N] [--batch N] [--seq N]
+//!                   [--cores LIST] [--mbs N] [--barriers]
+//!                                                 simulated multi-core batch times
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI-crate dependency); every
+//! subcommand prints a compact report and exits non-zero on bad usage.
+
+use bpar_core::graphgen::{build_graph, GraphSpec};
+use bpar_core::prelude::*;
+use bpar_core::train::{Batch, Trainer};
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use bpar_data::wikitext::{WikitextDataset, VOCAB_SIZE};
+use bpar_runtime::SchedulerPolicy;
+use bpar_sim::{simulate, SimConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train-speech" => train_speech(&opts),
+        "train-chars" => train_chars(&opts),
+        "eval" => eval(&opts),
+        "simulate" => simulate_cmd(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+bpar — task-based bidirectional RNNs (B-Par reproduction)
+
+USAGE:
+  bpar train-speech [--layers N] [--hidden N] [--epochs N] [--mbs N] [--save PATH]
+  bpar train-chars  [--layers N] [--hidden N] [--steps N] [--cell lstm|gru|vanilla] [--save PATH]
+  bpar eval         --model PATH
+  bpar simulate     [--layers N] [--hidden N] [--batch N] [--seq N]
+                    [--cores a,b,c] [--mbs N] [--barriers]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        // Boolean flags take no value.
+        if name == "barriers" {
+            out.insert(name.into(), "true".into());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.insert(name.into(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get_usize(opts: &Flags, name: &str, default: usize) -> Result<usize, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+    }
+}
+
+fn get_cell(opts: &Flags) -> Result<CellKind, String> {
+    match opts.get("cell").map(String::as_str) {
+        None | Some("lstm") => Ok(CellKind::Lstm),
+        Some("gru") => Ok(CellKind::Gru),
+        Some("vanilla") => Ok(CellKind::Vanilla),
+        Some(other) => Err(format!("unknown cell `{other}`")),
+    }
+}
+
+fn train_speech(opts: &Flags) -> Result<(), String> {
+    let config = BrnnConfig {
+        cell: get_cell(opts)?,
+        input_size: 20,
+        hidden_size: get_usize(opts, "hidden", 32)?,
+        layers: get_usize(opts, "layers", 2)?,
+        seq_len: 14,
+        output_size: DIGIT_CLASSES,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    };
+    let epochs = get_usize(opts, "epochs", 4)?;
+    let mbs = get_usize(opts, "mbs", 2)?;
+    let data = TidigitsDataset::new(config.input_size, 11, 2024);
+    let train: Vec<Batch<f32>> = (0..30u64)
+        .map(|i| {
+            let (xs, labels) = data.batch(i * 16, 16, config.seq_len);
+            Batch { xs, target: Target::Classes(labels) }
+        })
+        .collect();
+    let eval_batch: Vec<Batch<f32>> = vec![{
+        let (xs, labels) = data.batch(1_000_000, 128, config.seq_len);
+        Batch { xs, target: Target::Classes(labels) }
+    }];
+
+    let exec = TaskGraphExec::with_config(0, SchedulerPolicy::LocalityAware, mbs);
+    let mut model: Brnn<f32> = Brnn::new(config, 1);
+    let mut trainer = Trainer::new(&exec, Box::new(Momentum::new(0.05, 0.9)));
+    println!(
+        "training {}-layer BLSTM digit classifier ({} params, mbs:{mbs}, {} workers)",
+        config.layers,
+        config.total_param_count(),
+        exec.runtime().workers()
+    );
+    for epoch in 0..epochs {
+        let stats = trainer.train_epoch(&mut model, &train);
+        let acc = trainer.evaluate(&model, &eval_batch);
+        println!(
+            "epoch {epoch}: loss {:.4}, accuracy {:.1}%, {:.1} ms/batch",
+            stats.final_loss(),
+            acc * 100.0,
+            stats.mean_batch_ms()
+        );
+    }
+    maybe_save(opts, &model)
+}
+
+fn train_chars(opts: &Flags) -> Result<(), String> {
+    let config = BrnnConfig {
+        cell: get_cell(opts)?,
+        input_size: VOCAB_SIZE,
+        hidden_size: get_usize(opts, "hidden", 48)?,
+        layers: get_usize(opts, "layers", 2)?,
+        seq_len: 24,
+        output_size: VOCAB_SIZE,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToMany,
+    };
+    let steps = get_usize(opts, "steps", 40)?;
+    let data = WikitextDataset::new(2024);
+    let exec = TaskGraphExec::new(0);
+    let mut model: Brnn<f32> = Brnn::new(config, 1);
+    let mut opt = Adam::new(0.01);
+    println!(
+        "training {}-layer {:?} next-char model ({} params)",
+        config.layers,
+        config.cell,
+        config.total_param_count()
+    );
+    for step in 0..steps as u64 {
+        let (xs, targets) = data.batch::<f32>(step * 32, 32, config.seq_len);
+        let loss = exec.train_batch(&mut model, &xs, &Target::SeqClasses(targets), &mut opt);
+        if step % 10 == 0 || step + 1 == steps as u64 {
+            println!(
+                "step {step}: loss {loss:.3}, perplexity {:.1}",
+                bpar_core::loss::perplexity(loss)
+            );
+        }
+    }
+    maybe_save(opts, &model)
+}
+
+fn maybe_save(opts: &Flags, model: &Brnn<f32>) -> Result<(), String> {
+    if let Some(path) = opts.get("save") {
+        bpar_core::io::save_file(model, path).map_err(|e| e.to_string())?;
+        println!("saved checkpoint to {path}");
+    }
+    Ok(())
+}
+
+fn eval(opts: &Flags) -> Result<(), String> {
+    let path = opts.get("model").ok_or("--model PATH is required")?;
+    let model: Brnn<f32> = bpar_core::io::load_file(path).map_err(|e| e.to_string())?;
+    let cfg = model.config;
+    println!(
+        "loaded {:?} model: {} layers, hidden {}, {} params, {:?}",
+        cfg.cell,
+        cfg.layers,
+        cfg.hidden_size,
+        model.param_count(),
+        cfg.kind
+    );
+    let exec = TaskGraphExec::new(0);
+    match cfg.kind {
+        ModelKind::ManyToOne => {
+            let data = TidigitsDataset::new(cfg.input_size, 11, 2024);
+            let (xs, labels) = data.batch::<f32>(1_000_000, 128, cfg.seq_len);
+            let out = exec.forward(&model, &xs);
+            let acc = bpar_core::loss::accuracy(&out.logits, &labels);
+            println!("held-out digit accuracy: {:.1}%", acc * 100.0);
+        }
+        ModelKind::ManyToMany => {
+            let data = WikitextDataset::new(2024);
+            let (xs, targets) = data.batch::<f32>(1_000_000, 32, cfg.seq_len);
+            let out = exec.forward(&model, &xs);
+            let mut loss = 0.0;
+            for (t, classes) in targets.iter().enumerate() {
+                let (l, _) = bpar_core::loss::softmax_cross_entropy(&out.seq_logits[t], classes);
+                loss += l / targets.len() as f64;
+            }
+            println!(
+                "held-out perplexity: {:.2}",
+                bpar_core::loss::perplexity(loss)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn simulate_cmd(opts: &Flags) -> Result<(), String> {
+    let config = BrnnConfig {
+        cell: get_cell(opts)?,
+        input_size: 256,
+        hidden_size: get_usize(opts, "hidden", 256)?,
+        layers: get_usize(opts, "layers", 6)?,
+        seq_len: get_usize(opts, "seq", 100)?,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    };
+    let batch = get_usize(opts, "batch", 128)?;
+    let mbs = get_usize(opts, "mbs", 8)?;
+    let barriers = opts.contains_key("barriers");
+    let cores: Vec<usize> = match opts.get("cores") {
+        None => vec![1, 8, 24, 48],
+        Some(list) => list
+            .split(',')
+            .map(|c| c.trim().parse().map_err(|_| format!("bad core count `{c}`")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    let spec = GraphSpec::training(config, batch)
+        .with_mbs(mbs)
+        .with_barriers(barriers);
+    let graph = build_graph(&spec);
+    println!(
+        "simulating {} tasks ({}-layer {:?}, batch {batch}, mbs:{mbs}{}) on a 48-core Xeon model",
+        graph.len(),
+        config.layers,
+        config.cell,
+        if barriers { ", per-layer barriers" } else { "" }
+    );
+    println!("cores  batch-time(s)  speedup  avg-tasks-in-flight");
+    let mut first = None;
+    for &c in &cores {
+        if c == 0 || c > 48 {
+            return Err(format!("core count {c} outside 1..=48"));
+        }
+        let r = simulate(&graph, &SimConfig::xeon(c));
+        let base = *first.get_or_insert(r.makespan);
+        println!(
+            "{c:>5}  {:>13.3}  {:>6.2}x  {:>18.1}",
+            r.makespan,
+            base / r.makespan,
+            r.avg_concurrency()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! # bpar-apps
+//!
+//! Umbrella crate hosting the workspace's runnable examples
+//! (`examples/` at the repository root) and the cross-crate integration
+//! tests (`tests/` at the repository root). It re-exports the public
+//! surface of the B-Par stack so examples can use one import.
+
+pub use bpar_baselines as baselines;
+pub use bpar_core as core;
+pub use bpar_data as data;
+pub use bpar_runtime as runtime;
+pub use bpar_sim as sim;
+pub use bpar_tensor as tensor;

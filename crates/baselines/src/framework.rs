@@ -1,0 +1,314 @@
+//! CPU framework models (K-CPU and P-CPU columns).
+//!
+//! Execution discipline (paper §II): for each layer, the framework runs
+//! the forward-direction RNN sequentially over timesteps, then — behind a
+//! barrier — the reverse direction, then the merges. Only *intra-op*
+//! parallelism is available: each timestep's fused GEMM is split across
+//! cores, paying a per-op fork/join synchronisation that grows with the
+//! core count. Training runs the same schedule backward with ~2× the
+//! flops per step.
+//!
+//! The per-step model is
+//!
+//! ```text
+//! step = flops / (flops_per_core · cores · derate)   (parallel GEMM)
+//!      + sync_base + sync_per_core · cores           (fork/join barrier)
+//!      + weight_traffic + copy_traffic               (memory terms)
+//! ```
+//!
+//! and, following the paper's methodology ("we perform 64 experiments …
+//! and report the best"), [`CpuFramework::best_batch_time`] minimises the
+//! batch time over the core counts {1, 2, 4, 8, 16, 24, 32, 48}.
+
+use crate::Phase;
+use bpar_core::model::BrnnConfig;
+use bpar_sim::Machine;
+use serde::Serialize;
+
+/// Analytic model of a CPU deep-learning framework.
+///
+/// ```
+/// use bpar_baselines::{CpuFramework, Phase};
+/// use bpar_core::model::BrnnConfig;
+/// use bpar_sim::Machine;
+///
+/// let cfg = BrnnConfig { layers: 6, input_size: 256, hidden_size: 256,
+///                        seq_len: 100, ..Default::default() };
+/// let machine = Machine::xeon_8160();
+/// let (keras, cores) = CpuFramework::keras()
+///     .best_batch_time(&cfg, 128, &machine, Phase::Training);
+/// let (pytorch, _) = CpuFramework::pytorch()
+///     .best_batch_time(&cfg, 128, &machine, Phase::Training);
+/// assert!(pytorch > keras);     // Table III ordering
+/// assert!(cores >= 8);          // big batches want many cores
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct CpuFramework {
+    /// Display name.
+    pub name: &'static str,
+    /// Fraction of per-core GEMM throughput the framework's kernels reach.
+    pub gemm_derate: f64,
+    /// Fixed dispatch cost per operator, seconds.
+    pub sync_base: f64,
+    /// Additional fork/join cost per participating core, seconds.
+    pub sync_per_core: f64,
+    /// Per-step activation-copy bytes as a multiple of
+    /// `batch × (input + 5·hidden) × 4` (gate concat/split buffers).
+    pub copy_factor: f64,
+    /// Effective bandwidth for streamed weights that still fit in L3,
+    /// bytes/s (0 disables the term: weights stay cached).
+    pub weight_stream_bw: f64,
+    /// Effective bandwidth once a layer's weights exceed the shared L3
+    /// (cache-thrash regime), bytes/s.
+    pub weight_thrash_bw: f64,
+    /// Whole-batch multiplier when both sockets are active (NUMA).
+    pub numa_factor: f64,
+}
+
+impl CpuFramework {
+    /// Keras / TensorFlow 2.3 with Intel MKL + oneDNN.
+    ///
+    /// Derate 0.8: oneDNN GEMM is near-MKL quality. Sync ≈ 10 µs + 7 µs
+    /// per core: a TensorFlow executor dispatch plus an MKL-parallel
+    /// fork/join. Weights are packed once per layer and stay cached while
+    /// they fit L3 (`weight_stream_bw = 0`).
+    pub fn keras() -> Self {
+        Self {
+            name: "Keras-TF",
+            gemm_derate: 0.80,
+            sync_base: 10e-6,
+            sync_per_core: 7e-6,
+            copy_factor: 0.0,
+            weight_stream_bw: 0.0,
+            weight_thrash_bw: 4.0e9,
+            numa_factor: 1.15,
+        }
+    }
+
+    /// PyTorch 1.7 CPU.
+    ///
+    /// Derate 0.45 and sync 60 µs: the v1.7 RNN path dispatches four
+    /// separate gate GEMMs plus concat/chunk ops per step through the
+    /// autograd-aware dispatcher. `copy_factor 1`: the concat/split
+    /// buffers are materialised once per step. The thrash bandwidth of
+    /// 0.6 GB/s reproduces the measured collapse on h=1024 BLSTMs
+    /// (32 MB/direction weight panels overflow the 33 MB L3 → the
+    /// 117–147 s rows) while h=1024 BGRUs (24 MB/direction, still
+    /// resident) stay an order of magnitude faster — the Table III vs IV
+    /// asymmetry.
+    pub fn pytorch() -> Self {
+        Self {
+            name: "PyTorch",
+            gemm_derate: 0.45,
+            sync_base: 60e-6,
+            sync_per_core: 10e-6,
+            copy_factor: 1.0,
+            weight_stream_bw: 6.0e9,
+            weight_thrash_bw: 0.6e9,
+            numa_factor: 1.15,
+        }
+    }
+
+    /// Batch time on a fixed core count, seconds.
+    pub fn batch_time(
+        &self,
+        cfg: &BrnnConfig,
+        batch: usize,
+        cores: usize,
+        machine: &Machine,
+        phase: Phase,
+    ) -> f64 {
+        assert!(cores >= 1 && cores <= machine.total_cores());
+        let hidden = cfg.hidden_size;
+        let mut total = 0.0;
+
+        for l in 0..cfg.layers {
+            let input = cfg.layer_input_size(l);
+            let flops = cfg.cell.forward_flops(batch, input, hidden) as f64;
+            let weight_bytes = (cfg.cell.params(input, hidden) * 4) as f64;
+
+            let compute = flops / (machine.flops_per_core * cores as f64 * self.gemm_derate);
+            let sync = self.sync_base + self.sync_per_core * cores as f64;
+
+            // Weight traffic per step: cached, streamed, or thrashing.
+            // Directions run sequentially, so only one direction's weights
+            // need to be resident at a time — but they share the L3 with
+            // activations, hence the 0.8 headroom factor. For h = 1024
+            // this puts LSTM layers (32 MB/direction) past the 33 MB L3
+            // while GRU layers (24 MB/direction) still fit: the measured
+            // Table III vs IV asymmetry.
+            let weights_resident = weight_bytes <= 0.8 * machine.l3_per_socket as f64;
+            // At small batch sizes the per-step activation traffic is too
+            // small to evict the weight panels between gate GEMMs, so the
+            // streaming term fades out below ~32 rows.
+            let evict = (batch as f64 / 32.0).min(1.0);
+            let weight_traffic = if !weights_resident {
+                weight_bytes / self.weight_thrash_bw
+            } else if self.weight_stream_bw > 0.0 {
+                evict * weight_bytes / self.weight_stream_bw
+            } else {
+                0.0
+            };
+
+            let copy_bytes = self.copy_factor * (batch * (input + 5 * hidden) * 4) as f64;
+            let copy_traffic = copy_bytes / 3.0e9;
+
+            let step = compute + sync + weight_traffic + copy_traffic;
+            // T steps, two directions run sequentially (the per-layer
+            // barrier the paper removes).
+            total += cfg.seq_len as f64 * 2.0 * step;
+
+            // Merge ops: element-wise, bandwidth bound, one op per step.
+            let merge_bytes = (3 * batch * hidden * 4) as f64;
+            total += cfg.seq_len as f64
+                * (merge_bytes / machine.mem_bw_per_socket + self.sync_base);
+        }
+
+        if phase == Phase::Training {
+            // Backward ≈ 2× forward flops over the same op schedule, plus
+            // the optimizer update streaming all parameters once.
+            total *= 3.0;
+            let params = (cfg.rnn_param_count() * 4) as f64;
+            total += 3.0 * params / machine.mem_bw_per_socket;
+        }
+
+        if cores > machine.cores_per_socket {
+            total *= self.numa_factor;
+        }
+        total
+    }
+
+    /// Best batch time over the paper's core-count sweep; returns
+    /// `(seconds, cores)`.
+    pub fn best_batch_time(
+        &self,
+        cfg: &BrnnConfig,
+        batch: usize,
+        machine: &Machine,
+        phase: Phase,
+    ) -> (f64, usize) {
+        [1usize, 2, 4, 8, 16, 24, 32, 48]
+            .iter()
+            .filter(|&&c| c <= machine.total_cores())
+            .map(|&c| (self.batch_time(cfg, batch, c, machine, phase), c))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty core sweep")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_core::cell::CellKind;
+    use bpar_core::merge::MergeMode;
+    use bpar_core::model::ModelKind;
+
+    fn cfg(cell: CellKind, input: usize, hidden: usize) -> BrnnConfig {
+        BrnnConfig {
+            cell,
+            input_size: input,
+            hidden_size: hidden,
+            layers: 6,
+            seq_len: 100,
+            output_size: 11,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        }
+    }
+
+    /// Paper anchors from Table III (seconds).
+    #[test]
+    fn keras_lands_near_table3_rows() {
+        let m = Machine::xeon_8160();
+        let k = CpuFramework::keras();
+        // 256/256/128/100 → 1.770 s.
+        let (t, _) = k.best_batch_time(&cfg(CellKind::Lstm, 256, 256), 128, &m, Phase::Training);
+        assert!((0.9..3.5).contains(&t), "got {t}, paper 1.77");
+        // 256/1024/256/100 → 28.57 s.
+        let (t, _) = k.best_batch_time(&cfg(CellKind::Lstm, 256, 1024), 256, &m, Phase::Training);
+        assert!((14.0..60.0).contains(&t), "got {t}, paper 28.6");
+        // 256/256/1/100 → 0.277 s.
+        let (t, _) = k.best_batch_time(&cfg(CellKind::Lstm, 256, 256), 1, &m, Phase::Training);
+        assert!((0.1..0.6).contains(&t), "got {t}, paper 0.277");
+    }
+
+    #[test]
+    fn pytorch_lands_near_table3_rows() {
+        let m = Machine::xeon_8160();
+        let p = CpuFramework::pytorch();
+        // 256/256/128/100 → 3.96 s.
+        let (t, _) = p.best_batch_time(&cfg(CellKind::Lstm, 256, 256), 128, &m, Phase::Training);
+        assert!((2.0..8.0).contains(&t), "got {t}, paper 3.96");
+        // The h=1024 cliff: 256/1024/256/100 → 143 s.
+        let (t, _) = p.best_batch_time(&cfg(CellKind::Lstm, 256, 1024), 256, &m, Phase::Training);
+        assert!((70.0..290.0).contains(&t), "got {t}, paper 143");
+    }
+
+    #[test]
+    fn pytorch_gru_avoids_the_l3_cliff() {
+        // Table IV: the same h=1024 config under BGRU is 50.8 s, not 143 s,
+        // because GRU weights (¾ the size) still fit the shared L3.
+        let m = Machine::xeon_8160();
+        let p = CpuFramework::pytorch();
+        let (lstm, _) =
+            p.best_batch_time(&cfg(CellKind::Lstm, 256, 1024), 256, &m, Phase::Training);
+        let (gru, _) = p.best_batch_time(&cfg(CellKind::Gru, 256, 1024), 256, &m, Phase::Training);
+        assert!(
+            lstm > 2.0 * gru,
+            "LSTM {lstm} should collapse relative to GRU {gru}"
+        );
+    }
+
+    #[test]
+    fn pytorch_is_slower_than_keras_everywhere() {
+        let m = Machine::xeon_8160();
+        let k = CpuFramework::keras();
+        let p = CpuFramework::pytorch();
+        for (cell, input, hidden, batch) in [
+            (CellKind::Lstm, 64, 256, 128),
+            (CellKind::Lstm, 256, 256, 1),
+            (CellKind::Lstm, 1024, 256, 256),
+            (CellKind::Gru, 256, 1024, 256),
+        ] {
+            let c = cfg(cell, input, hidden);
+            let (kt, _) = k.best_batch_time(&c, batch, &m, Phase::Training);
+            let (pt, _) = p.best_batch_time(&c, batch, &m, Phase::Training);
+            assert!(pt > kt, "{cell:?} {input}/{hidden}/{batch}: P {pt} K {kt}");
+        }
+    }
+
+    #[test]
+    fn inference_is_a_third_of_training() {
+        let m = Machine::xeon_8160();
+        let k = CpuFramework::keras();
+        let c = cfg(CellKind::Lstm, 256, 256);
+        let inf = k.batch_time(&c, 128, 24, &m, Phase::Inference);
+        let trn = k.batch_time(&c, 128, 24, &m, Phase::Training);
+        assert!(trn > 2.5 * inf && trn < 3.5 * inf);
+    }
+
+    #[test]
+    fn best_core_count_is_moderate_for_small_batches() {
+        // Per-op sync makes huge core counts counterproductive at batch 1;
+        // the paper restricts ≤24-core runs to one socket for the same
+        // reason.
+        let m = Machine::xeon_8160();
+        let k = CpuFramework::keras();
+        let (_, cores) = k.best_batch_time(&cfg(CellKind::Lstm, 256, 256), 1, &m, Phase::Training);
+        assert!(cores <= 8, "batch-1 best core count {cores}");
+        let (_, cores) =
+            k.best_batch_time(&cfg(CellKind::Lstm, 256, 1024), 256, &m, Phase::Training);
+        assert!(cores >= 16, "big-batch best core count {cores}");
+    }
+
+    #[test]
+    fn more_layers_cost_proportionally_more() {
+        let m = Machine::xeon_8160();
+        let k = CpuFramework::keras();
+        let mut c12 = cfg(CellKind::Lstm, 256, 256);
+        c12.layers = 12;
+        let t6 = k.batch_time(&cfg(CellKind::Lstm, 256, 256), 128, 24, &m, Phase::Training);
+        let t12 = k.batch_time(&c12, 128, 24, &m, Phase::Training);
+        assert!((t12 / t6 - 2.0).abs() < 0.1);
+    }
+}

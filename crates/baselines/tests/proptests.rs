@@ -1,0 +1,95 @@
+//! Property-based tests of the framework cost models: monotonicity and
+//! dominance relations that must hold for *any* model configuration.
+
+use bpar_baselines::{CpuFramework, GpuFramework, Phase};
+use bpar_core::cell::CellKind;
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_sim::Machine;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = BrnnConfig> {
+    (
+        prop_oneof![Just(CellKind::Lstm), Just(CellKind::Gru)],
+        prop_oneof![Just(32usize), Just(64), Just(256), Just(1024)],
+        prop_oneof![Just(64usize), Just(128), Just(256), Just(512)],
+        1usize..13,
+        prop_oneof![Just(2usize), Just(10), Just(50), Just(100)],
+    )
+        .prop_map(|(cell, input_size, hidden_size, layers, seq_len)| BrnnConfig {
+            cell,
+            input_size,
+            hidden_size,
+            layers,
+            seq_len,
+            output_size: 11,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn training_dominates_inference(cfg in arb_config(), batch in 1usize..512) {
+        let m = Machine::xeon_8160();
+        for fw in [CpuFramework::keras(), CpuFramework::pytorch()] {
+            let inf = fw.batch_time(&cfg, batch, 16, &m, Phase::Inference);
+            let trn = fw.batch_time(&cfg, batch, 16, &m, Phase::Training);
+            prop_assert!(trn > inf, "{}: {trn} vs {inf}", fw.name);
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_in_layers_and_seq(cfg in arb_config(), batch in 1usize..512) {
+        let m = Machine::xeon_8160();
+        let fw = CpuFramework::keras();
+        let base = fw.batch_time(&cfg, batch, 24, &m, Phase::Training);
+        let deeper = BrnnConfig { layers: cfg.layers + 1, ..cfg };
+        prop_assert!(fw.batch_time(&deeper, batch, 24, &m, Phase::Training) > base);
+        let longer = BrnnConfig { seq_len: cfg.seq_len + 10, ..cfg };
+        prop_assert!(fw.batch_time(&longer, batch, 24, &m, Phase::Training) > base);
+    }
+
+    #[test]
+    fn best_core_count_is_really_best(cfg in arb_config(), batch in 1usize..512) {
+        let m = Machine::xeon_8160();
+        for fw in [CpuFramework::keras(), CpuFramework::pytorch()] {
+            let (best, _) = fw.best_batch_time(&cfg, batch, &m, Phase::Training);
+            for cores in [1usize, 2, 4, 8, 16, 24, 32, 48] {
+                prop_assert!(
+                    best <= fw.batch_time(&cfg, batch, cores, &m, Phase::Training) + 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pytorch_never_beats_keras(cfg in arb_config(), batch in 1usize..512) {
+        let m = Machine::xeon_8160();
+        let (k, _) = CpuFramework::keras().best_batch_time(&cfg, batch, &m, Phase::Training);
+        let (p, _) = CpuFramework::pytorch().best_batch_time(&cfg, batch, &m, Phase::Training);
+        prop_assert!(p >= k, "PyTorch {p} beat Keras {k}");
+    }
+
+    #[test]
+    fn gpu_models_respect_param_limits(cfg in arb_config(), batch in 1usize..512) {
+        let keras = GpuFramework::keras().batch_time(&cfg, batch, Phase::Training);
+        prop_assert!(keras.is_some(), "Keras-GPU always runs");
+        let pytorch = GpuFramework::pytorch().batch_time(&cfg, batch, Phase::Training);
+        if cfg.rnn_param_count() > 65_000_000 {
+            prop_assert!(pytorch.is_none());
+        } else {
+            prop_assert!(pytorch.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gpu_time_grows_with_batch(cfg in arb_config()) {
+        let k = GpuFramework::keras();
+        let small = k.batch_time(&cfg, 1, Phase::Training).unwrap();
+        let large = k.batch_time(&cfg, 512, Phase::Training).unwrap();
+        prop_assert!(large >= small);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out,
+//! measured as simulated 24-core batch times on the Table III
+//! 256/256/128/100 model:
+//!
+//! * **barriers** — barrier-free B-Par vs the per-layer-barrier schedule
+//!   (the paper's central claim),
+//! * **scheduler** — locality-aware vs FIFO ready queue (Fig. 7),
+//! * **merge-as-task** — merge cells as separate tasks (B-Par's choice,
+//!   §III-A) vs merges fused into the consuming cells, which couples the
+//!   two directions,
+//! * **task granularity** — whole-cell tasks vs gate-split tasks (twice
+//!   the tasks, twice the per-task overhead, same work),
+//! * **data-parallelism** — mbs:1 vs mbs:8 (model parallelism alone vs
+//!   combined).
+
+use bpar_core::cell::CellKind;
+use bpar_core::graphgen::{build_graph, GraphSpec};
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_runtime::SchedulerPolicy;
+use bpar_sim::{simulate, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn cfg() -> BrnnConfig {
+    BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 256,
+        hidden_size: 256,
+        layers: 6,
+        seq_len: 100,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let free = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8));
+    let barred = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_barriers(true));
+    let mbs1 = build_graph(&GraphSpec::training(cfg(), 128));
+    let fused = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_fused_merges(true));
+    let split = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_split_cells(true));
+
+    // Print the simulated effect once (criterion measures sim runtime,
+    // the makespans are the scientific result).
+    let t_free = simulate(&free, &SimConfig::xeon(24)).makespan;
+    let t_barred = simulate(&barred, &SimConfig::xeon(24)).makespan;
+    let t_fifo = simulate(&free, &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo)).makespan;
+    let t_mbs1 = simulate(&mbs1, &SimConfig::xeon(24)).makespan;
+    let t_fused = simulate(&fused, &SimConfig::xeon(24)).makespan;
+    let t_split = simulate(&split, &SimConfig::xeon(24)).makespan;
+    eprintln!("ablation makespans @24 cores (s):");
+    eprintln!("  barrier-free mbs:8       {t_free:.3}");
+    eprintln!("  per-layer barriers mbs:8 {t_barred:.3}  ({:.2}x slower)", t_barred / t_free);
+    eprintln!("  FIFO scheduler mbs:8     {t_fifo:.3}  ({:.2}x slower)", t_fifo / t_free);
+    eprintln!("  mbs:1 (model-par only)   {t_mbs1:.3}  ({:.2}x slower)", t_mbs1 / t_free);
+    eprintln!("  fused merges mbs:8       {t_fused:.3}  ({:.2}x)", t_fused / t_free);
+    eprintln!("  gate-split tasks mbs:8   {t_split:.3}  ({:.2}x, {} vs {} tasks)",
+        t_split / t_free, split.len(), free.len());
+
+    group.bench_function("barrier_free", |b| {
+        b.iter(|| black_box(simulate(&free, &SimConfig::xeon(24)).makespan))
+    });
+    group.bench_function("per_layer_barriers", |b| {
+        b.iter(|| black_box(simulate(&barred, &SimConfig::xeon(24)).makespan))
+    });
+    group.bench_function("fifo_scheduler", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&free, &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo)).makespan,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of static task-graph generation — the cost of
+//! "unrolling" a BRNN into its dependency graph (Algorithms 1–3), which
+//! B-Par pays once per batch shape.
+
+use bpar_core::cell::CellKind;
+use bpar_core::graphgen::{build_graph, GraphSpec};
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn config(layers: usize, seq: usize) -> BrnnConfig {
+    BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 256,
+        hidden_size: 256,
+        layers,
+        seq_len: seq,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for &(layers, seq, mbs) in &[(6usize, 100usize, 1usize), (6, 100, 8), (12, 100, 8)] {
+        let spec = GraphSpec::training(config(layers, seq), 128).with_mbs(mbs);
+        let tasks = build_graph(&spec).len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}L_seq{seq}_mbs{mbs}_{tasks}tasks")),
+            &spec,
+            |b, spec| b.iter(|| black_box(build_graph(spec).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the dense kernels that make up a B-Par task
+//! body: blocked GEMM at RNN-cell shapes, and full LSTM/GRU cell updates
+//! (forward and backward).
+
+use bpar_core::cell::{CellKind, CellParams, CellState};
+use bpar_tensor::{gemm, init, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    // (batch × (input+hidden)) · ((input+hidden) × 4·hidden): the fused
+    // LSTM gate product at three model scales.
+    for &(b, ih, h4) in &[(16usize, 96usize, 128usize), (32, 320, 512), (64, 512, 1024)] {
+        let a: Matrix<f32> = init::uniform(b, ih, -1.0, 1.0, 1);
+        let w: Matrix<f32> = init::uniform(ih, h4, -1.0, 1.0, 2);
+        let mut out: Matrix<f32> = Matrix::zeros(b, h4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{b}x{ih}x{h4}")),
+            &(),
+            |bench, _| {
+                bench.iter(|| {
+                    gemm(1.0f32, black_box(&a), black_box(&w), 0.0, &mut out);
+                    black_box(out.get(0, 0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_update");
+    group.sample_size(10);
+    for kind in [CellKind::Lstm, CellKind::Gru] {
+        let (batch, input, hidden) = (16usize, 64usize, 128usize);
+        let params: CellParams<f32> = CellParams::init(kind, input, hidden, 3);
+        let x: Matrix<f32> = init::uniform(batch, input, -1.0, 1.0, 4);
+        let prev = CellState::zeros(kind, batch, hidden);
+
+        group.bench_function(format!("{kind:?}_forward"), |bench| {
+            bench.iter(|| black_box(params.forward(black_box(&x), &prev)))
+        });
+
+        let (_, cache) = params.forward(&x, &prev);
+        let dh: Matrix<f32> = init::uniform(batch, hidden, -1.0, 1.0, 5);
+        group.bench_function(format!("{kind:?}_backward"), |bench| {
+            bench.iter(|| {
+                let mut grads = params.zeros_like();
+                black_box(params.backward(&cache, black_box(&dh), None, &mut grads))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_cells);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the task runtime itself: submission +
+//! dependency-resolution cost, end-to-end throughput of empty task
+//! graphs, and the live B-Par executor on a small model.
+//!
+//! The paper's claim (§IV-B): task creation, scheduling and
+//! synchronisation overhead stays an order of magnitude below useful
+//! task time. These benches measure the overhead side of that ratio.
+
+use bpar_core::exec::{Executor, SequentialExec, Target, TaskGraphExec};
+use bpar_core::model::{Brnn, BrnnConfig};
+use bpar_core::optim::Sgd;
+use bpar_runtime::{RegionId, Runtime, RuntimeConfig};
+use bpar_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+
+    group.bench_function("independent_1000_empty_tasks", |b| {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        b.iter(|| {
+            rt.reset();
+            for i in 0..1000u64 {
+                rt.spawn("t", [], [RegionId(i)], || {});
+            }
+            rt.taskwait().unwrap();
+        })
+    });
+
+    group.bench_function("chain_1000_empty_tasks", |b| {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        b.iter(|| {
+            rt.reset();
+            for _ in 0..1000 {
+                rt.spawn("t", [RegionId(0)], [RegionId(0)], || {});
+            }
+            rt.taskwait().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_batch");
+    group.sample_size(10);
+    let cfg = BrnnConfig {
+        input_size: 16,
+        hidden_size: 32,
+        layers: 2,
+        seq_len: 8,
+        output_size: 4,
+        ..Default::default()
+    };
+    let batch: Vec<_> = (0..cfg.seq_len)
+        .map(|t| init::uniform::<f32>(8, cfg.input_size, -1.0, 1.0, t as u64))
+        .collect();
+    let target = Target::Classes(vec![0, 1, 2, 3, 0, 1, 2, 3]);
+
+    group.bench_function("sequential", |b| {
+        let exec = SequentialExec::new();
+        let mut model: Brnn<f32> = Brnn::new(cfg, 1);
+        let mut opt = Sgd::new(0.01);
+        b.iter(|| black_box(exec.train_batch(&mut model, &batch, &target, &mut opt)))
+    });
+
+    group.bench_function("b-par_2workers", |b| {
+        let exec = TaskGraphExec::new(2);
+        let mut model: Brnn<f32> = Brnn::new(cfg, 1);
+        let mut opt = Sgd::new(0.01);
+        b.iter(|| black_box(exec.train_batch(&mut model, &batch, &target, &mut opt)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_submission, bench_executors);
+criterion_main!(benches);

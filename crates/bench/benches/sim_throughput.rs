@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the discrete-event simulator: events/second
+//! replaying BRNN training graphs on 8 and 48 simulated cores.
+
+use bpar_core::cell::CellKind;
+use bpar_core::graphgen::{build_graph, GraphSpec};
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_sim::{simulate, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 256,
+        hidden_size: 256,
+        layers: 6,
+        seq_len: 100,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    };
+    let graph = build_graph(&GraphSpec::training(cfg, 128).with_mbs(8));
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(graph.len() as u64));
+    for cores in [8usize, 48] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}tasks_{cores}cores", graph.len())),
+            &cores,
+            |b, &cores| b.iter(|| black_box(simulate(&graph, &SimConfig::xeon(cores)).makespan)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

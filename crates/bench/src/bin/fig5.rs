@@ -1,0 +1,93 @@
+//! Reproduces Fig. 5: single-batch training time for 8- and 12-layer
+//! BLSTMs over batch sizes {128, 256, 512, 1024} and hidden sizes
+//! {128, 256}, best over core counts, for B-Par, Keras, PyTorch and
+//! B-Seq.
+//!
+//! Expected shape (paper §IV-B): B-Par consistently fastest with
+//! speed-ups in the 1.58–6.40× range; PyTorch worst everywhere; times
+//! grow roughly linearly in batch size.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin fig5`
+
+use bpar_bench::{bpar_best, bseq_best, print_table, write_json, CpuFramework, Phase};
+use bpar_core::cell::CellKind;
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_sim::Machine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Point {
+    layers: usize,
+    hidden: usize,
+    batch: usize,
+    keras: f64,
+    pytorch: f64,
+    bseq: f64,
+    bpar: f64,
+}
+
+fn main() {
+    let machine = Machine::xeon_8160();
+    let keras = CpuFramework::keras();
+    let pytorch = CpuFramework::pytorch();
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+
+    for layers in [8usize, 12] {
+        for hidden in [128usize, 256] {
+            for batch in [128usize, 256, 512, 1024] {
+                let cfg = BrnnConfig {
+                    cell: CellKind::Lstm,
+                    input_size: 256,
+                    hidden_size: hidden,
+                    layers,
+                    seq_len: 100,
+                    output_size: 11,
+                    merge: MergeMode::Sum,
+                    kind: ModelKind::ManyToOne,
+                };
+                let (k, _) = keras.best_batch_time(&cfg, batch, &machine, Phase::Training);
+                let (p, _) = pytorch.best_batch_time(&cfg, batch, &machine, Phase::Training);
+                let (bs, _) = bseq_best(&cfg, batch, 48, Phase::Training);
+                let (bp, _) = bpar_best(&cfg, batch, 48, Phase::Training);
+                rows.push(vec![
+                    format!("{layers}L/h{hidden}/b{batch}"),
+                    format!("{k:.2}"),
+                    format!("{p:.2}"),
+                    format!("{bs:.2}"),
+                    format!("{bp:.2}"),
+                    format!("{:.2}x", k / bp),
+                    format!("{:.2}x", p / bp),
+                ]);
+                points.push(Fig5Point {
+                    layers,
+                    hidden,
+                    batch,
+                    keras: k,
+                    pytorch: p,
+                    bseq: bs,
+                    bpar: bp,
+                });
+                eprint!(".");
+            }
+        }
+    }
+    eprintln!();
+    print_table(
+        "Fig. 5: best-over-cores training time (s) and B-Par speed-up",
+        &["config", "Keras", "PyTorch", "B-Seq", "B-Par", "vs K", "vs P"],
+        &rows,
+    );
+
+    let speedups: Vec<f64> = points.iter().map(|p| p.keras / p.bpar).collect();
+    let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = speedups.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nB-Par vs Keras speed-up range: {lo:.2}x – {hi:.2}x \
+         (paper: 1.58x – 6.40x across Fig. 5/6 configurations)."
+    );
+    let wins = points.iter().filter(|p| p.bpar < p.keras && p.bpar < p.pytorch && p.bpar < p.bseq).count();
+    println!("B-Par fastest in {wins}/{} configurations (paper: all).", points.len());
+    write_json("fig5", &points);
+}

@@ -1,0 +1,101 @@
+//! Reproduces Fig. 6: single-batch training *and* inference time for
+//! B-Par, B-Seq, Keras and PyTorch while varying the layer count
+//! {2, 4, 8, 12} (BLSTM, hidden 256, batch 128, seq 100).
+//!
+//! Expected shape (paper §IV-B): B-Par scales best with depth — deeper
+//! models expose proportionally more parallelism while the frameworks
+//! serialize every extra layer behind barriers. The paper reports 5.89×
+//! (inference) and 6.40× (training) speed-ups at 12 layers; our barrier
+//! model is linear in depth, so the reproduced gap is smaller (~2–3×) —
+//! see EXPERIMENTS.md for the discussion.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin fig6`
+
+use bpar_bench::{bpar_best, bseq_best, print_table, write_json, CpuFramework, Phase};
+use bpar_core::cell::CellKind;
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_sim::Machine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Point {
+    layers: usize,
+    phase: String,
+    keras: f64,
+    pytorch: f64,
+    bseq: f64,
+    bpar: f64,
+}
+
+fn main() {
+    let machine = Machine::xeon_8160();
+    let keras = CpuFramework::keras();
+    let pytorch = CpuFramework::pytorch();
+    let mut points = Vec::new();
+
+    for phase in [Phase::Training, Phase::Inference] {
+        let phase_name = match phase {
+            Phase::Training => "training",
+            Phase::Inference => "inference",
+        };
+        let mut rows = Vec::new();
+        for layers in [2usize, 4, 8, 12] {
+            let cfg = BrnnConfig {
+                cell: CellKind::Lstm,
+                input_size: 256,
+                hidden_size: 256,
+                layers,
+                seq_len: 100,
+                output_size: 11,
+                merge: MergeMode::Sum,
+                kind: ModelKind::ManyToOne,
+            };
+            let (k, _) = keras.best_batch_time(&cfg, 128, &machine, phase);
+            let (p, _) = pytorch.best_batch_time(&cfg, 128, &machine, phase);
+            let (bs, _) = bseq_best(&cfg, 128, 48, phase);
+            let (bp, _) = bpar_best(&cfg, 128, 48, phase);
+            rows.push(vec![
+                layers.to_string(),
+                format!("{k:.3}"),
+                format!("{p:.3}"),
+                format!("{bs:.3}"),
+                format!("{bp:.3}"),
+                format!("{:.2}x", k / bp),
+            ]);
+            points.push(Fig6Point {
+                layers,
+                phase: phase_name.into(),
+                keras: k,
+                pytorch: p,
+                bseq: bs,
+                bpar: bp,
+            });
+            eprint!(".");
+        }
+        eprintln!();
+        print_table(
+            &format!("Fig. 6 ({phase_name}): time per batch (s) vs layer count"),
+            &["layers", "Keras", "PyTorch", "B-Seq", "B-Par", "B-Par vs K"],
+            &rows,
+        );
+    }
+
+    // Shape: the B-Par advantage must grow with depth.
+    let gap = |phase: &str, layers| {
+        let p = points
+            .iter()
+            .find(|p| p.phase == phase && p.layers == layers)
+            .unwrap();
+        p.keras / p.bpar
+    };
+    println!(
+        "\nB-Par vs Keras gap grows with depth: training {:.2}x (2L) -> {:.2}x (12L); \
+         inference {:.2}x -> {:.2}x (paper: up to 6.40x / 5.89x).",
+        gap("training", 2),
+        gap("training", 12),
+        gap("inference", 2),
+        gap("inference", 12)
+    );
+    write_json("fig6", &points);
+}

@@ -1,0 +1,90 @@
+//! Reproduces Fig. 8: next-character prediction on the (synthetic)
+//! Wikipedia corpus with many-to-many BRNNs — single-batch training time
+//! of B-Par vs Keras for BLSTM and BGRU, layer counts {2, 4, 8, 12},
+//! batch sizes {128, 256} and hidden sizes {128, 256}.
+//!
+//! Expected shape (paper §IV-C): B-Par achieves maximum speed-ups of
+//! 1.54×, 2.17×, 2.38× and 2.44× for 2, 4, 8 and 12 layers.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin fig8`
+
+use bpar_bench::{bpar_best, paper, print_table, write_json, CpuFramework, Phase};
+use bpar_core::cell::CellKind;
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_data::wikitext::VOCAB_SIZE;
+use bpar_sim::Machine;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Point {
+    cell: String,
+    layers: usize,
+    hidden: usize,
+    batch: usize,
+    keras: f64,
+    bpar: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let machine = Machine::xeon_8160();
+    let keras = CpuFramework::keras();
+    let mut points = Vec::new();
+
+    for cell in [CellKind::Lstm, CellKind::Gru] {
+        let mut rows = Vec::new();
+        for layers in [2usize, 4, 8, 12] {
+            for hidden in [128usize, 256] {
+                for batch in [128usize, 256] {
+                    let cfg = BrnnConfig {
+                        cell,
+                        // One-hot characters in, next-character logits out.
+                        input_size: VOCAB_SIZE,
+                        hidden_size: hidden,
+                        layers,
+                        seq_len: 100,
+                        output_size: VOCAB_SIZE,
+                        merge: MergeMode::Sum,
+                        kind: ModelKind::ManyToMany,
+                    };
+                    let (k, _) = keras.best_batch_time(&cfg, batch, &machine, Phase::Training);
+                    let (bp, _) = bpar_best(&cfg, batch, 48, Phase::Training);
+                    rows.push(vec![
+                        format!("{layers}L/h{hidden}/b{batch}"),
+                        format!("{k:.3}"),
+                        format!("{bp:.3}"),
+                        format!("{:.2}x", k / bp),
+                    ]);
+                    points.push(Fig8Point {
+                        cell: format!("{cell:?}"),
+                        layers,
+                        hidden,
+                        batch,
+                        keras: k,
+                        bpar: bp,
+                        speedup: k / bp,
+                    });
+                    eprint!(".");
+                }
+            }
+        }
+        eprintln!();
+        print_table(
+            &format!("Fig. 8 ({cell:?}, many-to-many next-char prediction): time per batch (s)"),
+            &["config", "Keras", "B-Par", "speed-up"],
+            &rows,
+        );
+    }
+
+    println!("\nMax B-Par speed-up by layer count (both cells), ours vs paper:");
+    for (layers, paper_speedup) in paper::FIG8_SPEEDUPS {
+        let ours = points
+            .iter()
+            .filter(|p| p.layers == layers)
+            .map(|p| p.speedup)
+            .fold(0.0, f64::max);
+        println!("  {layers:>2} layers: {ours:.2}x (paper {paper_speedup:.2}x)");
+    }
+    write_json("fig8", &points);
+}

@@ -1,0 +1,119 @@
+//! Reproduces the §IV-B task-granularity experiment: a BLSTM with
+//! seq 100, batch 128, input 64, hidden 512.
+//!
+//! Paper numbers: 368,240 tasks in total (over a training run), average
+//! LSTM-task working set 4.71 MB, task durations 272.8 µs – 315 ms with a
+//! 13.05 ms average, and task creation/scheduling/synchronisation
+//! overhead at least 10× smaller than useful task time.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin granularity`
+
+use bpar_bench::{bpar_result, paper, print_table, write_json, Phase};
+use bpar_core::cell::CellKind;
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_runtime::SchedulerPolicy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GranularityResult {
+    tasks_per_batch: usize,
+    batches_for_paper_count: f64,
+    lstm_ws_mb: f64,
+    min_task_us: f64,
+    avg_task_us: f64,
+    max_task_us: f64,
+    overhead_ratio: f64,
+}
+
+fn main() {
+    let cfg = BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 64,
+        hidden_size: 512,
+        layers: 6,
+        seq_len: 100,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    };
+    let r = bpar_result(&cfg, 128, 24, 1, Phase::Training, SchedulerPolicy::LocalityAware);
+
+    let durations_us: Vec<f64> = r.records.iter().map(|t| t.duration() * 1e6).collect();
+    let min = durations_us.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = durations_us.iter().cloned().fold(0.0, f64::max);
+    let avg = durations_us.iter().sum::<f64>() / durations_us.len() as f64;
+
+    // Working set of the forward LSTM cell tasks specifically (the paper
+    // quotes the per-task LSTM working set).
+    let lstm_ws: Vec<f64> = r
+        .records
+        .iter()
+        .filter(|t| t.label == "cell_fwd" || t.label == "cell_rev")
+        .map(|t| t.working_set_bytes as f64 / (1024.0 * 1024.0))
+        .collect();
+    let lstm_ws_mb = lstm_ws.iter().sum::<f64>() / lstm_ws.len() as f64;
+
+    // Overhead: 30 µs of creation/scheduling per task vs useful time.
+    let overhead = 30e-6 * r.records.len() as f64;
+    let useful: f64 = r.records.iter().map(|t| t.duration()).sum();
+    let overhead_ratio = overhead / useful;
+
+    let tasks_per_batch = r.records.len();
+    let batches = paper::granularity::TOTAL_TASKS as f64 / tasks_per_batch as f64;
+
+    let rows = vec![
+        vec![
+            "tasks (one training batch)".into(),
+            tasks_per_batch.to_string(),
+            format!("{} total = ~{batches:.0} batches", paper::granularity::TOTAL_TASKS),
+        ],
+        vec![
+            "avg LSTM-task working set (MB)".into(),
+            format!("{lstm_ws_mb:.2}"),
+            format!("{:.2}", paper::granularity::AVG_WORKING_SET_MB),
+        ],
+        vec![
+            "min task duration (us)".into(),
+            format!("{min:.1}"),
+            format!("{:.1}", paper::granularity::MIN_TASK_US),
+        ],
+        vec![
+            "avg task duration (us)".into(),
+            format!("{avg:.1}"),
+            format!("{:.1}", paper::granularity::AVG_TASK_US),
+        ],
+        vec![
+            "max task duration (us)".into(),
+            format!("{max:.1}"),
+            format!("{:.1}", paper::granularity::MAX_TASK_US),
+        ],
+        vec![
+            "overhead / useful time".into(),
+            format!("{overhead_ratio:.3}"),
+            "< 0.1".into(),
+        ],
+    ];
+    print_table(
+        "Task granularity (BLSTM, seq 100, batch 128, input 64, hidden 512)",
+        &["metric", "ours", "paper"],
+        &rows,
+    );
+    assert!(
+        overhead_ratio < 0.1,
+        "overhead must stay 10x below task time"
+    );
+
+    write_json(
+        "granularity",
+        &GranularityResult {
+            tasks_per_batch,
+            batches_for_paper_count: batches,
+            lstm_ws_mb,
+            min_task_us: min,
+            avg_task_us: avg,
+            max_task_us: max,
+            overhead_ratio,
+        },
+    );
+}

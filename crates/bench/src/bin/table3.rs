@@ -1,0 +1,16 @@
+//! Reproduces Table III: BLSTM training times and B-Par speed-ups.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin table3`
+
+use bpar_bench::paper::TABLE3;
+use bpar_bench::tables::run_table;
+use bpar_core::cell::CellKind;
+
+fn main() {
+    run_table(
+        CellKind::Lstm,
+        &TABLE3,
+        "table3",
+        "Table III (BLSTM, 6 layers)",
+    );
+}

@@ -1,0 +1,16 @@
+//! Reproduces Table IV: BGRU training times and B-Par speed-ups.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin table4`
+
+use bpar_bench::paper::TABLE4;
+use bpar_bench::tables::run_table;
+use bpar_core::cell::CellKind;
+
+fn main() {
+    run_table(
+        CellKind::Gru,
+        &TABLE4,
+        "table4",
+        "Table IV (BGRU, 6 layers)",
+    );
+}

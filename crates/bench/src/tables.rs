@@ -1,0 +1,168 @@
+//! Shared driver for the Table III / Table IV experiments.
+//!
+//! For every model configuration row the driver computes, per the paper's
+//! methodology:
+//!
+//! * **K-CPU / P-CPU** — framework models at their *best* core count
+//!   (the paper sweeps 64 inter/intra-thread combinations and reports the
+//!   best),
+//! * **K-GPU / P-GPU** — the V100 models (`None` when the paper's run
+//!   hung),
+//! * **B-Seq / B-Par** — simulated task graphs at 48 cores, best over the
+//!   mbs sweep,
+//!
+//! and the B-Par speed-up columns against each framework.
+
+use crate::paper::PaperTableRow;
+use crate::{
+    bpar_best, brnn_config, bseq_best, ms, ms_opt, print_table, speedup, table_configs,
+    write_json, CpuFramework, GpuFramework, Phase, TableConfig,
+};
+use bpar_core::cell::CellKind;
+use bpar_sim::Machine;
+use serde::Serialize;
+
+/// Measured (simulated/modelled) values for one table row, milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasuredRow {
+    /// Row configuration.
+    pub config: TableConfig,
+    /// Trainable-parameter count of the 6-layer model.
+    pub params: usize,
+    /// Keras-CPU time, ms.
+    pub k_cpu: f64,
+    /// Keras-GPU time, ms.
+    pub k_gpu: f64,
+    /// PyTorch-CPU time, ms.
+    pub p_cpu: f64,
+    /// PyTorch-GPU time, ms (`None` = exceeds the framework's limit).
+    pub p_gpu: Option<f64>,
+    /// B-Seq time, ms.
+    pub bseq: f64,
+    /// B-Par time, ms.
+    pub bpar: f64,
+    /// mbs at which B-Par was fastest.
+    pub bpar_mbs: usize,
+}
+
+/// Runs the full table for one cell kind and prints/writes the report.
+pub fn run_table(cell: CellKind, paper: &[PaperTableRow; 12], name: &str, title: &str) {
+    let machine = Machine::xeon_8160();
+    let keras = CpuFramework::keras();
+    let pytorch = CpuFramework::pytorch();
+    let keras_gpu = GpuFramework::keras();
+    let pytorch_gpu = GpuFramework::pytorch();
+
+    let mut measured: Vec<MeasuredRow> = Vec::new();
+    for tc in table_configs() {
+        let cfg = brnn_config(cell, &tc, 6);
+        let (k_cpu, _) = keras.best_batch_time(&cfg, tc.batch, &machine, Phase::Training);
+        let (p_cpu, _) = pytorch.best_batch_time(&cfg, tc.batch, &machine, Phase::Training);
+        let k_gpu = keras_gpu
+            .batch_time(&cfg, tc.batch, Phase::Training)
+            .expect("Keras-GPU always runs");
+        let p_gpu = pytorch_gpu.batch_time(&cfg, tc.batch, Phase::Training);
+        let (bseq, _) = bseq_best(&cfg, tc.batch, 48, Phase::Training);
+        let (bpar, bpar_mbs) = bpar_best(&cfg, tc.batch, 48, Phase::Training);
+        measured.push(MeasuredRow {
+            config: tc,
+            params: cfg.rnn_param_count(),
+            k_cpu: k_cpu * 1e3,
+            k_gpu: k_gpu * 1e3,
+            p_cpu: p_cpu * 1e3,
+            p_gpu: p_gpu.map(|t| t * 1e3),
+            bseq: bseq * 1e3,
+            bpar: bpar * 1e3,
+            bpar_mbs,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    // Execution-time table (ours vs paper).
+    let headers = [
+        "config", "params", "K-CPU", "(paper)", "P-CPU", "(paper)", "K-GPU", "(paper)", "P-GPU",
+        "(paper)", "B-Seq", "(paper)", "B-Par", "(paper)", "mbs",
+    ];
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .zip(paper.iter())
+        .map(|(m, p)| {
+            vec![
+                format!(
+                    "{}/{}/{}/{}",
+                    m.config.input, m.config.hidden, m.config.batch, m.config.seq
+                ),
+                format!("{:.1}M", m.params as f64 / 1e6),
+                ms(m.k_cpu / 1e3),
+                format!("{:.0}", p.k_cpu),
+                ms(m.p_cpu / 1e3),
+                format!("{:.0}", p.p_cpu),
+                ms(m.k_gpu / 1e3),
+                format!("{:.0}", p.k_gpu),
+                ms_opt(m.p_gpu.map(|v| v / 1e3)),
+                p.p_gpu.map(|v| format!("{v:.0}")).unwrap_or("-".into()),
+                ms(m.bseq / 1e3),
+                format!("{:.0}", p.bseq),
+                ms(m.bpar / 1e3),
+                format!("{:.0}", p.bpar),
+                m.bpar_mbs.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{title}: batch execution time (ms), ours vs paper"),
+        &headers,
+        &rows,
+    );
+
+    // Speed-up table.
+    let headers = [
+        "config", "vs K-CPU", "(paper)", "vs P-CPU", "(paper)", "vs K-GPU", "(paper)", "vs P-GPU",
+        "(paper)",
+    ];
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .zip(paper.iter())
+        .map(|(m, p)| {
+            vec![
+                format!(
+                    "{}/{}/{}/{}",
+                    m.config.input, m.config.hidden, m.config.batch, m.config.seq
+                ),
+                speedup(m.k_cpu, m.bpar),
+                format!("{:.2}x", p.k_cpu / p.bpar),
+                speedup(m.p_cpu, m.bpar),
+                format!("{:.2}x", p.p_cpu / p.bpar),
+                speedup(m.k_gpu, m.bpar),
+                format!("{:.2}x", p.k_gpu / p.bpar),
+                m.p_gpu
+                    .map(|v| speedup(v, m.bpar))
+                    .unwrap_or_else(|| "-".into()),
+                p.p_gpu
+                    .map(|v| format!("{:.2}x", v / p.bpar))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{title}: speed-up of B-Par-CPU"),
+        &headers,
+        &rows,
+    );
+
+    // Shape summary.
+    let wins = measured.iter().filter(|m| m.bpar < m.k_cpu && m.bpar < m.p_cpu).count();
+    println!(
+        "\nShape check: B-Par beats both CPU frameworks in {wins}/12 rows \
+         (paper: 12/12)."
+    );
+    let small = &measured[3]; // 256/256/1/2
+    println!(
+        "Small-batch GPU crossover: B-Par {} ms vs K-GPU {} ms (paper: 14.9 vs 24.5).",
+        ms(small.bpar / 1e3),
+        ms(small.k_gpu / 1e3)
+    );
+
+    write_json(name, &measured);
+}

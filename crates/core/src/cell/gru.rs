@@ -1,0 +1,400 @@
+//! GRU cell: Equations (7)–(10) of the paper, forward and BPTT backward.
+//!
+//! ```text
+//! Z_t = σ(W_z [X_t, H_{t-1}] + B_z)                 (7)
+//! R_t = σ(W_r [X_t, H_{t-1}] + B_r)                 (8)
+//! H̄_t = tanh(W_h [X_t, R_t ⊙ H_{t-1}] + B_h)        (9)
+//! H_t = Z_t ⊙ H̄_t + (1 - Z_t) ⊙ H_{t-1}             (10)
+//! ```
+//!
+//! The z and r gates share one fused `(I+H) × 2H` kernel (their input is
+//! identical); the candidate gate needs its own `(I+H) × H` kernel because
+//! its recurrent input is gated by `R_t`.
+
+use super::{CellState, StateGrad};
+use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
+use bpar_tensor::ops::{add_bias, column_sums};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+
+/// Fused GRU parameters for one layer and direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruParams<T: Float> {
+    /// Fused z/r kernel, `(input + hidden) × 2·hidden`, blocks `[z, r]`.
+    pub wzr: Matrix<T>,
+    /// Fused z/r bias, `1 × 2·hidden`.
+    pub bzr: Matrix<T>,
+    /// Candidate kernel, `(input + hidden) × hidden`.
+    pub wh: Matrix<T>,
+    /// Candidate bias, `1 × hidden`.
+    pub bh: Matrix<T>,
+    /// Input width.
+    pub input: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+/// Forward-pass values a GRU cell must remember for BPTT.
+#[derive(Debug, Clone)]
+pub struct GruCache<T: Float> {
+    /// Concatenated `[X_t, H_{t-1}]`.
+    pub zr_in: Matrix<T>,
+    /// Concatenated `[X_t, R_t ⊙ H_{t-1}]`.
+    pub h_in: Matrix<T>,
+    /// Update-gate activation `Z_t`.
+    pub z: Matrix<T>,
+    /// Reset-gate activation `R_t`.
+    pub r: Matrix<T>,
+    /// Candidate activation `H̄_t`.
+    pub hbar: Matrix<T>,
+    /// Previous hidden state `H_{t-1}`.
+    pub h_prev: Matrix<T>,
+}
+
+impl<T: Float> GruParams<T> {
+    /// Xavier-initialised parameters.
+    pub fn init(input: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            wzr: init::xavier_uniform(input + hidden, 2 * hidden, seed),
+            bzr: Matrix::zeros(1, 2 * hidden),
+            wh: init::xavier_uniform(input + hidden, hidden, seed ^ 0x9e37_79b9),
+            bh: Matrix::zeros(1, hidden),
+            input,
+            hidden,
+        }
+    }
+
+    /// Zeroed same-shape parameters (gradient accumulator).
+    pub fn zeros_like(&self) -> Self {
+        Self {
+            wzr: Matrix::zeros(self.wzr.rows(), self.wzr.cols()),
+            bzr: Matrix::zeros(1, self.bzr.cols()),
+            wh: Matrix::zeros(self.wh.rows(), self.wh.cols()),
+            bh: Matrix::zeros(1, self.bh.cols()),
+            input: self.input,
+            hidden: self.hidden,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.wzr.len() + self.bzr.len() + self.wh.len() + self.bh.len()
+    }
+
+    /// Forward update (Eqs. 7–10).
+    pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, GruCache<T>) {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.input, "input width mismatch");
+        assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
+        let h = self.hidden;
+
+        // Fused z/r gates.
+        let zr_in = Matrix::hstack(&[x, &prev.h]);
+        let mut zr = Matrix::zeros(batch, 2 * h);
+        gemm(T::ONE, &zr_in, &self.wzr, T::ZERO, &mut zr);
+        add_bias(&mut zr, &self.bzr);
+        zr.map_inplace(|v| v.sigmoid());
+        let mut z = Matrix::zeros(batch, h);
+        let mut r = Matrix::zeros(batch, h);
+        for row in 0..batch {
+            let src = zr.row(row);
+            z.row_mut(row).copy_from_slice(&src[..h]);
+            r.row_mut(row).copy_from_slice(&src[h..]);
+        }
+
+        // Candidate with reset-gated recurrent input.
+        let mut rh = Matrix::zeros(batch, h);
+        bpar_tensor::ops::hadamard(&r, &prev.h, &mut rh);
+        let h_in = Matrix::hstack(&[x, &rh]);
+        let mut hbar = Matrix::zeros(batch, h);
+        gemm(T::ONE, &h_in, &self.wh, T::ZERO, &mut hbar);
+        add_bias(&mut hbar, &self.bh);
+        hbar.map_inplace(|v| v.tanh());
+
+        // H_t = Z ⊙ H̄ + (1-Z) ⊙ H_{t-1}.
+        let mut h_out = Matrix::zeros(batch, h);
+        for row in 0..batch {
+            let (zs, hb, hp) = (z.row(row), hbar.row(row), prev.h.row(row));
+            let out = h_out.row_mut(row);
+            for j in 0..h {
+                out[j] = zs[j] * hb[j] + (T::ONE - zs[j]) * hp[j];
+            }
+        }
+
+        let state = CellState {
+            h: h_out,
+            c: None,
+        };
+        let cache = GruCache {
+            zr_in,
+            h_in,
+            z,
+            r,
+            hbar,
+            h_prev: prev.h.clone(),
+        };
+        (state, cache)
+    }
+
+    /// Backward update (BPTT through Eqs. 7–10). See
+    /// [`super::CellParams::backward`] for the argument contract.
+    pub fn backward(
+        &self,
+        cache: &GruCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut GruParams<T>,
+    ) -> (Matrix<T>, StateGrad<T>) {
+        let batch = dh.rows();
+        let h = self.hidden;
+        assert_eq!(dh.shape(), (batch, h), "dh shape");
+
+        let mut dh_total = dh.clone();
+        if let Some(sg) = dstate {
+            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
+        }
+
+        // Through Eq. (10).
+        let mut dhbar_pre = Matrix::zeros(batch, h); // pre-tanh candidate grad
+        let mut dz_pre = Matrix::zeros(batch, h);
+        let mut dh_prev = Matrix::zeros(batch, h);
+        for row in 0..batch {
+            let (zs, hb, hp) = (cache.z.row(row), cache.hbar.row(row), cache.h_prev.row(row));
+            let dht = dh_total.row(row);
+            {
+                let dp = dh_prev.row_mut(row);
+                for j in 0..h {
+                    dp[j] = dht[j] * (T::ONE - zs[j]); // (1-Z) path
+                }
+            }
+            {
+                let dhb = dhbar_pre.row_mut(row);
+                for j in 0..h {
+                    dhb[j] = dht[j] * zs[j] * dtanh_from_y(hb[j]);
+                }
+            }
+            {
+                let dz = dz_pre.row_mut(row);
+                for j in 0..h {
+                    dz[j] = dht[j] * (hb[j] - hp[j]) * dsigmoid_from_y(zs[j]);
+                }
+            }
+        }
+
+        // Candidate kernel gradients and input gradient.
+        gemm_tn(T::ONE, &cache.h_in, &dhbar_pre, T::ONE, &mut grads.wh);
+        let dbh = column_sums(&dhbar_pre);
+        bpar_tensor::ops::axpy(T::ONE, &dbh, &mut grads.bh);
+        let mut dh_in = Matrix::zeros(batch, self.input + h);
+        gemm_nt(T::ONE, &dhbar_pre, &self.wh, T::ZERO, &mut dh_in);
+
+        // Split dh_in into dX (part 1) and d(R ⊙ H_prev).
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dr_pre = Matrix::zeros(batch, h);
+        for row in 0..batch {
+            let src = dh_in.row(row).to_vec();
+            dx.row_mut(row).copy_from_slice(&src[..self.input]);
+            let (rs, hp) = (cache.r.row(row), cache.h_prev.row(row));
+            // dRH = src[input..]; dR = dRH ⊙ H_prev, dH_prev += dRH ⊙ R.
+            {
+                let drp = dr_pre.row_mut(row);
+                for j in 0..h {
+                    let drh = src[self.input + j];
+                    drp[j] = drh * hp[j] * dsigmoid_from_y(rs[j]);
+                }
+            }
+            let dp = dh_prev.row_mut(row);
+            for j in 0..h {
+                dp[j] += src[self.input + j] * rs[j];
+            }
+        }
+
+        // Fused z/r kernel gradients and input gradient.
+        let dzr_pre = Matrix::hstack(&[&dz_pre, &dr_pre]);
+        gemm_tn(T::ONE, &cache.zr_in, &dzr_pre, T::ONE, &mut grads.wzr);
+        let dbzr = column_sums(&dzr_pre);
+        bpar_tensor::ops::axpy(T::ONE, &dbzr, &mut grads.bzr);
+        let mut dzr_in = Matrix::zeros(batch, self.input + h);
+        gemm_nt(T::ONE, &dzr_pre, &self.wzr, T::ZERO, &mut dzr_in);
+        for row in 0..batch {
+            let src = dzr_in.row(row).to_vec();
+            let dxr = dx.row_mut(row);
+            for j in 0..self.input {
+                dxr[j] += src[j];
+            }
+            let dp = dh_prev.row_mut(row);
+            for j in 0..h {
+                dp[j] += src[self.input + j];
+            }
+        }
+
+        (
+            dx,
+            StateGrad {
+                dh: dh_prev,
+                dc: None,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, CellState};
+
+    fn state(batch: usize, hidden: usize, seed: u64) -> CellState<f64> {
+        CellState {
+            h: init::uniform(batch, hidden, -0.5, 0.5, seed),
+            c: None,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let p: GruParams<f64> = GruParams::init(3, 5, 0);
+        let x = init::uniform(2, 3, -1.0, 1.0, 7);
+        let (st, cache) = p.forward(&x, &CellState::zeros(CellKind::Gru, 2, 5));
+        assert_eq!(st.h.shape(), (2, 5));
+        assert!(st.c.is_none());
+        assert_eq!(cache.zr_in.shape(), (2, 8));
+        assert_eq!(cache.h_in.shape(), (2, 8));
+    }
+
+    #[test]
+    fn forward_matches_manual_equations() {
+        let mut p: GruParams<f64> = GruParams::init(1, 1, 0);
+        p.wzr = Matrix::from_vec(2, 2, vec![0.5, -0.4, 0.3, 0.7]); // rows [x; h], cols [z, r]
+        p.bzr = Matrix::from_vec(1, 2, vec![0.1, -0.2]);
+        p.wh = Matrix::from_vec(2, 1, vec![0.9, -0.6]);
+        p.bh = Matrix::from_vec(1, 1, vec![0.05]);
+        let x = Matrix::from_vec(1, 1, vec![0.8]);
+        let prev = CellState {
+            h: Matrix::from_vec(1, 1, vec![-0.3]),
+            c: None,
+        };
+        let (st, _) = p.forward(&x, &prev);
+
+        let sig = |v: f64| 1.0 / (1.0 + (-v).exp());
+        let z = sig(0.8 * 0.5 + -0.3 * 0.3 + 0.1);
+        let r = sig(0.8 * -0.4 + -0.3 * 0.7 + -0.2);
+        let hbar = (0.8 * 0.9 + (r * -0.3) * -0.6 + 0.05).tanh();
+        let hh = z * hbar + (1.0 - z) * -0.3;
+        assert!((st.h.get(0, 0) - hh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_update_gate_keeps_previous_state() {
+        // Huge negative z-gate bias forces Z ≈ 0 → H_t ≈ H_{t-1}.
+        let mut p: GruParams<f64> = GruParams::init(2, 3, 1);
+        for j in 0..3 {
+            p.bzr.set(0, j, -50.0);
+        }
+        let x = init::uniform(2, 2, -1.0, 1.0, 2);
+        let prev = state(2, 3, 3);
+        let (st, _) = p.forward(&x, &prev);
+        assert!(st.h.max_abs_diff(&prev.h) < 1e-9);
+    }
+
+    /// Central finite-difference gradient check of the full backward pass.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let batch = 2;
+        let (input, hidden) = (3, 4);
+        let p: GruParams<f64> = GruParams::init(input, hidden, 5);
+        let x = init::uniform(batch, input, -1.0, 1.0, 6);
+        let prev = state(batch, hidden, 7);
+        let s_h = init::uniform(batch, hidden, -1.0, 1.0, 8);
+
+        let loss = |p: &GruParams<f64>, x: &Matrix<f64>, prev: &CellState<f64>| -> f64 {
+            let (st, _) = p.forward(x, prev);
+            bpar_tensor::ops::dot(&s_h, &st.h).to_f64()
+        };
+
+        let (_, cache) = p.forward(&x, &prev);
+        let mut grads = p.zeros_like();
+        let (dx, sg_prev) = p.backward(&cache, &s_h, None, &mut grads);
+
+        let eps = 1e-6;
+        for &(r, c) in &[(0, 0), (2, 3), (5, 7), (6, 1)] {
+            let mut pp = p.clone();
+            pp.wzr.set(r, c, p.wzr.get(r, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.wzr.set(r, c, p.wzr.get(r, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grads.wzr.get(r, c) - fd).abs() < 1e-5,
+                "dWzr[{r},{c}] = {} vs {fd}",
+                grads.wzr.get(r, c)
+            );
+        }
+        for &(r, c) in &[(0, 0), (3, 2), (6, 3)] {
+            let mut pp = p.clone();
+            pp.wh.set(r, c, p.wh.get(r, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.wh.set(r, c, p.wh.get(r, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grads.wh.get(r, c) - fd).abs() < 1e-5, "dWh[{r},{c}]");
+        }
+        for c in [0, 3, 5] {
+            let mut pp = p.clone();
+            pp.bzr.set(0, c, p.bzr.get(0, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.bzr.set(0, c, p.bzr.get(0, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grads.bzr.get(0, c) - fd).abs() < 1e-5, "dBzr[{c}]");
+        }
+        for c in [0, 2] {
+            let mut pp = p.clone();
+            pp.bh.set(0, c, p.bh.get(0, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.bh.set(0, c, p.bh.get(0, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grads.bh.get(0, c) - fd).abs() < 1e-5, "dBh[{c}]");
+        }
+        for &(r, c) in &[(0, 0), (1, 2)] {
+            let mut xx = x.clone();
+            xx.set(r, c, x.get(r, c) + eps);
+            let lp = loss(&p, &xx, &prev);
+            xx.set(r, c, x.get(r, c) - eps);
+            let lm = loss(&p, &xx, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx.get(r, c) - fd).abs() < 1e-5, "dX[{r},{c}]");
+        }
+        for &(r, c) in &[(0, 1), (1, 3)] {
+            let mut pv = prev.clone();
+            pv.h.set(r, c, prev.h.get(r, c) + eps);
+            let lp = loss(&p, &x, &pv);
+            pv.h.set(r, c, prev.h.get(r, c) - eps);
+            let lm = loss(&p, &x, &pv);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (sg_prev.dh.get(r, c) - fd).abs() < 1e-5,
+                "dHprev[{r},{c}] = {} vs {fd}",
+                sg_prev.dh.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn recurrent_state_grad_is_accumulated() {
+        // Passing a recurrent dh must change the result vs None.
+        let p: GruParams<f64> = GruParams::init(2, 3, 9);
+        let x = init::uniform(1, 2, -1.0, 1.0, 10);
+        let prev = state(1, 3, 11);
+        let (_, cache) = p.forward(&x, &prev);
+        let dh = init::uniform(1, 3, -1.0, 1.0, 12);
+        let rec = StateGrad {
+            dh: init::uniform(1, 3, -1.0, 1.0, 13),
+            dc: None,
+        };
+        let mut g1 = p.zeros_like();
+        let (dx1, _) = p.backward(&cache, &dh, None, &mut g1);
+        let mut g2 = p.zeros_like();
+        let (dx2, _) = p.backward(&cache, &dh, Some(&rec), &mut g2);
+        assert!(dx1.max_abs_diff(&dx2) > 1e-9);
+    }
+}

@@ -1,0 +1,459 @@
+//! LSTM cell: Equations (1)–(6) of the paper, forward and BPTT backward.
+//!
+//! ```text
+//! f_t = σ(W_f [X_t, H_{t-1}] + B_f)            (1)
+//! i_t = σ(W_i [X_t, H_{t-1}] + B_i)            (2)
+//! g_t = tanh(W_c [X_t, H_{t-1}] + B_c)         (3)   (the paper's C̄_t)
+//! o_t = σ(W_o [X_t, H_{t-1}] + B_o)            (4)
+//! C_t = f_t ⊙ C_{t-1} + i_t ⊙ g_t              (5)
+//! H_t = o_t ⊙ tanh(C_t)                        (6)
+//! ```
+//!
+//! The four gate weight matrices are fused into one `(I+H) × 4H` kernel so
+//! each cell update is a single GEMM — the same layout MKL/cuDNN use and
+//! the reason an RNN cell task is GEMM-dominated. Gate block order within
+//! the fused matrix is `[i, f, g, o]`.
+
+use super::{CellState, StateGrad};
+use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
+use bpar_tensor::ops::{add_bias, column_sums};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+
+/// Fused LSTM parameters for one layer and direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmParams<T: Float> {
+    /// Fused gate kernel, `(input + hidden) × 4·hidden`, blocks `[i,f,g,o]`.
+    pub w: Matrix<T>,
+    /// Fused gate bias, `1 × 4·hidden`.
+    pub b: Matrix<T>,
+    /// Input width this cell was built for.
+    pub input: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+/// Forward-pass values an LSTM cell must remember for BPTT.
+#[derive(Debug, Clone)]
+pub struct LstmCache<T: Float> {
+    /// Concatenated `[X_t, H_{t-1}]`, `batch × (input+hidden)`.
+    pub z: Matrix<T>,
+    /// Gate activations (post-nonlinearity), `batch × 4·hidden`,
+    /// blocks `[i, f, g, o]`.
+    pub gates: Matrix<T>,
+    /// Previous cell state `C_{t-1}`.
+    pub c_prev: Matrix<T>,
+    /// New cell state `C_t`.
+    pub c: Matrix<T>,
+    /// `tanh(C_t)` (reused by Eq. (6) backward).
+    pub tanh_c: Matrix<T>,
+}
+
+impl<T: Float> LstmParams<T> {
+    /// Xavier-initialised parameters; forget-gate bias starts at 1 (the
+    /// standard trick to keep gradients flowing early in training).
+    pub fn init(input: usize, hidden: usize, seed: u64) -> Self {
+        let w = init::xavier_uniform(input + hidden, 4 * hidden, seed);
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for j in hidden..2 * hidden {
+            b.set(0, j, T::ONE); // forget-gate block
+        }
+        Self {
+            w,
+            b,
+            input,
+            hidden,
+        }
+    }
+
+    /// Zeroed same-shape parameters (gradient accumulator).
+    pub fn zeros_like(&self) -> Self {
+        Self {
+            w: Matrix::zeros(self.w.rows(), self.w.cols()),
+            b: Matrix::zeros(1, self.b.cols()),
+            input: self.input,
+            hidden: self.hidden,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward update (Eqs. 1–6). `x` is `batch × input`; `prev` must hold
+    /// both `H_{t-1}` and `C_{t-1}`.
+    pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, LstmCache<T>) {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.input, "input width mismatch");
+        assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
+        let c_prev = prev.c.as_ref().expect("LSTM needs a cell state");
+        let h = self.hidden;
+
+        // Z = [X_t, H_{t-1}]
+        let z = Matrix::hstack(&[x, &prev.h]);
+        // G = Z W + b
+        let mut gates = Matrix::zeros(batch, 4 * h);
+        gemm(T::ONE, &z, &self.w, T::ZERO, &mut gates);
+        add_bias(&mut gates, &self.b);
+
+        // Nonlinearities per block: σ on i,f,o; tanh on g.
+        for r in 0..batch {
+            let row = gates.row_mut(r);
+            for v in &mut row[0..2 * h] {
+                *v = v.sigmoid(); // i, f
+            }
+            for v in &mut row[2 * h..3 * h] {
+                *v = v.tanh(); // g
+            }
+            for v in &mut row[3 * h..4 * h] {
+                *v = v.sigmoid(); // o
+            }
+        }
+
+        // C_t = f ⊙ C_{t-1} + i ⊙ g ;  H_t = o ⊙ tanh(C_t)
+        let mut c = Matrix::zeros(batch, h);
+        let mut tanh_c = Matrix::zeros(batch, h);
+        let mut h_out = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            let grow = gates.row(r);
+            let (gi, rest) = grow.split_at(h);
+            let (gf, rest) = rest.split_at(h);
+            let (gg, go) = rest.split_at(h);
+            let cp = c_prev.row(r);
+            let crow = c.row_mut(r);
+            for j in 0..h {
+                crow[j] = gf[j] * cp[j] + gi[j] * gg[j];
+            }
+            let crow = c.row(r).to_vec();
+            let trow = tanh_c.row_mut(r);
+            for j in 0..h {
+                trow[j] = crow[j].tanh();
+            }
+            let trow = tanh_c.row(r).to_vec();
+            let hrow = h_out.row_mut(r);
+            for j in 0..h {
+                hrow[j] = go[j] * trow[j];
+            }
+        }
+
+        let state = CellState {
+            h: h_out,
+            c: Some(c.clone()),
+        };
+        let cache = LstmCache {
+            z,
+            gates,
+            c_prev: c_prev.clone(),
+            c,
+            tanh_c,
+        };
+        (state, cache)
+    }
+
+    /// Backward update (BPTT through Eqs. 1–6).
+    ///
+    /// * `dh` — gradient w.r.t. `H_t` from the upstream consumers (merge /
+    ///   next layer),
+    /// * `dstate` — recurrent gradient from cell t+1 (`dh` through the
+    ///   recurrence and `dc`), or `None` at the end of the direction,
+    /// * `grads` — layer-level accumulator receiving `dW`, `dB`.
+    ///
+    /// Returns `(dx, state_grad_for_t_minus_1)`.
+    pub fn backward(
+        &self,
+        cache: &LstmCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut LstmParams<T>,
+    ) -> (Matrix<T>, StateGrad<T>) {
+        let batch = dh.rows();
+        let h = self.hidden;
+        assert_eq!(dh.shape(), (batch, h), "dh shape");
+
+        // Total dH_t: upstream plus recurrent.
+        let mut dh_total = dh.clone();
+        if let Some(sg) = dstate {
+            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
+        }
+
+        // Gate pre-activation gradients, fused layout [i, f, g, o].
+        let mut dgates = Matrix::zeros(batch, 4 * h);
+        let mut dc_prev = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            let grow = cache.gates.row(r);
+            let (gi, rest) = grow.split_at(h);
+            let (gf, rest) = rest.split_at(h);
+            let (gg, go) = rest.split_at(h);
+            let tc = cache.tanh_c.row(r);
+            let cp = cache.c_prev.row(r);
+            let dht = dh_total.row(r);
+            let dcr = dstate.and_then(|s| s.dc.as_ref()).map(|m| m.row(r));
+
+            let dgrow = dgates.row_mut(r);
+            for j in 0..h {
+                // dC_t = dH ⊙ o ⊙ tanh'(C) + recurrent dC.
+                let mut dc = dht[j] * go[j] * dtanh_from_y(tc[j]);
+                if let Some(d) = dcr {
+                    dc += d[j];
+                }
+                // Gate gradients through Eqs. (5)-(6).
+                let di = dc * gg[j] * dsigmoid_from_y(gi[j]);
+                let df = dc * cp[j] * dsigmoid_from_y(gf[j]);
+                let dg = dc * gi[j] * dtanh_from_y(gg[j]);
+                let do_ = dht[j] * tc[j] * dsigmoid_from_y(go[j]);
+                dgrow[j] = di;
+                dgrow[h + j] = df;
+                dgrow[2 * h + j] = dg;
+                dgrow[3 * h + j] = do_;
+            }
+            let dcp = dc_prev.row_mut(r);
+            for j in 0..h {
+                let mut dc = dht[j] * go[j] * dtanh_from_y(tc[j]);
+                if let Some(d) = dcr {
+                    dc += d[j];
+                }
+                dcp[j] = dc * gf[j];
+            }
+        }
+
+        // dZ = dG Wᵀ  →  split into dX and dH_{t-1}.
+        let mut dz = Matrix::zeros(batch, self.input + h);
+        gemm_nt(T::ONE, &dgates, &self.w, T::ZERO, &mut dz);
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dh_prev = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            let row = dz.row(r);
+            dx.row_mut(r).copy_from_slice(&row[..self.input]);
+            dh_prev.row_mut(r).copy_from_slice(&row[self.input..]);
+        }
+
+        // dW += Zᵀ dG ;  dB += Σ_batch dG.
+        gemm_tn(T::ONE, &cache.z, &dgates, T::ONE, &mut grads.w);
+        let db = column_sums(&dgates);
+        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
+
+        (
+            dx,
+            StateGrad {
+                dh: dh_prev,
+                dc: Some(dc_prev),
+            },
+        )
+    }
+}
+
+/// Applies the fused nonlinearity block pattern in place — exposed for the
+/// barrier executors that fuse whole layers. σ on `[0,2h)` and `[3h,4h)`,
+/// tanh on `[2h,3h)`.
+pub fn lstm_gate_nonlinearities<T: Float>(gates: &mut Matrix<T>, hidden: usize) {
+    let h = hidden;
+    assert_eq!(gates.cols(), 4 * h);
+    let rows = gates.rows();
+    for r in 0..rows {
+        let row = gates.row_mut(r);
+        for v in &mut row[0..2 * h] {
+            *v = v.sigmoid();
+        }
+        for v in &mut row[2 * h..3 * h] {
+            *v = v.tanh();
+        }
+        for v in &mut row[3 * h..4 * h] {
+            *v = v.sigmoid();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, CellState};
+
+    fn state(batch: usize, hidden: usize, seed: u64) -> CellState<f64> {
+        CellState {
+            h: init::uniform(batch, hidden, -0.5, 0.5, seed),
+            c: Some(init::uniform(batch, hidden, -0.5, 0.5, seed + 1)),
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let p: LstmParams<f64> = LstmParams::init(3, 5, 0);
+        let x = init::uniform(2, 3, -1.0, 1.0, 7);
+        let (st, cache) = p.forward(&x, &CellState::zeros(CellKind::Lstm, 2, 5));
+        assert_eq!(st.h.shape(), (2, 5));
+        assert_eq!(st.c.as_ref().unwrap().shape(), (2, 5));
+        assert_eq!(cache.z.shape(), (2, 8));
+        assert_eq!(cache.gates.shape(), (2, 20));
+    }
+
+    #[test]
+    fn forward_matches_manual_equations() {
+        // 1x1 cell computed by hand from Eqs. (1)-(6).
+        let mut p: LstmParams<f64> = LstmParams::init(1, 1, 0);
+        // w rows: [x; h], cols: [i, f, g, o]
+        p.w = Matrix::from_vec(2, 4, vec![0.5, -0.3, 0.8, 0.1, 0.2, 0.4, -0.6, 0.9]);
+        p.b = Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, -0.1]);
+        let x = Matrix::from_vec(1, 1, vec![0.7]);
+        let prev = CellState {
+            h: Matrix::from_vec(1, 1, vec![0.25]),
+            c: Some(Matrix::from_vec(1, 1, vec![-0.4])),
+        };
+        let (st, _) = p.forward(&x, &prev);
+
+        let zi = 0.7 * 0.5 + 0.25 * 0.2 + 0.1;
+        let zf = 0.7 * -0.3 + 0.25 * 0.4 + 0.2;
+        let zg = 0.7 * 0.8 + 0.25 * -0.6 + 0.3;
+        let zo = 0.7 * 0.1 + 0.25 * 0.9 + -0.1;
+        let sig = |v: f64| 1.0 / (1.0 + (-v).exp());
+        let c = sig(zf) * -0.4 + sig(zi) * zg.tanh();
+        let h = sig(zo) * c.tanh();
+        assert!((st.c.as_ref().unwrap().get(0, 0) - c).abs() < 1e-12);
+        assert!((st.h.get(0, 0) - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let p: LstmParams<f32> = LstmParams::init(2, 3, 0);
+        for j in 0..3 {
+            assert_eq!(p.b.get(0, j + 3), 1.0); // f block
+            assert_eq!(p.b.get(0, j), 0.0); // i block
+        }
+    }
+
+    #[test]
+    fn outputs_are_bounded() {
+        // |H_t| ≤ 1 because H = σ(·)·tanh(·).
+        let p: LstmParams<f64> = LstmParams::init(4, 8, 3);
+        let x = init::uniform(5, 4, -10.0, 10.0, 9);
+        let (st, _) = p.forward(&x, &state(5, 8, 11));
+        assert!(st.h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    /// Central finite-difference gradient check of the full backward pass.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let batch = 2;
+        let (input, hidden) = (3, 4);
+        let p: LstmParams<f64> = LstmParams::init(input, hidden, 5);
+        let x = init::uniform(batch, input, -1.0, 1.0, 6);
+        let prev = state(batch, hidden, 7);
+        // Loss = Σ s_h ⊙ H_t + Σ s_c ⊙ C_t with fixed random sensitivities.
+        let s_h = init::uniform(batch, hidden, -1.0, 1.0, 8);
+        let s_c = init::uniform(batch, hidden, -1.0, 1.0, 9);
+
+        let loss = |p: &LstmParams<f64>, x: &Matrix<f64>, prev: &CellState<f64>| -> f64 {
+            let (st, _) = p.forward(x, prev);
+            bpar_tensor::ops::dot(&s_h, &st.h).to_f64()
+                + bpar_tensor::ops::dot(&s_c, st.c.as_ref().unwrap()).to_f64()
+        };
+
+        // Analytic gradients: dh = s_h, recurrent dc = s_c.
+        let (st, cache) = p.forward(&x, &prev);
+        let _ = st;
+        let mut grads = p.zeros_like();
+        let dstate = StateGrad {
+            dh: Matrix::zeros(batch, hidden),
+            dc: Some(s_c.clone()),
+        };
+        let (dx, sg_prev) = p.backward(&cache, &s_h, Some(&dstate), &mut grads);
+
+        let eps = 1e-6;
+        // Check dW entries (sampled).
+        for &(r, c) in &[(0, 0), (1, 3), (2, 7), (6, 15), (4, 9)] {
+            let mut pp = p.clone();
+            pp.w.set(r, c, p.w.get(r, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.w.set(r, c, p.w.get(r, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grads.w.get(r, c) - fd).abs() < 1e-5,
+                "dW[{r},{c}] = {} vs fd {fd}",
+                grads.w.get(r, c)
+            );
+        }
+        // Check dB entries.
+        for c in [0, 5, 9, 14] {
+            let mut pp = p.clone();
+            pp.b.set(0, c, p.b.get(0, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.b.set(0, c, p.b.get(0, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((grads.b.get(0, c) - fd).abs() < 1e-5, "dB[{c}]");
+        }
+        // Check dX entries.
+        for &(r, c) in &[(0, 0), (1, 2)] {
+            let mut xx = x.clone();
+            xx.set(r, c, x.get(r, c) + eps);
+            let lp = loss(&p, &xx, &prev);
+            xx.set(r, c, x.get(r, c) - eps);
+            let lm = loss(&p, &xx, &prev);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((dx.get(r, c) - fd).abs() < 1e-5, "dX[{r},{c}]");
+        }
+        // Check dH_{t-1} and dC_{t-1} entries.
+        for &(r, c) in &[(0, 1), (1, 3)] {
+            let mut pv = prev.clone();
+            pv.h.set(r, c, prev.h.get(r, c) + eps);
+            let lp = loss(&p, &x, &pv);
+            pv.h.set(r, c, prev.h.get(r, c) - eps);
+            let lm = loss(&p, &x, &pv);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((sg_prev.dh.get(r, c) - fd).abs() < 1e-5, "dHprev[{r},{c}]");
+
+            let mut pv = prev.clone();
+            let c0 = prev.c.as_ref().unwrap().get(r, c);
+            pv.c.as_mut().unwrap().set(r, c, c0 + eps);
+            let lp = loss(&p, &x, &pv);
+            pv.c.as_mut().unwrap().set(r, c, c0 - eps);
+            let lm = loss(&p, &x, &pv);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (sg_prev.dc.as_ref().unwrap().get(r, c) - fd).abs() < 1e-5,
+                "dCprev[{r},{c}]"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_into_grads() {
+        let p: LstmParams<f64> = LstmParams::init(2, 3, 1);
+        let x = init::uniform(1, 2, -1.0, 1.0, 2);
+        let prev = state(1, 3, 3);
+        let (_, cache) = p.forward(&x, &prev);
+        let dh = init::uniform(1, 3, -1.0, 1.0, 4);
+        let mut grads = p.zeros_like();
+        p.backward(&cache, &dh, None, &mut grads);
+        let first = grads.w.clone();
+        p.backward(&cache, &dh, None, &mut grads);
+        // Second call doubles the accumulator.
+        let mut doubled = first.clone();
+        bpar_tensor::ops::scale(2.0, &mut doubled);
+        assert!(grads.w.max_abs_diff(&doubled) < 1e-12);
+    }
+
+    #[test]
+    fn gate_nonlinearity_helper_matches_forward() {
+        let h = 3;
+        let mut gates = init::uniform::<f64>(2, 4 * h, -2.0, 2.0, 5);
+        let reference = {
+            let mut g = gates.clone();
+            for r in 0..2 {
+                let row = g.row_mut(r);
+                for v in &mut row[0..2 * h] {
+                    *v = v.sigmoid();
+                }
+                for v in &mut row[2 * h..3 * h] {
+                    *v = v.tanh();
+                }
+                for v in &mut row[3 * h..4 * h] {
+                    *v = v.sigmoid();
+                }
+            }
+            g
+        };
+        lstm_gate_nonlinearities(&mut gates, h);
+        assert!(gates.max_abs_diff(&reference) < 1e-15);
+    }
+}

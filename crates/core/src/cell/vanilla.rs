@@ -1,0 +1,223 @@
+//! Vanilla (Elman) RNN cell: `H_t = tanh(W [X_t, H_{t-1}] + B)`.
+//!
+//! The paper's §II notes that BRNNs "use the basic RNN unit and its
+//! variants LSTM and GRU"; the evaluation focuses on LSTM/GRU, but the
+//! basic unit completes the family and is useful for fast tests and as
+//! the cheapest ablation point for task granularity (one GEMM per cell).
+
+use super::{CellState, StateGrad};
+use bpar_tensor::activation::dtanh_from_y;
+use bpar_tensor::ops::{add_bias, column_sums};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+
+/// Vanilla RNN parameters for one layer and direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VanillaParams<T: Float> {
+    /// Kernel, `(input + hidden) × hidden`.
+    pub w: Matrix<T>,
+    /// Bias, `1 × hidden`.
+    pub b: Matrix<T>,
+    /// Input width.
+    pub input: usize,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+/// Forward-pass values a vanilla cell must remember for BPTT.
+#[derive(Debug, Clone)]
+pub struct VanillaCache<T: Float> {
+    /// Concatenated `[X_t, H_{t-1}]`.
+    pub z: Matrix<T>,
+    /// Activated output `H_t` (tanh'(x) = 1 - H_t²).
+    pub h: Matrix<T>,
+}
+
+impl<T: Float> VanillaParams<T> {
+    /// Xavier-initialised parameters.
+    pub fn init(input: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            w: init::xavier_uniform(input + hidden, hidden, seed),
+            b: Matrix::zeros(1, hidden),
+            input,
+            hidden,
+        }
+    }
+
+    /// Zeroed same-shape parameters (gradient accumulator).
+    pub fn zeros_like(&self) -> Self {
+        Self {
+            w: Matrix::zeros(self.w.rows(), self.w.cols()),
+            b: Matrix::zeros(1, self.b.cols()),
+            input: self.input,
+            hidden: self.hidden,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward update.
+    pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, VanillaCache<T>) {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.input, "input width mismatch");
+        assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
+        let z = Matrix::hstack(&[x, &prev.h]);
+        let mut h = Matrix::zeros(batch, self.hidden);
+        gemm(T::ONE, &z, &self.w, T::ZERO, &mut h);
+        add_bias(&mut h, &self.b);
+        h.map_inplace(|v| v.tanh());
+        (
+            CellState {
+                h: h.clone(),
+                c: None,
+            },
+            VanillaCache { z, h },
+        )
+    }
+
+    /// Backward update; see [`super::CellParams::backward`] for the
+    /// argument contract.
+    pub fn backward(
+        &self,
+        cache: &VanillaCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut VanillaParams<T>,
+    ) -> (Matrix<T>, StateGrad<T>) {
+        let batch = dh.rows();
+        let h = self.hidden;
+        assert_eq!(dh.shape(), (batch, h), "dh shape");
+
+        let mut dpre = dh.clone();
+        if let Some(sg) = dstate {
+            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dpre);
+        }
+        for (v, &y) in dpre.as_mut_slice().iter_mut().zip(cache.h.as_slice()) {
+            *v *= dtanh_from_y(y);
+        }
+
+        gemm_tn(T::ONE, &cache.z, &dpre, T::ONE, &mut grads.w);
+        let db = column_sums(&dpre);
+        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
+
+        let mut dz = Matrix::zeros(batch, self.input + h);
+        gemm_nt(T::ONE, &dpre, &self.w, T::ZERO, &mut dz);
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dh_prev = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            let row = dz.row(r);
+            dx.row_mut(r).copy_from_slice(&row[..self.input]);
+            dh_prev.row_mut(r).copy_from_slice(&row[self.input..]);
+        }
+        (
+            dx,
+            StateGrad {
+                dh: dh_prev,
+                dc: None,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut p: VanillaParams<f64> = VanillaParams::init(1, 1, 0);
+        p.w = Matrix::from_vec(2, 1, vec![0.5, -0.3]);
+        p.b = Matrix::from_vec(1, 1, vec![0.1]);
+        let x = Matrix::from_vec(1, 1, vec![0.8]);
+        let prev = CellState {
+            h: Matrix::from_vec(1, 1, vec![0.2]),
+            c: None,
+        };
+        let (st, _) = p.forward(&x, &prev);
+        let want = (0.8 * 0.5 + 0.2 * -0.3 + 0.1f64).tanh();
+        assert!((st.h.get(0, 0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let p: VanillaParams<f64> = VanillaParams::init(4, 8, 1);
+        let x = init::uniform(3, 4, -10.0, 10.0, 2);
+        let (st, _) = p.forward(&x, &CellState::zeros(CellKind::Vanilla, 3, 8));
+        assert!(st.h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (batch, input, hidden) = (2usize, 3usize, 4usize);
+        let p: VanillaParams<f64> = VanillaParams::init(input, hidden, 5);
+        let x = init::uniform(batch, input, -1.0, 1.0, 6);
+        let prev = CellState {
+            h: init::uniform(batch, hidden, -0.5, 0.5, 7),
+            c: None,
+        };
+        let s = init::uniform(batch, hidden, -1.0, 1.0, 8);
+        let loss = |p: &VanillaParams<f64>, x: &Matrix<f64>, prev: &CellState<f64>| {
+            let (st, _) = p.forward(x, prev);
+            bpar_tensor::ops::dot(&s, &st.h)
+        };
+        let (_, cache) = p.forward(&x, &prev);
+        let mut grads = p.zeros_like();
+        let (dx, sg) = p.backward(&cache, &s, None, &mut grads);
+
+        let eps = 1e-6;
+        for &(r, c) in &[(0usize, 0usize), (3, 2), (6, 1)] {
+            let mut pp = p.clone();
+            pp.w.set(r, c, p.w.get(r, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.w.set(r, c, p.w.get(r, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            assert!((grads.w.get(r, c) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+        }
+        for c in [0usize, 3] {
+            let mut pp = p.clone();
+            pp.b.set(0, c, p.b.get(0, c) + eps);
+            let lp = loss(&pp, &x, &prev);
+            pp.b.set(0, c, p.b.get(0, c) - eps);
+            let lm = loss(&pp, &x, &prev);
+            assert!((grads.b.get(0, c) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+        }
+        for &(r, c) in &[(0usize, 1usize), (1, 2)] {
+            let mut xx = x.clone();
+            xx.set(r, c, x.get(r, c) + eps);
+            let lp = loss(&p, &xx, &prev);
+            xx.set(r, c, x.get(r, c) - eps);
+            let lm = loss(&p, &xx, &prev);
+            assert!((dx.get(r, c) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+            let mut pv = prev.clone();
+            pv.h.set(r, c + 1, prev.h.get(r, c + 1) + eps);
+            let lp = loss(&p, &x, &pv);
+            pv.h.set(r, c + 1, prev.h.get(r, c + 1) - eps);
+            let lm = loss(&p, &x, &pv);
+            assert!((sg.dh.get(r, c + 1) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recurrent_gradient_accumulates() {
+        let p: VanillaParams<f64> = VanillaParams::init(2, 3, 9);
+        let x = init::uniform(1, 2, -1.0, 1.0, 10);
+        let prev = CellState {
+            h: init::uniform(1, 3, -0.5, 0.5, 11),
+            c: None,
+        };
+        let (_, cache) = p.forward(&x, &prev);
+        let dh = init::uniform(1, 3, -1.0, 1.0, 12);
+        let rec = StateGrad {
+            dh: init::uniform(1, 3, -1.0, 1.0, 13),
+            dc: None,
+        };
+        let mut g1 = p.zeros_like();
+        let (dx1, _) = p.backward(&cache, &dh, None, &mut g1);
+        let mut g2 = p.zeros_like();
+        let (dx2, _) = p.backward(&cache, &dh, Some(&rec), &mut g2);
+        assert!(dx1.max_abs_diff(&dx2) > 1e-9);
+    }
+}

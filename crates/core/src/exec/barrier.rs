@@ -1,0 +1,120 @@
+//! Per-layer-barrier executor — the execution discipline of
+//! Keras/TensorFlow and PyTorch that the paper identifies as the
+//! bottleneck (§II):
+//!
+//! > "State-of-the-art deep learning frameworks apply per-layer barriers
+//! > between forward and reverse order RNNs. […] these barrier
+//! > synchronization points significantly undermine the parallel
+//! > performance of BRNN workloads."
+//!
+//! This executor submits exactly the same tasks as
+//! [`super::TaskGraphExec`], but inserts a `taskwait` after every layer
+//! stage of the forward pass and every layer stage of the backward pass —
+//! so cells of layer `l+1` can never overlap the tail of layer `l`, and
+//! forward/reverse directions of different layers never pipeline. The
+//! ablation benches compare it directly against barrier-free B-Par on the
+//! same runtime, isolating the cost of the barriers themselves.
+
+use super::builder::RegionAlloc;
+use super::taskgraph::{collect_logits, TaskGraphExec};
+use super::{Executor, ForwardOutput, Target};
+use crate::model::Brnn;
+use crate::optim::Optimizer;
+use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy};
+use bpar_tensor::{Float, Matrix};
+
+/// Task executor with per-layer barriers (framework-style scheduling).
+pub struct BarrierExec {
+    runtime: Runtime,
+    mbs: usize,
+}
+
+impl BarrierExec {
+    /// Barrier executor with `workers` threads and no data parallelism.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(workers, SchedulerPolicy::LocalityAware, 1)
+    }
+
+    /// Full configuration (see [`TaskGraphExec::with_config`]).
+    pub fn with_config(workers: usize, policy: SchedulerPolicy, mbs: usize) -> Self {
+        assert!(mbs >= 1, "mbs must be at least 1");
+        Self {
+            runtime: Runtime::new(RuntimeConfig {
+                workers,
+                policy,
+                record_trace: true,
+            }),
+            mbs,
+        }
+    }
+
+    /// The underlying runtime (task statistics, trace records).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+}
+
+impl<T: Float> Executor<T> for BarrierExec {
+    fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T> {
+        self.runtime.reset();
+        let mut regions = RegionAlloc::default();
+        let (replicas, _) = TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        for l in 0..model.config.layers {
+            for rep in &replicas {
+                rep.submit_forward_layer(&self.runtime, l);
+            }
+            // The per-layer barrier: layer l+1 cells are not even created
+            // until every layer-l cell and merge has completed.
+            self.runtime.taskwait().expect("task panicked");
+        }
+        for rep in &replicas {
+            rep.submit_output(&self.runtime, None);
+        }
+        self.runtime.taskwait().expect("task panicked");
+        collect_logits(model, &replicas)
+    }
+
+    fn train_batch(
+        &self,
+        model: &mut Brnn<T>,
+        batch: &[Matrix<T>],
+        target: &Target,
+        opt: &mut dyn Optimizer<T>,
+    ) -> f64 {
+        self.runtime.reset();
+        let mut regions = RegionAlloc::default();
+        let (replicas, chunks) = TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        let layers = model.config.layers;
+
+        for l in 0..layers {
+            for rep in &replicas {
+                rep.submit_forward_layer(&self.runtime, l);
+            }
+            self.runtime.taskwait().expect("task panicked");
+        }
+        for (rep, &(start, count)) in replicas.iter().zip(&chunks) {
+            let chunk_target = target.row_block(start, count);
+            rep.submit_output(&self.runtime, Some(&chunk_target));
+        }
+        self.runtime.taskwait().expect("task panicked");
+        for l in (0..layers).rev() {
+            for rep in &replicas {
+                rep.submit_backward_layer(&self.runtime, l);
+            }
+            self.runtime.taskwait().expect("task panicked");
+        }
+        for rep in replicas.iter().skip(1) {
+            rep.submit_reduce_into(&self.runtime, &replicas[0]);
+        }
+        self.runtime.taskwait().expect("task panicked");
+
+        let loss = replicas[0].take_loss();
+        let grads = replicas[0].take_grads();
+        model.apply_grads(opt, &grads);
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "barrier"
+    }
+}

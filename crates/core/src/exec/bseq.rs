@@ -1,0 +1,154 @@
+//! B-Seq: the paper's data-parallelism-only baseline (§IV-A).
+//!
+//! > "B-Seq splits batches into mini-batches that are processed in
+//! > parallel. B-Seq only relies on data parallelism and processes each
+//! > minibatch sequentially."
+//!
+//! Each mini-batch becomes **one** coarse task that runs the whole network
+//! sequentially (reusing [`super::SequentialExec`]'s drivers), so at most
+//! `mbs` software threads of parallelism are ever exposed — exactly why
+//! B-Seq stops scaling past `mbs` cores in Fig. 4 while B-Par keeps
+//! scaling through model parallelism.
+
+use super::sequential::SequentialExec;
+use super::taskgraph::row_chunks;
+use super::{check_batch, Executor, ForwardOutput, Target};
+use crate::model::{Brnn, BrnnGrads, ModelKind};
+use crate::optim::Optimizer;
+use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy, TaskSpec};
+use bpar_tensor::{Float, Matrix};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A chunk's training result: weighted loss plus gradients.
+type ChunkResult<T> = Arc<Mutex<Option<(f64, BrnnGrads<T>)>>>;
+
+/// Data-parallel-only executor (B-Seq baseline).
+pub struct BSeqExec {
+    runtime: Runtime,
+    mbs: usize,
+}
+
+impl BSeqExec {
+    /// B-Seq with `workers` threads and `mbs` mini-batches.
+    pub fn new(workers: usize, mbs: usize) -> Self {
+        assert!(mbs >= 1, "mbs must be at least 1");
+        Self {
+            runtime: Runtime::new(RuntimeConfig {
+                workers,
+                policy: SchedulerPolicy::Fifo,
+                record_trace: true,
+            }),
+            mbs,
+        }
+    }
+
+    /// The underlying runtime (task statistics).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+}
+
+impl<T: Float> Executor<T> for BSeqExec {
+    fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T> {
+        let (_, rows) = check_batch(model, batch);
+        self.runtime.reset();
+        let shared = Arc::new(model.clone());
+        let chunks = row_chunks(rows, self.mbs);
+        let outputs: Vec<Arc<Mutex<Option<ForwardOutput<T>>>>> =
+            chunks.iter().map(|_| Arc::new(Mutex::new(None))).collect();
+
+        for (k, &(start, count)) in chunks.iter().enumerate() {
+            let xs: Vec<Matrix<T>> = batch.iter().map(|x| x.row_block(start, count)).collect();
+            let m = shared.clone();
+            let out = outputs[k].clone();
+            self.runtime.submit(
+                TaskSpec::new("bseq_fwd")
+                    .tag(k as u64)
+                    .body(move || {
+                        *out.lock() = Some(SequentialExec::new().forward(&m, &xs));
+                    }),
+            );
+        }
+        self.runtime.taskwait().expect("task panicked");
+
+        let parts: Vec<ForwardOutput<T>> = outputs
+            .iter()
+            .map(|o| o.lock().take().expect("missing chunk output"))
+            .collect();
+        match model.config.kind {
+            ModelKind::ManyToOne => {
+                let refs: Vec<&Matrix<T>> = parts.iter().map(|p| &p.logits).collect();
+                ForwardOutput {
+                    logits: Matrix::vstack(&refs),
+                    seq_logits: Vec::new(),
+                }
+            }
+            ModelKind::ManyToMany => {
+                let seq = parts[0].seq_logits.len();
+                let seq_logits: Vec<Matrix<T>> = (0..seq)
+                    .map(|t| {
+                        let refs: Vec<&Matrix<T>> =
+                            parts.iter().map(|p| &p.seq_logits[t]).collect();
+                        Matrix::vstack(&refs)
+                    })
+                    .collect();
+                ForwardOutput {
+                    logits: seq_logits.last().unwrap().clone(),
+                    seq_logits,
+                }
+            }
+        }
+    }
+
+    fn train_batch(
+        &self,
+        model: &mut Brnn<T>,
+        batch: &[Matrix<T>],
+        target: &Target,
+        opt: &mut dyn Optimizer<T>,
+    ) -> f64 {
+        let (_, rows) = check_batch(model, batch);
+        self.runtime.reset();
+        let shared = Arc::new(model.clone());
+        let chunks = row_chunks(rows, self.mbs);
+        let results: Vec<ChunkResult<T>> =
+            chunks.iter().map(|_| Arc::new(Mutex::new(None))).collect();
+
+        for (k, &(start, count)) in chunks.iter().enumerate() {
+            let xs: Vec<Matrix<T>> = batch.iter().map(|x| x.row_block(start, count)).collect();
+            let chunk_target = target.row_block(start, count);
+            let weight = count as f64 / rows as f64;
+            let m = shared.clone();
+            let out = results[k].clone();
+            self.runtime.submit(
+                TaskSpec::new("bseq_train")
+                    .tag(k as u64)
+                    .body(move || {
+                        let (loss, mut grads) =
+                            SequentialExec::compute_grads(&m, &xs, &chunk_target);
+                        grads.scale(T::from_f64(weight));
+                        *out.lock() = Some((loss * weight, grads));
+                    }),
+            );
+        }
+        self.runtime.taskwait().expect("task panicked");
+
+        let mut total_loss = 0.0;
+        let mut combined: Option<BrnnGrads<T>> = None;
+        for r in &results {
+            let (loss, grads) = r.lock().take().expect("missing chunk result");
+            total_loss += loss;
+            match &mut combined {
+                Some(acc) => acc.add_assign(&grads),
+                None => combined = Some(grads),
+            }
+        }
+        model.apply_grads(opt, &combined.expect("no chunks"));
+        total_loss
+    }
+
+    fn name(&self) -> &'static str {
+        "b-seq"
+    }
+}

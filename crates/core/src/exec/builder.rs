@@ -1,0 +1,672 @@
+//! Task-graph construction shared by the parallel executors.
+//!
+//! A [`ReplicaGraph`] owns all the *slots* (shared data cells, one
+//! dependency region each) for one mini-batch replica of a training batch,
+//! and knows how to submit the forward-cell, reverse-cell, merge, loss and
+//! backward tasks with exactly the `in`/`out` clauses of the paper's
+//! Algorithms 2 and 3. The executors differ only in *when* they call
+//! `taskwait`:
+//!
+//! * [`super::TaskGraphExec`] submits everything and waits once per batch
+//!   (**B-Par**: barrier-free),
+//! * [`super::BarrierExec`] waits after every layer stage (the Keras /
+//!   PyTorch per-layer-barrier discipline).
+//!
+//! Floating-point note: task bodies perform identical kernel calls in an
+//! order whose only reorderings are commutative two-operand additions, so
+//! results are bit-identical to [`super::SequentialExec`].
+
+use crate::cell::{CellCache, CellParams, CellState, StateGrad};
+use crate::dense::DenseParams;
+use crate::loss::softmax_cross_entropy;
+use crate::model::{Brnn, BrnnGrads, LayerPair, ModelKind};
+use bpar_runtime::{RegionId, Runtime, TaskSpec};
+use bpar_tensor::{Float, Matrix};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Hands out fresh region ids for one batch.
+#[derive(Debug, Default)]
+pub(crate) struct RegionAlloc {
+    next: u64,
+}
+
+impl RegionAlloc {
+    pub(crate) fn fresh(&mut self) -> RegionId {
+        let id = RegionId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// A shared data cell guarded by its dependency region.
+///
+/// The runtime's dependency protocol guarantees readers and writers never
+/// overlap, so the `RwLock` is always uncontended; it exists to make the
+/// sharing safe without `unsafe`.
+pub(crate) struct Slot<X> {
+    data: Arc<RwLock<Option<X>>>,
+    /// Dependency region representing this value.
+    pub region: RegionId,
+}
+
+impl<X> Clone for Slot<X> {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            region: self.region,
+        }
+    }
+}
+
+impl<X> Slot<X> {
+    fn new(regions: &mut RegionAlloc) -> Self {
+        Self {
+            data: Arc::new(RwLock::new(None)),
+            region: regions.fresh(),
+        }
+    }
+
+    /// Stores a value (writer side).
+    pub fn put(&self, v: X) {
+        *self.data.write() = Some(v);
+    }
+
+    /// Removes the value (single-consumer reads).
+    pub fn take(&self) -> Option<X> {
+        self.data.write().take()
+    }
+
+    /// Reads the value by reference (multi-consumer reads).
+    pub fn with<R>(&self, f: impl FnOnce(Option<&X>) -> R) -> R {
+        f(self.data.read().as_ref())
+    }
+
+    /// Mutates the value in place, initialising with `init` if absent
+    /// (accumulator slots).
+    pub fn update(&self, init: impl FnOnce() -> X, f: impl FnOnce(&mut X)) {
+        let mut guard = self.data.write();
+        let v = guard.get_or_insert_with(init);
+        f(v);
+    }
+
+    /// Accumulator write: stores `v` if the slot is empty, otherwise folds
+    /// it into the existing value with `add`.
+    pub fn accumulate(&self, v: X, add: impl FnOnce(&mut X, X)) {
+        let mut guard = self.data.write();
+        match guard.as_mut() {
+            Some(acc) => add(acc, v),
+            None => *guard = Some(v),
+        }
+    }
+}
+
+/// A cell's forward output: recurrent state plus the BPTT cache.
+pub(crate) type CellSlot<T> = Slot<(CellState<T>, CellCache<T>)>;
+
+/// All slots and regions for one mini-batch replica.
+pub(crate) struct ReplicaGraph<T: Float> {
+    /// Read-only model snapshot shared by every task.
+    pub model: Arc<Brnn<T>>,
+    /// Input timesteps for this replica (`rows × input_size` each).
+    pub xs: Arc<Vec<Matrix<T>>>,
+    /// Batch rows in this replica.
+    pub rows: usize,
+    /// Loss weight `rows / total_rows` (1.0 when mbs = 1).
+    pub weight: f64,
+    /// Forward-direction cell outputs, `[layer][t]`.
+    pub st_fwd: Vec<Vec<CellSlot<T>>>,
+    /// Reverse-direction cell outputs, `[layer][t]`.
+    pub st_rev: Vec<Vec<CellSlot<T>>>,
+    /// Merge-cell outputs feeding layer `l+1`, `[layer][t]` for `l < L-1`.
+    pub merged: Vec<Vec<Slot<Matrix<T>>>>,
+    /// Classifier features (1 entry for many-to-one, T for many-to-many).
+    pub feat: Vec<Slot<Matrix<T>>>,
+    /// Classifier logits matching `feat`.
+    pub logits: Vec<Slot<Matrix<T>>>,
+    /// Gradients w.r.t. classifier features.
+    pub dfeat: Vec<Slot<Matrix<T>>>,
+    /// Gradients w.r.t. forward-direction hidden outputs, `[layer][t]`.
+    pub dh_fwd: Vec<Vec<Slot<Matrix<T>>>>,
+    /// Gradients w.r.t. reverse-direction hidden outputs, `[layer][t]`.
+    pub dh_rev: Vec<Vec<Slot<Matrix<T>>>>,
+    /// Recurrent state gradients, forward direction, `[layer][t]`.
+    pub sg_fwd: Vec<Vec<Slot<StateGrad<T>>>>,
+    /// Recurrent state gradients, reverse direction, `[layer][t]`.
+    pub sg_rev: Vec<Vec<Slot<StateGrad<T>>>>,
+    /// Gradients w.r.t. each layer's inputs via the forward-direction
+    /// cells, `[layer][t]`. Kept separate from the reverse-direction
+    /// contribution so the two BPTT chains share no output region — a
+    /// shared accumulator would add a WAW edge serialising the directions.
+    pub dinput_f: Vec<Vec<Slot<Matrix<T>>>>,
+    /// Gradients w.r.t. each layer's inputs via the reverse-direction
+    /// cells, `[layer][t]`.
+    pub dinput_r: Vec<Vec<Slot<Matrix<T>>>>,
+    /// Per-layer forward-direction weight-gradient accumulators.
+    pub grads_fwd: Vec<Slot<CellParams<T>>>,
+    /// Per-layer reverse-direction weight-gradient accumulators.
+    pub grads_rev: Vec<Slot<CellParams<T>>>,
+    /// Classifier weight-gradient accumulator.
+    pub grads_dense: Slot<DenseParams<T>>,
+    /// Weighted loss accumulator.
+    pub loss: Slot<f64>,
+}
+
+impl<T: Float> ReplicaGraph<T> {
+    /// Allocates all slots for a replica of `rows` batch rows.
+    pub fn new(
+        model: Arc<Brnn<T>>,
+        xs: Vec<Matrix<T>>,
+        weight: f64,
+        regions: &mut RegionAlloc,
+    ) -> Self {
+        let cfg = model.config;
+        let seq = xs.len();
+        let rows = xs[0].rows();
+        fn grid<X>(layers: usize, seq: usize, regions: &mut RegionAlloc) -> Vec<Vec<Slot<X>>> {
+            (0..layers)
+                .map(|_| (0..seq).map(|_| Slot::new(regions)).collect())
+                .collect()
+        }
+        let n_out = match cfg.kind {
+            ModelKind::ManyToOne => 1,
+            ModelKind::ManyToMany => seq,
+        };
+        Self {
+            xs: Arc::new(xs),
+            rows,
+            weight,
+            st_fwd: grid(cfg.layers, seq, regions),
+            st_rev: grid(cfg.layers, seq, regions),
+            merged: (0..cfg.layers.saturating_sub(1))
+                .map(|_| (0..seq).map(|_| Slot::new(regions)).collect())
+                .collect(),
+            feat: (0..n_out).map(|_| Slot::new(regions)).collect(),
+            logits: (0..n_out).map(|_| Slot::new(regions)).collect(),
+            dfeat: (0..n_out).map(|_| Slot::new(regions)).collect(),
+            dh_fwd: grid(cfg.layers, seq, regions),
+            dh_rev: grid(cfg.layers, seq, regions),
+            sg_fwd: grid(cfg.layers, seq, regions),
+            sg_rev: grid(cfg.layers, seq, regions),
+            dinput_f: grid(cfg.layers, seq, regions),
+            dinput_r: grid(cfg.layers, seq, regions),
+            grads_fwd: (0..cfg.layers).map(|_| Slot::new(regions)).collect(),
+            grads_rev: (0..cfg.layers).map(|_| Slot::new(regions)).collect(),
+            grads_dense: Slot::new(regions),
+            loss: Slot::new(regions),
+            model,
+        }
+    }
+
+    /// Sequence length of this replica.
+    pub fn seq_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Submits all cell and merge tasks of layer `l` (Algorithms 2 and 3:
+    /// forward-order cells, reverse-order cells, merge cells).
+    pub fn submit_forward_layer(&self, rt: &Runtime, l: usize) {
+        let cfg = self.model.config;
+        let seq = self.seq_len();
+        let hidden = cfg.hidden_size;
+        let input_w = cfg.layer_input_size(l);
+        let ws = cfg.cell.forward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+
+        // Forward-order cells: t ascending; each depends on its own t-1
+        // state and (for l > 0) the merge cell below (Algorithm 2).
+        for t in 0..seq {
+            let mut ins: Vec<RegionId> = Vec::with_capacity(2);
+            if t > 0 {
+                ins.push(self.st_fwd[l][t - 1].region);
+            }
+            if l > 0 {
+                ins.push(self.merged[l - 1][t].region);
+            }
+            let out = self.st_fwd[l][t].region;
+            let model = self.model.clone();
+            let xs = self.xs.clone();
+            let prev = (t > 0).then(|| self.st_fwd[l][t - 1].clone());
+            let below = (l > 0).then(|| self.merged[l - 1][t].clone());
+            let dst = self.st_fwd[l][t].clone();
+            let rows = self.rows;
+            rt.submit(
+                TaskSpec::new("cell_fwd")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .ins(ins)
+                    .outs([out])
+                    .working_set(ws)
+                    .body(move || {
+                        let zero;
+                        let prev_state = match &prev {
+                            Some(slot) => slot.with(|v| v.expect("missing t-1 state").0.clone()),
+                            None => {
+                                zero = CellState::zeros(model.config.cell, rows, model.config.hidden_size);
+                                zero
+                            }
+                        };
+                        let result = match &below {
+                            Some(slot) => slot.with(|m| {
+                                model.layers[l].fwd.forward(m.expect("missing merge"), &prev_state)
+                            }),
+                            None => model.layers[l].fwd.forward(&xs[t], &prev_state),
+                        };
+                        dst.put(result);
+                    }),
+            );
+        }
+
+        // Reverse-order cells: created t descending; each depends on its
+        // own t+1 state and the merge cell below (Algorithm 3).
+        for t in (0..seq).rev() {
+            let mut ins: Vec<RegionId> = Vec::with_capacity(2);
+            if t + 1 < seq {
+                ins.push(self.st_rev[l][t + 1].region);
+            }
+            if l > 0 {
+                ins.push(self.merged[l - 1][t].region);
+            }
+            let out = self.st_rev[l][t].region;
+            let model = self.model.clone();
+            let xs = self.xs.clone();
+            let prev = (t + 1 < seq).then(|| self.st_rev[l][t + 1].clone());
+            let below = (l > 0).then(|| self.merged[l - 1][t].clone());
+            let dst = self.st_rev[l][t].clone();
+            let rows = self.rows;
+            rt.submit(
+                TaskSpec::new("cell_rev")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .ins(ins)
+                    .outs([out])
+                    .working_set(ws)
+                    .body(move || {
+                        let zero;
+                        let prev_state = match &prev {
+                            Some(slot) => slot.with(|v| v.expect("missing t+1 state").0.clone()),
+                            None => {
+                                zero = CellState::zeros(model.config.cell, rows, model.config.hidden_size);
+                                zero
+                            }
+                        };
+                        let result = match &below {
+                            Some(slot) => slot.with(|m| {
+                                model.layers[l].rev.forward(m.expect("missing merge"), &prev_state)
+                            }),
+                            None => model.layers[l].rev.forward(&xs[t], &prev_state),
+                        };
+                        dst.put(result);
+                    }),
+            );
+        }
+
+        // Merge cells (all layers except the last, which is handled by
+        // `submit_output`). Kept as separate tasks so forward and reverse
+        // cells never depend on each other (§III-A).
+        if l + 1 < cfg.layers {
+            let merge_ws = 3 * self.rows * cfg.merge.output_width(hidden) * std::mem::size_of::<T>();
+            for t in 0..seq {
+                let f = self.st_fwd[l][t].clone();
+                let r = self.st_rev[l][t].clone();
+                let dst = self.merged[l][t].clone();
+                let mode = cfg.merge;
+                rt.submit(
+                    TaskSpec::new("merge")
+                        .tag(((l as u64) << 32) | t as u64)
+                        .ins([f.region, r.region])
+                        .outs([dst.region])
+                        .working_set(merge_ws)
+                        .body(move || {
+                            let merged = f.with(|fv| {
+                                r.with(|rv| {
+                                    mode.apply(&fv.expect("fwd missing").0.h, &rv.expect("rev missing").0.h)
+                                })
+                            });
+                            dst.put(merged);
+                        }),
+                );
+            }
+        }
+    }
+
+    /// Submits the last layer's merge + classifier tasks. With
+    /// `train = true` also computes the weighted loss and `dfeat`.
+    pub fn submit_output(&self, rt: &Runtime, target: Option<&super::Target>) {
+        let cfg = self.model.config;
+        let seq = self.seq_len();
+        let last = cfg.layers - 1;
+        let positions: Vec<(usize, usize, usize)> = match cfg.kind {
+            // (output index, fwd t, rev t)
+            ModelKind::ManyToOne => vec![(0, seq - 1, 0)],
+            ModelKind::ManyToMany => (0..seq).map(|t| (t, t, t)).collect(),
+        };
+        let inv_outputs = 1.0 / positions.len() as f64;
+
+        for &(i, tf, tr) in &positions {
+            // Final merge task.
+            let f = self.st_fwd[last][tf].clone();
+            let r = self.st_rev[last][tr].clone();
+            let dst = self.feat[i].clone();
+            let mode = cfg.merge;
+            rt.submit(
+                TaskSpec::new("merge_final")
+                    .tag(i as u64)
+                    .ins([f.region, r.region])
+                    .outs([dst.region])
+                    .body(move || {
+                        let merged = f.with(|fv| {
+                            r.with(|rv| mode.apply(&fv.unwrap().0.h, &rv.unwrap().0.h))
+                        });
+                        dst.put(merged);
+                    }),
+            );
+
+            match target {
+                None => {
+                    // Inference: classifier only.
+                    let model = self.model.clone();
+                    let feat = self.feat[i].clone();
+                    let out = self.logits[i].clone();
+                    rt.submit(
+                        TaskSpec::new("dense")
+                            .tag(i as u64)
+                            .ins([feat.region])
+                            .outs([out.region])
+                            .body(move || {
+                                let logits = feat.with(|x| model.dense.forward(x.unwrap()));
+                                out.put(logits);
+                            }),
+                    );
+                }
+                Some(target) => {
+                    // Training: classifier + loss + classifier backward in
+                    // one task (small working set; Eq. (11) merge tasks are
+                    // the paper's analogue of lightweight glue tasks).
+                    let classes: Vec<usize> = match (cfg.kind, target) {
+                        (ModelKind::ManyToOne, super::Target::Classes(c)) => c.clone(),
+                        (ModelKind::ManyToMany, super::Target::SeqClasses(s)) => s[i].clone(),
+                        _ => panic!("target kind does not match model kind"),
+                    };
+                    let model = self.model.clone();
+                    let feat = self.feat[i].clone();
+                    let out = self.logits[i].clone();
+                    let dfeat = self.dfeat[i].clone();
+                    let gdense = self.grads_dense.clone();
+                    let loss_slot = self.loss.clone();
+                    let weight = self.weight;
+                    rt.submit(
+                        TaskSpec::new("loss")
+                            .tag(i as u64)
+                            .ins([feat.region])
+                            .outs([out.region, dfeat.region, gdense.region, loss_slot.region])
+                            .body(move || {
+                                feat.with(|x| {
+                                    let x = x.unwrap();
+                                    let logits = model.dense.forward(x);
+                                    let (l, mut dlogits) = softmax_cross_entropy(&logits, &classes);
+                                    let scale = T::from_f64(weight * inv_outputs);
+                                    bpar_tensor::ops::scale(scale, &mut dlogits);
+                                    gdense.update(
+                                        || model.dense.zeros_like(),
+                                        |g| {
+                                            let dx = model.dense.backward(x, &dlogits, g);
+                                            dfeat.put(dx);
+                                        },
+                                    );
+                                    loss_slot.update(|| 0.0, |acc| *acc += l * weight * inv_outputs);
+                                    out.put(logits);
+                                });
+                            }),
+                    );
+
+                    // Backward seed: split dfeat into the two directions.
+                    let mode = cfg.merge;
+                    let f = self.st_fwd[last][tf].clone();
+                    let r = self.st_rev[last][tr].clone();
+                    let dfeat2 = self.dfeat[i].clone();
+                    let dhf = self.dh_fwd[last][tf].clone();
+                    let dhr = self.dh_rev[last][tr].clone();
+                    rt.submit(
+                        TaskSpec::new("merge_bwd")
+                            .tag(i as u64)
+                            .ins([dfeat2.region, f.region, r.region])
+                            .outs([dhf.region, dhr.region])
+                            .body(move || {
+                                let (df, dr) = dfeat2.with(|d| {
+                                    f.with(|fv| {
+                                        r.with(|rv| {
+                                            mode.backward(
+                                                d.unwrap(),
+                                                &fv.unwrap().0.h,
+                                                &rv.unwrap().0.h,
+                                            )
+                                        })
+                                    })
+                                });
+                                dhf.put(df);
+                                dhr.put(dr);
+                            }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Submits the BPTT tasks of layer `l`: forward-direction backward
+    /// cells (t descending), reverse-direction backward cells (t
+    /// ascending), and — for `l > 0` — the merge-backward tasks that seed
+    /// layer `l-1`.
+    pub fn submit_backward_layer(&self, rt: &Runtime, l: usize) {
+        let cfg = self.model.config;
+        let seq = self.seq_len();
+        let hidden = cfg.hidden_size;
+        let input_w = cfg.layer_input_size(l);
+        let ws = cfg.cell.backward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+
+        // Forward-direction BPTT: gradient flows from t = T-1 down to 0.
+        for t in (0..seq).rev() {
+            let mut ins = vec![self.st_fwd[l][t].region, self.dh_fwd[l][t].region];
+            if t + 1 < seq {
+                ins.push(self.sg_fwd[l][t + 1].region);
+            }
+            let outs = vec![self.sg_fwd[l][t].region, self.dinput_f[l][t].region, self.grads_fwd[l].region];
+            let model = self.model.clone();
+            let st = self.st_fwd[l][t].clone();
+            let dh = self.dh_fwd[l][t].clone();
+            let sg_in = (t + 1 < seq).then(|| self.sg_fwd[l][t + 1].clone());
+            let sg_out = self.sg_fwd[l][t].clone();
+            let dinput = self.dinput_f[l][t].clone();
+            let gacc = self.grads_fwd[l].clone();
+            let rows = self.rows;
+            rt.submit(
+                TaskSpec::new("cell_fwd_bwd")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .ins(ins)
+                    .outs(outs)
+                    .working_set(ws)
+                    .body(move || {
+                        let params = &model.layers[l].fwd;
+                        let dh_val = dh
+                            .take()
+                            .unwrap_or_else(|| Matrix::zeros(rows, model.config.hidden_size));
+                        let sg_val = sg_in.as_ref().and_then(|s| s.take());
+                        st.with(|cached| {
+                            let (_, cache) = cached.expect("missing forward cache");
+                            gacc.update(
+                                || params.zeros_like(),
+                                |g| {
+                                    let (dx, sg_prev) =
+                                        params.backward(cache, &dh_val, sg_val.as_ref(), g);
+                                    dinput.put(dx);
+                                    sg_out.put(sg_prev);
+                                },
+                            );
+                        });
+                    }),
+            );
+        }
+
+        // Reverse-direction BPTT: gradient flows from t = 0 up to T-1.
+        for t in 0..seq {
+            let mut ins = vec![self.st_rev[l][t].region, self.dh_rev[l][t].region];
+            if t > 0 {
+                ins.push(self.sg_rev[l][t - 1].region);
+            }
+            let outs = vec![self.sg_rev[l][t].region, self.dinput_r[l][t].region, self.grads_rev[l].region];
+            let model = self.model.clone();
+            let st = self.st_rev[l][t].clone();
+            let dh = self.dh_rev[l][t].clone();
+            let sg_in = (t > 0).then(|| self.sg_rev[l][t - 1].clone());
+            let sg_out = self.sg_rev[l][t].clone();
+            let dinput = self.dinput_r[l][t].clone();
+            let gacc = self.grads_rev[l].clone();
+            let rows = self.rows;
+            rt.submit(
+                TaskSpec::new("cell_rev_bwd")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .ins(ins)
+                    .outs(outs)
+                    .working_set(ws)
+                    .body(move || {
+                        let params = &model.layers[l].rev;
+                        let dh_val = dh
+                            .take()
+                            .unwrap_or_else(|| Matrix::zeros(rows, model.config.hidden_size));
+                        let sg_val = sg_in.as_ref().and_then(|s| s.take());
+                        st.with(|cached| {
+                            let (_, cache) = cached.expect("missing reverse cache");
+                            gacc.update(
+                                || params.zeros_like(),
+                                |g| {
+                                    let (dx, sg_prev) =
+                                        params.backward(cache, &dh_val, sg_val.as_ref(), g);
+                                    dinput.put(dx);
+                                    sg_out.put(sg_prev);
+                                },
+                            );
+                        });
+                    }),
+            );
+        }
+
+        // Merge-backward tasks seeding layer l-1. The layer-input gradient
+        // is the sum of the two directions' contributions; summing here —
+        // in fwd-then-rev order, matching the sequential reference — keeps
+        // the directions' BPTT chains free of mutual dependencies.
+        if l > 0 {
+            let mode = cfg.merge;
+            for t in 0..seq {
+                let din_f = self.dinput_f[l][t].clone();
+                let din_r = self.dinput_r[l][t].clone();
+                let f = self.st_fwd[l - 1][t].clone();
+                let r = self.st_rev[l - 1][t].clone();
+                let dhf = self.dh_fwd[l - 1][t].clone();
+                let dhr = self.dh_rev[l - 1][t].clone();
+                rt.submit(
+                    TaskSpec::new("merge_bwd")
+                        .tag((((l - 1) as u64) << 32) | t as u64)
+                        .ins([din_f.region, din_r.region, f.region, r.region])
+                        .outs([dhf.region, dhr.region])
+                        .body(move || {
+                            let mut dmerged = din_f.take().expect("missing fwd dinput");
+                            din_r.with(|d| {
+                                bpar_tensor::ops::axpy(
+                                    T::ONE,
+                                    d.expect("missing rev dinput"),
+                                    &mut dmerged,
+                                );
+                            });
+                            let (df, dr) = f.with(|fv| {
+                                r.with(|rv| {
+                                    mode.backward(&dmerged, &fv.unwrap().0.h, &rv.unwrap().0.h)
+                                })
+                            });
+                            dhf.put(df);
+                            dhr.put(dr);
+                        }),
+                );
+            }
+        }
+    }
+
+    /// Collects this replica's accumulated gradients into a [`BrnnGrads`].
+    /// Call only after `taskwait`.
+    pub fn take_grads(&self) -> BrnnGrads<T> {
+        let layers = self
+            .grads_fwd
+            .iter()
+            .zip(&self.grads_rev)
+            .enumerate()
+            .map(|(l, (f, r))| LayerPair {
+                fwd: f
+                    .take()
+                    .unwrap_or_else(|| self.model.layers[l].fwd.zeros_like()),
+                rev: r
+                    .take()
+                    .unwrap_or_else(|| self.model.layers[l].rev.zeros_like()),
+            })
+            .collect();
+        BrnnGrads {
+            layers,
+            dense: self
+                .grads_dense
+                .take()
+                .unwrap_or_else(|| self.model.dense.zeros_like()),
+        }
+    }
+
+    /// The weighted loss this replica accumulated. Call after `taskwait`.
+    pub fn take_loss(&self) -> f64 {
+        self.loss.take().unwrap_or(0.0)
+    }
+
+    /// Submits gradient-reduction tasks adding this replica's gradients
+    /// into `target` (replica 0), one task per accumulator so reductions
+    /// of different layers proceed in parallel (§III-B: "dependencies
+    /// enforce gradient synchronization among model replicas").
+    pub fn submit_reduce_into(&self, rt: &Runtime, target: &ReplicaGraph<T>) {
+        for l in 0..self.model.config.layers {
+            for (mine, theirs, label) in [
+                (&self.grads_fwd[l], &target.grads_fwd[l], "reduce_fwd"),
+                (&self.grads_rev[l], &target.grads_rev[l], "reduce_rev"),
+            ] {
+                let src = mine.clone();
+                let dst = theirs.clone();
+                rt.submit(
+                    TaskSpec::new(label)
+                        .tag(l as u64)
+                        .ins([src.region])
+                        .outs([dst.region])
+                        .body(move || {
+                            if let Some(g) = src.take() {
+                                dst.accumulate(g, |acc, g| acc.add_assign(&g));
+                            }
+                        }),
+                );
+            }
+        }
+        // Classifier gradients and loss.
+        let src = self.grads_dense.clone();
+        let dst = target.grads_dense.clone();
+        rt.submit(
+            TaskSpec::new("reduce_dense")
+                .ins([src.region])
+                .outs([dst.region])
+                .body(move || {
+                    if let Some(g) = src.take() {
+                        dst.accumulate(g, |acc, g| acc.add_assign(&g));
+                    }
+                }),
+        );
+        let src = self.loss.clone();
+        let dst = target.loss.clone();
+        rt.submit(
+            TaskSpec::new("reduce_loss")
+                .ins([src.region])
+                .outs([dst.region])
+                .body(move || {
+                    if let Some(l) = src.take() {
+                        dst.accumulate(l, |acc, l| *acc += l);
+                    }
+                }),
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Interchangeable BRNN executors.
+//!
+//! Every executor computes *exactly the same* forward and backward pass
+//! over a [`Brnn`] model — they differ only in how the work is scheduled:
+//!
+//! | Executor | Parallelism | Barriers | Paper role |
+//! |---|---|---|---|
+//! | [`SequentialExec`] | none | n/a | reference semantics |
+//! | [`TaskGraphExec`] | model + data | **none** | **B-Par** |
+//! | [`BarrierExec`] | model + data | per layer | Keras/PyTorch discipline |
+//! | [`BSeqExec`] | data only | batch end | B-Seq baseline |
+//!
+//! Because all executors run the same kernels in the same floating-point
+//! order, their outputs are expected to match bit-for-bit — the paper's
+//! claim that task-based orchestration "does not produce any accuracy loss
+//! compared to a sequential execution" (§III), which the integration tests
+//! verify.
+
+mod barrier;
+mod bseq;
+pub(crate) mod builder;
+mod sequential;
+mod taskgraph;
+
+pub use barrier::BarrierExec;
+pub use bseq::BSeqExec;
+pub use sequential::SequentialExec;
+pub use taskgraph::TaskGraphExec;
+
+pub(crate) use taskgraph::row_chunks as row_chunks_pub;
+
+use crate::model::Brnn;
+use crate::optim::Optimizer;
+use bpar_tensor::{Float, Matrix};
+
+/// Training targets.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Many-to-one: one class per batch row.
+    Classes(Vec<usize>),
+    /// Many-to-many: per timestep, one class per batch row
+    /// (`targets[t][row]`).
+    SeqClasses(Vec<Vec<usize>>),
+}
+
+impl Target {
+    /// Slices the targets to batch rows `[start, start + count)` —
+    /// used by mini-batch data parallelism.
+    pub fn row_block(&self, start: usize, count: usize) -> Target {
+        match self {
+            Target::Classes(c) => Target::Classes(c[start..start + count].to_vec()),
+            Target::SeqClasses(s) => Target::SeqClasses(
+                s.iter().map(|c| c[start..start + count].to_vec()).collect(),
+            ),
+        }
+    }
+}
+
+/// Result of a forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardOutput<T: Float> {
+    /// Many-to-one logits (`batch × classes`). For many-to-many models this
+    /// holds the *last* timestep's logits for convenience.
+    pub logits: Matrix<T>,
+    /// Many-to-many per-timestep logits (empty for many-to-one).
+    pub seq_logits: Vec<Matrix<T>>,
+}
+
+/// A strategy for running BRNN inference and training batches.
+pub trait Executor<T: Float> {
+    /// Inference: forward pass only.
+    ///
+    /// `batch` is one matrix of `batch_rows × input_size` per timestep.
+    fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T>;
+
+    /// One training step: forward, backward, gradient update.
+    /// Returns the mean loss of the batch.
+    fn train_batch(
+        &self,
+        model: &mut Brnn<T>,
+        batch: &[Matrix<T>],
+        target: &Target,
+        opt: &mut dyn Optimizer<T>,
+    ) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Validates that a batch is well-formed for the model; returns
+/// `(timesteps, batch_rows)`.
+pub(crate) fn check_batch<T: Float>(model: &Brnn<T>, batch: &[Matrix<T>]) -> (usize, usize) {
+    assert!(!batch.is_empty(), "empty batch");
+    let rows = batch[0].rows();
+    for (t, x) in batch.iter().enumerate() {
+        assert_eq!(
+            x.shape(),
+            (rows, model.config.input_size),
+            "timestep {t} has inconsistent shape"
+        );
+    }
+    (batch.len(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_row_block_slices_classes() {
+        let t = Target::Classes(vec![1, 2, 3, 4]);
+        match t.row_block(1, 2) {
+            Target::Classes(c) => assert_eq!(c, vec![2, 3]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn target_row_block_slices_seq() {
+        let t = Target::SeqClasses(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        match t.row_block(0, 2) {
+            Target::SeqClasses(s) => assert_eq!(s, vec![vec![1, 2], vec![4, 5]]),
+            _ => panic!(),
+        }
+    }
+}

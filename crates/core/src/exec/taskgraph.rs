@@ -1,0 +1,228 @@
+//! The B-Par executor: barrier-free task-graph execution.
+//!
+//! Every RNN cell update, merge, classifier/loss evaluation, backward cell
+//! update and gradient reduction is one task with explicit `in`/`out`
+//! dependency clauses. The entire training batch — forward propagation,
+//! backward propagation, and mini-batch gradient reduction — is submitted
+//! as **one dependency graph** with a single `taskwait` at the end; no
+//! barrier ever separates network layers or directions (§III).
+//!
+//! With `mbs > 1` the batch is split into `mbs` mini-batches processed as
+//! independent replicas of the graph whose gradients are combined by
+//! dedicated reduction tasks (§III-B data parallelism). `mbs = 1` is pure
+//! model parallelism and produces bit-identical results to
+//! [`super::SequentialExec`].
+
+use super::builder::{RegionAlloc, ReplicaGraph};
+use super::{check_batch, Executor, ForwardOutput, Target};
+use crate::model::{Brnn, ModelKind};
+use crate::optim::Optimizer;
+use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy};
+use bpar_tensor::{Float, Matrix};
+use std::sync::Arc;
+
+/// Barrier-free task-graph executor (B-Par).
+pub struct TaskGraphExec {
+    runtime: Runtime,
+    mbs: usize,
+}
+
+impl TaskGraphExec {
+    /// B-Par with `workers` worker threads (`0` = available parallelism),
+    /// the locality-aware scheduler, and no data parallelism (`mbs = 1`).
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(workers, SchedulerPolicy::LocalityAware, 1)
+    }
+
+    /// Full configuration: worker count, scheduling policy, and the number
+    /// of mini-batch replicas (`mbs:N` in the paper's figures).
+    pub fn with_config(workers: usize, policy: SchedulerPolicy, mbs: usize) -> Self {
+        assert!(mbs >= 1, "mbs must be at least 1");
+        Self {
+            runtime: Runtime::new(RuntimeConfig {
+                workers,
+                policy,
+                record_trace: true,
+            }),
+            mbs,
+        }
+    }
+
+    /// The underlying runtime (task statistics, trace records).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Number of mini-batch replicas.
+    pub fn mbs(&self) -> usize {
+        self.mbs
+    }
+
+    /// Splits a batch row-wise into up to `mbs` non-empty chunks and
+    /// builds one replica graph per chunk.
+    pub(crate) fn make_replicas<T: Float>(
+        mbs: usize,
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        regions: &mut RegionAlloc,
+    ) -> (Vec<ReplicaGraph<T>>, Vec<(usize, usize)>) {
+        let (_, rows) = check_batch(model, batch);
+        let shared = Arc::new(model.clone());
+        let chunks = row_chunks(rows, mbs);
+        let replicas = chunks
+            .iter()
+            .map(|&(start, count)| {
+                let xs: Vec<Matrix<T>> =
+                    batch.iter().map(|x| x.row_block(start, count)).collect();
+                ReplicaGraph::new(shared.clone(), xs, count as f64 / rows as f64, regions)
+            })
+            .collect();
+        (replicas, chunks)
+    }
+}
+
+/// Row ranges `(start, count)` splitting `rows` into at most `mbs` chunks.
+pub(crate) fn row_chunks(rows: usize, mbs: usize) -> Vec<(usize, usize)> {
+    let n = mbs.min(rows).max(1);
+    let base = rows / n;
+    let rem = rows % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let count = base + usize::from(i < rem);
+        out.push((start, count));
+        start += count;
+    }
+    out
+}
+
+impl<T: Float> Executor<T> for TaskGraphExec {
+    fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T> {
+        self.runtime.reset();
+        let mut regions = RegionAlloc::default();
+        let (replicas, _) = Self::make_replicas(self.mbs, model, batch, &mut regions);
+        for rep in &replicas {
+            for l in 0..model.config.layers {
+                rep.submit_forward_layer(&self.runtime, l);
+            }
+            rep.submit_output(&self.runtime, None);
+        }
+        self.runtime.taskwait().expect("task panicked");
+
+        collect_logits(model, &replicas)
+    }
+
+    fn train_batch(
+        &self,
+        model: &mut Brnn<T>,
+        batch: &[Matrix<T>],
+        target: &Target,
+        opt: &mut dyn Optimizer<T>,
+    ) -> f64 {
+        self.runtime.reset();
+        let mut regions = RegionAlloc::default();
+        let (replicas, chunks) = Self::make_replicas(self.mbs, model, batch, &mut regions);
+        let layers = model.config.layers;
+
+        // The entire batch — forward, loss, backward, reduction — is one
+        // graph; the runtime starts running layer-0 cells while deeper
+        // layers are still being submitted.
+        for (rep, &(start, count)) in replicas.iter().zip(&chunks) {
+            let chunk_target = target.row_block(start, count);
+            for l in 0..layers {
+                rep.submit_forward_layer(&self.runtime, l);
+            }
+            rep.submit_output(&self.runtime, Some(&chunk_target));
+            for l in (0..layers).rev() {
+                rep.submit_backward_layer(&self.runtime, l);
+            }
+        }
+        for rep in replicas.iter().skip(1) {
+            rep.submit_reduce_into(&self.runtime, &replicas[0]);
+        }
+        self.runtime.taskwait().expect("task panicked");
+
+        let loss = replicas[0].take_loss();
+        let grads = replicas[0].take_grads();
+        model.apply_grads(opt, &grads);
+        loss
+    }
+
+    fn name(&self) -> &'static str {
+        "b-par"
+    }
+}
+
+/// Reassembles per-replica logits into full-batch outputs.
+pub(crate) fn collect_logits<T: Float>(
+    model: &Brnn<T>,
+    replicas: &[ReplicaGraph<T>],
+) -> ForwardOutput<T> {
+    match model.config.kind {
+        ModelKind::ManyToOne => {
+            let parts: Vec<Matrix<T>> = replicas
+                .iter()
+                .map(|r| r.logits[0].take().expect("missing logits"))
+                .collect();
+            let refs: Vec<&Matrix<T>> = parts.iter().collect();
+            ForwardOutput {
+                logits: Matrix::vstack(&refs),
+                seq_logits: Vec::new(),
+            }
+        }
+        ModelKind::ManyToMany => {
+            let seq = replicas[0].logits.len();
+            let mut seq_logits = Vec::with_capacity(seq);
+            for t in 0..seq {
+                let parts: Vec<Matrix<T>> = replicas
+                    .iter()
+                    .map(|r| r.logits[t].take().expect("missing logits"))
+                    .collect();
+                let refs: Vec<&Matrix<T>> = parts.iter().collect();
+                seq_logits.push(Matrix::vstack(&refs));
+            }
+            ForwardOutput {
+                logits: seq_logits.last().unwrap().clone(),
+                seq_logits,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_chunks_cover_everything() {
+        for rows in [1usize, 2, 7, 16, 100] {
+            for mbs in [1usize, 2, 3, 8, 200] {
+                let chunks = row_chunks(rows, mbs);
+                assert!(!chunks.is_empty());
+                let total: usize = chunks.iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, rows, "rows {rows} mbs {mbs}");
+                // Contiguous, non-empty.
+                let mut pos = 0;
+                for &(start, count) in &chunks {
+                    assert_eq!(start, pos);
+                    assert!(count > 0);
+                    pos += count;
+                }
+                assert!(chunks.len() <= mbs.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let chunks = row_chunks(10, 4);
+        let sizes: Vec<usize> = chunks.iter().map(|&(_, c)| c).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mbs must be at least 1")]
+    fn zero_mbs_rejected() {
+        TaskGraphExec::with_config(1, SchedulerPolicy::Fifo, 0);
+    }
+}

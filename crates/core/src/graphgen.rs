@@ -1,0 +1,799 @@
+//! Static task-graph generation for the multi-core simulator.
+//!
+//! [`build_graph`] emits the *same* dependency structure the live
+//! executors submit (see [`crate::exec`]), but as a
+//! [`bpar_runtime::TaskGraph`] value annotated with per-task flop counts
+//! and working-set sizes instead of executable closures. `bpar-sim`
+//! replays these graphs on simulated machines with 1–48 cores to reproduce
+//! the paper's scaling figures, and the graph-shape tests check the
+//! 3-layer/seq-3 instance against the paper's Fig. 2 cell-by-cell.
+//!
+//! Setting [`GraphSpec::barriers`] inserts explicit per-layer barrier
+//! nodes, turning the B-Par graph into the Keras/PyTorch-style schedule —
+//! that single flag is the paper's central ablation. Per §II, frameworks
+//! "apply per-layer barriers **between forward and reverse order RNNs**:
+//! each layer sequentially performs either forward or reverse order RNN
+//! computations for each timestamp, and then merges" — so the barriered
+//! graph (a) runs the reverse direction only after the whole forward
+//! direction of the layer, and (b) starts layer `l+1` only after every
+//! merge of layer `l`. Removing exactly those two constraints is what
+//! B-Par contributes.
+
+use crate::model::{BrnnConfig, ModelKind};
+use bpar_runtime::graph::{TaskGraph, TaskNode};
+use bpar_runtime::RegionId;
+
+/// What part of a training step the graph covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// Forward propagation only (inference).
+    Inference,
+    /// Forward + loss + backward + gradient reduction (one training batch).
+    #[default]
+    Training,
+}
+
+/// Parameters of a generated graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Model hyper-parameters (cell kind, dims, merge, arity).
+    pub config: BrnnConfig,
+    /// Total batch rows.
+    pub batch_rows: usize,
+    /// Mini-batch replicas (`mbs:N`). Rows are split evenly.
+    pub mbs: usize,
+    /// Inference or full training step.
+    pub phase: Phase,
+    /// Insert per-layer barrier nodes (framework-style execution).
+    pub barriers: bool,
+    /// Ablation: fuse each merge into the consuming forward-order cell of
+    /// the next layer instead of keeping it as a separate task. This is
+    /// what B-Par deliberately avoids (§III-A): the fused cell then
+    /// depends on *both* directions of the layer below, coupling them.
+    pub fuse_merges: bool,
+    /// Ablation: split every cell update into two finer tasks (the fused
+    /// GEMM and the element-wise gate tail) to probe task granularity —
+    /// twice the tasks, twice the scheduling overhead, same work.
+    pub split_cells: bool,
+}
+
+impl GraphSpec {
+    /// Training graph of a model on a full batch, barrier-free (B-Par).
+    pub fn training(config: BrnnConfig, batch_rows: usize) -> Self {
+        Self {
+            config,
+            batch_rows,
+            mbs: 1,
+            phase: Phase::Training,
+            barriers: false,
+            fuse_merges: false,
+            split_cells: false,
+        }
+    }
+
+    /// Inference graph.
+    pub fn inference(config: BrnnConfig, batch_rows: usize) -> Self {
+        Self {
+            phase: Phase::Inference,
+            ..Self::training(config, batch_rows)
+        }
+    }
+
+    /// Same spec with `mbs` replicas.
+    pub fn with_mbs(mut self, mbs: usize) -> Self {
+        assert!(mbs >= 1);
+        self.mbs = mbs;
+        self
+    }
+
+    /// Same spec with per-layer barriers.
+    pub fn with_barriers(mut self, barriers: bool) -> Self {
+        self.barriers = barriers;
+        self
+    }
+
+    /// Same spec with merges fused into consuming cells (ablation).
+    pub fn with_fused_merges(mut self, fuse: bool) -> Self {
+        self.fuse_merges = fuse;
+        self
+    }
+
+    /// Same spec with gate-split cell tasks (granularity ablation).
+    pub fn with_split_cells(mut self, split: bool) -> Self {
+        self.split_cells = split;
+        self
+    }
+}
+
+/// Region-id grid for one replica (mirrors `exec::builder::ReplicaGraph`).
+struct Regions {
+    st_fwd: Vec<Vec<RegionId>>,
+    st_rev: Vec<Vec<RegionId>>,
+    merged: Vec<Vec<RegionId>>,
+    feat: Vec<RegionId>,
+    dfeat: Vec<RegionId>,
+    dh_fwd: Vec<Vec<RegionId>>,
+    dh_rev: Vec<Vec<RegionId>>,
+    sg_fwd: Vec<Vec<RegionId>>,
+    sg_rev: Vec<Vec<RegionId>>,
+    dinput_f: Vec<Vec<RegionId>>,
+    dinput_r: Vec<Vec<RegionId>>,
+    /// Intermediate GEMM outputs for the split-cell granularity ablation.
+    gemm_f: Vec<Vec<RegionId>>,
+    gemm_r: Vec<Vec<RegionId>>,
+    grads_fwd: Vec<RegionId>,
+    grads_rev: Vec<RegionId>,
+    grads_dense: RegionId,
+    loss: RegionId,
+    /// Per-layer barrier between the forward and reverse directions
+    /// (forward pass).
+    b_dir: Vec<RegionId>,
+    /// Per-layer barrier after all merges (forward pass).
+    b_layer: Vec<RegionId>,
+    /// Per-layer direction barrier (backward pass).
+    b_bdir: Vec<RegionId>,
+    /// Per-layer end barrier (backward pass).
+    b_blayer: Vec<RegionId>,
+}
+
+impl Regions {
+    fn new(cfg: &BrnnConfig, seq: usize, next: &mut u64) -> Self {
+        let mut fresh = || {
+            let id = RegionId(*next);
+            *next += 1;
+            id
+        };
+        let grid = |fresh: &mut dyn FnMut() -> RegionId| -> Vec<Vec<RegionId>> {
+            (0..cfg.layers)
+                .map(|_| (0..seq).map(|_| fresh()).collect())
+                .collect()
+        };
+        let n_out = match cfg.kind {
+            ModelKind::ManyToOne => 1,
+            ModelKind::ManyToMany => seq,
+        };
+        Self {
+            st_fwd: grid(&mut fresh),
+            st_rev: grid(&mut fresh),
+            merged: (0..cfg.layers.saturating_sub(1))
+                .map(|_| (0..seq).map(|_| fresh()).collect())
+                .collect(),
+            feat: (0..n_out).map(|_| fresh()).collect(),
+            dfeat: (0..n_out).map(|_| fresh()).collect(),
+            dh_fwd: grid(&mut fresh),
+            dh_rev: grid(&mut fresh),
+            sg_fwd: grid(&mut fresh),
+            sg_rev: grid(&mut fresh),
+            dinput_f: grid(&mut fresh),
+            dinput_r: grid(&mut fresh),
+            gemm_f: grid(&mut fresh),
+            gemm_r: grid(&mut fresh),
+            grads_fwd: (0..cfg.layers).map(|_| fresh()).collect(),
+            grads_rev: (0..cfg.layers).map(|_| fresh()).collect(),
+            grads_dense: fresh(),
+            loss: fresh(),
+            b_dir: (0..cfg.layers).map(|_| fresh()).collect(),
+            b_layer: (0..cfg.layers).map(|_| fresh()).collect(),
+            b_bdir: (0..cfg.layers).map(|_| fresh()).collect(),
+            b_blayer: (0..cfg.layers).map(|_| fresh()).collect(),
+        }
+    }
+}
+
+/// Builds the annotated task graph for `spec`.
+pub fn build_graph(spec: &GraphSpec) -> TaskGraph {
+    let cfg = spec.config;
+    cfg.validate().expect("invalid config");
+    assert!(
+        !(spec.barriers && spec.fuse_merges),
+        "barrier and merge-fusion ablations are mutually exclusive"
+    );
+    let mut g = TaskGraph::new();
+    let mut next_region = 0u64;
+    let scalar = 4; // cost model assumes f32, like the paper's kernels
+    let chunks = crate::exec::row_chunks_pub(spec.batch_rows, spec.mbs);
+
+    let mut replica_regions = Vec::with_capacity(chunks.len());
+    for &(_, rows) in &chunks {
+        let r = Regions::new(&cfg, cfg.seq_len, &mut next_region);
+        build_replica(&mut g, spec, rows, &r, scalar);
+        replica_regions.push(r);
+    }
+
+    // Gradient reductions into replica 0.
+    if spec.phase == Phase::Training && chunks.len() > 1 {
+        let target = &replica_regions[0];
+        for rep in replica_regions.iter().skip(1) {
+            for l in 0..cfg.layers {
+                g.add_task(
+                    TaskNode::new("reduce_fwd").tag(l as u64).flops(grad_size(&cfg, l) as u64),
+                    &[rep.grads_fwd[l]],
+                    &[target.grads_fwd[l]],
+                );
+                g.add_task(
+                    TaskNode::new("reduce_rev").tag(l as u64).flops(grad_size(&cfg, l) as u64),
+                    &[rep.grads_rev[l]],
+                    &[target.grads_rev[l]],
+                );
+            }
+            g.add_task(
+                TaskNode::new("reduce_dense"),
+                &[rep.grads_dense],
+                &[target.grads_dense],
+            );
+            g.add_task(TaskNode::new("reduce_loss"), &[rep.loss], &[target.loss]);
+        }
+    }
+
+    g
+}
+
+/// Scalar parameter count of one layer/direction (reduce-task cost).
+fn grad_size(cfg: &BrnnConfig, l: usize) -> usize {
+    cfg.cell.params(cfg.layer_input_size(l), cfg.hidden_size)
+}
+
+/// Adds one cell update, optionally split into a GEMM task and an
+/// element-wise tail task (the granularity ablation).
+#[allow(clippy::too_many_arguments)]
+fn add_cell(
+    g: &mut TaskGraph,
+    spec: &GraphSpec,
+    label: &'static str,
+    tag: u64,
+    flops: u64,
+    ws: usize,
+    rows: usize,
+    hidden: usize,
+    ins: &[RegionId],
+    gemm_region: RegionId,
+    out: RegionId,
+) {
+    if spec.split_cells {
+        // Split: the fused GEMM keeps the bulk of the flops and the full
+        // working set; the gate tail is element-wise over the hidden
+        // state.
+        let tail = (12 * rows * hidden) as u64;
+        let head = flops.saturating_sub(tail);
+        let head_label: &'static str = match label {
+            "cell_fwd" => "cell_fwd_gemm",
+            "cell_rev" => "cell_rev_gemm",
+            _ => "cell_gemm",
+        };
+        let tail_label: &'static str = match label {
+            "cell_fwd" => "cell_fwd_pt",
+            "cell_rev" => "cell_rev_pt",
+            _ => "cell_pt",
+        };
+        g.add_task(
+            TaskNode::new(head_label).tag(tag).flops(head).working_set(ws),
+            ins,
+            &[gemm_region],
+        );
+        g.add_task(
+            TaskNode::new(tail_label)
+                .tag(tag)
+                .flops(tail)
+                .working_set(5 * rows * hidden * 4),
+            &[gemm_region],
+            &[out],
+        );
+    } else {
+        g.add_task(
+            TaskNode::new(label).tag(tag).flops(flops).working_set(ws),
+            ins,
+            &[out],
+        );
+    }
+}
+
+fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, scalar: usize) {
+    let cfg = spec.config;
+    let seq = cfg.seq_len;
+    let hidden = cfg.hidden_size;
+    let last = cfg.layers - 1;
+
+    // ---- Forward propagation ----
+    for l in 0..cfg.layers {
+        let input_w = cfg.layer_input_size(l);
+        let flops = cfg.cell.forward_flops(rows, input_w, hidden);
+        let ws = cfg.cell.forward_working_set(rows, input_w, hidden, scalar);
+
+        for t in 0..seq {
+            let mut ins = Vec::with_capacity(3);
+            if t > 0 {
+                ins.push(r.st_fwd[l][t - 1]);
+            }
+            if l > 0 {
+                if spec.fuse_merges {
+                    // Fused merge: the cell consumes both directions of
+                    // the layer below directly (what §III-A avoids).
+                    ins.push(r.st_fwd[l - 1][t]);
+                    ins.push(r.st_rev[l - 1][t]);
+                } else {
+                    ins.push(r.merged[l - 1][t]);
+                }
+                if spec.barriers {
+                    ins.push(r.b_layer[l - 1]);
+                }
+            }
+            let extra = if spec.fuse_merges && l > 0 {
+                cfg.merge.flops(rows, hidden)
+            } else {
+                0
+            };
+            add_cell(
+                g,
+                spec,
+                "cell_fwd",
+                ((l as u64) << 32) | t as u64,
+                flops + extra,
+                ws,
+                rows,
+                hidden,
+                &ins,
+                r.gemm_f[l][t],
+                r.st_fwd[l][t],
+            );
+        }
+        if spec.barriers {
+            // Framework discipline: the reverse direction starts only
+            // after the entire forward direction of the layer.
+            let ins: Vec<RegionId> = (0..seq).map(|t| r.st_fwd[l][t]).collect();
+            g.add_task(TaskNode::new("barrier").tag(l as u64), &ins, &[r.b_dir[l]]);
+        }
+        for t in (0..seq).rev() {
+            let mut ins = Vec::with_capacity(3);
+            if t + 1 < seq {
+                ins.push(r.st_rev[l][t + 1]);
+            }
+            if l > 0 {
+                if spec.fuse_merges {
+                    ins.push(r.st_fwd[l - 1][t]);
+                    ins.push(r.st_rev[l - 1][t]);
+                } else {
+                    ins.push(r.merged[l - 1][t]);
+                }
+            }
+            if spec.barriers {
+                ins.push(r.b_dir[l]);
+            }
+            let extra = if spec.fuse_merges && l > 0 {
+                cfg.merge.flops(rows, hidden)
+            } else {
+                0
+            };
+            add_cell(
+                g,
+                spec,
+                "cell_rev",
+                ((l as u64) << 32) | t as u64,
+                flops + extra,
+                ws,
+                rows,
+                hidden,
+                &ins,
+                r.gemm_r[l][t],
+                r.st_rev[l][t],
+            );
+        }
+        if l < last && !spec.fuse_merges {
+            let merge_ws = 3 * rows * cfg.merge.output_width(hidden) * scalar;
+            for t in 0..seq {
+                g.add_task(
+                    TaskNode::new("merge")
+                        .tag(((l as u64) << 32) | t as u64)
+                        .flops(cfg.merge.flops(rows, hidden))
+                        .working_set(merge_ws),
+                    &[r.st_fwd[l][t], r.st_rev[l][t]],
+                    &[r.merged[l][t]],
+                );
+            }
+            if spec.barriers {
+                // Layer barrier: layer l+1 starts only after every merge.
+                let ins: Vec<RegionId> = (0..seq).map(|t| r.merged[l][t]).collect();
+                g.add_task(TaskNode::new("barrier").tag(100 + l as u64), &ins, &[r.b_layer[l]]);
+            }
+        }
+    }
+
+    // ---- Output stage ----
+    let positions: Vec<(usize, usize, usize)> = match cfg.kind {
+        ModelKind::ManyToOne => vec![(0, seq - 1, 0)],
+        ModelKind::ManyToMany => (0..seq).map(|t| (t, t, t)).collect(),
+    };
+    let dense_in = cfg.classifier_input_size();
+    let dense_flops = (2 * rows * dense_in * cfg.output_size) as u64;
+    for &(i, tf, tr) in &positions {
+        g.add_task(
+            TaskNode::new("merge_final")
+                .tag(i as u64)
+                .flops(cfg.merge.flops(rows, hidden))
+                .working_set(3 * rows * dense_in * scalar),
+            &[r.st_fwd[last][tf], r.st_rev[last][tr]],
+            &[r.feat[i]],
+        );
+        match spec.phase {
+            Phase::Inference => {
+                g.add_task(
+                    TaskNode::new("dense").tag(i as u64).flops(dense_flops),
+                    &[r.feat[i]],
+                    &[r.dfeat[i]], // logits slot; reuse dfeat region
+                );
+            }
+            Phase::Training => {
+                g.add_task(
+                    TaskNode::new("loss").tag(i as u64).flops(3 * dense_flops),
+                    &[r.feat[i]],
+                    &[r.dfeat[i], r.grads_dense, r.loss],
+                );
+                g.add_task(
+                    TaskNode::new("merge_bwd")
+                        .tag(i as u64)
+                        .flops(cfg.merge.flops(rows, hidden)),
+                    &[r.dfeat[i], r.st_fwd[last][tf], r.st_rev[last][tr]],
+                    &[r.dh_fwd[last][tf], r.dh_rev[last][tr]],
+                );
+            }
+        }
+    }
+    if spec.phase == Phase::Inference {
+        return;
+    }
+
+    // ---- Backward propagation ----
+    for l in (0..cfg.layers).rev() {
+        let input_w = cfg.layer_input_size(l);
+        let flops = cfg.cell.backward_flops(rows, input_w, hidden);
+        let ws = cfg.cell.backward_working_set(rows, input_w, hidden, scalar);
+
+        for t in (0..seq).rev() {
+            let mut ins = vec![r.st_fwd[l][t], r.dh_fwd[l][t]];
+            if t + 1 < seq {
+                ins.push(r.sg_fwd[l][t + 1]);
+            }
+            if spec.barriers && l < last {
+                ins.push(r.b_blayer[l + 1]);
+            }
+            g.add_task(
+                TaskNode::new("cell_fwd_bwd")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .flops(flops)
+                    .working_set(ws),
+                &ins,
+                &[r.sg_fwd[l][t], r.dinput_f[l][t], r.grads_fwd[l]],
+            );
+        }
+        if spec.barriers {
+            // Framework discipline mirrored in BPTT: the reverse
+            // direction's backward starts after the forward direction's.
+            let ins: Vec<RegionId> = (0..seq).map(|t| r.sg_fwd[l][t]).collect();
+            g.add_task(TaskNode::new("barrier").tag(200 + l as u64), &ins, &[r.b_bdir[l]]);
+        }
+        for t in 0..seq {
+            let mut ins = vec![r.st_rev[l][t], r.dh_rev[l][t]];
+            if t > 0 {
+                ins.push(r.sg_rev[l][t - 1]);
+            }
+            if spec.barriers {
+                ins.push(r.b_bdir[l]);
+            }
+            g.add_task(
+                TaskNode::new("cell_rev_bwd")
+                    .tag(((l as u64) << 32) | t as u64)
+                    .flops(flops)
+                    .working_set(ws),
+                &ins,
+                &[r.sg_rev[l][t], r.dinput_r[l][t], r.grads_rev[l]],
+            );
+        }
+        if l > 0 {
+            for t in 0..seq {
+                g.add_task(
+                    TaskNode::new("merge_bwd")
+                        .tag((((l - 1) as u64) << 32) | t as u64)
+                        .flops(cfg.merge.flops(rows, hidden)),
+                    &[
+                        r.dinput_f[l][t],
+                        r.dinput_r[l][t],
+                        r.st_fwd[l - 1][t],
+                        r.st_rev[l - 1][t],
+                    ],
+                    &[r.dh_fwd[l - 1][t], r.dh_rev[l - 1][t]],
+                );
+            }
+        }
+        if spec.barriers {
+            let ins: Vec<RegionId> = if l > 0 {
+                (0..seq)
+                    .flat_map(|t| [r.dh_fwd[l - 1][t], r.dh_rev[l - 1][t]])
+                    .collect()
+            } else {
+                (0..seq).map(|t| r.sg_rev[l][t]).collect()
+            };
+            g.add_task(
+                TaskNode::new("barrier").tag(300 + l as u64),
+                &ins,
+                &[r.b_blayer[l]],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::merge::MergeMode;
+
+    /// The paper's Fig. 1/2 example: 3 layers, sequence length 3.
+    fn fig2_config() -> BrnnConfig {
+        BrnnConfig {
+            cell: CellKind::Lstm,
+            input_size: 4,
+            hidden_size: 4,
+            layers: 3,
+            seq_len: 3,
+            output_size: 2,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        }
+    }
+
+    #[test]
+    fn fig2_forward_task_counts() {
+        let g = build_graph(&GraphSpec::inference(fig2_config(), 2));
+        // 9 forward cells (1f..9f), 9 reverse cells (1r..9r),
+        // 6 merge cells (layers 0 and 1, 3 timesteps each),
+        // 1 final merge (9f9r), 1 dense.
+        assert_eq!(g.count_label("cell_fwd"), 9);
+        assert_eq!(g.count_label("cell_rev"), 9);
+        assert_eq!(g.count_label("merge"), 6);
+        assert_eq!(g.count_label("merge_final"), 1);
+        assert_eq!(g.count_label("dense"), 1);
+        assert_eq!(g.len(), 26);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fig2_training_has_mirrored_backward() {
+        let g = build_graph(&GraphSpec::training(fig2_config(), 2));
+        assert_eq!(g.count_label("cell_fwd_bwd"), 9);
+        assert_eq!(g.count_label("cell_rev_bwd"), 9);
+        // merge_bwd: 1 final + 6 inner (layers 1 and 2 feeding below).
+        assert_eq!(g.count_label("merge_bwd"), 7);
+        assert_eq!(g.count_label("loss"), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fig2_dependency_arrows() {
+        // Check specific arrows from Fig. 1: the merge of (1f, 3r) feeds
+        // forward cell 4f (layer 1, t 0) and reverse cell 6r (layer 1, t 0).
+        let g = build_graph(&GraphSpec::inference(fig2_config(), 2));
+        // Task creation order: layer 0 fwd cells are ids 0,1,2; rev cells
+        // created t descending are ids 3 (t=2), 4 (t=1), 5 (t=0); merges
+        // t ascending are 6,7,8. Layer 1 fwd: 9,10,11; rev: 12,13,14.
+        let merge_l0_t0 = 6;
+        assert_eq!(g.node(merge_l0_t0).label, "merge");
+        // merge(l0,t0) reads 1f (id 0) and 3r (id 5: rev cell processing t=0).
+        assert_eq!(g.preds(merge_l0_t0), &[0, 5]);
+        // Its successors are 4f (layer-1 fwd t=0, id 9) and the layer-1
+        // reverse cell for t=0 (id 14, created last in descending order).
+        let succs = g.succs(merge_l0_t0);
+        assert!(succs.contains(&9), "merge should feed layer-1 fwd t0: {succs:?}");
+        assert!(succs.contains(&14), "merge should feed layer-1 rev t0: {succs:?}");
+    }
+
+    #[test]
+    fn forward_cells_chain_within_direction() {
+        let g = build_graph(&GraphSpec::inference(fig2_config(), 2));
+        // 2f (id 1) depends on 1f (id 0); 3f (id 2) on 2f.
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.preds(2), &[1]);
+        // Reverse chain: id 4 (t=1) depends on id 3 (t=2).
+        assert_eq!(g.preds(4), &[3]);
+        assert_eq!(g.preds(5), &[4]);
+    }
+
+    #[test]
+    fn many_to_many_output_counts() {
+        let cfg = BrnnConfig {
+            kind: ModelKind::ManyToMany,
+            ..fig2_config()
+        };
+        let g = build_graph(&GraphSpec::training(cfg, 2));
+        assert_eq!(g.count_label("merge_final"), 3);
+        assert_eq!(g.count_label("loss"), 3);
+        // merge_bwd: 3 final + 6 inner.
+        assert_eq!(g.count_label("merge_bwd"), 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn barriers_add_nodes_and_reduce_width() {
+        let spec = GraphSpec::training(fig2_config(), 2);
+        let free = build_graph(&spec);
+        let barred = build_graph(&spec.with_barriers(true));
+        assert!(barred.count_label("barrier") > 0);
+        assert_eq!(free.count_label("barrier"), 0);
+        // Barrier-free exposes at least as much parallelism.
+        assert!(free.max_width() >= barred.max_width());
+        // And its critical path (unit costs) is no longer.
+        let cp_free = free.critical_path(|n| n.flops as f64);
+        let cp_barred = barred.critical_path(|n| n.flops as f64);
+        assert!(cp_free <= cp_barred + 1e-9);
+        barred.validate().unwrap();
+    }
+
+    #[test]
+    fn mbs_replicas_multiply_tasks_and_add_reductions() {
+        let spec = GraphSpec::training(fig2_config(), 8).with_mbs(2);
+        let g = build_graph(&spec);
+        assert_eq!(g.count_label("cell_fwd"), 18); // 9 per replica
+        assert_eq!(g.count_label("reduce_fwd"), 3); // one per layer
+        assert_eq!(g.count_label("reduce_dense"), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn replicas_are_independent_until_reduction() {
+        // With 2 replicas the max width should roughly double.
+        let spec1 = GraphSpec::training(fig2_config(), 8);
+        let spec2 = spec1.with_mbs(2);
+        let w1 = build_graph(&spec1).max_width();
+        let w2 = build_graph(&spec2).max_width();
+        assert!(w2 >= 2 * w1 - 2, "w1={w1} w2={w2}");
+    }
+
+    #[test]
+    fn flops_annotations_scale_with_rows() {
+        let small = build_graph(&GraphSpec::training(fig2_config(), 2));
+        let large = build_graph(&GraphSpec::training(fig2_config(), 4));
+        let f = |g: &bpar_runtime::TaskGraph| g.total_work(|n| n.flops as f64);
+        assert!((f(&large) / f(&small) - 2.0).abs() < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::merge::MergeMode;
+
+    fn cfg() -> BrnnConfig {
+        BrnnConfig {
+            cell: CellKind::Lstm,
+            input_size: 4,
+            hidden_size: 4,
+            layers: 3,
+            seq_len: 3,
+            output_size: 2,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        }
+    }
+
+    #[test]
+    fn fused_merges_remove_merge_tasks_and_couple_directions() {
+        let free = build_graph(&GraphSpec::inference(cfg(), 2));
+        let fused = build_graph(&GraphSpec::inference(cfg(), 2).with_fused_merges(true));
+        assert_eq!(free.count_label("merge"), 6);
+        assert_eq!(fused.count_label("merge"), 0);
+        fused.validate().unwrap();
+        // The fused graph has fewer tasks but no wider (same critical
+        // structure with the directions coupled at layer boundaries).
+        assert!(fused.len() < free.len());
+        // Layer-1 forward cell at t=0 now has three preds: its own t-1 (none
+        // at t=0), fwd below and rev below.
+        // Task ids: layer-0 fwd 0..3, rev 3..6; layer-1 fwd starts at 6.
+        assert_eq!(fused.preds(6), &[0, 5]);
+    }
+
+    #[test]
+    fn split_cells_double_cell_tasks_preserving_work() {
+        let whole = build_graph(&GraphSpec::training(cfg(), 2));
+        let split = build_graph(&GraphSpec::training(cfg(), 2).with_split_cells(true));
+        split.validate().unwrap();
+        assert_eq!(split.count_label("cell_fwd"), 0);
+        assert_eq!(
+            split.count_label("cell_fwd_gemm"),
+            whole.count_label("cell_fwd")
+        );
+        assert_eq!(
+            split.count_label("cell_fwd_pt"),
+            whole.count_label("cell_fwd")
+        );
+        // Total flops preserved (forward cells only differ in partitioning).
+        let f = |g: &TaskGraph| g.total_work(|n| n.flops as f64);
+        assert!((f(&split) / f(&whole) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn barriers_and_fusion_conflict() {
+        build_graph(
+            &GraphSpec::training(cfg(), 2)
+                .with_barriers(true)
+                .with_fused_merges(true),
+        );
+    }
+}
+
+#[cfg(test)]
+mod fig2_backward_tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::merge::MergeMode;
+
+    /// Fig. 2's red (backward-propagation) arrows for the 3-layer, seq-3
+    /// many-to-one model: the backward graph starts from the final merge
+    /// (cell "9f9r") and mirrors the forward dependencies.
+    #[test]
+    fn backward_graph_mirrors_forward() {
+        let cfg = BrnnConfig {
+            cell: CellKind::Lstm,
+            input_size: 4,
+            hidden_size: 4,
+            layers: 3,
+            seq_len: 3,
+            output_size: 2,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        };
+        let g = build_graph(&GraphSpec::training(cfg, 2));
+        // Locate key tasks by label and tag.
+        let find = |label: &str, tag: u64| -> usize {
+            (0..g.len())
+                .find(|&i| g.node(i).label == label && g.node(i).tag == tag)
+                .unwrap_or_else(|| panic!("no {label} with tag {tag}"))
+        };
+        let tag = |l: u64, t: u64| (l << 32) | t;
+
+        // The loss reads the final merge; the backward seed reads the loss
+        // output (dfeat) and writes the dh slots of the top layer's last
+        // forward cell and first reverse cell.
+        let merge_final = find("merge_final", 0);
+        let loss = find("loss", 0);
+        assert!(g.succs(merge_final).contains(&loss));
+
+        // Top-layer forward BPTT starts at t = T-1 (cell 9f) and chains
+        // backward in time: bwd(2, 1) depends on bwd(2, 2) through the
+        // recurrent state gradient.
+        let b22 = find("cell_fwd_bwd", tag(2, 2));
+        let b21 = find("cell_fwd_bwd", tag(2, 1));
+        assert!(g.preds(b21).contains(&b22), "BPTT chain must run t descending");
+
+        // Reverse-direction BPTT runs t ascending.
+        let r20 = find("cell_rev_bwd", tag(2, 0));
+        let r21 = find("cell_rev_bwd", tag(2, 1));
+        assert!(g.preds(r21).contains(&r20));
+
+        // The inner merge_bwd for layer 1, t 0 consumes both directions'
+        // dinput of layer 2 at t 0 and feeds both directions of layer 1.
+        let mb = find("merge_bwd", tag(1, 0));
+        let b20 = find("cell_fwd_bwd", tag(2, 0));
+        let r20b = find("cell_rev_bwd", tag(2, 0));
+        assert!(g.preds(mb).contains(&b20));
+        assert!(g.preds(mb).contains(&r20b));
+        let b10 = find("cell_fwd_bwd", tag(1, 0));
+        let r10 = find("cell_rev_bwd", tag(1, 0));
+        assert!(g.succs(mb).contains(&b10));
+        assert!(g.succs(mb).contains(&r10));
+
+        // Weight-gradient accumulators serialize each direction's BPTT
+        // chain but never couple the two directions: no cell_rev_bwd ever
+        // depends on a cell_fwd_bwd of the same layer directly.
+        for i in 0..g.len() {
+            if g.node(i).label == "cell_rev_bwd" {
+                for &p in g.preds(i) {
+                    assert_ne!(
+                        g.node(p).label,
+                        "cell_fwd_bwd",
+                        "directions' BPTT chains must stay independent"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Model checkpointing: save/load a trained [`Brnn`] to a compact binary
+//! format.
+//!
+//! The format is self-describing and versioned:
+//!
+//! ```text
+//! magic "BPAR" | version u32 | cell u8 | merge u8 | kind u8 |
+//! input u32 | hidden u32 | layers u32 | seq u32 | output u32 |
+//! (rows u32 | cols u32 | data f64-LE ×rows·cols) per parameter matrix
+//! ```
+//!
+//! Values are stored as `f64` regardless of the model's scalar type, so
+//! `f32` models round-trip bit-exactly and checkpoints are
+//! precision-portable.
+
+use crate::cell::CellKind;
+use crate::merge::MergeMode;
+use crate::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_tensor::{Float, Matrix};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BPAR";
+const VERSION: u32 = 1;
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a B-Par checkpoint, or an incompatible version.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn cell_code(k: CellKind) -> u8 {
+    match k {
+        CellKind::Lstm => 0,
+        CellKind::Gru => 1,
+        CellKind::Vanilla => 2,
+    }
+}
+
+fn cell_from(code: u8) -> Result<CellKind, CheckpointError> {
+    Ok(match code {
+        0 => CellKind::Lstm,
+        1 => CellKind::Gru,
+        2 => CellKind::Vanilla,
+        c => return Err(CheckpointError::Format(format!("unknown cell code {c}"))),
+    })
+}
+
+fn merge_code(m: MergeMode) -> u8 {
+    match m {
+        MergeMode::Sum => 0,
+        MergeMode::Avg => 1,
+        MergeMode::Mul => 2,
+        MergeMode::Concat => 3,
+    }
+}
+
+fn merge_from(code: u8) -> Result<MergeMode, CheckpointError> {
+    Ok(match code {
+        0 => MergeMode::Sum,
+        1 => MergeMode::Avg,
+        2 => MergeMode::Mul,
+        3 => MergeMode::Concat,
+        c => return Err(CheckpointError::Format(format!("unknown merge code {c}"))),
+    })
+}
+
+fn kind_code(k: ModelKind) -> u8 {
+    match k {
+        ModelKind::ManyToOne => 0,
+        ModelKind::ManyToMany => 1,
+    }
+}
+
+fn kind_from(code: u8) -> Result<ModelKind, CheckpointError> {
+    Ok(match code {
+        0 => ModelKind::ManyToOne,
+        1 => ModelKind::ManyToMany,
+        c => return Err(CheckpointError::Format(format!("unknown kind code {c}"))),
+    })
+}
+
+fn write_matrix<T: Float>(w: &mut impl Write, m: &Matrix<T>) -> std::io::Result<()> {
+    w.write_all(&(m.rows() as u32).to_le_bytes())?;
+    w.write_all(&(m.cols() as u32).to_le_bytes())?;
+    for &v in m.as_slice() {
+        w.write_all(&v.to_f64().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix<T: Float>(
+    r: &mut impl Read,
+    expect: (usize, usize),
+) -> Result<Matrix<T>, CheckpointError> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    if (rows, cols) != expect {
+        return Err(CheckpointError::Format(format!(
+            "matrix shape {rows}x{cols} does not match model shape {}x{}",
+            expect.0, expect.1
+        )));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut buf = [0u8; 8];
+    for _ in 0..rows * cols {
+        r.read_exact(&mut buf)?;
+        data.push(T::from_f64(f64::from_le_bytes(buf)));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Walks every parameter matrix of a model in the stable checkpoint
+/// order, letting `f` read or replace it.
+fn visit_matrices<T: Float>(
+    model: &mut Brnn<T>,
+    f: &mut impl FnMut(&mut Matrix<T>) -> Result<(), CheckpointError>,
+) -> Result<(), CheckpointError> {
+    use crate::cell::CellParams;
+    for lp in &mut model.layers {
+        for params in [&mut lp.fwd, &mut lp.rev] {
+            match params {
+                CellParams::Lstm(p) => {
+                    f(&mut p.w)?;
+                    f(&mut p.b)?;
+                }
+                CellParams::Gru(p) => {
+                    f(&mut p.wzr)?;
+                    f(&mut p.bzr)?;
+                    f(&mut p.wh)?;
+                    f(&mut p.bh)?;
+                }
+                CellParams::Vanilla(p) => {
+                    f(&mut p.w)?;
+                    f(&mut p.b)?;
+                }
+            }
+        }
+    }
+    f(&mut model.dense.w)?;
+    f(&mut model.dense.b)?;
+    Ok(())
+}
+
+/// Serialises a model into `writer`.
+pub fn save<T: Float>(model: &Brnn<T>, writer: &mut impl Write) -> Result<(), CheckpointError> {
+    let cfg = &model.config;
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&[cell_code(cfg.cell), merge_code(cfg.merge), kind_code(cfg.kind)])?;
+    for v in [
+        cfg.input_size,
+        cfg.hidden_size,
+        cfg.layers,
+        cfg.seq_len,
+        cfg.output_size,
+    ] {
+        writer.write_all(&(v as u32).to_le_bytes())?;
+    }
+    let mut model = model.clone();
+    visit_matrices(&mut model, &mut |m| {
+        write_matrix(writer, m)?;
+        Ok(())
+    })
+}
+
+/// Deserialises a model from `reader`.
+pub fn load<T: Float>(reader: &mut impl Read) -> Result<Brnn<T>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("not a B-Par checkpoint".into()));
+    }
+    let version = read_u32(reader)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let mut codes = [0u8; 3];
+    reader.read_exact(&mut codes)?;
+    let config = BrnnConfig {
+        cell: cell_from(codes[0])?,
+        merge: merge_from(codes[1])?,
+        kind: kind_from(codes[2])?,
+        input_size: read_u32(reader)? as usize,
+        hidden_size: read_u32(reader)? as usize,
+        layers: read_u32(reader)? as usize,
+        seq_len: read_u32(reader)? as usize,
+        output_size: read_u32(reader)? as usize,
+    };
+    config
+        .validate()
+        .map_err(CheckpointError::Format)?;
+    let mut model: Brnn<T> = Brnn::new(config, 0);
+    visit_matrices(&mut model, &mut |m| {
+        *m = read_matrix(reader, m.shape())?;
+        Ok(())
+    })?;
+    Ok(model)
+}
+
+/// Saves a model to `path`.
+pub fn save_file<T: Float>(model: &Brnn<T>, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(model, &mut f)
+}
+
+/// Loads a model from `path`.
+pub fn load_file<T: Float>(path: impl AsRef<Path>) -> Result<Brnn<T>, CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Float>(cell: CellKind) -> (Brnn<T>, Brnn<T>) {
+        let cfg = BrnnConfig {
+            cell,
+            input_size: 5,
+            hidden_size: 7,
+            layers: 2,
+            seq_len: 4,
+            output_size: 3,
+            merge: MergeMode::Concat,
+            kind: ModelKind::ManyToMany,
+        };
+        let model: Brnn<T> = Brnn::new(cfg, 99);
+        let mut buf = Vec::new();
+        save(&model, &mut buf).unwrap();
+        let back: Brnn<T> = load(&mut buf.as_slice()).unwrap();
+        (model, back)
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact_for_all_cells() {
+        for cell in [CellKind::Lstm, CellKind::Gru, CellKind::Vanilla] {
+            let (a, b) = roundtrip::<f64>(cell);
+            assert_eq!(a.max_param_diff(&b), 0.0, "{cell:?}");
+            assert_eq!(a.config, b.config);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact() {
+        let (a, b) = roundtrip::<f32>(CellKind::Lstm);
+        assert_eq!(a.max_param_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn cross_precision_load() {
+        // Save as f64, load as f32: values truncate but shapes hold.
+        let (a, _) = roundtrip::<f64>(CellKind::Gru);
+        let mut buf = Vec::new();
+        save(&a, &mut buf).unwrap();
+        let b: Brnn<f32> = load(&mut buf.as_slice()).unwrap();
+        assert!(a.config == b.config);
+        assert!(b.param_count() == a.param_count());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let mut data: &[u8] = b"definitely not a checkpoint";
+        let err = load::<f32>(&mut data).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let (a, _) = roundtrip::<f64>(CellKind::Lstm);
+        let mut buf = Vec::new();
+        save(&a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = load::<f64>(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bpar_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bpar");
+        let (a, _) = roundtrip::<f32>(CellKind::Lstm);
+        save_file(&a, &path).unwrap();
+        let b: Brnn<f32> = load_file(&path).unwrap();
+        assert_eq!(a.max_param_diff(&b), 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loaded_model_predicts_identically() {
+        use crate::exec::{Executor, SequentialExec};
+        let (a, b) = roundtrip::<f64>(CellKind::Lstm);
+        let xs: Vec<_> = (0..4)
+            .map(|t| bpar_tensor::init::uniform(3, 5, -1.0, 1.0, t as u64))
+            .collect();
+        let exec = SequentialExec::new();
+        let oa = exec.forward(&a, &xs);
+        let ob = exec.forward(&b, &xs);
+        for t in 0..4 {
+            assert_eq!(oa.seq_logits[t].max_abs_diff(&ob.seq_logits[t]), 0.0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Loss functions.
+//!
+//! Both evaluation tasks of the paper are classification problems — digit
+//! recognition (TIDIGITS) and next-character prediction (Wikipedia) — so
+//! the primary loss is softmax cross-entropy. MSE is provided for
+//! regression-style examples.
+
+use bpar_tensor::activation::softmax_rows;
+use bpar_tensor::{Float, Matrix};
+
+/// Softmax cross-entropy over class-index targets.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` is the gradient of the
+/// *mean* loss w.r.t. the raw logits — the well-known `(softmax - onehot)/B`
+/// shortcut of fusing softmax with cross-entropy.
+///
+/// # Panics
+/// Panics if `targets.len() != logits.rows()` or a target is out of range.
+pub fn softmax_cross_entropy<T: Float>(logits: &Matrix<T>, targets: &[usize]) -> (f64, Matrix<T>) {
+    let (batch, classes) = logits.shape();
+    assert_eq!(targets.len(), batch, "one target per batch row");
+    let mut probs = logits.clone();
+    softmax_rows(&mut probs);
+
+    let mut loss = 0.0f64;
+    let inv_b = T::from_f64(1.0 / batch as f64);
+    let mut dlogits = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let p = probs.get(r, t).to_f64().max(1e-30);
+        loss -= p.ln();
+        let v = dlogits.get(r, t);
+        dlogits.set(r, t, v - T::ONE);
+    }
+    for v in dlogits.as_mut_slice() {
+        *v *= inv_b;
+    }
+    (loss / batch as f64, dlogits)
+}
+
+/// Prediction accuracy: fraction of rows whose argmax equals the target.
+pub fn accuracy<T: Float>(logits: &Matrix<T>, targets: &[usize]) -> f64 {
+    assert_eq!(targets.len(), logits.rows());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        let row = logits.row(r);
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    correct as f64 / targets.len() as f64
+}
+
+/// Mean squared error. Returns `(mean_loss, dpred)`.
+pub fn mse<T: Float>(pred: &Matrix<T>, target: &Matrix<T>) -> (f64, Matrix<T>) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f64;
+    let mut dpred = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    let scale = T::from_f64(2.0 / n);
+    for ((d, &p), &t) in dpred
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let diff = p - t;
+        loss += diff.to_f64() * diff.to_f64();
+        *d = diff * scale;
+    }
+    (loss / n, dpred)
+}
+
+/// Perplexity from a mean cross-entropy (natural log) value.
+pub fn perplexity(mean_ce: f64) -> f64 {
+    mean_ce.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_tensor::init;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits: Matrix<f64> = Matrix::zeros(4, 8);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (8.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_has_tiny_loss() {
+        let mut logits: Matrix<f64> = Matrix::zeros(2, 3);
+        logits.set(0, 1, 50.0);
+        logits.set(1, 2, 50.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = init::uniform::<f64>(3, 4, -1.0, 1.0, 1);
+        let targets = [2usize, 0, 3];
+        let (_, d) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-6;
+        for &(r, c) in &[(0, 0), (0, 2), (1, 1), (2, 3)] {
+            let mut lp = logits.clone();
+            lp.set(r, c, logits.get(r, c) + eps);
+            let (a, _) = softmax_cross_entropy(&lp, &targets);
+            lp.set(r, c, logits.get(r, c) - eps);
+            let (b, _) = softmax_cross_entropy(&lp, &targets);
+            let fd = (a - b) / (2.0 * eps);
+            assert!((d.get(r, c) - fd).abs() < 1e-6, "dlogits[{r},{c}]");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Softmax-CE gradient per row sums to zero (probabilities sum to 1).
+        let logits = init::uniform::<f64>(5, 7, -2.0, 2.0, 9);
+        let (_, d) = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for r in 0..5 {
+            let s: f64 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let mut logits: Matrix<f32> = Matrix::zeros(3, 2);
+        logits.set(0, 1, 1.0); // predicts 1, target 1 ✓
+        logits.set(1, 0, 1.0); // predicts 0, target 1 ✗
+        logits.set(2, 0, 1.0); // predicts 0, target 0 ✓
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_and_gradient() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0f64, 3.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0f64, 5.0]);
+        let (loss, d) = mse(&pred, &target);
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        assert!((d.get(0, 0) - 1.0).abs() < 1e-12); // 2*(1-0)/2
+        assert!((d.get(0, 1) + 2.0).abs() < 1e-12); // 2*(3-5)/2
+    }
+
+    #[test]
+    fn perplexity_of_zero_loss_is_one() {
+        assert_eq!(perplexity(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let logits: Matrix<f64> = Matrix::zeros(1, 2);
+        softmax_cross_entropy(&logits, &[5]);
+    }
+}

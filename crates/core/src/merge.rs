@@ -1,0 +1,191 @@
+//! Merge cells: Equation (11), `y_t = merge(H_t, H̄_t)`.
+//!
+//! A merge cell combines the outputs of the forward-order and reverse-order
+//! cells that processed the same input position. B-Par deliberately keeps
+//! merges as *separate tasks* so forward and reverse cells of the same
+//! layer never depend on each other directly (§III-A) — that separation is
+//! what lets both directions run in parallel.
+
+use bpar_tensor::{Float, Matrix};
+
+/// How forward and reverse outputs are combined (Eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeMode {
+    /// Element-wise sum (keeps width `H`; the mode that matches the
+    /// parameter counts of Tables III/IV).
+    #[default]
+    Sum,
+    /// Element-wise average.
+    Avg,
+    /// Element-wise product.
+    Mul,
+    /// Feature concatenation (width `2H`).
+    Concat,
+}
+
+impl MergeMode {
+    /// Output width for inputs of width `hidden`.
+    pub fn output_width(self, hidden: usize) -> usize {
+        match self {
+            MergeMode::Concat => 2 * hidden,
+            _ => hidden,
+        }
+    }
+
+    /// Forward merge: combines `fwd` and `rev` (both `batch × hidden`).
+    pub fn apply<T: Float>(self, fwd: &Matrix<T>, rev: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(fwd.shape(), rev.shape(), "merge operand shapes differ");
+        match self {
+            MergeMode::Sum => {
+                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
+                bpar_tensor::ops::add(fwd, rev, &mut out);
+                out
+            }
+            MergeMode::Avg => {
+                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
+                bpar_tensor::ops::add(fwd, rev, &mut out);
+                bpar_tensor::ops::scale(T::from_f64(0.5), &mut out);
+                out
+            }
+            MergeMode::Mul => {
+                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
+                bpar_tensor::ops::hadamard(fwd, rev, &mut out);
+                out
+            }
+            MergeMode::Concat => Matrix::hstack(&[fwd, rev]),
+        }
+    }
+
+    /// Backward merge: splits the gradient w.r.t. the merged output into
+    /// gradients w.r.t. the forward and reverse operands.
+    ///
+    /// For [`MergeMode::Mul`] the original operands are required.
+    pub fn backward<T: Float>(
+        self,
+        dmerged: &Matrix<T>,
+        fwd: &Matrix<T>,
+        rev: &Matrix<T>,
+    ) -> (Matrix<T>, Matrix<T>) {
+        match self {
+            MergeMode::Sum => (dmerged.clone(), dmerged.clone()),
+            MergeMode::Avg => {
+                let mut d = dmerged.clone();
+                bpar_tensor::ops::scale(T::from_f64(0.5), &mut d);
+                (d.clone(), d)
+            }
+            MergeMode::Mul => {
+                let mut dfwd = Matrix::zeros(fwd.rows(), fwd.cols());
+                bpar_tensor::ops::hadamard(dmerged, rev, &mut dfwd);
+                let mut drev = Matrix::zeros(rev.rows(), rev.cols());
+                bpar_tensor::ops::hadamard(dmerged, fwd, &mut drev);
+                (dfwd, drev)
+            }
+            MergeMode::Concat => {
+                let h = fwd.cols();
+                assert_eq!(dmerged.cols(), 2 * h, "concat gradient width");
+                let parts = bpar_tensor::ops::split_cols(dmerged, 2);
+                let mut it = parts.into_iter();
+                (it.next().unwrap(), it.next().unwrap())
+            }
+        }
+    }
+
+    /// Flop count of one merge task on a `b × h` pair (cost-model input).
+    pub fn flops(self, b: usize, h: usize) -> u64 {
+        match self {
+            MergeMode::Concat => 0, // pure data movement
+            MergeMode::Avg => 2 * (b * h) as u64,
+            _ => (b * h) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_tensor::init;
+
+    fn pair() -> (Matrix<f64>, Matrix<f64>) {
+        (
+            init::uniform(3, 4, -1.0, 1.0, 1),
+            init::uniform(3, 4, -1.0, 1.0, 2),
+        )
+    }
+
+    #[test]
+    fn sum_merge() {
+        let (f, r) = pair();
+        let m = MergeMode::Sum.apply(&f, &r);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((m.get(i, j) - (f.get(i, j) + r.get(i, j))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_is_half_sum() {
+        let (f, r) = pair();
+        let s = MergeMode::Sum.apply(&f, &r);
+        let a = MergeMode::Avg.apply(&f, &r);
+        let mut half = s.clone();
+        bpar_tensor::ops::scale(0.5, &mut half);
+        assert!(a.max_abs_diff(&half) < 1e-12);
+    }
+
+    #[test]
+    fn concat_widths() {
+        let (f, r) = pair();
+        let c = MergeMode::Concat.apply(&f, &r);
+        assert_eq!(c.shape(), (3, 8));
+        assert_eq!(MergeMode::Concat.output_width(4), 8);
+        assert_eq!(MergeMode::Sum.output_width(4), 4);
+    }
+
+    #[test]
+    fn backward_finite_difference_all_modes() {
+        let (f, r) = pair();
+        let sens = init::uniform(3, 8, -1.0, 1.0, 3); // wide enough for concat
+        let eps = 1e-6;
+        for mode in [MergeMode::Sum, MergeMode::Avg, MergeMode::Mul, MergeMode::Concat] {
+            let width = mode.output_width(4);
+            let s = sens.row_block(0, 3);
+            let s = Matrix::from_fn(3, width, |i, j| s.get(i, j));
+            let loss = |f: &Matrix<f64>, r: &Matrix<f64>| -> f64 {
+                bpar_tensor::ops::dot(&s, &mode.apply(f, r))
+            };
+            let (dfwd, drev) = mode.backward(&s, &f, &r);
+            for &(i, j) in &[(0usize, 0usize), (1, 2), (2, 3)] {
+                let mut fp = f.clone();
+                fp.set(i, j, f.get(i, j) + eps);
+                let lp = loss(&fp, &r);
+                fp.set(i, j, f.get(i, j) - eps);
+                let lm = loss(&fp, &r);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((dfwd.get(i, j) - fd).abs() < 1e-6, "{mode:?} dfwd[{i},{j}]");
+
+                let mut rp = r.clone();
+                rp.set(i, j, r.get(i, j) + eps);
+                let lp = loss(&f, &rp);
+                rp.set(i, j, r.get(i, j) - eps);
+                let lm = loss(&f, &rp);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!((drev.get(i, j) - fd).abs() < 1e-6, "{mode:?} drev[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn flops_are_zero_for_concat() {
+        assert_eq!(MergeMode::Concat.flops(8, 16), 0);
+        assert!(MergeMode::Sum.flops(8, 16) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn mismatched_operands_panic() {
+        let f = Matrix::<f64>::zeros(2, 3);
+        let r = Matrix::<f64>::zeros(2, 4);
+        MergeMode::Sum.apply(&f, &r);
+    }
+}

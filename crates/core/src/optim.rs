@@ -1,0 +1,373 @@
+//! Optimizers: SGD, SGD with momentum, and Adam.
+//!
+//! Optimizers are agnostic of model structure: the model walks its
+//! parameter/gradient matrix pairs in a stable order and calls
+//! [`Optimizer::update`] with a stable slot index, under which stateful
+//! optimizers keep their per-tensor buffers.
+
+use bpar_tensor::{Float, Matrix};
+
+/// A first-order optimizer updating one parameter matrix at a time.
+pub trait Optimizer<T: Float>: Send {
+    /// Applies one update to `param` given `grad`. `slot` is a stable index
+    /// identifying this parameter tensor across steps.
+    fn update(&mut self, slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>);
+
+    /// Advances the step counter (call once per batch, after all slots).
+    fn end_step(&mut self) {}
+}
+
+/// Plain stochastic gradient descent: `p -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+}
+
+impl<T: Float> Optimizer<T> for Sgd {
+    fn update(&mut self, _slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>) {
+        bpar_tensor::ops::axpy(T::from_f64(-self.lr), grad, param);
+    }
+}
+
+/// SGD with classical momentum: `v = µv + g; p -= lr * v`.
+#[derive(Debug)]
+pub struct Momentum<T: Float> {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient µ.
+    pub mu: f64,
+    velocity: Vec<Option<Matrix<T>>>,
+}
+
+impl<T: Float> Momentum<T> {
+    /// Momentum optimizer with the given rate and coefficient.
+    pub fn new(lr: f64, mu: f64) -> Self {
+        Self {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl<T: Float> Optimizer<T> for Momentum<T> {
+    fn update(&mut self, slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>) {
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        let v = self.velocity[slot]
+            .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+        let mu = T::from_f64(self.mu);
+        for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *vv = mu.mul_add(*vv, g);
+        }
+        bpar_tensor::ops::axpy(T::from_f64(-self.lr), v, param);
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam<T: Float> {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability constant ε.
+    pub eps: f64,
+    step: u64,
+    moments: Vec<Option<(Matrix<T>, Matrix<T>)>>,
+}
+
+impl<T: Float> Adam<T> {
+    /// Adam with standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 1,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl<T: Float> Optimizer<T> for Adam<T> {
+    fn update(&mut self, slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>) {
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        let (m, v) = self.moments[slot].get_or_insert_with(|| {
+            (
+                Matrix::zeros(grad.rows(), grad.cols()),
+                Matrix::zeros(grad.rows(), grad.cols()),
+            )
+        });
+        let b1 = T::from_f64(self.beta1);
+        let b2 = T::from_f64(self.beta2);
+        let one_minus_b1 = T::from_f64(1.0 - self.beta1);
+        let one_minus_b2 = T::from_f64(1.0 - self.beta2);
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let lr = T::from_f64(self.lr * bc2.sqrt() / bc1);
+        let eps = T::from_f64(self.eps);
+        for ((p, (mm, vv)), &g) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            .zip(grad.as_slice())
+        {
+            *mm = b1 * *mm + one_minus_b1 * g;
+            *vv = b2 * *vv + one_minus_b2 * g * g;
+            *p -= lr * *mm / (vv.sqrt() + eps);
+        }
+    }
+
+    fn end_step(&mut self) {
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descend<O: Optimizer<f64>>(mut opt: O, steps: usize) -> f64 {
+        // Minimise f(p) = p² starting from p = 1; grad = 2p.
+        let mut p = Matrix::from_vec(1, 1, vec![1.0f64]);
+        for _ in 0..steps {
+            let g = Matrix::from_vec(1, 1, vec![2.0 * p.get(0, 0)]);
+            opt.update(0, &mut p, &g);
+            opt.end_step();
+        }
+        p.get(0, 0).abs()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        assert!(quadratic_descend(Sgd::new(0.1), 50) < 1e-4);
+    }
+
+    #[test]
+    fn momentum_descends_quadratic() {
+        assert!(quadratic_descend(Momentum::new(0.05, 0.9), 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        assert!(quadratic_descend(Adam::new(0.1), 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_update_is_exact() {
+        let mut opt = Sgd::new(0.5);
+        let mut p = Matrix::from_vec(1, 2, vec![1.0f64, 2.0]);
+        let g = Matrix::from_vec(1, 2, vec![0.2f64, -0.4]);
+        Optimizer::<f64>::update(&mut opt, 0, &mut p, &g);
+        assert!((p.get(0, 0) - 0.9).abs() < 1e-12);
+        assert!((p.get(0, 1) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = Momentum::new(1.0, 1.0); // pure accumulation
+        let mut p = Matrix::from_vec(1, 1, vec![0.0f64]);
+        let g = Matrix::from_vec(1, 1, vec![1.0f64]);
+        opt.update(0, &mut p, &g); // v=1, p=-1
+        opt.update(0, &mut p, &g); // v=2, p=-3
+        assert!((p.get(0, 0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut opt = Momentum::new(1.0, 1.0);
+        let mut p0 = Matrix::from_vec(1, 1, vec![0.0f64]);
+        let mut p1 = Matrix::from_vec(1, 1, vec![0.0f64]);
+        let g = Matrix::from_vec(1, 1, vec![1.0f64]);
+        opt.update(0, &mut p0, &g);
+        opt.update(1, &mut p1, &g);
+        opt.update(0, &mut p0, &g);
+        // Slot 1 saw one update, slot 0 two with growing velocity.
+        assert!((p1.get(0, 0) + 1.0).abs() < 1e-12);
+        assert!((p0.get(0, 0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction the very first Adam step is ≈ lr for any grad.
+        let mut opt = Adam::new(0.01);
+        let mut p = Matrix::from_vec(1, 1, vec![0.0f64]);
+        let g = Matrix::from_vec(1, 1, vec![123.0f64]);
+        opt.update(0, &mut p, &g);
+        assert!((p.get(0, 0) + 0.01).abs() < 1e-6);
+    }
+}
+
+/// Decorator adding element-wise gradient clipping to any optimizer —
+/// the standard guard against exploding BPTT gradients in deep BRNNs.
+#[derive(Debug)]
+pub struct GradClip<O> {
+    inner: O,
+    limit: f64,
+}
+
+impl<O> GradClip<O> {
+    /// Clips every gradient element into `[-limit, limit]` before handing
+    /// it to `inner`.
+    ///
+    /// # Panics
+    /// Panics if `limit` is not positive.
+    pub fn new(inner: O, limit: f64) -> Self {
+        assert!(limit > 0.0, "clip limit must be positive");
+        Self { inner, limit }
+    }
+}
+
+impl<T: Float, O: Optimizer<T>> Optimizer<T> for GradClip<O> {
+    fn update(&mut self, slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>) {
+        let limit = T::from_f64(self.limit);
+        let clipped = grad.map(|g| g.max(-limit).min(limit));
+        self.inner.update(slot, param, &clipped);
+    }
+
+    fn end_step(&mut self) {
+        self.inner.end_step();
+    }
+}
+
+/// Decorator applying a step-indexed learning-rate schedule to [`Sgd`].
+///
+/// The schedule multiplies the base rate: `lr(t) = base · factor(t)`.
+#[derive(Debug)]
+pub struct ScheduledSgd {
+    base_lr: f64,
+    step: u64,
+    schedule: Schedule,
+}
+
+/// Learning-rate schedules.
+#[derive(Debug, Clone, Copy)]
+pub enum Schedule {
+    /// Constant factor 1.
+    Constant,
+    /// `1 / (1 + decay · t)` inverse-time decay.
+    InverseTime {
+        /// Decay coefficient per step.
+        decay: f64,
+    },
+    /// Multiply by `gamma` every `every` steps.
+    StepDecay {
+        /// Multiplier applied at each boundary.
+        gamma: f64,
+        /// Steps between boundaries.
+        every: u64,
+    },
+}
+
+impl ScheduledSgd {
+    /// SGD with the given base rate and schedule.
+    pub fn new(base_lr: f64, schedule: Schedule) -> Self {
+        Self {
+            base_lr,
+            step: 0,
+            schedule,
+        }
+    }
+
+    /// The learning rate in effect at the current step.
+    pub fn current_lr(&self) -> f64 {
+        let factor = match self.schedule {
+            Schedule::Constant => 1.0,
+            Schedule::InverseTime { decay } => 1.0 / (1.0 + decay * self.step as f64),
+            Schedule::StepDecay { gamma, every } => {
+                gamma.powi((self.step / every.max(1)) as i32)
+            }
+        };
+        self.base_lr * factor
+    }
+}
+
+impl<T: Float> Optimizer<T> for ScheduledSgd {
+    fn update(&mut self, _slot: usize, param: &mut Matrix<T>, grad: &Matrix<T>) {
+        bpar_tensor::ops::axpy(T::from_f64(-self.current_lr()), grad, param);
+    }
+
+    fn end_step(&mut self) {
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod decorator_tests {
+    use super::*;
+
+    #[test]
+    fn grad_clip_bounds_updates() {
+        let mut opt = GradClip::new(Sgd::new(1.0), 0.5);
+        let mut p = Matrix::from_vec(1, 2, vec![0.0f64, 0.0]);
+        let g = Matrix::from_vec(1, 2, vec![10.0f64, -0.1]);
+        opt.update(0, &mut p, &g);
+        assert!((p.get(0, 0) + 0.5).abs() < 1e-12, "clipped to limit");
+        assert!((p.get(0, 1) - 0.1).abs() < 1e-12, "small grads untouched");
+    }
+
+    #[test]
+    fn grad_clip_composes_with_momentum() {
+        let mut opt = GradClip::new(Momentum::new(0.1, 0.9), 1.0);
+        let mut p = Matrix::from_vec(1, 1, vec![1.0f64]);
+        for _ in 0..100 {
+            let g = Matrix::from_vec(1, 1, vec![2.0 * p.get(0, 0)]);
+            opt.update(0, &mut p, &g);
+            Optimizer::<f64>::end_step(&mut opt);
+        }
+        assert!(p.get(0, 0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        let _ = GradClip::new(Sgd::new(0.1), 0.0);
+    }
+
+    #[test]
+    fn inverse_time_schedule_decays() {
+        let mut opt = ScheduledSgd::new(1.0, Schedule::InverseTime { decay: 1.0 });
+        assert_eq!(opt.current_lr(), 1.0);
+        Optimizer::<f64>::end_step(&mut opt);
+        assert!((opt.current_lr() - 0.5).abs() < 1e-12);
+        Optimizer::<f64>::end_step(&mut opt);
+        assert!((opt.current_lr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_decay_schedule_halves() {
+        let mut opt = ScheduledSgd::new(0.8, Schedule::StepDecay { gamma: 0.5, every: 2 });
+        assert_eq!(opt.current_lr(), 0.8);
+        Optimizer::<f64>::end_step(&mut opt);
+        assert_eq!(opt.current_lr(), 0.8);
+        Optimizer::<f64>::end_step(&mut opt);
+        assert_eq!(opt.current_lr(), 0.4);
+    }
+
+    #[test]
+    fn scheduled_sgd_descends() {
+        let mut opt = ScheduledSgd::new(0.2, Schedule::InverseTime { decay: 0.01 });
+        let mut p = Matrix::from_vec(1, 1, vec![1.0f64]);
+        for _ in 0..100 {
+            let g = Matrix::from_vec(1, 1, vec![2.0 * p.get(0, 0)]);
+            opt.update(0, &mut p, &g);
+            Optimizer::<f64>::end_step(&mut opt);
+        }
+        assert!(p.get(0, 0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Batch training loop.
+//!
+//! Thin driver tying together an [`Executor`], an [`Optimizer`] and a
+//! stream of batches; collects per-batch timing so the benchmark harness
+//! can report "single batch training time" exactly like Tables III/IV.
+
+use crate::exec::{Executor, Target};
+use crate::loss::accuracy;
+use crate::model::{Brnn, ModelKind};
+use crate::optim::Optimizer;
+use bpar_tensor::{Float, Matrix};
+use std::time::Instant;
+
+/// One training/evaluation batch.
+#[derive(Debug, Clone)]
+pub struct Batch<T: Float> {
+    /// Per-timestep inputs (`rows × input_size` each).
+    pub xs: Vec<Matrix<T>>,
+    /// Targets matching the model kind.
+    pub target: Target,
+}
+
+/// Per-batch measurement record.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch index within the epoch.
+    pub index: usize,
+    /// Mean loss of the batch.
+    pub loss: f64,
+    /// Wall-clock training time for the batch, in seconds.
+    pub seconds: f64,
+}
+
+/// Training-run summary.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Every per-batch record, in order.
+    pub batches: Vec<BatchReport>,
+}
+
+impl TrainStats {
+    /// Mean per-batch training time in milliseconds (the paper's metric).
+    pub fn mean_batch_ms(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.seconds).sum::<f64>() * 1e3 / self.batches.len() as f64
+    }
+
+    /// Loss of the final batch.
+    pub fn final_loss(&self) -> f64 {
+        self.batches.last().map(|b| b.loss).unwrap_or(0.0)
+    }
+
+    /// Mean loss over the first `n` and last `n` batches — used to check
+    /// that training converges.
+    pub fn loss_trend(&self, n: usize) -> (f64, f64) {
+        let n = n.min(self.batches.len());
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let head: f64 = self.batches[..n].iter().map(|b| b.loss).sum::<f64>() / n as f64;
+        let tail: f64 = self.batches[self.batches.len() - n..]
+            .iter()
+            .map(|b| b.loss)
+            .sum::<f64>()
+            / n as f64;
+        (head, tail)
+    }
+}
+
+/// Drives batches through an executor.
+pub struct Trainer<'a, T: Float> {
+    executor: &'a dyn Executor<T>,
+    optimizer: Box<dyn Optimizer<T>>,
+}
+
+impl<'a, T: Float> Trainer<'a, T> {
+    /// Trainer over the given executor and optimizer.
+    pub fn new(executor: &'a dyn Executor<T>, optimizer: Box<dyn Optimizer<T>>) -> Self {
+        Self {
+            executor,
+            optimizer,
+        }
+    }
+
+    /// Trains one epoch over `batches`, returning per-batch reports.
+    pub fn train_epoch(&mut self, model: &mut Brnn<T>, batches: &[Batch<T>]) -> TrainStats {
+        let mut stats = TrainStats::default();
+        for (index, batch) in batches.iter().enumerate() {
+            let t0 = Instant::now();
+            let loss =
+                self.executor
+                    .train_batch(model, &batch.xs, &batch.target, self.optimizer.as_mut());
+            stats.batches.push(BatchReport {
+                index,
+                loss,
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+        stats
+    }
+
+    /// Classification accuracy over `batches` (many-to-one models) or
+    /// mean per-timestep accuracy (many-to-many).
+    pub fn evaluate(&self, model: &Brnn<T>, batches: &[Batch<T>]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for batch in batches {
+            let out = self.executor.forward(model, &batch.xs);
+            match (&batch.target, model.config.kind) {
+                (Target::Classes(classes), ModelKind::ManyToOne) => {
+                    total += accuracy(&out.logits, classes) * classes.len() as f64;
+                    count += classes.len();
+                }
+                (Target::SeqClasses(seq), ModelKind::ManyToMany) => {
+                    for (t, classes) in seq.iter().enumerate() {
+                        total += accuracy(&out.seq_logits[t], classes) * classes.len() as f64;
+                        count += classes.len();
+                    }
+                }
+                _ => panic!("target kind does not match model kind"),
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SequentialExec;
+    use crate::model::BrnnConfig;
+    use crate::optim::Sgd;
+    use bpar_tensor::init;
+
+    fn toy_batches(n: usize) -> Vec<Batch<f64>> {
+        // Class 0: inputs near -1; class 1: inputs near +1.
+        (0..n)
+            .map(|i| {
+                let sign = if i % 2 == 0 { -0.8 } else { 0.8 };
+                let xs = (0..4)
+                    .map(|t| {
+                        let mut m = init::uniform(2, 3, -0.2, 0.2, (i * 10 + t) as u64);
+                        m.map_inplace(|v| v + sign);
+                        m
+                    })
+                    .collect();
+                Batch {
+                    xs,
+                    target: Target::Classes(vec![usize::from(i % 2 != 0); 2]),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trainer_learns_toy_problem() {
+        let config = BrnnConfig {
+            input_size: 3,
+            hidden_size: 6,
+            layers: 2,
+            seq_len: 4,
+            output_size: 2,
+            ..Default::default()
+        };
+        let mut model: Brnn<f64> = Brnn::new(config, 1);
+        let exec = SequentialExec::new();
+        let mut trainer = Trainer::new(&exec, Box::new(Sgd::new(0.2)));
+        let batches = toy_batches(8);
+        let mut last = TrainStats::default();
+        for _ in 0..15 {
+            last = trainer.train_epoch(&mut model, &batches);
+        }
+        let (head, tail) = last.loss_trend(3);
+        assert!(tail <= head * 1.1, "loss should not grow: {head} -> {tail}");
+        let acc = trainer.evaluate(&model, &batches);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = TrainStats {
+            batches: vec![
+                BatchReport { index: 0, loss: 2.0, seconds: 0.01 },
+                BatchReport { index: 1, loss: 1.0, seconds: 0.03 },
+            ],
+        };
+        assert!((stats.mean_batch_ms() - 20.0).abs() < 1e-9);
+        assert_eq!(stats.final_loss(), 1.0);
+        let (h, t) = stats.loss_trend(1);
+        assert_eq!((h, t), (2.0, 1.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = TrainStats::default();
+        assert_eq!(stats.mean_batch_ms(), 0.0);
+        assert_eq!(stats.final_loss(), 0.0);
+    }
+}

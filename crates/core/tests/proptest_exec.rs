@@ -1,0 +1,121 @@
+//! Property-based executor parity: for *arbitrary* model architectures
+//! (cell kind, dimensions, depth, sequence length, merge mode, arity),
+//! the B-Par task-graph executor must match the sequential reference
+//! bit-for-bit at mbs:1 and to fp tolerance under data parallelism.
+
+use bpar_core::cell::CellKind;
+use bpar_core::exec::{Executor, SequentialExec, Target, TaskGraphExec};
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_core::optim::Sgd;
+use bpar_runtime::SchedulerPolicy;
+use bpar_tensor::{init, Matrix};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = BrnnConfig> {
+    (
+        prop_oneof![
+            Just(CellKind::Lstm),
+            Just(CellKind::Gru),
+            Just(CellKind::Vanilla)
+        ],
+        1usize..5,  // input
+        1usize..7,  // hidden
+        1usize..4,  // layers
+        1usize..6,  // seq_len
+        2usize..5,  // output
+        prop_oneof![
+            Just(MergeMode::Sum),
+            Just(MergeMode::Avg),
+            Just(MergeMode::Mul),
+            Just(MergeMode::Concat)
+        ],
+        prop_oneof![Just(ModelKind::ManyToOne), Just(ModelKind::ManyToMany)],
+    )
+        .prop_map(
+            |(cell, input_size, hidden_size, layers, seq_len, output_size, merge, kind)| {
+                BrnnConfig {
+                    cell,
+                    input_size,
+                    hidden_size,
+                    layers,
+                    seq_len,
+                    output_size,
+                    merge,
+                    kind,
+                }
+            },
+        )
+}
+
+fn batch_for(cfg: &BrnnConfig, rows: usize, seed: u64) -> (Vec<Matrix<f64>>, Target) {
+    let xs = (0..cfg.seq_len)
+        .map(|t| init::uniform(rows, cfg.input_size, -1.0, 1.0, seed * 100 + t as u64))
+        .collect();
+    let target = match cfg.kind {
+        ModelKind::ManyToOne => {
+            Target::Classes((0..rows).map(|r| r % cfg.output_size).collect())
+        }
+        ModelKind::ManyToMany => Target::SeqClasses(
+            (0..cfg.seq_len)
+                .map(|t| (0..rows).map(|r| (r + t) % cfg.output_size).collect())
+                .collect(),
+        ),
+    };
+    (xs, target)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bpar_matches_sequential_for_arbitrary_architectures(
+        cfg in arb_config(),
+        rows in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (xs, target) = batch_for(&cfg, rows, seed);
+        let mut a: Brnn<f64> = Brnn::new(cfg, seed);
+        let mut b: Brnn<f64> = Brnn::new(cfg, seed);
+        let mut oa = Sgd::new(0.1);
+        let mut ob = Sgd::new(0.1);
+        let exec = TaskGraphExec::new(3);
+        let la = exec.train_batch(&mut a, &xs, &target, &mut oa);
+        let lb = SequentialExec::new().train_batch(&mut b, &xs, &target, &mut ob);
+        prop_assert_eq!(la, lb, "loss must match bit-for-bit");
+        prop_assert_eq!(a.max_param_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn data_parallel_bpar_stays_close_for_arbitrary_architectures(
+        cfg in arb_config(),
+        mbs in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let rows = 6;
+        let (xs, target) = batch_for(&cfg, rows, seed);
+        let mut a: Brnn<f64> = Brnn::new(cfg, seed);
+        let mut b: Brnn<f64> = Brnn::new(cfg, seed);
+        let mut oa = Sgd::new(0.1);
+        let mut ob = Sgd::new(0.1);
+        let exec = TaskGraphExec::with_config(2, SchedulerPolicy::LocalityAware, mbs);
+        let la = exec.train_batch(&mut a, &xs, &target, &mut oa);
+        let lb = SequentialExec::new().train_batch(&mut b, &xs, &target, &mut ob);
+        prop_assert!((la - lb).abs() < 1e-9, "losses {} vs {}", la, lb);
+        prop_assert!(a.max_param_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn forward_is_deterministic_across_runs(
+        cfg in arb_config(),
+        rows in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (xs, _) = batch_for(&cfg, rows, seed);
+        let model: Brnn<f64> = Brnn::new(cfg, seed);
+        let exec = TaskGraphExec::new(2);
+        let o1 = exec.forward(&model, &xs);
+        let o2 = exec.forward(&model, &xs);
+        prop_assert_eq!(o1.logits.max_abs_diff(&o2.logits), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Feature encoding and normalisation utilities.
+
+use bpar_tensor::{Float, Matrix};
+
+/// One-hot encodes `indices` into a `len(indices) × classes` matrix.
+///
+/// # Panics
+/// Panics if an index is out of range.
+pub fn one_hot<T: Float>(indices: &[usize], classes: usize) -> Matrix<T> {
+    let mut m = Matrix::zeros(indices.len(), classes);
+    for (r, &c) in indices.iter().enumerate() {
+        assert!(c < classes, "index {c} out of range for {classes} classes");
+        m.set(r, c, T::ONE);
+    }
+    m
+}
+
+/// Per-feature standardisation statistics computed over a set of frames.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (floored at 1e-8).
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits mean/std over every row of every matrix in `batches`.
+    pub fn fit<T: Float>(batches: &[Matrix<T>]) -> Self {
+        assert!(!batches.is_empty(), "cannot fit on empty data");
+        let dim = batches[0].cols();
+        let mut mean = vec![0.0f64; dim];
+        let mut count = 0usize;
+        for m in batches {
+            assert_eq!(m.cols(), dim, "inconsistent feature width");
+            for r in 0..m.rows() {
+                for (acc, &v) in mean.iter_mut().zip(m.row(r)) {
+                    *acc += v.to_f64();
+                }
+            }
+            count += m.rows();
+        }
+        for v in &mut mean {
+            *v /= count.max(1) as f64;
+        }
+        let mut var = vec![0.0f64; dim];
+        for m in batches {
+            for r in 0..m.rows() {
+                for ((acc, &mu), &v) in var.iter_mut().zip(&mean).zip(m.row(r)) {
+                    let d = v.to_f64() - mu;
+                    *acc += d * d;
+                }
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| (v / count.max(1) as f64).sqrt().max(1e-8))
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Applies `(x - mean) / std` in place.
+    pub fn apply<T: Float>(&self, m: &mut Matrix<T>) {
+        assert_eq!(m.cols(), self.mean.len(), "feature width mismatch");
+        for r in 0..m.rows() {
+            for ((v, &mu), &sd) in m.row_mut(r).iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = T::from_f64((v.to_f64() - mu) / sd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_basics() {
+        let m: Matrix<f64> = one_hot(&[2, 0], 3);
+        assert_eq!(m.row(0), &[0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_index() {
+        let _: Matrix<f32> = one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn standardizer_normalises_to_zero_mean_unit_std() {
+        let data = vec![
+            Matrix::from_vec(2, 2, vec![1.0f64, 10.0, 3.0, 30.0]),
+            Matrix::from_vec(2, 2, vec![5.0, 50.0, 7.0, 70.0]),
+        ];
+        let s = Standardizer::fit(&data);
+        let mut all = Matrix::vstack(&[&data[0], &data[1]]);
+        s.apply(&mut all);
+        for c in 0..2 {
+            let col: Vec<f64> = (0..4).map(|r| all.get(r, c)).collect();
+            let mean: f64 = col.iter().sum::<f64>() / 4.0;
+            let var: f64 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let data = vec![Matrix::from_vec(3, 1, vec![2.0f32, 2.0, 2.0])];
+        let s = Standardizer::fit(&data);
+        let mut m = data[0].clone();
+        s.apply(&mut m);
+        assert!(m.all_finite());
+    }
+}

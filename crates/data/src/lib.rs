@@ -1,0 +1,25 @@
+//! # bpar-data
+//!
+//! Dataset substrates for the B-Par evaluation.
+//!
+//! The paper evaluates on two corpora we cannot redistribute:
+//!
+//! * **TIDIGITS** (LDC catalogue, proprietary) — speaker-independent
+//!   connected-digit speech recognition, processed by many-to-one BRNNs;
+//! * a 1.4-billion-character **Wikipedia** dump — next-character
+//!   prediction, processed by many-to-many BRNNs.
+//!
+//! Per the reproduction's substitution rule (see DESIGN.md §2), this crate
+//! generates synthetic equivalents that exercise exactly the same code
+//! paths: [`tidigits`] produces variable-length real-valued feature
+//! sequences labelled with digit classes, and [`wikitext`] produces an
+//! English-like character stream for next-character prediction. Both are
+//! fully deterministic given a seed.
+
+pub mod batch;
+pub mod features;
+pub mod tidigits;
+pub mod wikitext;
+
+pub use tidigits::TidigitsDataset;
+pub use wikitext::WikitextDataset;

@@ -1,0 +1,257 @@
+//! Synthetic Wikipedia-like character corpus for next-character prediction.
+//!
+//! The paper's many-to-many experiments train on a 1.4-billion-character
+//! Wikipedia dump. This generator produces an English-like character
+//! stream from an order-2 Markov chain whose transition structure is built
+//! from a hand-written set of common English digraphs/trigraphs plus
+//! word-length statistics, so the stream has the two properties the BRNN
+//! exploits: strong local predictability (a model can reduce perplexity
+//! substantially below uniform) and long-tail variability (perplexity
+//! stays well above 1).
+
+use crate::features::one_hot;
+use bpar_tensor::{Float, Matrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Character vocabulary: 26 letters + space + period.
+pub const VOCAB: &[u8] = b"abcdefghijklmnopqrstuvwxyz .";
+
+/// Vocabulary size.
+pub const VOCAB_SIZE: usize = VOCAB.len();
+
+/// Frequent English word stems used to bias the chain toward plausible
+/// letter sequences.
+const STEMS: &[&str] = &[
+    "the", "and", "ing", "ion", "tion", "ent", "for", "her", "ter", "hat",
+    "tha", "ere", "ate", "his", "con", "res", "ver", "all", "ons", "nce",
+    "men", "ith", "ted", "ers", "pro", "thi", "wit", "are", "ess", "not",
+];
+
+/// Order-2 Markov character generator with an English-like transition
+/// table.
+///
+/// ```
+/// use bpar_data::wikitext::{WikitextDataset, VOCAB_SIZE};
+/// let data = WikitextDataset::new(7);
+/// let text = WikitextDataset::decode(&data.generate(0, 40));
+/// assert_eq!(text.len(), 40);
+/// let (xs, targets) = data.batch::<f32>(0, 2, 8);
+/// assert_eq!(xs.len(), 8);
+/// assert_eq!(xs[0].shape(), (2, VOCAB_SIZE)); // one-hot characters
+/// assert_eq!(targets.len(), 8);               // next-char per step
+/// ```
+#[derive(Debug, Clone)]
+pub struct WikitextDataset {
+    /// Transition weights: `table[a][b][c]` = weight of `c` after `ab`.
+    table: Vec<Vec<Vec<f64>>>,
+    seed: u64,
+}
+
+fn idx(c: u8) -> usize {
+    VOCAB.iter().position(|&v| v == c).expect("char outside vocab")
+}
+
+impl WikitextDataset {
+    /// Builds the transition table deterministically from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x11_71_13);
+        let v = VOCAB_SIZE;
+        // Base: small random weights (smoothing / long tail).
+        let mut table = vec![vec![vec![0.0f64; v]; v]; v];
+        for a in table.iter_mut() {
+            for b in a.iter_mut() {
+                for c in b.iter_mut() {
+                    *c = rng.gen_range(0.005..0.05);
+                }
+            }
+        }
+        // Boost bigrams from common stems regardless of context, so the
+        // chain reaches English-like states from anywhere…
+        for stem in STEMS {
+            let bytes = stem.as_bytes();
+            for w in bytes.windows(2) {
+                for ctx in table.iter_mut() {
+                    ctx[idx(w[0])][idx(w[1])] += 1.0;
+                }
+            }
+        }
+        // …and boost full trigraphs heavily once in those states.
+        for stem in STEMS {
+            let bytes = stem.as_bytes();
+            for w in bytes.windows(3) {
+                table[idx(w[0])][idx(w[1])][idx(w[2])] += 10.0;
+            }
+        }
+        // Word boundaries: after 'e', 'd', 's', 't' a space is common; a
+        // space is usually followed by 't', 'a', 'o', 'w', 's'.
+        let space = idx(b' ');
+        for &end in b"edstnry" {
+            for ctx in table.iter_mut() {
+                ctx[idx(end)][space] += 2.5;
+            }
+        }
+        for &start in b"taowsbcmf" {
+            for ctx in table.iter_mut() {
+                ctx[space][idx(start)] += 2.5;
+            }
+        }
+        // Sentences end occasionally: period after space-ish contexts, and
+        // a period is followed by a space.
+        for ctx in table.iter_mut() {
+            for prev in ctx.iter_mut() {
+                prev[idx(b'.')] += 0.05;
+            }
+            ctx[idx(b'.')][space] += 20.0;
+        }
+        Self { table, seed }
+    }
+
+    /// Generates `n` characters (as vocabulary indices), deterministically
+    /// for a given `stream` id.
+    pub fn generate(&self, stream: u64, n: usize) -> Vec<usize> {
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(stream * 0x5851_f42d));
+        let mut out = Vec::with_capacity(n);
+        let mut a = idx(b' ');
+        let mut b = idx(b't');
+        for _ in 0..n {
+            let weights = &self.table[a][b];
+            let total: f64 = weights.iter().sum();
+            let mut pick = rng.gen_range(0.0..total);
+            let mut c = 0;
+            for (i, &w) in weights.iter().enumerate() {
+                if pick < w {
+                    c = i;
+                    break;
+                }
+                pick -= w;
+            }
+            out.push(c);
+            a = b;
+            b = c;
+        }
+        out
+    }
+
+    /// Decodes indices back to text (for inspection and examples).
+    pub fn decode(indices: &[usize]) -> String {
+        indices.iter().map(|&i| VOCAB[i] as char).collect()
+    }
+
+    /// Builds a next-character-prediction batch: `rows` independent
+    /// character windows of `seq_len + 1` characters each, one-hot encoded.
+    ///
+    /// Returns `(xs, targets)` where `xs[t]` is `rows × VOCAB_SIZE` holding
+    /// character `t` of every window, and `targets[t][row]` is character
+    /// `t + 1` — the many-to-many format of the executors.
+    pub fn batch<T: Float>(
+        &self,
+        first_stream: u64,
+        rows: usize,
+        seq_len: usize,
+    ) -> (Vec<Matrix<T>>, Vec<Vec<usize>>) {
+        assert!(rows > 0 && seq_len > 0);
+        let windows: Vec<Vec<usize>> = (0..rows)
+            .map(|r| self.generate(first_stream + r as u64, seq_len + 1))
+            .collect();
+        let xs = (0..seq_len)
+            .map(|t| {
+                let chars: Vec<usize> = windows.iter().map(|w| w[t]).collect();
+                one_hot(&chars, VOCAB_SIZE)
+            })
+            .collect();
+        let targets = (0..seq_len)
+            .map(|t| windows.iter().map(|w| w[t + 1]).collect())
+            .collect();
+        (xs, targets)
+    }
+
+    /// Empirical unigram entropy (nats) of a generated stream — used to
+    /// check the corpus is neither trivial nor uniform.
+    pub fn unigram_entropy(&self, stream: u64, n: usize) -> f64 {
+        let chars = self.generate(stream, n);
+        let mut counts = vec![0usize; VOCAB_SIZE];
+        for &c in &chars {
+            counts[c] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                -p * p.ln()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = WikitextDataset::new(7);
+        assert_eq!(ds.generate(1, 100), ds.generate(1, 100));
+        assert_ne!(ds.generate(1, 100), ds.generate(2, 100));
+    }
+
+    #[test]
+    fn stream_uses_whole_vocab_eventually() {
+        let ds = WikitextDataset::new(1);
+        let chars = ds.generate(0, 20_000);
+        let mut seen = [false; VOCAB_SIZE];
+        for c in chars {
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn entropy_is_between_trivial_and_uniform() {
+        let ds = WikitextDataset::new(2);
+        let h = ds.unigram_entropy(0, 50_000);
+        let uniform = (VOCAB_SIZE as f64).ln(); // ≈ 3.33 nats
+        assert!(h > 1.5, "too predictable: {h}");
+        assert!(h < uniform - 0.05, "indistinguishable from uniform: {h}");
+    }
+
+    #[test]
+    fn common_trigraphs_are_boosted() {
+        // "the" should be much more common than a random trigraph.
+        let ds = WikitextDataset::new(3);
+        let text = WikitextDataset::decode(&ds.generate(0, 50_000));
+        let the = text.matches("the").count();
+        let xqz = text.matches("xqz").count();
+        assert!(the > 20 * (xqz + 1), "the={the} xqz={xqz}");
+    }
+
+    #[test]
+    fn batch_shapes_and_one_hot() {
+        let ds = WikitextDataset::new(4);
+        let (xs, targets) = ds.batch::<f32>(0, 3, 6);
+        assert_eq!(xs.len(), 6);
+        assert_eq!(targets.len(), 6);
+        for x in &xs {
+            assert_eq!(x.shape(), (3, VOCAB_SIZE));
+            // Each row is one-hot.
+            for r in 0..3 {
+                let s: f32 = x.row(r).iter().sum();
+                assert_eq!(s, 1.0);
+            }
+        }
+        // Targets shift by one: target[t] equals the argmax of xs[t+1].
+        for (t, target) in targets.iter().enumerate().take(5) {
+            for (r, &want) in target.iter().enumerate() {
+                let hot = xs[t + 1].row(r).iter().position(|&v| v == 1.0).unwrap();
+                assert_eq!(want, hot);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_round_trips_vocab() {
+        let s = WikitextDataset::decode(&[0, 25, 26, 27]);
+        assert_eq!(s, "az .");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the dataset substrates.
+
+use bpar_data::features::{one_hot, Standardizer};
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use bpar_data::wikitext::{WikitextDataset, VOCAB_SIZE};
+use bpar_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tidigits_batches_are_deterministic_and_well_formed(
+        feature_dim in 2usize..24,
+        mean_frames in 4usize..20,
+        rows in 1usize..8,
+        seq_len in 1usize..24,
+        seed in 0u64..500,
+        start in 0u64..10_000,
+    ) {
+        let ds = TidigitsDataset::new(feature_dim, mean_frames, seed);
+        let (xs1, l1) = ds.batch::<f32>(start, rows, seq_len);
+        let (xs2, l2) = ds.batch::<f32>(start, rows, seq_len);
+        prop_assert_eq!(&l1, &l2);
+        prop_assert_eq!(xs1.len(), seq_len);
+        for (a, b) in xs1.iter().zip(&xs2) {
+            prop_assert_eq!(a.max_abs_diff(b), 0.0);
+            prop_assert_eq!(a.shape(), (rows, feature_dim));
+            prop_assert!(a.all_finite());
+        }
+        prop_assert!(l1.iter().all(|&l| l < DIGIT_CLASSES));
+    }
+
+    #[test]
+    fn wikitext_windows_are_consistent(
+        seed in 0u64..100,
+        rows in 1usize..6,
+        seq_len in 1usize..20,
+        stream in 0u64..1000,
+    ) {
+        let ds = WikitextDataset::new(seed);
+        let (xs, targets) = ds.batch::<f64>(stream, rows, seq_len);
+        prop_assert_eq!(xs.len(), seq_len);
+        prop_assert_eq!(targets.len(), seq_len);
+        for t in 0..seq_len {
+            for (r, &target) in targets[t].iter().enumerate() {
+                // Exactly one hot element per row.
+                let hot: Vec<usize> = xs[t]
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v == 1.0)
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert_eq!(hot.len(), 1);
+                prop_assert!(target < VOCAB_SIZE);
+                // Shift property: target[t] is the input character at t+1.
+                if t + 1 < seq_len {
+                    let next_hot = xs[t + 1].row(r).iter().position(|&v| v == 1.0).unwrap();
+                    prop_assert_eq!(target, next_hot);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(
+        indices in proptest::collection::vec(0usize..10, 1..20),
+    ) {
+        let m: Matrix<f64> = one_hot(&indices, 10);
+        for (r, &idx) in indices.iter().enumerate() {
+            let s: f64 = m.row(r).iter().sum();
+            prop_assert_eq!(s, 1.0);
+            prop_assert_eq!(m.get(r, idx), 1.0);
+        }
+    }
+
+    #[test]
+    fn standardizer_is_shift_and_scale_invariant(
+        vals in proptest::collection::vec(-5.0f64..5.0, 8..40),
+        shift in -10.0f64..10.0,
+        scale in 0.1f64..5.0,
+    ) {
+        // Standardizing x and standardizing a*x + b give the same result.
+        let cols = 2;
+        let rows = vals.len() / cols;
+        let raw = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec());
+        let transformed = raw.map(|v| v * scale + shift);
+
+        let s1 = Standardizer::fit(std::slice::from_ref(&raw));
+        let s2 = Standardizer::fit(std::slice::from_ref(&transformed));
+        let mut a = raw.clone();
+        s1.apply(&mut a);
+        let mut b = transformed.clone();
+        s2.apply(&mut b);
+        prop_assert!(a.max_abs_diff(&b) < 1e-6, "diff {}", a.max_abs_diff(&b));
+    }
+}

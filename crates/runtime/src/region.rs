@@ -1,0 +1,193 @@
+//! Dependency regions and OmpSs-style edge computation.
+//!
+//! A *region* is an abstract memory object a task may read (`in` clause) or
+//! write (`out` clause) — in the paper these are elements of the `c_f`/`c_r`
+//! operation arrays indexed through `start_*`/`end_*`. The [`DepTracker`]
+//! turns the per-task access lists into dependency edges with the standard
+//! semantics:
+//!
+//! * **RAW** — a reader depends on the last writer of the region,
+//! * **WAW** — a writer depends on the previous writer,
+//! * **WAR** — a writer depends on every reader since the previous write.
+//!
+//! Because tasks are registered in submission order, every edge points from
+//! an earlier task to a later one and the resulting graph is acyclic by
+//! construction.
+
+use crate::task::TaskId;
+use std::collections::HashMap;
+
+/// Identifier of a dependency region (an abstract memory object).
+///
+/// Clients allocate ids themselves; ids need not be dense. `bpar-core`
+/// derives them from (cell, slot) coordinates of the unrolled network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+/// Last-writer / readers-since-last-write state for one region.
+#[derive(Debug, Default, Clone)]
+struct RegionState {
+    last_writer: Option<TaskId>,
+    readers: Vec<TaskId>,
+}
+
+/// Incremental dependency-edge computation.
+///
+/// Feed tasks in submission order via [`DepTracker::register`]; it returns
+/// the deduplicated list of predecessor tasks the new task must wait for.
+#[derive(Debug, Default)]
+pub struct DepTracker {
+    regions: HashMap<RegionId, RegionState>,
+}
+
+impl DepTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a task's accesses and returns its predecessors.
+    ///
+    /// A region appearing in both `ins` and `outs` behaves like an OmpSs
+    /// `inout`: the task gets RAW/WAW/WAR edges and becomes the region's
+    /// new last writer.
+    pub fn register(&mut self, task: TaskId, ins: &[RegionId], outs: &[RegionId]) -> Vec<TaskId> {
+        let mut preds: Vec<TaskId> = Vec::new();
+
+        for &r in ins {
+            let st = self.regions.entry(r).or_default();
+            if let Some(w) = st.last_writer {
+                preds.push(w); // RAW
+            }
+            st.readers.push(task);
+        }
+        for &r in outs {
+            let st = self.regions.entry(r).or_default();
+            if let Some(w) = st.last_writer {
+                preds.push(w); // WAW
+            }
+            for &rd in &st.readers {
+                if rd != task {
+                    preds.push(rd); // WAR
+                }
+            }
+            st.last_writer = Some(task);
+            st.readers.clear();
+        }
+
+        preds.sort_unstable();
+        preds.dedup();
+        // A task never depends on itself (possible when a region is inout).
+        preds.retain(|&p| p != task);
+        preds
+    }
+
+    /// Number of regions ever touched.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Forgets all state (used between batches when region ids are reused).
+    pub fn clear(&mut self) {
+        self.regions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId(i)
+    }
+    fn r(i: u64) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut d = DepTracker::new();
+        assert!(d.register(t(0), &[], &[r(1)]).is_empty());
+        assert_eq!(d.register(t(1), &[r(1)], &[]), vec![t(0)]);
+    }
+
+    #[test]
+    fn waw_dependency() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        assert_eq!(d.register(t(1), &[], &[r(1)]), vec![t(0)]);
+    }
+
+    #[test]
+    fn war_dependency_blocks_overwrite() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        d.register(t(1), &[r(1)], &[]);
+        d.register(t(2), &[r(1)], &[]);
+        // Writer must wait for both readers (WAR) and the old writer (WAW).
+        assert_eq!(d.register(t(3), &[], &[r(1)]), vec![t(0), t(1), t(2)]);
+    }
+
+    #[test]
+    fn readers_do_not_depend_on_each_other() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        assert_eq!(d.register(t(1), &[r(1)], &[]), vec![t(0)]);
+        assert_eq!(d.register(t(2), &[r(1)], &[]), vec![t(0)]);
+    }
+
+    #[test]
+    fn write_resets_reader_set() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        d.register(t(1), &[r(1)], &[]);
+        d.register(t(2), &[], &[r(1)]); // WAR on t1, WAW on t0
+        // A later writer only sees t2, not the stale reader t1.
+        assert_eq!(d.register(t(3), &[], &[r(1)]), vec![t(2)]);
+    }
+
+    #[test]
+    fn inout_region_is_raw_plus_waw_without_self_edge() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        let preds = d.register(t(1), &[r(1)], &[r(1)]);
+        assert_eq!(preds, vec![t(0)]);
+        // And the next reader depends on the inout task.
+        assert_eq!(d.register(t(2), &[r(1)], &[]), vec![t(1)]);
+    }
+
+    #[test]
+    fn preds_are_deduplicated_across_regions() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1), r(2)]);
+        let preds = d.register(t(1), &[r(1), r(2)], &[]);
+        assert_eq!(preds, vec![t(0)]);
+    }
+
+    #[test]
+    fn untouched_region_has_no_preds() {
+        let mut d = DepTracker::new();
+        assert!(d.register(t(0), &[r(9)], &[]).is_empty());
+        assert_eq!(d.region_count(), 1);
+    }
+
+    #[test]
+    fn clear_forgets_history() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        d.clear();
+        assert!(d.register(t(1), &[r(1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn edges_always_point_forward() {
+        // Randomised mini-check: later ids never appear as preds of earlier.
+        let mut d = DepTracker::new();
+        for i in 0..50 {
+            let ins = [r((i % 7) as u64)];
+            let outs = [r(((i + 3) % 7) as u64)];
+            let preds = d.register(t(i), &ins, &outs);
+            assert!(preds.iter().all(|p| p.index() < i));
+        }
+    }
+}

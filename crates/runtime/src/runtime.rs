@@ -1,0 +1,511 @@
+//! The live task runtime: worker pool, dynamic dependency resolution,
+//! `taskwait`.
+//!
+//! This plays the role OmpSs/Nanos++ plays in the paper: tasks are submitted
+//! with `in`/`out` clauses in program order, the dependency graph is built
+//! on the fly, and ready tasks are dispatched to worker threads immediately
+//! — execution overlaps submission and **no barrier** ever separates network
+//! layers. The only synchronisation point is [`Runtime::taskwait`], the
+//! equivalent of `#pragma omp taskwait` at the end of a training batch.
+
+use crate::region::{DepTracker, RegionId};
+use crate::scheduler::{ReadySet, SchedulerPolicy};
+use crate::stats::{RuntimeStats, TaskRecord};
+use crate::task::{TaskId, TaskSpec};
+use parking_lot::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads. `0` means "use available parallelism".
+    pub workers: usize,
+    /// Ready-queue policy (see [`SchedulerPolicy`]).
+    pub policy: SchedulerPolicy,
+    /// Whether to keep a per-task [`TaskRecord`] trace (cheap; on by
+    /// default because the granularity experiments need it).
+    pub record_trace: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            policy: SchedulerPolicy::default(),
+            record_trace: true,
+        }
+    }
+}
+
+/// Per-task bookkeeping held by the runtime.
+struct TaskMeta {
+    label: &'static str,
+    tag: u64,
+    working_set_bytes: usize,
+    /// Unsatisfied predecessor count; ready when it reaches zero.
+    pending: usize,
+    /// Tasks to release on completion.
+    succs: Vec<usize>,
+    completed: bool,
+    body: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+/// State behind the central lock.
+struct Inner {
+    deps: DepTracker,
+    tasks: Vec<TaskMeta>,
+    ready: ReadySet,
+    /// Submitted-but-not-completed task count.
+    incomplete: usize,
+    records: Vec<TaskRecord>,
+    overhead: Duration,
+    /// First panic payload observed in a task body.
+    panicked: Option<String>,
+    shutdown: bool,
+    record_trace: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signals workers that the ready set or shutdown flag changed.
+    work_cv: Condvar,
+    /// Signals `taskwait` that `incomplete` may have reached zero.
+    done_cv: Condvar,
+    epoch: Instant,
+}
+
+/// Task-based runtime with OmpSs-style dependency tracking.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl Runtime {
+    /// Starts a runtime with `config.workers` worker threads.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let n_workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                deps: DepTracker::new(),
+                tasks: Vec::new(),
+                ready: ReadySet::new(config.policy, n_workers),
+                incomplete: 0,
+                records: Vec::new(),
+                overhead: Duration::ZERO,
+                panicked: None,
+                shutdown: false,
+                record_trace: config.record_trace,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            epoch: Instant::now(),
+        });
+        let workers = (0..n_workers)
+            .map(|w| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("bpar-worker-{w}"))
+                    .spawn(move || worker_loop(sh, w))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            n_workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Submits a task; it may start executing immediately if its
+    /// dependencies are already satisfied.
+    ///
+    /// # Panics
+    /// Panics if the spec has no body.
+    pub fn submit(&self, spec: TaskSpec) -> TaskId {
+        let TaskSpec {
+            label,
+            tag,
+            ins,
+            outs,
+            working_set_bytes,
+            body,
+        } = spec;
+        let body = body.expect("TaskSpec submitted without a body");
+
+        let t0 = Instant::now();
+        let mut inner = self.shared.inner.lock();
+        let id = TaskId(inner.tasks.len());
+        let preds = inner.deps.register(id, &ins, &outs);
+        let mut pending = 0;
+        for p in preds {
+            let pm = &mut inner.tasks[p.index()];
+            if !pm.completed {
+                pm.succs.push(id.index());
+                pending += 1;
+            }
+        }
+        inner.tasks.push(TaskMeta {
+            label,
+            tag,
+            working_set_bytes,
+            pending,
+            succs: Vec::new(),
+            completed: false,
+            body: Some(body),
+        });
+        inner.incomplete += 1;
+        if pending == 0 {
+            inner.ready.push(id.index(), None);
+            self.shared.work_cv.notify_one();
+        }
+        inner.overhead += t0.elapsed();
+        id
+    }
+
+    /// Blocks until every submitted task has completed.
+    ///
+    /// Returns the first task panic as an error (remaining tasks are still
+    /// drained so the runtime stays usable).
+    pub fn taskwait(&self) -> Result<(), String> {
+        let mut inner = self.shared.inner.lock();
+        while inner.incomplete > 0 {
+            self.shared.done_cv.wait(&mut inner);
+        }
+        match inner.panicked.take() {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        }
+    }
+
+    /// Aggregate statistics over all tasks completed so far.
+    pub fn stats(&self) -> RuntimeStats {
+        let inner = self.shared.inner.lock();
+        RuntimeStats::from_records(&inner.records, inner.overhead)
+    }
+
+    /// Removes and returns the trace collected so far.
+    pub fn take_records(&self) -> Vec<TaskRecord> {
+        std::mem::take(&mut self.shared.inner.lock().records)
+    }
+
+    /// Clears dependency history (so region ids can be reused for the next
+    /// batch) and the trace. Must be called only when idle.
+    ///
+    /// # Panics
+    /// Panics if tasks are still in flight.
+    pub fn reset(&self) {
+        let mut inner = self.shared.inner.lock();
+        assert_eq!(inner.incomplete, 0, "reset() while tasks are in flight");
+        inner.deps.clear();
+        inner.tasks.clear();
+        inner.records.clear();
+        inner.overhead = Duration::ZERO;
+    }
+
+    /// Convenience: submit a closure with explicit region clauses.
+    pub fn spawn(
+        &self,
+        label: &'static str,
+        ins: impl IntoIterator<Item = RegionId>,
+        outs: impl IntoIterator<Item = RegionId>,
+        body: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.submit(TaskSpec::new(label).ins(ins).outs(outs).body(body))
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock();
+            inner.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Body of each worker thread.
+fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    let mut inner = shared.inner.lock();
+    loop {
+        if let Some(tid) = inner.ready.pop(worker) {
+            let body = inner.tasks[tid].body.take().expect("ready task lost its body");
+            let start = shared.epoch.elapsed().as_secs_f64();
+            drop(inner);
+
+            let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+
+            let end = shared.epoch.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            inner = shared.inner.lock();
+            if let Err(payload) = result {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "task panicked".to_string());
+                if inner.panicked.is_none() {
+                    inner.panicked = Some(msg);
+                }
+            }
+            if inner.record_trace {
+                let m = &inner.tasks[tid];
+                let rec = TaskRecord {
+                    id: tid,
+                    label: m.label,
+                    tag: m.tag,
+                    worker,
+                    start,
+                    end,
+                    working_set_bytes: m.working_set_bytes,
+                };
+                inner.records.push(rec);
+            }
+            inner.tasks[tid].completed = true;
+            let succs = std::mem::take(&mut inner.tasks[tid].succs);
+            let mut released = 0;
+            for s in succs {
+                let sm = &mut inner.tasks[s];
+                sm.pending -= 1;
+                if sm.pending == 0 {
+                    inner.ready.push(s, Some(worker));
+                    released += 1;
+                }
+            }
+            inner.incomplete -= 1;
+            if inner.incomplete == 0 {
+                shared.done_cv.notify_all();
+            }
+            // Wake peers for the newly released tasks beyond the one this
+            // worker grabs itself on the next loop iteration.
+            for _ in 1..released {
+                shared.work_cv.notify_one();
+            }
+            inner.overhead += t0.elapsed();
+        } else if inner.shutdown {
+            return;
+        } else {
+            shared.work_cv.wait(&mut inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    fn rt(workers: usize) -> Runtime {
+        Runtime::new(RuntimeConfig {
+            workers,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn single_task_runs() {
+        let r = rt(2);
+        let hit = StdArc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        r.spawn("t", [], [], move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn chain_executes_in_order() {
+        let r = rt(4);
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let l = log.clone();
+            // Chain through region 0: each task is RAW+WAW on the previous.
+            r.spawn("t", [RegionId(0)], [RegionId(0)], move || {
+                l.lock().push(i);
+            });
+        }
+        r.taskwait().unwrap();
+        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let r = rt(4);
+        let count = StdArc::new(AtomicUsize::new(0));
+        for i in 0..100 {
+            let c = count.clone();
+            r.spawn("t", [], [RegionId(i)], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        r.taskwait().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn diamond_dependency_order() {
+        let r = rt(4);
+        let state = StdArc::new(Mutex::new(Vec::new()));
+        for (name, ins, outs) in [
+            ("a", vec![], vec![RegionId(1)]),
+            ("b", vec![RegionId(1)], vec![RegionId(2)]),
+            ("c", vec![RegionId(1)], vec![RegionId(3)]),
+            ("d", vec![RegionId(2), RegionId(3)], vec![RegionId(4)]),
+        ] {
+            let s = state.clone();
+            r.spawn(name, ins, outs, move || {
+                s.lock().push(name);
+            });
+        }
+        r.taskwait().unwrap();
+        let order = state.lock().clone();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], "a");
+        assert_eq!(order[3], "d");
+    }
+
+    #[test]
+    fn taskwait_propagates_panic_and_runtime_survives() {
+        let r = rt(2);
+        r.spawn("boom", [], [], || panic!("kaboom"));
+        let err = r.taskwait().unwrap_err();
+        assert!(err.contains("kaboom"));
+        // Runtime still works afterwards.
+        let ok = StdArc::new(AtomicUsize::new(0));
+        let o = ok.clone();
+        r.spawn("t", [], [], move || {
+            o.store(7, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(ok.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn panic_does_not_block_dependents() {
+        // A dependent of a panicked task must still be released, otherwise
+        // taskwait would deadlock.
+        let r = rt(2);
+        let hit = StdArc::new(AtomicUsize::new(0));
+        r.spawn("boom", [], [RegionId(1)], || panic!("x"));
+        let h = hit.clone();
+        r.spawn("after", [RegionId(1)], [], move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(r.taskwait().is_err());
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_and_trace_are_recorded() {
+        let r = rt(2);
+        for i in 0..10 {
+            r.submit(
+                TaskSpec::new("t")
+                    .tag(i)
+                    .outs([RegionId(i)])
+                    .working_set(1000)
+                    .body(|| std::thread::sleep(Duration::from_millis(2))),
+            );
+        }
+        r.taskwait().unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.tasks, 10);
+        assert!(stats.total_task_time >= 0.019, "got {}", stats.total_task_time);
+        assert!(stats.peak_working_set_bytes >= 1000);
+        let records = r.take_records();
+        assert_eq!(records.len(), 10);
+        assert!(records.iter().all(|rec| rec.end >= rec.start));
+    }
+
+    #[test]
+    fn taskwait_without_tasks_returns_immediately() {
+        let r = rt(1);
+        r.taskwait().unwrap();
+    }
+
+    #[test]
+    fn reset_allows_region_reuse() {
+        let r = rt(2);
+        let flag = StdArc::new(AtomicUsize::new(0));
+        let f = flag.clone();
+        r.spawn("w", [], [RegionId(5)], move || {
+            f.store(1, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        r.reset();
+        // After reset, region 5 has no last writer: task is immediately ready.
+        let f = flag.clone();
+        r.spawn("r", [RegionId(5)], [], move || {
+            assert_eq!(f.load(Ordering::SeqCst), 1);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(r.stats().tasks, 1); // trace was cleared by reset
+    }
+
+    #[test]
+    #[should_panic(expected = "without a body")]
+    fn bodyless_spec_is_rejected() {
+        let r = rt(1);
+        r.submit(TaskSpec::new("nobody"));
+    }
+
+    #[test]
+    fn many_tasks_with_random_deps_complete() {
+        let r = rt(4);
+        let count = StdArc::new(AtomicUsize::new(0));
+        for i in 0..500u64 {
+            let c = count.clone();
+            let ins = vec![RegionId(i % 13), RegionId((i * 7) % 13)];
+            let outs = vec![RegionId((i * 3) % 13)];
+            r.spawn("t", ins, outs, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        r.taskwait().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn fifo_policy_also_executes_correctly() {
+        let r = Runtime::new(RuntimeConfig {
+            workers: 3,
+            policy: SchedulerPolicy::Fifo,
+            record_trace: true,
+        });
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let l = log.clone();
+            r.spawn("t", [RegionId(0)], [RegionId(0)], move || {
+                l.lock().push(i);
+            });
+        }
+        r.taskwait().unwrap();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_zero_uses_available_parallelism() {
+        let r = rt(0);
+        assert!(r.workers() >= 1);
+    }
+}

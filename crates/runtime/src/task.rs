@@ -1,0 +1,144 @@
+//! Task identifiers and submission specifications.
+
+use crate::region::RegionId;
+
+/// Dense, monotonically increasing task identifier.
+///
+/// Tasks are numbered in submission (i.e. topological-creation) order, which
+/// is the order Algorithms 2 and 3 of the paper create them in. Dependency
+/// edges therefore always point from a lower id to a higher id, which makes
+/// the task graph acyclic *by construction*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Index into dense per-task arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A task submission: dependency clauses plus the sequential body.
+///
+/// Mirrors the paper's pragma annotation
+/// `#pragma omp task in(c[..]) out(c[..])` followed by the call to
+/// `FwdBwdComputations`. Construction uses a builder style:
+///
+/// ```
+/// # use bpar_runtime::task::TaskSpec;
+/// # use bpar_runtime::region::RegionId;
+/// let spec = TaskSpec::new("lstm_fwd")
+///     .tag(42)
+///     .ins([RegionId(1), RegionId(2)])
+///     .outs([RegionId(3)])
+///     .working_set(4 << 20)
+///     .body(|| { /* algebraic operations of one RNN cell */ });
+/// ```
+pub struct TaskSpec {
+    /// Human-readable task kind (e.g. `"lstm_fwd"`, `"merge"`).
+    pub label: &'static str,
+    /// Free-form numeric tag for the client (cell index, layer, …).
+    pub tag: u64,
+    /// Regions read by the task (`in` clause).
+    pub ins: Vec<RegionId>,
+    /// Regions written by the task (`out` clause).
+    pub outs: Vec<RegionId>,
+    /// Approximate bytes the task touches; feeds working-set accounting
+    /// (§IV-B memory-consumption experiment) and the simulator cost model.
+    pub working_set_bytes: usize,
+    /// The sequential piece of work.
+    pub body: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl TaskSpec {
+    /// New spec with the given label and no dependencies.
+    pub fn new(label: &'static str) -> Self {
+        Self {
+            label,
+            tag: 0,
+            ins: Vec::new(),
+            outs: Vec::new(),
+            working_set_bytes: 0,
+            body: None,
+        }
+    }
+
+    /// Attaches a client tag.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Adds input (read) dependencies.
+    pub fn ins(mut self, regions: impl IntoIterator<Item = RegionId>) -> Self {
+        self.ins.extend(regions);
+        self
+    }
+
+    /// Adds output (write) dependencies.
+    pub fn outs(mut self, regions: impl IntoIterator<Item = RegionId>) -> Self {
+        self.outs.extend(regions);
+        self
+    }
+
+    /// Records the task's approximate working-set size in bytes.
+    pub fn working_set(mut self, bytes: usize) -> Self {
+        self.working_set_bytes = bytes;
+        self
+    }
+
+    /// Sets the sequential body.
+    pub fn body(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.body = Some(Box::new(f));
+        self
+    }
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("label", &self.label)
+            .field("tag", &self.tag)
+            .field("ins", &self.ins)
+            .field("outs", &self.outs)
+            .field("working_set_bytes", &self.working_set_bytes)
+            .field("has_body", &self.body.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_clauses() {
+        let s = TaskSpec::new("t")
+            .tag(9)
+            .ins([RegionId(1)])
+            .ins([RegionId(2)])
+            .outs([RegionId(3)])
+            .working_set(128)
+            .body(|| {});
+        assert_eq!(s.label, "t");
+        assert_eq!(s.tag, 9);
+        assert_eq!(s.ins, vec![RegionId(1), RegionId(2)]);
+        assert_eq!(s.outs, vec![RegionId(3)]);
+        assert_eq!(s.working_set_bytes, 128);
+        assert!(s.body.is_some());
+    }
+
+    #[test]
+    fn task_ids_order_like_indices() {
+        assert!(TaskId(3) < TaskId(7));
+        assert_eq!(TaskId(5).index(), 5);
+    }
+
+    #[test]
+    fn debug_omits_body() {
+        let s = TaskSpec::new("x").body(|| {});
+        let d = format!("{s:?}");
+        assert!(d.contains("has_body: true"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: the runtime never violates declared dependencies,
+//! and the static graph agrees with the live execution order.
+
+use bpar_runtime::prelude::*;
+use bpar_runtime::graph::TaskNode;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomly generated task access list: (ins, outs) over a small region
+/// universe.
+#[derive(Debug, Clone)]
+struct Access {
+    ins: Vec<u64>,
+    outs: Vec<u64>,
+}
+
+fn accesses(max_tasks: usize, regions: u64) -> impl Strategy<Value = Vec<Access>> {
+    let one = (
+        proptest::collection::vec(0..regions, 0..3),
+        proptest::collection::vec(0..regions, 0..2),
+    )
+        .prop_map(|(ins, outs)| Access { ins, outs });
+    proptest::collection::vec(one, 1..max_tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Execution order respects every dependency edge computed by a
+    /// reference DepTracker, under both scheduler policies and several
+    /// worker counts.
+    #[test]
+    fn execution_respects_dependencies(
+        accs in accesses(60, 6),
+        workers in 1usize..5,
+        fifo in any::<bool>(),
+    ) {
+        let policy = if fifo { SchedulerPolicy::Fifo } else { SchedulerPolicy::LocalityAware };
+        let rt = Runtime::new(RuntimeConfig { workers, policy, record_trace: false });
+
+        // Reference edges.
+        let mut tracker = DepTracker::new();
+        let mut preds: Vec<Vec<usize>> = Vec::new();
+        for (i, a) in accs.iter().enumerate() {
+            let ins: Vec<_> = a.ins.iter().map(|&r| RegionId(r)).collect();
+            let outs: Vec<_> = a.outs.iter().map(|&r| RegionId(r)).collect();
+            let ps = tracker.register(TaskId(i), &ins, &outs);
+            preds.push(ps.into_iter().map(|p| p.index()).collect());
+        }
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (i, a) in accs.iter().enumerate() {
+            let o = order.clone();
+            let ins: Vec<_> = a.ins.iter().map(|&r| RegionId(r)).collect();
+            let outs: Vec<_> = a.outs.iter().map(|&r| RegionId(r)).collect();
+            rt.spawn("t", ins, outs, move || {
+                o.lock().push(i);
+            });
+        }
+        rt.taskwait().unwrap();
+
+        let order = order.lock();
+        prop_assert_eq!(order.len(), accs.len());
+        let mut position = vec![0usize; accs.len()];
+        for (pos, &t) in order.iter().enumerate() {
+            position[t] = pos;
+        }
+        for (t, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                prop_assert!(
+                    position[p] < position[t],
+                    "task {} ran before its predecessor {}", t, p
+                );
+            }
+        }
+    }
+
+    /// The static TaskGraph built from the same clauses is a valid DAG whose
+    /// critical path is bounded by total work.
+    #[test]
+    fn static_graph_invariants(accs in accesses(80, 8)) {
+        let mut g = TaskGraph::new();
+        for (i, a) in accs.iter().enumerate() {
+            let ins: Vec<_> = a.ins.iter().map(|&r| RegionId(r)).collect();
+            let outs: Vec<_> = a.outs.iter().map(|&r| RegionId(r)).collect();
+            g.add_task(TaskNode::new("t").tag(i as u64).flops(1 + i as u64), &ins, &outs);
+        }
+        g.validate().unwrap();
+        let cost = |n: &TaskNode| n.flops as f64;
+        let cp = g.critical_path(cost);
+        let work = g.total_work(cost);
+        prop_assert!(cp <= work + 1e-9);
+        prop_assert!(g.max_width() >= 1);
+        prop_assert!(g.max_width() <= g.len());
+        // Any non-empty graph has at least one root and one sink.
+        prop_assert!(!g.roots().is_empty());
+        prop_assert!(!g.sinks().is_empty());
+    }
+
+    /// Stats conservation: sum of task durations is at least the makespan
+    /// when one worker runs everything (no overlap possible).
+    #[test]
+    fn single_worker_has_no_overlap(n in 1usize..20) {
+        let rt = Runtime::new(RuntimeConfig { workers: 1, ..Default::default() });
+        for i in 0..n as u64 {
+            rt.spawn("t", [], [RegionId(i)], || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            });
+        }
+        rt.taskwait().unwrap();
+        let s = rt.stats();
+        prop_assert_eq!(s.tasks, n);
+        prop_assert_eq!(s.peak_concurrency, 1);
+    }
+}

@@ -1,0 +1,16 @@
+use bpar_runtime::graph::{TaskGraph, TaskNode};
+use bpar_sim::{simulate, SimConfig};
+
+fn main() {
+    let mut g = TaskGraph::new();
+    // Task 0: long, Task 1: long. Task 2 has duplicate pred 0 plus pred 1.
+    g.add_task_with_preds(TaskNode::new("a").flops(30_000_000_000), &[]);
+    g.add_task_with_preds(TaskNode::new("b").flops(60_000_000_000), &[]);
+    let t2 = g.add_task_with_preds(TaskNode::new("c").flops(1_000_000), &[0, 0, 1]);
+    g.validate().expect("validate should pass");
+    println!("preds of 2: {:?}, succs of 0: {:?}", g.preds(t2.index()), g.succs(0));
+    let res = simulate(&g, &SimConfig::xeon(2));
+    for r in &res.records {
+        println!("task {} start {:.3} end {:.3}", r.task, r.start, r.end);
+    }
+}

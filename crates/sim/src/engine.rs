@@ -1,0 +1,400 @@
+//! Event-driven task-graph replay.
+//!
+//! Greedy list scheduling: whenever a core is idle and a task is ready,
+//! the task starts immediately — exactly the behaviour of the live
+//! runtime's worker loop. The ready queue is the *same*
+//! [`ReadySet`](bpar_runtime::scheduler::ReadySet) type the live runtime
+//! uses, so FIFO vs locality-aware policies behave identically in
+//! simulation and reality.
+
+use crate::cost::{CostModel, Locality};
+use crate::machine::Machine;
+use crate::metrics::{SimResult, SimTaskRecord};
+use bpar_runtime::graph::TaskGraph;
+use bpar_runtime::scheduler::{ReadySet, SchedulerPolicy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hardware description.
+    pub machine: Machine,
+    /// Active core count (≤ `machine.total_cores()`).
+    pub cores: usize,
+    /// Ready-queue policy.
+    pub policy: SchedulerPolicy,
+    /// Cost-model coefficients.
+    pub cost: CostModel,
+    /// Rotate the idle-core scan origin between dispatches.
+    ///
+    /// With `false` (default) idle cores are considered in ascending id
+    /// order, so narrow graphs pack onto socket 0 — equivalent to pinning
+    /// the run to one socket, which the paper does manually for ≤24-core
+    /// experiments. With `true` the scan origin rotates, modelling worker
+    /// threads waking in arbitrary order across both sockets: narrow
+    /// graphs then smear over the machine and pay NUMA penalties — the
+    /// degradation Fig. 3 shows for small-`mbs` runs on 32/48 cores.
+    pub rotate_scan: bool,
+}
+
+impl SimConfig {
+    /// Paper-platform config with `cores` active cores and the
+    /// locality-aware scheduler.
+    pub fn xeon(cores: usize) -> Self {
+        Self {
+            machine: Machine::xeon_8160(),
+            cores,
+            policy: SchedulerPolicy::LocalityAware,
+            cost: CostModel::default(),
+            rotate_scan: false,
+        }
+    }
+
+    /// Same config with a different policy.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same config with a rotating idle-core scan (unpinned workers).
+    pub fn with_rotating_scan(mut self, rotate: bool) -> Self {
+        self.rotate_scan = rotate;
+        self
+    }
+}
+
+/// Totally ordered f64 key for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Mutable scheduling state, grouped so the dispatch step can borrow it
+/// as a unit.
+struct State {
+    ready: ReadySet,
+    idle: Vec<bool>,
+    task_core: Vec<usize>,
+    task_start: Vec<f64>,
+    task_miss: Vec<f64>,
+    active_per_socket: Vec<usize>,
+    heap: BinaryHeap<Reverse<(Key, usize, usize)>>,
+    /// Scan origin for rotating dispatch.
+    scan_origin: usize,
+}
+
+/// Classifies input locality of `task` when run on `core`.
+fn locality_of(graph: &TaskGraph, task_core: &[usize], machine: &Machine, task: usize, core: usize) -> Locality {
+    let preds = graph.preds(task);
+    if preds.is_empty() {
+        Locality::Cold
+    } else if preds.iter().any(|&p| task_core[p] == core) {
+        Locality::SameCore
+    } else if preds
+        .iter()
+        .any(|&p| machine.socket_of(task_core[p]) == machine.socket_of(core))
+    {
+        Locality::SameSocket
+    } else {
+        Locality::RemoteSocket
+    }
+}
+
+/// Starts every ready task for which an idle core exists, at time `now`.
+fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
+    let machine = &cfg.machine;
+    let n = st.idle.len();
+    if cfg.rotate_scan {
+        st.scan_origin = (st.scan_origin + 1) % n;
+    }
+    loop {
+        let mut assigned = false;
+        for i in 0..n {
+            let core = (st.scan_origin + i) % n;
+            if !st.idle[core] {
+                continue;
+            }
+            let Some(task) = st.ready.pop(core) else { continue };
+            let socket = machine.socket_of(core);
+            let locality = locality_of(graph, &st.task_core, machine, task, core);
+            let bw_share = machine.mem_bw_per_socket / (st.active_per_socket[socket] + 1) as f64;
+            let node = graph.node(task);
+            let dur = cfg.cost.duration(node, task, locality, bw_share, machine);
+            let mut miss = cfg.cost.miss_bytes(node, locality, machine);
+            if locality == Locality::RemoteSocket {
+                miss *= machine.numa_penalty;
+            }
+
+            st.idle[core] = false;
+            st.task_core[task] = core;
+            st.task_start[task] = now;
+            st.task_miss[task] = miss;
+            st.active_per_socket[socket] += 1;
+            st.heap.push(Reverse((Key(now + dur), task, core)));
+            assigned = true;
+        }
+        if !assigned {
+            break;
+        }
+    }
+}
+
+/// Replays `graph` on the simulated machine; returns per-task placements
+/// and timings.
+///
+/// ```
+/// use bpar_runtime::graph::{TaskGraph, TaskNode};
+/// use bpar_runtime::RegionId;
+/// use bpar_sim::{simulate, SimConfig};
+///
+/// // Two independent 30-Gflop tasks: two cores halve the makespan.
+/// let mut g = TaskGraph::new();
+/// g.add_task(TaskNode::new("a").flops(30_000_000_000), &[], &[RegionId(0)]);
+/// g.add_task(TaskNode::new("b").flops(30_000_000_000), &[], &[RegionId(1)]);
+/// let t1 = simulate(&g, &SimConfig::xeon(1)).makespan;
+/// let t2 = simulate(&g, &SimConfig::xeon(2)).makespan;
+/// assert!(t2 < 0.6 * t1);
+/// ```
+///
+/// # Panics
+/// Panics if `cfg.cores` is zero or exceeds the machine size, or if the
+/// graph deadlocks (impossible for graphs built through [`TaskGraph`]).
+pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.cores >= 1, "need at least one core");
+    assert!(
+        cfg.cores <= cfg.machine.total_cores(),
+        "machine has only {} cores",
+        cfg.machine.total_cores()
+    );
+    let n = graph.len();
+    let machine = &cfg.machine;
+
+    let mut pending: Vec<usize> = (0..n).map(|i| graph.preds(i).len()).collect();
+    let mut st = State {
+        ready: ReadySet::new(cfg.policy, cfg.cores),
+        idle: vec![true; cfg.cores],
+        task_core: vec![usize::MAX; n],
+        task_start: vec![0.0; n],
+        task_miss: vec![0.0; n],
+        active_per_socket: vec![0usize; machine.sockets],
+        heap: BinaryHeap::new(),
+        scan_origin: 0,
+    };
+    for (i, &deps) in pending.iter().enumerate() {
+        if deps == 0 {
+            st.ready.push(i, None);
+        }
+    }
+
+    let mut records: Vec<SimTaskRecord> = Vec::with_capacity(n);
+    let mut core_busy = vec![0.0f64; cfg.cores];
+    let mut now = 0.0f64;
+
+    dispatch(graph, cfg, now, &mut st);
+
+    while let Some(Reverse((Key(finish), task, core))) = st.heap.pop() {
+        now = finish;
+        let socket = machine.socket_of(core);
+        st.active_per_socket[socket] -= 1;
+        st.idle[core] = true;
+
+        let node = graph.node(task);
+        let start = st.task_start[task];
+        records.push(SimTaskRecord {
+            task,
+            label: node.label,
+            tag: node.tag,
+            core,
+            start,
+            end: finish,
+            working_set_bytes: node.working_set_bytes,
+            instructions: cfg.cost.instructions(node),
+            miss_bytes: st.task_miss[task],
+        });
+        core_busy[core] += finish - start;
+
+        for &s in graph.succs(task) {
+            pending[s] -= 1;
+            if pending[s] == 0 {
+                st.ready.push(s, Some(core));
+            }
+        }
+        dispatch(graph, cfg, now, &mut st);
+    }
+    assert_eq!(records.len(), n, "deadlock: {} of {n} tasks completed", records.len());
+
+    SimResult {
+        makespan: now,
+        cores: cfg.cores,
+        clock_hz: machine.clock_hz,
+        records,
+        core_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_runtime::graph::{TaskGraph, TaskNode};
+    use bpar_runtime::RegionId;
+
+    fn chain(n: usize, flops: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(
+                TaskNode::new("t").flops(flops).working_set(1 << 16),
+                &[RegionId(i as u64)],
+                &[RegionId(i as u64 + 1)],
+            );
+        }
+        g
+    }
+
+    fn independent(n: usize, flops: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(
+                TaskNode::new("t").flops(flops).working_set(1 << 16),
+                &[],
+                &[RegionId(i as u64)],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn chain_does_not_benefit_from_cores() {
+        let g = chain(20, 120_000_000);
+        let t1 = simulate(&g, &SimConfig::xeon(1)).makespan;
+        let t8 = simulate(&g, &SimConfig::xeon(8)).makespan;
+        assert!((t1 / t8 - 1.0).abs() < 0.2, "t1 {t1} t8 {t8}");
+    }
+
+    #[test]
+    fn independent_tasks_scale_nearly_linearly() {
+        let g = independent(48, 120_000_000);
+        let t1 = simulate(&g, &SimConfig::xeon(1)).makespan;
+        let t8 = simulate(&g, &SimConfig::xeon(8)).makespan;
+        let speedup = t1 / t8;
+        assert!(speedup > 5.0, "speedup {speedup}");
+        assert!(speedup <= 8.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn busy_time_bounded_by_cores_times_makespan() {
+        let g = independent(30, 50_000_000);
+        let r = simulate(&g, &SimConfig::xeon(6));
+        assert_eq!(r.records.len(), 30);
+        let busy: f64 = r.core_busy.iter().sum();
+        assert!(busy <= r.makespan * 6.0 + 1e-9, "busy {busy} makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn single_core_makespan_equals_total_busy_time() {
+        let g = independent(10, 60_000_000);
+        let r = simulate(&g, &SimConfig::xeon(1));
+        let total: f64 = r.records.iter().map(|t| t.end - t.start).sum();
+        assert!((total - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_times_respect_dependencies() {
+        let g = chain(10, 50_000_000);
+        let r = simulate(&g, &SimConfig::xeon(4));
+        let mut end_of = [0.0f64; 10];
+        for rec in &r.records {
+            end_of[rec.task] = rec.end;
+        }
+        for rec in &r.records {
+            for &p in g.preds(rec.task) {
+                assert!(rec.start >= end_of[p] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_aware_reduces_misses_on_chains() {
+        // More chains than cores, with unequal task sizes so finish events
+        // interleave: FIFO migrates chains across cores, the locality-aware
+        // policy keeps each chain where its predecessor ran.
+        let mut g = TaskGraph::new();
+        for i in 0..10u64 {
+            for c in 0..16u64 {
+                g.add_task(
+                    TaskNode::new("t")
+                        .flops(5_000_000 + c * 1_700_000)
+                        .working_set(2 << 20),
+                    &[RegionId(c * 100 + i)],
+                    &[RegionId(c * 100 + i + 1)],
+                );
+            }
+        }
+        let fifo = simulate(&g, &SimConfig::xeon(8).with_policy(SchedulerPolicy::Fifo));
+        let loc = simulate(&g, &SimConfig::xeon(8));
+        let miss = |r: &SimResult| r.records.iter().map(|t| t.miss_bytes).sum::<f64>();
+        assert!(
+            miss(&loc) < miss(&fifo),
+            "locality {} vs fifo {}",
+            miss(&loc),
+            miss(&fifo)
+        );
+        // Locality trades a little load balance for cache reuse; on this
+        // contrived imbalanced workload it must stay in the same ballpark
+        // (the BRNN-shaped graphs in the experiment benches show the win).
+        assert!(loc.makespan <= fifo.makespan * 1.3);
+    }
+
+    #[test]
+    fn cross_socket_runs_pay_numa() {
+        // 48 independent memory-heavy tasks: with 48 cores half run on the
+        // remote socket relative to nothing (roots are Cold, no NUMA), so
+        // instead build producer→consumer pairs pinned by locality.
+        let mut g = TaskGraph::new();
+        for i in 0..24u64 {
+            g.add_task(
+                TaskNode::new("p").flops(1_000_000).working_set(8 << 20),
+                &[],
+                &[RegionId(i)],
+            );
+        }
+        for i in 0..24u64 {
+            g.add_task(
+                TaskNode::new("c").flops(1_000_000).working_set(8 << 20),
+                &[RegionId(i)],
+                &[RegionId(100 + i)],
+            );
+        }
+        // FIFO on 48 cores scatters consumers across sockets; the run must
+        // still complete with consistent records.
+        let r = simulate(&g, &SimConfig::xeon(48).with_policy(SchedulerPolicy::Fifo));
+        assert_eq!(r.records.len(), 48);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let g = independent(16, 80_000_000);
+        let a = simulate(&g, &SimConfig::xeon(4));
+        let b = simulate(&g, &SimConfig::xeon(4));
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.core, y.core);
+            assert_eq!(x.end, y.end);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        simulate(&independent(1, 1), &SimConfig::xeon(0));
+    }
+}

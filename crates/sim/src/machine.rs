@@ -1,0 +1,88 @@
+//! Simulated machine description.
+
+use serde::{Deserialize, Serialize};
+
+/// A multi-socket shared-memory machine.
+///
+/// Defaults model the paper's experimental platform (Table I): a
+/// dual-socket Intel Xeon Platinum 8160 — 2 × 24 cores @ 2.1 GHz, 33 MB
+/// shared L3 per socket, ~6-channel DDR4 per socket.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Machine {
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Core clock in Hz (used for the IPC proxy).
+    pub clock_hz: f64,
+    /// Effective sequential kernel throughput per core, flop/s.
+    ///
+    /// This models *MKL-Sequential f32 GEMM throughput on RNN-shaped
+    /// operands*, not peak: ~30 Gflop/s effective out of a 134 Gflop/s
+    /// AVX-512 peak, reflecting skinny GEMMs and element-wise tails.
+    /// Calibrated so the simulated per-task duration (~10 ms for the
+    /// B=128/I=64/H=512 LSTM cell) matches the paper's measured 13 ms
+    /// average task granularity (§IV-B).
+    pub flops_per_core: f64,
+    /// Memory bandwidth per socket, bytes/s.
+    pub mem_bw_per_socket: f64,
+    /// Shared L3 capacity per socket, bytes.
+    pub l3_per_socket: usize,
+    /// Multiplier on memory-traffic time when a task's producer ran on a
+    /// different socket (NUMA remote-access penalty).
+    pub numa_penalty: f64,
+}
+
+impl Machine {
+    /// The paper's CPU platform (Table I).
+    pub fn xeon_8160() -> Self {
+        Self {
+            sockets: 2,
+            cores_per_socket: 24,
+            clock_hz: 2.1e9,
+            flops_per_core: 30.0e9,
+            mem_bw_per_socket: 100.0e9,
+            l3_per_socket: 33 * 1024 * 1024,
+            numa_penalty: 1.6,
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Socket a core belongs to. Cores are numbered socket-major, so runs
+    /// restricted to ≤ `cores_per_socket` cores stay on one socket — the
+    /// paper pins ≤ 24-core runs to a single socket to avoid NUMA effects.
+    pub fn socket_of(&self, core: usize) -> usize {
+        (core / self.cores_per_socket).min(self.sockets - 1)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::xeon_8160()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_shape() {
+        let m = Machine::xeon_8160();
+        assert_eq!(m.total_cores(), 48);
+        assert_eq!(m.socket_of(0), 0);
+        assert_eq!(m.socket_of(23), 0);
+        assert_eq!(m.socket_of(24), 1);
+        assert_eq!(m.socket_of(47), 1);
+    }
+
+    #[test]
+    fn socket_of_clamps() {
+        let m = Machine::xeon_8160();
+        assert_eq!(m.socket_of(200), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Simulation results and derived metrics.
+//!
+//! Provides the quantities the paper's evaluation reports: batch times
+//! (Tables III/IV, Figs. 3–6, 8), IPC and L3-MPKI execution-time
+//! histograms (Fig. 7), task-granularity statistics and working-set /
+//! concurrency accounting (§IV-B).
+
+use serde::Serialize;
+
+/// One simulated task execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimTaskRecord {
+    /// Task id in the graph.
+    pub task: usize,
+    /// Task kind label.
+    pub label: &'static str,
+    /// Client tag.
+    pub tag: u64,
+    /// Core the task ran on.
+    pub core: usize,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Declared working set, bytes.
+    pub working_set_bytes: usize,
+    /// Instruction-count proxy.
+    pub instructions: f64,
+    /// Bytes fetched from memory (past L3), including NUMA inflation.
+    pub miss_bytes: f64,
+}
+
+impl bpar_runtime::trace::TraceEvent for SimTaskRecord {
+    fn name(&self) -> &str {
+        self.label
+    }
+    fn lane(&self) -> usize {
+        self.core
+    }
+    fn start(&self) -> f64 {
+        self.start
+    }
+    fn end(&self) -> f64 {
+        self.end
+    }
+}
+
+impl SimTaskRecord {
+    /// Task duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// IPC proxy: instructions / (cycles the task occupied its core).
+    pub fn ipc(&self, clock_hz: f64) -> f64 {
+        let cycles = self.duration() * clock_hz;
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions / cycles
+        }
+    }
+
+    /// L3 misses per kilo-instruction (64-byte lines).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions <= 0.0 {
+            0.0
+        } else {
+            (self.miss_bytes / 64.0) / (self.instructions / 1000.0)
+        }
+    }
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResult {
+    /// End-to-end execution time, seconds.
+    pub makespan: f64,
+    /// Active core count.
+    pub cores: usize,
+    /// Core clock (for the IPC proxy).
+    pub clock_hz: f64,
+    /// Per-task records in completion order.
+    pub records: Vec<SimTaskRecord>,
+    /// Per-core busy time, seconds.
+    pub core_busy: Vec<f64>,
+}
+
+/// A histogram over execution time: `share[i]` is the fraction of total
+/// task time spent in bin `i` of `edges` (the last bin is open-ended).
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeHistogram {
+    /// Bin lower edges.
+    pub edges: Vec<f64>,
+    /// Fraction of execution time per bin (sums to 1 if any time accrued).
+    pub share: Vec<f64>,
+}
+
+impl SimResult {
+    /// Mean core utilisation (busy time / (makespan × cores)).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.cores == 0 {
+            return 0.0;
+        }
+        self.core_busy.iter().sum::<f64>() / (self.makespan * self.cores as f64)
+    }
+
+    /// Sum of task durations (the work one core would execute).
+    pub fn total_task_time(&self) -> f64 {
+        self.records.iter().map(SimTaskRecord::duration).sum()
+    }
+
+    /// Mean task duration, seconds.
+    pub fn avg_task_time(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_task_time() / self.records.len() as f64
+        }
+    }
+
+    /// Time-averaged number of concurrently running tasks.
+    pub fn avg_concurrency(&self) -> f64 {
+        self.sweep().0
+    }
+
+    /// Peak and time-averaged working set of concurrently running tasks.
+    pub fn working_set(&self) -> (usize, f64) {
+        let (_, avg_ws, peak_ws) = {
+            let (c, w, p) = self.sweep_all();
+            (c, w, p)
+        };
+        (peak_ws, avg_ws)
+    }
+
+    fn sweep(&self) -> (f64, f64) {
+        let (c, w, _) = self.sweep_all();
+        (c, w)
+    }
+
+    /// Event sweep returning (avg concurrency, avg working set, peak ws).
+    fn sweep_all(&self) -> (f64, f64, usize) {
+        if self.records.is_empty() || self.makespan <= 0.0 {
+            return (0.0, 0.0, 0);
+        }
+        let mut events: Vec<(f64, i64, i64)> = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            events.push((r.start, 1, r.working_set_bytes as i64));
+            events.push((r.end, -1, -(r.working_set_bytes as i64)));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut conc, mut ws) = (0i64, 0i64);
+        let (mut conc_int, mut ws_int) = (0.0f64, 0.0f64);
+        let mut peak_ws = 0usize;
+        let mut prev = events[0].0;
+        for (t, dc, dw) in events {
+            let dt = t - prev;
+            conc_int += conc as f64 * dt;
+            ws_int += ws as f64 * dt;
+            conc += dc;
+            ws += dw;
+            peak_ws = peak_ws.max(ws.max(0) as usize);
+            prev = t;
+        }
+        (conc_int / self.makespan, ws_int / self.makespan, peak_ws)
+    }
+
+    /// Execution-time histogram of per-task IPC (Fig. 7 left).
+    pub fn ipc_histogram(&self, edges: &[f64]) -> TimeHistogram {
+        self.histogram(edges, |r| r.ipc(self.clock_hz))
+    }
+
+    /// Execution-time histogram of per-task L3 MPKI (Fig. 7 right).
+    pub fn mpki_histogram(&self, edges: &[f64]) -> TimeHistogram {
+        self.histogram(edges, SimTaskRecord::mpki)
+    }
+
+    fn histogram(&self, edges: &[f64], metric: impl Fn(&SimTaskRecord) -> f64) -> TimeHistogram {
+        assert!(!edges.is_empty(), "need at least one bin edge");
+        let mut share = vec![0.0f64; edges.len()];
+        let mut total = 0.0;
+        for r in &self.records {
+            let v = metric(r);
+            // Last edge whose value is ≤ v.
+            let mut bin = 0;
+            for (i, &e) in edges.iter().enumerate() {
+                if v >= e {
+                    bin = i;
+                }
+            }
+            share[bin] += r.duration();
+            total += r.duration();
+        }
+        if total > 0.0 {
+            for s in &mut share {
+                *s /= total;
+            }
+        }
+        TimeHistogram {
+            edges: edges.to_vec(),
+            share,
+        }
+    }
+
+    /// Sum of memory traffic, bytes.
+    pub fn total_miss_bytes(&self) -> f64 {
+        self.records.iter().map(|r| r.miss_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(task: usize, core: usize, start: f64, end: f64, instr: f64, miss: f64) -> SimTaskRecord {
+        SimTaskRecord {
+            task,
+            label: "t",
+            tag: 0,
+            core,
+            start,
+            end,
+            working_set_bytes: 1000,
+            instructions: instr,
+            miss_bytes: miss,
+        }
+    }
+
+    fn result(records: Vec<SimTaskRecord>, cores: usize, makespan: f64) -> SimResult {
+        let mut core_busy = vec![0.0; cores];
+        for r in &records {
+            core_busy[r.core] += r.duration();
+        }
+        SimResult {
+            makespan,
+            cores,
+            clock_hz: 2.0e9,
+            records,
+            core_busy,
+        }
+    }
+
+    #[test]
+    fn ipc_and_mpki_formulas() {
+        let r = rec(0, 0, 0.0, 1.0, 4.0e9, 64_000.0);
+        assert!((r.ipc(2.0e9) - 2.0).abs() < 1e-12);
+        // 1000 misses / 4e6 kilo-instructions = 0.00025 MPKI.
+        assert!((r.mpki() - 0.00025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_fully_busy_run() {
+        let res = result(vec![rec(0, 0, 0.0, 2.0, 1.0, 0.0), rec(1, 1, 0.0, 2.0, 1.0, 0.0)], 2, 2.0);
+        assert!((res.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_shares_sum_to_one() {
+        let res = result(
+            vec![
+                rec(0, 0, 0.0, 1.0, 1.0e9, 0.0),  // IPC 0.5
+                rec(1, 0, 1.0, 2.0, 3.0e9, 0.0),  // IPC 1.5
+            ],
+            1,
+            2.0,
+        );
+        let h = res.ipc_histogram(&[0.0, 1.0, 2.0]);
+        let sum: f64 = h.share.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((h.share[0] - 0.5).abs() < 1e-12);
+        assert!((h.share[1] - 0.5).abs() < 1e-12);
+        assert_eq!(h.share[2], 0.0);
+    }
+
+    #[test]
+    fn concurrency_sweep() {
+        let res = result(
+            vec![rec(0, 0, 0.0, 2.0, 1.0, 0.0), rec(1, 1, 1.0, 2.0, 1.0, 0.0)],
+            2,
+            2.0,
+        );
+        // 1 task for [0,1), 2 for [1,2): avg 1.5.
+        assert!((res.avg_concurrency() - 1.5).abs() < 1e-12);
+        let (peak, avg) = res.working_set();
+        assert_eq!(peak, 2000);
+        assert!((avg - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let res = result(vec![], 1, 0.0);
+        assert_eq!(res.utilization(), 0.0);
+        assert_eq!(res.avg_concurrency(), 0.0);
+        assert_eq!(res.avg_task_time(), 0.0);
+    }
+}

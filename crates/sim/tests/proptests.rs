@@ -1,0 +1,114 @@
+//! Property-based tests of the discrete-event engine on random DAGs.
+
+use bpar_runtime::graph::{TaskGraph, TaskNode};
+use bpar_runtime::{RegionId, SchedulerPolicy};
+use bpar_sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomTask {
+    ins: Vec<u64>,
+    outs: Vec<u64>,
+    flops: u64,
+    ws: usize,
+}
+
+fn random_graph() -> impl Strategy<Value = Vec<RandomTask>> {
+    let task = (
+        proptest::collection::vec(0u64..8, 0..3),
+        proptest::collection::vec(0u64..8, 0..2),
+        1_000_000u64..200_000_000,
+        0usize..(8 << 20),
+    )
+        .prop_map(|(ins, outs, flops, ws)| RandomTask {
+            ins,
+            outs,
+            flops,
+            ws,
+        });
+    proptest::collection::vec(task, 1..80)
+}
+
+fn build(tasks: &[RandomTask]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for t in tasks {
+        let ins: Vec<RegionId> = t.ins.iter().map(|&r| RegionId(r)).collect();
+        let outs: Vec<RegionId> = t.outs.iter().map(|&r| RegionId(r)).collect();
+        g.add_task(
+            TaskNode::new("t").flops(t.flops).working_set(t.ws),
+            &ins,
+            &outs,
+        );
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conservation_laws_hold_on_random_graphs(
+        tasks in random_graph(),
+        cores in 1usize..16,
+        fifo in any::<bool>(),
+    ) {
+        let g = build(&tasks);
+        let policy = if fifo { SchedulerPolicy::Fifo } else { SchedulerPolicy::LocalityAware };
+        let r = simulate(&g, &SimConfig::xeon(cores).with_policy(policy));
+
+        // Every task completes exactly once.
+        prop_assert_eq!(r.records.len(), g.len());
+        let mut seen = vec![false; g.len()];
+        for rec in &r.records {
+            prop_assert!(!seen[rec.task], "task {} completed twice", rec.task);
+            seen[rec.task] = true;
+        }
+
+        // Dependencies respected.
+        let mut end_of = vec![0.0f64; g.len()];
+        for rec in &r.records {
+            end_of[rec.task] = rec.end;
+        }
+        for rec in &r.records {
+            for &p in g.preds(rec.task) {
+                prop_assert!(rec.start >= end_of[p] - 1e-12);
+            }
+        }
+
+        // Work bounds: makespan between work/cores and total work (+overheads).
+        let total: f64 = r.records.iter().map(|t| t.end - t.start).sum();
+        prop_assert!(r.makespan >= total / cores as f64 - 1e-9);
+        prop_assert!(r.makespan <= total + 1e-9);
+
+        // A core never runs two tasks at once.
+        let mut by_core: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cores];
+        for rec in &r.records {
+            by_core[rec.core].push((rec.start, rec.end));
+        }
+        for spans in &mut by_core {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-12, "core overlap: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_is_work_conserving(tasks in random_graph()) {
+        let g = build(&tasks);
+        let r = simulate(&g, &SimConfig::xeon(1));
+        let total: f64 = r.records.iter().map(|t| t.end - t.start).sum();
+        // On one core there is never idle time between ready tasks.
+        prop_assert!((r.makespan - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_cores_never_hurt_much(tasks in random_graph()) {
+        // Greedy list scheduling is not strictly monotone, but on these
+        // graphs extra cores must never cost more than the jitter margin.
+        let g = build(&tasks);
+        let t2 = simulate(&g, &SimConfig::xeon(2)).makespan;
+        let t8 = simulate(&g, &SimConfig::xeon(8)).makespan;
+        prop_assert!(t8 <= t2 * 1.25, "2 cores {t2} vs 8 cores {t8}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Single-core GEMM throughput micro-benchmark at the fused-LSTM shape.
+//! Used to validate the simulator's `flops_per_core` calibration and the
+//! effect of `-C target-cpu=native` (see `.cargo/config.toml`).
+//!
+//! Run with: `cargo run --release -p bpar-tensor --example speed`
+
+use bpar_tensor::{gemm, init, Matrix};
+use std::time::Instant;
+fn main() {
+    let (m, k, n) = (64usize, 512usize, 1024usize);
+    let a: Matrix<f32> = init::uniform(m, k, -1.0, 1.0, 1);
+    let b: Matrix<f32> = init::uniform(k, n, -1.0, 1.0, 2);
+    let mut c: Matrix<f32> = Matrix::zeros(m, n);
+    let t0 = Instant::now();
+    let iters = 20;
+    for _ in 0..iters {
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+    let dt = t0.elapsed().as_secs_f64() / iters as f64;
+    let gf = 2.0 * m as f64 * k as f64 * n as f64 / dt / 1e9;
+    println!("{:.1} ms/iter, {:.2} Gflop/s", dt * 1e3, gf);
+}

@@ -1,0 +1,148 @@
+//! Activation functions and their derivatives.
+//!
+//! The LSTM/GRU equations only use the logistic sigmoid and tanh; the output
+//! layer of the classification models adds a row-wise softmax. Derivatives
+//! are expressed in terms of the *activated output* (`y`), which is what BPTT
+//! has in hand after the forward pass, avoiding a second activation pass.
+
+use crate::matrix::Matrix;
+use crate::scalar::Float;
+
+/// Applies the logistic sigmoid element-wise in place.
+pub fn sigmoid_inplace<T: Float>(m: &mut Matrix<T>) {
+    m.map_inplace(|v| v.sigmoid());
+}
+
+/// Applies tanh element-wise in place.
+pub fn tanh_inplace<T: Float>(m: &mut Matrix<T>) {
+    m.map_inplace(|v| v.tanh());
+}
+
+/// Sigmoid derivative from the sigmoid *output*: `σ'(x) = y (1 - y)`.
+pub fn dsigmoid_from_y<T: Float>(y: T) -> T {
+    y * (T::ONE - y)
+}
+
+/// Tanh derivative from the tanh *output*: `tanh'(x) = 1 - y²`.
+pub fn dtanh_from_y<T: Float>(y: T) -> T {
+    T::ONE - y * y
+}
+
+/// Row-wise numerically stable softmax (subtracts the row maximum).
+pub fn softmax_rows<T: Float>(m: &mut Matrix<T>) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let mut mx = row[0];
+        for &v in row.iter() {
+            mx = mx.max(v);
+        }
+        let mut denom = T::ZERO;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            denom += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+}
+
+/// Supported point-wise activations, used when a model layer is declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output layers).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn apply<T: Float>(self, m: &mut Matrix<T>) {
+        match self {
+            Activation::Sigmoid => sigmoid_inplace(m),
+            Activation::Tanh => tanh_inplace(m),
+            Activation::Linear => {}
+        }
+    }
+
+    /// Derivative evaluated from the activated output value.
+    pub fn derivative_from_y<T: Float>(self, y: T) -> T {
+        match self {
+            Activation::Sigmoid => dsigmoid_from_y(y),
+            Activation::Tanh => dtanh_from_y(y),
+            Activation::Linear => T::ONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut m = Matrix::from_vec(1, 3, vec![-10.0f64, 0.0, 10.0]);
+        sigmoid_inplace(&mut m);
+        assert!(m.get(0, 0) < 1e-4);
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!(m.get(0, 2) > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut m = Matrix::from_vec(1, 2, vec![1.3f64, -1.3]);
+        tanh_inplace(&mut m);
+        assert!((m.get(0, 0) + m.get(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-6f64;
+        for &x in &[-2.0, -0.3, 0.0, 0.9, 3.0] {
+            let y = x.sigmoid();
+            let fd = ((x + eps).sigmoid() - (x - eps).sigmoid()) / (2.0 * eps);
+            assert!((dsigmoid_from_y(y) - fd).abs() < 1e-6, "sigmoid' at {x}");
+
+            let y = x.tanh();
+            let fd = ((x + eps).tanh() - (x - eps).tanh()) / (2.0 * eps);
+            assert!((dtanh_from_y(y) - fd).abs() < 1e-6, "tanh' at {x}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        softmax_rows(&mut m);
+        for r in 0..2 {
+            let s: f64 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(m.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Largest logit keeps the largest probability.
+        assert!(m.get(0, 2) > m.get(0, 1) && m.get(0, 1) > m.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0f64, 2.0, 3.0]);
+        let mut b = Matrix::from_vec(1, 3, vec![1001.0f64, 1002.0, 1003.0]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+        assert!(b.all_finite());
+    }
+
+    #[test]
+    fn activation_enum_dispatch() {
+        let mut m = Matrix::from_vec(1, 1, vec![0.0f64]);
+        Activation::Sigmoid.apply(&mut m);
+        assert_eq!(m.get(0, 0), 0.5);
+        let mut m = Matrix::from_vec(1, 1, vec![0.7f64]);
+        Activation::Linear.apply(&mut m);
+        assert_eq!(m.get(0, 0), 0.7);
+        assert_eq!(Activation::Linear.derivative_from_y(0.3f64), 1.0);
+    }
+}

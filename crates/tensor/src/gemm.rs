@@ -1,0 +1,325 @@
+//! General matrix multiply kernels.
+//!
+//! Three entry points cover everything the RNN forward and backward passes
+//! need (all row-major, all computing `C = alpha * op(A) * op(B) + beta * C`):
+//!
+//! * [`gemm`]    — `C += A  * B`   (gate pre-activations: `X_t * W`)
+//! * [`gemm_nt`] — `C += A  * Bᵀ`  (input gradients: `dG * Wᵀ`)
+//! * [`gemm_tn`] — `C += Aᵀ * B`   (weight gradients: `Xᵀ * dG`)
+//!
+//! The implementation is a classic three-level cache-blocked loop nest with
+//! a small register tile, which is enough to stay within a small constant
+//! factor of vendor BLAS for the matrix shapes RNN cells produce
+//! (`batch × (input+hidden)` times `(input+hidden) × 4·hidden`). A naive
+//! triple loop ([`gemm_naive`]) is kept as the oracle for tests.
+
+use crate::matrix::Matrix;
+use crate::scalar::Float;
+
+/// Cache-block size along the `k` (reduction) dimension.
+const KC: usize = 256;
+/// Cache-block size along the `m` (rows of C) dimension.
+const MC: usize = 64;
+/// Register tile: rows of C updated per micro-kernel invocation.
+const MR: usize = 4;
+/// Register tile: columns of C updated per micro-kernel invocation.
+const NR: usize = 8;
+
+/// `C = alpha * A * B + beta * C`, all matrices row-major.
+///
+/// Shapes: `A: m×k`, `B: k×n`, `C: m×n`.
+///
+/// ```
+/// use bpar_tensor::{gemm, Matrix};
+/// let a = Matrix::from_vec(1, 2, vec![1.0f64, 2.0]);
+/// let b = Matrix::from_vec(2, 1, vec![3.0f64, 4.0]);
+/// let mut c = Matrix::zeros(1, 1);
+/// gemm(1.0, &a, &b, 0.0, &mut c);
+/// assert_eq!(c.get(0, 0), 11.0);
+/// ```
+///
+/// # Panics
+/// Panics if the shapes are inconsistent.
+pub fn gemm<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: inner dimensions differ ({k} vs {kb})");
+    assert_eq!(c.shape(), (m, n), "gemm: C has wrong shape");
+
+    scale_c(beta, c);
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let bs = b.as_slice();
+    // Loop order: block over k (stream panels of B through cache), then
+    // block over m (keep a panel of A hot), then the register micro-kernel.
+    for kk in (0..k).step_by(KC) {
+        let kend = (kk + KC).min(k);
+        for mm in (0..m).step_by(MC) {
+            let mend = (mm + MC).min(m);
+            for i0 in (mm..mend).step_by(MR) {
+                let ilim = (i0 + MR).min(mend);
+                for j0 in (0..n).step_by(NR) {
+                    let jlim = (j0 + NR).min(n);
+                    micro_kernel(alpha, a, bs, c, i0, ilim, j0, jlim, kk, kend, n);
+                }
+            }
+        }
+    }
+}
+
+/// Register-tile inner kernel: updates `C[i0..ilim, j0..jlim]` with the
+/// partial product over `k in [kk, kend)`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel<T: Float>(
+    alpha: T,
+    a: &Matrix<T>,
+    bs: &[T],
+    c: &mut Matrix<T>,
+    i0: usize,
+    ilim: usize,
+    j0: usize,
+    jlim: usize,
+    kk: usize,
+    kend: usize,
+    n: usize,
+) {
+    // Accumulate in registers; MR*NR accumulators.
+    let mut acc = [[T::ZERO; NR]; MR];
+    for p in kk..kend {
+        let brow = &bs[p * n + j0..p * n + jlim];
+        for (di, i) in (i0..ilim).enumerate() {
+            let aval = alpha * a.as_slice()[i * a.cols() + p];
+            let accr = &mut acc[di];
+            for (dj, &bv) in brow.iter().enumerate() {
+                accr[dj] = aval.mul_add(bv, accr[dj]);
+            }
+        }
+    }
+    for (di, i) in (i0..ilim).enumerate() {
+        let crow = &mut c.row_mut(i)[j0..jlim];
+        for (dj, cv) in crow.iter_mut().enumerate() {
+            *cv += acc[di][dj];
+        }
+    }
+}
+
+/// `C = alpha * A * Bᵀ + beta * C`.
+///
+/// Shapes: `A: m×k`, `B: n×k`, `C: m×n`. Both operands are walked along
+/// contiguous rows, so no explicit transpose buffer is needed.
+pub fn gemm_nt<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "gemm_nt: inner dimensions differ ({k} vs {kb})");
+    assert_eq!(c.shape(), (m, n), "gemm_nt: C has wrong shape");
+
+    scale_c(beta, c);
+    if alpha == T::ZERO {
+        return;
+    }
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut s = T::ZERO;
+            for p in 0..k {
+                s = arow[p].mul_add(brow[p], s);
+            }
+            let idx = i * n + j;
+            c.as_mut_slice()[idx] += alpha * s;
+        }
+    }
+}
+
+/// `C = alpha * Aᵀ * B + beta * C`.
+///
+/// Shapes: `A: k×m`, `B: k×n`, `C: m×n`. The loop order (`p` outermost)
+/// keeps all three access patterns row-contiguous.
+pub fn gemm_tn<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_tn: inner dimensions differ ({k} vs {kb})");
+    assert_eq!(c.shape(), (m, n), "gemm_tn: C has wrong shape");
+
+    scale_c(beta, c);
+    if alpha == T::ZERO {
+        return;
+    }
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &av) in arow.iter().enumerate() {
+            let f = alpha * av;
+            if f == T::ZERO {
+                continue;
+            }
+            let crow = &mut c.row_mut(i)[..n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = f.mul_add(bv, *cv);
+            }
+        }
+    }
+}
+
+/// Reference triple-loop product used as the test oracle.
+pub fn gemm_naive<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    assert_eq!(c.shape(), (m, n));
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = T::ZERO;
+            for p in 0..k {
+                s += a.get(i, p) * b.get(p, j);
+            }
+            let v = alpha * s + beta * c.get(i, j);
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Number of floating-point operations a `m×k · k×n` product performs.
+///
+/// Used by the simulator's task cost model.
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[inline]
+fn scale_c<T: Float>(beta: T, c: &mut Matrix<T>) {
+    if beta == T::ZERO {
+        c.fill_zero();
+    } else if beta != T::ONE {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        // Small deterministic LCG values in [-1, 1].
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix<f64>, b: &Matrix<f64>, tol: f64) {
+        assert!(
+            a.max_abs_diff(b) < tol,
+            "matrices differ by {}",
+            a.max_abs_diff(b)
+        );
+    }
+
+    #[test]
+    fn blocked_matches_naive_various_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 7, 3),
+            (17, 33, 9),
+            (64, 65, 66),
+            (70, 300, 12),
+            (3, 512, 3),
+        ] {
+            let a = mat(m, k, 1);
+            let b = mat(k, n, 2);
+            let mut c1 = mat(m, n, 3);
+            let mut c2 = c1.clone();
+            gemm(1.5, &a, &b, 0.5, &mut c1);
+            gemm_naive(1.5, &a, &b, 0.5, &mut c2);
+            assert_close(&c1, &c2, 1e-10);
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_on_transposed_operand() {
+        let (m, k, n) = (13, 21, 8);
+        let a = mat(m, k, 4);
+        let bt = mat(n, k, 5); // B stored transposed: n×k
+        let mut c1 = Matrix::zeros(m, n);
+        gemm_nt(2.0, &a, &bt, 0.0, &mut c1);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm_naive(2.0, &a, &bt.transposed(), 0.0, &mut c2);
+        assert_close(&c1, &c2, 1e-10);
+    }
+
+    #[test]
+    fn tn_matches_naive_on_transposed_operand() {
+        let (m, k, n) = (9, 31, 14);
+        let at = mat(k, m, 6); // A stored transposed: k×m
+        let b = mat(k, n, 7);
+        let mut c1 = mat(m, n, 8);
+        let mut c2 = c1.clone();
+        gemm_tn(0.7, &at, &b, 1.0, &mut c1);
+        gemm_naive(0.7, &at.transposed(), &b, 1.0, &mut c2);
+        assert_close(&c1, &c2, 1e-10);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_garbage() {
+        // beta = 0 must not propagate NaNs from C's previous contents.
+        let a = mat(2, 2, 9);
+        let b = mat(2, 2, 10);
+        let mut c = Matrix::full(2, 2, f64::NAN);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.all_finite());
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let a = mat(3, 3, 11);
+        let b = mat(3, 3, 12);
+        let mut c = Matrix::full(3, 3, 2.0);
+        gemm(0.0, &a, &b, 0.5, &mut c);
+        assert!(c.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = mat(6, 6, 13);
+        let i = Matrix::identity(6);
+        let mut c = Matrix::zeros(6, 6);
+        gemm(1.0, &a, &i, 0.0, &mut c);
+        assert_close(&c, &a, 1e-12);
+        gemm(1.0, &i, &a, 0.0, &mut c);
+        assert_close(&c, &a, 1e-12);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a: Matrix<f64> = Matrix::zeros(0, 4);
+        let b: Matrix<f64> = Matrix::zeros(4, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(0, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c); // must not panic
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::full(3, 2, 5.0);
+        gemm(1.0, &a, &b, 1.0, &mut c); // k = 0: C unchanged
+        assert!(c.as_slice().iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a: Matrix<f64> = Matrix::zeros(2, 3);
+        let b: Matrix<f64> = Matrix::zeros(4, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(2, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

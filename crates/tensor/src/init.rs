@@ -1,0 +1,100 @@
+//! Deterministic, seedable parameter initialisation.
+//!
+//! Every experiment in the reproduction is seeded so that the accuracy-
+//! preservation claims (task-parallel == sequential execution) can be
+//! checked bit-for-bit against a reference run.
+
+use crate::matrix::Matrix;
+use crate::scalar::Float;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform<T: Float>(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix<T> {
+    assert!(lo < hi, "empty uniform range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64(rng.gen_range(lo..hi))
+    })
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is Keras's default for RNN kernels, so using it keeps our models
+/// statistically comparable to the frameworks the paper benchmarks against.
+pub fn xavier_uniform<T: Float>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    uniform(rows, cols, -a, a, seed)
+}
+
+/// Standard normal values scaled by `std` (Box–Muller over the seeded RNG).
+pub fn normal<T: Float>(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix<T> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut spare: Option<f64> = None;
+    Matrix::from_fn(rows, cols, |_, _| {
+        let z = if let Some(s) = spare.take() {
+            s
+        } else {
+            // Box–Muller transform.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        T::from_f64(z * std)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m: Matrix<f64> = uniform(20, 20, -0.5, 0.5, 42);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let a: Matrix<f32> = xavier_uniform(8, 8, 7);
+        let b: Matrix<f32> = xavier_uniform(8, 8, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_matrix() {
+        let a: Matrix<f32> = xavier_uniform(8, 8, 7);
+        let b: Matrix<f32> = xavier_uniform(8, 8, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let small: Matrix<f64> = xavier_uniform(4, 4, 1);
+        let large: Matrix<f64> = xavier_uniform(1024, 1024, 1);
+        let bound_small = (6.0 / 8.0_f64).sqrt();
+        let bound_large = (6.0 / 2048.0_f64).sqrt();
+        assert!(small.as_slice().iter().all(|v| v.abs() <= bound_small));
+        assert!(large.as_slice().iter().all(|v| v.abs() <= bound_large));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m: Matrix<f64> = normal(100, 100, 2.0, 3);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn degenerate_range_panics() {
+        let _: Matrix<f32> = uniform(1, 1, 1.0, 1.0, 0);
+    }
+}

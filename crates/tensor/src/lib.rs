@@ -1,0 +1,30 @@
+//! # bpar-tensor
+//!
+//! Dense linear-algebra substrate for the B-Par reproduction.
+//!
+//! The paper maps each RNN-cell update onto MKL-Sequential kernels; this
+//! crate provides the equivalent building blocks in pure Rust:
+//!
+//! * [`Matrix`] — a row-major dense matrix over [`Float`] scalars,
+//! * [`gemm`] — cache-blocked general matrix multiply (plus the transposed
+//!   variants needed by backpropagation),
+//! * [`ops`] — element-wise kernels (Hadamard products, axpy, bias
+//!   broadcast, reductions),
+//! * [`activation`] — sigmoid/tanh/softmax and their derivatives,
+//! * [`init`] — deterministic, seedable weight initialisation.
+//!
+//! All kernels are sequential by design: in the B-Par execution model,
+//! parallelism comes from running many *tasks* (cell updates) concurrently,
+//! each of which calls these kernels on its private working set — exactly
+//! the "B-Par is mapped to MKL-Sequential" configuration of the paper.
+
+pub mod activation;
+pub mod gemm;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod scalar;
+
+pub use gemm::{gemm, gemm_nt, gemm_tn};
+pub use matrix::Matrix;
+pub use scalar::Float;

@@ -1,0 +1,396 @@
+//! Row-major dense matrix.
+//!
+//! `Matrix<T>` is the single tensor type used throughout the workspace.
+//! RNN workloads only ever need rank-2 data (a batch of activation vectors
+//! is a `batch × features` matrix), so a full n-d tensor type would be
+//! unnecessary complexity.
+
+use crate::scalar::Float;
+
+/// Row-major dense matrix of [`Float`] scalars.
+///
+/// Element `(r, c)` lives at linear index `r * cols + c`. Rows are therefore
+/// contiguous, which is what the blocked GEMM and the per-row batch views
+/// rely on.
+///
+/// ```
+/// use bpar_tensor::Matrix;
+/// let m = Matrix::from_vec(2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(m.get(1, 2), 6.0);
+/// assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+/// assert_eq!(m.transposed().shape(), (3, 2));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T: Float = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Float> Matrix<T> {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` matrix with every element set to `v`.
+    pub fn full(rows: usize, cols: usize, v: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { T::ONE } else { T::ZERO })
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the row-major backing buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)` to `v`.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Contiguous slice covering row `r`.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[T] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable contiguous slice covering row `r`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Sets every element to `T::ZERO`.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Freshly allocated transpose.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// New matrix with `f` applied to every element.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Extracts rows `[start, start + count)` as a new matrix.
+    ///
+    /// Used by the data-parallel executors to slice a batch into
+    /// mini-batches (`mbs:N` in the paper).
+    pub fn row_block(&self, start: usize, count: usize) -> Self {
+        assert!(start + count <= self.rows, "row block out of range");
+        Self {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertically stacks `blocks` (all must share the column count).
+    pub fn vstack(blocks: &[&Matrix<T>]) -> Self {
+        assert!(!blocks.is_empty(), "vstack of zero blocks");
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Horizontally concatenates `blocks` (all must share the row count).
+    ///
+    /// This is the `concat` merge mode of Equation (11).
+    pub fn hstack(blocks: &[&Matrix<T>]) -> Self {
+        assert!(!blocks.is_empty(), "hstack of zero blocks");
+        let rows = blocks[0].rows;
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut out = Self::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for b in blocks {
+                assert_eq!(b.rows, rows, "hstack row mismatch");
+                out.row_mut(r)[off..off + b.cols].copy_from_slice(b.row(r));
+                off += b.cols;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference against `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|v| {
+                let x = v.to_f64();
+                x * x
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Size of the backing buffer in bytes (used by working-set accounting).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Float> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.get(r, c).to_f64())?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m: Matrix<f32> = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0f32; 3]);
+    }
+
+    #[test]
+    fn row_access_is_contiguous() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(m.row(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f64);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let i: Matrix<f32> = Matrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn row_block_extracts_minibatch() {
+        let m = Matrix::from_fn(6, 2, |r, _| r as f32);
+        let blk = m.row_block(2, 3);
+        assert_eq!(blk.shape(), (3, 2));
+        assert_eq!(blk.get(0, 0), 2.0);
+        assert_eq!(blk.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn vstack_inverts_row_block() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let a = m.row_block(0, 2);
+        let b = m.row_block(2, 2);
+        assert_eq!(Matrix::vstack(&[&a, &b]), m);
+    }
+
+    #[test]
+    fn hstack_concatenates_features() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        let b = Matrix::full(2, 1, 9.0f32);
+        let h = Matrix::hstack(&[&a, &b]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[0.0, 1.0, 9.0]);
+        assert_eq!(h.row(1), &[2.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn map_and_norms() {
+        let m = Matrix::from_vec(1, 3, vec![3.0f64, 0.0, 4.0]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.as_slice(), &[6.0, 0.0, 8.0]);
+        assert_eq!(m.max_abs_diff(&doubled), 4.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::full(2, 2, 1.0f32);
+        assert!(m.all_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn nbytes_accounts_scalar_width() {
+        assert_eq!(Matrix::<f32>::zeros(2, 3).nbytes(), 24);
+        assert_eq!(Matrix::<f64>::zeros(2, 3).nbytes(), 48);
+    }
+}

@@ -1,0 +1,247 @@
+//! Element-wise and broadcast kernels.
+//!
+//! These cover the non-GEMM algebra of Equations (1)–(11): Hadamard
+//! products for the gate interactions, bias broadcasts, and the merge
+//! combinations of forward/reverse outputs.
+
+use crate::matrix::Matrix;
+use crate::scalar::Float;
+
+/// `y += alpha * x` over whole matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn axpy<T: Float>(alpha: T, x: &Matrix<T>, y: &mut Matrix<T>) {
+    assert_eq!(x.shape(), y.shape(), "axpy shape mismatch");
+    for (yv, &xv) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yv = alpha.mul_add(xv, *yv);
+    }
+}
+
+/// `out = a ⊙ b` (element-wise product).
+pub fn hadamard<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    assert_eq!(a.shape(), out.shape(), "hadamard out shape mismatch");
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x * y;
+    }
+}
+
+/// `out += a ⊙ b` (fused multiply-accumulate form used by Eq. (5)).
+pub fn hadamard_add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(a.shape(), b.shape(), "hadamard_add shape mismatch");
+    assert_eq!(a.shape(), out.shape(), "hadamard_add out shape mismatch");
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x.mul_add(y, *o);
+    }
+}
+
+/// Adds a bias row vector to every row of `m` (broadcast over the batch).
+///
+/// `bias` must be `1 × cols`.
+pub fn add_bias<T: Float>(m: &mut Matrix<T>, bias: &Matrix<T>) {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
+    let b = bias.as_slice().to_vec();
+    for r in 0..m.rows() {
+        for (v, &bv) in m.row_mut(r).iter_mut().zip(&b) {
+            *v += bv;
+        }
+    }
+}
+
+/// Column-wise sum of `m`, producing a `1 × cols` row vector.
+///
+/// This is the reduction used to form bias gradients from a batch of
+/// per-sample gate gradients.
+pub fn column_sums<T: Float>(m: &Matrix<T>) -> Matrix<T> {
+    let mut out = Matrix::zeros(1, m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        for (o, &v) in out.row_mut(0).iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// `out = a + b`.
+pub fn add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    assert_eq!(a.shape(), out.shape(), "add out shape mismatch");
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x + y;
+    }
+}
+
+/// `out = a - b`.
+pub fn sub<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    assert_eq!(a.shape(), out.shape(), "sub out shape mismatch");
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x - y;
+    }
+}
+
+/// Scales every element of `m` by `alpha` in place.
+pub fn scale<T: Float>(alpha: T, m: &mut Matrix<T>) {
+    for v in m.as_mut_slice() {
+        *v *= alpha;
+    }
+}
+
+/// Sum of all elements.
+pub fn sum<T: Float>(m: &Matrix<T>) -> T {
+    m.as_slice().iter().copied().sum()
+}
+
+/// Dot product of the flattened matrices.
+pub fn dot<T: Float>(a: &Matrix<T>, b: &Matrix<T>) -> T {
+    assert_eq!(a.shape(), b.shape(), "dot shape mismatch");
+    let mut s = T::ZERO;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        s = x.mul_add(y, s);
+    }
+    s
+}
+
+/// Clips every element into `[-limit, limit]` and returns how many were
+/// clipped. Gradient clipping guards BPTT against exploding gradients.
+pub fn clip<T: Float>(m: &mut Matrix<T>, limit: T) -> usize {
+    assert!(limit > T::ZERO, "clip limit must be positive");
+    let mut clipped = 0;
+    for v in m.as_mut_slice() {
+        if *v > limit {
+            *v = limit;
+            clipped += 1;
+        } else if *v < -limit {
+            *v = -limit;
+            clipped += 1;
+        }
+    }
+    clipped
+}
+
+/// Splits `m` column-wise into `parts` equal matrices.
+///
+/// Used to slice the fused 4·H gate pre-activation block into i/f/c̄/o
+/// gates (and the concat-merge output back into directions).
+pub fn split_cols<T: Float>(m: &Matrix<T>, parts: usize) -> Vec<Matrix<T>> {
+    assert!(parts > 0 && m.cols().is_multiple_of(parts), "cols not divisible");
+    let w = m.cols() / parts;
+    (0..parts)
+        .map(|p| {
+            Matrix::from_fn(m.rows(), w, |r, c| m.get(r, p * w + c))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f64]) -> Matrix<f64> {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = m(1, 3, &[1.0, 2.0, 3.0]);
+        let mut y = m(1, 3, &[10.0, 10.0, 10.0]);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y.as_slice(), &[12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn hadamard_and_fused_add() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        let mut out = Matrix::zeros(1, 3);
+        hadamard(&a, &b, &mut out);
+        assert_eq!(out.as_slice(), &[4.0, 10.0, 18.0]);
+        hadamard_add(&a, &b, &mut out);
+        assert_eq!(out.as_slice(), &[8.0, 20.0, 36.0]);
+    }
+
+    #[test]
+    fn bias_broadcasts_over_rows() {
+        let mut x = Matrix::zeros(3, 2);
+        let b = m(1, 2, &[1.0, -1.0]);
+        add_bias(&mut x, &b);
+        for r in 0..3 {
+            assert_eq!(x.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn column_sums_reduce_batch() {
+        let x = m(2, 3, &[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        let s = column_sums(&x);
+        assert_eq!(s.as_slice(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        let b = m(1, 2, &[1.0, 2.0]);
+        let mut s = Matrix::zeros(1, 2);
+        add(&a, &b, &mut s);
+        let mut d = Matrix::zeros(1, 2);
+        sub(&s, &b, &mut d);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn clip_counts_and_bounds() {
+        let mut x = m(1, 4, &[-5.0, -0.5, 0.5, 5.0]);
+        let n = clip(&mut x, 1.0);
+        assert_eq!(n, 2);
+        assert_eq!(x.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn split_cols_partitions_gates() {
+        let x = m(2, 4, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let parts = split_cols(&x, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(parts[1].as_slice(), &[3.0, 4.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn dot_and_sum() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(sum(&a), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let mut o = Matrix::<f64>::zeros(2, 2);
+        add(&a, &b, &mut o);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the tensor substrate.
+
+use bpar_tensor::gemm::{gemm, gemm_naive, gemm_nt, gemm_tn};
+use bpar_tensor::ops;
+use bpar_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: matrix of the given shape with small bounded values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Strategy: (m, k, n) dims plus matching A, B, C matrices.
+fn gemm_triple() -> impl Strategy<Value = (Matrix<f64>, Matrix<f64>, Matrix<f64>)> {
+    (1usize..20, 1usize..20, 1usize..20).prop_flat_map(|(m, k, n)| {
+        (matrix(m, k), matrix(k, n), matrix(m, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_gemm_equals_naive((a, b, c0) in gemm_triple(), alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm(alpha, &a, &b, beta, &mut c1);
+        gemm_naive(alpha, &a, &b, beta, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+    }
+
+    #[test]
+    fn gemm_nt_equals_explicit_transpose((a, b, c0) in gemm_triple()) {
+        // b: k×n, we use bᵀ: n×k as the stored operand.
+        let bt = b.transposed();
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm_nt(1.0, &a, &bt, 1.0, &mut c1);
+        gemm_naive(1.0, &a, &b, 1.0, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+    }
+
+    #[test]
+    fn gemm_tn_equals_explicit_transpose((a, b, c0) in gemm_triple()) {
+        // a: m×k, we use aᵀ: k×m as the stored operand.
+        let at = a.transposed();
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm_tn(1.0, &at, &b, 1.0, &mut c1);
+        gemm_naive(1.0, &a, &b, 1.0, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition((a, b, c0) in gemm_triple()) {
+        // A(B + B) == AB + AB
+        let mut b2 = Matrix::zeros(b.rows(), b.cols());
+        ops::add(&b, &b, &mut b2);
+        let mut lhs = c0.clone();
+        gemm(1.0, &a, &b2, 0.0, &mut lhs);
+        let mut rhs = c0.clone();
+        gemm(1.0, &a, &b, 0.0, &mut rhs);
+        gemm(1.0, &a, &b, 1.0, &mut rhs);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(m in (1usize..12, 1usize..12).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let t = m.transposed();
+        prop_assert!((m.frobenius_norm() - t.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hstack_then_split_round_trips(
+        m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        let joined = Matrix::hstack(&[&m, &m]);
+        let parts = ops::split_cols(&joined, 2);
+        prop_assert_eq!(&parts[0], &m);
+        prop_assert_eq!(&parts[1], &m);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        mut m in (1usize..6, 1usize..8).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        bpar_tensor::activation::softmax_rows(&mut m);
+        for r in 0..m.rows() {
+            let s: f64 = m.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(m.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn clip_bounds_everything(
+        mut m in (1usize..6, 1usize..8).prop_flat_map(|(r, c)| matrix(r, c)),
+        limit in 0.01f64..1.5,
+    ) {
+        ops::clip(&mut m, limit);
+        prop_assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn column_sums_match_manual(
+        m in (1usize..6, 1usize..8).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        let s = ops::column_sums(&m);
+        for c in 0..m.cols() {
+            let manual: f64 = (0..m.rows()).map(|r| m.get(r, c)).sum();
+            prop_assert!((s.get(0, c) - manual).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Speech recognition on the synthetic TIDIGITS corpus — the paper's
+//! many-to-one workload (§IV-B).
+//!
+//! Trains a bidirectional LSTM digit classifier with the B-Par executor
+//! (model + data parallelism, mbs:4) and reports per-epoch loss, test
+//! accuracy, and mean batch training time for B-Par vs the sequential
+//! reference.
+//!
+//! Run with: `cargo run --release -p bpar-apps --example speech_recognition`
+
+use bpar_core::prelude::*;
+use bpar_core::train::{Batch, Trainer};
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use bpar_runtime::SchedulerPolicy;
+
+fn main() {
+    let config = BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 20,
+        hidden_size: 32,
+        layers: 2,
+        seq_len: 14,
+        output_size: DIGIT_CLASSES,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    };
+    let data = TidigitsDataset::new(config.input_size, 11, 1234);
+
+    // 40 training batches of 16 utterances, one held-out eval batch.
+    let train: Vec<Batch<f32>> = (0..40u64)
+        .map(|i| {
+            let (xs, labels) = data.batch(i * 16, 16, config.seq_len);
+            Batch {
+                xs,
+                target: Target::Classes(labels),
+            }
+        })
+        .collect();
+    let eval: Vec<Batch<f32>> = vec![{
+        let (xs, labels) = data.batch(100_000, 128, config.seq_len);
+        Batch {
+            xs,
+            target: Target::Classes(labels),
+        }
+    }];
+
+    let bpar = TaskGraphExec::with_config(0, SchedulerPolicy::LocalityAware, 4);
+    let sequential = SequentialExec::new();
+
+    let mut model: Brnn<f32> = Brnn::new(config, 7);
+    let mut trainer = Trainer::new(&bpar, Box::new(Momentum::new(0.05, 0.9)));
+    println!("epoch  loss      test-accuracy  mean-batch-ms");
+    for epoch in 0..6 {
+        let stats = trainer.train_epoch(&mut model, &train);
+        let acc = trainer.evaluate(&model, &eval);
+        println!(
+            "{epoch:>5}  {:<8.4}  {:>12.1}%  {:>12.2}",
+            stats.final_loss(),
+            acc * 100.0,
+            stats.mean_batch_ms()
+        );
+    }
+    let acc = trainer.evaluate(&model, &eval);
+    assert!(acc > 0.8, "digit accuracy should exceed 80%, got {acc}");
+
+    // Timing comparison on one epoch (this container may have few cores;
+    // the scaling experiments use the simulator — see `bpar-bench`).
+    let mut m1: Brnn<f32> = Brnn::new(config, 7);
+    let mut t1 = Trainer::new(&sequential, Box::new(Sgd::new(0.05)));
+    let s1 = t1.train_epoch(&mut m1, &train);
+    let mut m2: Brnn<f32> = Brnn::new(config, 7);
+    let mut t2 = Trainer::new(&bpar, Box::new(Sgd::new(0.05)));
+    let s2 = t2.train_epoch(&mut m2, &train);
+    println!(
+        "\nmean batch time: sequential {:.2} ms, b-par {:.2} ms ({} workers)",
+        s1.mean_batch_ms(),
+        s2.mean_batch_ms(),
+        bpar.runtime().workers()
+    );
+    println!(
+        "parameter agreement after one epoch: {:e}",
+        m1.max_param_diff(&m2)
+    );
+}

@@ -1,0 +1,177 @@
+//! Cross-crate end-to-end tests: real datasets, real models, real
+//! executors, checking both learning outcomes and the paper's
+//! accuracy-preservation claim.
+
+use bpar_core::loss::perplexity;
+use bpar_core::prelude::*;
+use bpar_core::train::{Batch, Trainer};
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use bpar_data::wikitext::{WikitextDataset, VOCAB_SIZE};
+use bpar_runtime::SchedulerPolicy;
+
+fn speech_config() -> BrnnConfig {
+    BrnnConfig {
+        cell: CellKind::Lstm,
+        input_size: 16,
+        hidden_size: 24,
+        layers: 2,
+        seq_len: 12,
+        output_size: DIGIT_CLASSES,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
+    }
+}
+
+fn speech_batches(config: &BrnnConfig, n: usize, rows: usize) -> Vec<Batch<f64>> {
+    let data = TidigitsDataset::new(config.input_size, 10, 77);
+    (0..n as u64)
+        .map(|i| {
+            let (xs, labels) = data.batch(i * rows as u64, rows, config.seq_len);
+            Batch {
+                xs,
+                target: Target::Classes(labels),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn bpar_learns_digit_classification() {
+    let config = speech_config();
+    let exec = TaskGraphExec::new(2);
+    let mut model: Brnn<f64> = Brnn::new(config, 42);
+    let mut trainer = Trainer::new(&exec, Box::new(Momentum::new(0.05, 0.9)));
+    let train = speech_batches(&config, 25, 16);
+    let eval = speech_batches(&config, 1, 128);
+
+    let initial = trainer.evaluate(&model, &eval);
+    for _ in 0..4 {
+        trainer.train_epoch(&mut model, &train);
+    }
+    let trained = trainer.evaluate(&model, &eval);
+    assert!(
+        trained > 0.7,
+        "accuracy after training: {trained} (initial {initial})"
+    );
+    assert!(trained > initial + 0.3, "should improve substantially");
+}
+
+#[test]
+fn all_executors_reach_identical_digit_accuracy() {
+    let config = speech_config();
+    let train = speech_batches(&config, 12, 12);
+    let eval = speech_batches(&config, 1, 96);
+
+    let execs: Vec<(Box<dyn Executor<f64>>, bool)> = vec![
+        (Box::new(SequentialExec::new()), true),
+        (Box::new(TaskGraphExec::new(3)), true),
+        (
+            Box::new(TaskGraphExec::with_config(2, SchedulerPolicy::Fifo, 1)),
+            true,
+        ),
+        (Box::new(BarrierExec::new(2)), true),
+        (Box::new(BSeqExec::new(2, 3)), false), // multi-chunk: fp tolerance
+        (
+            Box::new(TaskGraphExec::with_config(3, SchedulerPolicy::LocalityAware, 3)),
+            false,
+        ),
+    ];
+
+    let mut reference_acc = None;
+    let mut reference_model: Option<Brnn<f64>> = None;
+    for (exec, exact) in &execs {
+        let mut model: Brnn<f64> = Brnn::new(config, 9);
+        let mut trainer = Trainer::new(exec.as_ref(), Box::new(Sgd::new(0.08)));
+        for _ in 0..3 {
+            trainer.train_epoch(&mut model, &train);
+        }
+        let acc = trainer.evaluate(&model, &eval);
+        match (&reference_acc, &reference_model) {
+            (None, _) => {
+                reference_acc = Some(acc);
+                reference_model = Some(model);
+            }
+            (Some(ra), Some(rm)) => {
+                let diff = model.max_param_diff(rm);
+                if *exact {
+                    assert_eq!(diff, 0.0, "{}: params must match exactly", exec.name());
+                    assert_eq!(acc, *ra, "{}: accuracy must match exactly", exec.name());
+                } else {
+                    assert!(diff < 1e-8, "{}: param drift {diff}", exec.name());
+                    assert!((acc - ra).abs() < 0.05, "{}: accuracy drift", exec.name());
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn bgru_learns_next_char_prediction() {
+    let config = BrnnConfig {
+        cell: CellKind::Gru,
+        input_size: VOCAB_SIZE,
+        hidden_size: 32,
+        layers: 2,
+        seq_len: 16,
+        output_size: VOCAB_SIZE,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToMany,
+    };
+    let data = WikitextDataset::new(5);
+    let exec = TaskGraphExec::new(2);
+    let mut model: Brnn<f64> = Brnn::new(config, 11);
+    let mut opt = Adam::new(0.02);
+
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for step in 0..30u64 {
+        let (xs, targets) = data.batch(step * 16, 16, config.seq_len);
+        last = exec.train_batch(&mut model, &xs, &Target::SeqClasses(targets), &mut opt);
+        if step == 0 {
+            first = last;
+        }
+    }
+    // Perplexity must drop well below the uniform baseline (28 chars).
+    assert!(
+        perplexity(last) < perplexity(first) * 0.7,
+        "perplexity {} -> {}",
+        perplexity(first),
+        perplexity(last)
+    );
+    assert!(perplexity(last) < VOCAB_SIZE as f64 * 0.6);
+}
+
+#[test]
+fn concat_merge_end_to_end() {
+    // The concat merge doubles deeper-layer widths; train end-to-end to
+    // check every shape lines up under the parallel executor.
+    let config = BrnnConfig {
+        merge: MergeMode::Concat,
+        ..speech_config()
+    };
+    let exec = TaskGraphExec::new(2);
+    let mut model: Brnn<f64> = Brnn::new(config, 21);
+    let mut trainer = Trainer::new(&exec, Box::new(Sgd::new(0.05)));
+    let train = speech_batches(&config, 8, 8);
+    let stats = trainer.train_epoch(&mut model, &train);
+    let (head, tail) = stats.loss_trend(2);
+    assert!(tail.is_finite() && head.is_finite());
+}
+
+#[test]
+fn variable_sequence_lengths_across_batches() {
+    // §III-B: "for variable sequence length in between batches, B-Par
+    // adjusts the computation graph dynamically on run-time". The same
+    // executor instance must handle changing seq_len per batch.
+    let config = speech_config();
+    let data = TidigitsDataset::new(config.input_size, 10, 3);
+    let exec = TaskGraphExec::new(2);
+    let mut model: Brnn<f64> = Brnn::new(config, 2);
+    let mut opt = Sgd::new(0.05);
+    for (i, seq_len) in [8usize, 14, 6, 12].iter().enumerate() {
+        let (xs, labels) = data.batch::<f64>(i as u64 * 8, 8, *seq_len);
+        let loss = exec.train_batch(&mut model, &xs, &Target::Classes(labels), &mut opt);
+        assert!(loss.is_finite());
+    }
+}
