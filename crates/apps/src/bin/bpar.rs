@@ -9,6 +9,9 @@
 //! bpar simulate     [--layers N] [--hidden N] [--batch N] [--seq N]
 //!                   [--cores LIST] [--mbs N] [--barriers]
 //!                                                 simulated multi-core batch times
+//! bpar serve        [--rate R] [--requests N] [--window-us U] [--max-batch N]
+//!                   [--policy block|reject|shed] [--mode open|closed] [--model PATH]
+//!                                                 dynamic-batching inference serving
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI-crate dependency); every
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         "train-chars" => train_chars(&opts),
         "eval" => eval(&opts),
         "simulate" => simulate_cmd(&opts),
+        "serve" => serve_cmd(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,7 +69,11 @@ USAGE:
   bpar train-chars  [--layers N] [--hidden N] [--steps N] [--cell lstm|gru|vanilla] [--save PATH]
   bpar eval         --model PATH
   bpar simulate     [--layers N] [--hidden N] [--batch N] [--seq N]
-                    [--cores a,b,c] [--mbs N] [--barriers]";
+                    [--cores a,b,c] [--mbs N] [--barriers]
+  bpar serve        [--rate R] [--requests N] [--window-us U] [--max-batch N]
+                    [--bucket-width N] [--queue-cap N] [--policy block|reject|shed]
+                    [--mode open|closed] [--deadline-ms D] [--workers N] [--seed S]
+                    [--layers N] [--hidden N] [--model PATH]";
 
 type Flags = HashMap<String, String>;
 
@@ -98,6 +106,15 @@ fn get_usize(opts: &Flags, name: &str, default: usize) -> Result<usize, String> 
     }
 }
 
+fn get_f64(opts: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
 fn get_cell(opts: &Flags) -> Result<CellKind, String> {
     match opts.get("cell").map(String::as_str) {
         None | Some("lstm") => Ok(CellKind::Lstm),
@@ -124,12 +141,18 @@ fn train_speech(opts: &Flags) -> Result<(), String> {
     let train: Vec<Batch<f32>> = (0..30u64)
         .map(|i| {
             let (xs, labels) = data.batch(i * 16, 16, config.seq_len);
-            Batch { xs, target: Target::Classes(labels) }
+            Batch {
+                xs,
+                target: Target::Classes(labels),
+            }
         })
         .collect();
     let eval_batch: Vec<Batch<f32>> = vec![{
         let (xs, labels) = data.batch(1_000_000, 128, config.seq_len);
-        Batch { xs, target: Target::Classes(labels) }
+        Batch {
+            xs,
+            target: Target::Classes(labels),
+        }
     }];
 
     let exec = TaskGraphExec::with_config(0, SchedulerPolicy::LocalityAware, mbs);
@@ -254,7 +277,11 @@ fn simulate_cmd(opts: &Flags) -> Result<(), String> {
         None => vec![1, 8, 24, 48],
         Some(list) => list
             .split(',')
-            .map(|c| c.trim().parse().map_err(|_| format!("bad core count `{c}`")))
+            .map(|c| {
+                c.trim()
+                    .parse()
+                    .map_err(|_| format!("bad core count `{c}`"))
+            })
             .collect::<Result<_, _>>()?,
     };
 
@@ -284,5 +311,115 @@ fn simulate_cmd(opts: &Flags) -> Result<(), String> {
             r.avg_concurrency()
         );
     }
+    Ok(())
+}
+
+fn serve_cmd(opts: &Flags) -> Result<(), String> {
+    use bpar_serve::{
+        run_closed_loop, run_open_loop, BackpressurePolicy, BatchPolicy, ClosedLoopConfig,
+        OpenLoopConfig, ServeConfig,
+    };
+    use std::time::Duration;
+
+    let model: Brnn<f32> = match opts.get("model") {
+        Some(path) => bpar_core::io::load_file(path).map_err(|e| e.to_string())?,
+        None => Brnn::new(
+            BrnnConfig {
+                cell: get_cell(opts)?,
+                input_size: 20,
+                hidden_size: get_usize(opts, "hidden", 32)?,
+                layers: get_usize(opts, "layers", 2)?,
+                seq_len: 14,
+                output_size: DIGIT_CLASSES,
+                merge: MergeMode::Sum,
+                kind: ModelKind::ManyToOne,
+            },
+            1,
+        ),
+    };
+    let policy = {
+        let name = opts.get("policy").map(String::as_str).unwrap_or("block");
+        BackpressurePolicy::parse(name)
+            .ok_or_else(|| format!("--policy expects block|reject|shed, got `{name}`"))?
+    };
+    let cfg = ServeConfig {
+        queue_capacity: get_usize(opts, "queue-cap", 64)?,
+        policy,
+        batch: BatchPolicy::new(
+            get_usize(opts, "max-batch", 8)?,
+            Duration::from_micros(get_usize(opts, "window-us", 2000)? as u64),
+        )
+        .with_bucket_width(get_usize(opts, "bucket-width", 1)?),
+        workers: get_usize(opts, "workers", 0)?,
+        scheduler: SchedulerPolicy::LocalityAware,
+    };
+    let seed = get_usize(opts, "seed", 42)? as u64;
+    let requests = get_usize(opts, "requests", 200)? as u64;
+    let deadline = match opts.get("deadline-ms") {
+        None => None,
+        Some(v) => {
+            let ms: f64 = v
+                .parse()
+                .map_err(|_| format!("--deadline-ms expects a number, got `{v}`"))?;
+            Some(Duration::from_secs_f64(ms / 1e3))
+        }
+    };
+    let mode = opts.get("mode").map(String::as_str).unwrap_or("open");
+    println!(
+        "serving {requests} requests ({mode} loop) through a {}-layer {:?} model: \
+         window {}us, max batch {}, bucket width {}, policy {}, queue cap {}",
+        model.config.layers,
+        model.config.cell,
+        cfg.batch.window.as_micros(),
+        cfg.batch.max_batch,
+        cfg.batch.bucket_width,
+        cfg.policy.name(),
+        cfg.queue_capacity,
+    );
+    let report = match mode {
+        "open" => run_open_loop(
+            model,
+            cfg,
+            OpenLoopConfig {
+                seed,
+                rate_rps: get_f64(opts, "rate", 200.0)?,
+                requests,
+                mean_frames: 11,
+                deadline,
+            },
+        ),
+        "closed" => run_closed_loop(
+            model,
+            cfg,
+            ClosedLoopConfig {
+                seed,
+                requests,
+                mean_frames: 11,
+                deadline,
+            },
+        ),
+        other => return Err(format!("--mode expects open|closed, got `{other}`")),
+    };
+    println!(
+        "outcome: {} served, {} shed, {} rejected in {:.2}s ({:.1} served/s)",
+        report.served, report.shed, report.rejected, report.duration_s, report.throughput_rps
+    );
+    println!(
+        "latency (ms): p50 {:.2}  p95 {:.2}  p99 {:.2}  p99.9 {:.2}  max {:.2}",
+        report.latency.p50_us as f64 / 1e3,
+        report.latency.p95_us as f64 / 1e3,
+        report.latency.p99_us as f64 / 1e3,
+        report.latency.p999_us as f64 / 1e3,
+        report.latency.max_us as f64 / 1e3,
+    );
+    println!(
+        "batches: {} ({:.1} rows mean, {:.0}% fill, {:.1}% padding); queue depth mean {:.1} max {}",
+        report.batches,
+        report.batch_rows_mean,
+        report.batch_fill_mean * 100.0,
+        report.padding_frac * 100.0,
+        report.queue_depth_mean,
+        report.queue_depth_max,
+    );
     Ok(())
 }

@@ -160,8 +160,8 @@ impl CpuFramework {
 
             // Merge ops: element-wise, bandwidth bound, one op per step.
             let merge_bytes = (3 * batch * hidden * 4) as f64;
-            total += cfg.seq_len as f64
-                * (merge_bytes / machine.mem_bw_per_socket + self.sync_base);
+            total +=
+                cfg.seq_len as f64 * (merge_bytes / machine.mem_bw_per_socket + self.sync_base);
         }
 
         if phase == Phase::Training {

@@ -16,16 +16,18 @@ fn arb_config() -> impl Strategy<Value = BrnnConfig> {
         1usize..13,
         prop_oneof![Just(2usize), Just(10), Just(50), Just(100)],
     )
-        .prop_map(|(cell, input_size, hidden_size, layers, seq_len)| BrnnConfig {
-            cell,
-            input_size,
-            hidden_size,
-            layers,
-            seq_len,
-            output_size: 11,
-            merge: MergeMode::Sum,
-            kind: ModelKind::ManyToOne,
-        })
+        .prop_map(
+            |(cell, input_size, hidden_size, layers, seq_len)| BrnnConfig {
+                cell,
+                input_size,
+                hidden_size,
+                layers,
+                seq_len,
+                output_size: 11,
+                merge: MergeMode::Sum,
+                kind: ModelKind::ManyToOne,
+            },
+        )
 }
 
 proptest! {

@@ -40,27 +40,59 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
 
     let free = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8));
-    let barred = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_barriers(true));
+    let barred = build_graph(
+        &GraphSpec::training(cfg(), 128)
+            .with_mbs(8)
+            .with_barriers(true),
+    );
     let mbs1 = build_graph(&GraphSpec::training(cfg(), 128));
-    let fused = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_fused_merges(true));
-    let split = build_graph(&GraphSpec::training(cfg(), 128).with_mbs(8).with_split_cells(true));
+    let fused = build_graph(
+        &GraphSpec::training(cfg(), 128)
+            .with_mbs(8)
+            .with_fused_merges(true),
+    );
+    let split = build_graph(
+        &GraphSpec::training(cfg(), 128)
+            .with_mbs(8)
+            .with_split_cells(true),
+    );
 
     // Print the simulated effect once (criterion measures sim runtime,
     // the makespans are the scientific result).
     let t_free = simulate(&free, &SimConfig::xeon(24)).makespan;
     let t_barred = simulate(&barred, &SimConfig::xeon(24)).makespan;
-    let t_fifo = simulate(&free, &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo)).makespan;
+    let t_fifo = simulate(
+        &free,
+        &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo),
+    )
+    .makespan;
     let t_mbs1 = simulate(&mbs1, &SimConfig::xeon(24)).makespan;
     let t_fused = simulate(&fused, &SimConfig::xeon(24)).makespan;
     let t_split = simulate(&split, &SimConfig::xeon(24)).makespan;
     eprintln!("ablation makespans @24 cores (s):");
     eprintln!("  barrier-free mbs:8       {t_free:.3}");
-    eprintln!("  per-layer barriers mbs:8 {t_barred:.3}  ({:.2}x slower)", t_barred / t_free);
-    eprintln!("  FIFO scheduler mbs:8     {t_fifo:.3}  ({:.2}x slower)", t_fifo / t_free);
-    eprintln!("  mbs:1 (model-par only)   {t_mbs1:.3}  ({:.2}x slower)", t_mbs1 / t_free);
-    eprintln!("  fused merges mbs:8       {t_fused:.3}  ({:.2}x)", t_fused / t_free);
-    eprintln!("  gate-split tasks mbs:8   {t_split:.3}  ({:.2}x, {} vs {} tasks)",
-        t_split / t_free, split.len(), free.len());
+    eprintln!(
+        "  per-layer barriers mbs:8 {t_barred:.3}  ({:.2}x slower)",
+        t_barred / t_free
+    );
+    eprintln!(
+        "  FIFO scheduler mbs:8     {t_fifo:.3}  ({:.2}x slower)",
+        t_fifo / t_free
+    );
+    eprintln!(
+        "  mbs:1 (model-par only)   {t_mbs1:.3}  ({:.2}x slower)",
+        t_mbs1 / t_free
+    );
+    eprintln!(
+        "  fused merges mbs:8       {t_fused:.3}  ({:.2}x)",
+        t_fused / t_free
+    );
+    eprintln!(
+        "  gate-split tasks mbs:8   {t_split:.3}  ({:.2}x, {} vs {} tasks)",
+        t_split / t_free,
+        split.len(),
+        free.len()
+    );
 
     group.bench_function("barrier_free", |b| {
         b.iter(|| black_box(simulate(&free, &SimConfig::xeon(24)).makespan))
@@ -71,7 +103,11 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("fifo_scheduler", |b| {
         b.iter(|| {
             black_box(
-                simulate(&free, &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo)).makespan,
+                simulate(
+                    &free,
+                    &SimConfig::xeon(24).with_policy(SchedulerPolicy::Fifo),
+                )
+                .makespan,
             )
         })
     });

@@ -12,7 +12,11 @@ fn bench_gemm(c: &mut Criterion) {
     group.sample_size(10);
     // (batch × (input+hidden)) · ((input+hidden) × 4·hidden): the fused
     // LSTM gate product at three model scales.
-    for &(b, ih, h4) in &[(16usize, 96usize, 128usize), (32, 320, 512), (64, 512, 1024)] {
+    for &(b, ih, h4) in &[
+        (16usize, 96usize, 128usize),
+        (32, 320, 512),
+        (64, 512, 1024),
+    ] {
         let a: Matrix<f32> = init::uniform(b, ih, -1.0, 1.0, 1);
         let w: Matrix<f32> = init::uniform(ih, h4, -1.0, 1.0, 2);
         let mut out: Matrix<f32> = Matrix::zeros(b, h4);

@@ -41,11 +41,14 @@ fn main() {
     let execs: Vec<(&str, Box<dyn Executor<f64>>)> = vec![
         ("sequential", Box::new(SequentialExec::new())),
         ("b-par", Box::new(TaskGraphExec::new(4))),
-        ("b-par mbs:4", Box::new(TaskGraphExec::with_config(
-            4,
-            bpar_runtime::SchedulerPolicy::LocalityAware,
-            4,
-        ))),
+        (
+            "b-par mbs:4",
+            Box::new(TaskGraphExec::with_config(
+                4,
+                bpar_runtime::SchedulerPolicy::LocalityAware,
+                4,
+            )),
+        ),
         ("barrier", Box::new(BarrierExec::new(4))),
         ("b-seq mbs:4", Box::new(BSeqExec::new(4, 4))),
     ];
@@ -58,12 +61,7 @@ fn main() {
         let mut loss = 0.0;
         for _ in 0..3 {
             for (xs, labels) in &batches {
-                loss = exec.train_batch(
-                    &mut model,
-                    xs,
-                    &Target::Classes(labels.clone()),
-                    &mut opt,
-                );
+                loss = exec.train_batch(&mut model, xs, &Target::Classes(labels.clone()), &mut opt);
             }
         }
         let out = exec.forward(&model, &eval.0);
@@ -98,7 +96,12 @@ fn main() {
         .collect();
     print_table(
         "Accuracy preservation: 60 live training batches on synthetic TIDIGITS",
-        &["executor", "final loss", "test accuracy", "param diff vs sequential"],
+        &[
+            "executor",
+            "final loss",
+            "test accuracy",
+            "param diff vs sequential",
+        ],
         &rows,
     );
 

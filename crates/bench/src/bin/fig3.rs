@@ -68,7 +68,9 @@ fn main() {
                  (baseline {:.2} s)",
                 baseline
             ),
-            &["cores", "mbs:1", "mbs:2", "mbs:4", "mbs:6", "mbs:8", "mbs:10", "mbs:12"],
+            &[
+                "cores", "mbs:1", "mbs:2", "mbs:4", "mbs:6", "mbs:8", "mbs:10", "mbs:12",
+            ],
             &rows,
         );
     }

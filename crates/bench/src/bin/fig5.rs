@@ -76,7 +76,9 @@ fn main() {
     eprintln!();
     print_table(
         "Fig. 5: best-over-cores training time (s) and B-Par speed-up",
-        &["config", "Keras", "PyTorch", "B-Seq", "B-Par", "vs K", "vs P"],
+        &[
+            "config", "Keras", "PyTorch", "B-Seq", "B-Par", "vs K", "vs P",
+        ],
         &rows,
     );
 
@@ -87,7 +89,13 @@ fn main() {
         "\nB-Par vs Keras speed-up range: {lo:.2}x – {hi:.2}x \
          (paper: 1.58x – 6.40x across Fig. 5/6 configurations)."
     );
-    let wins = points.iter().filter(|p| p.bpar < p.keras && p.bpar < p.pytorch && p.bpar < p.bseq).count();
-    println!("B-Par fastest in {wins}/{} configurations (paper: all).", points.len());
+    let wins = points
+        .iter()
+        .filter(|p| p.bpar < p.keras && p.bpar < p.pytorch && p.bpar < p.bseq)
+        .count();
+    println!(
+        "B-Par fastest in {wins}/{} configurations (paper: all).",
+        points.len()
+    );
     write_json("fig5", &points);
 }

@@ -52,8 +52,22 @@ fn main() {
 
     // More replicas than cores so scheduling decisions actually matter.
     let (batch, cores, mbs) = (120, 8, 12);
-    let aware = bpar_result(&cfg, batch, cores, mbs, Phase::Training, SchedulerPolicy::LocalityAware);
-    let oblivious = bpar_result(&cfg, batch, cores, mbs, Phase::Training, SchedulerPolicy::Fifo);
+    let aware = bpar_result(
+        &cfg,
+        batch,
+        cores,
+        mbs,
+        Phase::Training,
+        SchedulerPolicy::LocalityAware,
+    );
+    let oblivious = bpar_result(
+        &cfg,
+        batch,
+        cores,
+        mbs,
+        Phase::Training,
+        SchedulerPolicy::Fifo,
+    );
 
     let ipc_edges = vec![0.0, 0.5, 1.0, 1.5, 2.0];
     let mpki_edges = vec![0.0, 5.0, 10.0, 15.0, 20.0];
@@ -65,7 +79,10 @@ fn main() {
     let pct = |v: f64| format!("{:.0}%", v * 100.0);
     let rows: Vec<Vec<String>> = (0..ipc_edges.len())
         .map(|i| {
-            let hi = ipc_edges.get(i + 1).map(|e| e.to_string()).unwrap_or("inf".into());
+            let hi = ipc_edges
+                .get(i + 1)
+                .map(|e| e.to_string())
+                .unwrap_or("inf".into());
             vec![
                 format!("{}-{}", ipc_edges[i], hi),
                 pct(ipc_o.share[i]),
@@ -86,7 +103,10 @@ fn main() {
 
     let rows: Vec<Vec<String>> = (0..mpki_edges.len())
         .map(|i| {
-            let hi = mpki_edges.get(i + 1).map(|e| e.to_string()).unwrap_or("inf".into());
+            let hi = mpki_edges
+                .get(i + 1)
+                .map(|e| e.to_string())
+                .unwrap_or("inf".into());
             vec![
                 format!("{}-{}", mpki_edges[i], hi),
                 pct(mpki_o.share[i]),

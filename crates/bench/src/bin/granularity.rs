@@ -37,7 +37,14 @@ fn main() {
         merge: MergeMode::Sum,
         kind: ModelKind::ManyToOne,
     };
-    let r = bpar_result(&cfg, 128, 24, 1, Phase::Training, SchedulerPolicy::LocalityAware);
+    let r = bpar_result(
+        &cfg,
+        128,
+        24,
+        1,
+        Phase::Training,
+        SchedulerPolicy::LocalityAware,
+    );
 
     let durations_us: Vec<f64> = r.records.iter().map(|t| t.duration() * 1e6).collect();
     let min = durations_us.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -66,7 +73,10 @@ fn main() {
         vec![
             "tasks (one training batch)".into(),
             tasks_per_batch.to_string(),
-            format!("{} total = ~{batches:.0} batches", paper::granularity::TOTAL_TASKS),
+            format!(
+                "{} total = ~{batches:.0} batches",
+                paper::granularity::TOTAL_TASKS
+            ),
         ],
         vec![
             "avg LSTM-task working set (MB)".into(),

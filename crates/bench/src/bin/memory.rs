@@ -87,7 +87,12 @@ fn main() {
     ];
     print_table(
         "Memory consumption (8-layer BLSTM, mbs:6): barrier-free vs per-layer barriers",
-        &["metric", "barrier-free", "barriers", "paper (free/barriers)"],
+        &[
+            "metric",
+            "barrier-free",
+            "barriers",
+            "paper (free/barriers)",
+        ],
         &rows,
     );
     println!(

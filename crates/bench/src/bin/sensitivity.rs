@@ -54,7 +54,11 @@ fn main() {
         kind: ModelKind::ManyToOne,
     };
     let free = build_graph(&GraphSpec::training(cfg, 128).with_mbs(8));
-    let barred = build_graph(&GraphSpec::training(cfg, 128).with_mbs(8).with_barriers(true));
+    let barred = build_graph(
+        &GraphSpec::training(cfg, 128)
+            .with_mbs(8)
+            .with_barriers(true),
+    );
     let bseq = bseq_graph(&cfg, 128, 8, Phase::Training);
 
     let mut points = Vec::new();
@@ -137,6 +141,9 @@ fn main() {
         points.len() - violations,
         points.len()
     );
-    assert_eq!(violations, 0, "shape conclusions must be calibration-robust");
+    assert_eq!(
+        violations, 0,
+        "shape conclusions must be calibration-robust"
+    );
     write_json("sensitivity", &points);
 }

@@ -1,0 +1,271 @@
+//! Dynamic micro-batching serving sweep (ISSUE tentpole experiment).
+//!
+//! Sweeps {batching window × max batch size × offered rate} over the
+//! `bpar-serve` stack and compares three batching disciplines at every
+//! rate:
+//!
+//! * **batch=1** — each request served alone, no batching delay;
+//! * **fixed** — batches close only when full (a long window stands in
+//!   for "wait for a full batch");
+//! * **dynamic** — micro-batches close on time-window OR max-batch,
+//!   whichever first.
+//!
+//! Offered rates and windows are expressed as multiples of the measured
+//! single-request service time, so the sweep exercises the same
+//! under-load / saturation / overload regimes on any machine (and in
+//! debug or release builds). The run completes on a single worker core.
+//!
+//! For each rate the explicit comparison is printed and recorded: does
+//! some dynamic point serve strictly more requests per second than
+//! batch=1 at equal-or-better p99? Under overload it must — batch=1
+//! burns a full task-graph submission per request while dynamic batching
+//! amortizes it over up to `max_batch` rows.
+//!
+//! The JSON filename is deterministic: seed + a hash of the structural
+//! sweep configuration, never wall-clock.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin serving`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_data::tidigits::DIGIT_CLASSES;
+use bpar_serve::metrics::report_name;
+use bpar_serve::{
+    run_closed_loop, run_open_loop, BackpressurePolicy, BatchPolicy, ClosedLoopConfig,
+    OpenLoopConfig, ServeConfig, ServingReport,
+};
+use serde::Serialize;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const REQUESTS: u64 = 120;
+const MEAN_FRAMES: usize = 11;
+const QUEUE_CAP: usize = 64;
+const BUCKET_WIDTH: usize = 16; // lengths vary ~7..15 → one shared bucket
+const RATE_MULTIPLIERS: [f64; 3] = [0.5, 1.5, 3.0];
+const WINDOW_FACTORS: [f64; 2] = [2.0, 8.0]; // × single-request service time
+const MAX_BATCHES: [usize; 2] = [4, 8];
+const DEADLINE_FACTOR: f64 = 40.0;
+
+/// One rate's dynamic-vs-batch=1 verdict.
+#[derive(Debug, Clone, Serialize)]
+struct Comparison {
+    rate_rps: f64,
+    batch1_throughput_rps: f64,
+    batch1_p99_us: u64,
+    best_dynamic_window_us: u64,
+    best_dynamic_max_batch: usize,
+    best_dynamic_throughput_rps: f64,
+    best_dynamic_p99_us: u64,
+    /// Strictly higher throughput at equal-or-better p99.
+    dynamic_wins: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ServingSweep {
+    seed: u64,
+    requests_per_point: u64,
+    calibrated_service_us: f64,
+    batch1_capacity_rps: f64,
+    points: Vec<ServingReport>,
+    comparisons: Vec<Comparison>,
+    any_dynamic_win: bool,
+}
+
+fn model() -> Brnn<f32> {
+    Brnn::new(
+        BrnnConfig {
+            input_size: 20,
+            hidden_size: 32,
+            layers: 2,
+            seq_len: 14,
+            output_size: DIGIT_CLASSES,
+            kind: ModelKind::ManyToOne,
+            ..BrnnConfig::default()
+        },
+        1,
+    )
+}
+
+fn serve_cfg(max_batch: usize, window: Duration) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: QUEUE_CAP,
+        policy: BackpressurePolicy::ShedExpired,
+        batch: BatchPolicy::new(max_batch, window).with_bucket_width(BUCKET_WIDTH),
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Measures the single-request service time (µs) with a short closed
+/// loop at batch=1: the p50 of the forward-pass service component.
+fn calibrate() -> f64 {
+    let report = run_closed_loop(
+        model(),
+        ServeConfig {
+            queue_capacity: 1,
+            policy: BackpressurePolicy::Block,
+            batch: BatchPolicy::batch_of_one(),
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        ClosedLoopConfig {
+            seed: SEED,
+            requests: 30,
+            mean_frames: MEAN_FRAMES,
+            deadline: None,
+        },
+    );
+    (report.service.p50_us as f64).max(1.0)
+}
+
+fn run_point(
+    rate_rps: f64,
+    max_batch: usize,
+    window: Duration,
+    deadline: Duration,
+) -> ServingReport {
+    run_open_loop(
+        model(),
+        serve_cfg(max_batch, window),
+        OpenLoopConfig {
+            seed: SEED,
+            rate_rps,
+            requests: REQUESTS,
+            mean_frames: MEAN_FRAMES,
+            deadline: Some(deadline),
+        },
+    )
+}
+
+fn main() {
+    let service_us = calibrate();
+    let capacity_rps = 1e6 / service_us;
+    let deadline = Duration::from_micros((service_us * DEADLINE_FACTOR) as u64);
+    println!(
+        "calibration: single-request service {:.2} ms → batch=1 capacity ~{:.0} req/s",
+        service_us / 1e3,
+        capacity_rps
+    );
+
+    let mut points: Vec<ServingReport> = Vec::new();
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for mult in RATE_MULTIPLIERS {
+        let rate = capacity_rps * mult;
+
+        // Baseline 1: no batching.
+        let batch1 = run_point(rate, 1, Duration::ZERO, deadline);
+        points.push(batch1.clone());
+        rows.push(summary_row(&format!("{mult}x"), "batch=1", &batch1));
+
+        // Baseline 2: fixed-size batching (closes only when full; the
+        // long window is the drain backstop).
+        let fixed_window = Duration::from_micros((service_us * 50.0) as u64);
+        let fixed = run_point(rate, 8, fixed_window, deadline);
+        points.push(fixed.clone());
+        rows.push(summary_row(&format!("{mult}x"), "fixed b=8", &fixed));
+
+        // Dynamic micro-batching sweep.
+        let mut best: Option<ServingReport> = None;
+        for wf in WINDOW_FACTORS {
+            for mb in MAX_BATCHES {
+                let window = Duration::from_micros((service_us * wf) as u64);
+                let report = run_point(rate, mb, window, deadline);
+                rows.push(summary_row(
+                    &format!("{mult}x"),
+                    &format!("dyn b={mb} w={wf}t"),
+                    &report,
+                ));
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (
+                            report.throughput_rps,
+                            std::cmp::Reverse(report.latency.p99_us),
+                        ) > (b.throughput_rps, std::cmp::Reverse(b.latency.p99_us))
+                    }
+                };
+                if better {
+                    best = Some(report.clone());
+                }
+                points.push(report);
+            }
+        }
+        let best = best.expect("at least one dynamic point per rate");
+        comparisons.push(Comparison {
+            rate_rps: rate,
+            batch1_throughput_rps: batch1.throughput_rps,
+            batch1_p99_us: batch1.latency.p99_us,
+            best_dynamic_window_us: best.window_us,
+            best_dynamic_max_batch: best.max_batch,
+            best_dynamic_throughput_rps: best.throughput_rps,
+            best_dynamic_p99_us: best.latency.p99_us,
+            dynamic_wins: best.throughput_rps > batch1.throughput_rps
+                && best.latency.p99_us <= batch1.latency.p99_us,
+        });
+    }
+
+    print_table(
+        "serving sweep (shed policy, single worker)",
+        &[
+            "rate", "config", "served", "shed", "thr(r/s)", "p50(ms)", "p99(ms)", "rows/b", "fill%",
+        ],
+        &rows,
+    );
+
+    println!("\ndynamic vs batch=1 (best dynamic point per rate):");
+    for c in &comparisons {
+        println!(
+            "  rate {:>7.0} r/s: dynamic (b={}, w={}us) {:>7.1} r/s p99 {:>8.2} ms \
+             vs batch=1 {:>7.1} r/s p99 {:>8.2} ms → {}",
+            c.rate_rps,
+            c.best_dynamic_max_batch,
+            c.best_dynamic_window_us,
+            c.best_dynamic_throughput_rps,
+            c.best_dynamic_p99_us as f64 / 1e3,
+            c.batch1_throughput_rps,
+            c.batch1_p99_us as f64 / 1e3,
+            if c.dynamic_wins {
+                "dynamic wins (higher throughput, equal-or-better p99)"
+            } else {
+                "no strict win"
+            }
+        );
+    }
+    let any_dynamic_win = comparisons.iter().any(|c| c.dynamic_wins);
+    if !any_dynamic_win {
+        println!("  WARNING: no swept point showed a strict dynamic-batching win");
+    }
+
+    // Structural config only — measured values must not change the name.
+    let canonical = format!(
+        "requests={REQUESTS},mults={RATE_MULTIPLIERS:?},winf={WINDOW_FACTORS:?},\
+         mb={MAX_BATCHES:?},policy=shed,cap={QUEUE_CAP},bw={BUCKET_WIDTH},workers=1"
+    );
+    let sweep = ServingSweep {
+        seed: SEED,
+        requests_per_point: REQUESTS,
+        calibrated_service_us: service_us,
+        batch1_capacity_rps: capacity_rps,
+        points,
+        comparisons,
+        any_dynamic_win,
+    };
+    write_json(&report_name("serving", SEED, &canonical), &sweep);
+}
+
+fn summary_row(rate: &str, config: &str, r: &ServingReport) -> Vec<String> {
+    vec![
+        rate.to_string(),
+        config.to_string(),
+        r.served.to_string(),
+        r.shed.to_string(),
+        format!("{:.1}", r.throughput_rps),
+        format!("{:.2}", r.latency.p50_us as f64 / 1e3),
+        format!("{:.2}", r.latency.p99_us as f64 / 1e3),
+        format!("{:.1}", r.batch_rows_mean),
+        format!("{:.0}", r.batch_fill_mean * 100.0),
+    ]
+}

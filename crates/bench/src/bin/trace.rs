@@ -40,8 +40,12 @@ fn main() {
     let spec = GraphSpec::training(cfg, 64).with_mbs(4);
     let free = simulate(&build_graph(&spec), &SimConfig::xeon(8));
     let barred = simulate(&build_graph(&spec.with_barriers(true)), &SimConfig::xeon(8));
-    write_chrome_trace(&results.join("trace_bpar.json"), "B-Par (barrier-free)", &free.records)
-        .expect("write trace");
+    write_chrome_trace(
+        &results.join("trace_bpar.json"),
+        "B-Par (barrier-free)",
+        &free.records,
+    )
+    .expect("write trace");
     write_chrome_trace(
         &results.join("trace_barrier.json"),
         "Per-layer barriers",
@@ -77,5 +81,8 @@ fn main() {
         records.len(),
         exec.runtime().workers()
     );
-    println!("\ntraces written to {}/trace_*.json — open in chrome://tracing", results.display());
+    println!(
+        "\ntraces written to {}/trace_*.json — open in chrome://tracing",
+        results.display()
+    );
 }

@@ -92,14 +92,16 @@ pub fn brnn_config(cell: CellKind, tc: &TableConfig, layers: usize) -> BrnnConfi
 }
 
 /// Simulated B-Par batch time (seconds) at a fixed configuration.
-pub fn bpar_time(
-    cfg: &BrnnConfig,
-    batch: usize,
-    cores: usize,
-    mbs: usize,
-    phase: Phase,
-) -> f64 {
-    bpar_result(cfg, batch, cores, mbs, phase, SchedulerPolicy::LocalityAware).makespan
+pub fn bpar_time(cfg: &BrnnConfig, batch: usize, cores: usize, mbs: usize, phase: Phase) -> f64 {
+    bpar_result(
+        cfg,
+        batch,
+        cores,
+        mbs,
+        phase,
+        SchedulerPolicy::LocalityAware,
+    )
+    .makespan
 }
 
 /// Full simulation result for B-Par.
@@ -200,7 +202,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -21,34 +21,202 @@ pub struct PaperTableRow {
 
 /// Table III (BLSTM), in the row order of [`crate::table_configs`].
 pub const TABLE3: [PaperTableRow; 12] = [
-    PaperTableRow { k_cpu: 1770.76, k_gpu: 123.79, p_cpu: 3215.68, p_gpu: Some(590.57), bseq: 2364.00, bpar: 989.06 },
-    PaperTableRow { k_cpu: 1770.15, k_gpu: 132.67, p_cpu: 3956.06, p_gpu: Some(590.21), bseq: 2419.80, bpar: 932.55 },
-    PaperTableRow { k_cpu: 1816.53, k_gpu: 193.36, p_cpu: 3663.28, p_gpu: Some(595.06), bseq: 2726.55, bpar: 1149.55 },
-    PaperTableRow { k_cpu: 17.47, k_gpu: 24.52, p_cpu: 20.51, p_gpu: Some(24.05), bseq: 20.21, bpar: 14.94 },
-    PaperTableRow { k_cpu: 37.29, k_gpu: 29.27, p_cpu: 54.70, p_gpu: Some(64.64), bseq: 60.76, bpar: 24.80 },
-    PaperTableRow { k_cpu: 276.68, k_gpu: 80.71, p_cpu: 461.45, p_gpu: Some(515.62), bseq: 439.25, bpar: 143.21 },
-    PaperTableRow { k_cpu: 2751.70, k_gpu: 177.08, p_cpu: 5240.83, p_gpu: Some(562.29), bseq: 4262.18, bpar: 1566.60 },
-    PaperTableRow { k_cpu: 28489.52, k_gpu: 1276.98, p_cpu: 147839.40, p_gpu: None, bseq: 71038.30, bpar: 17378.61 },
-    PaperTableRow { k_cpu: 2770.82, k_gpu: 201.12, p_cpu: 5412.32, p_gpu: Some(559.32), bseq: 4352.02, bpar: 1581.97 },
-    PaperTableRow { k_cpu: 28571.33, k_gpu: 1316.64, p_cpu: 143332.02, p_gpu: None, bseq: 71715.42, bpar: 15640.74 },
-    PaperTableRow { k_cpu: 2893.43, k_gpu: 303.52, p_cpu: 5713.00, p_gpu: Some(558.86), bseq: 4546.46, bpar: 1830.35 },
-    PaperTableRow { k_cpu: 28721.38, k_gpu: 1497.25, p_cpu: 117934.39, p_gpu: None, bseq: 71521.05, bpar: 16143.40 },
+    PaperTableRow {
+        k_cpu: 1770.76,
+        k_gpu: 123.79,
+        p_cpu: 3215.68,
+        p_gpu: Some(590.57),
+        bseq: 2364.00,
+        bpar: 989.06,
+    },
+    PaperTableRow {
+        k_cpu: 1770.15,
+        k_gpu: 132.67,
+        p_cpu: 3956.06,
+        p_gpu: Some(590.21),
+        bseq: 2419.80,
+        bpar: 932.55,
+    },
+    PaperTableRow {
+        k_cpu: 1816.53,
+        k_gpu: 193.36,
+        p_cpu: 3663.28,
+        p_gpu: Some(595.06),
+        bseq: 2726.55,
+        bpar: 1149.55,
+    },
+    PaperTableRow {
+        k_cpu: 17.47,
+        k_gpu: 24.52,
+        p_cpu: 20.51,
+        p_gpu: Some(24.05),
+        bseq: 20.21,
+        bpar: 14.94,
+    },
+    PaperTableRow {
+        k_cpu: 37.29,
+        k_gpu: 29.27,
+        p_cpu: 54.70,
+        p_gpu: Some(64.64),
+        bseq: 60.76,
+        bpar: 24.80,
+    },
+    PaperTableRow {
+        k_cpu: 276.68,
+        k_gpu: 80.71,
+        p_cpu: 461.45,
+        p_gpu: Some(515.62),
+        bseq: 439.25,
+        bpar: 143.21,
+    },
+    PaperTableRow {
+        k_cpu: 2751.70,
+        k_gpu: 177.08,
+        p_cpu: 5240.83,
+        p_gpu: Some(562.29),
+        bseq: 4262.18,
+        bpar: 1566.60,
+    },
+    PaperTableRow {
+        k_cpu: 28489.52,
+        k_gpu: 1276.98,
+        p_cpu: 147839.40,
+        p_gpu: None,
+        bseq: 71038.30,
+        bpar: 17378.61,
+    },
+    PaperTableRow {
+        k_cpu: 2770.82,
+        k_gpu: 201.12,
+        p_cpu: 5412.32,
+        p_gpu: Some(559.32),
+        bseq: 4352.02,
+        bpar: 1581.97,
+    },
+    PaperTableRow {
+        k_cpu: 28571.33,
+        k_gpu: 1316.64,
+        p_cpu: 143332.02,
+        p_gpu: None,
+        bseq: 71715.42,
+        bpar: 15640.74,
+    },
+    PaperTableRow {
+        k_cpu: 2893.43,
+        k_gpu: 303.52,
+        p_cpu: 5713.00,
+        p_gpu: Some(558.86),
+        bseq: 4546.46,
+        bpar: 1830.35,
+    },
+    PaperTableRow {
+        k_cpu: 28721.38,
+        k_gpu: 1497.25,
+        p_cpu: 117934.39,
+        p_gpu: None,
+        bseq: 71521.05,
+        bpar: 16143.40,
+    },
 ];
 
 /// Table IV (BGRU), in the row order of [`crate::table_configs`].
 pub const TABLE4: [PaperTableRow; 12] = [
-    PaperTableRow { k_cpu: 1246.98, k_gpu: 125.36, p_cpu: 2726.72, p_gpu: Some(604.10), bseq: 1702.27, bpar: 690.83 },
-    PaperTableRow { k_cpu: 1254.30, k_gpu: 153.45, p_cpu: 2303.21, p_gpu: Some(605.85), bseq: 1746.60, bpar: 729.82 },
-    PaperTableRow { k_cpu: 1333.97, k_gpu: 189.25, p_cpu: 6415.08, p_gpu: Some(608.02), bseq: 1950.52, bpar: 856.44 },
-    PaperTableRow { k_cpu: 16.05, k_gpu: 23.66, p_cpu: 22.03, p_gpu: Some(22.90), bseq: 12.77, bpar: 9.43 },
-    PaperTableRow { k_cpu: 34.23, k_gpu: 28.83, p_cpu: 59.74, p_gpu: Some(65.52), bseq: 39.12, bpar: 18.39 },
-    PaperTableRow { k_cpu: 246.11, k_gpu: 66.31, p_cpu: 504.54, p_gpu: Some(531.11), bseq: 313.68, bpar: 105.17 },
-    PaperTableRow { k_cpu: 2239.56, k_gpu: 144.54, p_cpu: 3035.85, p_gpu: Some(639.58), bseq: 3060.31, bpar: 1160.42 },
-    PaperTableRow { k_cpu: 26210.06, k_gpu: 986.15, p_cpu: 32303.64, p_gpu: None, bseq: 42322.66, bpar: 15020.14 },
-    PaperTableRow { k_cpu: 2256.72, k_gpu: 166.10, p_cpu: 3207.68, p_gpu: Some(638.75), bseq: 3120.84, bpar: 1277.92 },
-    PaperTableRow { k_cpu: 26111.23, k_gpu: 1019.34, p_cpu: 50828.08, p_gpu: None, bseq: 41752.00, bpar: 13156.51 },
-    PaperTableRow { k_cpu: 2359.49, k_gpu: 292.00, p_cpu: 6118.97, p_gpu: Some(635.27), bseq: 3310.15, bpar: 1417.83 },
-    PaperTableRow { k_cpu: 26253.30, k_gpu: 1157.89, p_cpu: 41555.13, p_gpu: None, bseq: 43156.39, bpar: 13741.52 },
+    PaperTableRow {
+        k_cpu: 1246.98,
+        k_gpu: 125.36,
+        p_cpu: 2726.72,
+        p_gpu: Some(604.10),
+        bseq: 1702.27,
+        bpar: 690.83,
+    },
+    PaperTableRow {
+        k_cpu: 1254.30,
+        k_gpu: 153.45,
+        p_cpu: 2303.21,
+        p_gpu: Some(605.85),
+        bseq: 1746.60,
+        bpar: 729.82,
+    },
+    PaperTableRow {
+        k_cpu: 1333.97,
+        k_gpu: 189.25,
+        p_cpu: 6415.08,
+        p_gpu: Some(608.02),
+        bseq: 1950.52,
+        bpar: 856.44,
+    },
+    PaperTableRow {
+        k_cpu: 16.05,
+        k_gpu: 23.66,
+        p_cpu: 22.03,
+        p_gpu: Some(22.90),
+        bseq: 12.77,
+        bpar: 9.43,
+    },
+    PaperTableRow {
+        k_cpu: 34.23,
+        k_gpu: 28.83,
+        p_cpu: 59.74,
+        p_gpu: Some(65.52),
+        bseq: 39.12,
+        bpar: 18.39,
+    },
+    PaperTableRow {
+        k_cpu: 246.11,
+        k_gpu: 66.31,
+        p_cpu: 504.54,
+        p_gpu: Some(531.11),
+        bseq: 313.68,
+        bpar: 105.17,
+    },
+    PaperTableRow {
+        k_cpu: 2239.56,
+        k_gpu: 144.54,
+        p_cpu: 3035.85,
+        p_gpu: Some(639.58),
+        bseq: 3060.31,
+        bpar: 1160.42,
+    },
+    PaperTableRow {
+        k_cpu: 26210.06,
+        k_gpu: 986.15,
+        p_cpu: 32303.64,
+        p_gpu: None,
+        bseq: 42322.66,
+        bpar: 15020.14,
+    },
+    PaperTableRow {
+        k_cpu: 2256.72,
+        k_gpu: 166.10,
+        p_cpu: 3207.68,
+        p_gpu: Some(638.75),
+        bseq: 3120.84,
+        bpar: 1277.92,
+    },
+    PaperTableRow {
+        k_cpu: 26111.23,
+        k_gpu: 1019.34,
+        p_cpu: 50828.08,
+        p_gpu: None,
+        bseq: 41752.00,
+        bpar: 13156.51,
+    },
+    PaperTableRow {
+        k_cpu: 2359.49,
+        k_gpu: 292.00,
+        p_cpu: 6118.97,
+        p_gpu: Some(635.27),
+        bseq: 3310.15,
+        bpar: 1417.83,
+    },
+    PaperTableRow {
+        k_cpu: 26253.30,
+        k_gpu: 1157.89,
+        p_cpu: 41555.13,
+        p_gpu: None,
+        bseq: 43156.39,
+        bpar: 13741.52,
+    },
 ];
 
 /// Fig. 8 headline speed-ups of B-Par over Keras by layer count.

@@ -15,8 +15,8 @@
 
 use crate::paper::PaperTableRow;
 use crate::{
-    bpar_best, brnn_config, bseq_best, ms, ms_opt, print_table, speedup, table_configs,
-    write_json, CpuFramework, GpuFramework, Phase, TableConfig,
+    bpar_best, brnn_config, bseq_best, ms, ms_opt, print_table, speedup, table_configs, write_json,
+    CpuFramework, GpuFramework, Phase, TableConfig,
 };
 use bpar_core::cell::CellKind;
 use bpar_sim::Machine;
@@ -145,14 +145,13 @@ pub fn run_table(cell: CellKind, paper: &[PaperTableRow; 12], name: &str, title:
             ]
         })
         .collect();
-    print_table(
-        &format!("{title}: speed-up of B-Par-CPU"),
-        &headers,
-        &rows,
-    );
+    print_table(&format!("{title}: speed-up of B-Par-CPU"), &headers, &rows);
 
     // Shape summary.
-    let wins = measured.iter().filter(|m| m.bpar < m.k_cpu && m.bpar < m.p_cpu).count();
+    let wins = measured
+        .iter()
+        .filter(|m| m.bpar < m.k_cpu && m.bpar < m.p_cpu)
+        .count();
     println!(
         "\nShape check: B-Par beats both CPU frameworks in {wins}/12 rows \
          (paper: 12/12)."

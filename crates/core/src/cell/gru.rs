@@ -120,10 +120,7 @@ impl<T: Float> GruParams<T> {
             }
         }
 
-        let state = CellState {
-            h: h_out,
-            c: None,
-        };
+        let state = CellState { h: h_out, c: None };
         let cache = GruCache {
             zr_in,
             h_in,

@@ -73,7 +73,13 @@ impl CellKind {
     /// For the paper's granularity experiment (B=128, I=64, H=512, f32)
     /// this is dominated by the fused LSTM weights:
     /// (64+512)·4·512·4 B ≈ 4.7 MB, matching the reported 4.71 MB.
-    pub fn forward_working_set(self, b: usize, input: usize, hidden: usize, scalar: usize) -> usize {
+    pub fn forward_working_set(
+        self,
+        b: usize,
+        input: usize,
+        hidden: usize,
+        scalar: usize,
+    ) -> usize {
         let g = self.gates();
         let weights = (input + hidden) * g * hidden + g * hidden;
         let acts = b * (input + hidden) // concatenated input
@@ -84,7 +90,13 @@ impl CellKind {
 
     /// Approximate bytes touched by one backward cell task (cache + weight
     /// gradients roughly double the forward footprint).
-    pub fn backward_working_set(self, b: usize, input: usize, hidden: usize, scalar: usize) -> usize {
+    pub fn backward_working_set(
+        self,
+        b: usize,
+        input: usize,
+        hidden: usize,
+        scalar: usize,
+    ) -> usize {
         2 * self.forward_working_set(b, input, hidden, scalar)
     }
 }

@@ -88,8 +88,7 @@ mod tests {
         let p: DenseParams<f64> = DenseParams::init(3, 2, 1);
         let x = init::uniform(4, 3, -1.0, 1.0, 2);
         let s = init::uniform(4, 2, -1.0, 1.0, 3);
-        let loss =
-            |p: &DenseParams<f64>, x: &Matrix<f64>| bpar_tensor::ops::dot(&s, &p.forward(x));
+        let loss = |p: &DenseParams<f64>, x: &Matrix<f64>| bpar_tensor::ops::dot(&s, &p.forward(x));
 
         let mut grads = p.zeros_like();
         let dx = p.backward(&x, &s, &mut grads);

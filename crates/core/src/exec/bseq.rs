@@ -62,13 +62,10 @@ impl<T: Float> Executor<T> for BSeqExec {
             let xs: Vec<Matrix<T>> = batch.iter().map(|x| x.row_block(start, count)).collect();
             let m = shared.clone();
             let out = outputs[k].clone();
-            self.runtime.submit(
-                TaskSpec::new("bseq_fwd")
-                    .tag(k as u64)
-                    .body(move || {
-                        *out.lock() = Some(SequentialExec::new().forward(&m, &xs));
-                    }),
-            );
+            self.runtime
+                .submit(TaskSpec::new("bseq_fwd").tag(k as u64).body(move || {
+                    *out.lock() = Some(SequentialExec::new().forward(&m, &xs));
+                }));
         }
         self.runtime.taskwait().expect("task panicked");
 
@@ -121,16 +118,12 @@ impl<T: Float> Executor<T> for BSeqExec {
             let weight = count as f64 / rows as f64;
             let m = shared.clone();
             let out = results[k].clone();
-            self.runtime.submit(
-                TaskSpec::new("bseq_train")
-                    .tag(k as u64)
-                    .body(move || {
-                        let (loss, mut grads) =
-                            SequentialExec::compute_grads(&m, &xs, &chunk_target);
-                        grads.scale(T::from_f64(weight));
-                        *out.lock() = Some((loss * weight, grads));
-                    }),
-            );
+            self.runtime
+                .submit(TaskSpec::new("bseq_train").tag(k as u64).body(move || {
+                    let (loss, mut grads) = SequentialExec::compute_grads(&m, &xs, &chunk_target);
+                    grads.scale(T::from_f64(weight));
+                    *out.lock() = Some((loss * weight, grads));
+                }));
         }
         self.runtime.taskwait().expect("task panicked");
 

@@ -210,7 +210,9 @@ impl<T: Float> ReplicaGraph<T> {
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
         let input_w = cfg.layer_input_size(l);
-        let ws = cfg.cell.forward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+        let ws = cfg
+            .cell
+            .forward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
 
         // Forward-order cells: t ascending; each depends on its own t-1
         // state and (for l > 0) the merge cell below (Algorithm 2).
@@ -240,13 +242,19 @@ impl<T: Float> ReplicaGraph<T> {
                         let prev_state = match &prev {
                             Some(slot) => slot.with(|v| v.expect("missing t-1 state").0.clone()),
                             None => {
-                                zero = CellState::zeros(model.config.cell, rows, model.config.hidden_size);
+                                zero = CellState::zeros(
+                                    model.config.cell,
+                                    rows,
+                                    model.config.hidden_size,
+                                );
                                 zero
                             }
                         };
                         let result = match &below {
                             Some(slot) => slot.with(|m| {
-                                model.layers[l].fwd.forward(m.expect("missing merge"), &prev_state)
+                                model.layers[l]
+                                    .fwd
+                                    .forward(m.expect("missing merge"), &prev_state)
                             }),
                             None => model.layers[l].fwd.forward(&xs[t], &prev_state),
                         };
@@ -283,13 +291,19 @@ impl<T: Float> ReplicaGraph<T> {
                         let prev_state = match &prev {
                             Some(slot) => slot.with(|v| v.expect("missing t+1 state").0.clone()),
                             None => {
-                                zero = CellState::zeros(model.config.cell, rows, model.config.hidden_size);
+                                zero = CellState::zeros(
+                                    model.config.cell,
+                                    rows,
+                                    model.config.hidden_size,
+                                );
                                 zero
                             }
                         };
                         let result = match &below {
                             Some(slot) => slot.with(|m| {
-                                model.layers[l].rev.forward(m.expect("missing merge"), &prev_state)
+                                model.layers[l]
+                                    .rev
+                                    .forward(m.expect("missing merge"), &prev_state)
                             }),
                             None => model.layers[l].rev.forward(&xs[t], &prev_state),
                         };
@@ -302,7 +316,8 @@ impl<T: Float> ReplicaGraph<T> {
         // `submit_output`). Kept as separate tasks so forward and reverse
         // cells never depend on each other (§III-A).
         if l + 1 < cfg.layers {
-            let merge_ws = 3 * self.rows * cfg.merge.output_width(hidden) * std::mem::size_of::<T>();
+            let merge_ws =
+                3 * self.rows * cfg.merge.output_width(hidden) * std::mem::size_of::<T>();
             for t in 0..seq {
                 let f = self.st_fwd[l][t].clone();
                 let r = self.st_rev[l][t].clone();
@@ -317,7 +332,10 @@ impl<T: Float> ReplicaGraph<T> {
                         .body(move || {
                             let merged = f.with(|fv| {
                                 r.with(|rv| {
-                                    mode.apply(&fv.expect("fwd missing").0.h, &rv.expect("rev missing").0.h)
+                                    mode.apply(
+                                        &fv.expect("fwd missing").0.h,
+                                        &rv.expect("rev missing").0.h,
+                                    )
                                 })
                             });
                             dst.put(merged);
@@ -352,9 +370,8 @@ impl<T: Float> ReplicaGraph<T> {
                     .ins([f.region, r.region])
                     .outs([dst.region])
                     .body(move || {
-                        let merged = f.with(|fv| {
-                            r.with(|rv| mode.apply(&fv.unwrap().0.h, &rv.unwrap().0.h))
-                        });
+                        let merged = f
+                            .with(|fv| r.with(|rv| mode.apply(&fv.unwrap().0.h, &rv.unwrap().0.h)));
                         dst.put(merged);
                     }),
             );
@@ -411,7 +428,8 @@ impl<T: Float> ReplicaGraph<T> {
                                             dfeat.put(dx);
                                         },
                                     );
-                                    loss_slot.update(|| 0.0, |acc| *acc += l * weight * inv_outputs);
+                                    loss_slot
+                                        .update(|| 0.0, |acc| *acc += l * weight * inv_outputs);
                                     out.put(logits);
                                 });
                             }),
@@ -459,7 +477,9 @@ impl<T: Float> ReplicaGraph<T> {
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
         let input_w = cfg.layer_input_size(l);
-        let ws = cfg.cell.backward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+        let ws =
+            cfg.cell
+                .backward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
 
         // Forward-direction BPTT: gradient flows from t = T-1 down to 0.
         for t in (0..seq).rev() {
@@ -467,7 +487,11 @@ impl<T: Float> ReplicaGraph<T> {
             if t + 1 < seq {
                 ins.push(self.sg_fwd[l][t + 1].region);
             }
-            let outs = vec![self.sg_fwd[l][t].region, self.dinput_f[l][t].region, self.grads_fwd[l].region];
+            let outs = vec![
+                self.sg_fwd[l][t].region,
+                self.dinput_f[l][t].region,
+                self.grads_fwd[l].region,
+            ];
             let model = self.model.clone();
             let st = self.st_fwd[l][t].clone();
             let dh = self.dh_fwd[l][t].clone();
@@ -510,7 +534,11 @@ impl<T: Float> ReplicaGraph<T> {
             if t > 0 {
                 ins.push(self.sg_rev[l][t - 1].region);
             }
-            let outs = vec![self.sg_rev[l][t].region, self.dinput_r[l][t].region, self.grads_rev[l].region];
+            let outs = vec![
+                self.sg_rev[l][t].region,
+                self.dinput_r[l][t].region,
+                self.grads_rev[l].region,
+            ];
             let model = self.model.clone();
             let st = self.st_rev[l][t].clone();
             let dh = self.dh_rev[l][t].clone();

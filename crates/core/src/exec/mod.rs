@@ -49,9 +49,9 @@ impl Target {
     pub fn row_block(&self, start: usize, count: usize) -> Target {
         match self {
             Target::Classes(c) => Target::Classes(c[start..start + count].to_vec()),
-            Target::SeqClasses(s) => Target::SeqClasses(
-                s.iter().map(|c| c[start..start + count].to_vec()).collect(),
-            ),
+            Target::SeqClasses(s) => {
+                Target::SeqClasses(s.iter().map(|c| c[start..start + count].to_vec()).collect())
+            }
         }
     }
 }

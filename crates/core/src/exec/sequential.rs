@@ -80,7 +80,9 @@ pub(crate) fn forward_trace<T: Float>(model: &Brnn<T>, batch: &[Matrix<T>]) -> F
             let merged: Vec<Matrix<T>> = (0..seq_len)
                 .map(|t| cfg.merge.apply(&fwd_h[t], &rev_h[t]))
                 .collect();
-            trace.layer_inputs.push(std::mem::replace(&mut inputs, merged));
+            trace
+                .layer_inputs
+                .push(std::mem::replace(&mut inputs, merged));
         } else {
             match cfg.kind {
                 ModelKind::ManyToOne => {
@@ -119,7 +121,9 @@ pub(crate) fn loss_and_dfeatures<T: Float>(
     match (model.config.kind, target) {
         (ModelKind::ManyToOne, Target::Classes(classes)) => {
             let (loss, dlogits) = softmax_cross_entropy(&trace.logits[0], classes);
-            let dfeat = model.dense.backward(&trace.features[0], &dlogits, &mut grads.dense);
+            let dfeat = model
+                .dense
+                .backward(&trace.features[0], &dlogits, &mut grads.dense);
             (loss, vec![dfeat])
         }
         (ModelKind::ManyToMany, Target::SeqClasses(seq)) => {
@@ -135,7 +139,11 @@ pub(crate) fn loss_and_dfeatures<T: Float>(
                 let (loss, mut dlogits) = softmax_cross_entropy(&trace.logits[t], classes);
                 total += loss * inv;
                 bpar_tensor::ops::scale(inv_t, &mut dlogits);
-                dfeats.push(model.dense.backward(&trace.features[t], &dlogits, &mut grads.dense));
+                dfeats.push(
+                    model
+                        .dense
+                        .backward(&trace.features[t], &dlogits, &mut grads.dense),
+                );
             }
             (total, dfeats)
         }
@@ -175,7 +183,8 @@ pub(crate) fn backward_from_trace<T: Float>(
         ModelKind::ManyToMany => {
             for (t, dfeat) in dfeatures.iter().enumerate() {
                 let (df, dr) =
-                    cfg.merge.backward(dfeat, &trace.fwd_h[last][t], &trace.rev_h[last][t]);
+                    cfg.merge
+                        .backward(dfeat, &trace.fwd_h[last][t], &trace.rev_h[last][t]);
                 bpar_tensor::ops::axpy(T::ONE, &df, &mut dh_fwd[t]);
                 bpar_tensor::ops::axpy(T::ONE, &dr, &mut dh_rev[t]);
             }
@@ -356,15 +365,17 @@ mod tests {
                     let pair = (&mut m.layers[l], &grads.layers[l]);
                     match dir {
                         0 => match (&mut pair.0.fwd, &pair.1.fwd) {
-                            (crate::cell::CellParams::Lstm(p), crate::cell::CellParams::Lstm(g)) => {
-                                (&mut p.w, &g.w)
-                            }
+                            (
+                                crate::cell::CellParams::Lstm(p),
+                                crate::cell::CellParams::Lstm(g),
+                            ) => (&mut p.w, &g.w),
                             _ => unreachable!(),
                         },
                         _ => match (&mut pair.0.rev, &pair.1.rev) {
-                            (crate::cell::CellParams::Lstm(p), crate::cell::CellParams::Lstm(g)) => {
-                                (&mut p.w, &g.w)
-                            }
+                            (
+                                crate::cell::CellParams::Lstm(p),
+                                crate::cell::CellParams::Lstm(g),
+                            ) => (&mut p.w, &g.w),
                             _ => unreachable!(),
                         },
                     }

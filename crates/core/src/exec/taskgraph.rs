@@ -72,8 +72,7 @@ impl TaskGraphExec {
         let replicas = chunks
             .iter()
             .map(|&(start, count)| {
-                let xs: Vec<Matrix<T>> =
-                    batch.iter().map(|x| x.row_block(start, count)).collect();
+                let xs: Vec<Matrix<T>> = batch.iter().map(|x| x.row_block(start, count)).collect();
                 ReplicaGraph::new(shared.clone(), xs, count as f64 / rows as f64, regions)
             })
             .collect();

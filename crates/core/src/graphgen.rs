@@ -206,12 +206,16 @@ pub fn build_graph(spec: &GraphSpec) -> TaskGraph {
         for rep in replica_regions.iter().skip(1) {
             for l in 0..cfg.layers {
                 g.add_task(
-                    TaskNode::new("reduce_fwd").tag(l as u64).flops(grad_size(&cfg, l) as u64),
+                    TaskNode::new("reduce_fwd")
+                        .tag(l as u64)
+                        .flops(grad_size(&cfg, l) as u64),
                     &[rep.grads_fwd[l]],
                     &[target.grads_fwd[l]],
                 );
                 g.add_task(
-                    TaskNode::new("reduce_rev").tag(l as u64).flops(grad_size(&cfg, l) as u64),
+                    TaskNode::new("reduce_rev")
+                        .tag(l as u64)
+                        .flops(grad_size(&cfg, l) as u64),
                     &[rep.grads_rev[l]],
                     &[target.grads_rev[l]],
                 );
@@ -266,7 +270,10 @@ fn add_cell(
             _ => "cell_pt",
         };
         g.add_task(
-            TaskNode::new(head_label).tag(tag).flops(head).working_set(ws),
+            TaskNode::new(head_label)
+                .tag(tag)
+                .flops(head)
+                .working_set(ws),
             ins,
             &[gemm_region],
         );
@@ -392,7 +399,11 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
             if spec.barriers {
                 // Layer barrier: layer l+1 starts only after every merge.
                 let ins: Vec<RegionId> = (0..seq).map(|t| r.merged[l][t]).collect();
-                g.add_task(TaskNode::new("barrier").tag(100 + l as u64), &ins, &[r.b_layer[l]]);
+                g.add_task(
+                    TaskNode::new("barrier").tag(100 + l as u64),
+                    &ins,
+                    &[r.b_layer[l]],
+                );
             }
         }
     }
@@ -468,7 +479,11 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
             // Framework discipline mirrored in BPTT: the reverse
             // direction's backward starts after the forward direction's.
             let ins: Vec<RegionId> = (0..seq).map(|t| r.sg_fwd[l][t]).collect();
-            g.add_task(TaskNode::new("barrier").tag(200 + l as u64), &ins, &[r.b_bdir[l]]);
+            g.add_task(
+                TaskNode::new("barrier").tag(200 + l as u64),
+                &ins,
+                &[r.b_bdir[l]],
+            );
         }
         for t in 0..seq {
             let mut ins = vec![r.st_rev[l][t], r.dh_rev[l][t]];
@@ -581,8 +596,14 @@ mod tests {
         // Its successors are 4f (layer-1 fwd t=0, id 9) and the layer-1
         // reverse cell for t=0 (id 14, created last in descending order).
         let succs = g.succs(merge_l0_t0);
-        assert!(succs.contains(&9), "merge should feed layer-1 fwd t0: {succs:?}");
-        assert!(succs.contains(&14), "merge should feed layer-1 rev t0: {succs:?}");
+        assert!(
+            succs.contains(&9),
+            "merge should feed layer-1 fwd t0: {succs:?}"
+        );
+        assert!(
+            succs.contains(&14),
+            "merge should feed layer-1 rev t0: {succs:?}"
+        );
     }
 
     #[test]
@@ -762,7 +783,10 @@ mod fig2_backward_tests {
         // recurrent state gradient.
         let b22 = find("cell_fwd_bwd", tag(2, 2));
         let b21 = find("cell_fwd_bwd", tag(2, 1));
-        assert!(g.preds(b21).contains(&b22), "BPTT chain must run t descending");
+        assert!(
+            g.preds(b21).contains(&b22),
+            "BPTT chain must run t descending"
+        );
 
         // Reverse-direction BPTT runs t ascending.
         let r20 = find("cell_rev_bwd", tag(2, 0));

@@ -173,7 +173,11 @@ pub fn save<T: Float>(model: &Brnn<T>, writer: &mut impl Write) -> Result<(), Ch
     let cfg = &model.config;
     writer.write_all(MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&[cell_code(cfg.cell), merge_code(cfg.merge), kind_code(cfg.kind)])?;
+    writer.write_all(&[
+        cell_code(cfg.cell),
+        merge_code(cfg.merge),
+        kind_code(cfg.kind),
+    ])?;
     for v in [
         cfg.input_size,
         cfg.hidden_size,
@@ -215,9 +219,7 @@ pub fn load<T: Float>(reader: &mut impl Read) -> Result<Brnn<T>, CheckpointError
         seq_len: read_u32(reader)? as usize,
         output_size: read_u32(reader)? as usize,
     };
-    config
-        .validate()
-        .map_err(CheckpointError::Format)?;
+    config.validate().map_err(CheckpointError::Format)?;
     let mut model: Brnn<T> = Brnn::new(config, 0);
     visit_matrices(&mut model, &mut |m| {
         *m = read_matrix(reader, m.shape())?;

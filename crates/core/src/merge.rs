@@ -147,7 +147,12 @@ mod tests {
         let (f, r) = pair();
         let sens = init::uniform(3, 8, -1.0, 1.0, 3); // wide enough for concat
         let eps = 1e-6;
-        for mode in [MergeMode::Sum, MergeMode::Avg, MergeMode::Mul, MergeMode::Concat] {
+        for mode in [
+            MergeMode::Sum,
+            MergeMode::Avg,
+            MergeMode::Mul,
+            MergeMode::Concat,
+        ] {
             let width = mode.output_width(4);
             let s = sens.row_block(0, 3);
             let s = Matrix::from_fn(3, width, |i, j| s.get(i, j));

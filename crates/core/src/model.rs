@@ -87,9 +87,7 @@ impl BrnnConfig {
 
     /// All trainable parameters including the classifier.
     pub fn total_param_count(&self) -> usize {
-        self.rnn_param_count()
-            + self.classifier_input_size() * self.output_size
-            + self.output_size
+        self.rnn_param_count() + self.classifier_input_size() * self.output_size + self.output_size
     }
 
     /// Sanity-checks the configuration.
@@ -193,7 +191,11 @@ impl<T: Float> Brnn<T> {
     /// Parameter slots are visited in a stable order, so stateful
     /// optimizers keep consistent per-tensor state across batches.
     pub fn apply_grads(&mut self, opt: &mut dyn Optimizer<T>, grads: &BrnnGrads<T>) {
-        assert_eq!(grads.layers.len(), self.layers.len(), "gradient layer count");
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient layer count"
+        );
         let mut slot = 0usize;
         let mut step = |p: &mut Matrix<T>, g: &Matrix<T>| {
             opt.update(slot, p, g);

@@ -63,8 +63,7 @@ impl<T: Float> Optimizer<T> for Momentum<T> {
         if self.velocity.len() <= slot {
             self.velocity.resize(slot + 1, None);
         }
-        let v = self.velocity[slot]
-            .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+        let v = self.velocity[slot].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
         let mu = T::from_f64(self.mu);
         for (vv, &g) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
             *vv = mu.mul_add(*vv, g);
@@ -289,9 +288,7 @@ impl ScheduledSgd {
         let factor = match self.schedule {
             Schedule::Constant => 1.0,
             Schedule::InverseTime { decay } => 1.0 / (1.0 + decay * self.step as f64),
-            Schedule::StepDecay { gamma, every } => {
-                gamma.powi((self.step / every.max(1)) as i32)
-            }
+            Schedule::StepDecay { gamma, every } => gamma.powi((self.step / every.max(1)) as i32),
         };
         self.base_lr * factor
     }
@@ -351,7 +348,13 @@ mod decorator_tests {
 
     #[test]
     fn step_decay_schedule_halves() {
-        let mut opt = ScheduledSgd::new(0.8, Schedule::StepDecay { gamma: 0.5, every: 2 });
+        let mut opt = ScheduledSgd::new(
+            0.8,
+            Schedule::StepDecay {
+                gamma: 0.5,
+                every: 2,
+            },
+        );
         assert_eq!(opt.current_lr(), 0.8);
         Optimizer::<f64>::end_step(&mut opt);
         assert_eq!(opt.current_lr(), 0.8);

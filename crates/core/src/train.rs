@@ -186,8 +186,16 @@ mod tests {
     fn stats_helpers() {
         let stats = TrainStats {
             batches: vec![
-                BatchReport { index: 0, loss: 2.0, seconds: 0.01 },
-                BatchReport { index: 1, loss: 1.0, seconds: 0.03 },
+                BatchReport {
+                    index: 0,
+                    loss: 2.0,
+                    seconds: 0.01,
+                },
+                BatchReport {
+                    index: 1,
+                    loss: 1.0,
+                    seconds: 0.03,
+                },
             ],
         };
         assert!((stats.mean_batch_ms() - 20.0).abs() < 1e-9);

@@ -48,11 +48,7 @@ fn target_for(kind: ModelKind, seq: usize, rows: usize) -> Target {
 
 /// Trains `steps` batches with each executor and compares the final
 /// parameters against the sequential reference.
-fn train_and_diff(
-    exec: &dyn Executor<f64>,
-    cfg: BrnnConfig,
-    steps: usize,
-) -> (f64, f64) {
+fn train_and_diff(exec: &dyn Executor<f64>, cfg: BrnnConfig, steps: usize) -> (f64, f64) {
     let rows = 6;
     let xs = batch(cfg.seq_len, rows, cfg.input_size, 7);
     let target = target_for(cfg.kind, cfg.seq_len, rows);
@@ -171,16 +167,28 @@ fn forward_outputs_match_across_executors() {
     let bpar = TaskGraphExec::new(4).forward(&model, &xs);
     let barrier = BarrierExec::new(2).forward(&model, &xs);
     let bseq = BSeqExec::new(2, 2).forward(&model, &xs);
-    let bpar_mbs = TaskGraphExec::with_config(4, SchedulerPolicy::LocalityAware, 2)
-        .forward(&model, &xs);
+    let bpar_mbs =
+        TaskGraphExec::with_config(4, SchedulerPolicy::LocalityAware, 2).forward(&model, &xs);
 
     for t in 0..cfg.seq_len {
-        assert_eq!(reference.seq_logits[t].max_abs_diff(&bpar.seq_logits[t]), 0.0);
-        assert_eq!(reference.seq_logits[t].max_abs_diff(&barrier.seq_logits[t]), 0.0);
-        assert_eq!(reference.seq_logits[t].max_abs_diff(&bseq.seq_logits[t]), 0.0);
+        assert_eq!(
+            reference.seq_logits[t].max_abs_diff(&bpar.seq_logits[t]),
+            0.0
+        );
+        assert_eq!(
+            reference.seq_logits[t].max_abs_diff(&barrier.seq_logits[t]),
+            0.0
+        );
+        assert_eq!(
+            reference.seq_logits[t].max_abs_diff(&bseq.seq_logits[t]),
+            0.0
+        );
         // Chunked forward is also bitwise (row partitioning does not change
         // per-row arithmetic).
-        assert_eq!(reference.seq_logits[t].max_abs_diff(&bpar_mbs.seq_logits[t]), 0.0);
+        assert_eq!(
+            reference.seq_logits[t].max_abs_diff(&bpar_mbs.seq_logits[t]),
+            0.0
+        );
     }
 }
 

@@ -19,11 +19,11 @@ fn arb_config() -> impl Strategy<Value = BrnnConfig> {
             Just(CellKind::Gru),
             Just(CellKind::Vanilla)
         ],
-        1usize..5,  // input
-        1usize..7,  // hidden
-        1usize..4,  // layers
-        1usize..6,  // seq_len
-        2usize..5,  // output
+        1usize..5, // input
+        1usize..7, // hidden
+        1usize..4, // layers
+        1usize..6, // seq_len
+        2usize..5, // output
         prop_oneof![
             Just(MergeMode::Sum),
             Just(MergeMode::Avg),
@@ -53,9 +53,7 @@ fn batch_for(cfg: &BrnnConfig, rows: usize, seed: u64) -> (Vec<Matrix<f64>>, Tar
         .map(|t| init::uniform(rows, cfg.input_size, -1.0, 1.0, seed * 100 + t as u64))
         .collect();
     let target = match cfg.kind {
-        ModelKind::ManyToOne => {
-            Target::Classes((0..rows).map(|r| r % cfg.output_size).collect())
-        }
+        ModelKind::ManyToOne => Target::Classes((0..rows).map(|r| r % cfg.output_size).collect()),
         ModelKind::ManyToMany => Target::SeqClasses(
             (0..cfg.seq_len)
                 .map(|t| (0..rows).map(|r| (r + t) % cfg.output_size).collect())

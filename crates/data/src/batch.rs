@@ -77,7 +77,9 @@ impl<T: Float> Iterator for CharBatches<'_, T> {
             return None;
         }
         self.remaining -= 1;
-        let batch = self.dataset.batch(self.next_stream, self.rows, self.seq_len);
+        let batch = self
+            .dataset
+            .batch(self.next_stream, self.rows, self.seq_len);
         self.next_stream += self.rows as u64;
         Some(batch)
     }

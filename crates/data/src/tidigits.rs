@@ -66,11 +66,7 @@ impl TidigitsDataset {
         let templates = (0..DIGIT_CLASSES)
             .map(|_| {
                 (0..SEGMENTS)
-                    .map(|_| {
-                        (0..feature_dim)
-                            .map(|_| rng.gen_range(-1.0..1.0))
-                            .collect()
-                    })
+                    .map(|_| (0..feature_dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
                     .collect()
             })
             .collect();
@@ -104,7 +100,8 @@ impl TidigitsDataset {
                 let seg = (pos.floor() as usize).min(SEGMENTS - 2);
                 let frac = pos - seg as f64;
                 // Amplitude envelope: quiet onset/offset.
-                let envelope = (std::f64::consts::PI * f as f64 / frames_n as f64).sin() * 0.7 + 0.3;
+                let envelope =
+                    (std::f64::consts::PI * f as f64 / frames_n as f64).sin() * 0.7 + 0.3;
                 (0..self.feature_dim)
                     .map(|d| {
                         let v = tpl[seg][d] * (1.0 - frac) + tpl[seg + 1][d] * frac;
@@ -131,17 +128,14 @@ impl TidigitsDataset {
         seq_len: usize,
     ) -> (Vec<Matrix<T>>, Vec<usize>) {
         assert!(rows > 0 && seq_len > 0);
-        let utterances: Vec<Utterance<T>> =
-            (0..rows).map(|r| self.utterance(first_index + r as u64)).collect();
+        let utterances: Vec<Utterance<T>> = (0..rows)
+            .map(|r| self.utterance(first_index + r as u64))
+            .collect();
         let labels = utterances.iter().map(|u| u.label).collect();
         let xs = (0..seq_len)
             .map(|t| {
                 Matrix::from_fn(rows, self.feature_dim, |r, d| {
-                    utterances[r]
-                        .frames
-                        .get(t)
-                        .map(|f| f[d])
-                        .unwrap_or(T::ZERO)
+                    utterances[r].frames.get(t).map(|f| f[d]).unwrap_or(T::ZERO)
                 })
             })
             .collect();
@@ -172,7 +166,9 @@ mod tests {
     #[test]
     fn durations_vary_around_mean() {
         let ds = TidigitsDataset::new(4, 20, 2);
-        let lens: Vec<usize> = (0..50).map(|i| ds.utterance::<f32>(i).frames.len()).collect();
+        let lens: Vec<usize> = (0..50)
+            .map(|i| ds.utterance::<f32>(i).frames.len())
+            .collect();
         let min = *lens.iter().min().unwrap();
         let max = *lens.iter().max().unwrap();
         assert!(min >= 13 && max <= 27, "lens {min}..{max}");
@@ -245,7 +241,10 @@ mod tests {
         let m0 = mean_frame(0);
         let msame = mean_frame(same.unwrap());
         let mdiff = mean_frame(diff.unwrap());
-        assert!(d(&m0, &msame) < d(&m0, &mdiff), "same-class should be closer");
+        assert!(
+            d(&m0, &msame) < d(&m0, &mdiff),
+            "same-class should be closer"
+        );
     }
 
     #[test]

@@ -23,9 +23,9 @@ pub const VOCAB_SIZE: usize = VOCAB.len();
 /// Frequent English word stems used to bias the chain toward plausible
 /// letter sequences.
 const STEMS: &[&str] = &[
-    "the", "and", "ing", "ion", "tion", "ent", "for", "her", "ter", "hat",
-    "tha", "ere", "ate", "his", "con", "res", "ver", "all", "ons", "nce",
-    "men", "ith", "ted", "ers", "pro", "thi", "wit", "are", "ess", "not",
+    "the", "and", "ing", "ion", "tion", "ent", "for", "her", "ter", "hat", "tha", "ere", "ate",
+    "his", "con", "res", "ver", "all", "ons", "nce", "men", "ith", "ted", "ers", "pro", "thi",
+    "wit", "are", "ess", "not",
 ];
 
 /// Order-2 Markov character generator with an English-like transition
@@ -49,7 +49,10 @@ pub struct WikitextDataset {
 }
 
 fn idx(c: u8) -> usize {
-    VOCAB.iter().position(|&v| v == c).expect("char outside vocab")
+    VOCAB
+        .iter()
+        .position(|&v| v == c)
+        .expect("char outside vocab")
 }
 
 impl WikitextDataset {

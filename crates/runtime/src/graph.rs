@@ -148,12 +148,16 @@ impl TaskGraph {
 
     /// Ids of tasks with no predecessors.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.preds[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
     }
 
     /// Ids of tasks with no successors.
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.succs[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.succs[i].is_empty())
+            .collect()
     }
 
     /// Sum of `cost(task)` over all tasks (the sequential execution time).

@@ -142,7 +142,7 @@ mod tests {
         d.register(t(0), &[], &[r(1)]);
         d.register(t(1), &[r(1)], &[]);
         d.register(t(2), &[], &[r(1)]); // WAR on t1, WAW on t0
-        // A later writer only sees t2, not the stale reader t1.
+                                        // A later writer only sees t2, not the stale reader t1.
         assert_eq!(d.register(t(3), &[], &[r(1)]), vec![t(2)]);
     }
 

@@ -90,7 +90,9 @@ impl Runtime {
     /// Starts a runtime with `config.workers` worker threads.
     pub fn new(config: RuntimeConfig) -> Self {
         let n_workers = if config.workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             config.workers
         };
@@ -180,7 +182,9 @@ impl Runtime {
     /// Blocks until every submitted task has completed.
     ///
     /// Returns the first task panic as an error (remaining tasks are still
-    /// drained so the runtime stays usable).
+    /// drained so the runtime stays usable). The error names the panicking
+    /// task's label, so a long-running caller (e.g. a serving loop) can log
+    /// which subgraph died.
     pub fn taskwait(&self) -> Result<(), String> {
         let mut inner = self.shared.inner.lock();
         while inner.incomplete > 0 {
@@ -227,12 +231,21 @@ impl Runtime {
     ) -> TaskId {
         self.submit(TaskSpec::new(label).ins(ins).outs(outs).body(body))
     }
-}
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
+    /// Drains in-flight work and joins every worker thread. Idempotent;
+    /// also invoked by `Drop`, so long-running embedders (serving loops)
+    /// can either call this explicitly to bound teardown or simply drop
+    /// the runtime.
+    ///
+    /// Tasks already submitted still run to completion before the workers
+    /// exit (the shutdown flag is only honoured once the ready set is
+    /// empty), so no work is lost.
+    pub fn shutdown(&mut self) {
         {
             let mut inner = self.shared.inner.lock();
+            if inner.shutdown && self.workers.is_empty() {
+                return;
+            }
             inner.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -242,12 +255,21 @@ impl Drop for Runtime {
     }
 }
 
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Body of each worker thread.
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     let mut inner = shared.inner.lock();
     loop {
         if let Some(tid) = inner.ready.pop(worker) {
-            let body = inner.tasks[tid].body.take().expect("ready task lost its body");
+            let body = inner.tasks[tid]
+                .body
+                .take()
+                .expect("ready task lost its body");
             let start = shared.epoch.elapsed().as_secs_f64();
             drop(inner);
 
@@ -263,7 +285,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "task panicked".to_string());
                 if inner.panicked.is_none() {
-                    inner.panicked = Some(msg);
+                    let label = inner.tasks[tid].label;
+                    inner.panicked = Some(format!("task '{label}' panicked: {msg}"));
                 }
             }
             if inner.record_trace {
@@ -390,6 +413,9 @@ mod tests {
         r.spawn("boom", [], [], || panic!("kaboom"));
         let err = r.taskwait().unwrap_err();
         assert!(err.contains("kaboom"));
+        // The error names the failing task so callers can log which
+        // subgraph died.
+        assert!(err.contains("'boom'"), "missing label in: {err}");
         // Runtime still works afterwards.
         let ok = StdArc::new(AtomicUsize::new(0));
         let o = ok.clone();
@@ -430,7 +456,11 @@ mod tests {
         r.taskwait().unwrap();
         let stats = r.stats();
         assert_eq!(stats.tasks, 10);
-        assert!(stats.total_task_time >= 0.019, "got {}", stats.total_task_time);
+        assert!(
+            stats.total_task_time >= 0.019,
+            "got {}",
+            stats.total_task_time
+        );
         assert!(stats.peak_working_set_bytes >= 1000);
         let records = r.take_records();
         assert_eq!(records.len(), 10);
@@ -507,5 +537,40 @@ mod tests {
     fn workers_zero_uses_available_parallelism() {
         let r = rt(0);
         assert!(r.workers() >= 1);
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_is_idempotent() {
+        let mut r = rt(3);
+        let count = StdArc::new(AtomicUsize::new(0));
+        for i in 0..32 {
+            let c = count.clone();
+            r.spawn("t", [], [RegionId(i)], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        r.taskwait().unwrap();
+        r.shutdown();
+        r.shutdown(); // second call is a no-op
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_work() {
+        // Work submitted but not yet awaited still completes before the
+        // workers join: shutdown must not drop queued tasks.
+        let mut r = rt(2);
+        let count = StdArc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let c = count.clone();
+            // Chain through one region so tasks release one another while
+            // the shutdown flag is already set.
+            r.spawn("chain", [RegionId(0)], [RegionId(0)], move || {
+                std::thread::sleep(Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        r.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 16);
     }
 }

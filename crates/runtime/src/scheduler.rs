@@ -80,7 +80,8 @@ impl ReadySet {
     pub fn pop(&mut self, worker: usize) -> Option<usize> {
         if self.policy == SchedulerPolicy::LocalityAware {
             let depth = self.window.min(self.queue.len());
-            if let Some(pos) = self.queue
+            if let Some(pos) = self
+                .queue
                 .iter()
                 .take(depth)
                 .position(|&(_, tag)| tag == Some(worker))

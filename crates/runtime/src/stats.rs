@@ -136,8 +136,7 @@ impl RuntimeStats {
         } else {
             // Degenerate zero-length trace: report instantaneous values.
             stats.avg_concurrency = records.len() as f64;
-            stats.avg_working_set_bytes =
-                records.iter().map(|r| r.working_set_bytes as f64).sum();
+            stats.avg_working_set_bytes = records.iter().map(|r| r.working_set_bytes as f64).sum();
         }
         stats
     }

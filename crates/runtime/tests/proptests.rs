@@ -1,8 +1,8 @@
 //! Property-based tests: the runtime never violates declared dependencies,
 //! and the static graph agrees with the live execution order.
 
-use bpar_runtime::prelude::*;
 use bpar_runtime::graph::TaskNode;
+use bpar_runtime::prelude::*;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;

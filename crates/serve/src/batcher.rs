@@ -1,0 +1,278 @@
+//! Dynamic micro-batching with sequence-length bucketing.
+//!
+//! The batcher is a pure state machine over an injected clock (`now` is a
+//! parameter everywhere), which makes its policy exhaustively testable
+//! without sleeping — the property tests in `tests/proptests.rs` drive it
+//! with synthetic timelines.
+//!
+//! Policy: requests land in a FIFO bucket keyed by quantized sequence
+//! length. A bucket closes into a batch when it reaches `max_batch` rows
+//! **or** its oldest member has waited `window` since arrival. With
+//! `bucket_width == 1` every bucket holds exactly one sequence length, so
+//! batches need no padding and the forward pass is bit-for-bit identical
+//! to serving each request alone (row blocks of a GEMM accumulate
+//! independently). Wider buckets trade a little padding for fuller
+//! batches.
+
+use crate::request::InferRequest;
+use bpar_tensor::Float;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// When to close a forming batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Maximum rows per batch; reaching it closes the batch immediately.
+    pub max_batch: usize,
+    /// Maximum time a request may wait in the batcher: a bucket closes
+    /// once its oldest member is `window` past arrival, full or not.
+    pub window: Duration,
+    /// Sequence-length quantization. Lengths `l` with equal
+    /// `(l - 1) / bucket_width` share a bucket; `1` means exact-length
+    /// buckets and zero padding.
+    pub bucket_width: usize,
+}
+
+impl BatchPolicy {
+    /// Dynamic micro-batching with exact-length buckets.
+    pub fn new(max_batch: usize, window: Duration) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            window,
+            bucket_width: 1,
+        }
+    }
+
+    /// Overrides the bucket width (min 1).
+    pub fn with_bucket_width(mut self, width: usize) -> Self {
+        self.bucket_width = width.max(1);
+        self
+    }
+
+    /// Degenerate policy: one request per batch, no batching delay.
+    pub fn batch_of_one() -> Self {
+        Self::new(1, Duration::ZERO)
+    }
+
+    fn bucket_of(&self, seq_len: usize) -> usize {
+        seq_len.saturating_sub(1) / self.bucket_width
+    }
+}
+
+struct Bucket<T: Float> {
+    key: usize,
+    fifo: VecDeque<InferRequest<T>>,
+    /// When the oldest member forces this bucket closed.
+    deadline: Instant,
+}
+
+/// Accumulates requests into length buckets and emits closed batches.
+pub struct MicroBatcher<T: Float> {
+    policy: BatchPolicy,
+    /// Buckets in creation order (stable tie-break for deadlines).
+    buckets: Vec<Bucket<T>>,
+    pending: usize,
+}
+
+impl<T: Float> MicroBatcher<T> {
+    /// An empty batcher with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            buckets: Vec::new(),
+            pending: 0,
+        }
+    }
+
+    /// The closing policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Requests currently waiting in buckets.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Adds a request to its length bucket.
+    pub fn offer(&mut self, req: InferRequest<T>, now: Instant) {
+        let key = self.policy.bucket_of(req.seq_len());
+        self.pending += 1;
+        if let Some(b) = self.buckets.iter_mut().find(|b| b.key == key) {
+            b.fifo.push_back(req);
+            return;
+        }
+        self.buckets.push(Bucket {
+            key,
+            fifo: VecDeque::from([req]),
+            deadline: now + self.policy.window,
+        });
+    }
+
+    /// The earliest instant at which some bucket must close, if any
+    /// requests are waiting. The serving loop uses this as its poll
+    /// timeout.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.buckets.iter().map(|b| b.deadline).min()
+    }
+
+    /// Removes and returns the next closed batch at `now`: a bucket that
+    /// reached `max_batch` rows, or whose deadline has passed. With
+    /// `force`, any non-empty bucket closes (used when draining at
+    /// shutdown). Returns at most `max_batch` requests in bucket-FIFO
+    /// order; a bucket holding more keeps the remainder, its deadline
+    /// reset to the new oldest member's arrival plus the window.
+    pub fn pop_ready(&mut self, now: Instant, force: bool) -> Option<Vec<InferRequest<T>>> {
+        let idx = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| force || b.fifo.len() >= self.policy.max_batch || now >= b.deadline)
+            .min_by_key(|(i, b)| (b.deadline, *i))
+            .map(|(i, _)| i)?;
+        let b = &mut self.buckets[idx];
+        let take = b.fifo.len().min(self.policy.max_batch);
+        let batch: Vec<_> = b.fifo.drain(..take).collect();
+        self.pending -= batch.len();
+        if b.fifo.is_empty() {
+            self.buckets.swap_remove(idx);
+        } else {
+            b.deadline = b.fifo[0].arrival + self.policy.window;
+        }
+        Some(batch)
+    }
+
+    /// Removes every queued request whose deadline has expired at `now`
+    /// (the `ShedExpired` sweep). Emptied buckets are dropped.
+    pub fn take_expired(&mut self, now: Instant) -> Vec<InferRequest<T>> {
+        let mut expired = Vec::new();
+        for b in &mut self.buckets {
+            let mut kept = VecDeque::with_capacity(b.fifo.len());
+            for req in b.fifo.drain(..) {
+                if req.expired(now) {
+                    expired.push(req);
+                } else {
+                    kept.push_back(req);
+                }
+            }
+            b.fifo = kept;
+            if let Some(front) = b.fifo.front() {
+                b.deadline = front.arrival + self.policy.window;
+            }
+        }
+        self.buckets.retain(|b| !b.fifo.is_empty());
+        self.pending -= expired.len();
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_at(id: u64, len: usize, base: Instant, offset_us: u64) -> InferRequest<f32> {
+        let mut r = InferRequest::new(id, vec![vec![0.0]; len]);
+        r.arrival = base + Duration::from_micros(offset_us);
+        r
+    }
+
+    #[test]
+    fn closes_on_max_batch() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(2, Duration::from_secs(10)));
+        mb.offer(req_at(1, 5, base, 0), base);
+        assert!(mb.pop_ready(base, false).is_none());
+        mb.offer(req_at(2, 5, base, 1), base);
+        let batch = mb.pop_ready(base, false).expect("full bucket closes");
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn closes_on_window_expiry() {
+        let base = Instant::now();
+        let window = Duration::from_millis(2);
+        let mut mb = MicroBatcher::new(BatchPolicy::new(8, window));
+        mb.offer(req_at(1, 5, base, 0), base);
+        assert!(mb
+            .pop_ready(base + Duration::from_millis(1), false)
+            .is_none());
+        let batch = mb.pop_ready(base + window, false).expect("window closes");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(mb.next_deadline(), None);
+    }
+
+    #[test]
+    fn buckets_separate_lengths() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(2, Duration::from_secs(10)));
+        mb.offer(req_at(1, 5, base, 0), base);
+        mb.offer(req_at(2, 7, base, 0), base);
+        // Neither length-bucket is full.
+        assert!(mb.pop_ready(base, false).is_none());
+        mb.offer(req_at(3, 7, base, 0), base);
+        let batch = mb.pop_ready(base, false).expect("len-7 bucket is full");
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn bucket_width_merges_nearby_lengths() {
+        let base = Instant::now();
+        let policy = BatchPolicy::new(2, Duration::from_secs(10)).with_bucket_width(4);
+        let mut mb = MicroBatcher::new(policy);
+        mb.offer(req_at(1, 5, base, 0), base); // bucket (5-1)/4 = 1
+        mb.offer(req_at(2, 8, base, 0), base); // bucket (8-1)/4 = 1
+        let batch = mb.pop_ready(base, false).expect("shared bucket fills");
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn force_drains_partial_buckets() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(8, Duration::from_secs(10)));
+        mb.offer(req_at(1, 5, base, 0), base);
+        mb.offer(req_at(2, 9, base, 0), base);
+        let mut total = 0;
+        while let Some(batch) = mb.pop_ready(base, true) {
+            total += batch.len();
+        }
+        assert_eq!(total, 2);
+        assert_eq!(mb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_bucket_keeps_remainder_with_new_deadline() {
+        let base = Instant::now();
+        let window = Duration::from_millis(5);
+        let mut mb = MicroBatcher::new(BatchPolicy::new(2, window));
+        // Three same-length requests arriving over time; pop with force
+        // so nothing closed early.
+        for (id, off) in [(1u64, 0u64), (2, 100), (3, 200)] {
+            let r = req_at(id, 5, base, off);
+            let now = r.arrival;
+            mb.offer(r, now);
+        }
+        let now = base + Duration::from_millis(1);
+        let batch = mb.pop_ready(now, true).expect("closes at max_batch");
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2]);
+        // Remainder keeps its own window deadline, from request 3's arrival.
+        let expect = base + Duration::from_micros(200) + window;
+        assert_eq!(mb.next_deadline(), Some(expect));
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn take_expired_sweeps_only_expired() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(8, Duration::from_secs(10)));
+        let mut live = req_at(1, 5, base, 0);
+        live.deadline = Some(Duration::from_secs(100));
+        let mut stale = req_at(2, 5, base, 0);
+        stale.deadline = Some(Duration::from_micros(1));
+        mb.offer(live, base);
+        mb.offer(stale, base);
+        let swept = mb.take_expired(base + Duration::from_millis(1));
+        assert_eq!(swept.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(mb.pending(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # bpar-serve
+//!
+//! Online inference serving over the B-Par executor: the request-level
+//! front half of an inference stack, built directly on the barrier-free
+//! task runtime the paper motivates (§III).
+//!
+//! The batch-style experiment binaries in `bpar-bench` push one large
+//! batch at a time through an executor. A serving workload is different:
+//! requests arrive one by one at unpredictable times, carry
+//! variable-length sequences, and each cares about *its own* latency, not
+//! the batch's. Because B-Par turns every request's unrolled network into
+//! an independent task subgraph with no per-layer barriers, independent
+//! requests interleave freely on one worker pool — which is exactly what
+//! makes micro-batching attractive: a small admission delay (the batch
+//! *window*) buys GEMM efficiency without a synchronization penalty.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! loadgen ──► AdmissionQueue ──► MicroBatcher ──► Server ──► outcomes
+//!  (client)   (bounded, with     (time-window /   (resident   (responses,
+//!             backpressure:       max-batch        model on    sheds,
+//!             Block / Reject /    triggers,        a shared    rejects)
+//!             ShedExpired)        length buckets)  Runtime)
+//! ```
+//!
+//! * [`request`] — [`request::InferRequest`] / [`request::InferResponse`]
+//!   with arrival timestamps, optional deadlines, and per-request latency
+//!   accounting.
+//! * [`queue`] — bounded admission with configurable backpressure and
+//!   queue-depth accounting.
+//! * [`batcher`] — dynamic micro-batching: a batch closes when it reaches
+//!   `max_batch` rows **or** its oldest member has waited `window`;
+//!   requests are bucketed by sequence length so padding waste is bounded
+//!   (`bucket_width = 1` pads nothing and preserves bit-exact parity with
+//!   the sequential executor).
+//! * [`server`] — the serving loop: drives each closed batch through
+//!   `bpar_core::exec::TaskGraphExec` on one resident `Runtime`, keeping
+//!   the model warm across batches.
+//! * [`loadgen`] — deterministic seeded open-loop (Poisson arrivals) and
+//!   closed-loop load generators; the build environment has no network,
+//!   so the load generator *is* the client.
+//! * [`metrics`] — latency percentiles (p50/p95/p99/p99.9), batch-size /
+//!   batch-fill distributions, shed and reject counts, throughput, all
+//!   serializable to the `results/` JSON convention.
+
+pub mod batcher;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use batcher::{BatchPolicy, MicroBatcher};
+pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopConfig, OpenLoopConfig};
+pub use metrics::ServingReport;
+pub use queue::{Admission, AdmissionQueue, BackpressurePolicy};
+pub use request::{InferRequest, InferResponse, Outcome};
+pub use server::{ServeConfig, Server};

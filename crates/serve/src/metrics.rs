@@ -1,0 +1,314 @@
+//! Serving metrics: latency percentiles, batch shape distributions,
+//! shed/reject accounting, and the JSON-serializable [`ServingReport`].
+//!
+//! Reports follow the repo's `results/` convention (see `bpar-bench`):
+//! every number that reaches JSON is derived from seeded, deterministic
+//! inputs, and [`report_name`] derives the filename from the seed and a
+//! hash of the configuration — never from wall-clock time — so repeated
+//! runs of the same configuration overwrite the same file.
+
+use crate::request::Outcome;
+use bpar_tensor::Float;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Latency summary in microseconds, nearest-rank percentiles.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample set (consumes and sorts it).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let sum: u64 = samples.iter().sum();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        Self {
+            count: n as u64,
+            mean_us: sum as f64 / n as f64,
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            p999_us: rank(0.999),
+            max_us: samples[n - 1],
+        }
+    }
+}
+
+/// One bar of the batch-size histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchRowsBar {
+    /// Rows in the batch.
+    pub rows: usize,
+    /// How many batches closed with exactly this many rows.
+    pub count: u64,
+}
+
+/// Full result of one serving run, serialized to `results/`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ServingReport {
+    /// Load-generator mode: `"open"` (Poisson) or `"closed"`.
+    pub mode: String,
+    /// Load-generator seed.
+    pub seed: u64,
+    /// Offered rate (open loop) or 0 for closed loop.
+    pub rate_rps: f64,
+    /// Batching window in microseconds.
+    pub window_us: u64,
+    /// Maximum rows per batch.
+    pub max_batch: usize,
+    /// Sequence-length bucket width.
+    pub bucket_width: usize,
+    /// Backpressure policy name.
+    pub policy: String,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Runtime worker threads.
+    pub workers: usize,
+    /// Requests submitted by the load generator.
+    pub submitted: u64,
+    /// Requests served with a response.
+    pub served: u64,
+    /// Requests shed (deadline expired before service).
+    pub shed: u64,
+    /// Requests refused admission.
+    pub rejected: u64,
+    /// Wall time from first submission to last outcome, seconds.
+    pub duration_s: f64,
+    /// Served requests per second of `duration_s`.
+    pub throughput_rps: f64,
+    /// End-to-end latency of served requests (arrival → response).
+    pub latency: LatencyStats,
+    /// Arrival → batch-close wait of served requests.
+    pub queue_wait: LatencyStats,
+    /// Batch-close → response (forward pass) of served requests.
+    pub service: LatencyStats,
+    /// Mean admission-queue depth sampled at each admission.
+    pub queue_depth_mean: f64,
+    /// Maximum admission-queue depth.
+    pub queue_depth_max: usize,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean rows per batch.
+    pub batch_rows_mean: f64,
+    /// Mean `rows / max_batch` across batches.
+    pub batch_fill_mean: f64,
+    /// Padding frames as a fraction of all frames computed (0 when
+    /// `bucket_width == 1`).
+    pub padding_frac: f64,
+    /// Batch-size distribution.
+    pub batch_rows_hist: Vec<BatchRowsBar>,
+}
+
+/// Accumulates per-request outcomes and per-batch shapes into a
+/// [`ServingReport`].
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    latency_us: Vec<u64>,
+    queue_wait_us: Vec<u64>,
+    service_us: Vec<u64>,
+    served: u64,
+    shed: u64,
+    rejected: u64,
+    batch_rows: Vec<usize>,
+    total_frames: u64,
+    padded_frames: u64,
+}
+
+impl MetricsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's terminal outcome.
+    pub fn record_outcome<T: Float>(&mut self, outcome: &Outcome<T>) {
+        match outcome {
+            Outcome::Served(resp) => {
+                self.served += 1;
+                self.latency_us.push(resp.timing.total.as_micros() as u64);
+                self.queue_wait_us
+                    .push(resp.timing.queue_wait.as_micros() as u64);
+                self.service_us.push(resp.timing.service.as_micros() as u64);
+            }
+            Outcome::Shed { .. } => self.shed += 1,
+            Outcome::Rejected { .. } => self.rejected += 1,
+        }
+    }
+
+    /// Records one executed batch: its row count, the padded sequence
+    /// length, and the sum of real (unpadded) frames across rows.
+    pub fn record_batch(&mut self, rows: usize, padded_len: usize, real_frames: u64) {
+        self.batch_rows.push(rows);
+        self.total_frames += (rows * padded_len) as u64;
+        self.padded_frames += (rows * padded_len) as u64 - real_frames;
+    }
+
+    /// Served count so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Shed count so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Rejected count so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Finalizes the report. `max_batch` is the policy cap (for fill),
+    /// `duration` the span from first submission to last outcome.
+    pub fn finish(self, max_batch: usize, duration: Duration) -> ServingReport {
+        let batches = self.batch_rows.len() as u64;
+        let rows_sum: usize = self.batch_rows.iter().sum();
+        let mut hist: Vec<BatchRowsBar> = Vec::new();
+        let mut sorted_rows = self.batch_rows.clone();
+        sorted_rows.sort_unstable();
+        for rows in sorted_rows {
+            match hist.last_mut() {
+                Some(bar) if bar.rows == rows => bar.count += 1,
+                _ => hist.push(BatchRowsBar { rows, count: 1 }),
+            }
+        }
+        let secs = duration.as_secs_f64();
+        ServingReport {
+            served: self.served,
+            shed: self.shed,
+            rejected: self.rejected,
+            duration_s: secs,
+            throughput_rps: if secs > 0.0 {
+                self.served as f64 / secs
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_samples(self.latency_us),
+            queue_wait: LatencyStats::from_samples(self.queue_wait_us),
+            service: LatencyStats::from_samples(self.service_us),
+            batches,
+            batch_rows_mean: if batches > 0 {
+                rows_sum as f64 / batches as f64
+            } else {
+                0.0
+            },
+            batch_fill_mean: if batches > 0 {
+                rows_sum as f64 / (batches as usize * max_batch.max(1)) as f64
+            } else {
+                0.0
+            },
+            padding_frac: if self.total_frames > 0 {
+                self.padded_frames as f64 / self.total_frames as f64
+            } else {
+                0.0
+            },
+            batch_rows_hist: hist,
+            ..ServingReport::default()
+        }
+    }
+}
+
+/// FNV-1a hash of a canonical configuration string.
+pub fn config_hash(canonical: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in canonical.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic `results/` basename: seed plus a configuration hash,
+/// no wall-clock component.
+pub fn report_name(prefix: &str, seed: u64, canonical_config: &str) -> String {
+    format!(
+        "{prefix}_s{seed}_{:08x}",
+        config_hash(canonical_config) as u32
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{InferResponse, ResponseTiming};
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.p999_us, 100);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = LatencyStats::from_samples(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn collector_counts_and_histogram() {
+        let mut c = MetricsCollector::new();
+        let timing = ResponseTiming {
+            queue_wait: Duration::from_micros(10),
+            service: Duration::from_micros(40),
+            total: Duration::from_micros(50),
+            batch_rows: 2,
+            padded_len: 3,
+        };
+        for id in 0..2u64 {
+            c.record_outcome(&Outcome::Served(InferResponse::<f32> {
+                id,
+                logits: vec![0.0],
+                timing,
+            }));
+        }
+        c.record_outcome(&Outcome::<f32>::Shed { id: 2 });
+        c.record_outcome(&Outcome::<f32>::Rejected { id: 3 });
+        c.record_batch(2, 3, 5); // one frame of padding out of six
+        let r = c.finish(4, Duration::from_secs(1));
+        assert_eq!((r.served, r.shed, r.rejected), (2, 1, 1));
+        assert_eq!(r.batches, 1);
+        assert!((r.batch_fill_mean - 0.5).abs() < 1e-9);
+        assert!((r.padding_frac - 1.0 / 6.0).abs() < 1e-9);
+        assert_eq!(r.batch_rows_hist.len(), 1);
+        assert_eq!(r.batch_rows_hist[0].rows, 2);
+        assert_eq!(r.latency.p50_us, 50);
+    }
+
+    #[test]
+    fn report_name_is_deterministic_and_config_sensitive() {
+        let a = report_name("serving", 7, "w=1000,b=8");
+        let b = report_name("serving", 7, "w=1000,b=8");
+        let c = report_name("serving", 7, "w=2000,b=8");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("serving_s7_"));
+    }
+}

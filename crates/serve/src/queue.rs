@@ -1,0 +1,308 @@
+//! Bounded admission queue with configurable backpressure.
+//!
+//! The queue is the contract between the load generator (producer side)
+//! and the serving loop (consumer side). It is bounded: a server that
+//! falls behind surfaces that fact at admission time instead of letting
+//! latency grow without bound. What happens when the bound is hit is the
+//! [`BackpressurePolicy`].
+
+use crate::request::InferRequest;
+use bpar_tensor::Float;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// What a full queue does with the next arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the producer until space frees (closed-loop clients).
+    Block,
+    /// Refuse admission; the request bounces back to the caller.
+    Reject,
+    /// Evict queued requests whose deadline has already expired to make
+    /// room; if none have expired, shed the incoming request. Requests
+    /// without a deadline are never evicted.
+    ShedExpired,
+}
+
+impl BackpressurePolicy {
+    /// Parses the CLI spelling (`block` / `reject` / `shed`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(Self::Block),
+            "reject" => Some(Self::Reject),
+            "shed" => Some(Self::ShedExpired),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Block => "block",
+            Self::Reject => "reject",
+            Self::ShedExpired => "shed",
+        }
+    }
+}
+
+/// Result of [`AdmissionQueue::push`].
+#[derive(Debug)]
+pub enum Admission<T: Float> {
+    /// Queued. `shed` lists expired requests evicted to make room
+    /// (only non-empty under [`BackpressurePolicy::ShedExpired`]).
+    Admitted {
+        /// Expired requests evicted by this admission.
+        shed: Vec<InferRequest<T>>,
+    },
+    /// Queue full under [`BackpressurePolicy::Reject`], or the queue is
+    /// closed. The request is handed back untouched.
+    Rejected(InferRequest<T>),
+    /// Queue full under [`BackpressurePolicy::ShedExpired`] with nothing
+    /// expired to evict: the incoming request itself is shed.
+    Shed(InferRequest<T>),
+}
+
+/// Result of [`AdmissionQueue::pop_wait`].
+#[derive(Debug)]
+pub enum Popped<T: Float> {
+    /// The oldest queued request.
+    Item(InferRequest<T>),
+    /// `deadline` passed with the queue still empty.
+    TimedOut,
+    /// Queue closed and fully drained; no more items will ever arrive.
+    Closed,
+}
+
+/// Occupancy statistics, sampled after every admission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DepthStats {
+    /// Number of samples (successful admissions).
+    pub samples: u64,
+    /// Sum of sampled depths (for the mean).
+    pub depth_sum: u64,
+    /// Maximum observed depth.
+    pub depth_max: usize,
+}
+
+impl DepthStats {
+    /// Mean queue depth over all admission samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.samples as f64
+        }
+    }
+}
+
+struct QueueState<T: Float> {
+    items: VecDeque<InferRequest<T>>,
+    closed: bool,
+    depth: DepthStats,
+}
+
+/// Bounded MPSC admission queue. Producers [`push`](Self::push); the
+/// single serving loop [`pop_wait`](Self::pop_wait)s. Share via `Arc`.
+pub struct AdmissionQueue<T: Float> {
+    state: Mutex<QueueState<T>>,
+    /// Signalled when an item arrives or the queue closes.
+    data_cv: Condvar,
+    /// Signalled when space frees (for `Block` producers).
+    space_cv: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+}
+
+impl<T: Float> AdmissionQueue<T> {
+    /// A queue holding at most `capacity` requests (min 1).
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                depth: DepthStats::default(),
+            }),
+            data_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// The configured backpressure policy.
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
+    }
+
+    /// Submits a request, applying the backpressure policy if full.
+    pub fn push(&self, req: InferRequest<T>) -> Admission<T> {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if st.closed {
+            return Admission::Rejected(req);
+        }
+        let mut shed = Vec::new();
+        while st.items.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    self.space_cv.wait(&mut st);
+                    if st.closed {
+                        return Admission::Rejected(req);
+                    }
+                }
+                BackpressurePolicy::Reject => return Admission::Rejected(req),
+                BackpressurePolicy::ShedExpired => {
+                    // Evict the oldest expired occupant; if every occupant
+                    // is still live, the newcomer is the one shed.
+                    match st.items.iter().position(|r| r.expired(now)) {
+                        Some(i) => shed.push(st.items.remove(i).expect("position in bounds")),
+                        None => return Admission::Shed(req),
+                    }
+                }
+            }
+        }
+        st.items.push_back(req);
+        let depth = st.items.len();
+        st.depth.samples += 1;
+        st.depth.depth_sum += depth as u64;
+        st.depth.depth_max = st.depth.depth_max.max(depth);
+        drop(st);
+        self.data_cv.notify_one();
+        Admission::Admitted { shed }
+    }
+
+    /// Removes the oldest request, waiting until one arrives, `deadline`
+    /// passes, or the queue is closed *and* drained.
+    pub fn pop_wait(&self, deadline: Option<Instant>) -> Popped<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(req) = st.items.pop_front() {
+                drop(st);
+                self.space_cv.notify_one();
+                return Popped::Item(req);
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            match deadline {
+                None => self.data_cv.wait(&mut st),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Popped::TimedOut;
+                    }
+                    self.data_cv.wait_for(&mut st, d - now);
+                }
+            }
+        }
+    }
+
+    /// Current number of queued requests.
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Occupancy statistics accumulated so far.
+    pub fn depth_stats(&self) -> DepthStats {
+        self.state.lock().depth
+    }
+
+    /// Closes the queue: future pushes are rejected, blocked producers
+    /// wake with `Rejected`, and the consumer sees [`Popped::Closed`]
+    /// once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.data_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn req(id: u64) -> InferRequest<f32> {
+        InferRequest::new(id, vec![vec![0.0]])
+    }
+
+    #[test]
+    fn fifo_order_and_depth_accounting() {
+        let q = AdmissionQueue::new(8, BackpressurePolicy::Reject);
+        for id in 0..3 {
+            assert!(matches!(q.push(req(id)), Admission::Admitted { .. }));
+        }
+        assert_eq!(q.depth(), 3);
+        for id in 0..3 {
+            match q.pop_wait(None) {
+                Popped::Item(r) => assert_eq!(r.id, id),
+                other => panic!("expected item, got {other:?}"),
+            }
+        }
+        let d = q.depth_stats();
+        assert_eq!(d.samples, 3);
+        assert_eq!(d.depth_max, 3);
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reject_when_full() {
+        let q = AdmissionQueue::new(1, BackpressurePolicy::Reject);
+        assert!(matches!(q.push(req(1)), Admission::Admitted { .. }));
+        match q.push(req(2)) {
+            Admission::Rejected(r) => assert_eq!(r.id, 2),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_expired_evicts_stale_occupant() {
+        let q = AdmissionQueue::new(1, BackpressurePolicy::ShedExpired);
+        // Already-expired occupant: zero budget.
+        let stale = req(1).with_deadline(Duration::from_secs(0));
+        assert!(matches!(q.push(stale), Admission::Admitted { .. }));
+        match q.push(req(2)) {
+            Admission::Admitted { shed } => {
+                assert_eq!(shed.len(), 1);
+                assert_eq!(shed[0].id, 1);
+            }
+            other => panic!("expected admission with eviction, got {other:?}"),
+        }
+        // Occupant 2 has no deadline, so the next arrival is shed instead.
+        match q.push(req(3)) {
+            Admission::Shed(r) => assert_eq!(r.id, 3),
+            other => panic!("expected incoming shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_waits_for_space() {
+        let q = Arc::new(AdmissionQueue::new(1, BackpressurePolicy::Block));
+        assert!(matches!(q.push(req(1)), Admission::Admitted { .. }));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push(req(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.pop_wait(None), Popped::Item(r) if r.id == 1));
+        assert!(matches!(h.join().unwrap(), Admission::Admitted { .. }));
+        assert!(matches!(q.pop_wait(None), Popped::Item(r) if r.id == 2));
+    }
+
+    #[test]
+    fn close_drains_then_signals() {
+        let q = AdmissionQueue::new(4, BackpressurePolicy::Block);
+        q.push(req(1));
+        q.close();
+        assert!(matches!(q.push(req(2)), Admission::Rejected(_)));
+        assert!(matches!(q.pop_wait(None), Popped::Item(r) if r.id == 1));
+        assert!(matches!(q.pop_wait(None), Popped::Closed));
+    }
+
+    #[test]
+    fn pop_times_out_on_empty_queue() {
+        let q: AdmissionQueue<f32> = AdmissionQueue::new(4, BackpressurePolicy::Block);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert!(matches!(q.pop_wait(Some(deadline)), Popped::TimedOut));
+    }
+}

@@ -1,0 +1,130 @@
+//! Request / response types and per-request latency accounting.
+
+use bpar_tensor::Float;
+use std::time::{Duration, Instant};
+
+/// One inference request: a variable-length feature sequence.
+#[derive(Debug, Clone)]
+pub struct InferRequest<T: Float> {
+    /// Caller-assigned id, echoed in the response.
+    pub id: u64,
+    /// Feature frames, `seq_len × feature_dim` (row-major nested).
+    pub frames: Vec<Vec<T>>,
+    /// When the request entered the system.
+    pub arrival: Instant,
+    /// Optional latency budget relative to `arrival`. Under
+    /// [`crate::queue::BackpressurePolicy::ShedExpired`], requests whose
+    /// budget elapses before service starts are shed instead of served.
+    pub deadline: Option<Duration>,
+}
+
+impl<T: Float> InferRequest<T> {
+    /// A request arriving now.
+    pub fn new(id: u64, frames: Vec<Vec<T>>) -> Self {
+        Self {
+            id,
+            frames,
+            arrival: Instant::now(),
+            deadline: None,
+        }
+    }
+
+    /// Attaches a latency budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sequence length in frames.
+    pub fn seq_len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the latency budget has elapsed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        match self.deadline {
+            Some(budget) => now.duration_since(self.arrival) >= budget,
+            None => false,
+        }
+    }
+}
+
+/// Latency breakdown of a served request.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseTiming {
+    /// Arrival to batch close (admission queue + batch window).
+    pub queue_wait: Duration,
+    /// Batch close to forward-pass completion.
+    pub service: Duration,
+    /// Arrival to response — what the client observes.
+    pub total: Duration,
+    /// Rows in the batch this request rode in.
+    pub batch_rows: usize,
+    /// Timesteps the batch was padded to.
+    pub padded_len: usize,
+}
+
+/// One served inference result.
+#[derive(Debug, Clone)]
+pub struct InferResponse<T: Float> {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Class scores (`output_size` logits). For many-to-many models this
+    /// is the final timestep's logits, matching
+    /// `bpar_core::exec::ForwardOutput::logits`.
+    pub logits: Vec<T>,
+    /// Latency accounting.
+    pub timing: ResponseTiming,
+}
+
+/// Terminal disposition of a request. Conservation invariant: every
+/// admitted-or-attempted request produces exactly one `Outcome`.
+#[derive(Debug, Clone)]
+pub enum Outcome<T: Float> {
+    /// Served with a response.
+    Served(InferResponse<T>),
+    /// Dropped because its deadline expired before service
+    /// (`ShedExpired`), or to make room for live requests.
+    Shed {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Refused admission (`Reject` policy with a full queue).
+    Rejected {
+        /// Echo of the request id.
+        id: u64,
+    },
+}
+
+impl<T: Float> Outcome<T> {
+    /// The request id this outcome is for.
+    pub fn id(&self) -> u64 {
+        match self {
+            Outcome::Served(r) => r.id,
+            Outcome::Shed { id } | Outcome::Rejected { id } => *id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_respects_budget() {
+        let mut r: InferRequest<f32> = InferRequest::new(1, vec![vec![0.0]]);
+        let t0 = r.arrival;
+        assert!(!r.expired(t0 + Duration::from_secs(1000)));
+        r = r.with_deadline(Duration::from_millis(10));
+        assert!(!r.expired(t0 + Duration::from_millis(9)));
+        assert!(r.expired(t0 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn outcome_ids_echo() {
+        let o: Outcome<f32> = Outcome::Rejected { id: 7 };
+        assert_eq!(o.id(), 7);
+        let o: Outcome<f32> = Outcome::Shed { id: 9 };
+        assert_eq!(o.id(), 9);
+    }
+}

@@ -1,0 +1,290 @@
+//! The serving loop: admission queue → micro-batcher → B-Par executor.
+//!
+//! One [`Server`] owns the model and a single resident
+//! [`TaskGraphExec`] (and therefore one worker pool); the model stays
+//! warm across batches instead of being re-materialized per request.
+//! Batches formed by the [`MicroBatcher`] run with `mbs = 1`, which is
+//! bit-identical to [`bpar_core::exec::SequentialExec`] — so with
+//! exact-length buckets (`bucket_width == 1`, no padding) a served
+//! response carries exactly the logits sequential inference would have
+//! produced for that request alone.
+
+use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::metrics::MetricsCollector;
+use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
+use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
+use bpar_core::exec::{Executor, TaskGraphExec};
+use bpar_core::model::Brnn;
+use bpar_runtime::SchedulerPolicy;
+use bpar_tensor::{Float, Matrix};
+use std::time::{Duration, Instant};
+
+/// Full serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+    /// What a full queue does with new arrivals.
+    pub policy: BackpressurePolicy,
+    /// Micro-batch closing policy.
+    pub batch: BatchPolicy,
+    /// Runtime worker threads (`0` = available parallelism).
+    pub workers: usize,
+    /// Task scheduling policy for the worker pool.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            batch: BatchPolicy::new(8, Duration::from_millis(2)),
+            workers: 0,
+            scheduler: SchedulerPolicy::LocalityAware,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Canonical string for [`crate::metrics::config_hash`]: every field
+    /// that changes behaviour, in a fixed order.
+    pub fn canonical(&self) -> String {
+        format!(
+            "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?}",
+            self.queue_capacity,
+            self.policy.name(),
+            self.batch.max_batch,
+            self.batch.window.as_micros(),
+            self.batch.bucket_width,
+            self.workers,
+            self.scheduler,
+        )
+    }
+}
+
+/// Inference server: resident model + resident executor + serving loop.
+pub struct Server<T: Float> {
+    model: Brnn<T>,
+    exec: TaskGraphExec,
+    config: ServeConfig,
+}
+
+impl<T: Float> Server<T> {
+    /// Builds a server around `model`. The executor (and its worker
+    /// pool) is created once here and reused for every batch.
+    pub fn new(model: Brnn<T>, config: ServeConfig) -> Self {
+        // mbs = 1 keeps each batch bit-identical to sequential execution;
+        // data parallelism comes from batching requests, not splitting
+        // the batch again.
+        let exec = TaskGraphExec::with_config(config.workers, config.scheduler, 1);
+        Self {
+            model,
+            exec,
+            config,
+        }
+    }
+
+    /// The resident model.
+    pub fn model(&self) -> &Brnn<T> {
+        &self.model
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs the serving loop until `queue` is closed and fully drained
+    /// (including partially filled buckets). Serve-side outcomes —
+    /// [`Outcome::Served`], deadline [`Outcome::Shed`]s, and
+    /// [`Outcome::Rejected`] for malformed requests — are recorded into
+    /// `metrics` and forwarded to `on_outcome`. Admission-side outcomes
+    /// (queue rejects/sheds) are the producer's to report.
+    pub fn serve(
+        &self,
+        queue: &AdmissionQueue<T>,
+        metrics: &mut MetricsCollector,
+        mut on_outcome: impl FnMut(Outcome<T>),
+    ) {
+        let shed_expired = self.config.policy == BackpressurePolicy::ShedExpired;
+        let mut batcher = MicroBatcher::new(self.config.batch);
+        loop {
+            let now = Instant::now();
+            if shed_expired {
+                for req in batcher.take_expired(now) {
+                    let outcome = Outcome::Shed { id: req.id };
+                    metrics.record_outcome(&outcome);
+                    on_outcome(outcome);
+                }
+            }
+            if let Some(batch) = batcher.pop_ready(now, false) {
+                self.run_batch(batch, metrics, &mut on_outcome);
+                continue;
+            }
+            match queue.pop_wait(batcher.next_deadline()) {
+                Popped::Item(req) => batcher.offer(req, Instant::now()),
+                Popped::TimedOut => {} // a bucket window expired; next pop_ready closes it
+                Popped::Closed => break,
+            }
+        }
+        // Drain: force-close every remaining bucket.
+        loop {
+            let now = Instant::now();
+            if shed_expired {
+                for req in batcher.take_expired(now) {
+                    let outcome = Outcome::Shed { id: req.id };
+                    metrics.record_outcome(&outcome);
+                    on_outcome(outcome);
+                }
+            }
+            match batcher.pop_ready(now, true) {
+                Some(batch) => self.run_batch(batch, metrics, &mut on_outcome),
+                None => break,
+            }
+        }
+    }
+
+    /// Executes one closed batch and emits its outcomes.
+    fn run_batch(
+        &self,
+        batch: Vec<InferRequest<T>>,
+        metrics: &mut MetricsCollector,
+        on_outcome: &mut impl FnMut(Outcome<T>),
+    ) {
+        let close = Instant::now();
+        let dim = self.model.config.input_size;
+        let mut live: Vec<InferRequest<T>> = Vec::with_capacity(batch.len());
+        for req in batch {
+            // Malformed sequences can't be served; bounce them rather
+            // than poisoning the whole batch.
+            if req.seq_len() == 0 || req.frames.iter().any(|f| f.len() != dim) {
+                let outcome = Outcome::Rejected { id: req.id };
+                metrics.record_outcome(&outcome);
+                on_outcome(outcome);
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let rows = live.len();
+        let padded_len = live.iter().map(InferRequest::seq_len).max().unwrap_or(0);
+        let real_frames: u64 = live.iter().map(|r| r.seq_len() as u64).sum();
+        // One `rows × input_size` matrix per timestep; short sequences are
+        // zero-padded at the tail (none are short when `bucket_width == 1`).
+        let xs: Vec<Matrix<T>> = (0..padded_len)
+            .map(|t| {
+                Matrix::from_fn(rows, dim, |r, c| {
+                    live[r].frames.get(t).map_or(T::ZERO, |frame| frame[c])
+                })
+            })
+            .collect();
+        let out = self.exec.forward(&self.model, &xs);
+        let done = Instant::now();
+        let service = done.duration_since(close);
+        metrics.record_batch(rows, padded_len, real_frames);
+        for (r, req) in live.into_iter().enumerate() {
+            let outcome = Outcome::Served(InferResponse {
+                id: req.id,
+                logits: out.logits.row(r).to_vec(),
+                timing: ResponseTiming {
+                    queue_wait: close.duration_since(req.arrival),
+                    service,
+                    total: done.duration_since(req.arrival),
+                    batch_rows: rows,
+                    padded_len,
+                },
+            });
+            metrics.record_outcome(&outcome);
+            on_outcome(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Admission;
+    use bpar_core::exec::SequentialExec;
+    use bpar_core::model::BrnnConfig;
+    use std::sync::Arc;
+
+    fn tiny_model() -> Brnn<f32> {
+        Brnn::new(
+            BrnnConfig {
+                input_size: 4,
+                hidden_size: 3,
+                layers: 1,
+                seq_len: 5,
+                output_size: 3,
+                ..BrnnConfig::default()
+            },
+            7,
+        )
+    }
+
+    fn frames(len: usize, dim: usize, salt: u64) -> Vec<Vec<f32>> {
+        (0..len)
+            .map(|t| {
+                (0..dim)
+                    .map(|c| ((salt as usize + 3 * t + c) % 7) as f32 * 0.25 - 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_and_matches_sequential() {
+        let model = tiny_model();
+        let server = Server::new(
+            model.clone(),
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy::new(4, Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let queue = Arc::new(AdmissionQueue::new(16, BackpressurePolicy::Block));
+        for id in 0..5u64 {
+            let req = InferRequest::new(id, frames(3 + (id as usize % 3), 4, id));
+            assert!(matches!(queue.push(req), Admission::Admitted { .. }));
+        }
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        let mut responses = Vec::new();
+        server.serve(&queue, &mut metrics, |o| {
+            if let Outcome::Served(r) = o {
+                responses.push(r);
+            }
+        });
+        assert_eq!(responses.len(), 5);
+        let seq = SequentialExec;
+        for resp in &responses {
+            let fr = frames(3 + (resp.id as usize % 3), 4, resp.id);
+            let xs: Vec<Matrix<f32>> = fr
+                .iter()
+                .map(|f| Matrix::from_vec(1, 4, f.clone()))
+                .collect();
+            let expect = seq.forward(&model, &xs);
+            assert_eq!(resp.logits, expect.logits.row(0).to_vec());
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_served() {
+        let server = Server::new(tiny_model(), ServeConfig::default());
+        let queue = AdmissionQueue::new(4, BackpressurePolicy::Block);
+        queue.push(InferRequest::new(0, vec![])); // empty sequence
+        queue.push(InferRequest::new(1, vec![vec![0.0; 9]])); // wrong width
+        queue.push(InferRequest::new(2, frames(4, 4, 2)));
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        let mut got = Vec::new();
+        server.serve(&queue, &mut metrics, |o| got.push(o.id()));
+        assert_eq!(metrics.rejected(), 2);
+        assert_eq!(metrics.served(), 1);
+        assert_eq!(got.len(), 3);
+    }
+}

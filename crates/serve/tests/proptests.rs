@@ -1,0 +1,152 @@
+//! Property tests for the micro-batcher (ISSUE satellite):
+//!
+//! 1. no emitted batch ever exceeds `max_batch`;
+//! 2. requests sharing a length bucket are never reordered;
+//! 3. under `ShedExpired`-style sweeping, every offered request is either
+//!    served or shed — exactly once, none lost.
+//!
+//! The batcher takes `now` as a parameter everywhere, so these drive it
+//! over fully synthetic timelines: a base `Instant` plus generated
+//! microsecond offsets, no sleeping.
+
+use bpar_serve::batcher::{BatchPolicy, MicroBatcher};
+use bpar_serve::request::InferRequest;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One generated offer: sequence length, gap since the previous offer,
+/// and an optional deadline budget (all times in microseconds).
+type Op = (usize, u64, Option<u64>);
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            1usize..12,
+            0u64..400,
+            prop_oneof![
+                Just(None),
+                (1u64..2_000).prop_map(Some),
+                (2_000u64..50_000).prop_map(Some),
+            ],
+        ),
+        1..max_ops,
+    )
+}
+
+fn build_request(
+    id: u64,
+    len: usize,
+    arrival: Instant,
+    deadline_us: Option<u64>,
+) -> InferRequest<f32> {
+    let mut req = InferRequest::new(id, vec![vec![0.0]; len]);
+    req.arrival = arrival;
+    req.deadline = deadline_us.map(Duration::from_micros);
+    req
+}
+
+/// Replays `ops` through a batcher, popping ready batches after every
+/// offer and force-draining at the end. Returns the emitted batches as
+/// `(ids, lens)` pairs plus the ids swept as expired (empty unless
+/// `sweep_expired`).
+fn replay(
+    policy: BatchPolicy,
+    ops: &[Op],
+    sweep_expired: bool,
+) -> (Vec<Vec<(u64, usize)>>, Vec<u64>) {
+    let base = Instant::now();
+    let mut mb: MicroBatcher<f32> = MicroBatcher::new(policy);
+    let mut now = base;
+    let mut batches = Vec::new();
+    let mut shed = Vec::new();
+    for (id, (len, gap_us, deadline_us)) in ops.iter().enumerate() {
+        now += Duration::from_micros(*gap_us);
+        mb.offer(build_request(id as u64, *len, now, *deadline_us), now);
+        if sweep_expired {
+            shed.extend(mb.take_expired(now).into_iter().map(|r| r.id));
+        }
+        while let Some(batch) = mb.pop_ready(now, false) {
+            batches.push(batch.iter().map(|r| (r.id, r.seq_len())).collect());
+        }
+    }
+    // Shutdown drain: one last sweep, then force-close everything left.
+    now += Duration::from_micros(1_000);
+    if sweep_expired {
+        shed.extend(mb.take_expired(now).into_iter().map(|r| r.id));
+    }
+    while let Some(batch) = mb.pop_ready(now, true) {
+        batches.push(batch.iter().map(|r| (r.id, r.seq_len())).collect());
+    }
+    assert_eq!(mb.pending(), 0);
+    (batches, shed)
+}
+
+proptest! {
+    #[test]
+    fn no_batch_exceeds_max_batch(
+        max_batch in 1usize..6,
+        window_us in 1u64..5_000,
+        bucket_width in 1usize..4,
+        ops in ops_strategy(80),
+    ) {
+        let policy = BatchPolicy::new(max_batch, Duration::from_micros(window_us))
+            .with_bucket_width(bucket_width);
+        let (batches, _) = replay(policy, &ops, false);
+        for batch in &batches {
+            prop_assert!(!batch.is_empty());
+            prop_assert!(batch.len() <= max_batch);
+        }
+        let emitted: usize = batches.iter().map(Vec::len).sum();
+        prop_assert_eq!(emitted, ops.len());
+    }
+
+    #[test]
+    fn within_bucket_fifo_order_is_preserved(
+        max_batch in 1usize..6,
+        window_us in 1u64..5_000,
+        bucket_width in 1usize..4,
+        ops in ops_strategy(80),
+    ) {
+        let policy = BatchPolicy::new(max_batch, Duration::from_micros(window_us))
+            .with_bucket_width(bucket_width);
+        let (batches, _) = replay(policy, &ops, false);
+        // Offers carry increasing ids, so within any length bucket the
+        // emitted id stream must be strictly increasing; batches must
+        // also never mix buckets.
+        let mut last_seen: BTreeMap<usize, u64> = BTreeMap::new();
+        for batch in &batches {
+            let keys: Vec<usize> = batch
+                .iter()
+                .map(|(_, len)| (len - 1) / bucket_width)
+                .collect();
+            prop_assert!(keys.windows(2).all(|w| w[0] == w[1]), "batch mixes buckets");
+            for (id, _) in batch {
+                if let Some(prev) = last_seen.get(&keys[0]) {
+                    prop_assert!(id > prev, "bucket {} reordered: {} after {}", keys[0], id, prev);
+                }
+                last_seen.insert(keys[0], *id);
+            }
+        }
+    }
+
+    #[test]
+    fn shed_expired_conserves_every_request(
+        max_batch in 1usize..6,
+        window_us in 1u64..5_000,
+        ops in ops_strategy(60),
+    ) {
+        let policy = BatchPolicy::new(max_batch, Duration::from_micros(window_us));
+        let (batches, shed) = replay(policy, &ops, true);
+        let mut seen = vec![0u32; ops.len()];
+        for (id, _) in batches.iter().flatten() {
+            seen[*id as usize] += 1;
+        }
+        for id in &shed {
+            seen[*id as usize] += 1;
+        }
+        for (id, count) in seen.iter().enumerate() {
+            prop_assert_eq!(*count, 1, "request {} emitted {} times", id, count);
+        }
+    }
+}

@@ -7,13 +7,30 @@ use bpar_sim::{simulate, SimConfig};
 
 fn main() {
     let cfg = BrnnConfig {
-        cell: CellKind::Lstm, input_size: 256, hidden_size: 512, layers: 8,
-        seq_len: 100, output_size: 11, merge: MergeMode::Sum, kind: ModelKind::ManyToOne,
+        cell: CellKind::Lstm,
+        input_size: 256,
+        hidden_size: 512,
+        layers: 8,
+        seq_len: 100,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
     };
-    for (cores, mbs) in [(8usize, 8usize), (8, 12), (12, 12), (16, 12), (24, 12), (8, 6), (4, 8)] {
+    for (cores, mbs) in [
+        (8usize, 8usize),
+        (8, 12),
+        (12, 12),
+        (16, 12),
+        (24, 12),
+        (8, 6),
+        (4, 8),
+    ] {
         let g = build_graph(&GraphSpec::training(cfg, 120).with_mbs(mbs));
         let loc = simulate(&g, &SimConfig::xeon(cores));
-        let fifo = simulate(&g, &SimConfig::xeon(cores).with_policy(SchedulerPolicy::Fifo));
+        let fifo = simulate(
+            &g,
+            &SimConfig::xeon(cores).with_policy(SchedulerPolicy::Fifo),
+        );
         println!("cores {cores} mbs {mbs}: loc {:.2}s (util {:.2}) fifo {:.2}s (util {:.2}) reduction {:.0}%",
             loc.makespan, loc.utilization(), fifo.makespan, fifo.utilization(),
             (1.0 - loc.makespan/fifo.makespan)*100.0);

@@ -8,7 +8,11 @@ fn main() {
     g.add_task_with_preds(TaskNode::new("b").flops(60_000_000_000), &[]);
     let t2 = g.add_task_with_preds(TaskNode::new("c").flops(1_000_000), &[0, 0, 1]);
     g.validate().expect("validate should pass");
-    println!("preds of 2: {:?}, succs of 0: {:?}", g.preds(t2.index()), g.succs(0));
+    println!(
+        "preds of 2: {:?}, succs of 0: {:?}",
+        g.preds(t2.index()),
+        g.succs(0)
+    );
     let res = simulate(&g, &SimConfig::xeon(2));
     for r in &res.records {
         println!("task {} start {:.3} end {:.3}", r.task, r.start, r.end);

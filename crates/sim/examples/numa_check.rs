@@ -11,16 +11,24 @@ use bpar_sim::{simulate, SimConfig};
 
 fn main() {
     let cfg = BrnnConfig {
-        cell: CellKind::Lstm, input_size: 256, hidden_size: 256, layers: 8,
-        seq_len: 100, output_size: 11, merge: MergeMode::Sum, kind: ModelKind::ManyToOne,
+        cell: CellKind::Lstm,
+        input_size: 256,
+        hidden_size: 256,
+        layers: 8,
+        seq_len: 100,
+        output_size: 11,
+        merge: MergeMode::Sum,
+        kind: ModelKind::ManyToOne,
     };
     for mbs in [2usize, 8] {
         let g = build_graph(&GraphSpec::training(cfg, 120).with_mbs(mbs));
         for cores in [24usize, 32, 48] {
             let pinned = simulate(&g, &SimConfig::xeon(cores)).makespan;
             let unpinned = simulate(&g, &SimConfig::xeon(cores).with_rotating_scan(true)).makespan;
-            println!("mbs {mbs} cores {cores}: pinned {pinned:.3}s unpinned {unpinned:.3}s (+{:.0}%)",
-                (unpinned/pinned - 1.0)*100.0);
+            println!(
+                "mbs {mbs} cores {cores}: pinned {pinned:.3}s unpinned {unpinned:.3}s (+{:.0}%)",
+                (unpinned / pinned - 1.0) * 100.0
+            );
         }
     }
 }

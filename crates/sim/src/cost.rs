@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn compute_bound_tasks_track_flops() {
         let m = Machine::xeon_8160();
-        let c = CostModel { jitter: 0.0, ..CostModel::default() };
+        let c = CostModel {
+            jitter: 0.0,
+            ..CostModel::default()
+        };
         let n1 = node(30_000_000_000, 1024);
         let n2 = node(60_000_000_000, 1024);
         // SameCore locality: no cold-compute penalty.

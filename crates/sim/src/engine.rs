@@ -94,7 +94,13 @@ struct State {
 }
 
 /// Classifies input locality of `task` when run on `core`.
-fn locality_of(graph: &TaskGraph, task_core: &[usize], machine: &Machine, task: usize, core: usize) -> Locality {
+fn locality_of(
+    graph: &TaskGraph,
+    task_core: &[usize],
+    machine: &Machine,
+    task: usize,
+    core: usize,
+) -> Locality {
     let preds = graph.preds(task);
     if preds.is_empty() {
         Locality::Cold
@@ -124,7 +130,9 @@ fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
             if !st.idle[core] {
                 continue;
             }
-            let Some(task) = st.ready.pop(core) else { continue };
+            let Some(task) = st.ready.pop(core) else {
+                continue;
+            };
             let socket = machine.socket_of(core);
             let locality = locality_of(graph, &st.task_core, machine, task, core);
             let bw_share = machine.mem_bw_per_socket / (st.active_per_socket[socket] + 1) as f64;
@@ -231,7 +239,12 @@ pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
         }
         dispatch(graph, cfg, now, &mut st);
     }
-    assert_eq!(records.len(), n, "deadlock: {} of {n} tasks completed", records.len());
+    assert_eq!(
+        records.len(),
+        n,
+        "deadlock: {} of {n} tasks completed",
+        records.len()
+    );
 
     SimResult {
         makespan: now,
@@ -296,7 +309,11 @@ mod tests {
         let r = simulate(&g, &SimConfig::xeon(6));
         assert_eq!(r.records.len(), 30);
         let busy: f64 = r.core_busy.iter().sum();
-        assert!(busy <= r.makespan * 6.0 + 1e-9, "busy {busy} makespan {}", r.makespan);
+        assert!(
+            busy <= r.makespan * 6.0 + 1e-9,
+            "busy {busy} makespan {}",
+            r.makespan
+        );
     }
 
     #[test]

@@ -250,7 +250,11 @@ mod tests {
 
     #[test]
     fn utilization_of_fully_busy_run() {
-        let res = result(vec![rec(0, 0, 0.0, 2.0, 1.0, 0.0), rec(1, 1, 0.0, 2.0, 1.0, 0.0)], 2, 2.0);
+        let res = result(
+            vec![rec(0, 0, 0.0, 2.0, 1.0, 0.0), rec(1, 1, 0.0, 2.0, 1.0, 0.0)],
+            2,
+            2.0,
+        );
         assert!((res.utilization() - 1.0).abs() < 1e-12);
     }
 
@@ -258,8 +262,8 @@ mod tests {
     fn histogram_shares_sum_to_one() {
         let res = result(
             vec![
-                rec(0, 0, 0.0, 1.0, 1.0e9, 0.0),  // IPC 0.5
-                rec(1, 0, 1.0, 2.0, 3.0e9, 0.0),  // IPC 1.5
+                rec(0, 0, 0.0, 1.0, 1.0e9, 0.0), // IPC 0.5
+                rec(1, 0, 1.0, 2.0, 3.0e9, 0.0), // IPC 1.5
             ],
             1,
             2.0,

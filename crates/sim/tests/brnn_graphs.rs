@@ -99,8 +99,14 @@ fn data_parallelism_extends_scaling() {
     let m12_32 = simulate(&g12, &SimConfig::xeon(32)).makespan;
     let gain2 = m2_16 / m2_32;
     let gain12 = m12_16 / m12_32;
-    assert!(gain12 > gain2 + 0.15, "mbs12 gain {gain12} vs mbs2 gain {gain2}");
-    assert!(m12_32 < m2_32, "mbs12 should be faster outright at 32 cores");
+    assert!(
+        gain12 > gain2 + 0.15,
+        "mbs12 gain {gain12} vs mbs2 gain {gain2}"
+    );
+    assert!(
+        m12_32 < m2_32,
+        "mbs12 should be faster outright at 32 cores"
+    );
 }
 
 #[test]
@@ -140,15 +146,27 @@ fn removing_barriers_raises_concurrency_and_working_set() {
     };
     let spec = GraphSpec::training(cfg, 126).with_mbs(6);
     let free = simulate(&build_graph(&spec), &SimConfig::xeon(48));
-    let barred = simulate(&build_graph(&spec.with_barriers(true)), &SimConfig::xeon(48));
+    let barred = simulate(
+        &build_graph(&spec.with_barriers(true)),
+        &SimConfig::xeon(48),
+    );
     let cf = free.avg_concurrency();
     let cb = barred.avg_concurrency();
     assert!(cf > 1.5 * cb, "concurrency {cf} vs {cb}");
-    assert!((8.0..30.0).contains(&cf), "barrier-free avg tasks {cf} (paper: 16)");
-    assert!((3.0..12.0).contains(&cb), "barriered avg tasks {cb} (paper: 6)");
+    assert!(
+        (8.0..30.0).contains(&cf),
+        "barrier-free avg tasks {cf} (paper: 16)"
+    );
+    assert!(
+        (3.0..12.0).contains(&cb),
+        "barriered avg tasks {cb} (paper: 6)"
+    );
     let (_, free_ws) = free.working_set();
     let (_, barred_ws) = barred.working_set();
-    assert!(free_ws > 1.5 * barred_ws, "working set {free_ws} vs {barred_ws}");
+    assert!(
+        free_ws > 1.5 * barred_ws,
+        "working set {free_ws} vs {barred_ws}"
+    );
 }
 
 #[test]

@@ -13,9 +13,7 @@ use rand::{Rng, SeedableRng};
 pub fn uniform<T: Float>(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> Matrix<T> {
     assert!(lo < hi, "empty uniform range");
     let mut rng = SmallRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| {
-        T::from_f64(rng.gen_range(lo..hi))
-    })
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(lo..hi)))
 }
 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
@@ -87,7 +85,12 @@ mod tests {
         let m: Matrix<f64> = normal(100, 100, 2.0, 3);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

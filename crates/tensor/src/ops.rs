@@ -147,12 +147,13 @@ pub fn clip<T: Float>(m: &mut Matrix<T>, limit: T) -> usize {
 /// Used to slice the fused 4·H gate pre-activation block into i/f/c̄/o
 /// gates (and the concat-merge output back into directions).
 pub fn split_cols<T: Float>(m: &Matrix<T>, parts: usize) -> Vec<Matrix<T>> {
-    assert!(parts > 0 && m.cols().is_multiple_of(parts), "cols not divisible");
+    assert!(
+        parts > 0 && m.cols().is_multiple_of(parts),
+        "cols not divisible"
+    );
     let w = m.cols() / parts;
     (0..parts)
-        .map(|p| {
-            Matrix::from_fn(m.rows(), w, |r, c| m.get(r, p * w + c))
-        })
+        .map(|p| Matrix::from_fn(m.rows(), w, |r, c| m.get(r, p * w + c)))
         .collect()
 }
 

@@ -13,9 +13,8 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
 
 /// Strategy: (m, k, n) dims plus matching A, B, C matrices.
 fn gemm_triple() -> impl Strategy<Value = (Matrix<f64>, Matrix<f64>, Matrix<f64>)> {
-    (1usize..20, 1usize..20, 1usize..20).prop_flat_map(|(m, k, n)| {
-        (matrix(m, k), matrix(k, n), matrix(m, n))
-    })
+    (1usize..20, 1usize..20, 1usize..20)
+        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n), matrix(m, n)))
 }
 
 proptest! {

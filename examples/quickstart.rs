@@ -57,10 +57,7 @@ fn main() {
 
     // Inference through the public API.
     let out = bpar.forward(&bpar_model, &batch);
-    println!(
-        "Logits for first sample: {:?}",
-        &out.logits.row(0)
-    );
+    println!("Logits for first sample: {:?}", &out.logits.row(0));
     let stats = bpar.runtime().stats();
     println!(
         "B-Par executed {} tasks in the last batch (peak concurrency {}).",

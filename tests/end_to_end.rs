@@ -72,7 +72,11 @@ fn all_executors_reach_identical_digit_accuracy() {
         (Box::new(BarrierExec::new(2)), true),
         (Box::new(BSeqExec::new(2, 3)), false), // multi-chunk: fp tolerance
         (
-            Box::new(TaskGraphExec::with_config(3, SchedulerPolicy::LocalityAware, 3)),
+            Box::new(TaskGraphExec::with_config(
+                3,
+                SchedulerPolicy::LocalityAware,
+                3,
+            )),
             false,
         ),
     ];

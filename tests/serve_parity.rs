@@ -1,0 +1,126 @@
+//! Serving parity (ISSUE tentpole acceptance): responses produced by the
+//! dynamic-batching server are numerically identical to running the same
+//! trained model through `SequentialExec` one request at a time.
+//!
+//! Why this must hold bit-for-bit: the server runs `TaskGraphExec` with
+//! `mbs = 1` (bit-identical to sequential per the §III claim), and with
+//! `bucket_width = 1` every micro-batch contains only equal-length
+//! sequences, so no padding is introduced; each request occupies a row
+//! block whose GEMM accumulation order does not depend on the other rows.
+
+use bpar_core::exec::{Executor, SequentialExec, Target, TaskGraphExec};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_core::optim::Sgd;
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use bpar_serve::metrics::MetricsCollector;
+use bpar_serve::queue::Admission;
+use bpar_serve::{
+    AdmissionQueue, BackpressurePolicy, BatchPolicy, InferRequest, Outcome, ServeConfig, Server,
+};
+use bpar_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Briefly trains a small BLSTM digit classifier (enough to move every
+/// parameter off its init) and returns it.
+fn trained_model() -> Brnn<f32> {
+    let cfg = BrnnConfig {
+        input_size: 12,
+        hidden_size: 10,
+        layers: 2,
+        seq_len: 10,
+        output_size: DIGIT_CLASSES,
+        kind: ModelKind::ManyToOne,
+        ..BrnnConfig::default()
+    };
+    let data = TidigitsDataset::new(cfg.input_size, 9, 17);
+    let exec = TaskGraphExec::new(2);
+    let mut model = Brnn::new(cfg, 5);
+    let mut opt = Sgd::new(0.05);
+    for step in 0..8u64 {
+        let (xs, labels) = data.batch::<f32>(step * 8, 8, cfg.seq_len);
+        exec.train_batch(&mut model, &xs, &Target::Classes(labels), &mut opt);
+    }
+    model
+}
+
+#[test]
+fn served_outputs_match_sequential_executor_exactly() {
+    let model = trained_model();
+    let server = Server::new(
+        model.clone(),
+        ServeConfig {
+            queue_capacity: 32,
+            policy: BackpressurePolicy::Block,
+            // bucket_width defaults to 1: exact-length buckets, no padding.
+            batch: BatchPolicy::new(4, Duration::from_micros(300)),
+            workers: 3,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Variable-length utterances (±35% around the mean) — multiple
+    // requests share each length so real multi-row batches form.
+    let data = TidigitsDataset::new(model.config.input_size, 9, 23);
+    let total: u64 = 48;
+    let queue = Arc::new(AdmissionQueue::new(32, BackpressurePolicy::Block));
+    let producer_queue = queue.clone();
+    let producer_data = data.clone();
+    let producer = std::thread::spawn(move || {
+        for id in 0..total {
+            let utt = producer_data.utterance::<f32>(id);
+            match producer_queue.push(InferRequest::new(id, utt.frames)) {
+                Admission::Admitted { shed } => assert!(shed.is_empty()),
+                other => panic!("request {id} not admitted: {other:?}"),
+            }
+        }
+        producer_queue.close();
+    });
+
+    let mut metrics = MetricsCollector::new();
+    let mut responses: BTreeMap<u64, Vec<f32>> = BTreeMap::new();
+    let mut multi_row_batches = 0u64;
+    server.serve(&queue, &mut metrics, |outcome| match outcome {
+        Outcome::Served(resp) => {
+            if resp.timing.batch_rows > 1 {
+                multi_row_batches += 1;
+            }
+            assert!(
+                responses.insert(resp.id, resp.logits).is_none(),
+                "request {} served twice",
+                resp.id
+            );
+        }
+        other => panic!("unexpected non-served outcome: {other:?}"),
+    });
+    producer.join().unwrap();
+
+    // Conservation: everything submitted was served exactly once.
+    assert_eq!(responses.len() as u64, total);
+    assert_eq!(metrics.served(), total);
+    assert_eq!(metrics.shed() + metrics.rejected(), 0);
+    assert!(
+        multi_row_batches > 0,
+        "workload never formed a multi-row batch; parity check would be vacuous"
+    );
+
+    // Bitwise parity with the sequential reference, one request at a time.
+    let seq = SequentialExec::new();
+    for (id, served_logits) in &responses {
+        let utt = data.utterance::<f32>(*id);
+        let dim = model.config.input_size;
+        let xs: Vec<Matrix<f32>> = utt
+            .frames
+            .iter()
+            .map(|frame| Matrix::from_vec(1, dim, frame.clone()))
+            .collect();
+        let reference = seq.forward(&model, &xs);
+        assert_eq!(
+            served_logits,
+            &reference.logits.row(0).to_vec(),
+            "request {id} (len {}) diverged from sequential execution",
+            xs.len()
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Common imports, mirroring `proptest::prelude`.
+
+pub use crate::collection;
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+    Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+};
+
+/// `prop::collection::vec(...)`-style paths.
+pub mod prop {
+    pub use crate::collection;
+}

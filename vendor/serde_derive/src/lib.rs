@@ -1,0 +1,224 @@
+//! Hand-rolled derive macros for the offline `serde` shim.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields, and non-generic enums with unit variants. No `syn`
+//! or `quote` — the item is parsed directly from the token stream (the
+//! container has no crates.io access, so dependencies must be zero).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering each field into a
+/// `serde::Value::Object` entry (structs) or the variant name into a
+/// `serde::Value::Str` (unit enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits an inert marker impl;
+/// nothing in this workspace deserializes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .unwrap(),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+enum Body {
+    /// Named struct fields.
+    Struct(Vec<String>),
+    /// Unit enum variants.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Extracts the item name and its field/variant names, skipping
+/// attributes and visibility qualifiers.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    let mut is_enum = false;
+
+    // Scan for the `struct` / `enum` keyword, skipping attributes
+    // (`#[...]`), doc comments, and visibility.
+    let kw_found = loop {
+        match toks.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break true,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break true;
+            }
+            Some(_) => continue,
+            None => break false,
+        }
+    };
+    if !kw_found {
+        return Err("expected `struct` or `enum`".to_string());
+    }
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+
+    // The derive targets in this workspace are non-generic; reject
+    // anything else loudly rather than mis-expanding.
+    let body_group = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde shim derive does not support generics (on `{name}`)"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+
+    let names = if is_enum {
+        parse_enum_variants(body_group.stream())?
+    } else {
+        parse_struct_fields(body_group.stream())?
+    };
+    Ok(Item {
+        name,
+        body: if is_enum {
+            Body::Enum(names)
+        } else {
+            Body::Struct(names)
+        },
+    })
+}
+
+/// Field names of a named-field struct body.
+fn parse_struct_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip leading attributes and visibility for this field.
+        skip_attrs_and_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        fields.push(id.to_string());
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut angle: i32 = 0;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_enum_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        variants.push(id.to_string());
+        // Skip to the next comma; reject payload-carrying variants.
+        loop {
+            match toks.next() {
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "serde shim derive supports only unit enum variants (`{id}` has a payload)"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends carry a parenthesized scope.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

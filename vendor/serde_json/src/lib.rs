@@ -1,0 +1,169 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! rendering a `serde::Serialize` type to (pretty) JSON text. Numbers are
+//! formatted like upstream serde_json — integers bare, floats with a
+//! decimal point or exponent, non-finite floats as `null`.
+
+pub use serde::Value;
+use std::fmt;
+
+/// Serialization error (the value tree cannot actually fail to render;
+/// the type exists for API compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), indent, depth, out, '[', ']', |item, o| {
+                write_value(item, indent, depth + 1, o);
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(
+                entries.iter(),
+                indent,
+                depth,
+                out,
+                '{',
+                '}',
+                |(k, val), o| {
+                    write_string(k, o);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    write_value(val, indent, depth + 1, o);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(I::Item, &mut String),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(item, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Match serde_json: whole floats keep a trailing `.0`.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(0.5), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::Int(1)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"x\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        let v = Value::Object(vec![("e".into(), Value::Array(vec![]))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"e\": []\n}");
+    }
+}
