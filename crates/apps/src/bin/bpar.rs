@@ -401,8 +401,13 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         other => return Err(format!("--mode expects open|closed, got `{other}`")),
     };
     println!(
-        "outcome: {} served, {} shed, {} rejected in {:.2}s ({:.1} served/s)",
-        report.served, report.shed, report.rejected, report.duration_s, report.throughput_rps
+        "outcome: {} served, {} shed, {} rejected, {} failed in {:.2}s ({:.1} served/s)",
+        report.served,
+        report.shed,
+        report.rejected,
+        report.failed,
+        report.duration_s,
+        report.throughput_rps
     );
     println!(
         "latency (ms): p50 {:.2}  p95 {:.2}  p99 {:.2}  p99.9 {:.2}  max {:.2}",
@@ -420,6 +425,10 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         report.padding_frac * 100.0,
         report.queue_depth_mean,
         report.queue_depth_max,
+    );
+    println!(
+        "plan cache: {} hits, {} misses, {} evictions; {} weight deep copies",
+        report.plan_hits, report.plan_misses, report.plan_evictions, report.weight_syncs,
     );
     Ok(())
 }

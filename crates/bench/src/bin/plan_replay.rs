@@ -1,0 +1,173 @@
+//! Plan-cache overhead measurement: graph *build* vs graph *replay*.
+//!
+//! §IV-B of the paper requires task-instantiation overhead to stay an
+//! order of magnitude below useful task time. The serving hot path used
+//! to pay the full build cost — a model deep copy plus dependency
+//! resolution over every `in`/`out` clause — on every batch; with cached
+//! execution plans it pays it once per batch shape and thereafter only
+//! the replay cost (copying frozen bookkeeping into the runtime).
+//!
+//! This bench runs repeated same-shape inference batches through one
+//! resident [`TaskGraphExec`] and reports, per shape:
+//!
+//! * `build_us` — plan construction + dependency compilation (the cost
+//!   the old code paid per batch, paid here exactly once),
+//! * `replay_us` — mean graph re-submission cost per cached batch,
+//! * `task_us` — mean useful task time per batch,
+//! * the replay-to-task overhead ratio against the paper's 10% bound.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin plan_replay`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::exec::{Executor, TaskGraphExec};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const WORKERS: usize = 4;
+const BATCHES_PER_SHAPE: usize = 30;
+/// §IV-B: orchestration overhead must stay below 10% of task time.
+const OVERHEAD_BOUND: f64 = 0.10;
+
+#[derive(Serialize)]
+struct ShapeRow {
+    rows: usize,
+    seq: usize,
+    tasks: usize,
+    batches: usize,
+    build_us: f64,
+    replay_us_mean: f64,
+    task_us_mean: f64,
+    build_over_replay: f64,
+    replay_overhead_frac: f64,
+    within_bound: bool,
+}
+
+#[derive(Serialize)]
+struct PlanReplayReport {
+    seed: u64,
+    workers: usize,
+    batches_per_shape: usize,
+    overhead_bound: f64,
+    config: String,
+    plan_hits: u64,
+    plan_misses: u64,
+    weight_syncs: u64,
+    shapes: Vec<ShapeRow>,
+}
+
+fn main() {
+    let cfg = BrnnConfig {
+        input_size: 16,
+        hidden_size: 32,
+        layers: 2,
+        seq_len: 16,
+        output_size: DIGIT_CLASSES,
+        kind: ModelKind::ManyToOne,
+        ..Default::default()
+    };
+    let model: Brnn<f64> = Brnn::new(cfg, SEED);
+    let data = TidigitsDataset::new(cfg.input_size, 12, SEED);
+    let exec = TaskGraphExec::new(WORKERS);
+
+    // Serving-shaped workload: a handful of padded shapes, each hot.
+    let shapes: &[(usize, usize)] = &[(1, 16), (4, 16), (8, 16), (8, 24)];
+
+    let mut rows_out = Vec::new();
+    let mut shape_rows = Vec::new();
+    for &(rows, seq) in shapes {
+        let (batch, _labels) = data.batch::<f64>(rows as u64 * 1000, rows, seq);
+        let before = exec.plan_cache_stats();
+        let mut task_time = 0.0;
+        let mut tasks = 0;
+        for _ in 0..BATCHES_PER_SHAPE {
+            let _ = exec.forward(&model, &batch);
+            // Replay clears the previous batch's records, so these stats
+            // cover exactly the batch that just ran.
+            let rt = exec.runtime().stats();
+            task_time += rt.total_task_time;
+            tasks = rt.tasks;
+        }
+        let after = exec.plan_cache_stats();
+        assert_eq!(after.misses - before.misses, 1, "one build per shape");
+        assert_eq!(
+            after.hits - before.hits,
+            BATCHES_PER_SHAPE as u64 - 1,
+            "every other batch replays the cached plan"
+        );
+
+        let build_us = (after.build_ns - before.build_ns) as f64 / 1e3;
+        let replay_us_mean =
+            (after.replay_ns - before.replay_ns) as f64 / 1e3 / BATCHES_PER_SHAPE as f64;
+        let task_us_mean = task_time * 1e6 / BATCHES_PER_SHAPE as f64;
+        let replay_overhead_frac = replay_us_mean / task_us_mean;
+        let row = ShapeRow {
+            rows,
+            seq,
+            tasks,
+            batches: BATCHES_PER_SHAPE,
+            build_us,
+            replay_us_mean,
+            task_us_mean,
+            build_over_replay: build_us / replay_us_mean,
+            replay_overhead_frac,
+            within_bound: replay_overhead_frac < OVERHEAD_BOUND,
+        };
+        rows_out.push(vec![
+            format!("{rows}x{seq}"),
+            row.tasks.to_string(),
+            format!("{:.1}", row.build_us),
+            format!("{:.1}", row.replay_us_mean),
+            format!("{:.1}", row.task_us_mean),
+            format!("{:.1}x", row.build_over_replay),
+            format!("{:.2}%", row.replay_overhead_frac * 100.0),
+            row.within_bound.to_string(),
+        ]);
+        shape_rows.push(row);
+    }
+
+    print_table(
+        "plan build vs replay (per batch)",
+        &[
+            "shape",
+            "tasks",
+            "build_us",
+            "replay_us",
+            "task_us",
+            "build/rep",
+            "overhead",
+            "<10%",
+        ],
+        &rows_out,
+    );
+
+    let stats = exec.plan_cache_stats();
+    println!(
+        "\ntotals: {} plan builds, {} replays, {} weight deep copies ({} batches)",
+        stats.misses,
+        stats.hits,
+        stats.weight_syncs,
+        shapes.len() * BATCHES_PER_SHAPE
+    );
+
+    let canonical = format!(
+        "in={},h={},l={},out={},workers={WORKERS},n={BATCHES_PER_SHAPE}",
+        cfg.input_size, cfg.hidden_size, cfg.layers, cfg.output_size
+    );
+    let report = PlanReplayReport {
+        seed: SEED,
+        workers: WORKERS,
+        batches_per_shape: BATCHES_PER_SHAPE,
+        overhead_bound: OVERHEAD_BOUND,
+        config: canonical.clone(),
+        plan_hits: stats.hits,
+        plan_misses: stats.misses,
+        weight_syncs: stats.weight_syncs,
+        shapes: shape_rows,
+    };
+    write_json(
+        &bpar_serve::metrics::report_name("plan_replay", SEED, &canonical),
+        &report,
+    );
+}

@@ -15,7 +15,7 @@
 //! ablation benches compare it directly against barrier-free B-Par on the
 //! same runtime, isolating the cost of the barriers themselves.
 
-use super::builder::RegionAlloc;
+use super::builder::{LiveSink, RegionAlloc};
 use super::taskgraph::{collect_logits, TaskGraphExec};
 use super::{Executor, ForwardOutput, Target};
 use crate::model::Brnn;
@@ -58,17 +58,19 @@ impl<T: Float> Executor<T> for BarrierExec {
     fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T> {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
-        let (replicas, _) = TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        let (_weights, replicas, _) =
+            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        let mut sink = LiveSink(&self.runtime);
         for l in 0..model.config.layers {
             for rep in &replicas {
-                rep.submit_forward_layer(&self.runtime, l);
+                rep.submit_forward_layer(&mut sink, l);
             }
             // The per-layer barrier: layer l+1 cells are not even created
             // until every layer-l cell and merge has completed.
             self.runtime.taskwait().expect("task panicked");
         }
         for rep in &replicas {
-            rep.submit_output(&self.runtime, None);
+            rep.submit_output(&mut sink, false);
         }
         self.runtime.taskwait().expect("task panicked");
         collect_logits(model, &replicas)
@@ -83,28 +85,31 @@ impl<T: Float> Executor<T> for BarrierExec {
     ) -> f64 {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
-        let (replicas, chunks) = TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        let (_weights, replicas, chunks) =
+            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+        let mut sink = LiveSink(&self.runtime);
         let layers = model.config.layers;
 
         for l in 0..layers {
             for rep in &replicas {
-                rep.submit_forward_layer(&self.runtime, l);
+                rep.submit_forward_layer(&mut sink, l);
             }
             self.runtime.taskwait().expect("task panicked");
         }
         for (rep, &(start, count)) in replicas.iter().zip(&chunks) {
             let chunk_target = target.row_block(start, count);
-            rep.submit_output(&self.runtime, Some(&chunk_target));
+            rep.set_target(&chunk_target);
+            rep.submit_output(&mut sink, true);
         }
         self.runtime.taskwait().expect("task panicked");
         for l in (0..layers).rev() {
             for rep in &replicas {
-                rep.submit_backward_layer(&self.runtime, l);
+                rep.submit_backward_layer(&mut sink, l);
             }
             self.runtime.taskwait().expect("task panicked");
         }
         for rep in replicas.iter().skip(1) {
-            rep.submit_reduce_into(&self.runtime, &replicas[0]);
+            rep.submit_reduce_into(&mut sink, &replicas[0]);
         }
         self.runtime.taskwait().expect("task panicked");
 

@@ -4,13 +4,20 @@
 //! dependency region each) for one mini-batch replica of a training batch,
 //! and knows how to submit the forward-cell, reverse-cell, merge, loss and
 //! backward tasks with exactly the `in`/`out` clauses of the paper's
-//! Algorithms 2 and 3. The executors differ only in *when* they call
-//! `taskwait`:
+//! Algorithms 2 and 3. Tasks are emitted through a [`TaskSink`], so the
+//! same construction code serves two consumers:
 //!
-//! * [`super::TaskGraphExec`] submits everything and waits once per batch
-//!   (**B-Par**: barrier-free),
-//! * [`super::BarrierExec`] waits after every layer stage (the Keras /
-//!   PyTorch per-layer-barrier discipline).
+//! * [`LiveSink`] submits directly to a [`Runtime`] — used by
+//!   [`super::BarrierExec`], which interleaves submission with `taskwait`s;
+//! * `bpar_runtime::PlanBuilder` records the stream for one-shot
+//!   compilation into a replayable plan — used by [`super::TaskGraphExec`],
+//!   which re-runs the same graph every batch (task bodies are `Fn`, and
+//!   all per-batch values — inputs, targets, weights — live behind shared
+//!   stores the executor swaps between replays).
+//!
+//! Model weights are read through a [`WeightStore`]: a persistent snapshot
+//! deep-copied only when the model's revision stamp changes, never once per
+//! batch.
 //!
 //! Floating-point note: task bodies perform identical kernel calls in an
 //! order whose only reorderings are commutative two-operand additions, so
@@ -19,10 +26,11 @@
 use crate::cell::{CellCache, CellParams, CellState, StateGrad};
 use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
-use crate::model::{Brnn, BrnnGrads, LayerPair, ModelKind};
-use bpar_runtime::{RegionId, Runtime, TaskSpec};
+use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
+use bpar_runtime::{PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
 use bpar_tensor::{Float, Matrix};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Hands out fresh region ids for one batch.
@@ -36,6 +44,79 @@ impl RegionAlloc {
         let id = RegionId(self.next);
         self.next += 1;
         id
+    }
+}
+
+/// Where constructed tasks go: straight to a runtime, or into a plan.
+pub(crate) trait TaskSink {
+    fn push(&mut self, spec: PlanSpec);
+}
+
+impl TaskSink for PlanBuilder {
+    fn push(&mut self, spec: PlanSpec) {
+        self.submit(spec);
+    }
+}
+
+/// Adapts a [`Runtime`] to [`TaskSink`]: each pushed spec is submitted
+/// immediately as a one-shot task.
+pub(crate) struct LiveSink<'a>(pub &'a Runtime);
+
+impl TaskSink for LiveSink<'_> {
+    fn push(&mut self, spec: PlanSpec) {
+        let body = spec.body.expect("spec submitted without a body");
+        self.0.submit(
+            TaskSpec::new(spec.label)
+                .tag(spec.tag)
+                .ins(spec.ins)
+                .outs(spec.outs)
+                .working_set(spec.working_set_bytes)
+                .body(move || body()),
+        );
+    }
+}
+
+/// Persistent shared handle on model weights.
+///
+/// Task bodies read the current snapshot; the owning executor calls
+/// [`WeightStore::sync`] once per batch, which deep-copies the model *only*
+/// when its revision stamp differs from the snapshot's — in steady-state
+/// inference serving that is never, fixing the per-batch
+/// `Arc::new(model.clone())` of the original executors.
+pub(crate) struct WeightStore<T: Float> {
+    snapshot: RwLock<Arc<Brnn<T>>>,
+    /// Deep copies made over this store's lifetime (1 at construction).
+    deep_copies: AtomicU64,
+}
+
+impl<T: Float> WeightStore<T> {
+    /// A store seeded with one deep copy of `model`.
+    pub fn new(model: &Brnn<T>) -> Self {
+        Self {
+            snapshot: RwLock::new(Arc::new(model.clone())),
+            deep_copies: AtomicU64::new(1),
+        }
+    }
+
+    /// The current weight snapshot (cheap: one `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Brnn<T>> {
+        self.snapshot.read().clone()
+    }
+
+    /// Brings the snapshot up to date with `model`. Returns `true` iff a
+    /// deep copy was made (i.e. the revisions differed).
+    pub fn sync(&self, model: &Brnn<T>) -> bool {
+        if self.snapshot.read().revision() == model.revision() {
+            return false;
+        }
+        *self.snapshot.write() = Arc::new(model.clone());
+        self.deep_copies.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Deep copies made so far (at least 1).
+    pub fn deep_copies(&self) -> u64 {
+        self.deep_copies.load(Ordering::Relaxed)
     }
 }
 
@@ -106,10 +187,19 @@ pub(crate) type CellSlot<T> = Slot<(CellState<T>, CellCache<T>)>;
 
 /// All slots and regions for one mini-batch replica.
 pub(crate) struct ReplicaGraph<T: Float> {
-    /// Read-only model snapshot shared by every task.
-    pub model: Arc<Brnn<T>>,
-    /// Input timesteps for this replica (`rows × input_size` each).
-    pub xs: Arc<Vec<Matrix<T>>>,
+    /// Shared weight snapshot read by every task.
+    pub weights: Arc<WeightStore<T>>,
+    /// Hyper-parameters frozen at construction (plan-cache keys guarantee
+    /// a replica is only ever replayed for models with this config).
+    pub config: BrnnConfig,
+    /// Input timesteps for this replica (`rows × input_size` each);
+    /// swappable between replays via [`ReplicaGraph::set_inputs`].
+    pub xs: Arc<RwLock<Vec<Matrix<T>>>>,
+    /// Per-output-position target classes; swappable between replays via
+    /// [`ReplicaGraph::set_target`]. Empty for inference graphs.
+    pub targets: Arc<RwLock<Vec<Vec<usize>>>>,
+    /// Sequence length (timesteps) this replica was built for.
+    pub seq: usize,
     /// Batch rows in this replica.
     pub rows: usize,
     /// Loss weight `rows / total_rows` (1.0 when mbs = 1).
@@ -155,12 +245,12 @@ pub(crate) struct ReplicaGraph<T: Float> {
 impl<T: Float> ReplicaGraph<T> {
     /// Allocates all slots for a replica of `rows` batch rows.
     pub fn new(
-        model: Arc<Brnn<T>>,
+        weights: Arc<WeightStore<T>>,
         xs: Vec<Matrix<T>>,
         weight: f64,
         regions: &mut RegionAlloc,
     ) -> Self {
-        let cfg = model.config;
+        let cfg = weights.snapshot().config;
         let seq = xs.len();
         let rows = xs[0].rows();
         fn grid<X>(layers: usize, seq: usize, regions: &mut RegionAlloc) -> Vec<Vec<Slot<X>>> {
@@ -173,7 +263,9 @@ impl<T: Float> ReplicaGraph<T> {
             ModelKind::ManyToMany => seq,
         };
         Self {
-            xs: Arc::new(xs),
+            xs: Arc::new(RwLock::new(xs)),
+            targets: Arc::new(RwLock::new(Vec::new())),
+            seq,
             rows,
             weight,
             st_fwd: grid(cfg.layers, seq, regions),
@@ -194,19 +286,76 @@ impl<T: Float> ReplicaGraph<T> {
             grads_rev: (0..cfg.layers).map(|_| Slot::new(regions)).collect(),
             grads_dense: Slot::new(regions),
             loss: Slot::new(regions),
-            model,
+            weights,
+            config: cfg,
         }
     }
 
     /// Sequence length of this replica.
     pub fn seq_len(&self) -> usize {
-        self.xs.len()
+        self.seq
+    }
+
+    /// Replaces the input timesteps for the next run of the graph.
+    pub fn set_inputs(&self, xs: Vec<Matrix<T>>) {
+        assert_eq!(xs.len(), self.seq, "input timestep count changed");
+        assert!(
+            xs.iter().all(|x| x.rows() == self.rows),
+            "input row count changed"
+        );
+        *self.xs.write() = xs;
+    }
+
+    /// Replaces the training targets for the next run of the graph,
+    /// converting to one class vector per output position.
+    pub fn set_target(&self, target: &super::Target) {
+        let per_pos: Vec<Vec<usize>> = match (self.config.kind, target) {
+            (ModelKind::ManyToOne, super::Target::Classes(c)) => vec![c.clone()],
+            (ModelKind::ManyToMany, super::Target::SeqClasses(s)) => s.clone(),
+            _ => panic!("target kind does not match model kind"),
+        };
+        assert_eq!(per_pos.len(), self.logits.len(), "target positions");
+        *self.targets.write() = per_pos;
+    }
+
+    /// Drops every transient value (activations, caches, gradients,
+    /// inputs, targets) while keeping slots and regions alive. Called
+    /// after a cached plan's outputs are collected so resident plans cost
+    /// compiled-graph memory, not activation memory. The next run starts
+    /// from the same all-empty state a freshly built graph has.
+    pub fn clear_values(&self) {
+        fn clear_grid<X>(grid: &[Vec<Slot<X>>]) {
+            for row in grid {
+                for s in row {
+                    s.take();
+                }
+            }
+        }
+        clear_grid(&self.st_fwd);
+        clear_grid(&self.st_rev);
+        clear_grid(&self.merged);
+        clear_grid(&self.dh_fwd);
+        clear_grid(&self.dh_rev);
+        clear_grid(&self.sg_fwd);
+        clear_grid(&self.sg_rev);
+        clear_grid(&self.dinput_f);
+        clear_grid(&self.dinput_r);
+        for s in self.feat.iter().chain(&self.logits).chain(&self.dfeat) {
+            s.take();
+        }
+        for s in self.grads_fwd.iter().chain(&self.grads_rev) {
+            s.take();
+        }
+        self.grads_dense.take();
+        self.loss.take();
+        self.xs.write().clear();
+        self.targets.write().clear();
     }
 
     /// Submits all cell and merge tasks of layer `l` (Algorithms 2 and 3:
     /// forward-order cells, reverse-order cells, merge cells).
-    pub fn submit_forward_layer(&self, rt: &Runtime, l: usize) {
-        let cfg = self.model.config;
+    pub fn submit_forward_layer(&self, sink: &mut dyn TaskSink, l: usize) {
+        let cfg = self.config;
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
         let input_w = cfg.layer_input_size(l);
@@ -225,19 +374,20 @@ impl<T: Float> ReplicaGraph<T> {
                 ins.push(self.merged[l - 1][t].region);
             }
             let out = self.st_fwd[l][t].region;
-            let model = self.model.clone();
+            let weights = self.weights.clone();
             let xs = self.xs.clone();
             let prev = (t > 0).then(|| self.st_fwd[l][t - 1].clone());
             let below = (l > 0).then(|| self.merged[l - 1][t].clone());
             let dst = self.st_fwd[l][t].clone();
             let rows = self.rows;
-            rt.submit(
-                TaskSpec::new("cell_fwd")
+            sink.push(
+                PlanSpec::new("cell_fwd")
                     .tag(((l as u64) << 32) | t as u64)
                     .ins(ins)
                     .outs([out])
                     .working_set(ws)
                     .body(move || {
+                        let model = weights.snapshot();
                         let zero;
                         let prev_state = match &prev {
                             Some(slot) => slot.with(|v| v.expect("missing t-1 state").0.clone()),
@@ -256,7 +406,10 @@ impl<T: Float> ReplicaGraph<T> {
                                     .fwd
                                     .forward(m.expect("missing merge"), &prev_state)
                             }),
-                            None => model.layers[l].fwd.forward(&xs[t], &prev_state),
+                            None => {
+                                let xs = xs.read();
+                                model.layers[l].fwd.forward(&xs[t], &prev_state)
+                            }
                         };
                         dst.put(result);
                     }),
@@ -274,19 +427,20 @@ impl<T: Float> ReplicaGraph<T> {
                 ins.push(self.merged[l - 1][t].region);
             }
             let out = self.st_rev[l][t].region;
-            let model = self.model.clone();
+            let weights = self.weights.clone();
             let xs = self.xs.clone();
             let prev = (t + 1 < seq).then(|| self.st_rev[l][t + 1].clone());
             let below = (l > 0).then(|| self.merged[l - 1][t].clone());
             let dst = self.st_rev[l][t].clone();
             let rows = self.rows;
-            rt.submit(
-                TaskSpec::new("cell_rev")
+            sink.push(
+                PlanSpec::new("cell_rev")
                     .tag(((l as u64) << 32) | t as u64)
                     .ins(ins)
                     .outs([out])
                     .working_set(ws)
                     .body(move || {
+                        let model = weights.snapshot();
                         let zero;
                         let prev_state = match &prev {
                             Some(slot) => slot.with(|v| v.expect("missing t+1 state").0.clone()),
@@ -305,7 +459,10 @@ impl<T: Float> ReplicaGraph<T> {
                                     .rev
                                     .forward(m.expect("missing merge"), &prev_state)
                             }),
-                            None => model.layers[l].rev.forward(&xs[t], &prev_state),
+                            None => {
+                                let xs = xs.read();
+                                model.layers[l].rev.forward(&xs[t], &prev_state)
+                            }
                         };
                         dst.put(result);
                     }),
@@ -323,8 +480,8 @@ impl<T: Float> ReplicaGraph<T> {
                 let r = self.st_rev[l][t].clone();
                 let dst = self.merged[l][t].clone();
                 let mode = cfg.merge;
-                rt.submit(
-                    TaskSpec::new("merge")
+                sink.push(
+                    PlanSpec::new("merge")
                         .tag(((l as u64) << 32) | t as u64)
                         .ins([f.region, r.region])
                         .outs([dst.region])
@@ -346,9 +503,10 @@ impl<T: Float> ReplicaGraph<T> {
     }
 
     /// Submits the last layer's merge + classifier tasks. With
-    /// `train = true` also computes the weighted loss and `dfeat`.
-    pub fn submit_output(&self, rt: &Runtime, target: Option<&super::Target>) {
-        let cfg = self.model.config;
+    /// `train = true` also computes the weighted loss and `dfeat`, reading
+    /// classes from the target store (see [`ReplicaGraph::set_target`]).
+    pub fn submit_output(&self, sink: &mut dyn TaskSink, train: bool) {
+        let cfg = self.config;
         let seq = self.seq_len();
         let last = cfg.layers - 1;
         let positions: Vec<(usize, usize, usize)> = match cfg.kind {
@@ -364,8 +522,8 @@ impl<T: Float> ReplicaGraph<T> {
             let r = self.st_rev[last][tr].clone();
             let dst = self.feat[i].clone();
             let mode = cfg.merge;
-            rt.submit(
-                TaskSpec::new("merge_final")
+            sink.push(
+                PlanSpec::new("merge_final")
                     .tag(i as u64)
                     .ins([f.region, r.region])
                     .outs([dst.region])
@@ -376,94 +534,89 @@ impl<T: Float> ReplicaGraph<T> {
                     }),
             );
 
-            match target {
-                None => {
-                    // Inference: classifier only.
-                    let model = self.model.clone();
-                    let feat = self.feat[i].clone();
-                    let out = self.logits[i].clone();
-                    rt.submit(
-                        TaskSpec::new("dense")
-                            .tag(i as u64)
-                            .ins([feat.region])
-                            .outs([out.region])
-                            .body(move || {
-                                let logits = feat.with(|x| model.dense.forward(x.unwrap()));
+            if !train {
+                // Inference: classifier only.
+                let weights = self.weights.clone();
+                let feat = self.feat[i].clone();
+                let out = self.logits[i].clone();
+                sink.push(
+                    PlanSpec::new("dense")
+                        .tag(i as u64)
+                        .ins([feat.region])
+                        .outs([out.region])
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let logits = feat.with(|x| model.dense.forward(x.unwrap()));
+                            out.put(logits);
+                        }),
+                );
+            } else {
+                // Training: classifier + loss + classifier backward in
+                // one task (small working set; Eq. (11) merge tasks are
+                // the paper's analogue of lightweight glue tasks).
+                let weights = self.weights.clone();
+                let targets = self.targets.clone();
+                let feat = self.feat[i].clone();
+                let out = self.logits[i].clone();
+                let dfeat = self.dfeat[i].clone();
+                let gdense = self.grads_dense.clone();
+                let loss_slot = self.loss.clone();
+                let weight = self.weight;
+                sink.push(
+                    PlanSpec::new("loss")
+                        .tag(i as u64)
+                        .ins([feat.region])
+                        .outs([out.region, dfeat.region, gdense.region, loss_slot.region])
+                        .body(move || {
+                            let model = weights.snapshot();
+                            feat.with(|x| {
+                                let x = x.unwrap();
+                                let logits = model.dense.forward(x);
+                                let targets = targets.read();
+                                let (l, mut dlogits) = softmax_cross_entropy(&logits, &targets[i]);
+                                let scale = T::from_f64(weight * inv_outputs);
+                                bpar_tensor::ops::scale(scale, &mut dlogits);
+                                gdense.update(
+                                    || model.dense.zeros_like(),
+                                    |g| {
+                                        let dx = model.dense.backward(x, &dlogits, g);
+                                        dfeat.put(dx);
+                                    },
+                                );
+                                loss_slot.update(|| 0.0, |acc| *acc += l * weight * inv_outputs);
                                 out.put(logits);
-                            }),
-                    );
-                }
-                Some(target) => {
-                    // Training: classifier + loss + classifier backward in
-                    // one task (small working set; Eq. (11) merge tasks are
-                    // the paper's analogue of lightweight glue tasks).
-                    let classes: Vec<usize> = match (cfg.kind, target) {
-                        (ModelKind::ManyToOne, super::Target::Classes(c)) => c.clone(),
-                        (ModelKind::ManyToMany, super::Target::SeqClasses(s)) => s[i].clone(),
-                        _ => panic!("target kind does not match model kind"),
-                    };
-                    let model = self.model.clone();
-                    let feat = self.feat[i].clone();
-                    let out = self.logits[i].clone();
-                    let dfeat = self.dfeat[i].clone();
-                    let gdense = self.grads_dense.clone();
-                    let loss_slot = self.loss.clone();
-                    let weight = self.weight;
-                    rt.submit(
-                        TaskSpec::new("loss")
-                            .tag(i as u64)
-                            .ins([feat.region])
-                            .outs([out.region, dfeat.region, gdense.region, loss_slot.region])
-                            .body(move || {
-                                feat.with(|x| {
-                                    let x = x.unwrap();
-                                    let logits = model.dense.forward(x);
-                                    let (l, mut dlogits) = softmax_cross_entropy(&logits, &classes);
-                                    let scale = T::from_f64(weight * inv_outputs);
-                                    bpar_tensor::ops::scale(scale, &mut dlogits);
-                                    gdense.update(
-                                        || model.dense.zeros_like(),
-                                        |g| {
-                                            let dx = model.dense.backward(x, &dlogits, g);
-                                            dfeat.put(dx);
-                                        },
-                                    );
-                                    loss_slot
-                                        .update(|| 0.0, |acc| *acc += l * weight * inv_outputs);
-                                    out.put(logits);
-                                });
-                            }),
-                    );
+                            });
+                        }),
+                );
 
-                    // Backward seed: split dfeat into the two directions.
-                    let mode = cfg.merge;
-                    let f = self.st_fwd[last][tf].clone();
-                    let r = self.st_rev[last][tr].clone();
-                    let dfeat2 = self.dfeat[i].clone();
-                    let dhf = self.dh_fwd[last][tf].clone();
-                    let dhr = self.dh_rev[last][tr].clone();
-                    rt.submit(
-                        TaskSpec::new("merge_bwd")
-                            .tag(i as u64)
-                            .ins([dfeat2.region, f.region, r.region])
-                            .outs([dhf.region, dhr.region])
-                            .body(move || {
-                                let (df, dr) = dfeat2.with(|d| {
-                                    f.with(|fv| {
-                                        r.with(|rv| {
-                                            mode.backward(
-                                                d.unwrap(),
-                                                &fv.unwrap().0.h,
-                                                &rv.unwrap().0.h,
-                                            )
-                                        })
+                // Backward seed: split dfeat into the two directions.
+                let mode = cfg.merge;
+                let f = self.st_fwd[last][tf].clone();
+                let r = self.st_rev[last][tr].clone();
+                let dfeat2 = self.dfeat[i].clone();
+                let dhf = self.dh_fwd[last][tf].clone();
+                let dhr = self.dh_rev[last][tr].clone();
+                sink.push(
+                    PlanSpec::new("merge_bwd")
+                        .tag(i as u64)
+                        .ins([dfeat2.region, f.region, r.region])
+                        .outs([dhf.region, dhr.region])
+                        .body(move || {
+                            let (df, dr) = dfeat2.with(|d| {
+                                f.with(|fv| {
+                                    r.with(|rv| {
+                                        mode.backward(
+                                            d.unwrap(),
+                                            &fv.unwrap().0.h,
+                                            &rv.unwrap().0.h,
+                                        )
                                     })
-                                });
-                                dhf.put(df);
-                                dhr.put(dr);
-                            }),
-                    );
-                }
+                                })
+                            });
+                            dhf.put(df);
+                            dhr.put(dr);
+                        }),
+                );
             }
         }
     }
@@ -472,8 +625,8 @@ impl<T: Float> ReplicaGraph<T> {
     /// cells (t descending), reverse-direction backward cells (t
     /// ascending), and — for `l > 0` — the merge-backward tasks that seed
     /// layer `l-1`.
-    pub fn submit_backward_layer(&self, rt: &Runtime, l: usize) {
-        let cfg = self.model.config;
+    pub fn submit_backward_layer(&self, sink: &mut dyn TaskSink, l: usize) {
+        let cfg = self.config;
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
         let input_w = cfg.layer_input_size(l);
@@ -492,7 +645,7 @@ impl<T: Float> ReplicaGraph<T> {
                 self.dinput_f[l][t].region,
                 self.grads_fwd[l].region,
             ];
-            let model = self.model.clone();
+            let weights = self.weights.clone();
             let st = self.st_fwd[l][t].clone();
             let dh = self.dh_fwd[l][t].clone();
             let sg_in = (t + 1 < seq).then(|| self.sg_fwd[l][t + 1].clone());
@@ -500,13 +653,14 @@ impl<T: Float> ReplicaGraph<T> {
             let dinput = self.dinput_f[l][t].clone();
             let gacc = self.grads_fwd[l].clone();
             let rows = self.rows;
-            rt.submit(
-                TaskSpec::new("cell_fwd_bwd")
+            sink.push(
+                PlanSpec::new("cell_fwd_bwd")
                     .tag(((l as u64) << 32) | t as u64)
                     .ins(ins)
                     .outs(outs)
                     .working_set(ws)
                     .body(move || {
+                        let model = weights.snapshot();
                         let params = &model.layers[l].fwd;
                         let dh_val = dh
                             .take()
@@ -539,7 +693,7 @@ impl<T: Float> ReplicaGraph<T> {
                 self.dinput_r[l][t].region,
                 self.grads_rev[l].region,
             ];
-            let model = self.model.clone();
+            let weights = self.weights.clone();
             let st = self.st_rev[l][t].clone();
             let dh = self.dh_rev[l][t].clone();
             let sg_in = (t > 0).then(|| self.sg_rev[l][t - 1].clone());
@@ -547,13 +701,14 @@ impl<T: Float> ReplicaGraph<T> {
             let dinput = self.dinput_r[l][t].clone();
             let gacc = self.grads_rev[l].clone();
             let rows = self.rows;
-            rt.submit(
-                TaskSpec::new("cell_rev_bwd")
+            sink.push(
+                PlanSpec::new("cell_rev_bwd")
                     .tag(((l as u64) << 32) | t as u64)
                     .ins(ins)
                     .outs(outs)
                     .working_set(ws)
                     .body(move || {
+                        let model = weights.snapshot();
                         let params = &model.layers[l].rev;
                         let dh_val = dh
                             .take()
@@ -588,8 +743,8 @@ impl<T: Float> ReplicaGraph<T> {
                 let r = self.st_rev[l - 1][t].clone();
                 let dhf = self.dh_fwd[l - 1][t].clone();
                 let dhr = self.dh_rev[l - 1][t].clone();
-                rt.submit(
-                    TaskSpec::new("merge_bwd")
+                sink.push(
+                    PlanSpec::new("merge_bwd")
                         .tag((((l - 1) as u64) << 32) | t as u64)
                         .ins([din_f.region, din_r.region, f.region, r.region])
                         .outs([dhf.region, dhr.region])
@@ -618,18 +773,15 @@ impl<T: Float> ReplicaGraph<T> {
     /// Collects this replica's accumulated gradients into a [`BrnnGrads`].
     /// Call only after `taskwait`.
     pub fn take_grads(&self) -> BrnnGrads<T> {
+        let model = self.weights.snapshot();
         let layers = self
             .grads_fwd
             .iter()
             .zip(&self.grads_rev)
             .enumerate()
             .map(|(l, (f, r))| LayerPair {
-                fwd: f
-                    .take()
-                    .unwrap_or_else(|| self.model.layers[l].fwd.zeros_like()),
-                rev: r
-                    .take()
-                    .unwrap_or_else(|| self.model.layers[l].rev.zeros_like()),
+                fwd: f.take().unwrap_or_else(|| model.layers[l].fwd.zeros_like()),
+                rev: r.take().unwrap_or_else(|| model.layers[l].rev.zeros_like()),
             })
             .collect();
         BrnnGrads {
@@ -637,7 +789,7 @@ impl<T: Float> ReplicaGraph<T> {
             dense: self
                 .grads_dense
                 .take()
-                .unwrap_or_else(|| self.model.dense.zeros_like()),
+                .unwrap_or_else(|| model.dense.zeros_like()),
         }
     }
 
@@ -650,16 +802,16 @@ impl<T: Float> ReplicaGraph<T> {
     /// into `target` (replica 0), one task per accumulator so reductions
     /// of different layers proceed in parallel (§III-B: "dependencies
     /// enforce gradient synchronization among model replicas").
-    pub fn submit_reduce_into(&self, rt: &Runtime, target: &ReplicaGraph<T>) {
-        for l in 0..self.model.config.layers {
+    pub fn submit_reduce_into(&self, sink: &mut dyn TaskSink, target: &ReplicaGraph<T>) {
+        for l in 0..self.config.layers {
             for (mine, theirs, label) in [
                 (&self.grads_fwd[l], &target.grads_fwd[l], "reduce_fwd"),
                 (&self.grads_rev[l], &target.grads_rev[l], "reduce_rev"),
             ] {
                 let src = mine.clone();
                 let dst = theirs.clone();
-                rt.submit(
-                    TaskSpec::new(label)
+                sink.push(
+                    PlanSpec::new(label)
                         .tag(l as u64)
                         .ins([src.region])
                         .outs([dst.region])
@@ -674,8 +826,8 @@ impl<T: Float> ReplicaGraph<T> {
         // Classifier gradients and loss.
         let src = self.grads_dense.clone();
         let dst = target.grads_dense.clone();
-        rt.submit(
-            TaskSpec::new("reduce_dense")
+        sink.push(
+            PlanSpec::new("reduce_dense")
                 .ins([src.region])
                 .outs([dst.region])
                 .body(move || {
@@ -686,8 +838,8 @@ impl<T: Float> ReplicaGraph<T> {
         );
         let src = self.loss.clone();
         let dst = target.loss.clone();
-        rt.submit(
-            TaskSpec::new("reduce_loss")
+        sink.push(
+            PlanSpec::new("reduce_loss")
                 .ins([src.region])
                 .outs([dst.region])
                 .body(move || {
@@ -696,5 +848,68 @@ impl<T: Float> ReplicaGraph<T> {
                     }
                 }),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::merge::MergeMode;
+    use crate::model::ModelKind;
+
+    fn tiny() -> Brnn<f64> {
+        Brnn::new(
+            BrnnConfig {
+                cell: CellKind::Lstm,
+                input_size: 3,
+                hidden_size: 2,
+                layers: 1,
+                seq_len: 2,
+                output_size: 2,
+                merge: MergeMode::Sum,
+                kind: ModelKind::ManyToOne,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn weight_store_copies_only_on_revision_change() {
+        let mut model = tiny();
+        let store = WeightStore::new(&model);
+        assert_eq!(store.deep_copies(), 1);
+
+        // Unchanged model: sync is a no-op, the snapshot stays shared.
+        let before = store.snapshot();
+        assert!(!store.sync(&model));
+        assert_eq!(store.deep_copies(), 1);
+        assert!(Arc::ptr_eq(&before, &store.snapshot()));
+
+        // Revision bump forces exactly one fresh copy.
+        model.touch();
+        assert!(store.sync(&model));
+        assert!(!store.sync(&model));
+        assert_eq!(store.deep_copies(), 2);
+        assert!(!Arc::ptr_eq(&before, &store.snapshot()));
+    }
+
+    #[test]
+    fn replica_rejects_mismatched_inputs() {
+        let model = tiny();
+        let store = Arc::new(WeightStore::new(&model));
+        let mut regions = RegionAlloc::default();
+        let xs: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::zeros(4, 3)).collect();
+        let rep = ReplicaGraph::new(store, xs, 1.0, &mut regions);
+        let wrong_len: Vec<Matrix<f64>> = vec![Matrix::zeros(4, 3)];
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rep.set_inputs(wrong_len)
+        }))
+        .is_err());
+        let wrong_rows: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::zeros(3, 3)).collect();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rep.set_inputs(wrong_rows)
+        }))
+        .is_err());
     }
 }

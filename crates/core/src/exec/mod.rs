@@ -19,11 +19,13 @@
 mod barrier;
 mod bseq;
 pub(crate) mod builder;
+mod plan;
 mod sequential;
 mod taskgraph;
 
 pub use barrier::BarrierExec;
 pub use bseq::BSeqExec;
+pub use plan::PlanCacheStats;
 pub use sequential::SequentialExec;
 pub use taskgraph::TaskGraphExec;
 
@@ -66,6 +68,21 @@ pub struct ForwardOutput<T: Float> {
     pub seq_logits: Vec<Matrix<T>>,
 }
 
+/// A batch failed inside the executor (a task body panicked).
+///
+/// Carries the runtime's description of the failing task. A failed batch
+/// leaves the executor usable: the next call starts from a clean graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// A strategy for running BRNN inference and training batches.
 pub trait Executor<T: Float> {
     /// Inference: forward pass only.
@@ -82,6 +99,29 @@ pub trait Executor<T: Float> {
         target: &Target,
         opt: &mut dyn Optimizer<T>,
     ) -> f64;
+
+    /// Fallible forward pass: a task panic becomes an [`ExecError`]
+    /// instead of unwinding the caller, so a serving loop can fail one
+    /// batch and keep the process alive. Executors whose `forward` cannot
+    /// fail use this default.
+    fn try_forward(
+        &self,
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+    ) -> Result<ForwardOutput<T>, ExecError> {
+        Ok(self.forward(model, batch))
+    }
+
+    /// Fallible training step (see [`Executor::try_forward`]).
+    fn try_train_batch(
+        &self,
+        model: &mut Brnn<T>,
+        batch: &[Matrix<T>],
+        target: &Target,
+        opt: &mut dyn Optimizer<T>,
+    ) -> Result<f64, ExecError> {
+        Ok(self.train_batch(model, batch, target, opt))
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

@@ -1,0 +1,231 @@
+//! Cached execution plans for [`super::TaskGraphExec`].
+//!
+//! Building a batch's task graph — allocating regions, constructing a
+//! replica per mini-batch chunk, running the dependency tracker over every
+//! `in`/`out` clause — costs the same whether the batch shape was seen
+//! before or not. A serving loop sees the *same* padded shape over and
+//! over, so [`super::TaskGraphExec`] builds an [`ExecPlan`] once per
+//! distinct [`PlanKey`] (model config × rows × timesteps × mbs × phase)
+//! and thereafter only swaps the per-batch values (inputs, targets, weight
+//! snapshot) and replays the frozen graph through
+//! [`bpar_runtime::Runtime::replay`].
+//!
+//! Plans are held in a small LRU [`PlanCache`]; [`PlanCacheStats`] exposes
+//! hit/miss/eviction counts, deep-copy ("weight sync") counts and the
+//! cumulative build vs replay nanoseconds the `plan_replay` bench turns
+//! into the §IV-B overhead comparison.
+
+use super::builder::{ReplicaGraph, WeightStore};
+use super::taskgraph::TaskGraphExec;
+use super::{check_batch, Target};
+use crate::model::{Brnn, BrnnConfig};
+use bpar_runtime::{CompiledPlan, PlanBuilder};
+use bpar_tensor::{Float, Matrix};
+use std::any::{Any, TypeId};
+use std::sync::Arc;
+
+/// Everything that makes two batches shape-compatible with one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PlanKey {
+    /// Full hyper-parameter set (layer count, sizes, cell, merge, kind).
+    pub config: BrnnConfig,
+    /// Batch rows.
+    pub rows: usize,
+    /// Timesteps.
+    pub seq: usize,
+    /// Mini-batch replica count the graph was built for.
+    pub mbs: usize,
+    /// `true` for a training graph (loss + backward + reduction tasks).
+    pub train: bool,
+}
+
+/// A compiled, replayable task graph plus the replica state it runs over.
+///
+/// The plan owns its [`WeightStore`]; steady-state replays share the same
+/// weight snapshot and make **zero** deep copies until the model's
+/// revision changes.
+pub(crate) struct ExecPlan<T: Float> {
+    pub weights: Arc<WeightStore<T>>,
+    pub replicas: Vec<ReplicaGraph<T>>,
+    pub chunks: Vec<(usize, usize)>,
+    pub compiled: CompiledPlan,
+}
+
+impl<T: Float> ExecPlan<T> {
+    /// Builds the full graph for `batch`'s shape: replicas, task bodies,
+    /// frozen dependency structure. `batch` supplies only the shape; call
+    /// [`ExecPlan::load_batch`] before every run (including the first).
+    pub fn build(model: &Brnn<T>, batch: &[Matrix<T>], mbs: usize, train: bool) -> Self {
+        let layers = model.config.layers;
+        let mut regions = super::builder::RegionAlloc::default();
+        let (weights, replicas, chunks) =
+            TaskGraphExec::make_replicas(mbs, model, batch, &mut regions);
+        let mut b = PlanBuilder::new();
+        // Same submission order as the original live path: per replica the
+        // forward layers, the output stage, then (training) the backward
+        // layers deepest-first; finally the cross-replica reductions.
+        for rep in &replicas {
+            for l in 0..layers {
+                rep.submit_forward_layer(&mut b, l);
+            }
+            rep.submit_output(&mut b, train);
+            if train {
+                for l in (0..layers).rev() {
+                    rep.submit_backward_layer(&mut b, l);
+                }
+            }
+        }
+        if train {
+            for rep in replicas.iter().skip(1) {
+                rep.submit_reduce_into(&mut b, &replicas[0]);
+            }
+        }
+        let compiled = b.compile();
+        Self {
+            weights,
+            replicas,
+            chunks,
+            compiled,
+        }
+    }
+
+    /// Distributes `batch` row-wise over the replicas' input stores.
+    pub fn load_batch(&self, model: &Brnn<T>, batch: &[Matrix<T>]) {
+        let (seq, rows) = check_batch(model, batch);
+        assert_eq!(seq, self.replicas[0].seq_len(), "plan built for other seq");
+        assert_eq!(
+            rows,
+            self.chunks.iter().map(|&(_, c)| c).sum::<usize>(),
+            "plan built for other row count"
+        );
+        for (rep, &(start, count)) in self.replicas.iter().zip(&self.chunks) {
+            rep.set_inputs(batch.iter().map(|x| x.row_block(start, count)).collect());
+        }
+    }
+
+    /// Distributes `target` row-wise over the replicas' target stores.
+    pub fn load_target(&self, target: &Target) {
+        for (rep, &(start, count)) in self.replicas.iter().zip(&self.chunks) {
+            rep.set_target(&target.row_block(start, count));
+        }
+    }
+
+    /// Drops all transient per-batch values so a resident plan holds only
+    /// the compiled graph, not the last batch's activations.
+    pub fn scrub(&self) {
+        for rep in &self.replicas {
+            rep.clear_values();
+        }
+    }
+}
+
+/// Counters describing plan-cache behaviour; returned by
+/// [`super::TaskGraphExec::plan_cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Batches served by an already-compiled plan.
+    pub hits: u64,
+    /// Batches that had to build (and cache) a new plan.
+    pub misses: u64,
+    /// Plans dropped to respect the cache capacity.
+    pub evictions: u64,
+    /// Model deep copies made (initial build copies plus revision-change
+    /// re-syncs). In steady-state serving this stays at `misses`.
+    pub weight_syncs: u64,
+    /// Cumulative nanoseconds spent building plans (graph construction +
+    /// dependency compilation).
+    pub build_ns: u64,
+    /// Cumulative nanoseconds spent re-submitting cached plans
+    /// ([`bpar_runtime::Runtime::replay`] calls).
+    pub replay_ns: u64,
+    /// Plans currently resident.
+    pub cached_plans: usize,
+}
+
+struct CacheEntry {
+    key: PlanKey,
+    /// Scalar type of the cached [`ExecPlan<T>`] — `f32` and `f64` models
+    /// can share a [`BrnnConfig`], so the key alone is ambiguous.
+    tid: TypeId,
+    plan: Arc<dyn Any + Send + Sync>,
+}
+
+/// Small LRU cache of compiled plans (most-recently-used last; lookup is a
+/// linear scan, fine for the handful of shapes a bucketed serving loop
+/// produces).
+pub(crate) struct PlanCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    pub stats: PlanCacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity: 32,
+            stats: PlanCacheStats::default(),
+        }
+    }
+}
+
+impl PlanCache {
+    /// Looks up a plan, marking it most-recently-used.
+    pub fn get<T: Float>(&mut self, key: &PlanKey) -> Option<Arc<ExecPlan<T>>> {
+        let tid = TypeId::of::<T>();
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.tid == tid && e.key == *key)?;
+        let entry = self.entries.remove(pos);
+        let plan = entry
+            .plan
+            .clone()
+            .downcast::<ExecPlan<T>>()
+            .expect("plan type matches its TypeId");
+        self.entries.push(entry);
+        self.stats.hits += 1;
+        Some(plan)
+    }
+
+    /// Caches a freshly built plan, evicting the least-recently-used entry
+    /// when full. Counts the miss that caused the build.
+    pub fn insert<T: Float>(&mut self, key: PlanKey, plan: Arc<ExecPlan<T>>) {
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(CacheEntry {
+            key,
+            tid: TypeId::of::<T>(),
+            plan,
+        });
+        self.stats.cached_plans = self.entries.len();
+    }
+
+    /// Removes one plan (used after a task panic: the plan's slots may
+    /// hold partial values a later replay must not observe).
+    pub fn evict<T: Float>(&mut self, key: &PlanKey) {
+        let tid = TypeId::of::<T>();
+        self.entries.retain(|e| !(e.tid == tid && e.key == *key));
+        self.stats.cached_plans = self.entries.len();
+    }
+
+    /// Changes the capacity, trimming least-recently-used plans.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "plan cache capacity must be at least 1");
+        self.capacity = capacity;
+        while self.entries.len() > capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.stats.cached_plans = self.entries.len();
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats.cached_plans = 0;
+    }
+}

@@ -225,6 +225,9 @@ pub fn load<T: Float>(reader: &mut impl Read) -> Result<Brnn<T>, CheckpointError
         *m = read_matrix(reader, m.shape())?;
         Ok(())
     })?;
+    // The weights were replaced in place; refresh the revision stamp so
+    // revision-based weight caches see the loaded values.
+    model.touch();
     Ok(model)
 }
 

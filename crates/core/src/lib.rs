@@ -81,7 +81,8 @@ pub mod train;
 pub mod prelude {
     pub use crate::cell::CellKind;
     pub use crate::exec::{
-        BSeqExec, BarrierExec, Executor, ForwardOutput, SequentialExec, Target, TaskGraphExec,
+        BSeqExec, BarrierExec, ExecError, Executor, ForwardOutput, PlanCacheStats, SequentialExec,
+        Target, TaskGraphExec,
     };
     pub use crate::merge::MergeMode;
     pub use crate::model::{Brnn, BrnnConfig, ModelKind};

@@ -12,6 +12,16 @@ use crate::dense::DenseParams;
 use crate::merge::MergeMode;
 use crate::optim::Optimizer;
 use bpar_tensor::{Float, Matrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Globally unique revision stamps. Fresh values (never increments of an
+/// existing stamp) mean two models that diverge from a common clone can
+/// never collide on the same revision.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Output arity of the model (§II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,6 +124,12 @@ pub struct LayerPair<T: Float> {
 }
 
 /// A deep bidirectional RNN: per-layer parameter pairs plus a classifier.
+///
+/// Carries a *revision stamp* identifying the current weight values:
+/// [`Brnn::apply_grads`] (and any other in-place mutation, via
+/// [`Brnn::touch`]) refreshes it, while `clone()` copies it — two models
+/// with equal revisions hold bit-identical weights. Weight caches (the
+/// executors' plan cache) compare revisions to skip deep copies.
 #[derive(Debug, Clone)]
 pub struct Brnn<T: Float> {
     /// Hyper-parameters.
@@ -122,6 +138,9 @@ pub struct Brnn<T: Float> {
     pub layers: Vec<LayerPair<T>>,
     /// Output classifier (shared across timesteps for many-to-many).
     pub dense: DenseParams<T>,
+    /// Weight-value revision (see type docs). Private so every mutation
+    /// path goes through [`Brnn::touch`].
+    revision: u64,
 }
 
 impl<T: Float> Brnn<T> {
@@ -159,7 +178,22 @@ impl<T: Float> Brnn<T> {
             config,
             layers,
             dense,
+            revision: fresh_revision(),
         }
+    }
+
+    /// The current weight-value revision. Equal revisions imply
+    /// bit-identical weights; a fresh revision is minted by [`Brnn::new`],
+    /// [`Brnn::touch`], and [`Brnn::apply_grads`].
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Marks the weights as changed. Call after mutating `layers` or
+    /// `dense` in place so revision-based weight caches resynchronize;
+    /// forgetting to do so makes cached executors serve stale weights.
+    pub fn touch(&mut self) {
+        self.revision = fresh_revision();
     }
 
     /// Zeroed gradient accumulators matching this model's shapes.
@@ -208,6 +242,7 @@ impl<T: Float> Brnn<T> {
         step(&mut self.dense.w, &grads.dense.w);
         step(&mut self.dense.b, &grads.dense.b);
         opt.end_step();
+        self.touch();
     }
 
     /// Maximum absolute parameter difference against another model —
@@ -396,6 +431,27 @@ mod tests {
         assert_eq!(a.dense.w.get(0, 0), 3.0);
         a.scale(0.5);
         assert_eq!(a.dense.w.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn revision_tracks_weight_mutations() {
+        let config = BrnnConfig::default();
+        let mut m: Brnn<f64> = Brnn::new(config, 3);
+        let r0 = m.revision();
+        // Clone shares the revision: identical weights.
+        assert_eq!(m.clone().revision(), r0);
+        // A fresh model never shares a revision.
+        let other: Brnn<f64> = Brnn::new(config, 3);
+        assert_ne!(other.revision(), r0);
+        // apply_grads refreshes the stamp.
+        let grads = m.zero_grads();
+        let mut opt = Sgd::new(0.1);
+        m.apply_grads(&mut opt, &grads);
+        assert_ne!(m.revision(), r0);
+        // touch() always mints a fresh stamp.
+        let r1 = m.revision();
+        m.touch();
+        assert_ne!(m.revision(), r1);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod graph;
+pub mod plan;
 pub mod region;
 pub mod runtime;
 pub mod scheduler;
@@ -55,6 +56,7 @@ pub mod trace;
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::graph::TaskGraph;
+    pub use crate::plan::{CompiledPlan, PlanBuilder, PlanSpec};
     pub use crate::region::{DepTracker, RegionId};
     pub use crate::runtime::{Runtime, RuntimeConfig};
     pub use crate::scheduler::SchedulerPolicy;
@@ -63,6 +65,7 @@ pub mod prelude {
 }
 
 pub use graph::TaskGraph;
+pub use plan::{CompiledPlan, PlanBuilder, PlanSpec};
 pub use region::{DepTracker, RegionId};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use scheduler::SchedulerPolicy;

@@ -8,6 +8,7 @@
 //! layers. The only synchronisation point is [`Runtime::taskwait`], the
 //! equivalent of `#pragma omp taskwait` at the end of a training batch.
 
+use crate::plan::CompiledPlan;
 use crate::region::{DepTracker, RegionId};
 use crate::scheduler::{ReadySet, SchedulerPolicy};
 use crate::stats::{RuntimeStats, TaskRecord};
@@ -219,6 +220,60 @@ impl Runtime {
         inner.tasks.clear();
         inner.records.clear();
         inner.overhead = Duration::ZERO;
+    }
+
+    /// Re-submits a whole [`CompiledPlan`] in one pass — the cheap
+    /// steady-state path for graphs whose shape repeats batch after batch.
+    ///
+    /// Equivalent to `reset()` followed by submitting every task of the
+    /// plan live, except that no dependency resolution happens: predecessor
+    /// counts and successor lists were frozen at compile time, so the cost
+    /// is one lock acquisition plus a copy of the per-task bookkeeping.
+    /// Like `reset()`, this clears the previous batch's trace records and
+    /// overhead accounting, so a long-running caller never accumulates
+    /// per-batch state. Pair with [`Runtime::taskwait`] as usual.
+    ///
+    /// Returns the re-submission cost. It is measured while the runtime
+    /// lock is still held — workers cannot start until the lock drops, so
+    /// the figure is pure bookkeeping time, not contaminated by task
+    /// execution stealing the caller's core.
+    ///
+    /// # Panics
+    /// Panics if tasks are still in flight.
+    pub fn replay(&self, plan: &CompiledPlan) -> Duration {
+        let t0 = Instant::now();
+        let mut inner = self.shared.inner.lock();
+        assert_eq!(inner.incomplete, 0, "replay() while tasks are in flight");
+        inner.deps.clear();
+        inner.tasks.clear();
+        inner.records.clear();
+        inner.overhead = Duration::ZERO;
+        inner.tasks.reserve(plan.tasks.len());
+        for (i, t) in plan.tasks.iter().enumerate() {
+            let body = t.body.clone();
+            inner.tasks.push(TaskMeta {
+                label: t.label,
+                tag: t.tag,
+                working_set_bytes: t.working_set_bytes,
+                pending: plan.pending[i],
+                // The worker loop `take`s successor lists on completion, so
+                // each replay needs its own copy.
+                succs: plan.succs[i].clone(),
+                completed: false,
+                body: Some(Box::new(move || body())),
+            });
+        }
+        inner.incomplete = plan.tasks.len();
+        for &root in &plan.roots {
+            inner.ready.push(root, None);
+        }
+        let took = t0.elapsed();
+        inner.overhead += took;
+        drop(inner);
+        if !plan.roots.is_empty() {
+            self.shared.work_cv.notify_all();
+        }
+        took
     }
 
     /// Convenience: submit a closure with explicit region clauses.
@@ -553,6 +608,132 @@ mod tests {
         r.shutdown();
         r.shutdown(); // second call is a no-op
         assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn replay_runs_plan_bodies_each_time() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(4);
+        let count = StdArc::new(AtomicUsize::new(0));
+        let mut b = PlanBuilder::new();
+        for i in 0..20u64 {
+            let c = count.clone();
+            b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let plan = b.compile();
+        for round in 1..=3 {
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 20 * round);
+        }
+    }
+
+    #[test]
+    fn replay_respects_frozen_dependency_order() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(4);
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        let mut b = PlanBuilder::new();
+        for i in 0..20 {
+            let l = log.clone();
+            b.submit(
+                PlanSpec::new("t")
+                    .ins([RegionId(0)])
+                    .outs([RegionId(0)])
+                    .body(move || l.lock().push(i)),
+            );
+        }
+        let plan = b.compile();
+        for _ in 0..3 {
+            log.lock().clear();
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn replay_clears_previous_trace_and_stats() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(2);
+        let mut b = PlanBuilder::new();
+        for i in 0..7u64 {
+            b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(|| {}));
+        }
+        let plan = b.compile();
+        for _ in 0..50 {
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            // Records never accumulate across replays: each batch's trace
+            // replaces the previous one, so long serving runs stay bounded.
+            assert_eq!(r.stats().tasks, 7);
+            assert_eq!(r.take_records().len(), 7);
+        }
+    }
+
+    #[test]
+    fn replay_panic_surfaces_and_plan_stays_replayable() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(2);
+        let hits = StdArc::new(AtomicUsize::new(0));
+        let fail = StdArc::new(AtomicUsize::new(1));
+        let mut b = PlanBuilder::new();
+        let h = hits.clone();
+        b.submit(PlanSpec::new("ok").outs([RegionId(0)]).body(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let f = fail.clone();
+        b.submit(PlanSpec::new("maybe").ins([RegionId(0)]).body(move || {
+            if f.load(Ordering::SeqCst) == 1 {
+                panic!("injected replay failure");
+            }
+        }));
+        let plan = b.compile();
+        r.replay(&plan);
+        let err = r.taskwait().unwrap_err();
+        assert!(err.contains("injected replay failure"), "{err}");
+        assert!(err.contains("'maybe'"), "{err}");
+        // Same runtime, same plan, failure disarmed: replay succeeds.
+        fail.store(0, Ordering::SeqCst);
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn replay_interleaves_with_live_submission() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(3);
+        let count = StdArc::new(AtomicUsize::new(0));
+        let mut b = PlanBuilder::new();
+        let c = count.clone();
+        b.submit(PlanSpec::new("planned").outs([RegionId(0)]).body(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        let plan = b.compile();
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        // A live batch between replays works on the same runtime.
+        let c = count.clone();
+        r.spawn("live", [], [RegionId(0)], move || {
+            c.fetch_add(10, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn empty_plan_replay_is_a_noop() {
+        use crate::plan::PlanBuilder;
+        let r = rt(1);
+        let plan = PlanBuilder::new().compile();
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        assert_eq!(r.stats().tasks, 0);
     }
 
     #[test]

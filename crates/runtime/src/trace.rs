@@ -76,8 +76,25 @@ pub fn write_chrome_trace<E: TraceEvent>(
     std::fs::write(path, chrome_trace(process_name, events))
 }
 
+/// JSON string escaping. Besides `\` and `"`, every control character in
+/// `U+0000`–`U+001F` must be escaped — a raw `\n` or `\t` in a task label
+/// would make the whole trace file unparseable.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -113,6 +130,25 @@ mod tests {
         let events = vec![rec("we\"ird", 0, 0.0, 1.0)];
         let json = chrome_trace("p", &events);
         assert!(json.contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        // Regression: labels with control characters used to emit raw
+        // bytes, producing invalid Chrome-trace JSON.
+        let events = vec![rec("line\nbreak\ttab\r\u{0001}end", 0, 0.0, 1.0)];
+        let json = chrome_trace("p\u{0002}", &events);
+        assert!(json.contains("line\\nbreak\\ttab\\r\\u0001end"));
+        assert!(json.contains("p\\u0002"));
+        // No raw control characters survive anywhere in the document.
+        assert!(json.chars().all(|c| (c as u32) >= 0x20));
+    }
+
+    #[test]
+    fn backslash_then_quote_escapes_once() {
+        let events = vec![rec("a\\\"b", 0, 0.0, 1.0)];
+        let json = chrome_trace("p", &events);
+        assert!(json.contains("a\\\\\\\"b"));
     }
 
     #[test]

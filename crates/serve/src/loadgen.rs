@@ -82,17 +82,19 @@ fn admission_outcomes<T: Float>(admission: Admission<T>, out: &mut Vec<Outcome<T
     }
 }
 
-fn finish_report(
+fn finish_report<T: Float>(
     mut metrics: MetricsCollector,
-    producer_outcomes: Vec<Outcome<impl Float>>,
-    queue: &AdmissionQueue<impl Float>,
-    cfg: &ServeConfig,
+    producer_outcomes: Vec<Outcome<T>>,
+    queue: &AdmissionQueue<T>,
+    server: &Server<T>,
     elapsed: Duration,
 ) -> ServingReport {
+    let cfg = server.config();
     for outcome in &producer_outcomes {
         metrics.record_outcome(outcome);
     }
     let depth = queue.depth_stats();
+    let plans = server.plan_cache_stats();
     let mut report = metrics.finish(cfg.batch.max_batch, elapsed);
     report.window_us = cfg.batch.window.as_micros() as u64;
     report.max_batch = cfg.batch.max_batch;
@@ -102,6 +104,10 @@ fn finish_report(
     report.workers = cfg.workers;
     report.queue_depth_mean = depth.mean();
     report.queue_depth_max = depth.depth_max;
+    report.plan_hits = plans.hits;
+    report.plan_misses = plans.misses;
+    report.plan_evictions = plans.evictions;
+    report.weight_syncs = plans.weight_syncs;
     report
 }
 
@@ -139,7 +145,7 @@ pub fn run_open_loop<T: Float>(
     let mut metrics = MetricsCollector::new();
     server.serve(&queue, &mut metrics, |_| {});
     let producer_outcomes = producer.join().expect("load generator panicked");
-    let mut report = finish_report(metrics, producer_outcomes, &queue, &cfg, start.elapsed());
+    let mut report = finish_report(metrics, producer_outcomes, &queue, &server, start.elapsed());
     report.mode = "open".to_string();
     report.seed = gen.seed;
     report.rate_rps = gen.rate_rps;
@@ -173,7 +179,7 @@ pub fn run_closed_loop<T: Float>(
     let mut metrics = MetricsCollector::new();
     server.serve(&queue, &mut metrics, |_| {});
     let producer_outcomes = producer.join().expect("load generator panicked");
-    let mut report = finish_report(metrics, producer_outcomes, &queue, &cfg, start.elapsed());
+    let mut report = finish_report(metrics, producer_outcomes, &queue, &server, start.elapsed());
     report.mode = "closed".to_string();
     report.seed = gen.seed;
     report.submitted = gen.requests;
@@ -225,6 +231,11 @@ mod tests {
         assert_eq!(report.served, 24); // Block + no deadlines: everything serves
         assert!(report.batches >= 6); // max_batch = 4
         assert!(report.latency.count == 24);
+        // Every batch ran through the plan cache, and the model was only
+        // deep-copied when a new shape forced a build — never per batch.
+        assert_eq!(report.plan_hits + report.plan_misses, report.batches);
+        assert_eq!(report.weight_syncs, report.plan_misses);
+        assert_eq!(report.failed, 0);
     }
 
     #[test]

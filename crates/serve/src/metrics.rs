@@ -94,6 +94,8 @@ pub struct ServingReport {
     pub shed: u64,
     /// Requests refused admission.
     pub rejected: u64,
+    /// Requests whose batch failed in the executor (task panic).
+    pub failed: u64,
     /// Wall time from first submission to last outcome, seconds.
     pub duration_s: f64,
     /// Served requests per second of `duration_s`.
@@ -119,6 +121,15 @@ pub struct ServingReport {
     pub padding_frac: f64,
     /// Batch-size distribution.
     pub batch_rows_hist: Vec<BatchRowsBar>,
+    /// Execution-plan cache hits (batches replaying a compiled graph).
+    pub plan_hits: u64,
+    /// Plan-cache misses (batches that built + compiled a new graph).
+    pub plan_misses: u64,
+    /// Plans dropped for capacity.
+    pub plan_evictions: u64,
+    /// Model deep copies over the whole run. In steady-state serving this
+    /// equals `plan_misses` — the per-batch model clone is gone.
+    pub weight_syncs: u64,
 }
 
 /// Accumulates per-request outcomes and per-batch shapes into a
@@ -131,6 +142,7 @@ pub struct MetricsCollector {
     served: u64,
     shed: u64,
     rejected: u64,
+    failed: u64,
     batch_rows: Vec<usize>,
     total_frames: u64,
     padded_frames: u64,
@@ -154,6 +166,7 @@ impl MetricsCollector {
             }
             Outcome::Shed { .. } => self.shed += 1,
             Outcome::Rejected { .. } => self.rejected += 1,
+            Outcome::Failed { .. } => self.failed += 1,
         }
     }
 
@@ -180,6 +193,11 @@ impl MetricsCollector {
         self.rejected
     }
 
+    /// Failed count so far.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
     /// Finalizes the report. `max_batch` is the policy cap (for fill),
     /// `duration` the span from first submission to last outcome.
     pub fn finish(self, max_batch: usize, duration: Duration) -> ServingReport {
@@ -199,6 +217,7 @@ impl MetricsCollector {
             served: self.served,
             shed: self.shed,
             rejected: self.rejected,
+            failed: self.failed,
             duration_s: secs,
             throughput_rps: if secs > 0.0 {
                 self.served as f64 / secs
@@ -291,9 +310,10 @@ mod tests {
         }
         c.record_outcome(&Outcome::<f32>::Shed { id: 2 });
         c.record_outcome(&Outcome::<f32>::Rejected { id: 3 });
+        c.record_outcome(&Outcome::<f32>::Failed { id: 4 });
         c.record_batch(2, 3, 5); // one frame of padding out of six
         let r = c.finish(4, Duration::from_secs(1));
-        assert_eq!((r.served, r.shed, r.rejected), (2, 1, 1));
+        assert_eq!((r.served, r.shed, r.rejected, r.failed), (2, 1, 1, 1));
         assert_eq!(r.batches, 1);
         assert!((r.batch_fill_mean - 0.5).abs() < 1e-9);
         assert!((r.padding_frac - 1.0 / 6.0).abs() < 1e-9);

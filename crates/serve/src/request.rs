@@ -94,6 +94,13 @@ pub enum Outcome<T: Float> {
         /// Echo of the request id.
         id: u64,
     },
+    /// The batch this request rode in failed inside the executor (a task
+    /// body panicked). Only that batch's requests fail; the server and
+    /// its worker pool keep serving.
+    Failed {
+        /// Echo of the request id.
+        id: u64,
+    },
 }
 
 impl<T: Float> Outcome<T> {
@@ -101,7 +108,7 @@ impl<T: Float> Outcome<T> {
     pub fn id(&self) -> u64 {
         match self {
             Outcome::Served(r) => r.id,
-            Outcome::Shed { id } | Outcome::Rejected { id } => *id,
+            Outcome::Shed { id } | Outcome::Rejected { id } | Outcome::Failed { id } => *id,
         }
     }
 }

@@ -3,6 +3,11 @@
 //! One [`Server`] owns the model and a single resident
 //! [`TaskGraphExec`] (and therefore one worker pool); the model stays
 //! warm across batches instead of being re-materialized per request.
+//! The executor caches one compiled execution plan per padded batch
+//! shape, so a steady-state batch neither deep-copies the weights nor
+//! re-resolves task dependencies — it swaps inputs into the cached
+//! replicas and replays the frozen graph
+//! (see [`Server::plan_cache_stats`]).
 //! Batches formed by the [`MicroBatcher`] run with `mbs = 1`, which is
 //! bit-identical to [`bpar_core::exec::SequentialExec`] — so with
 //! exact-length buckets (`bucket_width == 1`, no padding) a served
@@ -13,7 +18,7 @@ use crate::batcher::{BatchPolicy, MicroBatcher};
 use crate::metrics::MetricsCollector;
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
 use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
-use bpar_core::exec::{Executor, TaskGraphExec};
+use bpar_core::exec::{Executor, PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
 use bpar_runtime::SchedulerPolicy;
 use bpar_tensor::{Float, Matrix};
@@ -93,6 +98,14 @@ impl<T: Float> Server<T> {
     /// The serving configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Execution-plan cache counters of the resident executor. In steady
+    /// state (`bucket_width == 1` or any bounded set of padded shapes)
+    /// `misses` plateaus at the number of distinct batch shapes and
+    /// `weight_syncs` stays at `misses` — no per-batch model clones.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.exec.plan_cache_stats()
     }
 
     /// Runs the serving loop until `queue` is closed and fully drained
@@ -181,7 +194,19 @@ impl<T: Float> Server<T> {
                 })
             })
             .collect();
-        let out = self.exec.forward(&self.model, &xs);
+        // A task panic must not take the server down with it: fail this
+        // batch's requests and keep the loop (and worker pool) alive.
+        let out = match self.exec.try_forward(&self.model, &xs) {
+            Ok(out) => out,
+            Err(_) => {
+                for req in live {
+                    let outcome = Outcome::Failed { id: req.id };
+                    metrics.record_outcome(&outcome);
+                    on_outcome(outcome);
+                }
+                return;
+            }
+        };
         let done = Instant::now();
         let service = done.duration_since(close);
         metrics.record_batch(rows, padded_len, real_frames);
@@ -270,6 +295,41 @@ mod tests {
             let expect = seq.forward(&model, &xs);
             assert_eq!(resp.logits, expect.logits.row(0).to_vec());
         }
+    }
+
+    #[test]
+    fn executor_panic_fails_batch_but_server_survives() {
+        // A model whose config promises more layers than it has: every
+        // batch's first deep-layer task panics on the missing index. The
+        // serve loop must turn that into per-request `Failed` outcomes
+        // and keep draining — not abort the process.
+        let mut model = tiny_model();
+        model.config.layers += 1;
+        let server = Server::new(
+            model,
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy::new(2, Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let queue = AdmissionQueue::new(8, BackpressurePolicy::Block);
+        for id in 0..3u64 {
+            queue.push(InferRequest::new(id, frames(4, 4, id)));
+        }
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        let mut failed = Vec::new();
+        server.serve(&queue, &mut metrics, |o| {
+            assert!(matches!(o, Outcome::Failed { .. }), "got {:?}", o.id());
+            failed.push(o.id());
+        });
+        failed.sort_unstable();
+        assert_eq!(failed, vec![0, 1, 2]);
+        assert_eq!(metrics.failed(), 3);
+        assert_eq!(metrics.served(), 0);
+        // The broken plan was evicted rather than cached.
+        assert_eq!(server.plan_cache_stats().cached_plans, 0);
     }
 
     #[test]
