@@ -1,0 +1,130 @@
+//! Measures the cost of dependency-clause validation mode.
+//!
+//! The access recorder is strictly opt-in: with no recorder installed
+//! every `record_read`/`record_write` call in the task bodies is one
+//! relaxed atomic load. This bin quantifies both sides:
+//!
+//! * **off** — steady-state plan replays with validation disabled (the
+//!   normal production path, including the always-compiled-in hooks);
+//! * **on** — the same replays with an [`AccessRecorder`] installed and
+//!   drained every batch (the `bpar analyze` clause-validation path).
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin validation_overhead`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::exec::{Executor, Target, TaskGraphExec};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_core::optim::Sgd;
+use bpar_runtime::AccessRecorder;
+use bpar_tensor::init;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct OverheadRow {
+    phase: String,
+    validation: String,
+    batches: usize,
+    ms_per_batch: f64,
+    events_per_batch: usize,
+    overhead_pct: f64,
+}
+
+fn main() {
+    let config = BrnnConfig {
+        input_size: 32,
+        hidden_size: 64,
+        layers: 4,
+        seq_len: 20,
+        output_size: 8,
+        kind: ModelKind::ManyToOne,
+        ..BrnnConfig::default()
+    };
+    let rows = 16;
+    let batch: Vec<_> = (0..config.seq_len)
+        .map(|t| init::uniform::<f64>(rows, config.input_size, -1.0, 1.0, t as u64))
+        .collect();
+    let target = Target::Classes((0..rows).map(|r| r % config.output_size).collect());
+    let reps = 30;
+    let mut rows_out = Vec::new();
+
+    for train in [false, true] {
+        let phase = if train { "training" } else { "inference" };
+        let mut model: Brnn<f64> = Brnn::new(config, 7);
+        let exec = TaskGraphExec::new(2);
+        let mut opt = Sgd::new(0.0); // lr 0: keep weights (and plans) stable
+
+        let mut run_batch = |model: &mut Brnn<f64>| {
+            if train {
+                exec.train_batch(model, &batch, &target, &mut opt);
+            } else {
+                exec.forward(model, &batch);
+            }
+        };
+
+        // Warm the plan cache so both measurements see pure replays.
+        for _ in 0..3 {
+            run_batch(&mut model);
+        }
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run_batch(&mut model);
+        }
+        let off_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        let recorder = Arc::new(AccessRecorder::new());
+        exec.runtime().set_validation(Some(recorder.clone()));
+        run_batch(&mut model); // first recorded replay outside the timing
+        let mut events = recorder.take_events().len();
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            run_batch(&mut model);
+            events = recorder.take_events().len();
+        }
+        let on_ms = t1.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        exec.runtime().set_validation(None);
+
+        rows_out.push(OverheadRow {
+            phase: phase.into(),
+            validation: "off".into(),
+            batches: reps,
+            ms_per_batch: off_ms,
+            events_per_batch: 0,
+            overhead_pct: 0.0,
+        });
+        rows_out.push(OverheadRow {
+            phase: phase.into(),
+            validation: "on".into(),
+            batches: reps,
+            ms_per_batch: on_ms,
+            events_per_batch: events,
+            overhead_pct: (on_ms / off_ms - 1.0) * 100.0,
+        });
+    }
+
+    print_table(
+        "clause-validation overhead (4-layer BLSTM, seq 20, batch 16, 2 workers)",
+        &[
+            "phase",
+            "validation",
+            "ms/batch",
+            "events/batch",
+            "overhead",
+        ],
+        &rows_out
+            .iter()
+            .map(|r| {
+                vec![
+                    r.phase.clone(),
+                    r.validation.clone(),
+                    format!("{:.2}", r.ms_per_batch),
+                    r.events_per_batch.to_string(),
+                    format!("{:+.1}%", r.overhead_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json("validation_overhead", &rows_out);
+}

@@ -1,0 +1,466 @@
+//! The `bpar analyze` driver: builds real execution plans and runs the
+//! `bpar-verify` prongs over them.
+//!
+//! `bpar-verify` holds the analyses (structural lints, the closed-form
+//! Fig. 2 shape check, the clause differ, output fingerprinting) but knows
+//! nothing about BRNNs; this module supplies the subjects. For one model
+//! configuration it:
+//!
+//! 1. compiles the live executor's [`ExecPlan`] and lints both that plan
+//!    and the simulator's [`crate::graphgen::build_graph`] twin, checking
+//!    both against the closed-form shape;
+//! 2. replays the plan once on a single-worker FIFO runtime with the
+//!    access recorder installed and diffs every task's *observed* region
+//!    accesses against its *declared* `in`/`out` clauses;
+//! 3. replays the same plan under adversarial ready-queue orders
+//!    ([`bpar_verify::fuzz_policies`]) and fingerprints the outputs —
+//!    every legal topological order of a sound graph must produce
+//!    identical bits, so any divergence (or schedule-dependent panic) is
+//!    a concrete race witness.
+//!
+//! [`AnalyzeOptions::seed_bug`] rebuilds the plan with
+//! [`BuildMode::MissingStateClause`] — one dropped `in` clause, body
+//! untouched — as an end-to-end detector check: the clause validator must
+//! name the missing region and the fuzzer must produce a divergence
+//! witness, while the default FIFO schedule still happens to run clean.
+//!
+//! Everything is deterministic: the model is seeded, the batch is a
+//! hash-filled tensor, single-worker replays are schedule-deterministic,
+//! and findings are sorted — the JSON report is byte-identical across
+//! reruns.
+
+use crate::cell::CellParams;
+use crate::exec::builder::BuildMode;
+use crate::exec::plan::ExecPlan;
+use crate::exec::taskgraph::{collect_logits, row_chunks};
+use crate::exec::Target;
+use crate::graphgen::{build_graph, GraphSpec, Phase};
+use crate::model::{Brnn, BrnnConfig, BrnnGrads, ModelKind};
+use bpar_runtime::{AccessRecorder, RegionId, Runtime, RuntimeConfig, SchedulerPolicy};
+use bpar_tensor::{Float, Matrix};
+use bpar_verify::{
+    check_shape, collect_metrics, policy_name, run_lints, validate_clauses, AnalysisReport,
+    Finding, Fnv64, GraphReport, GraphView, ShapeSpec,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What to analyze: one model configuration and batch shape.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Model hyper-parameters (`config.seq_len` is the batch length).
+    pub config: BrnnConfig,
+    /// Batch rows.
+    pub rows: usize,
+    /// Mini-batch replicas.
+    pub mbs: usize,
+    /// Analyze the training graph (loss + backward + reductions) instead
+    /// of inference.
+    pub train: bool,
+    /// Build the plan with one deliberately dropped `in` clause
+    /// ([`BuildMode::MissingStateClause`]) to prove the detectors fire.
+    pub seed_bug: bool,
+    /// Seeds for the random adversarial schedules (on top of the always-on
+    /// FIFO and reverse orders).
+    pub fuzz_seeds: Vec<u64>,
+    /// Model weight initialisation seed.
+    pub model_seed: u64,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self {
+            config: BrnnConfig {
+                layers: 3,
+                seq_len: 3,
+                input_size: 8,
+                hidden_size: 8,
+                output_size: 4,
+                ..BrnnConfig::default()
+            },
+            rows: 4,
+            mbs: 1,
+            train: true,
+            seed_bug: false,
+            fuzz_seeds: vec![42, 1337],
+            model_seed: 7,
+        }
+    }
+}
+
+/// Runs every prong over the configured graph and returns the combined
+/// report: sections `static-plan`, `static-graphgen`, `clause-validation`
+/// and `schedule-fuzz`.
+pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
+    let model = Brnn::<f64>::new(opts.config, opts.model_seed);
+    let batch = synth_batch(&opts.config, opts.rows);
+    let target = synth_target(&opts.config, opts.rows);
+    let mode = if opts.seed_bug {
+        BuildMode::MissingStateClause
+    } else {
+        BuildMode::Normal
+    };
+    let plan = ExecPlan::build_with_mode(&model, &batch, opts.mbs, opts.train, mode);
+    let names = region_name_map(&plan);
+    let name_of = |r: RegionId| {
+        names
+            .get(&r.0)
+            .cloned()
+            .unwrap_or_else(|| bpar_verify::default_region_name(r))
+    };
+    let replicas = row_chunks(opts.rows, opts.mbs).len();
+    let spec = ShapeSpec {
+        layers: opts.config.layers,
+        seq: opts.config.seq_len,
+        outputs: match opts.config.kind {
+            ModelKind::ManyToOne => 1,
+            ModelKind::ManyToMany => opts.config.seq_len,
+        },
+        replicas,
+        training: opts.train,
+    };
+
+    // Prong 1a: structural lints + shape over the compiled plan.
+    let plan_view = GraphView::from_plan(&plan.compiled);
+    let mut plan_findings = run_lints(&plan_view, &name_of);
+    plan_findings.extend(check_shape(plan_view.len(), plan_view.edge_count(), &spec));
+    let plan_metrics = collect_metrics(&plan_view);
+
+    // Prong 1b: the same lints over the simulator's static twin of the
+    // graph — builder and graphgen must describe the same dataflow.
+    let phase = if opts.train {
+        Phase::Training
+    } else {
+        Phase::Inference
+    };
+    let gspec = GraphSpec {
+        config: opts.config,
+        batch_rows: opts.rows,
+        mbs: opts.mbs,
+        phase,
+        barriers: false,
+        fuse_merges: false,
+        split_cells: false,
+    };
+    let graph = build_graph(&gspec);
+    let graph_view = GraphView::from_graph(&graph);
+    let mut graph_findings = run_lints(&graph_view, &bpar_verify::default_region_name);
+    graph_findings.extend(check_shape(
+        graph_view.len(),
+        graph_view.edge_count(),
+        &spec,
+    ));
+    let graph_metrics = collect_metrics(&graph_view);
+
+    // Prong 2: dynamic clause validation (one recorded FIFO replay).
+    let clause_findings = validate_plan(&plan, &model, &batch, &target, opts.train, &name_of);
+
+    // Prong 3: schedule fuzzing (adversarial replays + fingerprints).
+    let fuzz_findings = fuzz_plan(&plan, &model, &batch, &target, opts.train, &opts.fuzz_seeds);
+
+    AnalysisReport::new(vec![
+        GraphReport::new("static-plan", plan_metrics, plan_findings),
+        GraphReport::new("static-graphgen", graph_metrics, graph_findings),
+        GraphReport::new(
+            "clause-validation",
+            collect_metrics(&plan_view),
+            clause_findings,
+        ),
+        GraphReport::new("schedule-fuzz", collect_metrics(&plan_view), fuzz_findings),
+    ])
+}
+
+/// Human-readable `(cell, slot)` coordinates for every region of every
+/// replica, e.g. `r0.st_fwd[1][2]`.
+fn region_name_map<T: Float>(plan: &ExecPlan<T>) -> HashMap<u64, String> {
+    let mut names = Vec::new();
+    for (i, rep) in plan.replicas.iter().enumerate() {
+        rep.region_names(&format!("r{i}."), &mut names);
+    }
+    names.into_iter().map(|(r, n)| (r.0, n)).collect()
+}
+
+/// Replays `plan` once on a single-worker FIFO runtime with the access
+/// recorder installed and diffs observed accesses against declared
+/// clauses.
+fn validate_plan<T: Float>(
+    plan: &ExecPlan<T>,
+    model: &Brnn<T>,
+    batch: &[Matrix<T>],
+    target: &Target,
+    train: bool,
+    name_of: &dyn Fn(RegionId) -> String,
+) -> Vec<Finding> {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        policy: SchedulerPolicy::Fifo,
+        record_trace: false,
+    });
+    let recorder = Arc::new(AccessRecorder::new());
+    rt.set_validation(Some(recorder.clone()));
+    plan.scrub();
+    plan.load_batch(model, batch);
+    if train {
+        plan.load_target(target);
+    }
+    rt.replay(&plan.compiled);
+    let result = rt.taskwait();
+    rt.set_validation(None);
+    let events = recorder.take_events();
+    plan.scrub();
+
+    let view = GraphView::from_plan(&plan.compiled);
+    let mut findings = validate_clauses(&view, &events, result.is_ok(), name_of);
+    if let Err(msg) = result {
+        findings.push(Finding::graph_error(
+            "validation-run-panic",
+            format!("recorded replay did not complete: {msg}"),
+        ));
+    }
+    findings
+}
+
+/// One fuzzed replay's result: an output fingerprint or a panic message.
+enum Outcome {
+    Ok(String),
+    Panic(String),
+}
+
+impl Outcome {
+    fn describe(&self) -> String {
+        match self {
+            Outcome::Ok(hex) => format!("ok fingerprint={hex}"),
+            Outcome::Panic(msg) => format!("panic: {msg}"),
+        }
+    }
+}
+
+/// Replays `plan` under each fuzzing policy on a fresh single-worker
+/// runtime and compares output fingerprints. Single-worker replays are
+/// fully deterministic per policy, so the run set is reproducible and any
+/// divergence is a stable witness.
+fn fuzz_plan<T: Float>(
+    plan: &ExecPlan<T>,
+    model: &Brnn<T>,
+    batch: &[Matrix<T>],
+    target: &Target,
+    train: bool,
+    seeds: &[u64],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut outcomes: Vec<(String, Outcome)> = Vec::new();
+    for policy in bpar_verify::fuzz_policies(seeds) {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            policy,
+            record_trace: false,
+        });
+        plan.scrub();
+        plan.load_batch(model, batch);
+        if train {
+            plan.load_target(target);
+        }
+        rt.replay(&plan.compiled);
+        let outcome = match rt.taskwait() {
+            Ok(()) => Outcome::Ok(fingerprint_outputs(plan, model, train)),
+            Err(msg) => Outcome::Panic(msg),
+        };
+        plan.scrub();
+        outcomes.push((policy_name(policy), outcome));
+    }
+
+    for (name, outcome) in &outcomes {
+        if let Outcome::Panic(msg) = outcome {
+            findings.push(Finding::graph_error(
+                "schedule-panic",
+                format!(
+                    "plan panics under the {name} schedule but not under every \
+                     schedule — a dependency the graph does not order: {msg}"
+                ),
+            ));
+        }
+    }
+    let digests: Vec<&Outcome> = outcomes.iter().map(|(_, o)| o).collect();
+    let all_equal = digests.windows(2).all(|w| match (w[0], w[1]) {
+        (Outcome::Ok(a), Outcome::Ok(b)) => a == b,
+        _ => false,
+    });
+    if !all_equal && outcomes.len() > 1 {
+        let detail = outcomes
+            .iter()
+            .map(|(name, o)| format!("{name}: {}", o.describe()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        findings.push(Finding::graph_error(
+            "schedule-divergence",
+            format!(
+                "replaying the same plan under different legal schedules does \
+                 not produce identical bits — race witness: {detail}"
+            ),
+        ));
+    }
+    findings
+}
+
+/// FNV-1a digest of everything a run produces: logits for inference, loss
+/// plus every gradient matrix for training. Consumes the plan's output
+/// slots (the caller scrubs afterwards anyway).
+fn fingerprint_outputs<T: Float>(plan: &ExecPlan<T>, model: &Brnn<T>, train: bool) -> String {
+    let mut h = Fnv64::new();
+    if train {
+        h.write_f64(plan.replicas[0].take_loss());
+        hash_grads(&mut h, &plan.replicas[0].take_grads());
+    } else {
+        let out = collect_logits(model, &plan.replicas);
+        hash_matrix(&mut h, &out.logits);
+        for m in &out.seq_logits {
+            hash_matrix(&mut h, m);
+        }
+    }
+    h.hex()
+}
+
+fn hash_matrix<T: Float>(h: &mut Fnv64, m: &Matrix<T>) {
+    h.write_u64(m.rows() as u64);
+    h.write_u64(m.cols() as u64);
+    for &v in m.as_slice() {
+        h.write_f64(v.to_f64());
+    }
+}
+
+fn hash_cell<T: Float>(h: &mut Fnv64, c: &CellParams<T>) {
+    match c {
+        CellParams::Lstm(p) => {
+            hash_matrix(h, &p.w);
+            hash_matrix(h, &p.b);
+        }
+        CellParams::Gru(p) => {
+            hash_matrix(h, &p.wzr);
+            hash_matrix(h, &p.bzr);
+            hash_matrix(h, &p.wh);
+            hash_matrix(h, &p.bh);
+        }
+        CellParams::Vanilla(p) => {
+            hash_matrix(h, &p.w);
+            hash_matrix(h, &p.b);
+        }
+    }
+}
+
+fn hash_grads<T: Float>(h: &mut Fnv64, g: &BrnnGrads<T>) {
+    for layer in &g.layers {
+        hash_cell(h, &layer.fwd);
+        hash_cell(h, &layer.rev);
+    }
+    hash_matrix(h, &g.dense.w);
+    hash_matrix(h, &g.dense.b);
+}
+
+/// Deterministic hash-filled input batch (`seq_len` matrices of
+/// `rows × input_size`), independent of any RNG crate.
+pub fn synth_batch<T: Float>(config: &BrnnConfig, rows: usize) -> Vec<Matrix<T>> {
+    (0..config.seq_len)
+        .map(|t| {
+            Matrix::from_fn(rows, config.input_size, |r, c| {
+                T::from_f64(unit_hash(t as u64, r as u64, c as u64) - 0.5)
+            })
+        })
+        .collect()
+}
+
+/// Deterministic targets matching the model kind.
+pub fn synth_target(config: &BrnnConfig, rows: usize) -> Target {
+    let class = |t: u64, r: u64| (unit_hash(t, r, 0xC1A55) * config.output_size as f64) as usize;
+    match config.kind {
+        ModelKind::ManyToOne => Target::Classes((0..rows).map(|r| class(0, r as u64)).collect()),
+        ModelKind::ManyToMany => Target::SeqClasses(
+            (0..config.seq_len)
+                .map(|t| (0..rows).map(|r| class(t as u64, r as u64)).collect())
+                .collect(),
+        ),
+    }
+}
+
+/// SplitMix64-style mix of three coordinates into `[0, 1)`.
+fn unit_hash(a: u64, b: u64, c: u64) -> f64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_batch_is_deterministic_and_shaped() {
+        let config = BrnnConfig::default();
+        let a = synth_batch::<f64>(&config, 3);
+        let b = synth_batch::<f64>(&config, 3);
+        assert_eq!(a.len(), config.seq_len);
+        assert_eq!(a[0].rows(), 3);
+        assert_eq!(a[0].cols(), config.input_size);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn synth_targets_are_in_range() {
+        let config = BrnnConfig {
+            kind: ModelKind::ManyToMany,
+            ..BrnnConfig::default()
+        };
+        match synth_target(&config, 5) {
+            Target::SeqClasses(ts) => {
+                assert_eq!(ts.len(), config.seq_len);
+                for t in ts {
+                    assert_eq!(t.len(), 5);
+                    assert!(t.iter().all(|&c| c < config.output_size));
+                }
+            }
+            Target::Classes(_) => panic!("wrong target kind"),
+        }
+    }
+
+    #[test]
+    fn clean_training_graph_has_zero_findings() {
+        let opts = AnalyzeOptions::default();
+        let report = analyze(&opts);
+        assert_eq!(
+            report.errors,
+            0,
+            "clean build must produce a zero-finding report:\n{}",
+            report.to_json()
+        );
+    }
+
+    #[test]
+    fn clean_inference_graph_has_zero_findings() {
+        let opts = AnalyzeOptions {
+            train: false,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&opts);
+        assert_eq!(report.errors, 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_reruns() {
+        let opts = AnalyzeOptions {
+            mbs: 2,
+            ..AnalyzeOptions::default()
+        };
+        let a = analyze(&opts).to_json();
+        let b = analyze(&opts).to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -27,11 +27,29 @@ use crate::cell::{CellCache, CellParams, CellState, StateGrad};
 use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
-use bpar_runtime::{PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
+use bpar_runtime::{record_read, record_write, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
 use bpar_tensor::{Float, Matrix};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How faithfully to declare dependency clauses while building a graph.
+///
+/// [`BuildMode::MissingStateClause`] deliberately drops one `in` clause —
+/// the `t-1` recurrent-state dependency of the first replica's
+/// `cell_fwd(l=0, t=1)` — while leaving the task body untouched. The body
+/// still reads the state slot, so the plan carries a real undeclared
+/// dependency: the canonical clause-soundness bug `bpar-verify` exists to
+/// catch. Used by `bpar analyze --seed-bug` and the detector tests; the
+/// normal build path always uses [`BuildMode::Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum BuildMode {
+    /// Declare exactly the clauses the bodies need (sound).
+    #[default]
+    Normal,
+    /// Omit the `st_fwd[0][0]` in-clause of `cell_fwd(l=0, t=1)`.
+    MissingStateClause,
+}
 
 /// Hands out fresh region ids for one batch.
 #[derive(Debug, Default)]
@@ -125,6 +143,13 @@ impl<T: Float> WeightStore<T> {
 /// The runtime's dependency protocol guarantees readers and writers never
 /// overlap, so the `RwLock` is always uncontended; it exists to make the
 /// sharing safe without `unsafe`.
+///
+/// Every access reports itself to the runtime's validation recorder
+/// ([`bpar_runtime::record_read`] / [`bpar_runtime::record_write`]) — a
+/// single relaxed atomic load when validation is off. Because all task
+/// data flows through slots, the recorder's event stream is a complete
+/// trace of what each task body *actually* touched, which `bpar-verify`
+/// diffs against the declared `in`/`out` clauses.
 pub(crate) struct Slot<X> {
     data: Arc<RwLock<Option<X>>>,
     /// Dependency region representing this value.
@@ -150,30 +175,39 @@ impl<X> Slot<X> {
 
     /// Stores a value (writer side).
     pub fn put(&self, v: X) {
+        record_write(self.region);
         *self.data.write() = Some(v);
     }
 
     /// Removes the value (single-consumer reads).
     pub fn take(&self) -> Option<X> {
+        record_read(self.region);
         self.data.write().take()
     }
 
     /// Reads the value by reference (multi-consumer reads).
     pub fn with<R>(&self, f: impl FnOnce(Option<&X>) -> R) -> R {
+        record_read(self.region);
         f(self.data.read().as_ref())
     }
 
     /// Mutates the value in place, initialising with `init` if absent
-    /// (accumulator slots).
+    /// (accumulator slots). A read-modify-write: tasks using it must
+    /// declare the region *inout* (both `in` and `out`).
     pub fn update(&self, init: impl FnOnce() -> X, f: impl FnOnce(&mut X)) {
+        record_read(self.region);
+        record_write(self.region);
         let mut guard = self.data.write();
         let v = guard.get_or_insert_with(init);
         f(v);
     }
 
     /// Accumulator write: stores `v` if the slot is empty, otherwise folds
-    /// it into the existing value with `add`.
+    /// it into the existing value with `add`. A read-modify-write: tasks
+    /// using it must declare the region *inout*.
     pub fn accumulate(&self, v: X, add: impl FnOnce(&mut X, X)) {
+        record_read(self.region);
+        record_write(self.region);
         let mut guard = self.data.write();
         match guard.as_mut() {
             Some(acc) => add(acc, v),
@@ -355,6 +389,12 @@ impl<T: Float> ReplicaGraph<T> {
     /// Submits all cell and merge tasks of layer `l` (Algorithms 2 and 3:
     /// forward-order cells, reverse-order cells, merge cells).
     pub fn submit_forward_layer(&self, sink: &mut dyn TaskSink, l: usize) {
+        self.submit_forward_layer_mode(sink, l, BuildMode::Normal);
+    }
+
+    /// [`ReplicaGraph::submit_forward_layer`] with an explicit
+    /// [`BuildMode`] (sabotage hook for the clause-soundness detectors).
+    pub fn submit_forward_layer_mode(&self, sink: &mut dyn TaskSink, l: usize, mode: BuildMode) {
         let cfg = self.config;
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
@@ -367,7 +407,12 @@ impl<T: Float> ReplicaGraph<T> {
         // state and (for l > 0) the merge cell below (Algorithm 2).
         for t in 0..seq {
             let mut ins: Vec<RegionId> = Vec::with_capacity(2);
-            if t > 0 {
+            // Sabotage hook: drop exactly the (l=0, t=1) -> (l=0, t=0)
+            // state clause. The body below is untouched and still reads
+            // the slot, so the resulting plan contains a genuine
+            // undeclared dependency for the detectors to find.
+            let sabotaged = mode == BuildMode::MissingStateClause && l == 0 && t == 1;
+            if t > 0 && !sabotaged {
                 ins.push(self.st_fwd[l][t - 1].region);
             }
             if l > 0 {
@@ -562,10 +607,15 @@ impl<T: Float> ReplicaGraph<T> {
                 let gdense = self.grads_dense.clone();
                 let loss_slot = self.loss.clone();
                 let weight = self.weight;
+                // The classifier-gradient and loss slots are accumulated
+                // across output positions (read-modify-write), so they are
+                // declared *inout*. The added read edges coincide with the
+                // existing write-after-write chain between consecutive loss
+                // tasks and dedup away — the graph shape is unchanged.
                 sink.push(
                     PlanSpec::new("loss")
                         .tag(i as u64)
-                        .ins([feat.region])
+                        .ins([feat.region, gdense.region, loss_slot.region])
                         .outs([out.region, dfeat.region, gdense.region, loss_slot.region])
                         .body(move || {
                             let model = weights.snapshot();
@@ -636,7 +686,15 @@ impl<T: Float> ReplicaGraph<T> {
 
         // Forward-direction BPTT: gradient flows from t = T-1 down to 0.
         for t in (0..seq).rev() {
-            let mut ins = vec![self.st_fwd[l][t].region, self.dh_fwd[l][t].region];
+            // The per-layer weight-gradient accumulator is read-modify-
+            // written by every timestep's backward cell, so it is inout;
+            // its read edge duplicates the BPTT chain edge (same
+            // predecessor) and dedups away.
+            let mut ins = vec![
+                self.st_fwd[l][t].region,
+                self.dh_fwd[l][t].region,
+                self.grads_fwd[l].region,
+            ];
             if t + 1 < seq {
                 ins.push(self.sg_fwd[l][t + 1].region);
             }
@@ -684,7 +742,11 @@ impl<T: Float> ReplicaGraph<T> {
 
         // Reverse-direction BPTT: gradient flows from t = 0 up to T-1.
         for t in 0..seq {
-            let mut ins = vec![self.st_rev[l][t].region, self.dh_rev[l][t].region];
+            let mut ins = vec![
+                self.st_rev[l][t].region,
+                self.dh_rev[l][t].region,
+                self.grads_rev[l].region,
+            ];
             if t > 0 {
                 ins.push(self.sg_rev[l][t - 1].region);
             }
@@ -798,6 +860,45 @@ impl<T: Float> ReplicaGraph<T> {
         self.loss.take().unwrap_or(0.0)
     }
 
+    /// Appends `(region, coordinate)` pairs for every slot this replica
+    /// owns, e.g. `"r0.st_fwd[1][2]"` for `prefix = "r0."`. Analysis
+    /// findings use these names instead of raw region numbers.
+    pub fn region_names(&self, prefix: &str, names: &mut Vec<(RegionId, String)>) {
+        fn grid<X>(
+            prefix: &str,
+            what: &str,
+            g: &[Vec<Slot<X>>],
+            names: &mut Vec<(RegionId, String)>,
+        ) {
+            for (l, row) in g.iter().enumerate() {
+                for (t, s) in row.iter().enumerate() {
+                    names.push((s.region, format!("{prefix}{what}[{l}][{t}]")));
+                }
+            }
+        }
+        fn list<X>(prefix: &str, what: &str, l: &[Slot<X>], names: &mut Vec<(RegionId, String)>) {
+            for (i, s) in l.iter().enumerate() {
+                names.push((s.region, format!("{prefix}{what}[{i}]")));
+            }
+        }
+        grid(prefix, "st_fwd", &self.st_fwd, names);
+        grid(prefix, "st_rev", &self.st_rev, names);
+        grid(prefix, "merged", &self.merged, names);
+        list(prefix, "feat", &self.feat, names);
+        list(prefix, "logits", &self.logits, names);
+        list(prefix, "dfeat", &self.dfeat, names);
+        grid(prefix, "dh_fwd", &self.dh_fwd, names);
+        grid(prefix, "dh_rev", &self.dh_rev, names);
+        grid(prefix, "sg_fwd", &self.sg_fwd, names);
+        grid(prefix, "sg_rev", &self.sg_rev, names);
+        grid(prefix, "dinput_f", &self.dinput_f, names);
+        grid(prefix, "dinput_r", &self.dinput_r, names);
+        list(prefix, "grads_fwd", &self.grads_fwd, names);
+        list(prefix, "grads_rev", &self.grads_rev, names);
+        names.push((self.grads_dense.region, format!("{prefix}grads_dense")));
+        names.push((self.loss.region, format!("{prefix}loss")));
+    }
+
     /// Submits gradient-reduction tasks adding this replica's gradients
     /// into `target` (replica 0), one task per accumulator so reductions
     /// of different layers proceed in parallel (§III-B: "dependencies
@@ -810,10 +911,13 @@ impl<T: Float> ReplicaGraph<T> {
             ] {
                 let src = mine.clone();
                 let dst = theirs.clone();
+                // The destination accumulator is read-modify-written, so it
+                // is inout; the read edge duplicates the existing WAW edge
+                // on the reduction chain and dedups away.
                 sink.push(
                     PlanSpec::new(label)
                         .tag(l as u64)
-                        .ins([src.region])
+                        .ins([src.region, dst.region])
                         .outs([dst.region])
                         .body(move || {
                             if let Some(g) = src.take() {
@@ -828,7 +932,7 @@ impl<T: Float> ReplicaGraph<T> {
         let dst = target.grads_dense.clone();
         sink.push(
             PlanSpec::new("reduce_dense")
-                .ins([src.region])
+                .ins([src.region, dst.region])
                 .outs([dst.region])
                 .body(move || {
                     if let Some(g) = src.take() {
@@ -840,7 +944,7 @@ impl<T: Float> ReplicaGraph<T> {
         let dst = target.loss.clone();
         sink.push(
             PlanSpec::new("reduce_loss")
-                .ins([src.region])
+                .ins([src.region, dst.region])
                 .outs([dst.region])
                 .body(move || {
                     if let Some(l) = src.take() {

@@ -19,9 +19,9 @@
 mod barrier;
 mod bseq;
 pub(crate) mod builder;
-mod plan;
+pub(crate) mod plan;
 mod sequential;
-mod taskgraph;
+pub(crate) mod taskgraph;
 
 pub use barrier::BarrierExec;
 pub use bseq::BSeqExec;

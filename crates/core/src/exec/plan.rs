@@ -15,7 +15,7 @@
 //! cumulative build vs replay nanoseconds the `plan_replay` bench turns
 //! into the §IV-B overhead comparison.
 
-use super::builder::{ReplicaGraph, WeightStore};
+use super::builder::{BuildMode, ReplicaGraph, WeightStore};
 use super::taskgraph::TaskGraphExec;
 use super::{check_batch, Target};
 use crate::model::{Brnn, BrnnConfig};
@@ -56,6 +56,20 @@ impl<T: Float> ExecPlan<T> {
     /// frozen dependency structure. `batch` supplies only the shape; call
     /// [`ExecPlan::load_batch`] before every run (including the first).
     pub fn build(model: &Brnn<T>, batch: &[Matrix<T>], mbs: usize, train: bool) -> Self {
+        Self::build_with_mode(model, batch, mbs, train, BuildMode::Normal)
+    }
+
+    /// [`ExecPlan::build`] with an explicit [`BuildMode`]. The sabotaged
+    /// mode drops one `in` clause in the *first* replica only (see
+    /// [`BuildMode::MissingStateClause`]); it exists for the
+    /// clause-soundness detectors and is never used by executors.
+    pub(crate) fn build_with_mode(
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        mbs: usize,
+        train: bool,
+        mode: BuildMode,
+    ) -> Self {
         let layers = model.config.layers;
         let mut regions = super::builder::RegionAlloc::default();
         let (weights, replicas, chunks) =
@@ -64,9 +78,10 @@ impl<T: Float> ExecPlan<T> {
         // Same submission order as the original live path: per replica the
         // forward layers, the output stage, then (training) the backward
         // layers deepest-first; finally the cross-replica reductions.
-        for rep in &replicas {
+        for (ri, rep) in replicas.iter().enumerate() {
+            let rep_mode = if ri == 0 { mode } else { BuildMode::Normal };
             for l in 0..layers {
-                rep.submit_forward_layer(&mut b, l);
+                rep.submit_forward_layer_mode(&mut b, l, rep_mode);
             }
             rep.submit_output(&mut b, train);
             if train {

@@ -205,27 +205,35 @@ pub fn build_graph(spec: &GraphSpec) -> TaskGraph {
         let target = &replica_regions[0];
         for rep in replica_regions.iter().skip(1) {
             for l in 0..cfg.layers {
+                // The reduction destination is read-modify-written, so it
+                // is declared inout; the read edge coincides with the
+                // reduction chain's WAW edge and dedups away (no shape
+                // change).
                 g.add_task(
                     TaskNode::new("reduce_fwd")
                         .tag(l as u64)
                         .flops(grad_size(&cfg, l) as u64),
-                    &[rep.grads_fwd[l]],
+                    &[rep.grads_fwd[l], target.grads_fwd[l]],
                     &[target.grads_fwd[l]],
                 );
                 g.add_task(
                     TaskNode::new("reduce_rev")
                         .tag(l as u64)
                         .flops(grad_size(&cfg, l) as u64),
-                    &[rep.grads_rev[l]],
+                    &[rep.grads_rev[l], target.grads_rev[l]],
                     &[target.grads_rev[l]],
                 );
             }
             g.add_task(
                 TaskNode::new("reduce_dense"),
-                &[rep.grads_dense],
+                &[rep.grads_dense, target.grads_dense],
                 &[target.grads_dense],
             );
-            g.add_task(TaskNode::new("reduce_loss"), &[rep.loss], &[target.loss]);
+            g.add_task(
+                TaskNode::new("reduce_loss"),
+                &[rep.loss, target.loss],
+                &[target.loss],
+            );
         }
     }
 
@@ -433,9 +441,12 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
                 );
             }
             Phase::Training => {
+                // Classifier-gradient and loss accumulators are inout
+                // (read-modify-written across output positions); the read
+                // edges dedup against the WAW chain between loss tasks.
                 g.add_task(
                     TaskNode::new("loss").tag(i as u64).flops(3 * dense_flops),
-                    &[r.feat[i]],
+                    &[r.feat[i], r.grads_dense, r.loss],
                     &[r.dfeat[i], r.grads_dense, r.loss],
                 );
                 g.add_task(
@@ -459,7 +470,9 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
         let ws = cfg.cell.backward_working_set(rows, input_w, hidden, scalar);
 
         for t in (0..seq).rev() {
-            let mut ins = vec![r.st_fwd[l][t], r.dh_fwd[l][t]];
+            // The weight-gradient accumulator is inout; its read edge
+            // duplicates the BPTT chain edge and dedups away.
+            let mut ins = vec![r.st_fwd[l][t], r.dh_fwd[l][t], r.grads_fwd[l]];
             if t + 1 < seq {
                 ins.push(r.sg_fwd[l][t + 1]);
             }
@@ -486,7 +499,7 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
             );
         }
         for t in 0..seq {
-            let mut ins = vec![r.st_rev[l][t], r.dh_rev[l][t]];
+            let mut ins = vec![r.st_rev[l][t], r.dh_rev[l][t], r.grads_rev[l]];
             if t > 0 {
                 ins.push(r.sg_rev[l][t - 1]);
             }

@@ -33,6 +33,9 @@
 //!   learning-rate schedules) and the batch training loop, including
 //!   `mbs:N` mini-batch data parallelism.
 //! * [`io`] — binary model checkpointing.
+//! * [`analyze`] — the `bpar analyze` driver: structural lints, Fig. 2
+//!   shape checks, dynamic clause validation and schedule fuzzing over
+//!   real compiled plans (analyses live in `bpar-verify`).
 //!
 //! ## Quick start
 //!
@@ -66,6 +69,7 @@
 //! assert!(loss > 0.0);
 //! ```
 
+pub mod analyze;
 pub mod cell;
 pub mod dense;
 pub mod exec;

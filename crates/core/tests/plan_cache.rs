@@ -267,6 +267,49 @@ fn failed_batch_is_evicted_and_executor_recovers() {
     );
 }
 
+/// A panic inside a *replayed* plan (cache hit, not first build) must
+/// surface the failing task's label, evict the plan, and leave the
+/// executor serviceable — the panic path through `Runtime::replay` has no
+/// fresh `DepTracker` state to fall back on, so this exercises a
+/// different recovery path than a first-build failure.
+#[test]
+fn panic_inside_replayed_plan_names_the_task_and_evicts() {
+    let cfg = small_config();
+    let mut model: Brnn<f64> = Brnn::new(cfg, 13);
+    let exec = TaskGraphExec::new(2);
+    let xs = inputs(&cfg, 3, 4, 8);
+
+    // First batch: builds and caches the training plan.
+    let good_target = target_for(&cfg, 3, 4, 0);
+    exec.train_batch(&mut model, &xs, &good_target, &mut Sgd::new(0.01));
+    let stats = exec.plan_cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.cached_plans), (1, 0, 1));
+
+    // Second batch, same shape: a cache *hit* whose replay panics inside
+    // the loss task (out-of-range class is only detected at execution).
+    let bad_target = Target::Classes(vec![0, 1, cfg.output_size + 5]);
+    let err = exec
+        .try_train_batch(&mut model, &xs, &bad_target, &mut Sgd::new(0.01))
+        .unwrap_err();
+    assert!(err.0.contains("loss"), "panic must name the task: {err}");
+    assert!(err.0.contains("out of range"), "{err}");
+    let stats = exec.plan_cache_stats();
+    assert_eq!(stats.hits, 1, "the failing batch was a replay");
+    assert_eq!(stats.cached_plans, 0, "failed plan must be evicted");
+
+    // The executor rebuilds and keeps matching the sequential reference.
+    let mut twin = model.clone();
+    let la = exec.train_batch(&mut model, &xs, &good_target, &mut Sgd::new(0.01));
+    let lb = SequentialExec::new().train_batch(&mut twin, &xs, &good_target, &mut Sgd::new(0.01));
+    assert_eq!(la, lb);
+    assert_eq!(model.max_param_diff(&twin), 0.0);
+    assert_eq!(
+        exec.plan_cache_stats().misses,
+        2,
+        "one rebuild after eviction"
+    );
+}
+
 /// Long-running steady state: trace records and task counts must stay
 /// per-batch, not accumulate across replays (the serve loop runs for
 /// hours).

@@ -1,0 +1,85 @@
+//! Sweeps the closed-form Fig. 2 shape formulas against the graph
+//! generator across depth, sequence length, output arity, replica count
+//! and phase — the closed form in `bpar_verify::shape` must predict the
+//! generated task/edge counts *exactly* for every canonical
+//! (barrier-free, unfused, unsplit) configuration.
+
+use bpar_core::graphgen::{build_graph, GraphSpec, Phase};
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_verify::{check_shape, GraphView, ShapeSpec};
+
+fn sweep(kind: ModelKind) {
+    let rows = 6;
+    for layers in 1..=3 {
+        for seq in 1..=4 {
+            for mbs in 1..=3 {
+                for phase in [Phase::Inference, Phase::Training] {
+                    let config = BrnnConfig {
+                        layers,
+                        seq_len: seq,
+                        input_size: 3,
+                        hidden_size: 4,
+                        output_size: 3,
+                        kind,
+                        ..BrnnConfig::default()
+                    };
+                    let spec = GraphSpec {
+                        config,
+                        batch_rows: rows,
+                        mbs,
+                        phase,
+                        barriers: false,
+                        fuse_merges: false,
+                        split_cells: false,
+                    };
+                    let graph = build_graph(&spec);
+                    let view = GraphView::from_graph(&graph);
+                    let shape = ShapeSpec {
+                        layers,
+                        seq,
+                        outputs: match kind {
+                            ModelKind::ManyToOne => 1,
+                            ModelKind::ManyToMany => seq,
+                        },
+                        replicas: mbs, // rows = 6 >= mbs, so never clamped
+                        training: phase == Phase::Training,
+                    };
+                    let findings = check_shape(view.len(), view.edge_count(), &shape);
+                    assert!(
+                        findings.is_empty(),
+                        "L={layers} T={seq} mbs={mbs} {kind:?} {phase:?}: {:#?}",
+                        findings
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn many_to_one_graphs_match_the_closed_form() {
+    sweep(ModelKind::ManyToOne);
+}
+
+#[test]
+fn many_to_many_graphs_match_the_closed_form() {
+    sweep(ModelKind::ManyToMany);
+}
+
+/// The paper's Fig. 2 instance, cell-for-cell: a 3-layer many-to-one
+/// stack over 3 timesteps.
+#[test]
+fn fig2_instance_is_26_39_and_51_110() {
+    use bpar_verify::expected_shape;
+    let m2o = |training| ShapeSpec {
+        layers: 3,
+        seq: 3,
+        outputs: 1,
+        replicas: 1,
+        training,
+    };
+    let inf = expected_shape(&m2o(false));
+    assert_eq!((inf.tasks, inf.edges), (26, 39));
+    let train = expected_shape(&m2o(true));
+    assert_eq!((train.tasks, train.edges), (51, 110));
+}

@@ -64,6 +64,11 @@ pub struct TaskGraph {
     nodes: Vec<TaskNode>,
     preds: Vec<Vec<usize>>,
     succs: Vec<Vec<usize>>,
+    /// Declared `in` clauses per task, verbatim (duplicates included) so
+    /// static analysis sees exactly what the builder wrote.
+    ins: Vec<Vec<RegionId>>,
+    /// Declared `out` clauses per task, verbatim.
+    outs: Vec<Vec<RegionId>>,
     deps: DepTracker,
 }
 
@@ -85,6 +90,8 @@ impl TaskGraph {
         }
         self.preds.push(preds.iter().map(|p| p.index()).collect());
         self.succs.push(Vec::new());
+        self.ins.push(ins.to_vec());
+        self.outs.push(outs.to_vec());
         self.nodes.push(node);
         id
     }
@@ -107,6 +114,8 @@ impl TaskGraph {
         ps.dedup();
         self.preds.push(ps);
         self.succs.push(Vec::new());
+        self.ins.push(Vec::new());
+        self.outs.push(Vec::new());
         self.nodes.push(node);
         TaskId(id)
     }
@@ -134,6 +143,18 @@ impl TaskGraph {
     /// Successor ids of `id`.
     pub fn succs(&self, id: usize) -> &[usize] {
         &self.succs[id]
+    }
+
+    /// Declared read regions of `id` (empty for tasks added via
+    /// [`TaskGraph::add_task_with_preds`]).
+    pub fn ins(&self, id: usize) -> &[RegionId] {
+        &self.ins[id]
+    }
+
+    /// Declared write regions of `id` (empty for tasks added via
+    /// [`TaskGraph::add_task_with_preds`]).
+    pub fn outs(&self, id: usize) -> &[RegionId] {
+        &self.outs[id]
     }
 
     /// All nodes, in id (topological) order.
@@ -314,6 +335,17 @@ mod tests {
     fn forward_edge_invariant_is_enforced() {
         let mut g = TaskGraph::new();
         g.add_task_with_preds(TaskNode::new("a"), &[0]); // self-edge
+    }
+
+    #[test]
+    fn clauses_are_stored_verbatim() {
+        let g = diamond();
+        assert_eq!(g.ins(3), &[r(1), r(2)]);
+        assert_eq!(g.outs(3), &[r(3)]);
+        assert!(g.ins(0).is_empty());
+        let mut g2 = TaskGraph::new();
+        g2.add_task_with_preds(TaskNode::new("x"), &[]);
+        assert!(g2.ins(0).is_empty() && g2.outs(0).is_empty());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod task;
 pub mod trace;
+pub mod validate;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -59,15 +60,17 @@ pub mod prelude {
     pub use crate::plan::{CompiledPlan, PlanBuilder, PlanSpec};
     pub use crate::region::{DepTracker, RegionId};
     pub use crate::runtime::{Runtime, RuntimeConfig};
-    pub use crate::scheduler::SchedulerPolicy;
+    pub use crate::scheduler::{AdversarialOrder, SchedulerPolicy};
     pub use crate::stats::RuntimeStats;
     pub use crate::task::{TaskId, TaskSpec};
+    pub use crate::validate::{AccessEvent, AccessKind, AccessRecorder};
 }
 
 pub use graph::TaskGraph;
 pub use plan::{CompiledPlan, PlanBuilder, PlanSpec};
 pub use region::{DepTracker, RegionId};
 pub use runtime::{Runtime, RuntimeConfig};
-pub use scheduler::SchedulerPolicy;
+pub use scheduler::{AdversarialOrder, SchedulerPolicy};
 pub use stats::RuntimeStats;
 pub use task::{TaskId, TaskSpec};
+pub use validate::{record_read, record_write, AccessEvent, AccessKind, AccessRecorder};

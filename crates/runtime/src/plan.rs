@@ -120,6 +120,12 @@ pub(crate) struct PlanTask {
     pub label: &'static str,
     pub tag: u64,
     pub working_set_bytes: usize,
+    /// Declared read regions, kept verbatim from the spec so analysis
+    /// tooling (`bpar-verify`) can diff declarations against observed
+    /// accesses after the edges were frozen.
+    pub ins: Vec<RegionId>,
+    /// Declared write regions (see `ins`).
+    pub outs: Vec<RegionId>,
     pub body: PlanBody,
 }
 
@@ -173,6 +179,8 @@ impl PlanBuilder {
                 label: spec.label,
                 tag: spec.tag,
                 working_set_bytes: spec.working_set_bytes,
+                ins: spec.ins,
+                outs: spec.outs,
                 body: spec.body.expect("checked at submit"),
             });
         }
@@ -218,6 +226,42 @@ impl CompiledPlan {
     /// Number of root (immediately ready) tasks.
     pub fn root_count(&self) -> usize {
         self.roots.len()
+    }
+
+    /// Label of task `i`.
+    pub fn label(&self, i: usize) -> &'static str {
+        self.tasks[i].label
+    }
+
+    /// Client tag of task `i`.
+    pub fn tag(&self, i: usize) -> u64 {
+        self.tasks[i].tag
+    }
+
+    /// Declared read regions of task `i` (verbatim from its spec,
+    /// duplicates included).
+    pub fn ins(&self, i: usize) -> &[RegionId] {
+        &self.tasks[i].ins
+    }
+
+    /// Declared write regions of task `i` (verbatim from its spec).
+    pub fn outs(&self, i: usize) -> &[RegionId] {
+        &self.tasks[i].outs
+    }
+
+    /// Successor task indices of task `i` (frozen dependency edges).
+    pub fn succs_of(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Frozen predecessor count of task `i`.
+    pub fn pending_of(&self, i: usize) -> usize {
+        self.pending[i]
+    }
+
+    /// Root task indices (immediately ready on replay).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
     }
 }
 
@@ -295,6 +339,23 @@ mod tests {
     #[should_panic(expected = "without a body")]
     fn bodyless_spec_is_rejected() {
         PlanBuilder::new().submit(PlanSpec::new("nobody"));
+    }
+
+    #[test]
+    fn compiled_plan_exposes_clauses_and_structure() {
+        let mut b = PlanBuilder::new();
+        b.submit(PlanSpec::new("w").tag(3).outs([r(1)]).body(|| {}));
+        b.submit(PlanSpec::new("r").ins([r(1), r(1)]).body(|| {}));
+        let plan = b.compile();
+        assert_eq!(plan.label(0), "w");
+        assert_eq!(plan.tag(0), 3);
+        assert_eq!(plan.outs(0), &[r(1)]);
+        // Clauses are verbatim: duplicates are preserved for the validator
+        // (dedup happens in the DepTracker, not here).
+        assert_eq!(plan.ins(1), &[r(1), r(1)]);
+        assert_eq!(plan.succs_of(0), &[1]);
+        assert_eq!(plan.pending_of(1), 1);
+        assert_eq!(plan.roots(), &[0]);
     }
 
     #[test]

@@ -35,9 +35,14 @@ struct RegionState {
 ///
 /// Feed tasks in submission order via [`DepTracker::register`]; it returns
 /// the deduplicated list of predecessor tasks the new task must wait for.
+/// Task ids must be registered in strictly increasing order; debug builds
+/// assert this, so stale state from a previous graph (forgotten
+/// [`DepTracker::reset`]) is caught at the first re-registration.
 #[derive(Debug, Default)]
 pub struct DepTracker {
     regions: HashMap<RegionId, RegionState>,
+    /// Highest task id registered since the last reset.
+    watermark: Option<TaskId>,
 }
 
 impl DepTracker {
@@ -52,6 +57,13 @@ impl DepTracker {
     /// `inout`: the task gets RAW/WAW/WAR edges and becomes the region's
     /// new last writer.
     pub fn register(&mut self, task: TaskId, ins: &[RegionId], outs: &[RegionId]) -> Vec<TaskId> {
+        debug_assert!(
+            self.watermark.is_none_or(|w| task > w),
+            "task ids must increase monotonically (got {task:?} after {:?}); \
+             call reset() between graphs",
+            self.watermark
+        );
+        self.watermark = Some(task);
         let mut preds: Vec<TaskId> = Vec::new();
 
         for &r in ins {
@@ -59,7 +71,13 @@ impl DepTracker {
             if let Some(w) = st.last_writer {
                 preds.push(w); // RAW
             }
-            st.readers.push(task);
+            // A region listed twice in `ins` (or revisited because the
+            // clause list carries duplicates) must not bloat the WAR edge
+            // list: all pushes for one task are consecutive, so checking
+            // the tail deduplicates readers per region per task.
+            if st.readers.last() != Some(&task) {
+                st.readers.push(task);
+            }
         }
         for &r in outs {
             let st = self.regions.entry(r).or_default();
@@ -87,9 +105,26 @@ impl DepTracker {
         self.regions.len()
     }
 
-    /// Forgets all state (used between batches when region ids are reused).
-    pub fn clear(&mut self) {
+    /// Number of reader entries currently tracked across all regions
+    /// (WAR bookkeeping size; readers are deduplicated per task).
+    pub fn reader_entries(&self) -> usize {
+        self.regions.values().map(|st| st.readers.len()).sum()
+    }
+
+    /// Forgets all state so the tracker can be reused for a new graph:
+    /// last-writer/reader state is dropped (region ids may be reused) and
+    /// task ids may restart from zero. Without this, stale last-writer
+    /// entries from a previous compiled plan would leak edges into the
+    /// next one.
+    pub fn reset(&mut self) {
         self.regions.clear();
+        self.watermark = None;
+    }
+
+    /// Alias of [`DepTracker::reset`] (historical name, used between
+    /// batches when region ids are reused).
+    pub fn clear(&mut self) {
+        self.reset();
     }
 }
 
@@ -177,6 +212,51 @@ mod tests {
         d.register(t(0), &[], &[r(1)]);
         d.clear();
         assert!(d.register(t(1), &[r(1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ins_do_not_bloat_reader_lists() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[], &[r(1)]);
+        // The same region listed three times in `ins` registers one
+        // reader entry, so the next writer gets exactly one WAR edge.
+        d.register(t(1), &[r(1), r(1), r(1)], &[]);
+        assert_eq!(d.reader_entries(), 1);
+        assert_eq!(d.register(t(2), &[], &[r(1)]), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn interleaved_duplicate_ins_are_deduplicated() {
+        let mut d = DepTracker::new();
+        d.register(t(0), &[r(1), r(2), r(1), r(2), r(1)], &[]);
+        assert_eq!(d.reader_entries(), 2);
+    }
+
+    #[test]
+    fn inout_keeps_single_reader_entry() {
+        let mut d = DepTracker::new();
+        // inout: the write clears the reader list, so nothing lingers.
+        d.register(t(0), &[r(1), r(1)], &[r(1)]);
+        assert_eq!(d.reader_entries(), 0);
+    }
+
+    #[test]
+    fn reset_allows_task_ids_to_restart() {
+        let mut d = DepTracker::new();
+        d.register(t(5), &[], &[r(1)]);
+        d.reset();
+        // Restarting from 0 after reset is legal and sees no stale state.
+        assert!(d.register(t(0), &[r(1)], &[]).is_empty());
+        assert_eq!(d.region_count(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotonically")]
+    fn non_monotonic_ids_are_rejected_in_debug() {
+        let mut d = DepTracker::new();
+        d.register(t(3), &[], &[r(1)]);
+        d.register(t(3), &[], &[r(1)]); // same id again: stale-state bug
     }
 
     #[test]

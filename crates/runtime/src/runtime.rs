@@ -13,6 +13,7 @@ use crate::region::{DepTracker, RegionId};
 use crate::scheduler::{ReadySet, SchedulerPolicy};
 use crate::stats::{RuntimeStats, TaskRecord};
 use crate::task::{TaskId, TaskSpec};
+use crate::validate::{self, AccessRecorder, TaskScope};
 use parking_lot::{Condvar, Mutex};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -67,6 +68,9 @@ struct Inner {
     panicked: Option<String>,
     shutdown: bool,
     record_trace: bool,
+    /// When set, workers wrap every task body in a [`TaskScope`] so slot
+    /// accesses are attributed to the executing task (validation mode).
+    validation: Option<Arc<AccessRecorder>>,
 }
 
 struct Shared {
@@ -108,6 +112,7 @@ impl Runtime {
                 panicked: None,
                 shutdown: false,
                 record_trace: config.record_trace,
+                validation: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -276,6 +281,26 @@ impl Runtime {
         took
     }
 
+    /// Installs (or removes, with `None`) an [`AccessRecorder`]:
+    /// while set, every task body — live or replayed — runs inside a
+    /// [`TaskScope`] so `record_read`/`record_write` calls made by the
+    /// body land in the recorder attributed to the task's index.
+    ///
+    /// Validation mode costs one `Arc` clone per task plus the recording
+    /// itself; with no recorder installed the per-access overhead is a
+    /// single relaxed atomic load. Install while idle (between
+    /// `taskwait`s) so a batch is observed in full or not at all.
+    pub fn set_validation(&self, recorder: Option<Arc<AccessRecorder>>) {
+        let mut inner = self.shared.inner.lock();
+        let was = inner.validation.is_some();
+        let now = recorder.is_some();
+        inner.validation = recorder;
+        drop(inner);
+        if was != now {
+            validate::validation_installed(now);
+        }
+    }
+
     /// Convenience: submit a closure with explicit region clauses.
     pub fn spawn(
         &self,
@@ -296,6 +321,9 @@ impl Runtime {
     /// exit (the shutdown flag is only honoured once the ready set is
     /// empty), so no work is lost.
     pub fn shutdown(&mut self) {
+        // Balance the global validation-users counter if the embedder
+        // never uninstalled its recorder.
+        self.set_validation(None);
         {
             let mut inner = self.shared.inner.lock();
             if inner.shutdown && self.workers.is_empty() {
@@ -325,10 +353,14 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 .body
                 .take()
                 .expect("ready task lost its body");
+            let recorder = inner.validation.clone();
             let start = shared.epoch.elapsed().as_secs_f64();
             drop(inner);
 
-            let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+            let result = {
+                let _scope = recorder.map(|rec| TaskScope::enter(rec, tid));
+                std::panic::catch_unwind(AssertUnwindSafe(body))
+            };
 
             let end = shared.epoch.elapsed().as_secs_f64();
             let t0 = Instant::now();
@@ -734,6 +766,72 @@ mod tests {
         r.replay(&plan);
         r.taskwait().unwrap();
         assert_eq!(r.stats().tasks, 0);
+    }
+
+    #[test]
+    fn validation_mode_attributes_accesses_to_tasks() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        use crate::validate::{record_read, record_write, AccessKind, AccessRecorder};
+
+        let r = rt(2);
+        let rec = StdArc::new(AccessRecorder::new());
+        r.set_validation(Some(rec.clone()));
+
+        // Live path: two chained tasks whose bodies self-report accesses.
+        r.spawn("w", [], [RegionId(4)], || record_write(RegionId(4)));
+        r.spawn("r", [RegionId(4)], [], || record_read(RegionId(4)));
+        r.taskwait().unwrap();
+        let ev = rec.take_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].task, ev[0].kind), (0, AccessKind::Write));
+        assert_eq!((ev[1].task, ev[1].kind), (1, AccessKind::Read));
+
+        // Replay path: the same attribution works for compiled plans.
+        let mut b = PlanBuilder::new();
+        b.submit(
+            PlanSpec::new("p")
+                .outs([RegionId(9)])
+                .body(|| record_write(RegionId(9))),
+        );
+        let plan = b.compile();
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        let ev = rec.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!((ev[0].task, ev[0].region), (0, RegionId(9)));
+
+        // Uninstalling stops recording.
+        r.set_validation(None);
+        r.spawn("q", [], [RegionId(1)], || record_write(RegionId(1)));
+        r.taskwait().unwrap();
+        assert!(rec.take_events().is_empty());
+    }
+
+    #[test]
+    fn adversarial_policies_still_respect_dependencies() {
+        use crate::scheduler::AdversarialOrder;
+        for order in [
+            AdversarialOrder::Reverse,
+            AdversarialOrder::Random(7),
+            AdversarialOrder::Random(999),
+        ] {
+            let r = Runtime::new(RuntimeConfig {
+                workers: 1,
+                policy: SchedulerPolicy::Adversarial(order),
+                record_trace: false,
+            });
+            let log = StdArc::new(Mutex::new(Vec::new()));
+            for i in 0..20 {
+                let l = log.clone();
+                // A dependency chain leaves no scheduling freedom: every
+                // order must execute it 0..20.
+                r.spawn("t", [RegionId(0)], [RegionId(0)], move || {
+                    l.lock().push(i);
+                });
+            }
+            r.taskwait().unwrap();
+            assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>(), "{order:?}");
+        }
     }
 
     #[test]

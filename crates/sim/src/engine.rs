@@ -157,6 +157,31 @@ fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
     }
 }
 
+/// Structural lints every graph must pass before simulation: no backward
+/// edges (a task depending on a later submission), consistent
+/// predecessor/successor mirrors, no duplicate edges.
+///
+/// These are exactly the invariants [`simulate`]'s greedy list scheduler
+/// relies on — a backward edge or a pred/succ mismatch silently corrupts
+/// the pending counters and shows up only as a deadlock assertion deep in
+/// the run. Graphs built through [`TaskGraph`]'s dependency tracker
+/// satisfy them by construction; hand-built graphs (tests, ablations) may
+/// not. Content lints (dead writes, isolated tasks) are deliberately
+/// *not* applied here: synthetic benchmark graphs legitimately contain
+/// both.
+pub fn preflight(graph: &TaskGraph) -> Vec<bpar_verify::Finding> {
+    let view = bpar_verify::GraphView::from_graph(graph);
+    bpar_verify::run_lints(&view, &bpar_verify::default_region_name)
+        .into_iter()
+        .filter(|f| {
+            matches!(
+                f.check.as_str(),
+                "backward-edge" | "mirror-mismatch" | "duplicate-edge"
+            )
+        })
+        .collect()
+}
+
 /// Replays `graph` on the simulated machine; returns per-task placements
 /// and timings.
 ///
@@ -175,14 +200,25 @@ fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
 /// ```
 ///
 /// # Panics
-/// Panics if `cfg.cores` is zero or exceeds the machine size, or if the
-/// graph deadlocks (impossible for graphs built through [`TaskGraph`]).
+/// Panics if `cfg.cores` is zero or exceeds the machine size, if the
+/// graph fails the structural [`preflight`] lints, or if the graph
+/// deadlocks (impossible for graphs built through [`TaskGraph`]).
 pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
     assert!(cfg.cores >= 1, "need at least one core");
     assert!(
         cfg.cores <= cfg.machine.total_cores(),
         "machine has only {} cores",
         cfg.machine.total_cores()
+    );
+    let issues = preflight(graph);
+    assert!(
+        issues.is_empty(),
+        "graph fails structural preflight:\n{}",
+        issues
+            .iter()
+            .map(|f| format!("  [{}] {}", f.check, f.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
     let n = graph.len();
     let machine = &cfg.machine;
@@ -413,5 +449,11 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         simulate(&independent(1, 1), &SimConfig::xeon(0));
+    }
+
+    #[test]
+    fn tracker_built_graphs_pass_preflight() {
+        assert!(preflight(&chain(20, 1)).is_empty());
+        assert!(preflight(&independent(8, 1)).is_empty());
     }
 }

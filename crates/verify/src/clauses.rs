@@ -1,0 +1,254 @@
+//! Dynamic dependency-clause validation.
+//!
+//! The paper's execution model removes every barrier on one promise: the
+//! `in`/`out` clauses a task declares are a *superset* of the data it
+//! actually touches, so the dependency graph alone serializes every
+//! conflicting pair. Nothing in the runtime checks that promise — an
+//! undeclared access silently races and only corrupts results under some
+//! schedules.
+//!
+//! [`validate_clauses`] closes the loop: run a plan once with the
+//! runtime's [`AccessRecorder`] installed, then diff the *observed*
+//! accesses of every task against its *declared* clauses.
+//!
+//! * `undeclared-read` — a task read a region in neither its `in` nor its
+//!   `out` clause (an `out`-declared region may be read back: that is an
+//!   inout/accumulator, serialized by the write edge).
+//! * `undeclared-write` — a task wrote a region not in its `out` clause.
+//! * `dead-declaration` — a declared region the task never touched.
+//!   Suppressed when the run did not complete (`completed == false`): a
+//!   panicked or skipped task legitimately leaves declarations unused.
+//!
+//! Undeclared accesses gate regardless of completion — every event was
+//! really observed, even on a run that later panicked.
+
+use crate::report::Finding;
+use crate::view::GraphView;
+use bpar_runtime::region::RegionId;
+use bpar_runtime::validate::{AccessEvent, AccessKind};
+use std::collections::HashSet;
+
+/// Diffs observed `events` against the clauses declared in `view`.
+///
+/// `events` must use the same task indices as `view` (true by
+/// construction when the events come from replaying the plan the view was
+/// built from). `region_name` renders region coordinates for findings.
+pub fn validate_clauses(
+    view: &GraphView,
+    events: &[AccessEvent],
+    completed: bool,
+    region_name: &dyn Fn(RegionId) -> String,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut observed_reads: Vec<HashSet<u64>> = vec![HashSet::new(); view.len()];
+    let mut observed_writes: Vec<HashSet<u64>> = vec![HashSet::new(); view.len()];
+    for ev in events {
+        if ev.task >= view.len() {
+            findings.push(Finding::graph_error(
+                "unattributed-access",
+                format!(
+                    "access to {} attributed to task {} outside the plan (len {})",
+                    region_name(ev.region),
+                    ev.task,
+                    view.len()
+                ),
+            ));
+            continue;
+        }
+        match ev.kind {
+            AccessKind::Read => observed_reads[ev.task].insert(ev.region.0),
+            AccessKind::Write => observed_writes[ev.task].insert(ev.region.0),
+        };
+    }
+
+    for (i, t) in view.tasks.iter().enumerate() {
+        let declared_ins: HashSet<u64> = t.ins.iter().map(|r| r.0).collect();
+        let declared_outs: HashSet<u64> = t.outs.iter().map(|r| r.0).collect();
+
+        for &r in &observed_reads[i] {
+            if !declared_ins.contains(&r) && !declared_outs.contains(&r) {
+                findings.push(
+                    Finding::error(
+                        "undeclared-read",
+                        i,
+                        &t.label,
+                        format!(
+                            "task read {} without declaring it in(...) — the runtime \
+                             builds no edge to its writer, so the read races",
+                            region_name(RegionId(r))
+                        ),
+                    )
+                    .with_region(region_name(RegionId(r))),
+                );
+            }
+        }
+        for &r in &observed_writes[i] {
+            if !declared_outs.contains(&r) {
+                findings.push(
+                    Finding::error(
+                        "undeclared-write",
+                        i,
+                        &t.label,
+                        format!(
+                            "task wrote {} without declaring it out(...) — readers and \
+                             later writers are not ordered against this write",
+                            region_name(RegionId(r))
+                        ),
+                    )
+                    .with_region(region_name(RegionId(r))),
+                );
+            }
+        }
+
+        if completed {
+            for &r in &declared_ins {
+                if !observed_reads[i].contains(&r) {
+                    findings.push(
+                        Finding::error(
+                            "dead-declaration",
+                            i,
+                            &t.label,
+                            format!(
+                                "declared in({}) but never read it — the clause \
+                                 over-serializes the graph",
+                                region_name(RegionId(r))
+                            ),
+                        )
+                        .with_region(region_name(RegionId(r))),
+                    );
+                }
+            }
+            for &r in &declared_outs {
+                if !observed_writes[i].contains(&r) {
+                    findings.push(
+                        Finding::error(
+                            "dead-declaration",
+                            i,
+                            &t.label,
+                            format!(
+                                "declared out({}) but never wrote it — successors wait \
+                                 on a write that never happens",
+                                region_name(RegionId(r))
+                            ),
+                        )
+                        .with_region(region_name(RegionId(r))),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{default_region_name, TaskView};
+
+    fn r(i: u64) -> RegionId {
+        RegionId(i)
+    }
+
+    fn view(specs: &[(&str, &[u64], &[u64])]) -> GraphView {
+        GraphView {
+            tasks: specs
+                .iter()
+                .map(|(label, ins, outs)| TaskView {
+                    label: label.to_string(),
+                    tag: 0,
+                    ins: ins.iter().map(|&i| r(i)).collect(),
+                    outs: outs.iter().map(|&o| r(o)).collect(),
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                    declared_pred_count: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn ev(task: usize, region: u64, kind: AccessKind) -> AccessEvent {
+        AccessEvent {
+            task,
+            region: r(region),
+            kind,
+        }
+    }
+
+    #[test]
+    fn exact_clauses_validate_cleanly() {
+        let v = view(&[("w", &[], &[1]), ("rw", &[1], &[2])]);
+        let events = [
+            ev(0, 1, AccessKind::Write),
+            ev(1, 1, AccessKind::Read),
+            ev(1, 2, AccessKind::Write),
+        ];
+        assert!(validate_clauses(&v, &events, true, &default_region_name).is_empty());
+    }
+
+    #[test]
+    fn undeclared_read_is_named() {
+        let v = view(&[("w", &[], &[1]), ("sneaky", &[], &[2])]);
+        let events = [
+            ev(0, 1, AccessKind::Write),
+            ev(1, 1, AccessKind::Read), // reads r1 without declaring it
+            ev(1, 2, AccessKind::Write),
+        ];
+        let f = validate_clauses(&v, &events, true, &default_region_name);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "undeclared-read");
+        assert_eq!(f[0].task, Some(1));
+        assert_eq!(f[0].label, "sneaky");
+        assert_eq!(f[0].region.as_deref(), Some("r1"));
+    }
+
+    #[test]
+    fn undeclared_write_is_named() {
+        let v = view(&[("t", &[5], &[])]);
+        let events = [ev(0, 5, AccessKind::Read), ev(0, 5, AccessKind::Write)];
+        let f = validate_clauses(&v, &events, true, &default_region_name);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "undeclared-write");
+    }
+
+    #[test]
+    fn out_declared_region_may_be_read_back() {
+        // Accumulator idiom: inout via ins+outs, but reading a region that
+        // is only in outs is also tolerated as a read (the write edge
+        // already serializes it).
+        let v = view(&[("acc", &[], &[3])]);
+        let events = [ev(0, 3, AccessKind::Read), ev(0, 3, AccessKind::Write)];
+        assert!(validate_clauses(&v, &events, true, &default_region_name).is_empty());
+    }
+
+    #[test]
+    fn dead_declarations_are_reported_on_completed_runs() {
+        let v = view(&[("t", &[1], &[2])]);
+        let f = validate_clauses(&v, &[], true, &default_region_name);
+        let checks: Vec<_> = f.iter().map(|x| x.check.as_str()).collect();
+        assert_eq!(checks, vec!["dead-declaration", "dead-declaration"]);
+    }
+
+    #[test]
+    fn dead_declarations_are_suppressed_on_panicked_runs() {
+        let v = view(&[("t", &[1], &[2])]);
+        assert!(validate_clauses(&v, &[], false, &default_region_name).is_empty());
+    }
+
+    #[test]
+    fn undeclared_accesses_still_gate_on_panicked_runs() {
+        let v = view(&[("t", &[], &[])]);
+        let events = [ev(0, 9, AccessKind::Read)];
+        let f = validate_clauses(&v, &events, false, &default_region_name);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "undeclared-read");
+    }
+
+    #[test]
+    fn out_of_range_events_are_flagged_not_dropped() {
+        let v = view(&[("t", &[], &[])]);
+        let events = [ev(7, 1, AccessKind::Read)];
+        let f = validate_clauses(&v, &events, false, &default_region_name);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "unattributed-access");
+    }
+}

@@ -1,0 +1,111 @@
+//! Output fingerprinting for the schedule fuzzer.
+//!
+//! The fuzzer's race witness is a *divergence*: the same compiled plan,
+//! replayed under two legal topological orders, producing different
+//! bits. Comparing full tensors across runs would need them all resident
+//! at once; a 64-bit FNV-1a digest over the output bytes is enough — the
+//! comparison is exact (no tolerance), deterministic, and cheap.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern — bit-identical inputs, and only
+    /// those, hash equally (0.0 and -0.0 differ; NaNs hash by payload).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a slice of `f64`s by bit pattern.
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// The digest so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+
+    /// Digest as fixed-width hex, suitable for a JSON report.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_hash_equally() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::new();
+        a.write_f64s(&[1.0, 2.5, -3.25]);
+        b.write_f64(1.0);
+        b.write_f64(2.5);
+        b.write_f64(-3.25);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn any_bit_flip_changes_the_digest() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::new();
+        a.write_f64(1.0);
+        b.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn signed_zero_is_distinguished() {
+        let mut a = Fnv64::new();
+        let mut b = Fnv64::new();
+        a.write_f64(0.0);
+        b.write_f64(-0.0);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn empty_digest_is_the_offset_basis() {
+        assert_eq!(Fnv64::new().digest(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::new().hex(), "cbf29ce484222325");
+    }
+
+    #[test]
+    fn known_vector_matches_reference() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.digest(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,105 @@
+//! # bpar-verify
+//!
+//! Static and dynamic verification of B-Par task graphs.
+//!
+//! The paper's barrier-free execution model (§III) is only sound if every
+//! task's `in`/`out` dependency clauses cover everything its body actually
+//! touches — the runtime never checks this, it just builds edges from the
+//! declarations. This crate is the checker, with two complementary
+//! prongs:
+//!
+//! * **Static** ([`lints`], [`shape`]) — structural lints over a
+//!   [`view::GraphView`] of either a `TaskGraph` or a `CompiledPlan`
+//!   (acyclicity, pred/succ mirroring, duplicate edges, dead writes,
+//!   isolated tasks) plus a closed-form Fig. 2 shape check: the graph's
+//!   task/edge counts must equal an exact function of `(L, T, n, R)`.
+//! * **Dynamic** ([`clauses`], [`fingerprint`]) — replay a plan with the
+//!   runtime's access recorder installed and diff observed accesses
+//!   against declared clauses (`undeclared-read` / `undeclared-write` /
+//!   `dead-declaration`); and re-execute the same plan under adversarial
+//!   ready-queue orders ([`fuzz_policies`]), fingerprinting the outputs —
+//!   any divergence or panic is a concrete race witness, because every
+//!   legal topological order of a sound graph must produce identical
+//!   bits.
+//!
+//! Everything reports through [`report::Finding`] /
+//! [`report::AnalysisReport`], which serialize to byte-deterministic JSON
+//! for the `bpar analyze` CI gate.
+//!
+//! The drivers that build plans and execute them live in `bpar-core`
+//! (`bpar_core::analyze`); this crate holds only the analyses, so it
+//! depends on nothing heavier than `bpar-runtime`.
+
+pub mod clauses;
+pub mod fingerprint;
+pub mod lints;
+pub mod report;
+pub mod shape;
+pub mod view;
+
+pub use clauses::validate_clauses;
+pub use fingerprint::Fnv64;
+pub use lints::{collect_metrics, run_lints};
+pub use report::{sort_findings, AnalysisReport, Finding, GraphMetrics, GraphReport, Severity};
+pub use shape::{check_shape, expected_shape, ExpectedShape, ShapeSpec};
+pub use view::{default_region_name, GraphView, TaskView};
+
+use bpar_runtime::scheduler::{AdversarialOrder, SchedulerPolicy};
+
+/// The canonical schedule-fuzzing policy set: the submission-biased FIFO
+/// baseline, the depth-first reversal, and one seeded random order per
+/// given seed. Single-worker runs under each of these are deterministic,
+/// so a divergence between any two is reproducible.
+pub fn fuzz_policies(seeds: &[u64]) -> Vec<SchedulerPolicy> {
+    let mut policies = vec![
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Adversarial(AdversarialOrder::Reverse),
+    ];
+    policies.extend(
+        seeds
+            .iter()
+            .map(|&s| SchedulerPolicy::Adversarial(AdversarialOrder::Random(s))),
+    );
+    policies
+}
+
+/// Short, stable display name for a policy, used in reports.
+pub fn policy_name(policy: SchedulerPolicy) -> String {
+    match policy {
+        SchedulerPolicy::Fifo => "fifo".to_string(),
+        SchedulerPolicy::LocalityAware => "locality".to_string(),
+        SchedulerPolicy::Adversarial(AdversarialOrder::Reverse) => "reverse".to_string(),
+        SchedulerPolicy::Adversarial(AdversarialOrder::Random(seed)) => {
+            format!("random-{seed}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_policy_set_is_fifo_reverse_then_seeds() {
+        let p = fuzz_policies(&[7, 8]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], SchedulerPolicy::Fifo);
+        assert_eq!(
+            p[1],
+            SchedulerPolicy::Adversarial(AdversarialOrder::Reverse)
+        );
+        assert_eq!(
+            p[2],
+            SchedulerPolicy::Adversarial(AdversarialOrder::Random(7))
+        );
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(policy_name(SchedulerPolicy::Fifo), "fifo");
+        assert_eq!(
+            policy_name(SchedulerPolicy::Adversarial(AdversarialOrder::Random(42))),
+            "random-42"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Finding and report types shared by every analysis prong.
+//!
+//! Reports must serialize deterministically: the `bpar analyze` CI gate
+//! compares reruns byte-for-byte, so findings are sorted with
+//! [`sort_findings`] before serialization and nothing time- or
+//! pointer-dependent ever enters a report.
+
+use serde::{Serialize, Value};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A correctness problem: fails the CI gate.
+    Error,
+    /// Informational: reported but never gating.
+    Info,
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                Severity::Error => "error",
+                Severity::Info => "info",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// One analysis finding, tied to a task and (usually) a region.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Finding {
+    /// Which check produced this (e.g. `"undeclared-read"`,
+    /// `"dead-write"`, `"shape-mismatch"`).
+    pub check: String,
+    /// Gating or informational.
+    pub severity: Severity,
+    /// Task index in submission/plan order, when the finding is per-task.
+    pub task: Option<usize>,
+    /// Label of the offending task (empty when not per-task).
+    pub label: String,
+    /// Human-readable region coordinate (e.g. `"st_fwd[0][1]"`), when the
+    /// finding concerns a region.
+    pub region: Option<String>,
+    /// Free-form description of what was observed vs expected.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Gating finding for `check` on task `task` (labelled `label`).
+    pub fn error(check: &str, task: usize, label: &str, detail: String) -> Self {
+        Self {
+            check: check.to_string(),
+            severity: Severity::Error,
+            task: Some(task),
+            label: label.to_string(),
+            region: None,
+            detail,
+        }
+    }
+
+    /// Graph-level gating finding (no task coordinate).
+    pub fn graph_error(check: &str, detail: String) -> Self {
+        Self {
+            check: check.to_string(),
+            severity: Severity::Error,
+            task: None,
+            label: String::new(),
+            region: None,
+            detail,
+        }
+    }
+
+    /// Attaches a region coordinate.
+    pub fn with_region(mut self, region: String) -> Self {
+        self.region = Some(region);
+        self
+    }
+}
+
+/// Orders findings deterministically: by check name, then task, then
+/// region, then detail. Call before serializing any finding list.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.check, a.task, &a.region, &a.detail).cmp(&(&b.check, b.task, &b.region, &b.detail))
+    });
+}
+
+/// Size metrics of one analysed graph — counts only, never timings, so
+/// reruns serialize identically.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GraphMetrics {
+    /// Tasks in the graph.
+    pub tasks: usize,
+    /// Deduplicated dependency edges.
+    pub edges: usize,
+    /// Tasks with no predecessors.
+    pub roots: usize,
+    /// Distinct regions appearing in any clause.
+    pub regions: usize,
+    /// Regions declared `out` somewhere but never `in` anywhere
+    /// (graph outputs, or leaked intermediates — informational, since
+    /// e.g. logits slots are legitimately read only after `taskwait`).
+    pub regions_never_read: usize,
+    /// Regions declared `in` somewhere but never `out` anywhere (graph
+    /// inputs, or — informational — slots consumed with a zero default).
+    pub regions_never_written: usize,
+    /// Clause entries repeating a region already listed in the same
+    /// clause of the same task (harmless after the `DepTracker` reader
+    /// dedup, but worth accounting).
+    pub duplicate_clause_entries: usize,
+}
+
+/// Analysis result for one named graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphReport {
+    /// Graph identifier (e.g. `"blstm-train-plan"`).
+    pub name: String,
+    /// Size metrics.
+    pub metrics: GraphMetrics,
+    /// Sorted findings (see [`sort_findings`]).
+    pub findings: Vec<Finding>,
+}
+
+impl GraphReport {
+    /// Report with sorted findings.
+    pub fn new(name: &str, metrics: GraphMetrics, mut findings: Vec<Finding>) -> Self {
+        sort_findings(&mut findings);
+        Self {
+            name: name.to_string(),
+            metrics,
+            findings,
+        }
+    }
+
+    /// Number of gating (error-severity) findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// The full `bpar analyze` report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// Report schema version (bump on breaking JSON changes).
+    pub version: u32,
+    /// One entry per analysed graph, in analysis order.
+    pub graphs: Vec<GraphReport>,
+    /// Total gating findings across all graphs (the CI gate fails when
+    /// this is nonzero).
+    pub errors: usize,
+}
+
+impl AnalysisReport {
+    /// Assembles the report and its error total.
+    pub fn new(graphs: Vec<GraphReport>) -> Self {
+        let errors = graphs.iter().map(GraphReport::error_count).sum();
+        Self {
+            version: 1,
+            graphs,
+            errors,
+        }
+    }
+
+    /// Deterministic pretty JSON (insertion-ordered keys, sorted
+    /// findings, no timings).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(check: &str, task: usize, detail: &str) -> Finding {
+        Finding::error(check, task, "t", detail.to_string())
+    }
+
+    #[test]
+    fn findings_sort_deterministically() {
+        let mut a = vec![
+            f("b", 2, "y"),
+            f("a", 9, "z"),
+            f("b", 2, "x"),
+            f("b", 1, "q"),
+        ];
+        sort_findings(&mut a);
+        let keys: Vec<(&str, Option<usize>)> =
+            a.iter().map(|x| (x.check.as_str(), x.task)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a", Some(9)),
+                ("b", Some(1)),
+                ("b", Some(2)),
+                ("b", Some(2))
+            ]
+        );
+        assert_eq!(a[2].detail, "x");
+    }
+
+    #[test]
+    fn report_counts_only_errors() {
+        let mut info = f("note", 0, "d");
+        info.severity = Severity::Info;
+        let report = AnalysisReport::new(vec![
+            GraphReport::new("g1", GraphMetrics::default(), vec![f("c", 0, "d"), info]),
+            GraphReport::new("g2", GraphMetrics::default(), vec![]),
+        ]);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.graphs[0].error_count(), 1);
+    }
+
+    #[test]
+    fn json_is_stable_across_reruns() {
+        let mk = || {
+            AnalysisReport::new(vec![GraphReport::new(
+                "g",
+                GraphMetrics {
+                    tasks: 3,
+                    edges: 2,
+                    ..Default::default()
+                },
+                vec![f("z", 1, "later"), f("a", 0, "earlier")],
+            )])
+        };
+        assert_eq!(mk().to_json(), mk().to_json());
+        let json = mk().to_json();
+        assert!(json.contains("\"version\": 1"));
+        // Sorted: check "a" precedes check "z".
+        assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
+    }
+}

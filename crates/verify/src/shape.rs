@@ -1,0 +1,264 @@
+//! Closed-form task/edge counts for canonical B-Par BRNN graphs.
+//!
+//! The paper's Fig. 2 shows the task graph of one bidirectional layer
+//! stack; its size is a closed-form function of depth `L`, sequence
+//! length `T`, the number of output positions `n` (1 for many-to-one,
+//! `T` for many-to-many) and the micro-batch replica count `R`. The
+//! shape check recomputes that function and compares it against what the
+//! graph builder actually produced — a mismatch means the builder grew
+//! or lost tasks/edges relative to the paper's dataflow.
+//!
+//! Derivation (per replica; all edges are deduplicated per (pred, succ)
+//! pair exactly as the `DepTracker` computes them):
+//!
+//! **Inference**
+//! * tasks: `2LT` directional cells + `(L-1)T` merges + `n` final merges
+//!   + `n` dense heads = `2LT + (L-1)T + 2n`
+//! * edges: `2L(T-1)` intra-layer state chains + `2(L-1)T` cell reads of
+//!   the merged layer below + `2(L-1)T` merge reads of both directional
+//!   states + `2n` final-merge reads + `n` dense reads
+//!   = `2L(T-1) + 4(L-1)T + 3n`
+//!
+//! **Training** adds per replica: `n` loss tasks, `n` final backward
+//! merges, `2LT` backward cells and `(L-1)T` inner backward merges:
+//! * tasks: `4LT + 2(L-1)T + 3n`
+//! * edges: the forward part above with the dense head replaced by the
+//!   loss chain (`n` reads of features plus `n-1` accumulator-chain
+//!   edges), `3n` final-backward-merge reads, and for each backward cell
+//!   direction `LT` state reads + `(L-1)T + n` upstream-gradient reads +
+//!   `L(T-1)` backward chain edges; inner merges read four regions each.
+//!   Total: `4L(T-1) + 10(L-1)T + 2LT + 9n - 1`
+//!
+//! The gradient accumulators (`grads_*`) are declared *inout*; their read
+//! edges coincide with the backward chain's existing write-after-write
+//! predecessors and dedup away, so they contribute no terms. For Fig. 2
+//! (`L=3, T=3`, many-to-one) these give 26 tasks / 39 edges in inference
+//! and 51 tasks / 110 edges in training, matching the repo's
+//! exact-shape graph tests.
+//!
+//! **Micro-batching**: `R` independent replicas plus, for training,
+//! `2L + 2` reduce tasks per extra replica (forward/reverse gradients
+//! per layer, dense gradients, loss), each with exactly two edges (its
+//! source replica's last accumulation and the reduction chain on the
+//! destination).
+
+use crate::report::Finding;
+
+/// The graph-shape parameters of one compiled BRNN execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeSpec {
+    /// Stacked bidirectional layers (`L`).
+    pub layers: usize,
+    /// Sequence length (`T`).
+    pub seq: usize,
+    /// Output positions `n`: 1 for many-to-one, `T` for many-to-many.
+    pub outputs: usize,
+    /// Micro-batch replicas (`R >= 1`).
+    pub replicas: usize,
+    /// Whether the graph includes the backward pass and reductions.
+    pub training: bool,
+}
+
+/// Expected task and edge counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpectedShape {
+    /// Total tasks.
+    pub tasks: usize,
+    /// Total deduplicated dependency edges.
+    pub edges: usize,
+}
+
+/// Closed-form expected shape for a canonical (barrier-free, unfused,
+/// unsplit) B-Par graph.
+pub fn expected_shape(s: &ShapeSpec) -> ExpectedShape {
+    let (l, t, n, r) = (s.layers, s.seq, s.outputs, s.replicas.max(1));
+    let chain = l * t.saturating_sub(1); // one direction's state chain
+    let inner = l.saturating_sub(1) * t; // merge positions per direction
+    let (per_tasks, per_edges) = if s.training {
+        (
+            4 * l * t + 2 * inner + 3 * n,
+            4 * chain + 10 * inner + 2 * l * t + 9 * n - 1,
+        )
+    } else {
+        (2 * l * t + inner + 2 * n, 2 * chain + 4 * inner + 3 * n)
+    };
+    let (red_tasks, red_edges) = if s.training {
+        let per_extra = 2 * l + 2;
+        ((r - 1) * per_extra, 2 * (r - 1) * per_extra)
+    } else {
+        (0, 0)
+    };
+    ExpectedShape {
+        tasks: r * per_tasks + red_tasks,
+        edges: r * per_edges + red_edges,
+    }
+}
+
+/// Compares an actual graph size against the closed form; returns
+/// `shape-mismatch` findings (empty when the shape is exact).
+pub fn check_shape(actual_tasks: usize, actual_edges: usize, spec: &ShapeSpec) -> Vec<Finding> {
+    let expect = expected_shape(spec);
+    let mut findings = Vec::new();
+    if actual_tasks != expect.tasks {
+        findings.push(Finding::graph_error(
+            "shape-mismatch",
+            format!(
+                "graph has {actual_tasks} tasks but the closed form for \
+                 L={} T={} n={} R={} {} predicts {}",
+                spec.layers,
+                spec.seq,
+                spec.outputs,
+                spec.replicas,
+                if spec.training {
+                    "training"
+                } else {
+                    "inference"
+                },
+                expect.tasks
+            ),
+        ));
+    }
+    if actual_edges != expect.edges {
+        findings.push(Finding::graph_error(
+            "shape-mismatch",
+            format!(
+                "graph has {actual_edges} edges but the closed form for \
+                 L={} T={} n={} R={} {} predicts {}",
+                spec.layers,
+                spec.seq,
+                spec.outputs,
+                spec.replicas,
+                if spec.training {
+                    "training"
+                } else {
+                    "inference"
+                },
+                expect.edges
+            ),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 of the paper: L=3, T=3, many-to-one.
+    #[test]
+    fn fig2_inference_is_26_tasks_39_edges() {
+        let s = ShapeSpec {
+            layers: 3,
+            seq: 3,
+            outputs: 1,
+            replicas: 1,
+            training: false,
+        };
+        assert_eq!(
+            expected_shape(&s),
+            ExpectedShape {
+                tasks: 26,
+                edges: 39
+            }
+        );
+    }
+
+    #[test]
+    fn fig2_training_is_51_tasks_110_edges() {
+        let s = ShapeSpec {
+            layers: 3,
+            seq: 3,
+            outputs: 1,
+            replicas: 1,
+            training: true,
+        };
+        assert_eq!(
+            expected_shape(&s),
+            ExpectedShape {
+                tasks: 51,
+                edges: 110
+            }
+        );
+    }
+
+    #[test]
+    fn replicas_scale_linearly_plus_reductions() {
+        let one = expected_shape(&ShapeSpec {
+            layers: 2,
+            seq: 4,
+            outputs: 1,
+            replicas: 1,
+            training: true,
+        });
+        let three = expected_shape(&ShapeSpec {
+            layers: 2,
+            seq: 4,
+            outputs: 1,
+            replicas: 3,
+            training: true,
+        });
+        // 2 extra replicas, each adding the per-replica graph plus
+        // 2L+2 = 6 reduce tasks with 2 edges each.
+        assert_eq!(three.tasks, 3 * one.tasks + 2 * 6);
+        assert_eq!(three.edges, 3 * one.edges + 2 * 12);
+    }
+
+    #[test]
+    fn inference_has_no_reductions() {
+        let s = ShapeSpec {
+            layers: 2,
+            seq: 3,
+            outputs: 3,
+            replicas: 4,
+            training: false,
+        };
+        let one = expected_shape(&ShapeSpec { replicas: 1, ..s });
+        let four = expected_shape(&s);
+        assert_eq!(four.tasks, 4 * one.tasks);
+        assert_eq!(four.edges, 4 * one.edges);
+    }
+
+    #[test]
+    fn exact_shape_yields_no_findings() {
+        let s = ShapeSpec {
+            layers: 3,
+            seq: 3,
+            outputs: 1,
+            replicas: 1,
+            training: false,
+        };
+        assert!(check_shape(26, 39, &s).is_empty());
+    }
+
+    #[test]
+    fn deviations_are_reported_per_dimension() {
+        let s = ShapeSpec {
+            layers: 3,
+            seq: 3,
+            outputs: 1,
+            replicas: 1,
+            training: false,
+        };
+        let f = check_shape(27, 39, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "shape-mismatch");
+        assert!(f[0].detail.contains("27 tasks"), "{}", f[0].detail);
+        assert_eq!(check_shape(26, 38, &s).len(), 1);
+        assert_eq!(check_shape(0, 0, &s).len(), 2);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_underflow() {
+        // L=1, T=1: no chains, no inner merges.
+        let s = ShapeSpec {
+            layers: 1,
+            seq: 1,
+            outputs: 1,
+            replicas: 1,
+            training: false,
+        };
+        // cells fwd+rev, final merge, dense = 4 tasks; 2 merge reads + 1
+        // dense read = 3 edges.
+        assert_eq!(expected_shape(&s), ExpectedShape { tasks: 4, edges: 3 });
+    }
+}

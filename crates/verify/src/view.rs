@@ -1,0 +1,174 @@
+//! A uniform, analysis-friendly view over the two graph representations.
+//!
+//! `bpar-runtime` has two ways of holding a task graph: the static
+//! [`TaskGraph`] (used by the simulator and the Fig. 2 shape tests) and the
+//! frozen [`CompiledPlan`] (used by the replay executor). The lints in
+//! [`crate::lints`] should not care which one they are looking at, so both
+//! convert into a [`GraphView`]: per task, the label/tag, the *declared*
+//! `in`/`out` clauses verbatim, and the dependency edges in both
+//! directions.
+
+use bpar_runtime::graph::TaskGraph;
+use bpar_runtime::plan::CompiledPlan;
+use bpar_runtime::region::RegionId;
+
+/// One task as the analyses see it.
+#[derive(Debug, Clone)]
+pub struct TaskView {
+    /// Task kind (e.g. `"cell_fwd"`).
+    pub label: String,
+    /// Client tag (cell index, layer, …).
+    pub tag: u64,
+    /// Declared read regions, verbatim (duplicates preserved).
+    pub ins: Vec<RegionId>,
+    /// Declared write regions, verbatim.
+    pub outs: Vec<RegionId>,
+    /// Predecessor task indices.
+    pub preds: Vec<usize>,
+    /// Successor task indices.
+    pub succs: Vec<usize>,
+    /// The predecessor count the source structure *claims* this task has
+    /// (a `CompiledPlan`'s frozen `pending` counter, or the pred-list
+    /// length of a `TaskGraph`). The mirror lint checks it against the
+    /// edges that actually exist.
+    pub declared_pred_count: usize,
+}
+
+/// Tasks in id (submission/topological) order.
+#[derive(Debug, Clone, Default)]
+pub struct GraphView {
+    /// All tasks; the index in this vector is the task id.
+    pub tasks: Vec<TaskView>,
+}
+
+impl GraphView {
+    /// View over a static [`TaskGraph`].
+    pub fn from_graph(g: &TaskGraph) -> Self {
+        let tasks = (0..g.len())
+            .map(|i| TaskView {
+                label: g.node(i).label.to_string(),
+                tag: g.node(i).tag,
+                ins: g.ins(i).to_vec(),
+                outs: g.outs(i).to_vec(),
+                preds: g.preds(i).to_vec(),
+                succs: g.succs(i).to_vec(),
+                declared_pred_count: g.preds(i).len(),
+            })
+            .collect();
+        Self { tasks }
+    }
+
+    /// View over a frozen [`CompiledPlan`]. Predecessor lists are derived
+    /// from the successor lists; `declared_pred_count` carries the plan's
+    /// own `pending` counter so the mirror lint can cross-check the two.
+    pub fn from_plan(p: &CompiledPlan) -> Self {
+        let n = p.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &s in p.succs_of(i) {
+                if s < n {
+                    preds[s].push(i);
+                }
+            }
+        }
+        let tasks = (0..n)
+            .map(|i| TaskView {
+                label: p.label(i).to_string(),
+                tag: p.tag(i),
+                ins: p.ins(i).to_vec(),
+                outs: p.outs(i).to_vec(),
+                preds: std::mem::take(&mut preds[i]),
+                succs: p.succs_of(i).to_vec(),
+                declared_pred_count: p.pending_of(i),
+            })
+            .collect();
+        Self { tasks }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the view holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total dependency edges (successor-list total).
+    pub fn edge_count(&self) -> usize {
+        self.tasks.iter().map(|t| t.succs.len()).sum()
+    }
+
+    /// Tasks with no predecessors.
+    pub fn root_count(&self) -> usize {
+        self.tasks.iter().filter(|t| t.preds.is_empty()).count()
+    }
+}
+
+/// Default region coordinate when no name map is available.
+pub fn default_region_name(r: RegionId) -> String {
+    format!("r{}", r.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_runtime::graph::TaskNode;
+    use bpar_runtime::plan::{PlanBuilder, PlanSpec};
+
+    fn r(i: u64) -> RegionId {
+        RegionId(i)
+    }
+
+    #[test]
+    fn graph_and_plan_views_agree_on_a_diamond() {
+        let mut g = TaskGraph::new();
+        g.add_task(TaskNode::new("a"), &[], &[r(0)]);
+        g.add_task(TaskNode::new("b"), &[r(0)], &[r(1)]);
+        g.add_task(TaskNode::new("c"), &[r(0)], &[r(2)]);
+        g.add_task(TaskNode::new("d"), &[r(1), r(2)], &[r(3)]);
+
+        let mut b = PlanBuilder::new();
+        b.submit(PlanSpec::new("a").outs([r(0)]).body(|| {}));
+        b.submit(PlanSpec::new("b").ins([r(0)]).outs([r(1)]).body(|| {}));
+        b.submit(PlanSpec::new("c").ins([r(0)]).outs([r(2)]).body(|| {}));
+        b.submit(
+            PlanSpec::new("d")
+                .ins([r(1), r(2)])
+                .outs([r(3)])
+                .body(|| {}),
+        );
+        let p = b.compile();
+
+        let vg = GraphView::from_graph(&g);
+        let vp = GraphView::from_plan(&p);
+        assert_eq!(vg.len(), vp.len());
+        assert_eq!(vg.edge_count(), vp.edge_count());
+        assert_eq!(vg.root_count(), vp.root_count());
+        for (a, b) in vg.tasks.iter().zip(&vp.tasks) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.ins, b.ins);
+            assert_eq!(a.outs, b.outs);
+            assert_eq!(a.preds, b.preds);
+            assert_eq!(a.succs, b.succs);
+            assert_eq!(a.declared_pred_count, b.declared_pred_count);
+        }
+    }
+
+    #[test]
+    fn plan_pending_becomes_declared_pred_count() {
+        let mut b = PlanBuilder::new();
+        b.submit(PlanSpec::new("w").outs([r(9)]).body(|| {}));
+        b.submit(PlanSpec::new("x").ins([r(9)]).outs([r(10)]).body(|| {}));
+        let v = GraphView::from_plan(&b.compile());
+        assert_eq!(v.tasks[1].declared_pred_count, 1);
+        assert_eq!(v.tasks[1].preds, vec![0]);
+        assert_eq!(v.root_count(), 1);
+    }
+
+    #[test]
+    fn default_region_names_are_stable() {
+        assert_eq!(default_region_name(r(17)), "r17");
+    }
+}
