@@ -11,7 +11,10 @@
 //!                                                 simulated multi-core batch times
 //! bpar serve        [--rate R] [--requests N] [--window-us U] [--max-batch N]
 //!                   [--policy block|reject|shed] [--mode open|closed] [--model PATH]
+//!                   [--fault-panic-rate P] [--fault-straggle-rate P] [--fault-seed S]
+//!                   [--retry-max N] [--retry-backoff-us U] [--counters-out PATH]
 //!                                                 dynamic-batching inference serving
+//!                                                 (optionally under injected faults)
 //! bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
 //!                   [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
 //!                   [--seed-bug] [--out PATH]     verify dependency clauses and
@@ -79,6 +82,9 @@ USAGE:
                     [--bucket-width N] [--queue-cap N] [--policy block|reject|shed]
                     [--mode open|closed] [--deadline-ms D] [--workers N] [--seed S]
                     [--layers N] [--hidden N] [--model PATH]
+                    [--fault-seed S] [--fault-panic-rate P] [--fault-straggle-rate P]
+                    [--fault-straggle-us U] [--fault-panic-budget N]
+                    [--retry-max N] [--retry-backoff-us U] [--counters-out PATH]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
                     [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
                     [--fuzz-seeds a,b,c] [--seed-bug] [--out PATH]";
@@ -400,9 +406,10 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
 }
 
 fn serve_cmd(opts: &Flags) -> Result<(), String> {
+    use bpar_runtime::FaultConfig;
     use bpar_serve::{
         run_closed_loop, run_open_loop, BackpressurePolicy, BatchPolicy, ClosedLoopConfig,
-        OpenLoopConfig, ServeConfig,
+        OpenLoopConfig, RetryPolicy, ServeConfig,
     };
     use std::time::Duration;
 
@@ -427,6 +434,21 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         BackpressurePolicy::parse(name)
             .ok_or_else(|| format!("--policy expects block|reject|shed, got `{name}`"))?
     };
+    let retry = {
+        let max_retries = get_usize(opts, "retry-max", 2)? as u32;
+        let backoff_us = get_usize(opts, "retry-backoff-us", 200)? as u64;
+        if backoff_us == 0 {
+            // Zero backoff also zeroes the jitter — the determinism knob
+            // for the chaos CI job.
+            RetryPolicy::immediate(max_retries)
+        } else {
+            RetryPolicy {
+                max_retries,
+                backoff_base: Duration::from_micros(backoff_us),
+                ..RetryPolicy::default()
+            }
+        }
+    };
     let cfg = ServeConfig {
         queue_capacity: get_usize(opts, "queue-cap", 64)?,
         policy,
@@ -437,8 +459,46 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         .with_bucket_width(get_usize(opts, "bucket-width", 1)?),
         workers: get_usize(opts, "workers", 0)?,
         scheduler: SchedulerPolicy::LocalityAware,
+        retry,
+        ..ServeConfig::default()
     };
     let seed = get_usize(opts, "seed", 42)? as u64;
+    let fault = {
+        let panic_rate = get_f64(opts, "fault-panic-rate", 0.0)?;
+        let straggle_rate = get_f64(opts, "fault-straggle-rate", 0.0)?;
+        if panic_rate > 0.0 || straggle_rate > 0.0 {
+            Some(FaultConfig {
+                seed: get_usize(opts, "fault-seed", seed as usize)? as u64,
+                panic_rate,
+                straggle_rate,
+                straggle: Duration::from_micros(get_usize(opts, "fault-straggle-us", 200)? as u64),
+                panic_budget: match opts.get("fault-panic-budget") {
+                    None => u64::MAX,
+                    Some(v) => v.parse().map_err(|_| {
+                        format!("--fault-panic-budget expects an integer, got `{v}`")
+                    })?,
+                },
+            })
+        } else {
+            None
+        }
+    };
+    if fault.is_some() {
+        // Injected panics are expected, high-volume events; keep the
+        // default hook's per-panic stderr spew for *organic* panics only.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|msg| msg.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
     let requests = get_usize(opts, "requests", 200)? as u64;
     let deadline = match opts.get("deadline-ms") {
         None => None,
@@ -471,6 +531,7 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
                 requests,
                 mean_frames: 11,
                 deadline,
+                fault,
             },
         ),
         "closed" => run_closed_loop(
@@ -481,6 +542,7 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
                 requests,
                 mean_frames: 11,
                 deadline,
+                fault,
             },
         ),
         other => return Err(format!("--mode expects open|closed, got `{other}`")),
@@ -515,5 +577,54 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         "plan cache: {} hits, {} misses, {} evictions; {} weight deep copies",
         report.plan_hits, report.plan_misses, report.plan_evictions, report.weight_syncs,
     );
+    if fault.is_some() || report.retries > 0 {
+        println!(
+            "recovery: {} retries ({} poison-isolated, {} budget-exhausted); \
+             breaker opened {} / closed {}; injected {} panics, {} stragglers",
+            report.retries,
+            report.poison_isolated,
+            report.retry_exhausted,
+            report.breaker_opened,
+            report.breaker_closed,
+            report.injected_panics,
+            report.injected_straggles,
+        );
+    }
+    if let Some(path) = opts.get("counters-out") {
+        // Deterministic counters only (no latencies or wall times), so a
+        // CI job can diff two same-seed runs byte for byte.
+        let json = format!(
+            "{{\n  \"submitted\": {},\n  \"served\": {},\n  \"shed\": {},\n  \
+             \"rejected\": {},\n  \"failed\": {},\n  \"retries\": {},\n  \
+             \"poison_isolated\": {},\n  \"retry_exhausted\": {},\n  \
+             \"breaker_opened\": {},\n  \"breaker_closed\": {},\n  \
+             \"injected_panics\": {},\n  \"injected_straggles\": {}\n}}\n",
+            report.submitted,
+            report.served,
+            report.shed,
+            report.rejected,
+            report.failed,
+            report.retries,
+            report.poison_isolated,
+            report.retry_exhausted,
+            report.breaker_opened,
+            report.breaker_closed,
+            report.injected_panics,
+            report.injected_straggles,
+        );
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("[written {path}]");
+    }
+    // Conservation: every submitted request must have exactly one
+    // terminal outcome. A mismatch means the serving loop lost or
+    // duplicated work — fail loudly so CI catches it.
+    let accounted = report.served + report.shed + report.rejected + report.failed;
+    if accounted != report.submitted {
+        return Err(format!(
+            "request conservation violated: {} submitted but {} accounted \
+             ({} served + {} shed + {} rejected + {} failed)",
+            report.submitted, accounted, report.served, report.shed, report.rejected, report.failed,
+        ));
+    }
     Ok(())
 }

@@ -1,0 +1,213 @@
+//! Fault-recovery experiment: what injected task failures cost a serving
+//! system that retries, and what they cost one that does not.
+//!
+//! Three closed-loop runs over the **same** seeded workload:
+//!
+//! * **clean** — no fault plan; the baseline latency profile.
+//! * **faulty + retry** — seeded panics and stragglers injected into the
+//!   worker pool (`bpar_runtime::fault`), recovered by singleton retries
+//!   with the default circuit breaker.
+//! * **faulty, no retry** — the same fault plan with retries disabled;
+//!   every failed batch permanently fails its requests.
+//!
+//! The recorded verdicts:
+//!
+//! 1. **Conservation** — in every run, each submitted request reaches
+//!    exactly one terminal outcome (the process aborts otherwise).
+//! 2. **Recovery value** — with retries, served count must strictly
+//!    exceed the no-retry run under the same faults.
+//! 3. **Bounded degradation** — served p99 under faults stays within
+//!    `P99_BOUND`× the clean run's p99. Failed singles re-execute, so
+//!    some inflation is expected; unbounded inflation is a regression.
+//!
+//! Per-task panic probability amplifies per batch: a batch fails if any
+//! of its ~`2·seq_len·layers` tasks dies, so `panic_rate = 0.004` at
+//! ~60 tasks/batch fails roughly one batch in five.
+//!
+//! The JSON filename is deterministic: seed + hash of the structural
+//! configuration, never wall-clock.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin fault_recovery`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_data::tidigits::DIGIT_CLASSES;
+use bpar_runtime::FaultConfig;
+use bpar_serve::metrics::report_name;
+use bpar_serve::{
+    run_closed_loop, BackpressurePolicy, BatchPolicy, ClosedLoopConfig, RetryPolicy, ServeConfig,
+    ServingReport,
+};
+use serde::Serialize;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+const REQUESTS: u64 = 120;
+const MEAN_FRAMES: usize = 11;
+const MAX_BATCH: usize = 4;
+const WINDOW_US: u64 = 500;
+const PANIC_RATE: f64 = 0.004;
+const STRAGGLE_RATE: f64 = 0.01;
+const STRAGGLE_US: u64 = 200;
+/// Served p99 under faults must stay within this factor of clean p99.
+const P99_BOUND: f64 = 10.0;
+
+#[derive(Debug, Serialize)]
+struct FaultRecoveryReport {
+    seed: u64,
+    requests: u64,
+    panic_rate: f64,
+    straggle_rate: f64,
+    straggle_us: u64,
+    p99_bound: f64,
+    clean: ServingReport,
+    faulty_retry: ServingReport,
+    faulty_no_retry: ServingReport,
+    clean_p99_us: u64,
+    faulty_p99_us: u64,
+    p99_ratio: f64,
+    p99_within_bound: bool,
+    retry_recovers_more: bool,
+}
+
+fn model() -> Brnn<f32> {
+    Brnn::new(
+        BrnnConfig {
+            input_size: 20,
+            hidden_size: 32,
+            layers: 2,
+            seq_len: 14,
+            output_size: DIGIT_CLASSES,
+            kind: ModelKind::ManyToOne,
+            ..BrnnConfig::default()
+        },
+        1,
+    )
+}
+
+fn run(fault: Option<FaultConfig>, retry: RetryPolicy) -> ServingReport {
+    let cfg = ServeConfig {
+        queue_capacity: REQUESTS as usize,
+        policy: BackpressurePolicy::Block,
+        batch: BatchPolicy::new(MAX_BATCH, Duration::from_micros(WINDOW_US)),
+        workers: 1,
+        retry,
+        ..ServeConfig::default()
+    };
+    let report = run_closed_loop(
+        model(),
+        cfg,
+        ClosedLoopConfig {
+            seed: SEED,
+            requests: REQUESTS,
+            mean_frames: MEAN_FRAMES,
+            deadline: None,
+            fault,
+        },
+    );
+    assert_eq!(
+        report.served + report.shed + report.rejected + report.failed,
+        report.submitted,
+        "request conservation violated"
+    );
+    report
+}
+
+fn main() {
+    // Injected faults surface as task panics; without this the default
+    // hook prints a full backtrace per injection and drowns the table.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|msg| msg.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let fault = FaultConfig {
+        seed: SEED,
+        panic_rate: PANIC_RATE,
+        straggle_rate: STRAGGLE_RATE,
+        straggle: Duration::from_micros(STRAGGLE_US),
+        ..FaultConfig::default()
+    };
+
+    let clean = run(None, RetryPolicy::default());
+    let faulty_retry = run(Some(fault), RetryPolicy::default());
+    let faulty_no_retry = run(Some(fault), RetryPolicy::disabled());
+
+    let rows: Vec<Vec<String>> = [
+        ("clean", &clean),
+        ("faulty+retry", &faulty_retry),
+        ("faulty no-retry", &faulty_no_retry),
+    ]
+    .iter()
+    .map(|(name, r)| {
+        vec![
+            name.to_string(),
+            r.served.to_string(),
+            r.failed.to_string(),
+            r.retries.to_string(),
+            format!("{}/{}", r.breaker_opened, r.breaker_closed),
+            r.injected_panics.to_string(),
+            format!("{:.2}", r.latency.p50_us as f64 / 1e3),
+            format!("{:.2}", r.latency.p99_us as f64 / 1e3),
+        ]
+    })
+    .collect();
+    print_table(
+        "fault recovery (same seeded workload, single worker)",
+        &[
+            "run", "served", "failed", "retries", "brk o/c", "panics", "p50(ms)", "p99(ms)",
+        ],
+        &rows,
+    );
+
+    let clean_p99 = clean.latency.p99_us.max(1);
+    let faulty_p99 = faulty_retry.latency.p99_us;
+    let p99_ratio = faulty_p99 as f64 / clean_p99 as f64;
+    let p99_within_bound = p99_ratio <= P99_BOUND;
+    let retry_recovers_more = faulty_retry.served > faulty_no_retry.served;
+    println!(
+        "\nserved p99 under faults: {:.2} ms vs clean {:.2} ms → ratio {:.2} (bound {P99_BOUND}) → {}",
+        faulty_p99 as f64 / 1e3,
+        clean_p99 as f64 / 1e3,
+        p99_ratio,
+        if p99_within_bound { "within bound" } else { "EXCEEDED" }
+    );
+    println!(
+        "retry value: {} served with retries vs {} without under identical faults",
+        faulty_retry.served, faulty_no_retry.served
+    );
+    assert!(
+        retry_recovers_more,
+        "retries must recover strictly more requests than no-retry under the same faults"
+    );
+
+    // Structural config only — measured values must not change the name.
+    let canonical = format!(
+        "requests={REQUESTS},mb={MAX_BATCH},win={WINDOW_US},panic={PANIC_RATE},\
+         straggle={STRAGGLE_RATE}/{STRAGGLE_US},bound={P99_BOUND},policy=block,workers=1"
+    );
+    let report = FaultRecoveryReport {
+        seed: SEED,
+        requests: REQUESTS,
+        panic_rate: PANIC_RATE,
+        straggle_rate: STRAGGLE_RATE,
+        straggle_us: STRAGGLE_US,
+        p99_bound: P99_BOUND,
+        clean,
+        faulty_retry,
+        faulty_no_retry,
+        clean_p99_us: clean_p99,
+        faulty_p99_us: faulty_p99,
+        p99_ratio,
+        p99_within_bound,
+        retry_recovers_more,
+    };
+    write_json(&report_name("fault_recovery", SEED, &canonical), &report);
+}

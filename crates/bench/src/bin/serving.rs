@@ -114,6 +114,7 @@ fn calibrate() -> f64 {
             requests: 30,
             mean_frames: MEAN_FRAMES,
             deadline: None,
+            fault: None,
         },
     );
     (report.service.p50_us as f64).max(1.0)
@@ -134,6 +135,7 @@ fn run_point(
             requests: REQUESTS,
             mean_frames: MEAN_FRAMES,
             deadline: Some(deadline),
+            fault: None,
         },
     )
 }

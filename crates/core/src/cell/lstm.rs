@@ -42,9 +42,9 @@ pub struct LstmCache<T: Float> {
     pub gates: Matrix<T>,
     /// Previous cell state `C_{t-1}`.
     pub c_prev: Matrix<T>,
-    /// New cell state `C_t`.
-    pub c: Matrix<T>,
-    /// `tanh(C_t)` (reused by Eq. (6) backward).
+    /// `tanh(C_t)` (reused by Eq. (6) backward — together with `c_prev`
+    /// and `gates` it reconstructs everything BPTT needs, so `C_t` itself
+    /// lives only in the returned [`CellState`]).
     pub tanh_c: Matrix<T>,
 }
 
@@ -120,16 +120,18 @@ impl<T: Float> LstmParams<T> {
             let (gf, rest) = rest.split_at(h);
             let (gg, go) = rest.split_at(h);
             let cp = c_prev.row(r);
+            // `c`, `tanh_c`, and `h_out` are distinct matrices, so one
+            // row borrow per matrix is enough — no temporary copies.
             let crow = c.row_mut(r);
             for j in 0..h {
                 crow[j] = gf[j] * cp[j] + gi[j] * gg[j];
             }
-            let crow = c.row(r).to_vec();
+            let crow = c.row(r);
             let trow = tanh_c.row_mut(r);
             for j in 0..h {
                 trow[j] = crow[j].tanh();
             }
-            let trow = tanh_c.row(r).to_vec();
+            let trow = tanh_c.row(r);
             let hrow = h_out.row_mut(r);
             for j in 0..h {
                 hrow[j] = go[j] * trow[j];
@@ -138,13 +140,12 @@ impl<T: Float> LstmParams<T> {
 
         let state = CellState {
             h: h_out,
-            c: Some(c.clone()),
+            c: Some(c),
         };
         let cache = LstmCache {
             z,
             gates,
             c_prev: c_prev.clone(),
-            c,
             tanh_c,
         };
         (state, cache)
@@ -413,6 +414,65 @@ mod tests {
                 (sg_prev.dc.as_ref().unwrap().get(r, c) - fd).abs() < 1e-5,
                 "dCprev[{r},{c}]"
             );
+        }
+    }
+
+    /// Regression oracle for the allocation-free forward rewrite: an
+    /// independent implementation built on `gemm_naive` plus the
+    /// pre-rewrite copy-based elementwise loop. The elementwise section
+    /// must match bit-for-bit (same inputs, same operation order, no
+    /// reassociation); the gate GEMM is compared at ulp-scale tolerance
+    /// because the blocked `gemm` fuses with `mul_add` while the naive
+    /// oracle does not.
+    #[test]
+    fn forward_matches_gemm_naive_oracle() {
+        let batch = 3;
+        let (input, hidden) = (4, 5);
+        let h = hidden;
+        let p: LstmParams<f64> = LstmParams::init(input, hidden, 21);
+        let x = init::uniform(batch, input, -1.0, 1.0, 22);
+        let prev = state(batch, hidden, 23);
+        let (st, cache) = p.forward(&x, &prev);
+
+        // Oracle gates: Z W + b via the naive triple loop, then the
+        // shared nonlinearity helper.
+        let z = Matrix::hstack(&[&x, &prev.h]);
+        let mut gates = Matrix::zeros(batch, 4 * h);
+        bpar_tensor::gemm_naive(1.0, &z, &p.w, 0.0, &mut gates);
+        add_bias(&mut gates, &p.b);
+        lstm_gate_nonlinearities(&mut gates, h);
+        assert!(
+            cache.gates.max_abs_diff(&gates) < 1e-12,
+            "gate activations diverge from the naive-GEMM oracle"
+        );
+
+        // Elementwise Eqs. (5)-(6) from the gate activations the forward
+        // actually produced, written with the explicit row copies the
+        // code used before the allocation-free rewrite. Identical inputs
+        // and operation order ⇒ the outputs must be bit-identical.
+        let cp = prev.c.as_ref().unwrap();
+        let mut c_ref = Matrix::zeros(batch, h);
+        let mut h_ref = Matrix::zeros(batch, h);
+        for r in 0..batch {
+            let grow = cache.gates.row(r).to_vec();
+            for j in 0..h {
+                c_ref.row_mut(r)[j] = grow[h + j] * cp.row(r)[j] + grow[j] * grow[2 * h + j];
+            }
+            let crow = c_ref.row(r).to_vec();
+            for j in 0..h {
+                h_ref.row_mut(r)[j] = grow[3 * h + j] * crow[j].tanh();
+            }
+        }
+        let c_new = st.c.as_ref().unwrap();
+        for (a, b) in c_new.as_slice().iter().zip(c_ref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "C_t must be bit-identical");
+        }
+        for (a, b) in st.h.as_slice().iter().zip(h_ref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "H_t must be bit-identical");
+        }
+        // tanh(C_t) in the cache is derived from the same C_t values.
+        for (a, b) in cache.tanh_c.as_slice().iter().zip(c_ref.as_slice()) {
+            assert_eq!(a.to_bits(), b.tanh().to_bits(), "tanh(C_t) mismatch");
         }
     }
 

@@ -1,0 +1,354 @@
+//! Deterministic fault injection: making tasks panic or straggle on purpose.
+//!
+//! A production serving system built on the barrier-free task model has to
+//! survive the failure modes the paper's §IV experiments never exercise —
+//! a task body that panics, a straggler that sleeps through its deadline,
+//! a batch that dies half-way. This module provides the *injection* half
+//! of that story; the *recovery* half (retry/backoff, circuit breaking)
+//! lives in `bpar-serve`.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::Runtime`] via
+//! [`crate::Runtime::set_fault_plan`], exactly like the
+//! [`crate::validate::AccessRecorder`]: opt-in, always compiled, and when
+//! no plan is installed the per-task cost is a single relaxed atomic load.
+//! While installed, the worker loop consults the plan before running every
+//! task body and either lets it run, makes it panic, or delays it by a
+//! configured straggle duration.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of
+//! `(seed, occurrence, task id, label)` where *occurrence* counts how many
+//! times this `(task id, label)` pair has been asked before under this
+//! plan. Two runs that execute the same sequence of batches under plans
+//! with the same configuration therefore inject byte-identical faults —
+//! the property the chaos CI job and the recovery proptests rely on. The
+//! occurrence component is what lets a retried batch draw a *fresh*
+//! decision: replayed plans reuse task ids, so without it a poisoned
+//! batch would fail identically forever and retries could never succeed.
+//!
+//! The worker loop consumes a draw even for tasks whose bodies it skips
+//! because an earlier task already poisoned the wait epoch — so every
+//! task advances its occurrence counter exactly once per execution and
+//! the injection counters are schedule-independent. Consequently
+//! [`FaultPlan::injected_panics`] / [`FaultPlan::injected_straggles`]
+//! count *decisions*, which can slightly exceed faults actually
+//! *delivered* (a panic decided for an already-poisoned task never
+//! fires).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Configuration of a [`FaultPlan`]. `Copy`, so it can ride inside CLI
+/// and load-generator config structs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the per-task decision hash.
+    pub seed: u64,
+    /// Fraction of task executions that panic (`0.0..=1.0`). Note that a
+    /// *batch* fails if **any** of its tasks panics, so the per-batch
+    /// failure probability is roughly `1 - (1 - panic_rate)^tasks`.
+    pub panic_rate: f64,
+    /// Fraction of task executions that sleep for [`Self::straggle`]
+    /// before running (straggler simulation). Stragglers do not fail the
+    /// batch; they inflate its latency.
+    pub straggle_rate: f64,
+    /// How long an injected straggler sleeps.
+    pub straggle: Duration,
+    /// Upper bound on the number of panics the plan will inject over its
+    /// lifetime; `u64::MAX` means unlimited. A finite budget gives tests
+    /// a deterministic "storm then calm" shape: once the budget is spent
+    /// every later execution is clean, so a circuit breaker can be
+    /// observed opening *and* closing in one run.
+    pub panic_budget: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_rate: 0.0,
+            straggle_rate: 0.0,
+            straggle: Duration::from_micros(200),
+            panic_budget: u64::MAX,
+        }
+    }
+}
+
+/// What the plan decided for one task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Run the body untouched.
+    None,
+    /// Panic instead of running the body.
+    Panic,
+    /// Sleep for the configured straggle duration, then run the body.
+    Straggle(Duration),
+}
+
+/// A seeded, deterministic fault plan. Install with
+/// [`crate::Runtime::set_fault_plan`]; share via `Arc` to read the
+/// injection counters while the runtime executes.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// `(task id, label hash) →` times this pair has been decided.
+    occurrences: Mutex<HashMap<(usize, u64), u64>>,
+    panics: AtomicU64,
+    straggles: AtomicU64,
+}
+
+/// FNV-1a over a label so `&'static str` identity never matters.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — mixes the combined key into a uniform draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given configuration and fresh counters.
+    pub fn new(config: FaultConfig) -> Self {
+        Self {
+            config,
+            occurrences: Mutex::new(HashMap::new()),
+            panics: AtomicU64::new(0),
+            straggles: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this plan was built with.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Panics injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Straggler sleeps injected so far.
+    pub fn injected_straggles(&self) -> u64 {
+        self.straggles.load(Ordering::Relaxed)
+    }
+
+    /// Decides the fate of one execution of `task` with `label`,
+    /// advancing the `(task, label)` occurrence counter. Deterministic:
+    /// the n-th call for a given pair always returns the same action for
+    /// the same configuration (budget exhaustion aside).
+    pub fn decide(&self, task: usize, label: &str) -> FaultAction {
+        let lh = fnv1a(label.as_bytes());
+        let occ = {
+            let mut map = self.occurrences.lock();
+            let slot = map.entry((task, lh)).or_insert(0);
+            let occ = *slot;
+            *slot += 1;
+            occ
+        };
+        let key = self
+            .config
+            .seed
+            .wrapping_mul(0xD1B54A32D192ED03)
+            .wrapping_add(lh)
+            .wrapping_add((task as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .wrapping_add(occ.wrapping_mul(0xEB44ACCAB455B165));
+        // 53 uniform bits → [0, 1).
+        let u = (splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.config.panic_rate {
+            // Atomically claim one unit of panic budget; the exchange is
+            // exact, so the budget never overshoots even with many
+            // workers deciding concurrently.
+            let claimed = self
+                .panics
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    (v < self.config.panic_budget).then_some(v + 1)
+                })
+                .is_ok();
+            if claimed {
+                return FaultAction::Panic;
+            }
+            // Budget exhausted: the draw still consumed its occurrence,
+            // but the task runs clean.
+            return FaultAction::None;
+        }
+        if u < self.config.panic_rate + self.config.straggle_rate {
+            self.straggles.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Straggle(self.config.straggle);
+        }
+        FaultAction::None
+    }
+
+    /// Applies the plan to the task body about to run on this thread.
+    /// Called by the worker loop *inside* `catch_unwind`, so an injected
+    /// panic surfaces at `taskwait` exactly like an organic one.
+    pub(crate) fn apply(&self, task: usize, label: &str) {
+        match self.decide(task, label) {
+            FaultAction::None => {}
+            FaultAction::Panic => {
+                panic!(
+                    "injected fault [seed {}]: task {task} '{label}'",
+                    self.config.seed
+                );
+            }
+            FaultAction::Straggle(d) => std::thread::sleep(d),
+        }
+    }
+}
+
+/// Whether *any* runtime currently has a fault plan installed — lets the
+/// worker loop skip the per-task `Option<Arc>` clone on one relaxed load
+/// in the (overwhelmingly common) injection-off case.
+static FAULT_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// How many runtimes currently have a plan installed (guards the flag
+/// against one runtime uninstalling while another still injects).
+static FAULT_USERS: Mutex<usize> = Mutex::new(0);
+
+pub(crate) fn fault_installed(installed: bool) {
+    let mut users = FAULT_USERS.lock();
+    if installed {
+        *users += 1;
+    } else {
+        *users = users.saturating_sub(1);
+    }
+    FAULT_ACTIVE.store(*users > 0, Ordering::Release);
+}
+
+pub(crate) fn active() -> bool {
+    FAULT_ACTIVE.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64, panic_rate: f64, straggle_rate: f64) -> FaultPlan {
+        FaultPlan::new(FaultConfig {
+            seed,
+            panic_rate,
+            straggle_rate,
+            ..FaultConfig::default()
+        })
+    }
+
+    #[test]
+    fn zero_rates_never_inject() {
+        let p = plan(42, 0.0, 0.0);
+        for task in 0..200 {
+            assert_eq!(p.decide(task, "t"), FaultAction::None);
+        }
+        assert_eq!(p.injected_panics(), 0);
+        assert_eq!(p.injected_straggles(), 0);
+    }
+
+    #[test]
+    fn decisions_replay_byte_identically() {
+        let record = |seed: u64| {
+            let p = plan(seed, 0.2, 0.2);
+            let mut log = Vec::new();
+            // Three "batches" over the same task ids, mimicking replays.
+            for _ in 0..3 {
+                for task in 0..50 {
+                    log.push(p.decide(task, "lstm_fwd"));
+                }
+            }
+            log
+        };
+        assert_eq!(record(7), record(7), "same seed must replay identically");
+        assert_ne!(record(7), record(8), "different seeds must diverge");
+    }
+
+    #[test]
+    fn occurrence_gives_fresh_draws_across_replays() {
+        // With a 50% rate, a task that panicked in batch 0 must not be
+        // doomed to panic in every later batch: the occurrence component
+        // re-rolls it. Statistically some task flips across 20 replays.
+        let p = plan(3, 0.5, 0.0);
+        let mut flipped = false;
+        for task in 0..20 {
+            let first = p.decide(task, "t");
+            for _ in 0..20 {
+                if p.decide(task, "t") != first {
+                    flipped = true;
+                }
+            }
+        }
+        assert!(flipped, "occurrence must vary decisions across replays");
+    }
+
+    #[test]
+    fn label_distinguishes_decisions() {
+        let a = plan(9, 0.5, 0.0);
+        let b = plan(9, 0.5, 0.0);
+        let da: Vec<_> = (0..100).map(|t| a.decide(t, "fwd")).collect();
+        let db: Vec<_> = (0..100).map(|t| b.decide(t, "bwd")).collect();
+        assert_ne!(da, db, "label is part of the key");
+    }
+
+    #[test]
+    fn rates_partition_roughly() {
+        let p = plan(11, 0.3, 0.3);
+        let mut panics = 0;
+        let mut straggles = 0;
+        let n = 3000;
+        for task in 0..n {
+            match p.decide(task, "t") {
+                FaultAction::Panic => panics += 1,
+                FaultAction::Straggle(_) => straggles += 1,
+                FaultAction::None => {}
+            }
+        }
+        let frac = |c: i32| c as f64 / n as f64;
+        assert!((frac(panics) - 0.3).abs() < 0.05, "panics {panics}");
+        assert!(
+            (frac(straggles) - 0.3).abs() < 0.05,
+            "straggles {straggles}"
+        );
+    }
+
+    #[test]
+    fn panic_budget_is_exact() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 1,
+            panic_rate: 1.0,
+            panic_budget: 5,
+            ..FaultConfig::default()
+        });
+        let mut panics = 0;
+        for task in 0..100 {
+            if p.decide(task, "t") == FaultAction::Panic {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 5);
+        assert_eq!(p.injected_panics(), 5);
+        // Exhausted budget leaves later draws clean.
+        assert_eq!(p.decide(0, "t"), FaultAction::None);
+    }
+
+    #[test]
+    fn straggle_carries_configured_duration() {
+        let p = FaultPlan::new(FaultConfig {
+            seed: 2,
+            straggle_rate: 1.0,
+            straggle: Duration::from_micros(123),
+            ..FaultConfig::default()
+        });
+        assert_eq!(
+            p.decide(0, "t"),
+            FaultAction::Straggle(Duration::from_micros(123))
+        );
+    }
+}

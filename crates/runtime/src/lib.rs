@@ -44,6 +44,7 @@
 //! rt.taskwait().unwrap();
 //! ```
 
+pub mod fault;
 pub mod graph;
 pub mod plan;
 pub mod region;
@@ -56,6 +57,7 @@ pub mod validate;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::fault::{FaultAction, FaultConfig, FaultPlan};
     pub use crate::graph::TaskGraph;
     pub use crate::plan::{CompiledPlan, PlanBuilder, PlanSpec};
     pub use crate::region::{DepTracker, RegionId};
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::validate::{AccessEvent, AccessKind, AccessRecorder};
 }
 
+pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use graph::TaskGraph;
 pub use plan::{CompiledPlan, PlanBuilder, PlanSpec};
 pub use region::{DepTracker, RegionId};

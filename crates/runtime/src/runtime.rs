@@ -8,6 +8,7 @@
 //! layers. The only synchronisation point is [`Runtime::taskwait`], the
 //! equivalent of `#pragma omp taskwait` at the end of a training batch.
 
+use crate::fault::{self, FaultPlan};
 use crate::plan::CompiledPlan;
 use crate::region::{DepTracker, RegionId};
 use crate::scheduler::{ReadySet, SchedulerPolicy};
@@ -71,6 +72,9 @@ struct Inner {
     /// When set, workers wrap every task body in a [`TaskScope`] so slot
     /// accesses are attributed to the executing task (validation mode).
     validation: Option<Arc<AccessRecorder>>,
+    /// When set, workers consult the plan before each task body and may
+    /// panic or straggle on its behalf (fault-injection mode).
+    fault: Option<Arc<FaultPlan>>,
 }
 
 struct Shared {
@@ -113,6 +117,7 @@ impl Runtime {
                 shutdown: false,
                 record_trace: config.record_trace,
                 validation: None,
+                fault: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -301,6 +306,26 @@ impl Runtime {
         }
     }
 
+    /// Installs (or removes, with `None`) a [`FaultPlan`]: while set,
+    /// every task body — live or replayed — is preceded by a seeded,
+    /// deterministic decision to run clean, panic, or straggle
+    /// (see [`crate::fault`]).
+    ///
+    /// Injection mode costs one `Arc` clone per task plus the decision
+    /// hash; with no plan installed the per-task overhead is a single
+    /// relaxed atomic load. Install while idle (between `taskwait`s) so a
+    /// batch is faulted in full or not at all.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        let mut inner = self.shared.inner.lock();
+        let was = inner.fault.is_some();
+        let now = plan.is_some();
+        inner.fault = plan;
+        drop(inner);
+        if was != now {
+            fault::fault_installed(now);
+        }
+    }
+
     /// Convenience: submit a closure with explicit region clauses.
     pub fn spawn(
         &self,
@@ -321,9 +346,10 @@ impl Runtime {
     /// exit (the shutdown flag is only honoured once the ready set is
     /// empty), so no work is lost.
     pub fn shutdown(&mut self) {
-        // Balance the global validation-users counter if the embedder
-        // never uninstalled its recorder.
+        // Balance the global validation/fault users counters if the
+        // embedder never uninstalled its recorder or plan.
         self.set_validation(None);
+        self.set_fault_plan(None);
         {
             let mut inner = self.shared.inner.lock();
             if inner.shutdown && self.workers.is_empty() {
@@ -354,12 +380,43 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 .take()
                 .expect("ready task lost its body");
             let recorder = inner.validation.clone();
+            // `fault::active()` keeps the injection-off fast path at one
+            // relaxed load; the per-task clone happens only while some
+            // runtime has a plan installed.
+            let plan = if fault::active() {
+                inner.fault.clone()
+            } else {
+                None
+            };
+            let label = inner.tasks[tid].label;
+            // A panic poisons the current wait epoch: the graph has
+            // already failed, and a dependent of the dead task would
+            // observe missing outputs if its body ran (it was only
+            // released *because* completion bookkeeping must proceed to
+            // keep taskwait from deadlocking). Poisoned tasks complete
+            // without running their bodies.
+            let poisoned = inner.panicked.is_some();
             let start = shared.epoch.elapsed().as_secs_f64();
             drop(inner);
 
-            let result = {
+            let result = if poisoned {
+                // Still consume this task's fault draw: every task must
+                // advance its occurrence counter exactly once per
+                // execution, or which tasks drew would depend on worker
+                // timing and same-seed runs would diverge.
+                if let Some(plan) = plan {
+                    plan.decide(tid, label);
+                }
+                drop(body);
+                Ok(())
+            } else {
                 let _scope = recorder.map(|rec| TaskScope::enter(rec, tid));
-                std::panic::catch_unwind(AssertUnwindSafe(body))
+                std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    if let Some(plan) = plan {
+                        plan.apply(tid, label);
+                    }
+                    body();
+                }))
             };
 
             let end = shared.epoch.elapsed().as_secs_f64();
@@ -514,9 +571,12 @@ mod tests {
     }
 
     #[test]
-    fn panic_does_not_block_dependents() {
-        // A dependent of a panicked task must still be released, otherwise
-        // taskwait would deadlock.
+    fn panic_poisons_epoch_dependents_released_but_skipped() {
+        // A dependent of a panicked task must still be *released* —
+        // otherwise taskwait would deadlock — but its body must NOT run:
+        // the producer died before writing its outputs, so running the
+        // dependent would crash on missing state (a cascading secondary
+        // panic that masks the real failure).
         let r = rt(2);
         let hit = StdArc::new(AtomicUsize::new(0));
         r.spawn("boom", [], [RegionId(1)], || panic!("x"));
@@ -524,8 +584,21 @@ mod tests {
         r.spawn("after", [RegionId(1)], [], move || {
             h.fetch_add(1, Ordering::SeqCst);
         });
-        assert!(r.taskwait().is_err());
-        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        let err = r.taskwait().unwrap_err();
+        assert!(err.contains("'boom'"), "first panic must surface: {err}");
+        assert_eq!(
+            hit.load(Ordering::SeqCst),
+            0,
+            "dependent body must be skipped in a poisoned epoch"
+        );
+        // The poison clears with the failed wait: the dependent region is
+        // writable again and fresh tasks run normally.
+        let h = hit.clone();
+        r.spawn("retry", [], [RegionId(1)], move || {
+            h.fetch_add(10, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 10);
     }
 
     #[test]
@@ -832,6 +905,95 @@ mod tests {
             r.taskwait().unwrap();
             assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>(), "{order:?}");
         }
+    }
+
+    #[test]
+    fn fault_plan_injects_panic_that_surfaces_at_taskwait() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let r = rt(2);
+        let plan = StdArc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            panic_rate: 1.0,
+            ..FaultConfig::default()
+        }));
+        r.set_fault_plan(Some(plan.clone()));
+        let ran = StdArc::new(AtomicUsize::new(0));
+        let c = ran.clone();
+        r.spawn("victim", [], [], move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let err = r.taskwait().unwrap_err();
+        assert!(err.contains("injected fault"), "{err}");
+        assert!(err.contains("'victim'"), "{err}");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "body must not run");
+        assert_eq!(plan.injected_panics(), 1);
+        // Uninstalling restores clean execution.
+        r.set_fault_plan(None);
+        let c = ran.clone();
+        r.spawn("victim", [], [], move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fault_plan_straggle_delays_but_completes() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let r = rt(2);
+        let plan = StdArc::new(FaultPlan::new(FaultConfig {
+            seed: 5,
+            straggle_rate: 1.0,
+            straggle: Duration::from_millis(2),
+            ..FaultConfig::default()
+        }));
+        r.set_fault_plan(Some(plan.clone()));
+        let count = StdArc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        for i in 0..4 {
+            let c = count.clone();
+            r.spawn("slow", [], [RegionId(i)], move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        r.taskwait().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert_eq!(plan.injected_straggles(), 4);
+        // 4 tasks × 2ms over 2 workers ≥ ~4ms of injected delay.
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        r.set_fault_plan(None);
+    }
+
+    #[test]
+    fn fault_plan_applies_to_replayed_plans() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = rt(2);
+        let mut b = PlanBuilder::new();
+        for i in 0..8u64 {
+            b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(|| {}));
+        }
+        let compiled = b.compile();
+        let fp = StdArc::new(FaultPlan::new(FaultConfig {
+            seed: 13,
+            panic_rate: 1.0,
+            panic_budget: 3,
+            ..FaultConfig::default()
+        }));
+        r.set_fault_plan(Some(fp.clone()));
+        // Replays fail while budget remains, then run clean.
+        let mut failures = 0;
+        for _ in 0..5 {
+            r.replay(&compiled);
+            if r.taskwait().is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(fp.injected_panics(), 3);
+        assert!(failures >= 1, "budgeted panics must fail some replay");
+        r.replay(&compiled);
+        r.taskwait().unwrap(); // budget exhausted: clean
+        r.set_fault_plan(None);
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub enum AdversarialOrder {
     Reverse,
     /// Seeded xorshift pick among all ready tasks; the same seed always
     /// replays the same schedule on a single worker.
+    ///
+    /// The draw is mapped onto the queue with a widening multiply rather
+    /// than `rng % len`, so every ready position is equiprobable. This
+    /// fixed a modulo bias toward low queue positions — and changed the
+    /// seed→schedule mapping: a given seed explores a *different* (still
+    /// deterministic) schedule than it did before the fix, so recorded
+    /// schedules or divergence witnesses keyed to old seeds do not
+    /// transfer.
     Random(u64),
 }
 
@@ -130,7 +138,13 @@ impl ReadySet {
                 self.rng ^= self.rng << 13;
                 self.rng ^= self.rng >> 7;
                 self.rng ^= self.rng << 17;
-                let pos = (self.rng % self.queue.len() as u64) as usize;
+                // Widening multiply maps the draw onto 0..len without the
+                // modulo bias that over-weights low positions whenever
+                // `len` does not divide 2^64 (Lemire's bounded-range
+                // reduction). Bias for small queues was negligible, but
+                // the fuzzer's whole point is equiprobable schedules.
+                let len = self.queue.len() as u64;
+                let pos = ((self.rng as u128 * len as u128) >> 64) as usize;
                 return self.queue.remove(pos).map(|(t, _)| t);
             }
             SchedulerPolicy::Fifo => {}

@@ -89,6 +89,14 @@ impl<T: Float> MicroBatcher<T> {
         self.policy
     }
 
+    /// Changes the row cap at runtime (min 1). The circuit breaker uses
+    /// this to degrade to singleton batches — isolating poison requests —
+    /// and to restore the configured cap on recovery. Buckets already
+    /// holding more than the new cap drain in cap-sized slices.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.policy.max_batch = max_batch.max(1);
+    }
+
     /// Requests currently waiting in buckets.
     pub fn pending(&self) -> usize {
         self.pending
@@ -259,6 +267,22 @@ mod tests {
         let expect = base + Duration::from_micros(200) + window;
         assert_eq!(mb.next_deadline(), Some(expect));
         assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn set_max_batch_degrades_to_singletons_and_restores() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(4, Duration::from_secs(10)));
+        for id in 0..4u64 {
+            mb.offer(req_at(id, 5, base, 0), base);
+        }
+        mb.set_max_batch(1);
+        let batch = mb.pop_ready(base, false).expect("singleton cap closes");
+        assert_eq!(batch.len(), 1);
+        mb.set_max_batch(4);
+        let batch = mb.pop_ready(base, true).expect("restored cap");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(mb.pending(), 0);
     }
 
     #[test]

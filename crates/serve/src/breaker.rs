@@ -1,0 +1,223 @@
+//! Circuit breaker: sustained executor failure trips the server into a
+//! degraded mode that sheds load instead of burning it.
+//!
+//! The serving loop records the success or failure of every executor run
+//! (batches and singleton retries alike) into a [`CircuitBreaker`]. When
+//! the number of failures inside a sliding window of recent runs reaches
+//! a threshold, the breaker *opens*: the server shrinks `max_batch` to 1
+//! (so one poison request can no longer take batch-mates down with it)
+//! and switches admission backpressure to `Reject` (so producers learn
+//! immediately instead of queueing into a sick server). After a
+//! configured number of *consecutive* clean runs the breaker *closes*
+//! and both knobs are restored.
+//!
+//! The breaker is a pure state machine over recorded outcomes — no
+//! clocks, no threads — so its transitions are deterministic for a
+//! deterministic execution sequence, which is what lets the chaos CI job
+//! diff two same-seed runs.
+
+use std::collections::VecDeque;
+
+/// Breaker tuning. `Copy`, carried inside
+/// [`crate::server::ServeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Failures within the sliding window that trip the breaker.
+    pub failure_threshold: usize,
+    /// Size of the sliding window, in executor runs.
+    pub window: usize,
+    /// Consecutive clean runs required to close an open breaker.
+    pub recovery: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            window: 8,
+            recovery: 4,
+        }
+    }
+}
+
+/// Breaker state; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Degraded mode: singleton batches, `Reject` backpressure.
+    Open,
+}
+
+/// Sliding-window circuit breaker over executor run outcomes.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Most recent run outcomes (`true` = failure), bounded to `window`.
+    recent: VecDeque<bool>,
+    /// Failures currently inside `recent`.
+    failures: usize,
+    /// Consecutive clean runs observed while open.
+    clean_streak: usize,
+    opened: u64,
+    closed: u64,
+}
+
+/// What a recorded outcome did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// State unchanged.
+    None,
+    /// Tripped into degraded mode.
+    Opened,
+    /// Recovered into normal operation.
+    Closed,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config: BreakerConfig {
+                failure_threshold: config.failure_threshold.max(1),
+                window: config.window.max(1),
+                recovery: config.recovery.max(1),
+            },
+            state: BreakerState::Closed,
+            recent: VecDeque::new(),
+            failures: 0,
+            clean_streak: 0,
+            opened: 0,
+            closed: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Times the breaker has closed again (excludes the initial state).
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Records one executor run and returns the transition it caused.
+    pub fn record(&mut self, failed: bool) -> BreakerTransition {
+        self.recent.push_back(failed);
+        if failed {
+            self.failures += 1;
+        }
+        if self.recent.len() > self.config.window && self.recent.pop_front() == Some(true) {
+            self.failures -= 1;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                if self.failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened += 1;
+                    self.clean_streak = 0;
+                    // A fresh window: failures that tripped the breaker
+                    // must not re-trip it the instant it closes.
+                    self.recent.clear();
+                    self.failures = 0;
+                    return BreakerTransition::Opened;
+                }
+                BreakerTransition::None
+            }
+            BreakerState::Open => {
+                if failed {
+                    self.clean_streak = 0;
+                } else {
+                    self.clean_streak += 1;
+                    if self.clean_streak >= self.config.recovery {
+                        self.state = BreakerState::Closed;
+                        self.closed += 1;
+                        self.clean_streak = 0;
+                        self.recent.clear();
+                        self.failures = 0;
+                        return BreakerTransition::Closed;
+                    }
+                }
+                BreakerTransition::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: usize, window: usize, recovery: usize) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            window,
+            recovery,
+        })
+    }
+
+    #[test]
+    fn trips_at_threshold_within_window() {
+        let mut b = breaker(3, 8, 4);
+        assert_eq!(b.record(true), BreakerTransition::None);
+        assert_eq!(b.record(false), BreakerTransition::None);
+        assert_eq!(b.record(true), BreakerTransition::None);
+        assert_eq!(b.record(true), BreakerTransition::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened(), 1);
+    }
+
+    #[test]
+    fn window_forgets_old_failures() {
+        let mut b = breaker(2, 3, 1);
+        b.record(true);
+        // Three clean runs push the failure out of the 3-wide window.
+        b.record(false);
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.record(true), BreakerTransition::None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn recovers_after_consecutive_cleans_only() {
+        let mut b = breaker(1, 4, 3);
+        assert_eq!(b.record(true), BreakerTransition::Opened);
+        b.record(false);
+        b.record(false);
+        b.record(true); // resets the streak
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.record(false), BreakerTransition::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!((b.opened(), b.closed()), (1, 1));
+    }
+
+    #[test]
+    fn reopen_requires_fresh_failures() {
+        let mut b = breaker(2, 8, 1);
+        b.record(true);
+        assert_eq!(b.record(true), BreakerTransition::Opened);
+        assert_eq!(b.record(false), BreakerTransition::Closed);
+        // The old failures were cleared with the window; one new failure
+        // is below threshold.
+        assert_eq!(b.record(true), BreakerTransition::None);
+        assert_eq!(b.record(true), BreakerTransition::Opened);
+        assert_eq!(b.opened(), 2);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let mut b = breaker(0, 0, 0);
+        assert_eq!(b.record(true), BreakerTransition::Opened);
+        assert_eq!(b.record(false), BreakerTransition::Closed);
+    }
+}

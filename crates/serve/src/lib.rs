@@ -43,8 +43,17 @@
 //! * [`metrics`] — latency percentiles (p50/p95/p99/p99.9), batch-size /
 //!   batch-fill distributions, shed and reject counts, throughput, all
 //!   serializable to the `results/` JSON convention.
+//! * [`breaker`] — circuit breaker over executor health: sustained batch
+//!   failure degrades the server to singleton batches with `Reject`
+//!   backpressure until a clean window passes. Paired with the
+//!   [`server::RetryPolicy`] (exponential backoff + deterministic
+//!   jitter, deadline-aware, poison isolation via singleton
+//!   re-execution) it turns injected task panics — see
+//!   `bpar_runtime::fault` — into bounded, observable degradation
+//!   instead of lost requests.
 
 pub mod batcher;
+pub mod breaker;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
@@ -52,8 +61,9 @@ pub mod request;
 pub mod server;
 
 pub use batcher::{BatchPolicy, MicroBatcher};
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopConfig, OpenLoopConfig};
 pub use metrics::ServingReport;
 pub use queue::{Admission, AdmissionQueue, BackpressurePolicy};
 pub use request::{InferRequest, InferResponse, Outcome};
-pub use server::{ServeConfig, Server};
+pub use server::{RetryPolicy, ServeConfig, Server};

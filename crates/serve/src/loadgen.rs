@@ -27,6 +27,7 @@ use crate::request::{InferRequest, Outcome};
 use crate::server::{ServeConfig, Server};
 use bpar_core::model::Brnn;
 use bpar_data::tidigits::TidigitsDataset;
+use bpar_runtime::FaultConfig;
 use bpar_tensor::Float;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +47,8 @@ pub struct OpenLoopConfig {
     pub mean_frames: usize,
     /// Latency budget attached to every request, if any.
     pub deadline: Option<Duration>,
+    /// Fault plan to install on the server before serving (chaos runs).
+    pub fault: Option<FaultConfig>,
 }
 
 /// Closed-loop (admission-paced) generator configuration.
@@ -59,6 +62,8 @@ pub struct ClosedLoopConfig {
     pub mean_frames: usize,
     /// Latency budget attached to every request, if any.
     pub deadline: Option<Duration>,
+    /// Fault plan to install on the server before serving (chaos runs).
+    pub fault: Option<FaultConfig>,
 }
 
 fn make_request<T: Float>(
@@ -108,6 +113,10 @@ fn finish_report<T: Float>(
     report.plan_misses = plans.misses;
     report.plan_evictions = plans.evictions;
     report.weight_syncs = plans.weight_syncs;
+    if let Some(plan) = server.fault_plan() {
+        report.injected_panics = plan.injected_panics();
+        report.injected_straggles = plan.injected_straggles();
+    }
     report
 }
 
@@ -120,6 +129,9 @@ pub fn run_open_loop<T: Float>(
 ) -> ServingReport {
     assert!(gen.rate_rps > 0.0, "open loop needs a positive rate");
     let server = Server::new(model, cfg);
+    if let Some(fault) = gen.fault {
+        server.install_fault_plan(fault);
+    }
     let data = TidigitsDataset::new(server.model().config.input_size, gen.mean_frames, gen.seed);
     let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy));
     let producer_queue = queue.clone();
@@ -163,6 +175,9 @@ pub fn run_closed_loop<T: Float>(
     gen: ClosedLoopConfig,
 ) -> ServingReport {
     let server = Server::new(model, cfg);
+    if let Some(fault) = gen.fault {
+        server.install_fault_plan(fault);
+    }
     let data = TidigitsDataset::new(server.model().config.input_size, gen.mean_frames, gen.seed);
     let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy));
     let producer_queue = queue.clone();
@@ -224,6 +239,7 @@ mod tests {
                 requests: 24,
                 mean_frames: 6,
                 deadline: None,
+                fault: None,
             },
         );
         assert_eq!(report.submitted, 24);
@@ -253,6 +269,7 @@ mod tests {
             requests: 40,
             mean_frames: 6,
             deadline: None,
+            fault: None,
         };
         let report = run_open_loop(tiny_model(), cfg, gen);
         assert_eq!(report.submitted, 40);
@@ -275,6 +292,7 @@ mod tests {
             requests: 60,
             mean_frames: 8,
             deadline: Some(Duration::from_micros(500)),
+            fault: None,
         };
         let report = run_open_loop(tiny_model(), cfg, gen);
         assert_eq!(report.served + report.shed + report.rejected, 60);

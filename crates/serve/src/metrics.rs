@@ -39,14 +39,17 @@ impl LatencyStats {
         }
         samples.sort_unstable();
         let n = samples.len();
-        let sum: u64 = samples.iter().sum();
+        // Accumulate the mean in f64: a u64 sum overflows after ~2^64 µs
+        // of total latency, which a long run with stragglers (or any run
+        // with pathological samples) can actually reach.
+        let sum: f64 = samples.iter().map(|&s| s as f64).sum();
         let rank = |q: f64| -> u64 {
             let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
             samples[idx]
         };
         Self {
             count: n as u64,
-            mean_us: sum as f64 / n as f64,
+            mean_us: sum / n as f64,
             p50_us: rank(0.50),
             p95_us: rank(0.95),
             p99_us: rank(0.99),
@@ -106,7 +109,27 @@ pub struct ServingReport {
     pub queue_wait: LatencyStats,
     /// Batch-close → response (forward pass) of served requests.
     pub service: LatencyStats,
-    /// Mean admission-queue depth sampled at each admission.
+    /// Singleton retry executions scheduled after batch failures.
+    pub retries: u64,
+    /// Distinct requests pulled out of a failed batch into singleton
+    /// re-execution (poison isolation).
+    pub poison_isolated: u64,
+    /// Requests that failed terminally after spending their whole retry
+    /// budget.
+    pub retry_exhausted: u64,
+    /// Circuit-breaker trips into degraded mode.
+    pub breaker_opened: u64,
+    /// Circuit-breaker recoveries back to normal operation.
+    pub breaker_closed: u64,
+    /// Task panics injected by an installed fault plan.
+    pub injected_panics: u64,
+    /// Straggler sleeps injected by an installed fault plan.
+    pub injected_straggles: u64,
+    /// Mean admission-queue depth, **admission-sampled**: the average of
+    /// the depths observed at each successful admission (event-weighted).
+    /// It is *not* a time-weighted average — quiet periods contribute no
+    /// samples, so bursty arrivals pull this toward the depths they
+    /// themselves create.
     pub queue_depth_mean: f64,
     /// Maximum admission-queue depth.
     pub queue_depth_max: usize,
@@ -146,6 +169,11 @@ pub struct MetricsCollector {
     batch_rows: Vec<usize>,
     total_frames: u64,
     padded_frames: u64,
+    retries: u64,
+    poison_isolated: u64,
+    retry_exhausted: u64,
+    breaker_opened: u64,
+    breaker_closed: u64,
 }
 
 impl MetricsCollector {
@@ -198,6 +226,45 @@ impl MetricsCollector {
         self.failed
     }
 
+    /// Records one scheduled singleton retry; `first` marks the
+    /// request's first retry (counts it as poison-isolated).
+    pub fn record_retry(&mut self, first: bool) {
+        self.retries += 1;
+        if first {
+            self.poison_isolated += 1;
+        }
+    }
+
+    /// Records a request failing terminally with its retry budget spent.
+    pub fn record_retry_exhausted(&mut self) {
+        self.retry_exhausted += 1;
+    }
+
+    /// Records a circuit-breaker trip into degraded mode.
+    pub fn record_breaker_opened(&mut self) {
+        self.breaker_opened += 1;
+    }
+
+    /// Records a circuit-breaker recovery.
+    pub fn record_breaker_closed(&mut self) {
+        self.breaker_closed += 1;
+    }
+
+    /// Retries scheduled so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Breaker trips so far.
+    pub fn breaker_opened(&self) -> u64 {
+        self.breaker_opened
+    }
+
+    /// Breaker recoveries so far.
+    pub fn breaker_closed(&self) -> u64 {
+        self.breaker_closed
+    }
+
     /// Finalizes the report. `max_batch` is the policy cap (for fill),
     /// `duration` the span from first submission to last outcome.
     pub fn finish(self, max_batch: usize, duration: Duration) -> ServingReport {
@@ -227,6 +294,11 @@ impl MetricsCollector {
             latency: LatencyStats::from_samples(self.latency_us),
             queue_wait: LatencyStats::from_samples(self.queue_wait_us),
             service: LatencyStats::from_samples(self.service_us),
+            retries: self.retries,
+            poison_isolated: self.poison_isolated,
+            retry_exhausted: self.retry_exhausted,
+            breaker_opened: self.breaker_opened,
+            breaker_closed: self.breaker_closed,
             batches,
             batch_rows_mean: if batches > 0 {
                 rows_sum as f64 / batches as f64
@@ -285,6 +357,29 @@ mod tests {
     }
 
     #[test]
+    fn mean_survives_samples_whose_u64_sum_overflows() {
+        // Two samples near u64::MAX: the old u64 accumulator wrapped and
+        // reported a tiny mean; the f64 path stays near the true value.
+        let s = LatencyStats::from_samples(vec![u64::MAX - 1, u64::MAX - 1]);
+        assert!(s.mean_us > 1.8e19, "got {}", s.mean_us);
+    }
+
+    #[test]
+    fn recovery_counters_flow_into_report() {
+        let mut c = MetricsCollector::new();
+        c.record_retry(true);
+        c.record_retry(false);
+        c.record_retry_exhausted();
+        c.record_breaker_opened();
+        c.record_breaker_closed();
+        let r = c.finish(4, Duration::from_secs(1));
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.poison_isolated, 1);
+        assert_eq!(r.retry_exhausted, 1);
+        assert_eq!((r.breaker_opened, r.breaker_closed), (1, 1));
+    }
+
+    #[test]
     fn empty_samples_are_zero() {
         let s = LatencyStats::from_samples(Vec::new());
         assert_eq!(s.count, 0);
@@ -300,6 +395,7 @@ mod tests {
             total: Duration::from_micros(50),
             batch_rows: 2,
             padded_len: 3,
+            attempts: 0,
         };
         for id in 0..2u64 {
             c.record_outcome(&Outcome::Served(InferResponse::<f32> {

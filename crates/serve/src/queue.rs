@@ -100,6 +100,10 @@ struct QueueState<T: Float> {
     items: VecDeque<InferRequest<T>>,
     closed: bool,
     depth: DepthStats,
+    /// Lives behind the mutex because the consumer may swap it at
+    /// runtime (circuit breaker flipping to `Reject` in degraded mode);
+    /// blocked producers re-read it on every wakeup.
+    policy: BackpressurePolicy,
 }
 
 /// Bounded MPSC admission queue. Producers [`push`](Self::push); the
@@ -111,7 +115,6 @@ pub struct AdmissionQueue<T: Float> {
     /// Signalled when space frees (for `Block` producers).
     space_cv: Condvar,
     capacity: usize,
-    policy: BackpressurePolicy,
 }
 
 impl<T: Float> AdmissionQueue<T> {
@@ -122,17 +125,31 @@ impl<T: Float> AdmissionQueue<T> {
                 items: VecDeque::new(),
                 closed: false,
                 depth: DepthStats::default(),
+                policy,
             }),
             data_cv: Condvar::new(),
             space_cv: Condvar::new(),
             capacity: capacity.max(1),
-            policy,
         }
     }
 
-    /// The configured backpressure policy.
+    /// The backpressure policy currently in force.
     pub fn policy(&self) -> BackpressurePolicy {
-        self.policy
+        self.state.lock().policy
+    }
+
+    /// Swaps the backpressure policy at runtime (degraded-mode entry and
+    /// exit). Producers blocked under `Block` are woken so they re-apply
+    /// the new policy — switching to `Reject` bounces them immediately
+    /// instead of leaving them parked on a queue that will not drain.
+    pub fn set_policy(&self, policy: BackpressurePolicy) {
+        let mut st = self.state.lock();
+        if st.policy == policy {
+            return;
+        }
+        st.policy = policy;
+        drop(st);
+        self.space_cv.notify_all();
     }
 
     /// Submits a request, applying the backpressure policy if full.
@@ -144,7 +161,9 @@ impl<T: Float> AdmissionQueue<T> {
         }
         let mut shed = Vec::new();
         while st.items.len() >= self.capacity {
-            match self.policy {
+            // Re-read each iteration: the consumer may have swapped the
+            // policy while this producer was blocked.
+            match st.policy {
                 BackpressurePolicy::Block => {
                     self.space_cv.wait(&mut st);
                     if st.closed {
@@ -297,6 +316,26 @@ mod tests {
         assert!(matches!(q.push(req(2)), Admission::Rejected(_)));
         assert!(matches!(q.pop_wait(None), Popped::Item(r) if r.id == 1));
         assert!(matches!(q.pop_wait(None), Popped::Closed));
+    }
+
+    #[test]
+    fn set_policy_wakes_blocked_producer_into_rejection() {
+        let q = Arc::new(AdmissionQueue::new(1, BackpressurePolicy::Block));
+        assert!(matches!(q.push(req(1)), Admission::Admitted { .. }));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push(req(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        // Degraded mode: the parked producer must bounce, not wait for a
+        // drain that may never come.
+        q.set_policy(BackpressurePolicy::Reject);
+        match h.join().unwrap() {
+            Admission::Rejected(r) => assert_eq!(r.id, 2),
+            other => panic!("expected rejection after policy swap, got {other:?}"),
+        }
+        assert_eq!(q.policy(), BackpressurePolicy::Reject);
+        // Restoring Block reinstates waiting behaviour for new pushes.
+        q.set_policy(BackpressurePolicy::Block);
+        assert_eq!(q.policy(), BackpressurePolicy::Block);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct ResponseTiming {
     pub batch_rows: usize,
     /// Timesteps the batch was padded to.
     pub padded_len: usize,
+    /// Retry attempts before this response: `0` means the first
+    /// execution succeeded; `n ≥ 1` means the request survived `n`
+    /// singleton re-executions after its original batch failed (so
+    /// `attempts ≥ 1` implies `batch_rows == 1`).
+    pub attempts: u32,
 }
 
 /// One served inference result.

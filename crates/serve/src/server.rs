@@ -15,14 +15,94 @@
 //! produced for that request alone.
 
 use crate::batcher::{BatchPolicy, MicroBatcher};
+use crate::breaker::{BreakerConfig, BreakerTransition, CircuitBreaker};
 use crate::metrics::MetricsCollector;
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
 use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
 use bpar_core::exec::{Executor, PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
-use bpar_runtime::SchedulerPolicy;
+use bpar_runtime::{FaultConfig, FaultPlan, SchedulerPolicy};
 use bpar_tensor::{Float, Matrix};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Retry policy for batches that fail in the executor.
+///
+/// A failed request is re-executed as a **singleton** batch (poison
+/// isolation: one bad request can no longer repeatedly kill its
+/// batch-mates) after an exponential backoff with deterministic jitter.
+/// Requests already past their deadline are not retried — a retry that
+/// cannot possibly be served in time only steals executor capacity from
+/// live traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Re-execution attempts per request after its first failure.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base · 2^(n-1)`, capped.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Jitter amplitude as a fraction of the backoff: the delay is
+    /// scaled by a deterministic factor in `[1 - f, 1 + f]` keyed on
+    /// `(request id, attempt)`, decorrelating retry bursts without
+    /// sacrificing replayability.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(5),
+            jitter_frac: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Disables retries: a failed batch fails its requests immediately.
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Zero-delay retries (used by determinism tests, where any real
+    /// sleep would make run timing part of the observable behaviour).
+    pub fn immediate(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based) of request `id`.
+    pub fn backoff(&self, id: u64, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16))
+            .min(self.backoff_cap);
+        if self.jitter_frac <= 0.0 || exp.is_zero() {
+            return exp;
+        }
+        // splitmix64 over (id, attempt): deterministic jitter.
+        let mut x = id
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(attempt as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 + self.jitter_frac * (2.0 * u - 1.0);
+        exp.mul_f64(factor.max(0.0))
+    }
+}
 
 /// Full serving configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +117,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Task scheduling policy for the worker pool.
     pub scheduler: SchedulerPolicy,
+    /// What to do with requests whose batch failed in the executor.
+    pub retry: RetryPolicy,
+    /// When sustained failure trips degraded mode.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +131,8 @@ impl Default for ServeConfig {
             batch: BatchPolicy::new(8, Duration::from_millis(2)),
             workers: 0,
             scheduler: SchedulerPolicy::LocalityAware,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -56,7 +142,9 @@ impl ServeConfig {
     /// that changes behaviour, in a fixed order.
     pub fn canonical(&self) -> String {
         format!(
-            "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?}",
+            "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?},\
+             retries={},backoff_us={},backoff_cap_us={},jitter={},\
+             brk_fail={},brk_win={},brk_rec={}",
             self.queue_capacity,
             self.policy.name(),
             self.batch.max_batch,
@@ -64,8 +152,35 @@ impl ServeConfig {
             self.batch.bucket_width,
             self.workers,
             self.scheduler,
+            self.retry.max_retries,
+            self.retry.backoff_base.as_micros(),
+            self.retry.backoff_cap.as_micros(),
+            self.retry.jitter_frac,
+            self.breaker.failure_threshold,
+            self.breaker.window,
+            self.breaker.recovery,
         )
     }
+}
+
+/// A failed request waiting for its singleton re-execution.
+struct RetryEntry<T: Float> {
+    req: InferRequest<T>,
+    /// 1-based attempt number of the upcoming re-execution.
+    attempt: u32,
+    due: Instant,
+}
+
+/// Mutable serving-loop state threaded through batch execution, so a
+/// failure can schedule retries and a breaker transition can flip the
+/// batcher and queue into (or out of) degraded mode.
+struct ServeState<'a, T: Float> {
+    batcher: MicroBatcher<T>,
+    breaker: CircuitBreaker,
+    retries: VecDeque<RetryEntry<T>>,
+    queue: &'a AdmissionQueue<T>,
+    normal_policy: BackpressurePolicy,
+    normal_max_batch: usize,
 }
 
 /// Inference server: resident model + resident executor + serving loop.
@@ -73,6 +188,9 @@ pub struct Server<T: Float> {
     model: Brnn<T>,
     exec: TaskGraphExec,
     config: ServeConfig,
+    /// Fault plan installed on the resident runtime, kept so reports can
+    /// read the injection counters.
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl<T: Float> Server<T> {
@@ -87,7 +205,24 @@ impl<T: Float> Server<T> {
             model,
             exec,
             config,
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Installs a seeded [`FaultPlan`] on the resident runtime (chaos
+    /// testing: injected task panics and stragglers). Returns the plan so
+    /// callers can read its counters; [`Self::fault_plan`] retrieves it
+    /// later. Install before serving so every batch runs under the plan.
+    pub fn install_fault_plan(&self, config: FaultConfig) -> Arc<FaultPlan> {
+        let plan = Arc::new(FaultPlan::new(config));
+        self.exec.runtime().set_fault_plan(Some(plan.clone()));
+        *self.fault.lock() = Some(plan.clone());
+        plan
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().clone()
     }
 
     /// The resident model.
@@ -109,11 +244,17 @@ impl<T: Float> Server<T> {
     }
 
     /// Runs the serving loop until `queue` is closed and fully drained
-    /// (including partially filled buckets). Serve-side outcomes —
-    /// [`Outcome::Served`], deadline [`Outcome::Shed`]s, and
-    /// [`Outcome::Rejected`] for malformed requests — are recorded into
+    /// (including partially filled buckets and pending retries).
+    /// Serve-side outcomes — [`Outcome::Served`], deadline
+    /// [`Outcome::Shed`]s, [`Outcome::Rejected`] for malformed requests,
+    /// and [`Outcome::Failed`] after the retry budget — are recorded into
     /// `metrics` and forwarded to `on_outcome`. Admission-side outcomes
     /// (queue rejects/sheds) are the producer's to report.
+    ///
+    /// Failed batches feed the retry queue per [`RetryPolicy`]; executor
+    /// health feeds the [`CircuitBreaker`], which in degraded mode
+    /// shrinks batches to singletons and flips the queue's backpressure
+    /// to [`BackpressurePolicy::Reject`] until a clean window passes.
     pub fn serve(
         &self,
         queue: &AdmissionQueue<T>,
@@ -121,47 +262,94 @@ impl<T: Float> Server<T> {
         mut on_outcome: impl FnMut(Outcome<T>),
     ) {
         let shed_expired = self.config.policy == BackpressurePolicy::ShedExpired;
-        let mut batcher = MicroBatcher::new(self.config.batch);
+        let mut st = ServeState {
+            batcher: MicroBatcher::new(self.config.batch),
+            breaker: CircuitBreaker::new(self.config.breaker),
+            retries: VecDeque::new(),
+            queue,
+            normal_policy: self.config.policy,
+            normal_max_batch: self.config.batch.max_batch,
+        };
         loop {
             let now = Instant::now();
             if shed_expired {
-                for req in batcher.take_expired(now) {
+                for req in st.batcher.take_expired(now) {
                     let outcome = Outcome::Shed { id: req.id };
                     metrics.record_outcome(&outcome);
                     on_outcome(outcome);
                 }
             }
-            if let Some(batch) = batcher.pop_ready(now, false) {
-                self.run_batch(batch, metrics, &mut on_outcome);
+            // Due retries run before fresh batches: they are the oldest
+            // work in the system, and a singleton retry is cheap.
+            if let Some(pos) = st.retries.iter().position(|e| now >= e.due) {
+                let entry = st.retries.remove(pos).expect("position in bounds");
+                self.execute(
+                    vec![entry.req],
+                    entry.attempt,
+                    &mut st,
+                    metrics,
+                    &mut on_outcome,
+                );
                 continue;
             }
-            match queue.pop_wait(batcher.next_deadline()) {
-                Popped::Item(req) => batcher.offer(req, Instant::now()),
-                Popped::TimedOut => {} // a bucket window expired; next pop_ready closes it
+            if let Some(batch) = st.batcher.pop_ready(now, false) {
+                self.execute(batch, 0, &mut st, metrics, &mut on_outcome);
+                continue;
+            }
+            // Sleep until new work, the next bucket window, or the next
+            // retry coming due — whichever is first.
+            let wake = match (
+                st.batcher.next_deadline(),
+                st.retries.iter().map(|e| e.due).min(),
+            ) {
+                (Some(b), Some(r)) => Some(b.min(r)),
+                (b, r) => b.or(r),
+            };
+            match queue.pop_wait(wake) {
+                Popped::Item(req) => st.batcher.offer(req, Instant::now()),
+                Popped::TimedOut => {} // a window or backoff expired; retry/pop_ready handles it
                 Popped::Closed => break,
             }
         }
-        // Drain: force-close every remaining bucket.
+        // Drain: run out the retry queue (backoff waived — nothing new
+        // can arrive, so waiting buys nothing) and force-close every
+        // remaining bucket. Retries scheduled *during* the drain loop
+        // back onto it, so every request still reaches a terminal
+        // outcome.
         loop {
             let now = Instant::now();
             if shed_expired {
-                for req in batcher.take_expired(now) {
+                for req in st.batcher.take_expired(now) {
                     let outcome = Outcome::Shed { id: req.id };
                     metrics.record_outcome(&outcome);
                     on_outcome(outcome);
                 }
             }
-            match batcher.pop_ready(now, true) {
-                Some(batch) => self.run_batch(batch, metrics, &mut on_outcome),
+            if let Some(entry) = st.retries.pop_front() {
+                self.execute(
+                    vec![entry.req],
+                    entry.attempt,
+                    &mut st,
+                    metrics,
+                    &mut on_outcome,
+                );
+                continue;
+            }
+            match st.batcher.pop_ready(now, true) {
+                Some(batch) => self.execute(batch, 0, &mut st, metrics, &mut on_outcome),
                 None => break,
             }
         }
     }
 
-    /// Executes one closed batch and emits its outcomes.
-    fn run_batch(
+    /// Executes one closed batch (`attempt == 0`) or singleton retry
+    /// (`attempt >= 1`) and emits outcomes, schedules retries, and feeds
+    /// the breaker.
+    fn execute(
         &self,
         batch: Vec<InferRequest<T>>,
+        attempt: u32,
+        st: &mut ServeState<'_, T>,
         metrics: &mut MetricsCollector,
         on_outcome: &mut impl FnMut(Outcome<T>),
     ) {
@@ -194,19 +382,38 @@ impl<T: Float> Server<T> {
                 })
             })
             .collect();
-        // A task panic must not take the server down with it: fail this
-        // batch's requests and keep the loop (and worker pool) alive.
+        // A task panic must not take the server down with it: the batch's
+        // requests go to the retry queue (or fail) and the loop — and its
+        // worker pool — keeps serving.
         let out = match self.exec.try_forward(&self.model, &xs) {
             Ok(out) => out,
             Err(_) => {
+                self.breaker_record(true, st, metrics);
+                let now = Instant::now();
                 for req in live {
-                    let outcome = Outcome::Failed { id: req.id };
-                    metrics.record_outcome(&outcome);
-                    on_outcome(outcome);
+                    if attempt < self.config.retry.max_retries && !req.expired(now) {
+                        metrics.record_retry(attempt == 0);
+                        let due = now + self.config.retry.backoff(req.id, attempt + 1);
+                        st.retries.push_back(RetryEntry {
+                            req,
+                            attempt: attempt + 1,
+                            due,
+                        });
+                    } else {
+                        if attempt >= self.config.retry.max_retries
+                            && self.config.retry.max_retries > 0
+                        {
+                            metrics.record_retry_exhausted();
+                        }
+                        let outcome = Outcome::Failed { id: req.id };
+                        metrics.record_outcome(&outcome);
+                        on_outcome(outcome);
+                    }
                 }
                 return;
             }
         };
+        self.breaker_record(false, st, metrics);
         let done = Instant::now();
         let service = done.duration_since(close);
         metrics.record_batch(rows, padded_len, real_frames);
@@ -220,10 +427,35 @@ impl<T: Float> Server<T> {
                     total: done.duration_since(req.arrival),
                     batch_rows: rows,
                     padded_len,
+                    attempts: attempt,
                 },
             });
             metrics.record_outcome(&outcome);
             on_outcome(outcome);
+        }
+    }
+
+    /// Feeds one executor run into the breaker and applies any state
+    /// transition: opening degrades the batcher to singletons and the
+    /// queue to `Reject`; closing restores the configured policy.
+    fn breaker_record(
+        &self,
+        failed: bool,
+        st: &mut ServeState<'_, T>,
+        metrics: &mut MetricsCollector,
+    ) {
+        match st.breaker.record(failed) {
+            BreakerTransition::None => {}
+            BreakerTransition::Opened => {
+                metrics.record_breaker_opened();
+                st.batcher.set_max_batch(1);
+                st.queue.set_policy(BackpressurePolicy::Reject);
+            }
+            BreakerTransition::Closed => {
+                metrics.record_breaker_closed();
+                st.batcher.set_max_batch(st.normal_max_batch);
+                st.queue.set_policy(st.normal_policy);
+            }
         }
     }
 }

@@ -25,6 +25,6 @@ pub mod matrix;
 pub mod ops;
 pub mod scalar;
 
-pub use gemm::{gemm, gemm_nt, gemm_tn};
+pub use gemm::{gemm, gemm_naive, gemm_nt, gemm_tn};
 pub use matrix::Matrix;
 pub use scalar::Float;
