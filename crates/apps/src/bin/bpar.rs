@@ -574,8 +574,21 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         report.queue_depth_max,
     );
     println!(
-        "plan cache: {} hits, {} misses, {} evictions; {} weight deep copies",
-        report.plan_hits, report.plan_misses, report.plan_evictions, report.weight_syncs,
+        "plan cache: {} hits, {} misses, {} evictions; {} weight deep copies; \
+         arena {:.1} KiB resident, {} warm reuses",
+        report.plan_hits,
+        report.plan_misses,
+        report.plan_evictions,
+        report.weight_syncs,
+        report.arena_bytes as f64 / 1024.0,
+        report.arena_reuses,
+    );
+    println!(
+        "batch buffers: {} pool hits, {} misses ({:.1} KiB pooled) — \
+         steady-state batches allocate nothing",
+        report.pool_hits,
+        report.pool_misses,
+        report.pool_bytes as f64 / 1024.0,
     );
     if fault.is_some() || report.retries > 0 {
         println!(

@@ -198,7 +198,7 @@ fn validate_plan<T: Float>(
     });
     let recorder = Arc::new(AccessRecorder::new());
     rt.set_validation(Some(recorder.clone()));
-    plan.scrub();
+    plan.clear_values();
     plan.load_batch(model, batch);
     if train {
         plan.load_target(target);
@@ -207,7 +207,7 @@ fn validate_plan<T: Float>(
     let result = rt.taskwait();
     rt.set_validation(None);
     let events = recorder.take_events();
-    plan.scrub();
+    plan.clear_values();
 
     let view = GraphView::from_plan(&plan.compiled);
     let mut findings = validate_clauses(&view, &events, result.is_ok(), name_of);
@@ -255,7 +255,7 @@ fn fuzz_plan<T: Float>(
             policy,
             record_trace: false,
         });
-        plan.scrub();
+        plan.clear_values();
         plan.load_batch(model, batch);
         if train {
             plan.load_target(target);
@@ -265,7 +265,7 @@ fn fuzz_plan<T: Float>(
             Ok(()) => Outcome::Ok(fingerprint_outputs(plan, model, train)),
             Err(msg) => Outcome::Panic(msg),
         };
-        plan.scrub();
+        plan.clear_values();
         outcomes.push((policy_name(policy), outcome));
     }
 

@@ -13,8 +13,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
-use bpar_tensor::ops::{add_bias, column_sums};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+use bpar_tensor::ops::{add_bias, column_sums_into};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
 
 /// Fused GRU parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,31 @@ pub struct GruCache<T: Float> {
     pub h_prev: Matrix<T>,
 }
 
+impl<T: Float> GruCache<T> {
+    /// Zeroed cache buffers for a `batch`-row cell of the given widths —
+    /// the persistent storage [`GruParams::forward_ws`] writes into.
+    pub fn zeros(batch: usize, input: usize, hidden: usize) -> Self {
+        Self {
+            zr_in: Matrix::zeros(batch, input + hidden),
+            h_in: Matrix::zeros(batch, input + hidden),
+            z: Matrix::zeros(batch, hidden),
+            r: Matrix::zeros(batch, hidden),
+            hbar: Matrix::zeros(batch, hidden),
+            h_prev: Matrix::zeros(batch, hidden),
+        }
+    }
+
+    /// Bytes of backing storage held by the cache.
+    pub fn nbytes(&self) -> usize {
+        self.zr_in.nbytes()
+            + self.h_in.nbytes()
+            + self.z.nbytes()
+            + self.r.nbytes()
+            + self.hbar.nbytes()
+            + self.h_prev.nbytes()
+    }
+}
+
 impl<T: Float> GruParams<T> {
     /// Xavier-initialised parameters.
     pub fn init(input: usize, hidden: usize, seed: u64) -> Self {
@@ -81,59 +106,84 @@ impl<T: Float> GruParams<T> {
     }
 
     /// Forward update (Eqs. 7–10).
+    ///
+    /// Thin allocating wrapper over [`GruParams::forward_ws`] — fresh
+    /// state and cache buffers per call, kept as the oracle-test surface.
     pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, GruCache<T>) {
+        let batch = x.rows();
+        let mut state = CellState {
+            h: Matrix::zeros(batch, self.hidden),
+            c: None,
+        };
+        let mut cache = GruCache::zeros(batch, self.input, self.hidden);
+        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        (state, cache)
+    }
+
+    /// Allocation-free forward update: results go into the caller-provided
+    /// `state`/`cache` buffers (see [`GruCache::zeros`]); the one transient
+    /// block (fused z/r pre-activations, `batch × 2H`) is checked out of
+    /// `ws` and returned before exit.
+    ///
+    /// Performs exactly the same kernel calls in the same order on the
+    /// same values as the allocating wrapper, so outputs are bit-identical
+    /// (`R ⊙ H_{t-1}` is written straight into the right column block of
+    /// `h_in`; the products are the same scalars `hadamard` produced).
+    pub fn forward_ws(
+        &self,
+        x: &Matrix<T>,
+        prev: &CellState<T>,
+        state: &mut CellState<T>,
+        cache: &mut GruCache<T>,
+        ws: &mut Workspace<T>,
+    ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
         assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
         let h = self.hidden;
 
-        // Fused z/r gates.
-        let zr_in = Matrix::hstack(&[x, &prev.h]);
-        let mut zr = Matrix::zeros(batch, 2 * h);
-        gemm(T::ONE, &zr_in, &self.wzr, T::ZERO, &mut zr);
+        // Fused z/r gates; the pre-activation block is transient scratch.
+        Matrix::hstack_into(&[x, &prev.h], &mut cache.zr_in);
+        let mut zr = ws.checkout(batch, 2 * h);
+        gemm(T::ONE, &cache.zr_in, &self.wzr, T::ZERO, &mut zr);
         add_bias(&mut zr, &self.bzr);
         zr.map_inplace(|v| v.sigmoid());
-        let mut z = Matrix::zeros(batch, h);
-        let mut r = Matrix::zeros(batch, h);
         for row in 0..batch {
             let src = zr.row(row);
-            z.row_mut(row).copy_from_slice(&src[..h]);
-            r.row_mut(row).copy_from_slice(&src[h..]);
+            cache.z.row_mut(row).copy_from_slice(&src[..h]);
+            cache.r.row_mut(row).copy_from_slice(&src[h..]);
         }
+        ws.give_back(zr);
 
-        // Candidate with reset-gated recurrent input.
-        let mut rh = Matrix::zeros(batch, h);
-        bpar_tensor::ops::hadamard(&r, &prev.h, &mut rh);
-        let h_in = Matrix::hstack(&[x, &rh]);
-        let mut hbar = Matrix::zeros(batch, h);
-        gemm(T::ONE, &h_in, &self.wh, T::ZERO, &mut hbar);
-        add_bias(&mut hbar, &self.bh);
-        hbar.map_inplace(|v| v.tanh());
+        // Candidate with reset-gated recurrent input: [X_t, R ⊙ H_{t-1}]
+        // assembled in place (no `rh` temporary, no hstack copy).
+        for row in 0..batch {
+            let (rs, hp) = (cache.r.row(row), prev.h.row(row));
+            let dst = cache.h_in.row_mut(row);
+            dst[..self.input].copy_from_slice(x.row(row));
+            for j in 0..h {
+                dst[self.input + j] = rs[j] * hp[j];
+            }
+        }
+        gemm(T::ONE, &cache.h_in, &self.wh, T::ZERO, &mut cache.hbar);
+        add_bias(&mut cache.hbar, &self.bh);
+        cache.hbar.map_inplace(|v| v.tanh());
 
         // H_t = Z ⊙ H̄ + (1-Z) ⊙ H_{t-1}.
-        let mut h_out = Matrix::zeros(batch, h);
         for row in 0..batch {
-            let (zs, hb, hp) = (z.row(row), hbar.row(row), prev.h.row(row));
-            let out = h_out.row_mut(row);
+            let (zs, hb, hp) = (cache.z.row(row), cache.hbar.row(row), prev.h.row(row));
+            let out = state.h.row_mut(row);
             for j in 0..h {
                 out[j] = zs[j] * hb[j] + (T::ONE - zs[j]) * hp[j];
             }
         }
-
-        let state = CellState { h: h_out, c: None };
-        let cache = GruCache {
-            zr_in,
-            h_in,
-            z,
-            r,
-            hbar,
-            h_prev: prev.h.clone(),
-        };
-        (state, cache)
+        cache.h_prev.copy_from(&prev.h);
     }
 
     /// Backward update (BPTT through Eqs. 7–10). See
     /// [`super::CellParams::backward`] for the argument contract.
+    ///
+    /// Thin allocating wrapper over [`GruParams::backward_ws`].
     pub fn backward(
         &self,
         cache: &GruCache<T>,
@@ -142,23 +192,60 @@ impl<T: Float> GruParams<T> {
         grads: &mut GruParams<T>,
     ) -> (Matrix<T>, StateGrad<T>) {
         let batch = dh.rows();
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, self.hidden),
+            dc: None,
+        };
+        self.backward_ws(
+            cache,
+            dh,
+            dstate,
+            grads,
+            &mut dx,
+            &mut dprev,
+            &mut Workspace::new(),
+        );
+        (dx, dprev)
+    }
+
+    /// Allocation-free backward update: `dx` and `dprev` are caller-provided
+    /// output buffers (fully overwritten), transient scratch comes from `ws`.
+    /// The old per-row `to_vec()` copies of `dh_in`/`dzr_in` rows are gone —
+    /// those matrices are distinct from every write target, so their rows
+    /// can be borrowed directly. Same kernel calls, same order, same values
+    /// ⇒ bit-identical gradients.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &self,
+        cache: &GruCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut GruParams<T>,
+        dx: &mut Matrix<T>,
+        dprev: &mut StateGrad<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        let batch = dh.rows();
         let h = self.hidden;
         assert_eq!(dh.shape(), (batch, h), "dh shape");
+        assert_eq!(dx.shape(), (batch, self.input), "dx buffer shape");
+        assert_eq!(dprev.dh.shape(), (batch, h), "dH_prev buffer shape");
 
-        let mut dh_total = dh.clone();
+        let mut dh_total = ws.checkout(batch, h);
+        dh_total.copy_from(dh);
         if let Some(sg) = dstate {
             bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
         }
 
         // Through Eq. (10).
-        let mut dhbar_pre = Matrix::zeros(batch, h); // pre-tanh candidate grad
-        let mut dz_pre = Matrix::zeros(batch, h);
-        let mut dh_prev = Matrix::zeros(batch, h);
+        let mut dhbar_pre = ws.checkout(batch, h); // pre-tanh candidate grad
+        let mut dz_pre = ws.checkout(batch, h);
         for row in 0..batch {
             let (zs, hb, hp) = (cache.z.row(row), cache.hbar.row(row), cache.h_prev.row(row));
             let dht = dh_total.row(row);
             {
-                let dp = dh_prev.row_mut(row);
+                let dp = dprev.dh.row_mut(row);
                 for j in 0..h {
                     dp[j] = dht[j] * (T::ONE - zs[j]); // (1-Z) path
                 }
@@ -179,16 +266,16 @@ impl<T: Float> GruParams<T> {
 
         // Candidate kernel gradients and input gradient.
         gemm_tn(T::ONE, &cache.h_in, &dhbar_pre, T::ONE, &mut grads.wh);
-        let dbh = column_sums(&dhbar_pre);
+        let mut dbh = ws.checkout(1, h);
+        column_sums_into(&dhbar_pre, &mut dbh);
         bpar_tensor::ops::axpy(T::ONE, &dbh, &mut grads.bh);
-        let mut dh_in = Matrix::zeros(batch, self.input + h);
+        let mut dh_in = ws.checkout(batch, self.input + h);
         gemm_nt(T::ONE, &dhbar_pre, &self.wh, T::ZERO, &mut dh_in);
 
         // Split dh_in into dX (part 1) and d(R ⊙ H_prev).
-        let mut dx = Matrix::zeros(batch, self.input);
-        let mut dr_pre = Matrix::zeros(batch, h);
+        let mut dr_pre = ws.checkout(batch, h);
         for row in 0..batch {
-            let src = dh_in.row(row).to_vec();
+            let src = dh_in.row(row);
             dx.row_mut(row).copy_from_slice(&src[..self.input]);
             let (rs, hp) = (cache.r.row(row), cache.h_prev.row(row));
             // dRH = src[input..]; dR = dRH ⊙ H_prev, dH_prev += dRH ⊙ R.
@@ -199,38 +286,42 @@ impl<T: Float> GruParams<T> {
                     drp[j] = drh * hp[j] * dsigmoid_from_y(rs[j]);
                 }
             }
-            let dp = dh_prev.row_mut(row);
+            let dp = dprev.dh.row_mut(row);
             for j in 0..h {
                 dp[j] += src[self.input + j] * rs[j];
             }
         }
 
         // Fused z/r kernel gradients and input gradient.
-        let dzr_pre = Matrix::hstack(&[&dz_pre, &dr_pre]);
+        let mut dzr_pre = ws.checkout(batch, 2 * h);
+        Matrix::hstack_into(&[&dz_pre, &dr_pre], &mut dzr_pre);
         gemm_tn(T::ONE, &cache.zr_in, &dzr_pre, T::ONE, &mut grads.wzr);
-        let dbzr = column_sums(&dzr_pre);
+        let mut dbzr = ws.checkout(1, 2 * h);
+        column_sums_into(&dzr_pre, &mut dbzr);
         bpar_tensor::ops::axpy(T::ONE, &dbzr, &mut grads.bzr);
-        let mut dzr_in = Matrix::zeros(batch, self.input + h);
+        let mut dzr_in = ws.checkout(batch, self.input + h);
         gemm_nt(T::ONE, &dzr_pre, &self.wzr, T::ZERO, &mut dzr_in);
         for row in 0..batch {
-            let src = dzr_in.row(row).to_vec();
+            let src = dzr_in.row(row);
             let dxr = dx.row_mut(row);
             for j in 0..self.input {
                 dxr[j] += src[j];
             }
-            let dp = dh_prev.row_mut(row);
+            let dp = dprev.dh.row_mut(row);
             for j in 0..h {
                 dp[j] += src[self.input + j];
             }
         }
 
-        (
-            dx,
-            StateGrad {
-                dh: dh_prev,
-                dc: None,
-            },
-        )
+        ws.give_back(dh_total);
+        ws.give_back(dhbar_pre);
+        ws.give_back(dz_pre);
+        ws.give_back(dbh);
+        ws.give_back(dh_in);
+        ws.give_back(dr_pre);
+        ws.give_back(dzr_pre);
+        ws.give_back(dbzr);
+        ws.give_back(dzr_in);
     }
 }
 
@@ -374,6 +465,125 @@ mod tests {
                 sg_prev.dh.get(r, c)
             );
         }
+    }
+
+    /// Regression oracle for the allocation-free rewrite: an independent
+    /// implementation built on `gemm_naive` plus the pre-rewrite
+    /// copy-based assembly (`hadamard` into a temporary, then `hstack`).
+    /// GEMM-fed activations are compared at ulp-scale tolerance (the
+    /// blocked `gemm` fuses with `mul_add`, the naive oracle does not);
+    /// everything derived elementwise from the produced gate values must
+    /// be bit-identical.
+    #[test]
+    fn forward_matches_gemm_naive_oracle() {
+        let batch = 3;
+        let (input, hidden) = (4, 5);
+        let h = hidden;
+        let p: GruParams<f64> = GruParams::init(input, hidden, 31);
+        let x = init::uniform(batch, input, -1.0, 1.0, 32);
+        let prev = state(batch, hidden, 33);
+        let (st, cache) = p.forward(&x, &prev);
+
+        // Oracle fused z/r gates: naive GEMM, then the same sigmoid.
+        let zr_in = Matrix::hstack(&[&x, &prev.h]);
+        for (a, b) in cache.zr_in.as_slice().iter().zip(zr_in.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "zr_in must be bit-identical");
+        }
+        let mut zr = Matrix::zeros(batch, 2 * h);
+        bpar_tensor::gemm_naive(1.0, &zr_in, &p.wzr, 0.0, &mut zr);
+        add_bias(&mut zr, &p.bzr);
+        zr.map_inplace(|v| v.sigmoid());
+        for row in 0..batch {
+            let src = zr.row(row);
+            for j in 0..h {
+                assert!((cache.z.row(row)[j] - src[j]).abs() < 1e-12, "Z gate");
+                assert!((cache.r.row(row)[j] - src[h + j]).abs() < 1e-12, "R gate");
+            }
+        }
+
+        // Candidate input assembled the pre-rewrite way from the gate
+        // values the forward actually produced: `hadamard` into a
+        // temporary, then `hstack`. Same scalars ⇒ bit-identical h_in.
+        let mut rh = Matrix::zeros(batch, h);
+        bpar_tensor::ops::hadamard(&cache.r, &prev.h, &mut rh);
+        let h_in_ref = Matrix::hstack(&[&x, &rh]);
+        for (a, b) in cache.h_in.as_slice().iter().zip(h_in_ref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "h_in must be bit-identical");
+        }
+
+        // Candidate activation: naive GEMM oracle on the produced h_in.
+        let mut hbar = Matrix::zeros(batch, h);
+        bpar_tensor::gemm_naive(1.0, &cache.h_in, &p.wh, 0.0, &mut hbar);
+        add_bias(&mut hbar, &p.bh);
+        hbar.map_inplace(|v| v.tanh());
+        assert!(
+            cache.hbar.max_abs_diff(&hbar) < 1e-12,
+            "H̄ diverges from the naive-GEMM oracle"
+        );
+
+        // Eq. (10) from the produced gate values, written with the
+        // pre-rewrite expression. Identical inputs and operation order ⇒
+        // the output must be bit-identical.
+        for row in 0..batch {
+            let (zs, hb, hp) = (cache.z.row(row), cache.hbar.row(row), prev.h.row(row));
+            for j in 0..h {
+                let want = zs[j] * hb[j] + (1.0 - zs[j]) * hp[j];
+                assert_eq!(
+                    st.h.row(row)[j].to_bits(),
+                    want.to_bits(),
+                    "H_t must be bit-identical"
+                );
+            }
+        }
+    }
+
+    /// The `_ws` paths must stay bit-identical to the allocating paths
+    /// while persistent buffers and the scratch pool are reused across
+    /// calls (steady-state replay conditions).
+    #[test]
+    fn ws_paths_match_allocating_paths_bitwise_with_reuse() {
+        let batch = 2;
+        let (input, hidden) = (3, 4);
+        let p: GruParams<f64> = GruParams::init(input, hidden, 35);
+        let x = init::uniform(batch, input, -1.0, 1.0, 36);
+        let prev = state(batch, hidden, 37);
+        let dh = init::uniform(batch, hidden, -1.0, 1.0, 38);
+
+        let (st_ref, cache_ref) = p.forward(&x, &prev);
+        let mut grads_ref = p.zeros_like();
+        let (dx_ref, sg_ref) = p.backward(&cache_ref, &dh, None, &mut grads_ref);
+
+        let mut ws = Workspace::new();
+        let mut st = CellState::zeros(CellKind::Gru, batch, hidden);
+        let mut cache = GruCache::zeros(batch, input, hidden);
+        let mut dx = Matrix::zeros(batch, input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, hidden),
+            dc: None,
+        };
+        for _ in 0..3 {
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
+            }
+            let mut grads = p.zeros_like();
+            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
+            }
+            for (a, b) in dprev.dh.as_slice().iter().zip(sg_ref.dh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dH_prev drifted");
+            }
+            for (a, b) in grads.wzr.as_slice().iter().zip(grads_ref.wzr.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dWzr drifted");
+            }
+            for (a, b) in grads.wh.as_slice().iter().zip(grads_ref.wh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dWh drifted");
+            }
+        }
+        // Steady state: the pool serves every scratch shape without a
+        // single cold allocation after the first iteration.
+        assert!(ws.stats().reuses > 0, "scratch pool was never reused");
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
-use bpar_tensor::ops::{add_bias, column_sums};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+use bpar_tensor::ops::{add_bias, column_sums_into};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
 
 /// Fused LSTM parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +46,24 @@ pub struct LstmCache<T: Float> {
     /// and `gates` it reconstructs everything BPTT needs, so `C_t` itself
     /// lives only in the returned [`CellState`]).
     pub tanh_c: Matrix<T>,
+}
+
+impl<T: Float> LstmCache<T> {
+    /// Zeroed cache buffers for a `batch`-row cell of the given widths —
+    /// the persistent storage [`LstmParams::forward_ws`] writes into.
+    pub fn zeros(batch: usize, input: usize, hidden: usize) -> Self {
+        Self {
+            z: Matrix::zeros(batch, input + hidden),
+            gates: Matrix::zeros(batch, 4 * hidden),
+            c_prev: Matrix::zeros(batch, hidden),
+            tanh_c: Matrix::zeros(batch, hidden),
+        }
+    }
+
+    /// Bytes of backing storage held by the cache.
+    pub fn nbytes(&self) -> usize {
+        self.z.nbytes() + self.gates.nbytes() + self.c_prev.nbytes() + self.tanh_c.nbytes()
+    }
 }
 
 impl<T: Float> LstmParams<T> {
@@ -82,7 +100,35 @@ impl<T: Float> LstmParams<T> {
 
     /// Forward update (Eqs. 1–6). `x` is `batch × input`; `prev` must hold
     /// both `H_{t-1}` and `C_{t-1}`.
+    ///
+    /// Thin allocating wrapper over [`LstmParams::forward_ws`] — fresh
+    /// state and cache buffers per call, kept as the oracle-test surface.
     pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, LstmCache<T>) {
+        let batch = x.rows();
+        let mut state = CellState {
+            h: Matrix::zeros(batch, self.hidden),
+            c: Some(Matrix::zeros(batch, self.hidden)),
+        };
+        let mut cache = LstmCache::zeros(batch, self.input, self.hidden);
+        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        (state, cache)
+    }
+
+    /// Allocation-free forward update: every result is written into the
+    /// caller-provided `state`/`cache` buffers (see [`LstmCache::zeros`]).
+    /// The LSTM needs no transient scratch, so `_ws` is unused — the
+    /// parameter keeps the cell-kind signatures uniform.
+    ///
+    /// Performs exactly the same kernel calls in the same order on the
+    /// same values as the allocating wrapper, so outputs are bit-identical.
+    pub fn forward_ws(
+        &self,
+        x: &Matrix<T>,
+        prev: &CellState<T>,
+        state: &mut CellState<T>,
+        cache: &mut LstmCache<T>,
+        _ws: &mut Workspace<T>,
+    ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
         assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
@@ -90,32 +136,21 @@ impl<T: Float> LstmParams<T> {
         let h = self.hidden;
 
         // Z = [X_t, H_{t-1}]
-        let z = Matrix::hstack(&[x, &prev.h]);
+        Matrix::hstack_into(&[x, &prev.h], &mut cache.z);
         // G = Z W + b
-        let mut gates = Matrix::zeros(batch, 4 * h);
-        gemm(T::ONE, &z, &self.w, T::ZERO, &mut gates);
-        add_bias(&mut gates, &self.b);
-
+        gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.gates);
+        add_bias(&mut cache.gates, &self.b);
         // Nonlinearities per block: σ on i,f,o; tanh on g.
-        for r in 0..batch {
-            let row = gates.row_mut(r);
-            for v in &mut row[0..2 * h] {
-                *v = v.sigmoid(); // i, f
-            }
-            for v in &mut row[2 * h..3 * h] {
-                *v = v.tanh(); // g
-            }
-            for v in &mut row[3 * h..4 * h] {
-                *v = v.sigmoid(); // o
-            }
-        }
+        lstm_gate_nonlinearities(&mut cache.gates, h);
 
         // C_t = f ⊙ C_{t-1} + i ⊙ g ;  H_t = o ⊙ tanh(C_t)
-        let mut c = Matrix::zeros(batch, h);
-        let mut tanh_c = Matrix::zeros(batch, h);
-        let mut h_out = Matrix::zeros(batch, h);
+        let c = state
+            .c
+            .as_mut()
+            .expect("LSTM state buffer needs a cell state");
+        assert_eq!(c.shape(), (batch, h), "C_t buffer shape");
         for r in 0..batch {
-            let grow = gates.row(r);
+            let grow = cache.gates.row(r);
             let (gi, rest) = grow.split_at(h);
             let (gf, rest) = rest.split_at(h);
             let (gg, go) = rest.split_at(h);
@@ -127,28 +162,17 @@ impl<T: Float> LstmParams<T> {
                 crow[j] = gf[j] * cp[j] + gi[j] * gg[j];
             }
             let crow = c.row(r);
-            let trow = tanh_c.row_mut(r);
+            let trow = cache.tanh_c.row_mut(r);
             for j in 0..h {
                 trow[j] = crow[j].tanh();
             }
-            let trow = tanh_c.row(r);
-            let hrow = h_out.row_mut(r);
+            let trow = cache.tanh_c.row(r);
+            let hrow = state.h.row_mut(r);
             for j in 0..h {
                 hrow[j] = go[j] * trow[j];
             }
         }
-
-        let state = CellState {
-            h: h_out,
-            c: Some(c),
-        };
-        let cache = LstmCache {
-            z,
-            gates,
-            c_prev: c_prev.clone(),
-            tanh_c,
-        };
-        (state, cache)
+        cache.c_prev.copy_from(c_prev);
     }
 
     /// Backward update (BPTT through Eqs. 1–6).
@@ -168,18 +192,58 @@ impl<T: Float> LstmParams<T> {
         grads: &mut LstmParams<T>,
     ) -> (Matrix<T>, StateGrad<T>) {
         let batch = dh.rows();
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, self.hidden),
+            dc: Some(Matrix::zeros(batch, self.hidden)),
+        };
+        self.backward_ws(
+            cache,
+            dh,
+            dstate,
+            grads,
+            &mut dx,
+            &mut dprev,
+            &mut Workspace::new(),
+        );
+        (dx, dprev)
+    }
+
+    /// Allocation-free backward update: `dx` and `dprev` are caller-provided
+    /// output buffers (fully overwritten), transient scratch comes from `ws`.
+    /// Same kernel calls, same order, same values as [`LstmParams::backward`]
+    /// ⇒ bit-identical gradients.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &self,
+        cache: &LstmCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut LstmParams<T>,
+        dx: &mut Matrix<T>,
+        dprev: &mut StateGrad<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        let batch = dh.rows();
         let h = self.hidden;
         assert_eq!(dh.shape(), (batch, h), "dh shape");
+        assert_eq!(dx.shape(), (batch, self.input), "dx buffer shape");
+        assert_eq!(dprev.dh.shape(), (batch, h), "dH_prev buffer shape");
 
         // Total dH_t: upstream plus recurrent.
-        let mut dh_total = dh.clone();
+        let mut dh_total = ws.checkout(batch, h);
+        dh_total.copy_from(dh);
         if let Some(sg) = dstate {
             bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
         }
 
         // Gate pre-activation gradients, fused layout [i, f, g, o].
-        let mut dgates = Matrix::zeros(batch, 4 * h);
-        let mut dc_prev = Matrix::zeros(batch, h);
+        let mut dgates = ws.checkout(batch, 4 * h);
+        let dc_prev = dprev
+            .dc
+            .as_mut()
+            .expect("LSTM gradient buffer needs a dC slot");
+        assert_eq!(dc_prev.shape(), (batch, h), "dC_prev buffer shape");
         for r in 0..batch {
             let grow = cache.gates.row(r);
             let (gi, rest) = grow.split_at(h);
@@ -218,28 +282,24 @@ impl<T: Float> LstmParams<T> {
         }
 
         // dZ = dG Wᵀ  →  split into dX and dH_{t-1}.
-        let mut dz = Matrix::zeros(batch, self.input + h);
+        let mut dz = ws.checkout(batch, self.input + h);
         gemm_nt(T::ONE, &dgates, &self.w, T::ZERO, &mut dz);
-        let mut dx = Matrix::zeros(batch, self.input);
-        let mut dh_prev = Matrix::zeros(batch, h);
         for r in 0..batch {
             let row = dz.row(r);
             dx.row_mut(r).copy_from_slice(&row[..self.input]);
-            dh_prev.row_mut(r).copy_from_slice(&row[self.input..]);
+            dprev.dh.row_mut(r).copy_from_slice(&row[self.input..]);
         }
 
         // dW += Zᵀ dG ;  dB += Σ_batch dG.
         gemm_tn(T::ONE, &cache.z, &dgates, T::ONE, &mut grads.w);
-        let db = column_sums(&dgates);
+        let mut db = ws.checkout(1, 4 * h);
+        column_sums_into(&dgates, &mut db);
         bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
 
-        (
-            dx,
-            StateGrad {
-                dh: dh_prev,
-                dc: Some(dc_prev),
-            },
-        )
+        ws.give_back(dh_total);
+        ws.give_back(dgates);
+        ws.give_back(dz);
+        ws.give_back(db);
     }
 }
 
@@ -474,6 +534,58 @@ mod tests {
         for (a, b) in cache.tanh_c.as_slice().iter().zip(c_ref.as_slice()) {
             assert_eq!(a.to_bits(), b.tanh().to_bits(), "tanh(C_t) mismatch");
         }
+    }
+
+    /// The `_ws` paths must stay bit-identical to the allocating paths
+    /// while persistent buffers and the scratch pool are reused across
+    /// calls (steady-state replay conditions).
+    #[test]
+    fn ws_paths_match_allocating_paths_bitwise_with_reuse() {
+        let batch = 2;
+        let (input, hidden) = (3, 4);
+        let p: LstmParams<f64> = LstmParams::init(input, hidden, 25);
+        let x = init::uniform(batch, input, -1.0, 1.0, 26);
+        let prev = state(batch, hidden, 27);
+        let dh = init::uniform(batch, hidden, -1.0, 1.0, 29);
+
+        let (st_ref, cache_ref) = p.forward(&x, &prev);
+        let mut grads_ref = p.zeros_like();
+        let (dx_ref, sg_ref) = p.backward(&cache_ref, &dh, None, &mut grads_ref);
+
+        let mut ws = Workspace::new();
+        let mut st = CellState::zeros(CellKind::Lstm, batch, hidden);
+        let mut cache = LstmCache::zeros(batch, input, hidden);
+        let mut dx = Matrix::zeros(batch, input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, hidden),
+            dc: Some(Matrix::zeros(batch, hidden)),
+        };
+        for _ in 0..3 {
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
+            }
+            let (c, c_ref) = (st.c.as_ref().unwrap(), st_ref.c.as_ref().unwrap());
+            for (a, b) in c.as_slice().iter().zip(c_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "C_t drifted");
+            }
+            let mut grads = p.zeros_like();
+            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
+            }
+            for (a, b) in dprev.dh.as_slice().iter().zip(sg_ref.dh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dH_prev drifted");
+            }
+            let (dc, dc_ref) = (dprev.dc.as_ref().unwrap(), sg_ref.dc.as_ref().unwrap());
+            for (a, b) in dc.as_slice().iter().zip(dc_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dC_prev drifted");
+            }
+            for (a, b) in grads.w.as_slice().iter().zip(grads_ref.w.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dW drifted");
+            }
+        }
+        assert!(ws.stats().reuses > 0, "scratch pool was never reused");
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub mod gru;
 pub mod lstm;
 pub mod vanilla;
 
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::{Float, Matrix, Workspace};
 
 pub use gru::GruParams;
 pub use lstm::LstmParams;
@@ -121,6 +121,11 @@ impl<T: Float> CellState<T> {
             },
         }
     }
+
+    /// Bytes of backing storage held by the state.
+    pub fn nbytes(&self) -> usize {
+        self.h.nbytes() + self.c.as_ref().map_or(0, Matrix::nbytes)
+    }
 }
 
 /// Values saved by a forward cell update for the backward pass.
@@ -133,6 +138,29 @@ pub enum CellCache<T: Float> {
     Gru(gru::GruCache<T>),
     /// Vanilla RNN: concatenated input and activated output.
     Vanilla(vanilla::VanillaCache<T>),
+}
+
+impl<T: Float> CellCache<T> {
+    /// Zeroed cache buffers of the right shape for one cell update — the
+    /// persistent storage [`CellParams::forward_ws`] writes into.
+    pub fn zeros(kind: CellKind, batch: usize, input: usize, hidden: usize) -> Self {
+        match kind {
+            CellKind::Lstm => CellCache::Lstm(lstm::LstmCache::zeros(batch, input, hidden)),
+            CellKind::Gru => CellCache::Gru(gru::GruCache::zeros(batch, input, hidden)),
+            CellKind::Vanilla => {
+                CellCache::Vanilla(vanilla::VanillaCache::zeros(batch, input, hidden))
+            }
+        }
+    }
+
+    /// Bytes of backing storage held by the cache.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            CellCache::Lstm(c) => c.nbytes(),
+            CellCache::Gru(c) => c.nbytes(),
+            CellCache::Vanilla(c) => c.nbytes(),
+        }
+    }
 }
 
 /// Trainable parameters of one (layer, direction) cell.
@@ -202,6 +230,25 @@ impl<T: Float> CellParams<T> {
         }
     }
 
+    /// Allocation-free forward cell update: writes into caller-provided
+    /// `state` and `cache` buffers (see [`CellCache::zeros`]), drawing any
+    /// transient scratch from `ws`. Bit-identical to [`CellParams::forward`].
+    pub fn forward_ws(
+        &self,
+        x: &Matrix<T>,
+        prev: &CellState<T>,
+        state: &mut CellState<T>,
+        cache: &mut CellCache<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        match (self, cache) {
+            (CellParams::Lstm(p), CellCache::Lstm(c)) => p.forward_ws(x, prev, state, c, ws),
+            (CellParams::Gru(p), CellCache::Gru(c)) => p.forward_ws(x, prev, state, c, ws),
+            (CellParams::Vanilla(p), CellCache::Vanilla(c)) => p.forward_ws(x, prev, state, c, ws),
+            _ => panic!("cell kind mismatch between params and cache"),
+        }
+    }
+
     /// Backward cell update.
     ///
     /// * `dh` — gradient w.r.t. this cell's output `H_t` (upstream + merge),
@@ -227,6 +274,34 @@ impl<T: Float> CellParams<T> {
             }
             (CellParams::Vanilla(p), CellCache::Vanilla(c), CellParams::Vanilla(g)) => {
                 p.backward(c, dh, dstate, g)
+            }
+            _ => panic!("cell kind mismatch between params, cache and grads"),
+        }
+    }
+
+    /// Allocation-free backward cell update: `dx`/`dprev` are caller-provided
+    /// output buffers (fully overwritten), scratch comes from `ws`.
+    /// Bit-identical to [`CellParams::backward`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &self,
+        cache: &CellCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut CellParams<T>,
+        dx: &mut Matrix<T>,
+        dprev: &mut StateGrad<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        match (self, cache, grads) {
+            (CellParams::Lstm(p), CellCache::Lstm(c), CellParams::Lstm(g)) => {
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
+            }
+            (CellParams::Gru(p), CellCache::Gru(c), CellParams::Gru(g)) => {
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
+            }
+            (CellParams::Vanilla(p), CellCache::Vanilla(c), CellParams::Vanilla(g)) => {
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
             }
             _ => panic!("cell kind mismatch between params, cache and grads"),
         }

@@ -7,8 +7,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::dtanh_from_y;
-use bpar_tensor::ops::{add_bias, column_sums};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+use bpar_tensor::ops::{add_bias, column_sums_into};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
 
 /// Vanilla RNN parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,22 @@ pub struct VanillaCache<T: Float> {
     pub z: Matrix<T>,
     /// Activated output `H_t` (tanh'(x) = 1 - H_t²).
     pub h: Matrix<T>,
+}
+
+impl<T: Float> VanillaCache<T> {
+    /// Zeroed cache buffers for a `batch`-row cell of the given widths —
+    /// the persistent storage [`VanillaParams::forward_ws`] writes into.
+    pub fn zeros(batch: usize, input: usize, hidden: usize) -> Self {
+        Self {
+            z: Matrix::zeros(batch, input + hidden),
+            h: Matrix::zeros(batch, hidden),
+        }
+    }
+
+    /// Bytes of backing storage held by the cache.
+    pub fn nbytes(&self) -> usize {
+        self.z.nbytes() + self.h.nbytes()
+    }
 }
 
 impl<T: Float> VanillaParams<T> {
@@ -59,26 +75,50 @@ impl<T: Float> VanillaParams<T> {
     }
 
     /// Forward update.
+    ///
+    /// Thin allocating wrapper over [`VanillaParams::forward_ws`] — fresh
+    /// state and cache buffers per call, kept as the oracle-test surface.
     pub fn forward(&self, x: &Matrix<T>, prev: &CellState<T>) -> (CellState<T>, VanillaCache<T>) {
+        let batch = x.rows();
+        let mut state = CellState {
+            h: Matrix::zeros(batch, self.hidden),
+            c: None,
+        };
+        let mut cache = VanillaCache::zeros(batch, self.input, self.hidden);
+        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        (state, cache)
+    }
+
+    /// Allocation-free forward update writing into caller-provided buffers
+    /// (see [`VanillaCache::zeros`]). The single-GEMM cell needs no
+    /// transient scratch, so `_ws` is unused — the parameter keeps the
+    /// cell-kind signatures uniform.
+    ///
+    /// Same kernel calls, same order, same values as the allocating
+    /// wrapper ⇒ bit-identical outputs (the old `h.clone()` into the state
+    /// becomes a `copy_from`).
+    pub fn forward_ws(
+        &self,
+        x: &Matrix<T>,
+        prev: &CellState<T>,
+        state: &mut CellState<T>,
+        cache: &mut VanillaCache<T>,
+        _ws: &mut Workspace<T>,
+    ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
         assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
-        let z = Matrix::hstack(&[x, &prev.h]);
-        let mut h = Matrix::zeros(batch, self.hidden);
-        gemm(T::ONE, &z, &self.w, T::ZERO, &mut h);
-        add_bias(&mut h, &self.b);
-        h.map_inplace(|v| v.tanh());
-        (
-            CellState {
-                h: h.clone(),
-                c: None,
-            },
-            VanillaCache { z, h },
-        )
+        Matrix::hstack_into(&[x, &prev.h], &mut cache.z);
+        gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.h);
+        add_bias(&mut cache.h, &self.b);
+        cache.h.map_inplace(|v| v.tanh());
+        state.h.copy_from(&cache.h);
     }
 
     /// Backward update; see [`super::CellParams::backward`] for the
     /// argument contract.
+    ///
+    /// Thin allocating wrapper over [`VanillaParams::backward_ws`].
     pub fn backward(
         &self,
         cache: &VanillaCache<T>,
@@ -87,10 +127,46 @@ impl<T: Float> VanillaParams<T> {
         grads: &mut VanillaParams<T>,
     ) -> (Matrix<T>, StateGrad<T>) {
         let batch = dh.rows();
+        let mut dx = Matrix::zeros(batch, self.input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, self.hidden),
+            dc: None,
+        };
+        self.backward_ws(
+            cache,
+            dh,
+            dstate,
+            grads,
+            &mut dx,
+            &mut dprev,
+            &mut Workspace::new(),
+        );
+        (dx, dprev)
+    }
+
+    /// Allocation-free backward update: `dx` and `dprev` are caller-provided
+    /// output buffers (fully overwritten), transient scratch comes from `ws`.
+    /// The old `dh.clone()` into `dpre` becomes a checkout + `copy_from`.
+    /// Same kernel calls, same order, same values ⇒ bit-identical gradients.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &self,
+        cache: &VanillaCache<T>,
+        dh: &Matrix<T>,
+        dstate: Option<&StateGrad<T>>,
+        grads: &mut VanillaParams<T>,
+        dx: &mut Matrix<T>,
+        dprev: &mut StateGrad<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        let batch = dh.rows();
         let h = self.hidden;
         assert_eq!(dh.shape(), (batch, h), "dh shape");
+        assert_eq!(dx.shape(), (batch, self.input), "dx buffer shape");
+        assert_eq!(dprev.dh.shape(), (batch, h), "dH_prev buffer shape");
 
-        let mut dpre = dh.clone();
+        let mut dpre = ws.checkout(batch, h);
+        dpre.copy_from(dh);
         if let Some(sg) = dstate {
             bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dpre);
         }
@@ -99,25 +175,20 @@ impl<T: Float> VanillaParams<T> {
         }
 
         gemm_tn(T::ONE, &cache.z, &dpre, T::ONE, &mut grads.w);
-        let db = column_sums(&dpre);
+        let mut db = ws.checkout(1, h);
+        column_sums_into(&dpre, &mut db);
         bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
 
-        let mut dz = Matrix::zeros(batch, self.input + h);
+        let mut dz = ws.checkout(batch, self.input + h);
         gemm_nt(T::ONE, &dpre, &self.w, T::ZERO, &mut dz);
-        let mut dx = Matrix::zeros(batch, self.input);
-        let mut dh_prev = Matrix::zeros(batch, h);
         for r in 0..batch {
             let row = dz.row(r);
             dx.row_mut(r).copy_from_slice(&row[..self.input]);
-            dh_prev.row_mut(r).copy_from_slice(&row[self.input..]);
+            dprev.dh.row_mut(r).copy_from_slice(&row[self.input..]);
         }
-        (
-            dx,
-            StateGrad {
-                dh: dh_prev,
-                dc: None,
-            },
-        )
+        ws.give_back(dpre);
+        ws.give_back(db);
+        ws.give_back(dz);
     }
 }
 
@@ -198,6 +269,83 @@ mod tests {
             let lm = loss(&p, &x, &pv);
             assert!((sg.dh.get(r, c + 1) - (lp - lm) / (2.0 * eps)).abs() < 1e-6);
         }
+    }
+
+    /// Regression oracle for the allocation-free rewrite: naive-GEMM
+    /// oracle for the single kernel, bit-identity for everything
+    /// elementwise (including `state.h == cache.h`, which replaced the
+    /// old `h.clone()`).
+    #[test]
+    fn forward_matches_gemm_naive_oracle() {
+        let (batch, input, hidden) = (3usize, 4usize, 5usize);
+        let p: VanillaParams<f64> = VanillaParams::init(input, hidden, 41);
+        let x = init::uniform(batch, input, -1.0, 1.0, 42);
+        let prev = CellState {
+            h: init::uniform(batch, hidden, -0.5, 0.5, 43),
+            c: None,
+        };
+        let (st, cache) = p.forward(&x, &prev);
+
+        let z = Matrix::hstack(&[&x, &prev.h]);
+        for (a, b) in cache.z.as_slice().iter().zip(z.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Z must be bit-identical");
+        }
+        let mut hh = Matrix::zeros(batch, hidden);
+        bpar_tensor::gemm_naive(1.0, &z, &p.w, 0.0, &mut hh);
+        add_bias(&mut hh, &p.b);
+        hh.map_inplace(|v| v.tanh());
+        assert!(
+            cache.h.max_abs_diff(&hh) < 1e-12,
+            "H_t diverges from the naive-GEMM oracle"
+        );
+        for (a, b) in st.h.as_slice().iter().zip(cache.h.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "state H_t must equal cache H_t");
+        }
+    }
+
+    /// The `_ws` paths must stay bit-identical to the allocating paths
+    /// while persistent buffers and the scratch pool are reused.
+    #[test]
+    fn ws_paths_match_allocating_paths_bitwise_with_reuse() {
+        let (batch, input, hidden) = (2usize, 3usize, 4usize);
+        let p: VanillaParams<f64> = VanillaParams::init(input, hidden, 45);
+        let x = init::uniform(batch, input, -1.0, 1.0, 46);
+        let prev = CellState {
+            h: init::uniform(batch, hidden, -0.5, 0.5, 47),
+            c: None,
+        };
+        let dh = init::uniform(batch, hidden, -1.0, 1.0, 48);
+
+        let (st_ref, cache_ref) = p.forward(&x, &prev);
+        let mut grads_ref = p.zeros_like();
+        let (dx_ref, sg_ref) = p.backward(&cache_ref, &dh, None, &mut grads_ref);
+
+        let mut ws = Workspace::new();
+        let mut st = CellState::zeros(CellKind::Vanilla, batch, hidden);
+        let mut cache = VanillaCache::zeros(batch, input, hidden);
+        let mut dx = Matrix::zeros(batch, input);
+        let mut dprev = StateGrad {
+            dh: Matrix::zeros(batch, hidden),
+            dc: None,
+        };
+        for _ in 0..3 {
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
+            }
+            let mut grads = p.zeros_like();
+            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
+            }
+            for (a, b) in dprev.dh.as_slice().iter().zip(sg_ref.dh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dH_prev drifted");
+            }
+            for (a, b) in grads.w.as_slice().iter().zip(grads_ref.w.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dW drifted");
+            }
+        }
+        assert!(ws.stats().reuses > 0, "scratch pool was never reused");
     }
 
     #[test]

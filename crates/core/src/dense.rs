@@ -4,8 +4,8 @@
 //! Many-to-one models apply this once, to the final merge cell's output;
 //! many-to-many models apply it per timestep with shared weights.
 
-use bpar_tensor::ops::{add_bias, column_sums};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix};
+use bpar_tensor::ops::{add_bias, column_sums_into};
+use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
 
 /// Dense layer parameters: `W: in × out`, `b: 1 × out`.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,27 +39,55 @@ impl<T: Float> DenseParams<T> {
     }
 
     /// `logits = x W + b`.
+    ///
+    /// Thin allocating wrapper over [`DenseParams::forward_into`].
     pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(x.rows(), self.w.cols());
-        gemm(T::ONE, x, &self.w, T::ZERO, &mut out);
-        add_bias(&mut out, &self.b);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// Allocation-free projection into a caller-provided `batch × out`
+    /// buffer (fully overwritten). Bit-identical to [`DenseParams::forward`].
+    pub fn forward_into(&self, x: &Matrix<T>, out: &mut Matrix<T>) {
+        assert_eq!(out.shape(), (x.rows(), self.w.cols()), "logit buffer shape");
+        gemm(T::ONE, x, &self.w, T::ZERO, out);
+        add_bias(out, &self.b);
     }
 
     /// Backward pass: given `x` and `dlogits`, accumulates `dW`, `dB` into
     /// `grads` and returns `dx`.
+    ///
+    /// Thin allocating wrapper over [`DenseParams::backward_ws`].
     pub fn backward(
         &self,
         x: &Matrix<T>,
         dlogits: &Matrix<T>,
         grads: &mut DenseParams<T>,
     ) -> Matrix<T> {
-        gemm_tn(T::ONE, x, dlogits, T::ONE, &mut grads.w);
-        let db = column_sums(dlogits);
-        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
         let mut dx = Matrix::zeros(x.rows(), x.cols());
-        gemm_nt(T::ONE, dlogits, &self.w, T::ZERO, &mut dx);
+        self.backward_ws(x, dlogits, grads, &mut dx, &mut Workspace::new());
         dx
+    }
+
+    /// Allocation-free backward pass: `dx` is a caller-provided buffer
+    /// (fully overwritten), the bias-gradient scratch row comes from `ws`.
+    /// Bit-identical to [`DenseParams::backward`].
+    pub fn backward_ws(
+        &self,
+        x: &Matrix<T>,
+        dlogits: &Matrix<T>,
+        grads: &mut DenseParams<T>,
+        dx: &mut Matrix<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        assert_eq!(dx.shape(), x.shape(), "dx buffer shape");
+        gemm_tn(T::ONE, x, dlogits, T::ONE, &mut grads.w);
+        let mut db = ws.checkout(1, dlogits.cols());
+        column_sums_into(dlogits, &mut db);
+        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
+        gemm_nt(T::ONE, dlogits, &self.w, T::ZERO, dx);
+        ws.give_back(db);
     }
 
     /// Adds `other` into `self` (gradient reduction across replicas).

@@ -28,8 +28,8 @@ use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
 use bpar_runtime::{record_read, record_write, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
-use bpar_tensor::{Float, Matrix};
-use parking_lot::RwLock;
+use bpar_tensor::{Float, Matrix, Workspace};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -202,6 +202,21 @@ impl<X> Slot<X> {
         f(v);
     }
 
+    /// Overwrites the value in place, initialising the backing buffer with
+    /// `init` only when the slot is empty (first run, or after
+    /// [`ReplicaGraph::clear_values`]). The closure must **fully**
+    /// overwrite the value — no prior-batch data may flow into the result
+    /// — so this records only a *write*: tasks using it declare the region
+    /// `out`, exactly like [`Slot::put`]. This is the steady-state
+    /// allocation-free counterpart of `put`: warm replays reuse the buffer
+    /// instead of dropping and reallocating it every batch.
+    pub fn write_in_place(&self, init: impl FnOnce() -> X, f: impl FnOnce(&mut X)) {
+        record_write(self.region);
+        let mut guard = self.data.write();
+        let v = guard.get_or_insert_with(init);
+        f(v);
+    }
+
     /// Accumulator write: stores `v` if the slot is empty, otherwise folds
     /// it into the existing value with `add`. A read-modify-write: tasks
     /// using it must declare the region *inout*.
@@ -227,7 +242,7 @@ pub(crate) struct ReplicaGraph<T: Float> {
     /// a replica is only ever replayed for models with this config).
     pub config: BrnnConfig,
     /// Input timesteps for this replica (`rows × input_size` each);
-    /// swappable between replays via [`ReplicaGraph::set_inputs`].
+    /// refilled between replays via [`ReplicaGraph::load_inputs`].
     pub xs: Arc<RwLock<Vec<Matrix<T>>>>,
     /// Per-output-position target classes; swappable between replays via
     /// [`ReplicaGraph::set_target`]. Empty for inference graphs.
@@ -274,6 +289,10 @@ pub(crate) struct ReplicaGraph<T: Float> {
     pub grads_dense: Slot<DenseParams<T>>,
     /// Weighted loss accumulator.
     pub loss: Slot<f64>,
+    /// Shared all-zero recurrent state read by every sequence-boundary
+    /// cell (`t = 0` forward, `t = T-1` reverse) instead of allocating a
+    /// fresh zero state inside each boundary task on every replay.
+    pub zero_state: Arc<CellState<T>>,
 }
 
 impl<T: Float> ReplicaGraph<T> {
@@ -320,6 +339,7 @@ impl<T: Float> ReplicaGraph<T> {
             grads_rev: (0..cfg.layers).map(|_| Slot::new(regions)).collect(),
             grads_dense: Slot::new(regions),
             loss: Slot::new(regions),
+            zero_state: Arc::new(CellState::zeros(cfg.cell, rows, cfg.hidden_size)),
             weights,
             config: cfg,
         }
@@ -330,14 +350,50 @@ impl<T: Float> ReplicaGraph<T> {
         self.seq
     }
 
-    /// Replaces the input timesteps for the next run of the graph.
-    pub fn set_inputs(&self, xs: Vec<Matrix<T>>) {
-        assert_eq!(xs.len(), self.seq, "input timestep count changed");
-        assert!(
-            xs.iter().all(|x| x.rows() == self.rows),
-            "input row count changed"
-        );
-        *self.xs.write() = xs;
+    /// Copies batch rows `[start, start + count)` of `batch` into this
+    /// replica's persistent input buffers — the steady-state path of
+    /// [`super::plan::ExecPlan::load_batch`], which allocates nothing.
+    /// Falls back to allocating fresh buffers when the store is empty
+    /// (first run, or after [`ReplicaGraph::clear_values`]).
+    pub fn load_inputs(&self, batch: &[Matrix<T>], start: usize, count: usize) {
+        assert_eq!(batch.len(), self.seq, "input timestep count changed");
+        assert_eq!(count, self.rows, "input row count changed");
+        let mut xs = self.xs.write();
+        if xs.len() != self.seq {
+            *xs = batch.iter().map(|x| x.row_block(start, count)).collect();
+        } else {
+            for (dst, src) in xs.iter_mut().zip(batch) {
+                src.row_block_into(start, count, dst);
+            }
+        }
+    }
+
+    /// Analytic size of this replica's persistent buffers — the arena a
+    /// resident plan holds between replays: inputs, the shared zero state,
+    /// per-cell states and BPTT caches, merge outputs, features and
+    /// logits. Per-task scratch workspaces (bounded by the cells'
+    /// working-set estimates) and training-only gradient slots are
+    /// excluded: the former are small, the latter are drained every batch.
+    pub fn persistent_bytes(&self) -> u64 {
+        let cfg = self.config;
+        let scalar = std::mem::size_of::<T>();
+        // State and cache buffers all scale linearly with batch rows, so a
+        // one-row probe gives the per-row footprint without materialising
+        // full-size buffers.
+        let state_row = CellState::<T>::zeros(cfg.cell, 1, cfg.hidden_size).nbytes();
+        let mut total = self.seq * self.rows * cfg.input_size * scalar;
+        total += self.rows * state_row;
+        for l in 0..cfg.layers {
+            let per_row = state_row
+                + CellCache::<T>::zeros(cfg.cell, 1, cfg.layer_input_size(l), cfg.hidden_size)
+                    .nbytes();
+            // Forward + reverse grids, one cell per timestep.
+            total += 2 * self.seq * self.rows * per_row;
+        }
+        let merge_w = cfg.merge.output_width(cfg.hidden_size);
+        total += cfg.layers.saturating_sub(1) * self.seq * self.rows * merge_w * scalar;
+        total += self.feat.len() * self.rows * (merge_w + cfg.output_size) * scalar;
+        total as u64
     }
 
     /// Replaces the training targets for the next run of the graph,
@@ -424,7 +480,12 @@ impl<T: Float> ReplicaGraph<T> {
             let prev = (t > 0).then(|| self.st_fwd[l][t - 1].clone());
             let below = (l > 0).then(|| self.merged[l - 1][t].clone());
             let dst = self.st_fwd[l][t].clone();
+            let zero = self.zero_state.clone();
             let rows = self.rows;
+            // Per-task scratch arena. A compiled task runs at most once per
+            // replay and replays are separated by `taskwait`, so the lock
+            // is never contended; it exists to keep the body `Fn + Sync`.
+            let scratch = Arc::new(Mutex::new(Workspace::new()));
             sink.push(
                 PlanSpec::new("cell_fwd")
                     .tag(((l as u64) << 32) | t as u64)
@@ -433,30 +494,52 @@ impl<T: Float> ReplicaGraph<T> {
                     .working_set(ws)
                     .body(move || {
                         let model = weights.snapshot();
-                        let zero;
-                        let prev_state = match &prev {
-                            Some(slot) => slot.with(|v| v.expect("missing t-1 state").0.clone()),
-                            None => {
-                                zero = CellState::zeros(
-                                    model.config.cell,
+                        let cfg = model.config;
+                        let params = &model.layers[l].fwd;
+                        let mut scratch = scratch.lock();
+                        let init = || {
+                            (
+                                CellState::zeros(cfg.cell, rows, cfg.hidden_size),
+                                CellCache::zeros(
+                                    cfg.cell,
                                     rows,
-                                    model.config.hidden_size,
-                                );
-                                zero
-                            }
+                                    cfg.layer_input_size(l),
+                                    cfg.hidden_size,
+                                ),
+                            )
                         };
-                        let result = match &below {
-                            Some(slot) => slot.with(|m| {
-                                model.layers[l]
-                                    .fwd
-                                    .forward(m.expect("missing merge"), &prev_state)
+                        match (&below, &prev) {
+                            (Some(below), Some(prev)) => below.with(|m| {
+                                let m = m.expect("missing merge");
+                                prev.with(|v| {
+                                    let p = &v.expect("missing t-1 state").0;
+                                    dst.write_in_place(init, |(st, cache)| {
+                                        params.forward_ws(m, p, st, cache, &mut scratch)
+                                    })
+                                })
                             }),
-                            None => {
+                            (Some(below), None) => below.with(|m| {
+                                let m = m.expect("missing merge");
+                                dst.write_in_place(init, |(st, cache)| {
+                                    params.forward_ws(m, &zero, st, cache, &mut scratch)
+                                })
+                            }),
+                            (None, Some(prev)) => {
                                 let xs = xs.read();
-                                model.layers[l].fwd.forward(&xs[t], &prev_state)
+                                prev.with(|v| {
+                                    let p = &v.expect("missing t-1 state").0;
+                                    dst.write_in_place(init, |(st, cache)| {
+                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch)
+                                    })
+                                })
                             }
-                        };
-                        dst.put(result);
+                            (None, None) => {
+                                let xs = xs.read();
+                                dst.write_in_place(init, |(st, cache)| {
+                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch)
+                                })
+                            }
+                        }
                     }),
             );
         }
@@ -477,7 +560,9 @@ impl<T: Float> ReplicaGraph<T> {
             let prev = (t + 1 < seq).then(|| self.st_rev[l][t + 1].clone());
             let below = (l > 0).then(|| self.merged[l - 1][t].clone());
             let dst = self.st_rev[l][t].clone();
+            let zero = self.zero_state.clone();
             let rows = self.rows;
+            let scratch = Arc::new(Mutex::new(Workspace::new()));
             sink.push(
                 PlanSpec::new("cell_rev")
                     .tag(((l as u64) << 32) | t as u64)
@@ -486,30 +571,52 @@ impl<T: Float> ReplicaGraph<T> {
                     .working_set(ws)
                     .body(move || {
                         let model = weights.snapshot();
-                        let zero;
-                        let prev_state = match &prev {
-                            Some(slot) => slot.with(|v| v.expect("missing t+1 state").0.clone()),
-                            None => {
-                                zero = CellState::zeros(
-                                    model.config.cell,
+                        let cfg = model.config;
+                        let params = &model.layers[l].rev;
+                        let mut scratch = scratch.lock();
+                        let init = || {
+                            (
+                                CellState::zeros(cfg.cell, rows, cfg.hidden_size),
+                                CellCache::zeros(
+                                    cfg.cell,
                                     rows,
-                                    model.config.hidden_size,
-                                );
-                                zero
-                            }
+                                    cfg.layer_input_size(l),
+                                    cfg.hidden_size,
+                                ),
+                            )
                         };
-                        let result = match &below {
-                            Some(slot) => slot.with(|m| {
-                                model.layers[l]
-                                    .rev
-                                    .forward(m.expect("missing merge"), &prev_state)
+                        match (&below, &prev) {
+                            (Some(below), Some(prev)) => below.with(|m| {
+                                let m = m.expect("missing merge");
+                                prev.with(|v| {
+                                    let p = &v.expect("missing t+1 state").0;
+                                    dst.write_in_place(init, |(st, cache)| {
+                                        params.forward_ws(m, p, st, cache, &mut scratch)
+                                    })
+                                })
                             }),
-                            None => {
+                            (Some(below), None) => below.with(|m| {
+                                let m = m.expect("missing merge");
+                                dst.write_in_place(init, |(st, cache)| {
+                                    params.forward_ws(m, &zero, st, cache, &mut scratch)
+                                })
+                            }),
+                            (None, Some(prev)) => {
                                 let xs = xs.read();
-                                model.layers[l].rev.forward(&xs[t], &prev_state)
+                                prev.with(|v| {
+                                    let p = &v.expect("missing t+1 state").0;
+                                    dst.write_in_place(init, |(st, cache)| {
+                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch)
+                                    })
+                                })
                             }
-                        };
-                        dst.put(result);
+                            (None, None) => {
+                                let xs = xs.read();
+                                dst.write_in_place(init, |(st, cache)| {
+                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch)
+                                })
+                            }
+                        }
                     }),
             );
         }
@@ -520,11 +627,13 @@ impl<T: Float> ReplicaGraph<T> {
         if l + 1 < cfg.layers {
             let merge_ws =
                 3 * self.rows * cfg.merge.output_width(hidden) * std::mem::size_of::<T>();
+            let width = cfg.merge.output_width(hidden);
             for t in 0..seq {
                 let f = self.st_fwd[l][t].clone();
                 let r = self.st_rev[l][t].clone();
                 let dst = self.merged[l][t].clone();
                 let mode = cfg.merge;
+                let rows = self.rows;
                 sink.push(
                     PlanSpec::new("merge")
                         .tag(((l as u64) << 32) | t as u64)
@@ -532,15 +641,20 @@ impl<T: Float> ReplicaGraph<T> {
                         .outs([dst.region])
                         .working_set(merge_ws)
                         .body(move || {
-                            let merged = f.with(|fv| {
+                            f.with(|fv| {
                                 r.with(|rv| {
-                                    mode.apply(
-                                        &fv.expect("fwd missing").0.h,
-                                        &rv.expect("rev missing").0.h,
+                                    dst.write_in_place(
+                                        || Matrix::zeros(rows, width),
+                                        |m| {
+                                            mode.apply_into(
+                                                &fv.expect("fwd missing").0.h,
+                                                &rv.expect("rev missing").0.h,
+                                                m,
+                                            )
+                                        },
                                     )
                                 })
                             });
-                            dst.put(merged);
                         }),
                 );
             }
@@ -567,15 +681,22 @@ impl<T: Float> ReplicaGraph<T> {
             let r = self.st_rev[last][tr].clone();
             let dst = self.feat[i].clone();
             let mode = cfg.merge;
+            let rows = self.rows;
+            let width = cfg.merge.output_width(cfg.hidden_size);
             sink.push(
                 PlanSpec::new("merge_final")
                     .tag(i as u64)
                     .ins([f.region, r.region])
                     .outs([dst.region])
                     .body(move || {
-                        let merged = f
-                            .with(|fv| r.with(|rv| mode.apply(&fv.unwrap().0.h, &rv.unwrap().0.h)));
-                        dst.put(merged);
+                        f.with(|fv| {
+                            r.with(|rv| {
+                                dst.write_in_place(
+                                    || Matrix::zeros(rows, width),
+                                    |m| mode.apply_into(&fv.unwrap().0.h, &rv.unwrap().0.h, m),
+                                )
+                            })
+                        });
                     }),
             );
 
@@ -584,6 +705,7 @@ impl<T: Float> ReplicaGraph<T> {
                 let weights = self.weights.clone();
                 let feat = self.feat[i].clone();
                 let out = self.logits[i].clone();
+                let rows = self.rows;
                 sink.push(
                     PlanSpec::new("dense")
                         .tag(i as u64)
@@ -591,8 +713,13 @@ impl<T: Float> ReplicaGraph<T> {
                         .outs([out.region])
                         .body(move || {
                             let model = weights.snapshot();
-                            let logits = feat.with(|x| model.dense.forward(x.unwrap()));
-                            out.put(logits);
+                            feat.with(|x| {
+                                let x = x.expect("missing features");
+                                out.write_in_place(
+                                    || Matrix::zeros(rows, model.dense.w.cols()),
+                                    |logits| model.dense.forward_into(x, logits),
+                                )
+                            });
                         }),
                 );
             } else {
@@ -1007,12 +1134,12 @@ mod tests {
         let rep = ReplicaGraph::new(store, xs, 1.0, &mut regions);
         let wrong_len: Vec<Matrix<f64>> = vec![Matrix::zeros(4, 3)];
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rep.set_inputs(wrong_len)
+            rep.load_inputs(&wrong_len, 0, 4)
         }))
         .is_err());
         let wrong_rows: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::zeros(3, 3)).collect();
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rep.set_inputs(wrong_rows)
+            rep.load_inputs(&wrong_rows, 0, 3)
         }))
         .is_err());
     }

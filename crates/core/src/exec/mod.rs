@@ -68,6 +68,24 @@ pub struct ForwardOutput<T: Float> {
     pub seq_logits: Vec<Matrix<T>>,
 }
 
+impl<T: Float> ForwardOutput<T> {
+    /// Pre-shaped zero buffers for a `rows × seq` batch of `model` — the
+    /// reusable output a caller hands to [`Executor::try_forward_into`].
+    pub fn zeros_for(model: &Brnn<T>, rows: usize, seq: usize) -> Self {
+        let classes = model.config.output_size;
+        let seq_logits = match model.config.kind {
+            crate::model::ModelKind::ManyToOne => Vec::new(),
+            crate::model::ModelKind::ManyToMany => {
+                (0..seq).map(|_| Matrix::zeros(rows, classes)).collect()
+            }
+        };
+        Self {
+            logits: Matrix::zeros(rows, classes),
+            seq_logits,
+        }
+    }
+}
+
 /// A batch failed inside the executor (a task body panicked).
 ///
 /// Carries the runtime's description of the failing task. A failed batch
@@ -110,6 +128,22 @@ pub trait Executor<T: Float> {
         batch: &[Matrix<T>],
     ) -> Result<ForwardOutput<T>, ExecError> {
         Ok(self.forward(model, batch))
+    }
+
+    /// Fallible forward pass writing logits into a caller-provided,
+    /// pre-shaped output (see [`ForwardOutput::zeros_for`]) so a serving
+    /// loop can reuse one buffer across batches. The default delegates to
+    /// [`Executor::try_forward`] and replaces the buffers; executors with
+    /// an allocation-free steady state override it with a copy-into
+    /// implementation.
+    fn try_forward_into(
+        &self,
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        out: &mut ForwardOutput<T>,
+    ) -> Result<(), ExecError> {
+        *out = self.try_forward(model, batch)?;
+        Ok(())
     }
 
     /// Fallible training step (see [`Executor::try_forward`]).

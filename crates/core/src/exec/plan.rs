@@ -48,7 +48,13 @@ pub(crate) struct ExecPlan<T: Float> {
     pub weights: Arc<WeightStore<T>>,
     pub replicas: Vec<ReplicaGraph<T>>,
     pub chunks: Vec<(usize, usize)>,
-    pub compiled: CompiledPlan,
+    pub compiled: Arc<CompiledPlan>,
+    /// Whether the graph contains loss/backward/reduction tasks.
+    pub train: bool,
+    /// Analytic size of the plan's persistent arena — every input, state,
+    /// cache, merge and logit buffer its replicas keep alive between
+    /// replays — computed once at build time from the plan's shapes.
+    pub arena_bytes: u64,
 }
 
 impl<T: Float> ExecPlan<T> {
@@ -95,16 +101,21 @@ impl<T: Float> ExecPlan<T> {
                 rep.submit_reduce_into(&mut b, &replicas[0]);
             }
         }
-        let compiled = b.compile();
+        let compiled = Arc::new(b.compile());
+        let arena_bytes = replicas.iter().map(ReplicaGraph::persistent_bytes).sum();
         Self {
             weights,
             replicas,
             chunks,
             compiled,
+            train,
+            arena_bytes,
         }
     }
 
-    /// Distributes `batch` row-wise over the replicas' input stores.
+    /// Distributes `batch` row-wise over the replicas' input stores by
+    /// copying into their persistent buffers — allocation-free once the
+    /// buffers exist (see [`ReplicaGraph::load_inputs`]).
     pub fn load_batch(&self, model: &Brnn<T>, batch: &[Matrix<T>]) {
         let (seq, rows) = check_batch(model, batch);
         assert_eq!(seq, self.replicas[0].seq_len(), "plan built for other seq");
@@ -114,7 +125,7 @@ impl<T: Float> ExecPlan<T> {
             "plan built for other row count"
         );
         for (rep, &(start, count)) in self.replicas.iter().zip(&self.chunks) {
-            rep.set_inputs(batch.iter().map(|x| x.row_block(start, count)).collect());
+            rep.load_inputs(batch, start, count);
         }
     }
 
@@ -125,9 +136,28 @@ impl<T: Float> ExecPlan<T> {
         }
     }
 
-    /// Drops all transient per-batch values so a resident plan holds only
-    /// the compiled graph, not the last batch's activations.
+    /// Post-batch cleanup. Training plans drop every transient value —
+    /// gradients and loss are single-consumer `take()`s and the next batch
+    /// must start from an all-empty state. Inference plans keep their
+    /// buffers: every forward task fully overwrites its slot on the next
+    /// replay, so retaining them is what makes the warm path
+    /// allocation-free — the retained memory *is* the plan's arena
+    /// ([`ExecPlan::arena_bytes`]).
     pub fn scrub(&self) {
+        if self.train {
+            for rep in &self.replicas {
+                rep.clear_values();
+            }
+        }
+    }
+
+    /// Unconditionally drops every transient value, returning the plan to
+    /// the all-empty state of a freshly built graph. Analysis replays use
+    /// this instead of [`ExecPlan::scrub`]: a missing-dependency bug must
+    /// surface as an empty-slot read or a divergent fingerprint, which a
+    /// persistent buffer holding the previous replay's (identical) values
+    /// would mask.
+    pub fn clear_values(&self) {
         for rep in &self.replicas {
             rep.clear_values();
         }
@@ -155,6 +185,12 @@ pub struct PlanCacheStats {
     pub replay_ns: u64,
     /// Plans currently resident.
     pub cached_plans: usize,
+    /// Total bytes of persistent arena held by the resident plans
+    /// (activations, caches, inputs, logits — see `ExecPlan::arena_bytes`).
+    pub arena_bytes: u64,
+    /// Warm replays that reused a resident plan's arena instead of
+    /// allocating fresh buffers (increments with every cache hit).
+    pub arena_reuses: u64,
 }
 
 struct CacheEntry {
@@ -163,6 +199,9 @@ struct CacheEntry {
     /// can share a [`BrnnConfig`], so the key alone is ambiguous.
     tid: TypeId,
     plan: Arc<dyn Any + Send + Sync>,
+    /// The plan's `arena_bytes`, mirrored here so eviction can subtract it
+    /// without downcasting.
+    bytes: u64,
 }
 
 /// Small LRU cache of compiled plans (most-recently-used last; lookup is a
@@ -200,6 +239,7 @@ impl PlanCache {
             .expect("plan type matches its TypeId");
         self.entries.push(entry);
         self.stats.hits += 1;
+        self.stats.arena_reuses += 1;
         Some(plan)
     }
 
@@ -208,14 +248,18 @@ impl PlanCache {
     pub fn insert<T: Float>(&mut self, key: PlanKey, plan: Arc<ExecPlan<T>>) {
         self.stats.misses += 1;
         if self.entries.len() >= self.capacity {
-            self.entries.remove(0);
+            let dropped = self.entries.remove(0);
             self.stats.evictions += 1;
+            self.stats.arena_bytes -= dropped.bytes;
         }
+        let bytes = plan.arena_bytes;
         self.entries.push(CacheEntry {
             key,
             tid: TypeId::of::<T>(),
             plan,
+            bytes,
         });
+        self.stats.arena_bytes += bytes;
         self.stats.cached_plans = self.entries.len();
     }
 
@@ -223,7 +267,15 @@ impl PlanCache {
     /// hold partial values a later replay must not observe).
     pub fn evict<T: Float>(&mut self, key: &PlanKey) {
         let tid = TypeId::of::<T>();
-        self.entries.retain(|e| !(e.tid == tid && e.key == *key));
+        let mut freed = 0;
+        self.entries.retain(|e| {
+            let drop = e.tid == tid && e.key == *key;
+            if drop {
+                freed += e.bytes;
+            }
+            !drop
+        });
+        self.stats.arena_bytes -= freed;
         self.stats.cached_plans = self.entries.len();
     }
 
@@ -232,8 +284,9 @@ impl PlanCache {
         assert!(capacity >= 1, "plan cache capacity must be at least 1");
         self.capacity = capacity;
         while self.entries.len() > capacity {
-            self.entries.remove(0);
+            let dropped = self.entries.remove(0);
             self.stats.evictions += 1;
+            self.stats.arena_bytes -= dropped.bytes;
         }
         self.stats.cached_plans = self.entries.len();
     }
@@ -242,5 +295,6 @@ impl PlanCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.stats.cached_plans = 0;
+        self.stats.arena_bytes = 0;
     }
 }

@@ -214,6 +214,20 @@ impl<T: Float> Executor<T> for TaskGraphExec {
         Ok(out)
     }
 
+    fn try_forward_into(
+        &self,
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        out: &mut ForwardOutput<T>,
+    ) -> Result<(), ExecError> {
+        let (plan, key) = self.plan_for(model, batch, false);
+        plan.load_batch(model, batch);
+        self.run_plan(model, &plan, &key)?;
+        collect_logits_into(model, &plan.replicas, &plan.chunks, out);
+        plan.scrub();
+        Ok(())
+    }
+
     fn train_batch(
         &self,
         model: &mut Brnn<T>,
@@ -249,38 +263,67 @@ impl<T: Float> Executor<T> for TaskGraphExec {
     }
 }
 
-/// Reassembles per-replica logits into full-batch outputs.
+/// Reassembles per-replica logits into freshly allocated full-batch
+/// outputs. Reads the logit slots without consuming them, so a cached
+/// plan's persistent buffers survive collection.
 pub(crate) fn collect_logits<T: Float>(
     model: &Brnn<T>,
     replicas: &[ReplicaGraph<T>],
 ) -> ForwardOutput<T> {
+    fn stacked<T: Float>(replicas: &[ReplicaGraph<T>], i: usize) -> Matrix<T> {
+        let parts: Vec<Matrix<T>> = replicas
+            .iter()
+            .map(|r| r.logits[i].with(|m| m.expect("missing logits").clone()))
+            .collect();
+        let refs: Vec<&Matrix<T>> = parts.iter().collect();
+        Matrix::vstack(&refs)
+    }
     match model.config.kind {
-        ModelKind::ManyToOne => {
-            let parts: Vec<Matrix<T>> = replicas
-                .iter()
-                .map(|r| r.logits[0].take().expect("missing logits"))
-                .collect();
-            let refs: Vec<&Matrix<T>> = parts.iter().collect();
-            ForwardOutput {
-                logits: Matrix::vstack(&refs),
-                seq_logits: Vec::new(),
-            }
-        }
+        ModelKind::ManyToOne => ForwardOutput {
+            logits: stacked(replicas, 0),
+            seq_logits: Vec::new(),
+        },
         ModelKind::ManyToMany => {
             let seq = replicas[0].logits.len();
-            let mut seq_logits = Vec::with_capacity(seq);
-            for t in 0..seq {
-                let parts: Vec<Matrix<T>> = replicas
-                    .iter()
-                    .map(|r| r.logits[t].take().expect("missing logits"))
-                    .collect();
-                let refs: Vec<&Matrix<T>> = parts.iter().collect();
-                seq_logits.push(Matrix::vstack(&refs));
-            }
+            let seq_logits: Vec<Matrix<T>> = (0..seq).map(|t| stacked(replicas, t)).collect();
             ForwardOutput {
                 logits: seq_logits.last().unwrap().clone(),
                 seq_logits,
             }
+        }
+    }
+}
+
+/// Allocation-free counterpart of [`collect_logits`]: copies each
+/// replica's logits into its `(start, count)` row range of the
+/// caller-provided, pre-shaped output (see [`ForwardOutput::zeros_for`]).
+/// Values are bit-identical to the allocating path — both are plain row
+/// copies of the same per-replica matrices.
+pub(crate) fn collect_logits_into<T: Float>(
+    model: &Brnn<T>,
+    replicas: &[ReplicaGraph<T>],
+    chunks: &[(usize, usize)],
+    out: &mut ForwardOutput<T>,
+) {
+    match model.config.kind {
+        ModelKind::ManyToOne => {
+            for (rep, &(start, _)) in replicas.iter().zip(chunks) {
+                rep.logits[0].with(|m| {
+                    out.logits.copy_rows_from(start, m.expect("missing logits"));
+                });
+            }
+        }
+        ModelKind::ManyToMany => {
+            let seq = replicas[0].logits.len();
+            assert_eq!(out.seq_logits.len(), seq, "output buffer seq length");
+            for t in 0..seq {
+                for (rep, &(start, _)) in replicas.iter().zip(chunks) {
+                    rep.logits[t].with(|m| {
+                        out.seq_logits[t].copy_rows_from(start, m.expect("missing logits"));
+                    });
+                }
+            }
+            out.logits.copy_from(&out.seq_logits[seq - 1]);
         }
     }
 }

@@ -17,17 +17,33 @@ use bpar_tensor::{Float, Matrix};
 /// # Panics
 /// Panics if `targets.len() != logits.rows()` or a target is out of range.
 pub fn softmax_cross_entropy<T: Float>(logits: &Matrix<T>, targets: &[usize]) -> (f64, Matrix<T>) {
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    let loss = softmax_cross_entropy_into(logits, targets, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// Allocation-free softmax cross-entropy: the gradient is written into the
+/// caller-provided `dlogits` buffer (fully overwritten) and the mean loss
+/// is returned. Bit-identical to [`softmax_cross_entropy`] — the softmax
+/// probabilities are materialised in `dlogits` itself (the loss reads each
+/// row's target probability before it is shifted by `-1`), so no `probs`
+/// temporary is needed.
+pub fn softmax_cross_entropy_into<T: Float>(
+    logits: &Matrix<T>,
+    targets: &[usize],
+    dlogits: &mut Matrix<T>,
+) -> f64 {
     let (batch, classes) = logits.shape();
     assert_eq!(targets.len(), batch, "one target per batch row");
-    let mut probs = logits.clone();
-    softmax_rows(&mut probs);
+    assert_eq!(dlogits.shape(), (batch, classes), "dlogits buffer shape");
+    dlogits.copy_from(logits);
+    softmax_rows(dlogits);
 
     let mut loss = 0.0f64;
     let inv_b = T::from_f64(1.0 / batch as f64);
-    let mut dlogits = probs.clone();
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < classes, "target {t} out of range for {classes} classes");
-        let p = probs.get(r, t).to_f64().max(1e-30);
+        let p = dlogits.get(r, t).to_f64().max(1e-30);
         loss -= p.ln();
         let v = dlogits.get(r, t);
         dlogits.set(r, t, v - T::ONE);
@@ -35,7 +51,7 @@ pub fn softmax_cross_entropy<T: Float>(logits: &Matrix<T>, targets: &[usize]) ->
     for v in dlogits.as_mut_slice() {
         *v *= inv_b;
     }
-    (loss / batch as f64, dlogits)
+    loss / batch as f64
 }
 
 /// Prediction accuracy: fraction of rows whose argmax equals the target.

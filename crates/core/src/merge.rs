@@ -33,26 +33,31 @@ impl MergeMode {
     }
 
     /// Forward merge: combines `fwd` and `rev` (both `batch × hidden`).
+    ///
+    /// Thin allocating wrapper over [`MergeMode::apply_into`].
     pub fn apply<T: Float>(self, fwd: &Matrix<T>, rev: &Matrix<T>) -> Matrix<T> {
+        let mut out = Matrix::zeros(fwd.rows(), self.output_width(fwd.cols()));
+        self.apply_into(fwd, rev, &mut out);
+        out
+    }
+
+    /// Allocation-free forward merge into a caller-provided buffer of shape
+    /// `batch × output_width(hidden)`. Bit-identical to [`MergeMode::apply`].
+    pub fn apply_into<T: Float>(self, fwd: &Matrix<T>, rev: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(fwd.shape(), rev.shape(), "merge operand shapes differ");
+        assert_eq!(
+            out.shape(),
+            (fwd.rows(), self.output_width(fwd.cols())),
+            "merge output buffer shape"
+        );
         match self {
-            MergeMode::Sum => {
-                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
-                bpar_tensor::ops::add(fwd, rev, &mut out);
-                out
-            }
+            MergeMode::Sum => bpar_tensor::ops::add(fwd, rev, out),
             MergeMode::Avg => {
-                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
-                bpar_tensor::ops::add(fwd, rev, &mut out);
-                bpar_tensor::ops::scale(T::from_f64(0.5), &mut out);
-                out
+                bpar_tensor::ops::add(fwd, rev, out);
+                bpar_tensor::ops::scale(T::from_f64(0.5), out);
             }
-            MergeMode::Mul => {
-                let mut out = Matrix::zeros(fwd.rows(), fwd.cols());
-                bpar_tensor::ops::hadamard(fwd, rev, &mut out);
-                out
-            }
-            MergeMode::Concat => Matrix::hstack(&[fwd, rev]),
+            MergeMode::Mul => bpar_tensor::ops::hadamard(fwd, rev, out),
+            MergeMode::Concat => Matrix::hstack_into(&[fwd, rev], out),
         }
     }
 
@@ -60,32 +65,56 @@ impl MergeMode {
     /// gradients w.r.t. the forward and reverse operands.
     ///
     /// For [`MergeMode::Mul`] the original operands are required.
+    ///
+    /// Thin allocating wrapper over [`MergeMode::backward_into`].
     pub fn backward<T: Float>(
         self,
         dmerged: &Matrix<T>,
         fwd: &Matrix<T>,
         rev: &Matrix<T>,
     ) -> (Matrix<T>, Matrix<T>) {
+        let mut dfwd = Matrix::zeros(fwd.rows(), fwd.cols());
+        let mut drev = Matrix::zeros(rev.rows(), rev.cols());
+        self.backward_into(dmerged, fwd, rev, &mut dfwd, &mut drev);
+        (dfwd, drev)
+    }
+
+    /// Allocation-free backward merge into caller-provided `dfwd`/`drev`
+    /// buffers (`batch × hidden`, fully overwritten). Bit-identical to
+    /// [`MergeMode::backward`]: every mode writes the same scalar values,
+    /// only the destination storage differs.
+    pub fn backward_into<T: Float>(
+        self,
+        dmerged: &Matrix<T>,
+        fwd: &Matrix<T>,
+        rev: &Matrix<T>,
+        dfwd: &mut Matrix<T>,
+        drev: &mut Matrix<T>,
+    ) {
+        assert_eq!(dfwd.shape(), fwd.shape(), "dfwd buffer shape");
+        assert_eq!(drev.shape(), rev.shape(), "drev buffer shape");
         match self {
-            MergeMode::Sum => (dmerged.clone(), dmerged.clone()),
+            MergeMode::Sum => {
+                dfwd.copy_from(dmerged);
+                drev.copy_from(dmerged);
+            }
             MergeMode::Avg => {
-                let mut d = dmerged.clone();
-                bpar_tensor::ops::scale(T::from_f64(0.5), &mut d);
-                (d.clone(), d)
+                dfwd.copy_from(dmerged);
+                bpar_tensor::ops::scale(T::from_f64(0.5), dfwd);
+                drev.copy_from(dfwd);
             }
             MergeMode::Mul => {
-                let mut dfwd = Matrix::zeros(fwd.rows(), fwd.cols());
-                bpar_tensor::ops::hadamard(dmerged, rev, &mut dfwd);
-                let mut drev = Matrix::zeros(rev.rows(), rev.cols());
-                bpar_tensor::ops::hadamard(dmerged, fwd, &mut drev);
-                (dfwd, drev)
+                bpar_tensor::ops::hadamard(dmerged, rev, dfwd);
+                bpar_tensor::ops::hadamard(dmerged, fwd, drev);
             }
             MergeMode::Concat => {
                 let h = fwd.cols();
                 assert_eq!(dmerged.cols(), 2 * h, "concat gradient width");
-                let parts = bpar_tensor::ops::split_cols(dmerged, 2);
-                let mut it = parts.into_iter();
-                (it.next().unwrap(), it.next().unwrap())
+                for r in 0..dmerged.rows() {
+                    let src = dmerged.row(r);
+                    dfwd.row_mut(r).copy_from_slice(&src[..h]);
+                    drev.row_mut(r).copy_from_slice(&src[h..]);
+                }
             }
         }
     }

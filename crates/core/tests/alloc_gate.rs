@@ -1,0 +1,106 @@
+//! Steady-state allocation gate: a warm, replayed inference plan must run
+//! an entire batch — input copy-in, every cell/merge/dense task, logit
+//! collection — without touching the heap allocator once.
+//!
+//! The whole file is compiled only with the `count-alloc` feature (the CI
+//! `alloc-gate` job runs `cargo test -p bpar-core --features count-alloc
+//! --test alloc_gate`): it installs [`bpar_tensor::CountingAlloc`] as the
+//! process-wide global allocator, and a global counter cannot distinguish
+//! threads, so everything is measured from a single `#[test]` to keep
+//! concurrent tests from polluting the window.
+
+#![cfg(feature = "count-alloc")]
+
+use bpar_core::cell::CellKind;
+use bpar_core::exec::{Executor, ForwardOutput, SequentialExec, TaskGraphExec};
+use bpar_core::merge::MergeMode;
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_tensor::alloc_track::{allocation_count, bytes_allocated};
+use bpar_tensor::{init, Matrix};
+
+#[global_allocator]
+static ALLOC: bpar_tensor::CountingAlloc = bpar_tensor::CountingAlloc;
+
+fn batch(seq: usize, rows: usize, input: usize, seed: u64) -> Vec<Matrix<f64>> {
+    (0..seq)
+        .map(|t| init::uniform(rows, input, -1.0, 1.0, seed + t as u64))
+        .collect()
+}
+
+fn config(cell: CellKind, merge: MergeMode, kind: ModelKind) -> BrnnConfig {
+    BrnnConfig {
+        cell,
+        input_size: 5,
+        hidden_size: 8,
+        layers: 2,
+        seq_len: 6,
+        output_size: 4,
+        merge,
+        kind,
+    }
+}
+
+/// One shape's gate: warm the plan, then assert a further replayed batch
+/// performs exactly zero heap allocations while producing bits identical
+/// to the sequential reference.
+fn gate(cfg: BrnnConfig, seed: u64) {
+    let model = Brnn::<f64>::new(cfg, seed);
+    let exec = TaskGraphExec::new(2);
+    let xs = batch(cfg.seq_len, 4, cfg.input_size, seed + 100);
+    let mut out = ForwardOutput::zeros_for(&model, 4, cfg.seq_len);
+
+    // Warmup: the first call builds and caches the plan (allocating its
+    // arena); a few more drain every lazily grown queue and thread-local.
+    for _ in 0..5 {
+        exec.try_forward_into(&model, &xs, &mut out).unwrap();
+    }
+
+    let allocs_before = allocation_count();
+    let bytes_before = bytes_allocated();
+    exec.try_forward_into(&model, &xs, &mut out).unwrap();
+    let allocs = allocation_count() - allocs_before;
+    let bytes = bytes_allocated() - bytes_before;
+    assert_eq!(
+        allocs, 0,
+        "warm replayed inference batch allocated {allocs} times ({bytes} bytes) \
+         for {:?}/{:?}/{:?}",
+        cfg.cell, cfg.merge, cfg.kind
+    );
+
+    // The allocation-free path must not have changed a single bit.
+    let reference = SequentialExec.forward(&model, &xs);
+    assert_eq!(out.logits.shape(), reference.logits.shape());
+    for (a, b) in out
+        .logits
+        .as_slice()
+        .iter()
+        .zip(reference.logits.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "logits diverge from sequential");
+    }
+    assert_eq!(out.seq_logits.len(), reference.seq_logits.len());
+    for (m, r) in out.seq_logits.iter().zip(&reference.seq_logits) {
+        for (a, b) in m.as_slice().iter().zip(r.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "seq logits diverge");
+        }
+    }
+}
+
+#[test]
+fn warm_replayed_inference_batches_allocate_nothing() {
+    // All three cell kinds; concat exercises the widest merge buffers,
+    // many-to-many exercises per-timestep dense/logit buffers, and the
+    // GRU draws per-task scratch from its workspace on every step.
+    gate(
+        config(CellKind::Lstm, MergeMode::Concat, ModelKind::ManyToOne),
+        3,
+    );
+    gate(
+        config(CellKind::Gru, MergeMode::Sum, ModelKind::ManyToMany),
+        5,
+    );
+    gate(
+        config(CellKind::Vanilla, MergeMode::Avg, ModelKind::ManyToOne),
+        7,
+    );
+}

@@ -43,6 +43,25 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// A task body: either a one-shot closure (live submission) or a shared
+/// plan body that can be re-run every replay without re-boxing.
+enum TaskBody {
+    /// Live-submitted closure, consumed on execution.
+    Once(Box<dyn FnOnce() + Send + 'static>),
+    /// Body owned by a [`CompiledPlan`]; cloning is a refcount bump, so a
+    /// replay materialises its tasks without touching the allocator.
+    Shared(crate::plan::PlanBody),
+}
+
+impl TaskBody {
+    fn run(self) {
+        match self {
+            TaskBody::Once(f) => f(),
+            TaskBody::Shared(f) => f(),
+        }
+    }
+}
+
 /// Per-task bookkeeping held by the runtime.
 struct TaskMeta {
     label: &'static str,
@@ -50,10 +69,11 @@ struct TaskMeta {
     working_set_bytes: usize,
     /// Unsatisfied predecessor count; ready when it reaches zero.
     pending: usize,
-    /// Tasks to release on completion.
+    /// Tasks to release on completion (live tasks only — replayed tasks
+    /// read their frozen successor lists straight from the plan).
     succs: Vec<usize>,
     completed: bool,
-    body: Option<Box<dyn FnOnce() + Send + 'static>>,
+    body: Option<TaskBody>,
 }
 
 /// State behind the central lock.
@@ -75,6 +95,11 @@ struct Inner {
     /// When set, workers consult the plan before each task body and may
     /// panic or straggle on its behalf (fault-injection mode).
     fault: Option<Arc<FaultPlan>>,
+    /// The plan currently loaded by [`Runtime::replay`]. Tasks with an
+    /// index inside this plan take their successor lists from it instead
+    /// of from per-task `succs` vectors, which is what keeps a warm
+    /// replay free of heap allocations.
+    replayed: Option<Arc<CompiledPlan>>,
 }
 
 struct Shared {
@@ -118,6 +143,7 @@ impl Runtime {
                 record_trace: config.record_trace,
                 validation: None,
                 fault: None,
+                replayed: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -179,7 +205,7 @@ impl Runtime {
             pending,
             succs: Vec::new(),
             completed: false,
-            body: Some(body),
+            body: Some(TaskBody::Once(body)),
         });
         inner.incomplete += 1;
         if pending == 0 {
@@ -230,6 +256,9 @@ impl Runtime {
         inner.tasks.clear();
         inner.records.clear();
         inner.overhead = Duration::ZERO;
+        // Task indices restart at zero, so they must no longer resolve
+        // successor lists against a previously replayed plan.
+        inner.replayed = None;
     }
 
     /// Re-submits a whole [`CompiledPlan`] in one pass — the cheap
@@ -248,9 +277,15 @@ impl Runtime {
     /// the figure is pure bookkeeping time, not contaminated by task
     /// execution stealing the caller's core.
     ///
+    /// After the first replay of a given plan size, this path performs no
+    /// heap allocations: task bodies are `Arc` clones of the plan's shared
+    /// bodies, successor lists are read from the plan itself at completion
+    /// time, and the bookkeeping vectors retain their capacity across
+    /// replays.
+    ///
     /// # Panics
     /// Panics if tasks are still in flight.
-    pub fn replay(&self, plan: &CompiledPlan) -> Duration {
+    pub fn replay(&self, plan: &Arc<CompiledPlan>) -> Duration {
         let t0 = Instant::now();
         let mut inner = self.shared.inner.lock();
         assert_eq!(inner.incomplete, 0, "replay() while tasks are in flight");
@@ -260,19 +295,17 @@ impl Runtime {
         inner.overhead = Duration::ZERO;
         inner.tasks.reserve(plan.tasks.len());
         for (i, t) in plan.tasks.iter().enumerate() {
-            let body = t.body.clone();
             inner.tasks.push(TaskMeta {
                 label: t.label,
                 tag: t.tag,
                 working_set_bytes: t.working_set_bytes,
                 pending: plan.pending[i],
-                // The worker loop `take`s successor lists on completion, so
-                // each replay needs its own copy.
-                succs: plan.succs[i].clone(),
+                succs: Vec::new(),
                 completed: false,
-                body: Some(Box::new(move || body())),
+                body: Some(TaskBody::Shared(t.body.clone())),
             });
         }
+        inner.replayed = Some(plan.clone());
         inner.incomplete = plan.tasks.len();
         for &root in &plan.roots {
             inner.ready.push(root, None);
@@ -415,7 +448,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     if let Some(plan) = plan {
                         plan.apply(tid, label);
                     }
-                    body();
+                    body.run();
                 }))
             };
 
@@ -447,14 +480,34 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 inner.records.push(rec);
             }
             inner.tasks[tid].completed = true;
-            let succs = std::mem::take(&mut inner.tasks[tid].succs);
+            // Replayed tasks keep their successor lists in the plan (frozen
+            // at compile time, shared by every replay); live tasks own
+            // theirs and surrender them on completion. Tasks submitted live
+            // after a replay get indices beyond the plan and fall through
+            // to the owned path.
+            let frozen = match &inner.replayed {
+                Some(p) if tid < p.tasks.len() => Some(p.clone()),
+                _ => None,
+            };
             let mut released = 0;
-            for s in succs {
-                let sm = &mut inner.tasks[s];
-                sm.pending -= 1;
-                if sm.pending == 0 {
-                    inner.ready.push(s, Some(worker));
-                    released += 1;
+            if let Some(plan) = frozen {
+                for &s in &plan.succs[tid] {
+                    let sm = &mut inner.tasks[s];
+                    sm.pending -= 1;
+                    if sm.pending == 0 {
+                        inner.ready.push(s, Some(worker));
+                        released += 1;
+                    }
+                }
+            } else {
+                let succs = std::mem::take(&mut inner.tasks[tid].succs);
+                for s in succs {
+                    let sm = &mut inner.tasks[s];
+                    sm.pending -= 1;
+                    if sm.pending == 0 {
+                        inner.ready.push(s, Some(worker));
+                        released += 1;
+                    }
                 }
             }
             inner.incomplete -= 1;
@@ -727,7 +780,7 @@ mod tests {
                 c.fetch_add(1, Ordering::SeqCst);
             }));
         }
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         for round in 1..=3 {
             r.replay(&plan);
             r.taskwait().unwrap();
@@ -750,7 +803,7 @@ mod tests {
                     .body(move || l.lock().push(i)),
             );
         }
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         for _ in 0..3 {
             log.lock().clear();
             r.replay(&plan);
@@ -767,7 +820,7 @@ mod tests {
         for i in 0..7u64 {
             b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(|| {}));
         }
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         for _ in 0..50 {
             r.replay(&plan);
             r.taskwait().unwrap();
@@ -795,7 +848,7 @@ mod tests {
                 panic!("injected replay failure");
             }
         }));
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         r.replay(&plan);
         let err = r.taskwait().unwrap_err();
         assert!(err.contains("injected replay failure"), "{err}");
@@ -817,7 +870,7 @@ mod tests {
         b.submit(PlanSpec::new("planned").outs([RegionId(0)]).body(move || {
             c.fetch_add(1, Ordering::SeqCst);
         }));
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         r.replay(&plan);
         r.taskwait().unwrap();
         // A live batch between replays works on the same runtime.
@@ -835,7 +888,7 @@ mod tests {
     fn empty_plan_replay_is_a_noop() {
         use crate::plan::PlanBuilder;
         let r = rt(1);
-        let plan = PlanBuilder::new().compile();
+        let plan = Arc::new(PlanBuilder::new().compile());
         r.replay(&plan);
         r.taskwait().unwrap();
         assert_eq!(r.stats().tasks, 0);
@@ -866,7 +919,7 @@ mod tests {
                 .outs([RegionId(9)])
                 .body(|| record_write(RegionId(9))),
         );
-        let plan = b.compile();
+        let plan = Arc::new(b.compile());
         r.replay(&plan);
         r.taskwait().unwrap();
         let ev = rec.take_events();
@@ -973,7 +1026,7 @@ mod tests {
         for i in 0..8u64 {
             b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(|| {}));
         }
-        let compiled = b.compile();
+        let compiled = Arc::new(b.compile());
         let fp = StdArc::new(FaultPlan::new(FaultConfig {
             seed: 13,
             panic_rate: 1.0,

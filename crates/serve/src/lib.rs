@@ -56,6 +56,7 @@ pub mod batcher;
 pub mod breaker;
 pub mod loadgen;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -64,6 +65,7 @@ pub use batcher::{BatchPolicy, MicroBatcher};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopConfig, OpenLoopConfig};
 pub use metrics::ServingReport;
+pub use pool::{BatchBuffers, BufferPool, PoolStats};
 pub use queue::{Admission, AdmissionQueue, BackpressurePolicy};
 pub use request::{InferRequest, InferResponse, Outcome};
 pub use server::{RetryPolicy, ServeConfig, Server};

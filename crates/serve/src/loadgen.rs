@@ -113,6 +113,12 @@ fn finish_report<T: Float>(
     report.plan_misses = plans.misses;
     report.plan_evictions = plans.evictions;
     report.weight_syncs = plans.weight_syncs;
+    report.arena_bytes = plans.arena_bytes;
+    report.arena_reuses = plans.arena_reuses;
+    let pool = server.pool_stats();
+    report.pool_hits = pool.hits;
+    report.pool_misses = pool.misses;
+    report.pool_bytes = pool.resident_bytes;
     if let Some(plan) = server.fault_plan() {
         report.injected_panics = plan.injected_panics();
         report.injected_straggles = plan.injected_straggles();

@@ -153,6 +153,21 @@ pub struct ServingReport {
     /// Model deep copies over the whole run. In steady-state serving this
     /// equals `plan_misses` — the per-batch model clone is gone.
     pub weight_syncs: u64,
+    /// Bytes of persistent plan arena resident in the executor's plan
+    /// cache at the end of the run (inputs, states, caches, merges,
+    /// logits retained between replays).
+    pub arena_bytes: u64,
+    /// Warm replays that reused a resident plan's arena instead of
+    /// allocating fresh buffers (one per plan-cache hit).
+    pub arena_reuses: u64,
+    /// Batches whose input/output buffers came from the server's
+    /// shape-keyed pool (no per-batch allocation).
+    pub pool_hits: u64,
+    /// Batches that allocated a fresh buffer set for a new padded shape.
+    /// Plateaus at the number of distinct shapes, like `plan_misses`.
+    pub pool_misses: u64,
+    /// Bytes of pooled per-batch buffers parked at the end of the run.
+    pub pool_bytes: u64,
 }
 
 /// Accumulates per-request outcomes and per-batch shapes into a

@@ -1,0 +1,175 @@
+//! Shape-keyed pool of per-batch forward buffers.
+//!
+//! [`crate::server::Server`] used to materialize a fresh `Vec<Matrix>` of
+//! padded inputs and a fresh logits matrix for every closed batch. With
+//! the executor's own plan arena now allocation-free on warm replays
+//! (`ExecPlan::arena_bytes`), those per-batch buffers were the last
+//! steady-state allocations on the serve side of the forward path. The
+//! [`BufferPool`] removes them: buffers are checked out per batch, keyed
+//! by the same `(rows, padded_len)` shape the executor's `PlanCache` keys
+//! on, and returned after the batch's responses are emitted. A bucketed
+//! serving loop sees a bounded set of padded shapes, so the pool — like
+//! the plan cache — plateaus after warmup and every later batch is a hit.
+//!
+//! Response payloads themselves (`InferResponse::logits`) still allocate:
+//! a response outlives the batch that produced it and must own its row.
+//! The pool's counters make that boundary observable rather than implied.
+
+use bpar_core::exec::ForwardOutput;
+use bpar_core::model::Brnn;
+use bpar_tensor::{Float, Matrix};
+
+/// The per-batch working set for one padded shape: one `rows × input`
+/// matrix per timestep plus the executor's output buffer.
+pub struct BatchBuffers<T: Float> {
+    /// Padded input, one matrix per timestep.
+    pub xs: Vec<Matrix<T>>,
+    /// Forward output, shaped by [`ForwardOutput::zeros_for`].
+    pub out: ForwardOutput<T>,
+}
+
+impl<T: Float> BatchBuffers<T> {
+    fn new(model: &Brnn<T>, rows: usize, padded_len: usize) -> Self {
+        let dim = model.config.input_size;
+        Self {
+            xs: (0..padded_len).map(|_| Matrix::zeros(rows, dim)).collect(),
+            out: ForwardOutput::zeros_for(model, rows, padded_len),
+        }
+    }
+
+    fn nbytes(&self) -> u64 {
+        let xs: usize = self.xs.iter().map(Matrix::nbytes).sum();
+        let seq: usize = self.out.seq_logits.iter().map(Matrix::nbytes).sum();
+        (xs + self.out.logits.nbytes() + seq) as u64
+    }
+}
+
+/// Counters describing pool behaviour; surfaced through
+/// [`crate::server::Server::pool_stats`] and the `ServingReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batches served from a pooled buffer set (no allocation).
+    pub hits: u64,
+    /// Batches that allocated a fresh buffer set for a new shape.
+    pub misses: u64,
+    /// Buffer sets dropped to respect the pool capacity.
+    pub evictions: u64,
+    /// Buffer sets currently parked in the pool.
+    pub resident: usize,
+    /// Total bytes of the parked buffer sets.
+    pub resident_bytes: u64,
+}
+
+/// LRU pool of [`BatchBuffers`] keyed by `(rows, padded_len)`.
+///
+/// Most-recently-returned entries sit at the back; lookup is a linear
+/// scan, matching the executor's `PlanCache` (a bucketed batcher yields a
+/// handful of shapes, not thousands). At most one buffer set is kept per
+/// shape: batches execute one at a time on the serving loop, so a second
+/// set for the same shape could never be in flight.
+pub struct BufferPool<T: Float> {
+    entries: Vec<((usize, usize), BatchBuffers<T>)>,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+impl<T: Float> BufferPool<T> {
+    /// An empty pool holding at most `capacity` parked buffer sets.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        Self {
+            entries: Vec::new(),
+            capacity,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Takes the buffer set for `(rows, padded_len)` out of the pool,
+    /// allocating a fresh one if no parked set matches. The caller owns
+    /// the set until it hands it back via [`BufferPool::give_back`];
+    /// contents are whatever the previous batch left — every consumer
+    /// fully overwrites before reading.
+    pub fn checkout(&mut self, model: &Brnn<T>, rows: usize, padded_len: usize) -> BatchBuffers<T> {
+        let key = (rows, padded_len);
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (_, bufs) = self.entries.remove(pos);
+            self.stats.hits += 1;
+            self.stats.resident = self.entries.len();
+            self.stats.resident_bytes -= bufs.nbytes();
+            return bufs;
+        }
+        self.stats.misses += 1;
+        BatchBuffers::new(model, rows, padded_len)
+    }
+
+    /// Parks a buffer set for reuse, evicting the least-recently-used
+    /// entry when full.
+    pub fn give_back(&mut self, rows: usize, padded_len: usize, bufs: BatchBuffers<T>) {
+        if self.entries.len() >= self.capacity {
+            let (_, dropped) = self.entries.remove(0);
+            self.stats.evictions += 1;
+            self.stats.resident_bytes -= dropped.nbytes();
+        }
+        self.stats.resident_bytes += bufs.nbytes();
+        self.entries.push(((rows, padded_len), bufs));
+        self.stats.resident = self.entries.len();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_core::model::BrnnConfig;
+
+    fn model() -> Brnn<f32> {
+        Brnn::new(
+            BrnnConfig {
+                input_size: 3,
+                hidden_size: 4,
+                layers: 1,
+                seq_len: 5,
+                output_size: 2,
+                ..BrnnConfig::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn same_shape_hits_after_first_checkout() {
+        let m = model();
+        let mut pool = BufferPool::new(4);
+        let b = pool.checkout(&m, 2, 5);
+        assert_eq!((pool.stats().hits, pool.stats().misses), (0, 1));
+        pool.give_back(2, 5, b);
+        assert_eq!(pool.stats().resident, 1);
+        assert!(pool.stats().resident_bytes > 0);
+        let b = pool.checkout(&m, 2, 5);
+        assert_eq!((pool.stats().hits, pool.stats().misses), (1, 1));
+        assert_eq!(pool.stats().resident_bytes, 0);
+        assert_eq!(b.xs.len(), 5);
+        assert_eq!(b.xs[0].shape(), (2, 3));
+        assert_eq!(b.out.logits.shape(), (2, 2));
+    }
+
+    #[test]
+    fn distinct_shapes_miss_and_lru_evicts() {
+        let m = model();
+        let mut pool = BufferPool::new(2);
+        for rows in 1..=3 {
+            let b = pool.checkout(&m, rows, 5);
+            pool.give_back(rows, 5, b);
+        }
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 3, 1));
+        assert_eq!(s.resident, 2);
+        // rows=1 was least recently used and got dropped.
+        let _ = pool.checkout(&m, 1, 5);
+        assert_eq!(pool.stats().misses, 4);
+    }
+}

@@ -17,12 +17,13 @@
 use crate::batcher::{BatchPolicy, MicroBatcher};
 use crate::breaker::{BreakerConfig, BreakerTransition, CircuitBreaker};
 use crate::metrics::MetricsCollector;
+use crate::pool::{BufferPool, PoolStats};
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
 use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
 use bpar_core::exec::{Executor, PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
 use bpar_runtime::{FaultConfig, FaultPlan, SchedulerPolicy};
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::Float;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -191,6 +192,10 @@ pub struct Server<T: Float> {
     /// Fault plan installed on the resident runtime, kept so reports can
     /// read the injection counters.
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Per-batch input/output buffers, pooled by padded shape so a warm
+    /// batch re-fills retained memory instead of allocating (the serve
+    /// half of the executor's plan arena — see [`crate::pool`]).
+    pool: Mutex<BufferPool<T>>,
 }
 
 impl<T: Float> Server<T> {
@@ -201,11 +206,16 @@ impl<T: Float> Server<T> {
         // data parallelism comes from batching requests, not splitting
         // the batch again.
         let exec = TaskGraphExec::with_config(config.workers, config.scheduler, 1);
+        // Pool capacity mirrors the plan cache's order of magnitude: a
+        // bucketed batcher produces one shape per (bucket, fill) pair, a
+        // small bounded set.
+        let pool = Mutex::new(BufferPool::new(32));
         Self {
             model,
             exec,
             config,
             fault: Mutex::new(None),
+            pool,
         }
     }
 
@@ -241,6 +251,14 @@ impl<T: Float> Server<T> {
     /// `weight_syncs` stays at `misses` — no per-batch model clones.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.exec.plan_cache_stats()
+    }
+
+    /// Per-batch buffer-pool counters. In steady state `misses` plateaus
+    /// at the number of distinct padded batch shapes — the same plateau as
+    /// [`Self::plan_cache_stats`]' `misses` — and every further batch
+    /// reuses pooled buffers.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.lock().stats()
     }
 
     /// Runs the serving loop until `queue` is closed and fully drained
@@ -373,46 +391,56 @@ impl<T: Float> Server<T> {
         let rows = live.len();
         let padded_len = live.iter().map(InferRequest::seq_len).max().unwrap_or(0);
         let real_frames: u64 = live.iter().map(|r| r.seq_len() as u64).sum();
-        // One `rows × input_size` matrix per timestep; short sequences are
-        // zero-padded at the tail (none are short when `bucket_width == 1`).
-        let xs: Vec<Matrix<T>> = (0..padded_len)
-            .map(|t| {
-                Matrix::from_fn(rows, dim, |r, c| {
-                    live[r].frames.get(t).map_or(T::ZERO, |frame| frame[c])
-                })
-            })
-            .collect();
+        // Check the batch's working set out of the shape-keyed pool: one
+        // `rows × input_size` matrix per timestep plus the output buffer.
+        // Every row is fully overwritten — short sequences get their tail
+        // zero-filled explicitly (none are short when `bucket_width == 1`),
+        // so a reused buffer can't leak a previous batch's frames.
+        let mut bufs = self.pool.lock().checkout(&self.model, rows, padded_len);
+        for (t, x) in bufs.xs.iter_mut().enumerate() {
+            let data = x.as_mut_slice();
+            for (r, req) in live.iter().enumerate() {
+                let dst = &mut data[r * dim..(r + 1) * dim];
+                match req.frames.get(t) {
+                    Some(frame) => dst.copy_from_slice(frame),
+                    None => dst.fill(T::ZERO),
+                }
+            }
+        }
         // A task panic must not take the server down with it: the batch's
         // requests go to the retry queue (or fail) and the loop — and its
-        // worker pool — keeps serving.
-        let out = match self.exec.try_forward(&self.model, &xs) {
-            Ok(out) => out,
-            Err(_) => {
-                self.breaker_record(true, st, metrics);
-                let now = Instant::now();
-                for req in live {
-                    if attempt < self.config.retry.max_retries && !req.expired(now) {
-                        metrics.record_retry(attempt == 0);
-                        let due = now + self.config.retry.backoff(req.id, attempt + 1);
-                        st.retries.push_back(RetryEntry {
-                            req,
-                            attempt: attempt + 1,
-                            due,
-                        });
-                    } else {
-                        if attempt >= self.config.retry.max_retries
-                            && self.config.retry.max_retries > 0
-                        {
-                            metrics.record_retry_exhausted();
-                        }
-                        let outcome = Outcome::Failed { id: req.id };
-                        metrics.record_outcome(&outcome);
-                        on_outcome(outcome);
+        // worker pool — keeps serving. The buffers go back to the pool on
+        // both paths; partially written output is fine because the next
+        // batch fully overwrites before reading.
+        if self
+            .exec
+            .try_forward_into(&self.model, &bufs.xs, &mut bufs.out)
+            .is_err()
+        {
+            self.pool.lock().give_back(rows, padded_len, bufs);
+            self.breaker_record(true, st, metrics);
+            let now = Instant::now();
+            for req in live {
+                if attempt < self.config.retry.max_retries && !req.expired(now) {
+                    metrics.record_retry(attempt == 0);
+                    let due = now + self.config.retry.backoff(req.id, attempt + 1);
+                    st.retries.push_back(RetryEntry {
+                        req,
+                        attempt: attempt + 1,
+                        due,
+                    });
+                } else {
+                    if attempt >= self.config.retry.max_retries && self.config.retry.max_retries > 0
+                    {
+                        metrics.record_retry_exhausted();
                     }
+                    let outcome = Outcome::Failed { id: req.id };
+                    metrics.record_outcome(&outcome);
+                    on_outcome(outcome);
                 }
-                return;
             }
-        };
+            return;
+        }
         self.breaker_record(false, st, metrics);
         let done = Instant::now();
         let service = done.duration_since(close);
@@ -420,7 +448,9 @@ impl<T: Float> Server<T> {
         for (r, req) in live.into_iter().enumerate() {
             let outcome = Outcome::Served(InferResponse {
                 id: req.id,
-                logits: out.logits.row(r).to_vec(),
+                // The one remaining per-request allocation: a response
+                // outlives its batch and must own its logits row.
+                logits: bufs.out.logits.row(r).to_vec(),
                 timing: ResponseTiming {
                     queue_wait: close.duration_since(req.arrival),
                     service,
@@ -433,6 +463,7 @@ impl<T: Float> Server<T> {
             metrics.record_outcome(&outcome);
             on_outcome(outcome);
         }
+        self.pool.lock().give_back(rows, padded_len, bufs);
     }
 
     /// Feeds one executor run into the breaker and applies any state
@@ -466,6 +497,7 @@ mod tests {
     use crate::queue::Admission;
     use bpar_core::exec::SequentialExec;
     use bpar_core::model::BrnnConfig;
+    use bpar_tensor::Matrix;
     use std::sync::Arc;
 
     fn tiny_model() -> Brnn<f32> {
@@ -527,6 +559,37 @@ mod tests {
             let expect = seq.forward(&model, &xs);
             assert_eq!(resp.logits, expect.logits.row(0).to_vec());
         }
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused_across_batches() {
+        // max_batch = 1 makes every batch a (1, 4) singleton: one padded
+        // shape, so the pool and the plan arena must each allocate once
+        // and serve every later batch from retained memory.
+        let server = Server::new(
+            tiny_model(),
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy::new(1, Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let queue = AdmissionQueue::new(16, BackpressurePolicy::Block);
+        for id in 0..6u64 {
+            queue.push(InferRequest::new(id, frames(4, 4, id)));
+        }
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        server.serve(&queue, &mut metrics, |_| {});
+        assert_eq!(metrics.served(), 6);
+        let pool = server.pool_stats();
+        assert_eq!(pool.misses, 1, "one shape allocates one buffer set");
+        assert_eq!(pool.hits, 5);
+        assert_eq!(pool.resident, 1);
+        assert!(pool.resident_bytes > 0);
+        let plans = server.plan_cache_stats();
+        assert_eq!(plans.arena_reuses, 5, "five warm replays");
+        assert!(plans.arena_bytes > 0);
     }
 
     #[test]

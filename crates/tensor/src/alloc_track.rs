@@ -1,0 +1,61 @@
+//! Counting global allocator for steady-state allocation proofs.
+//!
+//! [`CountingAlloc`] forwards every request to the system allocator while
+//! counting calls and bytes. It is *not* installed by this crate: a test
+//! or bench binary opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: bpar_tensor::CountingAlloc = bpar_tensor::CountingAlloc;
+//! ```
+//!
+//! and then brackets the region under test with [`allocation_count`] /
+//! [`bytes_allocated`] snapshots. The `count-alloc` cargo feature gates
+//! the binaries that install it (the `alloc-gate` CI job), so the regular
+//! test suite never pays for the atomics.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts allocations and forwards to [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// counter updates have no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Total heap allocations observed since process start (0 unless a
+/// [`CountingAlloc`] is installed as the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Total bytes requested from the allocator since process start.
+pub fn bytes_allocated() -> u64 {
+    BYTES.load(Ordering::SeqCst)
+}

@@ -19,12 +19,16 @@
 //! the "B-Par is mapped to MKL-Sequential" configuration of the paper.
 
 pub mod activation;
+pub mod alloc_track;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod scalar;
+pub mod workspace;
 
+pub use alloc_track::CountingAlloc;
 pub use gemm::{gemm, gemm_naive, gemm_nt, gemm_tn};
 pub use matrix::Matrix;
 pub use scalar::Float;
+pub use workspace::{Workspace, WorkspaceStats};

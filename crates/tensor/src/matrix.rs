@@ -206,6 +206,36 @@ impl<T: Float> Matrix<T> {
         }
     }
 
+    /// Copies rows `[start, start + count)` into `out` without allocating.
+    ///
+    /// `out` must already be `count × cols` — the allocation-free
+    /// counterpart of [`Matrix::row_block`] used by the workspace path.
+    pub fn row_block_into(&self, start: usize, count: usize, out: &mut Matrix<T>) {
+        assert!(start + count <= self.rows, "row block out of range");
+        assert_eq!(out.shape(), (count, self.cols), "row block out shape");
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..(start + count) * self.cols]);
+    }
+
+    /// Copies all of `src` into rows `[start, start + src.rows)` of `self`
+    /// without allocating — the write-side counterpart of
+    /// [`Matrix::row_block_into`], used to reassemble per-replica outputs
+    /// into a caller-provided full-batch buffer.
+    pub fn copy_rows_from(&mut self, start: usize, src: &Matrix<T>) {
+        assert_eq!(self.cols, src.cols, "copy_rows_from column mismatch");
+        assert!(start + src.rows <= self.rows, "copy_rows_from out of range");
+        self.data[start * self.cols..(start + src.rows) * self.cols].copy_from_slice(&src.data);
+    }
+
+    /// Copies `src` into `self` without changing the allocation.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, src: &Matrix<T>) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Vertically stacks `blocks` (all must share the column count).
     pub fn vstack(blocks: &[&Matrix<T>]) -> Self {
         assert!(!blocks.is_empty(), "vstack of zero blocks");
@@ -217,6 +247,22 @@ impl<T: Float> Matrix<T> {
             data.extend_from_slice(&b.data);
         }
         Self { rows, cols, data }
+    }
+
+    /// Vertically stacks `blocks` into `out` without allocating.
+    ///
+    /// `out` must already have the summed row count and matching width.
+    pub fn vstack_into(blocks: &[&Matrix<T>], out: &mut Matrix<T>) {
+        assert!(!blocks.is_empty(), "vstack of zero blocks");
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        assert_eq!(out.shape(), (rows, cols), "vstack out shape");
+        let mut off = 0;
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack column mismatch");
+            out.data[off..off + b.data.len()].copy_from_slice(&b.data);
+            off += b.data.len();
+        }
     }
 
     /// Horizontally concatenates `blocks` (all must share the row count).
@@ -236,6 +282,27 @@ impl<T: Float> Matrix<T> {
             }
         }
         out
+    }
+
+    /// Horizontally concatenates `blocks` into `out` without allocating.
+    ///
+    /// `out` must already be `rows × Σ cols` — the allocation-free
+    /// counterpart of [`Matrix::hstack`] used to build `[X_t, H_{t-1}]`
+    /// concatenations inside persistent cell caches.
+    pub fn hstack_into(blocks: &[&Matrix<T>], out: &mut Matrix<T>) {
+        assert!(!blocks.is_empty(), "hstack of zero blocks");
+        let rows = blocks[0].rows;
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        assert_eq!(out.shape(), (rows, cols), "hstack out shape");
+        for r in 0..rows {
+            let mut off = 0;
+            let dst = out.row_mut(r);
+            for b in blocks {
+                assert_eq!(b.rows, rows, "hstack row mismatch");
+                dst[off..off + b.cols].copy_from_slice(b.row(r));
+                off += b.cols;
+            }
+        }
     }
 
     /// Maximum absolute difference against `other`.

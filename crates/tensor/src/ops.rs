@@ -52,9 +52,9 @@ pub fn hadamard_add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>)
 pub fn add_bias<T: Float>(m: &mut Matrix<T>, bias: &Matrix<T>) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
-    let b = bias.as_slice().to_vec();
+    let b = bias.row(0);
     for r in 0..m.rows() {
-        for (v, &bv) in m.row_mut(r).iter_mut().zip(&b) {
+        for (v, &bv) in m.row_mut(r).iter_mut().zip(b) {
             *v += bv;
         }
     }
@@ -66,13 +66,21 @@ pub fn add_bias<T: Float>(m: &mut Matrix<T>, bias: &Matrix<T>) {
 /// per-sample gate gradients.
 pub fn column_sums<T: Float>(m: &Matrix<T>) -> Matrix<T> {
     let mut out = Matrix::zeros(1, m.cols());
+    column_sums_into(m, &mut out);
+    out
+}
+
+/// Column-wise sum of `m` written into an existing `1 × cols` row vector
+/// (allocation-free counterpart of [`column_sums`]).
+pub fn column_sums_into<T: Float>(m: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(out.shape(), (1, m.cols()), "column_sums out shape");
+    out.fill_zero();
     for r in 0..m.rows() {
         let row = m.row(r);
         for (o, &v) in out.row_mut(0).iter_mut().zip(row) {
             *o += v;
         }
     }
-    out
 }
 
 /// `out = a + b`.
