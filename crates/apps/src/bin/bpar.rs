@@ -13,8 +13,13 @@
 //!                   [--policy block|reject|shed] [--mode open|closed] [--model PATH]
 //!                   [--fault-panic-rate P] [--fault-straggle-rate P] [--fault-seed S]
 //!                   [--retry-max N] [--retry-backoff-us U] [--counters-out PATH]
+//!                   [--replicas N] [--routing hash|least-loaded]
+//!                   [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
+//!                   [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
 //!                                                 dynamic-batching inference serving
-//!                                                 (optionally under injected faults)
+//!                                                 (optionally under injected faults;
+//!                                                 --replicas > 1 runs the routed
+//!                                                 multi-replica fleet tier)
 //! bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
 //!                   [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
 //!                   [--seed-bug] [--out PATH]     verify dependency clauses and
@@ -85,6 +90,9 @@ USAGE:
                     [--fault-seed S] [--fault-panic-rate P] [--fault-straggle-rate P]
                     [--fault-straggle-us U] [--fault-panic-budget N]
                     [--retry-max N] [--retry-backoff-us U] [--counters-out PATH]
+                    [--replicas N] [--routing hash|least-loaded]
+                    [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
+                    [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
                     [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
                     [--fuzz-seeds a,b,c] [--seed-bug] [--out PATH]";
@@ -449,6 +457,15 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
             }
         }
     };
+    let budget_kib = |name: &str| -> Result<Option<u64>, String> {
+        match opts.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(|kib| Some(kib * 1024))
+                .map_err(|_| format!("--{name} expects an integer KiB count, got `{v}`")),
+        }
+    };
     let cfg = ServeConfig {
         queue_capacity: get_usize(opts, "queue-cap", 64)?,
         policy,
@@ -460,6 +477,8 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         workers: get_usize(opts, "workers", 0)?,
         scheduler: SchedulerPolicy::LocalityAware,
         retry,
+        plan_byte_budget: budget_kib("plan-budget-kib")?,
+        pool_byte_budget: budget_kib("pool-budget-kib")?,
         ..ServeConfig::default()
     };
     let seed = get_usize(opts, "seed", 42)? as u64;
@@ -510,6 +529,25 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         }
     };
     let mode = opts.get("mode").map(String::as_str).unwrap_or("open");
+    if !matches!(mode, "open" | "closed") {
+        return Err(format!("--mode expects open|closed, got `{mode}`"));
+    }
+    let replicas = get_usize(opts, "replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    // Any fleet-tier flag routes through the router, even with one
+    // replica, so tenant files and hedging knobs behave uniformly.
+    if replicas > 1
+        || opts.contains_key("tenants")
+        || opts.contains_key("routing")
+        || opts.contains_key("hedge-mode")
+        || opts.contains_key("hedge-quantile")
+    {
+        return serve_fleet(
+            opts, model, cfg, fault, seed, requests, deadline, mode, replicas,
+        );
+    }
     println!(
         "serving {requests} requests ({mode} loop) through a {}-layer {:?} model: \
          window {}us, max batch {}, bucket width {}, policy {}, queue cap {}",
@@ -637,6 +675,185 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
             "request conservation violated: {} submitted but {} accounted \
              ({} served + {} shed + {} rejected + {} failed)",
             report.submitted, accounted, report.served, report.shed, report.rejected, report.failed,
+        ));
+    }
+    Ok(())
+}
+
+/// The routed multi-replica path of `bpar serve`: N thread-owned server
+/// replicas behind `bpar_router::Router`, with optional per-tenant
+/// models, hedged dispatch, and a deterministic fleet counter dump for
+/// the chaos CI job.
+#[allow(clippy::too_many_arguments)]
+fn serve_fleet(
+    opts: &Flags,
+    model: Brnn<f32>,
+    cfg: bpar_serve::ServeConfig,
+    fault: Option<bpar_runtime::FaultConfig>,
+    seed: u64,
+    requests: u64,
+    deadline: Option<std::time::Duration>,
+    mode: &str,
+    replicas: usize,
+) -> Result<(), String> {
+    use bpar_router::{
+        build_models, parse_tenants, HedgePolicy, Router, RouterConfig, RoutingPolicy,
+    };
+    use bpar_serve::{InferRequest, MetricsCollector};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    let routing = {
+        let name = opts.get("routing").map(String::as_str).unwrap_or("hash");
+        RoutingPolicy::parse(name)
+            .ok_or_else(|| format!("--routing expects hash|least-loaded, got `{name}`"))?
+    };
+    let hedge = match opts.get("hedge-mode").map(String::as_str) {
+        Some("off") => HedgePolicy::Off,
+        Some("at-dispatch") => HedgePolicy::AtDispatch,
+        Some("deadline") => HedgePolicy::deadline(get_f64(opts, "hedge-quantile", 0.95)?),
+        // A bare --hedge-quantile implies deadline mode.
+        None if opts.contains_key("hedge-quantile") => {
+            HedgePolicy::deadline(get_f64(opts, "hedge-quantile", 0.95)?)
+        }
+        None => HedgePolicy::Off,
+        Some(other) => {
+            return Err(format!(
+                "--hedge-mode expects off|at-dispatch|deadline, got `{other}`"
+            ))
+        }
+    };
+    let models = match opts.get("tenants") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            build_models::<f32>(model.config, &parse_tenants(&text)?)
+        }
+        None => vec![model],
+    };
+    let tenants = models.len() as u64;
+    let input_size = models[0].config.input_size;
+    let max_batch = cfg.batch.max_batch;
+    let closed = mode == "closed";
+    println!(
+        "routing {requests} requests ({mode} loop) across {replicas} replicas, {tenants} \
+         tenant(s): routing {}, hedging {}, window {}us, max batch {}, policy {}, queue cap {}",
+        routing.name(),
+        hedge.name(),
+        cfg.batch.window.as_micros(),
+        max_batch,
+        cfg.policy.name(),
+        cfg.queue_capacity,
+    );
+    let config = RouterConfig {
+        replicas,
+        routing,
+        hedge,
+        serve: cfg,
+        fault,
+        // Closed mode pre-enqueues the whole workload behind a paused
+        // start gate — the determinism recipe the chaos CI job relies on.
+        start_paused: closed,
+    };
+    let metrics = Arc::new(Mutex::new(MetricsCollector::new()));
+    let sink = Arc::clone(&metrics);
+    let start = Instant::now();
+    let router = Router::new(models, config, move |outcome| {
+        sink.lock()
+            .expect("metrics poisoned")
+            .record_outcome(&outcome)
+    });
+    let data = TidigitsDataset::new(input_size, 11, seed);
+    let rate = get_f64(opts, "rate", 200.0)?;
+    if !closed && rate <= 0.0 {
+        return Err("open loop needs a positive --rate".into());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next = Instant::now();
+    for id in 0..requests {
+        if !closed {
+            // Same seeded Poisson arrival process as the single-server
+            // open loop.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            next += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+            if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let utt = data.utterance::<f32>(id);
+        let mut req = InferRequest::new(id, utt.frames);
+        req.deadline = deadline;
+        req.tenant = (id % tenants) as u32;
+        router.submit(req);
+    }
+    router.release();
+    let report = router.finish();
+    let elapsed = start.elapsed();
+    let fleet = Arc::try_unwrap(metrics)
+        .map_err(|_| "fleet metrics still shared after router teardown".to_string())?
+        .into_inner()
+        .expect("metrics poisoned")
+        .finish(max_batch, elapsed);
+    println!(
+        "fleet outcome: {} served, {} shed, {} rejected, {} failed in {:.2}s ({:.1} served/s)",
+        report.served,
+        report.shed,
+        report.rejected,
+        report.failed,
+        elapsed.as_secs_f64(),
+        report.served as f64 / elapsed.as_secs_f64(),
+    );
+    println!(
+        "latency (ms): p50 {:.2}  p95 {:.2}  p99 {:.2}  p99.9 {:.2}  max {:.2}",
+        fleet.latency.p50_us as f64 / 1e3,
+        fleet.latency.p95_us as f64 / 1e3,
+        fleet.latency.p99_us as f64 / 1e3,
+        fleet.latency.p999_us as f64 / 1e3,
+        fleet.latency.max_us as f64 / 1e3,
+    );
+    println!(
+        "hedging: {} hedge copies, {} wins on the hedge shard, {} copies cancelled, \
+         {} late copy events",
+        report.hedges, report.hedge_wins, report.cancelled_copies, report.late_events,
+    );
+    for sh in &report.shards {
+        println!(
+            "  shard {}: {} routed + {} hedged; {} served, {} failed, {} retries; \
+             breaker {}; {} panics / {} straggles injected; queue depth p99 {}; \
+             {} tenant evictions",
+            sh.shard,
+            sh.routed,
+            sh.hedged,
+            sh.serving.served,
+            sh.serving.failed,
+            sh.serving.retries,
+            sh.breaker_state,
+            sh.serving.injected_panics,
+            sh.serving.injected_straggles,
+            sh.serving.queue_depth.p99_us,
+            sh.serving.tenant_evictions,
+        );
+    }
+    if let Some(path) = opts.get("counters-out") {
+        std::fs::write(path, report.deterministic_counters_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("[written {path}]");
+    }
+    // Fleet conservation: the router must deliver exactly one terminal
+    // outcome per submitted request, whatever the copies did.
+    let accounted = report.served + report.shed + report.rejected + report.failed;
+    if report.completed != report.submitted || accounted != report.submitted {
+        return Err(format!(
+            "fleet conservation violated: {} submitted, {} completed, {} accounted \
+             ({} served + {} shed + {} rejected + {} failed)",
+            report.submitted,
+            report.completed,
+            accounted,
+            report.served,
+            report.shed,
+            report.rejected,
+            report.failed,
         ));
     }
     Ok(())

@@ -1,0 +1,364 @@
+//! Fleet bench (ISSUE tentpole experiment): replica-scaling throughput
+//! and hedged-dispatch tail latency for the `bpar-router` tier.
+//!
+//! The build machine exposes **one core**, so a compute-bound fleet
+//! cannot show replica scaling — every FLOP serializes on the same CPU
+//! no matter how many replica threads exist. Both scenarios therefore
+//! use seeded *straggle* injection (`bpar_runtime::fault`), which turns
+//! service time into deterministic in-task sleeps: sleeps overlap across
+//! replica threads exactly the way independent accelerator queues or
+//! remote compute would, while the residual real compute (a tiny BLSTM)
+//! stays negligible. The honest reading of scenario A is "N replicas
+//! overlap N wait-dominated request streams", which is the regime the
+//! router exists for; it is **not** a claim about multiplying FLOP
+//! throughput on one core.
+//!
+//! * **Scenario A — replica scaling.** Every task of every request
+//!   sleeps `STRAGGLE_A` (straggle rate 1.0), making per-request service
+//!   time a fixed sleep budget. The whole workload is pre-enqueued
+//!   behind the router's paused-start gate (open-loop overload in the
+//!   limit: arrivals infinitely faster than service) and drained by 1,
+//!   2, and 4 replicas under least-loaded routing. Gate:
+//!   `throughput(4) >= 2.5 x throughput(1)`.
+//!
+//! * **Scenario B — hedged tail.** Requests arrive on a fixed cadence;
+//!   a rare per-task draw (`STRAGGLE_B_RATE`) sleeps `STRAGGLE_B` —
+//!   a 25 ms stall against a sub-millisecond service time, the classic
+//!   straggler profile hedging targets. Two same-seed runs on 2
+//!   replicas: hedging `off`, then `deadline` hedging at
+//!   `HEDGE_QUANTILE`. The primary copies draw identical straggles in
+//!   both runs (stateless per-shard seeded injection); the hedge copy
+//!   re-runs the request on the other shard under that shard's seed and
+//!   almost always skips the stall, and the claimed cancel token stops
+//!   the straggling primary mid-epoch. Gate: hedged p99 < unhedged p99.
+//!
+//! Both scenarios assert their gates and exit non-zero on failure, so
+//! the CI `fleet-chaos` job can run this binary directly. The JSON
+//! filename is deterministic: seed + a hash of the structural config.
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin fleet`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_data::tidigits::TidigitsDataset;
+use bpar_router::{HedgePolicy, Router, RouterConfig, RouterReport, RoutingPolicy};
+use bpar_runtime::FaultConfig;
+use bpar_serve::metrics::report_name;
+use bpar_serve::server::RetryPolicy;
+use bpar_serve::{
+    BackpressurePolicy, BatchPolicy, InferRequest, MetricsCollector, ServeConfig, ServingReport,
+};
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const MEAN_FRAMES: usize = 8;
+
+// Scenario A: uniform sleep-per-task service time.
+const REPLICA_POINTS: [usize; 3] = [1, 2, 4];
+const REQUESTS_A: u64 = 48;
+const STRAGGLE_A: Duration = Duration::from_micros(250);
+const SCALING_GATE: f64 = 2.5;
+
+// Scenario B: rare large stalls, fixed arrival cadence.
+// The cadence keeps the fleet well under saturation: queueing delay
+// would otherwise pollute the latency window the hedge deadline is
+// derived from, and hedges would arm too late to beat the stall.
+const REQUESTS_B: u64 = 240;
+const REPLICAS_B: usize = 2;
+const ARRIVAL_GAP_B: Duration = Duration::from_micros(2500);
+const STRAGGLE_B: Duration = Duration::from_millis(25);
+const STRAGGLE_B_RATE: f64 = 0.002; // per task; ~15-20 tasks per request
+const HEDGE_QUANTILE: f64 = 0.9;
+
+fn model() -> Brnn<f32> {
+    Brnn::new(
+        BrnnConfig {
+            input_size: 8,
+            hidden_size: 8,
+            layers: 1,
+            seq_len: MEAN_FRAMES + 3, // longest drawn utterance
+            output_size: 4,
+            kind: ModelKind::ManyToOne,
+            ..BrnnConfig::default()
+        },
+        1,
+    )
+}
+
+fn serve_cfg(queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        queue_capacity,
+        policy: BackpressurePolicy::Block,
+        // Singleton batches: per-request service time stays a pure
+        // function of the request, independent of batching luck.
+        batch: BatchPolicy::batch_of_one(),
+        workers: 1,
+        retry: RetryPolicy::immediate(1),
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one fleet configuration and returns the router report plus a
+/// fleet-level latency/outcome report assembled from the delivered
+/// terminal outcomes.
+fn run_fleet(
+    replicas: usize,
+    routing: RoutingPolicy,
+    hedge: HedgePolicy,
+    fault: FaultConfig,
+    requests: u64,
+    arrival_gap: Option<Duration>,
+) -> (RouterReport, ServingReport, f64) {
+    let config = RouterConfig {
+        replicas,
+        routing,
+        hedge,
+        serve: serve_cfg(2 * requests as usize + 4),
+        fault: Some(fault),
+        // No gap = pre-enqueue the whole workload behind the start gate.
+        start_paused: arrival_gap.is_none(),
+    };
+    let metrics = Arc::new(Mutex::new(MetricsCollector::new()));
+    let sink = Arc::clone(&metrics);
+    let router = Router::new(vec![model()], config, move |outcome| {
+        sink.lock()
+            .expect("metrics poisoned")
+            .record_outcome(&outcome)
+    });
+    let data = TidigitsDataset::new(8, MEAN_FRAMES, SEED);
+    let start = Instant::now();
+    let mut next = Instant::now();
+    for id in 0..requests {
+        if let Some(gap) = arrival_gap {
+            next += gap;
+            if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        router.submit(InferRequest::new(id, data.utterance::<f32>(id).frames));
+    }
+    router.release();
+    let report = router.finish();
+    let elapsed = start.elapsed();
+    let fleet = Arc::try_unwrap(metrics)
+        .unwrap_or_else(|_| panic!("metrics still shared"))
+        .into_inner()
+        .expect("metrics poisoned")
+        .finish(1, elapsed);
+    (report, fleet, elapsed.as_secs_f64())
+}
+
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    replicas: usize,
+    requests: u64,
+    served: u64,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    speedup_vs_1: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct HedgeRun {
+    hedge: String,
+    served: u64,
+    failed: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    cancelled_copies: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetBench {
+    seed: u64,
+    straggle_a_us: u64,
+    scaling: Vec<ScalingPoint>,
+    scaling_speedup_4x: f64,
+    scaling_gate: f64,
+    scaling_gate_passed: bool,
+    straggle_b_us: u64,
+    straggle_b_rate: f64,
+    hedge_quantile: f64,
+    unhedged: HedgeRun,
+    hedged: HedgeRun,
+    hedging_gate_passed: bool,
+}
+
+fn hedge_run(name: &str, report: &RouterReport, fleet: &ServingReport) -> HedgeRun {
+    HedgeRun {
+        hedge: name.to_string(),
+        served: report.served,
+        failed: report.failed,
+        hedges: report.hedges,
+        hedge_wins: report.hedge_wins,
+        cancelled_copies: report.cancelled_copies,
+        p50_us: fleet.latency.p50_us,
+        p99_us: fleet.latency.p99_us,
+        max_us: fleet.latency.max_us,
+    }
+}
+
+fn main() {
+    // --- Scenario A: replica scaling on a sleep-dominated workload. ---
+    let fault_a = FaultConfig {
+        seed: SEED,
+        straggle_rate: 1.0,
+        straggle: STRAGGLE_A,
+        ..FaultConfig::default()
+    };
+    let mut scaling: Vec<ScalingPoint> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &replicas in &REPLICA_POINTS {
+        let (report, _, elapsed_s) = run_fleet(
+            replicas,
+            RoutingPolicy::LeastLoaded,
+            HedgePolicy::Off,
+            fault_a,
+            REQUESTS_A,
+            None,
+        );
+        assert_eq!(
+            report.served, REQUESTS_A,
+            "scenario A must serve everything: {report:?}"
+        );
+        let throughput = REQUESTS_A as f64 / elapsed_s;
+        let speedup = match scaling.first() {
+            None => 1.0,
+            Some(base) => throughput / base.throughput_rps,
+        };
+        rows.push(vec![
+            replicas.to_string(),
+            report.served.to_string(),
+            format!("{:.3}", elapsed_s),
+            format!("{:.1}", throughput),
+            format!("{speedup:.2}x"),
+        ]);
+        scaling.push(ScalingPoint {
+            replicas,
+            requests: REQUESTS_A,
+            served: report.served,
+            elapsed_s,
+            throughput_rps: throughput,
+            speedup_vs_1: speedup,
+        });
+    }
+    print_table(
+        &format!(
+            "scenario A: replica scaling, {} requests, {}us sleep per task",
+            REQUESTS_A,
+            STRAGGLE_A.as_micros()
+        ),
+        &["replicas", "served", "elapsed(s)", "thr(r/s)", "speedup"],
+        &rows,
+    );
+    let speedup_4x = scaling.last().expect("three points").speedup_vs_1;
+    let scaling_ok = speedup_4x >= SCALING_GATE;
+    println!(
+        "scaling gate: 4 replicas at {speedup_4x:.2}x vs 1 (need >= {SCALING_GATE}x) -> {}",
+        if scaling_ok { "PASS" } else { "FAIL" }
+    );
+
+    // --- Scenario B: hedged dispatch vs rare large stragglers. ---
+    let fault_b = FaultConfig {
+        seed: SEED,
+        straggle_rate: STRAGGLE_B_RATE,
+        straggle: STRAGGLE_B,
+        ..FaultConfig::default()
+    };
+    let (off_report, off_fleet, _) = run_fleet(
+        REPLICAS_B,
+        RoutingPolicy::Hash,
+        HedgePolicy::Off,
+        fault_b,
+        REQUESTS_B,
+        Some(ARRIVAL_GAP_B),
+    );
+    let (hedge_report, hedge_fleet, _) = run_fleet(
+        REPLICAS_B,
+        RoutingPolicy::Hash,
+        HedgePolicy::deadline(HEDGE_QUANTILE),
+        fault_b,
+        REQUESTS_B,
+        Some(ARRIVAL_GAP_B),
+    );
+    assert_eq!(off_report.served, REQUESTS_B, "unhedged run lost requests");
+    assert_eq!(hedge_report.served, REQUESTS_B, "hedged run lost requests");
+    let straggled: u64 = off_report
+        .shards
+        .iter()
+        .map(|s| s.serving.injected_straggles)
+        .sum();
+    assert!(
+        straggled >= 2,
+        "straggle plan must actually stall some tasks (got {straggled})"
+    );
+    let unhedged = hedge_run("off", &off_report, &off_fleet);
+    let hedged = hedge_run(
+        &HedgePolicy::deadline(HEDGE_QUANTILE).name(),
+        &hedge_report,
+        &hedge_fleet,
+    );
+    println!(
+        "\nscenario B: {} requests every {}us, {}ms stall at rate {} per task, {} replicas",
+        REQUESTS_B,
+        ARRIVAL_GAP_B.as_micros(),
+        STRAGGLE_B.as_millis(),
+        STRAGGLE_B_RATE,
+        REPLICAS_B
+    );
+    for run in [&unhedged, &hedged] {
+        println!(
+            "  {:<14} p50 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms  \
+             ({} hedges, {} wins, {} cancelled copies)",
+            run.hedge,
+            run.p50_us as f64 / 1e3,
+            run.p99_us as f64 / 1e3,
+            run.max_us as f64 / 1e3,
+            run.hedges,
+            run.hedge_wins,
+            run.cancelled_copies,
+        );
+    }
+    let hedging_ok = hedged.p99_us < unhedged.p99_us;
+    println!(
+        "hedging gate: p99 {:.2} ms (hedged) vs {:.2} ms (off) -> {}",
+        hedged.p99_us as f64 / 1e3,
+        unhedged.p99_us as f64 / 1e3,
+        if hedging_ok { "PASS" } else { "FAIL" }
+    );
+
+    // Structural config only — measured values must not change the name.
+    let canonical = format!(
+        "reqs_a={REQUESTS_A},straggle_a={}us,points={REPLICA_POINTS:?},gate={SCALING_GATE},\
+         reqs_b={REQUESTS_B},gap_b={}us,straggle_b={}ms,rate_b={STRAGGLE_B_RATE},\
+         q={HEDGE_QUANTILE},replicas_b={REPLICAS_B}",
+        STRAGGLE_A.as_micros(),
+        ARRIVAL_GAP_B.as_micros(),
+        STRAGGLE_B.as_millis(),
+    );
+    let bench = FleetBench {
+        seed: SEED,
+        straggle_a_us: STRAGGLE_A.as_micros() as u64,
+        scaling,
+        scaling_speedup_4x: speedup_4x,
+        scaling_gate: SCALING_GATE,
+        scaling_gate_passed: scaling_ok,
+        straggle_b_us: STRAGGLE_B.as_micros() as u64,
+        straggle_b_rate: STRAGGLE_B_RATE,
+        hedge_quantile: HEDGE_QUANTILE,
+        unhedged,
+        hedged,
+        hedging_gate_passed: hedging_ok,
+    };
+    write_json(&report_name("fleet", SEED, &canonical), &bench);
+
+    if !scaling_ok || !hedging_ok {
+        eprintln!("fleet bench gate failure");
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,12 @@ use std::sync::Arc;
 /// Everything that makes two batches shape-compatible with one plan.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct PlanKey {
+    /// Tenant the plan (and its weight snapshot) belongs to. Two tenants
+    /// with identical configs must not share a plan: each plan owns a
+    /// `WeightStore` synced to *its* model's revision, and revisions are
+    /// globally unique — a shared plan would deep-copy weights on every
+    /// alternation between the tenants.
+    pub tenant: u64,
     /// Full hyper-parameter set (layer count, sizes, cell, merge, kind).
     pub config: BrnnConfig,
     /// Batch rows.
@@ -191,6 +197,10 @@ pub struct PlanCacheStats {
     /// Warm replays that reused a resident plan's arena instead of
     /// allocating fresh buffers (increments with every cache hit).
     pub arena_reuses: u64,
+    /// Plans dropped (LRU-first) to keep `arena_bytes` under the cache's
+    /// byte budget — the tenant-eviction counter of a multi-tenant
+    /// server. Disjoint from `evictions`, which counts capacity drops.
+    pub budget_evictions: u64,
 }
 
 struct CacheEntry {
@@ -210,6 +220,12 @@ struct CacheEntry {
 pub(crate) struct PlanCache {
     entries: Vec<CacheEntry>,
     capacity: usize,
+    /// Optional cap on the summed `arena_bytes` of resident plans. After
+    /// every insert, least-recently-used plans are dropped until the
+    /// budget holds, so `stats.arena_bytes` never exceeds it between
+    /// calls — the knob that lets many tenants share one executor
+    /// without unbounded resident state.
+    byte_budget: Option<u64>,
     pub stats: PlanCacheStats,
 }
 
@@ -218,6 +234,7 @@ impl Default for PlanCache {
         Self {
             entries: Vec::new(),
             capacity: 32,
+            byte_budget: None,
             stats: PlanCacheStats::default(),
         }
     }
@@ -260,7 +277,29 @@ impl PlanCache {
             bytes,
         });
         self.stats.arena_bytes += bytes;
+        self.enforce_budget();
         self.stats.cached_plans = self.entries.len();
+    }
+
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        while self.stats.arena_bytes > budget && !self.entries.is_empty() {
+            let dropped = self.entries.remove(0);
+            self.stats.budget_evictions += 1;
+            self.stats.arena_bytes -= dropped.bytes;
+        }
+        self.stats.cached_plans = self.entries.len();
+    }
+
+    /// Caps the summed resident `arena_bytes` (`None` = unlimited),
+    /// trimming immediately. A lone plan larger than the whole budget is
+    /// dropped rather than cached — the budget is strict, at the price of
+    /// rebuilding that plan every batch.
+    pub fn set_byte_budget(&mut self, budget: Option<u64>) {
+        self.byte_budget = budget;
+        self.enforce_budget();
     }
 
     /// Removes one plan (used after a task panic: the plan's slots may

@@ -96,6 +96,15 @@ impl TaskGraphExec {
         self.plans.lock().set_capacity(capacity);
     }
 
+    /// Caps the summed resident plan-arena bytes (`None` = unlimited).
+    /// With many tenants resident this is the global LRU byte budget:
+    /// after every plan build, least-recently-used plans — typically idle
+    /// tenants' — are evicted until the budget holds (counted as
+    /// `PlanCacheStats::budget_evictions`).
+    pub fn set_plan_byte_budget(&self, budget: Option<u64>) {
+        self.plans.lock().set_byte_budget(budget);
+    }
+
     /// Drops every cached plan (counters are kept).
     pub fn clear_plan_cache(&self) {
         self.plans.lock().clear();
@@ -124,15 +133,18 @@ impl TaskGraphExec {
         (weights, replicas, chunks)
     }
 
-    /// Fetches (or builds and caches) the plan for `batch`'s shape.
+    /// Fetches (or builds and caches) the plan for `batch`'s shape under
+    /// `tenant`'s key (single-tenant callers pass 0).
     fn plan_for<T: Float>(
         &self,
+        tenant: u64,
         model: &Brnn<T>,
         batch: &[Matrix<T>],
         train: bool,
     ) -> (Arc<ExecPlan<T>>, PlanKey) {
         let (seq, rows) = check_batch(model, batch);
         let key = PlanKey {
+            tenant,
             config: model.config,
             rows,
             seq,
@@ -178,6 +190,33 @@ impl TaskGraphExec {
             ExecError(msg)
         })
     }
+
+    /// Tenant-keyed counterpart of
+    /// [`Executor::try_forward_into`]: identical execution, but the plan
+    /// (and the weight snapshot it owns) is cached under `tenant`'s key,
+    /// so alternating tenants with identical shapes each keep their own
+    /// resident plan instead of thrashing deep copies through a shared
+    /// one. `model` must be `tenant`'s model.
+    pub fn try_forward_into_keyed<T: Float>(
+        &self,
+        tenant: u64,
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        out: &mut ForwardOutput<T>,
+    ) -> Result<(), ExecError> {
+        let (plan, key) = self.plan_for(tenant, model, batch, false);
+        plan.load_batch(model, batch);
+        self.run_plan(model, &plan, &key)?;
+        // A claimed cancel token means the epoch skipped bodies and the
+        // logit slots may be empty; the caller reports the copy as
+        // cancelled and must not read `out`. The plan stays valid — the
+        // next replay overwrites every forward slot.
+        if !self.runtime.cancel_claimed() {
+            collect_logits_into(model, &plan.replicas, &plan.chunks, out);
+        }
+        plan.scrub();
+        Ok(())
+    }
 }
 
 /// Row ranges `(start, count)` splitting `rows` into at most `mbs` chunks.
@@ -206,7 +245,7 @@ impl<T: Float> Executor<T> for TaskGraphExec {
         model: &Brnn<T>,
         batch: &[Matrix<T>],
     ) -> Result<ForwardOutput<T>, ExecError> {
-        let (plan, key) = self.plan_for(model, batch, false);
+        let (plan, key) = self.plan_for(0, model, batch, false);
         plan.load_batch(model, batch);
         self.run_plan(model, &plan, &key)?;
         let out = collect_logits(model, &plan.replicas);
@@ -220,7 +259,7 @@ impl<T: Float> Executor<T> for TaskGraphExec {
         batch: &[Matrix<T>],
         out: &mut ForwardOutput<T>,
     ) -> Result<(), ExecError> {
-        let (plan, key) = self.plan_for(model, batch, false);
+        let (plan, key) = self.plan_for(0, model, batch, false);
         plan.load_batch(model, batch);
         self.run_plan(model, &plan, &key)?;
         collect_logits_into(model, &plan.replicas, &plan.chunks, out);
@@ -246,7 +285,7 @@ impl<T: Float> Executor<T> for TaskGraphExec {
         target: &Target,
         opt: &mut dyn Optimizer<T>,
     ) -> Result<f64, ExecError> {
-        let (plan, key) = self.plan_for(model, batch, true);
+        let (plan, key) = self.plan_for(0, model, batch, true);
         plan.load_batch(model, batch);
         plan.load_target(target);
         self.run_plan(model, &plan, &key)?;

@@ -327,3 +327,80 @@ fn many_replays_keep_per_batch_trace_bounded() {
         assert_eq!(exec.runtime().stats().tasks, tasks_per_batch);
     }
 }
+
+/// Tenant-keyed plans: two tenants with *identical* configs and shapes
+/// each keep their own plan and weight snapshot. Alternating between
+/// them must not thrash weight deep-copies (the shared-plan failure
+/// mode: revisions are globally unique, so a shared plan would re-sync
+/// on every alternation), and each tenant's outputs must match its own
+/// model's sequential reference exactly.
+#[test]
+fn tenant_keys_isolate_plans_and_weight_snapshots() {
+    use bpar_core::exec::ForwardOutput;
+    let cfg = small_config();
+    let tenants: Vec<Brnn<f64>> = vec![Brnn::new(cfg, 21), Brnn::new(cfg, 22)];
+    let exec = TaskGraphExec::new(2);
+    let seq_exec = SequentialExec::new();
+    let xs = inputs(&cfg, 2, 4, 9);
+    let mut out = ForwardOutput::zeros_for(&tenants[0], 2, 4);
+    for _round in 0..3 {
+        for (t, model) in tenants.iter().enumerate() {
+            exec.try_forward_into_keyed(t as u64, model, &xs, &mut out)
+                .unwrap();
+            let want = seq_exec.forward(model, &xs);
+            assert_eq!(out.logits.max_abs_diff(&want.logits), 0.0);
+        }
+    }
+    let stats = exec.plan_cache_stats();
+    assert_eq!(stats.misses, 2, "one plan per tenant");
+    assert_eq!(stats.hits, 4, "all later batches replay");
+    assert_eq!(
+        stats.weight_syncs, 2,
+        "one deep copy per tenant, zero re-syncs while alternating"
+    );
+    assert_eq!(stats.cached_plans, 2);
+}
+
+/// The plan cache's byte budget is strict: after every batch the summed
+/// resident arena bytes stay at or under the budget, with LRU plans
+/// (idle tenants) evicted to make room and counted separately from
+/// capacity evictions.
+#[test]
+fn plan_byte_budget_evicts_lru_tenants_and_holds() {
+    use bpar_core::exec::ForwardOutput;
+    let cfg = small_config();
+    let tenants: Vec<Brnn<f64>> = (0..4).map(|s| Brnn::new(cfg, 30 + s)).collect();
+    let exec = TaskGraphExec::new(2);
+    let xs = inputs(&cfg, 2, 4, 10);
+    let mut out = ForwardOutput::zeros_for(&tenants[0], 2, 4);
+
+    // Learn one plan's arena size, then budget for exactly two plans.
+    exec.try_forward_into_keyed(0, &tenants[0], &xs, &mut out)
+        .unwrap();
+    let per_plan = exec.plan_cache_stats().arena_bytes;
+    assert!(per_plan > 0);
+    let budget = 2 * per_plan;
+    exec.set_plan_byte_budget(Some(budget));
+
+    for (t, model) in tenants.iter().enumerate() {
+        exec.try_forward_into_keyed(t as u64, model, &xs, &mut out)
+            .unwrap();
+        let stats = exec.plan_cache_stats();
+        assert!(
+            stats.arena_bytes <= budget,
+            "budget exceeded: {} > {budget}",
+            stats.arena_bytes
+        );
+    }
+    let stats = exec.plan_cache_stats();
+    assert_eq!(stats.cached_plans, 2, "two plans fit the budget");
+    assert_eq!(stats.budget_evictions, 2, "tenants 0 and 1 were evicted");
+    assert_eq!(stats.evictions, 0, "capacity was never the binding limit");
+
+    // Evicted tenants still serve — at rebuild cost, exactly.
+    exec.try_forward_into_keyed(0, &tenants[0], &xs, &mut out)
+        .unwrap();
+    let want = SequentialExec::new().forward(&tenants[0], &xs);
+    assert_eq!(out.logits.max_abs_diff(&want.logits), 0.0);
+    assert!(exec.plan_cache_stats().arena_bytes <= budget);
+}

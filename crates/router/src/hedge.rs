@@ -1,0 +1,159 @@
+//! Hedged dispatch: when and how a request gets a redundant copy.
+//!
+//! The router supports two hedging modes on top of "off":
+//!
+//! * **At-dispatch** — every request is duplicated onto its hedge shard
+//!   the moment it is routed. This is the *deterministic redundancy*
+//!   mode: both copies always execute fully, the
+//!   [`bpar_runtime::CancelCell`] claim decides only which copy's
+//!   response is delivered, and same-seed runs therefore produce
+//!   bit-identical work counters (the CI `fleet-chaos` job diffs them).
+//! * **Deadline** — the classic tail-latency hedge (Dean & Barroso,
+//!   "The Tail at Scale"): a copy is dispatched only if the primary has
+//!   not answered within a deadline derived from a quantile of recently
+//!   observed end-to-end latencies. This is the *latency-optimizing*
+//!   mode: cancellation sheds work (including mid-batch, via the
+//!   runtime's cancel token), so counters are load-dependent and only
+//!   the client-visible outcome set is deterministic.
+
+use std::time::Duration;
+
+/// Hedging configuration; see the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgePolicy {
+    /// No redundant copies; every request runs exactly once.
+    Off,
+    /// Duplicate every request at routing time (deterministic mode).
+    AtDispatch,
+    /// Duplicate a request only once it has been outstanding longer than
+    /// the observed `quantile` of served latencies.
+    Deadline {
+        /// Latency quantile that arms the hedge (e.g. `0.95`: hedge the
+        /// slowest ~5% of requests).
+        quantile: f64,
+        /// Served samples required before the quantile is trusted; until
+        /// then the `floor` alone is the deadline.
+        min_samples: usize,
+        /// Lower bound on the hedge deadline, so a burst of fast
+        /// responses cannot arm hedges for effectively every request.
+        floor: Duration,
+        /// How often the monitor scans outstanding requests.
+        tick: Duration,
+    },
+}
+
+impl HedgePolicy {
+    /// A deadline policy with the tuning the CLI and fleet bench use:
+    /// scan every 200µs, never hedge before 1ms.
+    pub fn deadline(quantile: f64) -> Self {
+        Self::Deadline {
+            quantile: quantile.clamp(0.5, 0.999),
+            min_samples: 16,
+            floor: Duration::from_millis(1),
+            tick: Duration::from_micros(200),
+        }
+    }
+
+    /// Report spelling.
+    pub fn name(&self) -> String {
+        match self {
+            Self::Off => "off".to_string(),
+            Self::AtDispatch => "at-dispatch".to_string(),
+            Self::Deadline { quantile, .. } => format!("deadline-q{quantile}"),
+        }
+    }
+
+    /// Whether cancelled copies should shed their remaining work. False
+    /// only for [`Self::AtDispatch`], whose whole point is that the work
+    /// performed is independent of claim-race timing.
+    pub fn cancel_sheds_work(&self) -> bool {
+        !matches!(self, Self::AtDispatch)
+    }
+}
+
+/// Fixed-capacity ring of recently served end-to-end latencies (µs),
+/// feeding the deadline quantile. A ring — not the full history — so the
+/// deadline tracks the *current* service regime: after a straggle storm
+/// passes, old slow samples age out and the hedge deadline tightens
+/// again.
+#[derive(Debug)]
+pub struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+impl LatencyWindow {
+    /// A window retaining the most recent `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity.max(1)),
+            next: 0,
+            filled: false,
+        }
+    }
+
+    /// Records one served latency.
+    pub fn record(&mut self, micros: u64) {
+        if self.samples.len() < self.samples.capacity() {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+            self.filled = true;
+        }
+        self.next = (self.next + 1) % self.samples.capacity();
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile of the held samples (nearest-rank), or `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let ix = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[ix])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_tracks_recent_samples_only() {
+        let mut w = LatencyWindow::new(4);
+        assert_eq!(w.quantile(0.5), None);
+        for v in [100, 200, 300, 400] {
+            w.record(v);
+        }
+        assert_eq!(w.quantile(1.0), Some(400));
+        assert_eq!(w.quantile(0.0), Some(100));
+        // Overwrite the window with fast samples: the old regime is gone.
+        for _ in 0..4 {
+            w.record(10);
+        }
+        assert_eq!(w.quantile(1.0), Some(10));
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn modes_report_and_shed_as_documented() {
+        assert!(HedgePolicy::Off.cancel_sheds_work());
+        assert!(!HedgePolicy::AtDispatch.cancel_sheds_work());
+        assert!(HedgePolicy::deadline(0.95).cancel_sheds_work());
+        assert_eq!(HedgePolicy::deadline(0.95).name(), "deadline-q0.95");
+        assert_eq!(HedgePolicy::AtDispatch.name(), "at-dispatch");
+    }
+}

@@ -1,0 +1,38 @@
+//! # bpar-router
+//!
+//! Sharded multi-replica serving tier over `bpar-serve`: N thread-owned
+//! [`bpar_serve::Server`] replicas (each with its own runtime, admission
+//! queue, micro-batcher, circuit breaker, and buffer pool) behind one
+//! routed submit path.
+//!
+//! The single-server tier (PR 4/5) scales until one serving loop — or
+//! one straggling batch — becomes the bottleneck. This crate adds the
+//! fleet layer the paper's task-parallel runtime makes cheap: because a
+//! replica is just a thread owning a `Runtime`, a "fleet" is plain
+//! threads in one process, and cross-replica coordination reduces to a
+//! lock-free claim cell per request.
+//!
+//! * [`policy`] — where a request (and its potential hedge copy) goes:
+//!   rendezvous hashing on the `(tenant, id)` key, or least-loaded by
+//!   sampled queue depth with breaker-aware shard skipping.
+//! * [`hedge`] — when a redundant copy dispatches: never, at dispatch
+//!   (deterministic redundancy), or past a latency-quantile deadline
+//!   ("The Tail at Scale"-style).
+//! * [`router`] — the submit path, copy accounting (exactly one
+//!   client-terminal outcome per request), and fleet teardown.
+//! * [`tenants`] — the tenant directory: per-tenant models with
+//!   tenant-keyed plans, batches, and buffers underneath.
+//! * [`report`] — per-shard + fleet counters, with an explicitly
+//!   deterministic subset for byte-compare CI gating.
+
+pub mod hedge;
+pub mod policy;
+pub mod report;
+pub mod router;
+pub mod tenants;
+
+pub use hedge::{HedgePolicy, LatencyWindow};
+pub use policy::{rendezvous_pair, route_key, RoutingPolicy, ShardProbe};
+pub use report::{RouterReport, ShardReport};
+pub use router::{Router, RouterConfig};
+pub use tenants::{build_models, default_tenants, parse_tenants, TenantSpec};

@@ -1,0 +1,214 @@
+//! Routing policies: which shard gets a request, and which shard would
+//! host its hedge copy.
+//!
+//! Both policies return an ordered **pair** of shards. The first is the
+//! primary; the second is where a hedged copy goes if the hedging policy
+//! fires. Producing the pair up front (instead of re-routing at hedge
+//! time) keeps hash routing fully deterministic: the hedge shard of a
+//! request is a pure function of its key, independent of when — or
+//! whether — the hedge actually dispatches.
+
+use bpar_serve::BreakerSnapshot;
+
+/// splitmix64: the same cheap, well-distributed mixer the serve crate
+/// uses for retry jitter. Good enough for placement; not cryptographic.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The routing key: tenant and request id folded together, so one
+/// tenant's traffic spreads across shards while any fixed (tenant, id)
+/// always lands on the same pair.
+pub fn route_key(tenant: u32, id: u64) -> u64 {
+    mix(((tenant as u64) << 48) ^ id)
+}
+
+/// A router-side view of one shard, sampled at routing time.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProbe {
+    /// Admission-queue depth right now.
+    pub depth: usize,
+    /// Latest published breaker snapshot.
+    pub breaker: BreakerSnapshot,
+}
+
+/// How the router places primaries and hedges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Rendezvous (highest-random-weight) hashing on
+    /// [`route_key`]. Deterministic: the shard pair depends only on the
+    /// key and the shard count, and removing a shard only remaps the
+    /// keys that lived there. Ignores load.
+    Hash,
+    /// Lowest sampled queue depth wins; ties break toward the lowest
+    /// shard index. Shards whose breaker is fully open are skipped
+    /// (half-open shards stay eligible — they need light traffic to
+    /// close). If every shard is open, falls back to [`Self::Hash`]:
+    /// refusing to route would turn a degraded fleet into a dead one.
+    LeastLoaded,
+}
+
+impl RoutingPolicy {
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hash" => Some(Self::Hash),
+            "least-loaded" => Some(Self::LeastLoaded),
+            _ => None,
+        }
+    }
+
+    /// Report spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Hash => "hash",
+            Self::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Picks `(primary, hedge)` for a request among `probes.len()`
+    /// shards. With one shard both are 0 (hedging degenerates to a
+    /// retry on the same shard and is disabled at the router level).
+    pub fn route(&self, tenant: u32, id: u64, probes: &[ShardProbe]) -> (usize, usize) {
+        debug_assert!(!probes.is_empty());
+        if probes.len() == 1 {
+            return (0, 0);
+        }
+        match self {
+            Self::Hash => rendezvous_pair(route_key(tenant, id), probes.len()),
+            Self::LeastLoaded => {
+                let mut best: Option<(usize, usize)> = None; // (depth, shard)
+                let mut second: Option<(usize, usize)> = None;
+                for (i, p) in probes.iter().enumerate() {
+                    if p.breaker == BreakerSnapshot::Open {
+                        continue;
+                    }
+                    let cand = (p.depth, i);
+                    match best {
+                        None => best = Some(cand),
+                        Some(b) if cand < b => {
+                            second = best;
+                            best = Some(cand);
+                        }
+                        Some(_) => match second {
+                            None => second = Some(cand),
+                            Some(s) if cand < s => second = Some(cand),
+                            Some(_) => {}
+                        },
+                    }
+                }
+                match (best, second) {
+                    (Some((_, p)), Some((_, h))) => (p, h),
+                    // One healthy shard: hedge onto the deterministic
+                    // alternative so a hedge still leaves the shard.
+                    (Some((_, p)), None) => {
+                        let (a, b) = rendezvous_pair(route_key(tenant, id), probes.len());
+                        (p, if a == p { b } else { a })
+                    }
+                    (None, _) => rendezvous_pair(route_key(tenant, id), probes.len()),
+                }
+            }
+        }
+    }
+}
+
+/// Rendezvous hashing: score every shard against the key, take the top
+/// two. The runner-up is the natural hedge target — it is exactly the
+/// shard the key would move to if the primary disappeared.
+pub fn rendezvous_pair(key: u64, shards: usize) -> (usize, usize) {
+    debug_assert!(shards >= 2);
+    // Shard counts are single digits; a sort over them costs nothing and
+    // is obviously correct (distinct indices break score ties).
+    let mut scored: Vec<(u64, usize)> = (0..shards)
+        .map(|shard| (mix(key ^ mix(shard as u64 + 1)), shard))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.cmp(a));
+    (scored[0].1, scored[1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probes(depths: &[usize]) -> Vec<ShardProbe> {
+        depths
+            .iter()
+            .map(|&depth| ShardProbe {
+                depth,
+                breaker: BreakerSnapshot::Closed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_pairs_differ() {
+        let p = probes(&[0, 0, 0, 0]);
+        for id in 0..200u64 {
+            for tenant in 0..3u32 {
+                let a = RoutingPolicy::Hash.route(tenant, id, &p);
+                let b = RoutingPolicy::Hash.route(tenant, id, &p);
+                assert_eq!(a, b);
+                assert_ne!(a.0, a.1, "hedge shard must differ from primary");
+                assert!(a.0 < 4 && a.1 < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_across_shards() {
+        let p = probes(&[0; 4]);
+        let mut counts = [0usize; 4];
+        for id in 0..1000u64 {
+            let (primary, _) = RoutingPolicy::Hash.route(0, id, &p);
+            counts[primary] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 150 && c < 350,
+                "shard {shard} got {c}/1000 — rendezvous should spread evenly"
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_shallow_queues_and_breaks_ties_low() {
+        let (p, h) = RoutingPolicy::LeastLoaded.route(0, 1, &probes(&[5, 2, 9, 2]));
+        assert_eq!((p, h), (1, 3), "depth 2 beats 5 and 9; tie breaks low");
+        let (p, _) = RoutingPolicy::LeastLoaded.route(0, 1, &probes(&[4, 4, 4]));
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn least_loaded_skips_open_breakers_but_keeps_half_open() {
+        let mut p = probes(&[0, 5, 9]);
+        p[0].breaker = BreakerSnapshot::Open;
+        let (primary, hedge) = RoutingPolicy::LeastLoaded.route(0, 7, &p);
+        assert_eq!(primary, 1, "shallowest healthy shard");
+        assert_eq!(hedge, 2);
+        p[0].breaker = BreakerSnapshot::HalfOpen;
+        let (primary, _) = RoutingPolicy::LeastLoaded.route(0, 7, &p);
+        assert_eq!(primary, 0, "half-open shards still take traffic");
+    }
+
+    #[test]
+    fn all_open_falls_back_to_hash() {
+        let mut p = probes(&[1, 2, 3]);
+        for probe in &mut p {
+            probe.breaker = BreakerSnapshot::Open;
+        }
+        let got = RoutingPolicy::LeastLoaded.route(3, 99, &p);
+        assert_eq!(got, RoutingPolicy::Hash.route(3, 99, &p));
+    }
+
+    #[test]
+    fn single_shard_routes_to_itself() {
+        assert_eq!(RoutingPolicy::Hash.route(0, 5, &probes(&[0])), (0, 0));
+        assert_eq!(
+            RoutingPolicy::LeastLoaded.route(0, 5, &probes(&[3])),
+            (0, 0)
+        );
+    }
+}

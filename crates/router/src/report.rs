@@ -1,0 +1,135 @@
+//! Fleet-level reporting: per-shard counters plus the router's own
+//! accounting, with an explicitly **deterministic subset** that CI can
+//! byte-compare across same-seed runs.
+
+use bpar_serve::ServingReport;
+use serde::Serialize;
+
+/// One replica's view of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Primary copies this shard was routed.
+    pub routed: u64,
+    /// Hedge copies dispatched to this shard.
+    pub hedged: u64,
+    /// Breaker snapshot name at the end of the run.
+    pub breaker_state: String,
+    /// The shard server's full serving report (outcome counters, latency
+    /// and queue-depth percentiles, plan/pool/arena counters, injected
+    /// fault counts).
+    pub serving: ServingReport,
+}
+
+/// Result of one routed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RouterReport {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Routing policy name.
+    pub routing: String,
+    /// Hedging policy name.
+    pub hedge: String,
+    /// Requests submitted to the router.
+    pub submitted: u64,
+    /// Client-terminal outcomes delivered (must equal `submitted`).
+    pub completed: u64,
+    /// Client-terminal served responses.
+    pub served: u64,
+    /// Client-terminal failures (every copy failed).
+    pub failed: u64,
+    /// Client-terminal sheds.
+    pub shed: u64,
+    /// Client-terminal rejections.
+    pub rejected: u64,
+    /// Hedge copies dispatched fleet-wide.
+    pub hedges: u64,
+    /// Served requests whose winning copy ran on the hedge shard, not
+    /// the primary. **Racy by nature** (a claim race decides it) — never
+    /// part of the deterministic subset.
+    pub hedge_wins: u64,
+    /// Copies that lost the claim race and were cancelled.
+    pub cancelled_copies: u64,
+    /// Copy-level events that arrived after their request already had a
+    /// client-terminal outcome (the expected fate of every losing copy).
+    pub late_events: u64,
+    /// Per-shard breakdowns.
+    pub shards: Vec<ShardReport>,
+}
+
+impl RouterReport {
+    /// The counters that are bit-identical across same-seed runs when
+    /// the configuration itself is deterministic (hash routing with
+    /// hedging `off` or `at-dispatch`, pre-enqueued load). Rendered as
+    /// canonical JSON for `cmp`-style CI gating.
+    ///
+    /// Deliberately **excluded**: `hedge_wins` and each shard's
+    /// served/cancelled split (the claim race picks the winner), and
+    /// anything latency-derived. Per-shard `routed`, injected-fault
+    /// counts, and retry totals *are* included — with hash routing the
+    /// per-shard request sets are a pure function of the keys, and the
+    /// fault plan draws deterministically per shard.
+    pub fn deterministic_counters_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"replicas\": {},\n", self.replicas));
+        s.push_str(&format!("  \"routing\": \"{}\",\n", self.routing));
+        s.push_str(&format!("  \"hedge\": \"{}\",\n", self.hedge));
+        s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"served\": {},\n", self.served));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
+        s.push_str(&format!("  \"shed\": {},\n", self.shed));
+        s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"hedges\": {},\n", self.hedges));
+        s.push_str("  \"shards\": [\n");
+        for (i, sh) in self.shards.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"shard\": {}, \"routed\": {}, \"hedged\": {}, \
+                 \"injected_panics\": {}, \"injected_straggles\": {}, \
+                 \"retries\": {}, \"tenant_evictions\": {}}}{}\n",
+                sh.shard,
+                sh.routed,
+                sh.hedged,
+                sh.serving.injected_panics,
+                sh.serving.injected_straggles,
+                sh.serving.retries,
+                sh.serving.tenant_evictions,
+                if i + 1 < self.shards.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_subset_omits_racy_counters() {
+        let report = RouterReport {
+            replicas: 2,
+            routing: "hash".into(),
+            hedge: "at-dispatch".into(),
+            submitted: 10,
+            completed: 10,
+            served: 9,
+            failed: 1,
+            shed: 0,
+            rejected: 0,
+            hedges: 10,
+            hedge_wins: 3,
+            cancelled_copies: 9,
+            late_events: 9,
+            shards: vec![],
+        };
+        let json = report.deterministic_counters_json();
+        assert!(json.contains("\"served\": 9"));
+        assert!(!json.contains("hedge_wins"), "racy counter leaked: {json}");
+        assert!(!json.contains("late_events"));
+        // Canonical form: stable under re-rendering.
+        assert_eq!(json, report.deterministic_counters_json());
+    }
+}

@@ -1,0 +1,506 @@
+//! The router: N thread-owned serving replicas behind one submit path.
+//!
+//! ```text
+//!                        ┌──────────────┐   serve loop (own thread,
+//!              ┌───────► │ shard 0      │   own Runtime + worker pool)
+//!   submit ────┤  route  │  queue→batch │──► complete(0, outcome) ─┐
+//!   (+ hedge)  │         └──────────────┘                          │
+//!              │         ┌──────────────┐                          ▼
+//!              └───────► │ shard 1 …    │──► complete(1, …) ──► claim /
+//!                        └──────────────┘        merge → client terminal
+//! ```
+//!
+//! Every request gets a shared [`CancelCell`]; copies of a hedged
+//! request race for its claim, and **exactly one** client-terminal
+//! outcome is delivered per request no matter how many copies ran,
+//! failed, or were cancelled. The conservation proptests in
+//! `tests/hedge_conservation.rs` drive this property across routing
+//! policies, hedge modes, and fault plans.
+
+use crate::hedge::{HedgePolicy, LatencyWindow};
+use crate::policy::{RoutingPolicy, ShardProbe};
+use crate::report::{RouterReport, ShardReport};
+use bpar_core::model::Brnn;
+use bpar_runtime::{CancelCell, FaultConfig};
+use bpar_serve::{
+    finish_report, Admission, AdmissionQueue, BreakerSnapshot, InferRequest, MetricsCollector,
+    Outcome, ServeConfig, Server, ServingReport,
+};
+use bpar_tensor::Float;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of serving replicas (each with its own runtime and pool).
+    pub replicas: usize,
+    /// Primary/hedge placement policy.
+    pub routing: RoutingPolicy,
+    /// Hedged-dispatch policy. Forced to [`HedgePolicy::Off`] when
+    /// `replicas == 1` — hedging onto the only shard buys nothing.
+    pub hedge: HedgePolicy,
+    /// Per-shard serving configuration. `cancel_sheds_work` is
+    /// overridden from the hedge policy
+    /// (see [`HedgePolicy::cancel_sheds_work`]).
+    pub serve: ServeConfig,
+    /// Optional chaos plan; shard `i` gets `seed + i` so replicas fail
+    /// independently but reproducibly.
+    pub fault: Option<FaultConfig>,
+    /// When true, shard serve loops block until [`Router::release`] (or
+    /// `finish`) — lets deterministic tests pre-enqueue the whole load.
+    pub start_paused: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            routing: RoutingPolicy::Hash,
+            hedge: HedgePolicy::Off,
+            serve: ServeConfig::default(),
+            fault: None,
+            start_paused: false,
+        }
+    }
+}
+
+/// Copy-level failure kinds, ordered by merge precedence (a request
+/// whose copies failed in different ways reports the highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FailureKind {
+    Rejected,
+    Shed,
+    Failed,
+}
+
+/// Book-keeping for a request with no client-terminal outcome yet.
+struct Inflight<T: Float> {
+    /// Clone held for deadline hedging (the copy to dispatch late).
+    req: InferRequest<T>,
+    cell: Arc<CancelCell>,
+    primary: usize,
+    hedge_shard: usize,
+    dispatched: Instant,
+    hedged: bool,
+    /// Highest-precedence failure observed among finished copies.
+    failure: Option<FailureKind>,
+}
+
+struct ShardState<T: Float> {
+    queue: Arc<AdmissionQueue<T>>,
+    breaker: Arc<AtomicU8>,
+    routed: AtomicU64,
+    hedged: AtomicU64,
+}
+
+struct RouterInner<T: Float> {
+    shards: Vec<ShardState<T>>,
+    routing: RoutingPolicy,
+    hedge: HedgePolicy,
+    inflight: Mutex<HashMap<u64, Inflight<T>>>,
+    latency: Mutex<LatencyWindow>,
+    on_terminal: Mutex<Box<dyn FnMut(Outcome<T>) + Send>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    served: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    cancelled_copies: AtomicU64,
+    late_events: AtomicU64,
+    monitor_stop: AtomicBool,
+    started: Mutex<bool>,
+    start_cv: Condvar,
+}
+
+impl<T: Float> RouterInner<T> {
+    fn wait_start(&self) {
+        let mut started = self.started.lock();
+        while !*started {
+            self.start_cv.wait(&mut started);
+        }
+    }
+
+    fn release(&self) {
+        let mut started = self.started.lock();
+        *started = true;
+        self.start_cv.notify_all();
+    }
+
+    fn probes(&self) -> Vec<ShardProbe> {
+        self.shards
+            .iter()
+            .map(|s| ShardProbe {
+                depth: s.queue.depth(),
+                breaker: BreakerSnapshot::from_u8(s.breaker.load(Ordering::Relaxed)),
+            })
+            .collect()
+    }
+
+    fn deliver(&self, outcome: Outcome<T>) {
+        match &outcome {
+            Outcome::Served(_) => self.served.fetch_add(1, Ordering::Relaxed),
+            Outcome::Failed { .. } => self.failed.fetch_add(1, Ordering::Relaxed),
+            Outcome::Shed { .. } => self.shed.fetch_add(1, Ordering::Relaxed),
+            Outcome::Rejected { .. } => self.rejected.fetch_add(1, Ordering::Relaxed),
+            Outcome::Cancelled { .. } => unreachable!("Cancelled is copy-level, never terminal"),
+        };
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        (self.on_terminal.lock())(outcome);
+    }
+
+    /// Records one finished (non-served) copy of request `id`. If it was
+    /// the last outstanding copy, claims the cell and delivers the
+    /// merged failure as the client-terminal outcome.
+    fn copy_finished(&self, id: u64, failure: Option<FailureKind>) {
+        let mut inflight = self.inflight.lock();
+        let Some(entry) = inflight.get_mut(&id) else {
+            // The request already has a client-terminal outcome (its
+            // other copy won); this event is the loser reporting in.
+            self.late_events.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if let Some(kind) = failure {
+            entry.failure = Some(entry.failure.map_or(kind, |prev| prev.max(kind)));
+        }
+        if entry.cell.finish_copy() == 0 {
+            // Every copy failed or was cancelled without anyone serving:
+            // claim (nobody else can now) and deliver the merged kind.
+            let entry = inflight.remove(&id).expect("entry present");
+            drop(inflight);
+            let claimed = entry.cell.try_claim();
+            debug_assert!(claimed, "no copy served, so the claim must be free");
+            let kind = entry.failure.unwrap_or(FailureKind::Failed);
+            self.deliver(match kind {
+                FailureKind::Failed => Outcome::Failed { id },
+                FailureKind::Shed => Outcome::Shed { id },
+                FailureKind::Rejected => Outcome::Rejected { id },
+            });
+        }
+    }
+
+    /// Outcome sink for shard `ix`'s serve loop.
+    fn complete(&self, ix: usize, outcome: Outcome<T>) {
+        match outcome {
+            Outcome::Served(resp) => {
+                let id = resp.id;
+                let entry = self.inflight.lock().remove(&id);
+                match entry {
+                    Some(entry) => {
+                        if ix != entry.primary {
+                            self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.latency
+                            .lock()
+                            .record(resp.timing.total.as_micros() as u64);
+                        self.deliver(Outcome::Served(resp));
+                    }
+                    None => {
+                        // Should be impossible: serving requires winning
+                        // the claim, and the claim is only free while the
+                        // entry exists. Count rather than panic in a
+                        // shard thread.
+                        self.late_events.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Outcome::Cancelled { id } => {
+                self.cancelled_copies.fetch_add(1, Ordering::Relaxed);
+                self.copy_finished(id, None);
+            }
+            Outcome::Failed { id } => self.copy_finished(id, Some(FailureKind::Failed)),
+            Outcome::Shed { id } => self.copy_finished(id, Some(FailureKind::Shed)),
+            Outcome::Rejected { id } => self.copy_finished(id, Some(FailureKind::Rejected)),
+        }
+    }
+
+    /// Pushes one copy to a shard, converting an admission refusal into
+    /// the equivalent copy-level event (plus any expired occupants the
+    /// admission evicted).
+    fn push_copy(&self, shard: usize, req: InferRequest<T>) {
+        let id = req.id;
+        match self.shards[shard].queue.push(req) {
+            Admission::Admitted { shed } => {
+                for victim in shed {
+                    self.copy_finished(victim.id, Some(FailureKind::Shed));
+                }
+            }
+            Admission::Rejected(_) => self.copy_finished(id, Some(FailureKind::Rejected)),
+            Admission::Shed(_) => self.copy_finished(id, Some(FailureKind::Shed)),
+        }
+    }
+
+    /// One scan of the deadline-hedge monitor: dispatch hedge copies for
+    /// requests outstanding past the quantile deadline.
+    fn hedge_scan(&self, quantile: f64, min_samples: usize, floor: Duration) {
+        let deadline = {
+            let window = self.latency.lock();
+            if window.len() >= min_samples {
+                window
+                    .quantile(quantile)
+                    .map(|us| Duration::from_micros(us).max(floor))
+                    .unwrap_or(floor)
+            } else {
+                floor
+            }
+        };
+        let now = Instant::now();
+        // Mark + clone under the lock; push outside it (a full queue in
+        // Block mode would otherwise stall every complete() callback).
+        let mut due: Vec<(usize, InferRequest<T>)> = Vec::new();
+        {
+            let mut inflight = self.inflight.lock();
+            for entry in inflight.values_mut() {
+                if !entry.hedged && now.duration_since(entry.dispatched) >= deadline {
+                    entry.hedged = true;
+                    entry.cell.add_copy();
+                    due.push((entry.hedge_shard, entry.req.clone()));
+                }
+            }
+        }
+        for (shard, req) in due {
+            self.hedges.fetch_add(1, Ordering::Relaxed);
+            self.shards[shard].hedged.fetch_add(1, Ordering::Relaxed);
+            self.push_copy(shard, req);
+        }
+    }
+}
+
+/// What a shard thread hands back when it drains.
+struct ShardRun {
+    report: ServingReport,
+    breaker_state: BreakerSnapshot,
+}
+
+/// A running fleet; see the [module docs](self).
+pub struct Router<T: Float> {
+    inner: Arc<RouterInner<T>>,
+    config: RouterConfig,
+    threads: Vec<JoinHandle<ShardRun>>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl<T: Float> Router<T> {
+    /// Spawns `config.replicas` shard servers (each hosting every model
+    /// in `models`, one per tenant) plus — in deadline mode — the hedge
+    /// monitor. `on_terminal` receives exactly one client-terminal
+    /// outcome per submitted request, called from shard threads.
+    pub fn new(
+        models: Vec<Brnn<T>>,
+        mut config: RouterConfig,
+        on_terminal: impl FnMut(Outcome<T>) + Send + 'static,
+    ) -> Self {
+        assert!(config.replicas >= 1, "a fleet needs at least one replica");
+        assert!(!models.is_empty(), "a fleet needs at least one tenant");
+        if config.replicas == 1 {
+            config.hedge = HedgePolicy::Off;
+        }
+        config.serve.cancel_sheds_work = config.hedge.cancel_sheds_work();
+
+        // Servers first: each ShardState shares the server's live
+        // breaker cell, so routing probes see health updates without any
+        // channel between router and shard.
+        let mut servers = Vec::with_capacity(config.replicas);
+        let mut shards = Vec::with_capacity(config.replicas);
+        for ix in 0..config.replicas {
+            let server = Server::with_tenants(models.clone(), config.serve);
+            if let Some(base) = config.fault {
+                server.install_fault_plan(FaultConfig {
+                    seed: base.seed.wrapping_add(ix as u64),
+                    ..base
+                });
+            }
+            shards.push(ShardState {
+                queue: Arc::new(AdmissionQueue::new(
+                    config.serve.queue_capacity,
+                    config.serve.policy,
+                )),
+                breaker: server.breaker_cell(),
+                routed: AtomicU64::new(0),
+                hedged: AtomicU64::new(0),
+            });
+            servers.push(server);
+        }
+        let inner = Arc::new(RouterInner {
+            shards,
+            routing: config.routing,
+            hedge: config.hedge,
+            inflight: Mutex::new(HashMap::new()),
+            latency: Mutex::new(LatencyWindow::new(512)),
+            on_terminal: Mutex::new(Box::new(on_terminal)),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            cancelled_copies: AtomicU64::new(0),
+            late_events: AtomicU64::new(0),
+            monitor_stop: AtomicBool::new(false),
+            started: Mutex::new(!config.start_paused),
+            start_cv: Condvar::new(),
+        });
+
+        let mut threads = Vec::with_capacity(config.replicas);
+        for (ix, server) in servers.into_iter().enumerate() {
+            let queue = Arc::clone(&inner.shards[ix].queue);
+            let inner_cb = Arc::clone(&inner);
+            let handle = thread::Builder::new()
+                .name(format!("bpar-shard-{ix}"))
+                .spawn(move || {
+                    inner_cb.wait_start();
+                    let start = Instant::now();
+                    let mut metrics = MetricsCollector::new();
+                    server.serve(&queue, &mut metrics, |o| inner_cb.complete(ix, o));
+                    let report =
+                        finish_report(metrics, Vec::new(), &queue, &server, start.elapsed());
+                    ShardRun {
+                        report,
+                        breaker_state: BreakerSnapshot::from_u8(
+                            server.breaker_cell().load(Ordering::Relaxed),
+                        ),
+                    }
+                })
+                .expect("spawn shard thread");
+            threads.push(handle);
+        }
+
+        let monitor = match config.hedge {
+            HedgePolicy::Deadline {
+                quantile,
+                min_samples,
+                floor,
+                tick,
+            } => {
+                let inner_m = Arc::clone(&inner);
+                Some(
+                    thread::Builder::new()
+                        .name("bpar-hedge-monitor".to_string())
+                        .spawn(move || {
+                            inner_m.wait_start();
+                            while !inner_m.monitor_stop.load(Ordering::Relaxed) {
+                                inner_m.hedge_scan(quantile, min_samples, floor);
+                                thread::sleep(tick);
+                            }
+                        })
+                        .expect("spawn hedge monitor"),
+                )
+            }
+            _ => None,
+        };
+
+        Self {
+            inner,
+            config,
+            threads,
+            monitor,
+        }
+    }
+
+    /// Opens the start gate (no-op unless `start_paused`).
+    pub fn release(&self) {
+        self.inner.release();
+    }
+
+    /// Routes (and, in at-dispatch mode, immediately hedges) one
+    /// request. The request's own `cancel` field is overwritten: the
+    /// router owns claim accounting.
+    pub fn submit(&self, mut req: InferRequest<T>) {
+        let cell = Arc::new(CancelCell::new());
+        req.cancel = Some(Arc::clone(&cell));
+        let probes = self.inner.probes();
+        let (primary, hedge_shard) = self.inner.routing.route(req.tenant, req.id, &probes);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.shards[primary]
+            .routed
+            .fetch_add(1, Ordering::Relaxed);
+        let at_dispatch = self.inner.hedge == HedgePolicy::AtDispatch;
+        if at_dispatch {
+            // Register the second copy before either is visible to a
+            // shard, so no copy can ever observe outstanding == 0 early.
+            cell.add_copy();
+        }
+        let entry = Inflight {
+            req: req.clone(),
+            cell,
+            primary,
+            hedge_shard,
+            dispatched: Instant::now(),
+            hedged: at_dispatch,
+            failure: None,
+        };
+        // Entry goes in *before* any push: a shard could serve the copy
+        // and call complete() before submit returns.
+        self.inner.inflight.lock().insert(req.id, entry);
+        let hedge_copy = at_dispatch.then(|| req.clone());
+        self.inner.push_copy(primary, req);
+        if let Some(copy) = hedge_copy {
+            self.inner.hedges.fetch_add(1, Ordering::Relaxed);
+            self.inner.shards[hedge_shard]
+                .hedged
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.push_copy(hedge_shard, copy);
+        }
+    }
+
+    /// Closes every shard queue, joins all threads, and returns the
+    /// fleet report. Every submitted request is guaranteed a delivered
+    /// client-terminal outcome by the time this returns.
+    pub fn finish(mut self) -> RouterReport {
+        // Order matters: stop hedging first (no new copies into closing
+        // queues), then release the gate in case nobody did, then close.
+        self.inner.monitor_stop.store(true, Ordering::Relaxed);
+        self.inner.release();
+        if let Some(m) = self.monitor.take() {
+            m.join().expect("hedge monitor panicked");
+        }
+        for shard in &self.inner.shards {
+            shard.queue.close();
+        }
+        let mut runs = Vec::with_capacity(self.threads.len());
+        for handle in self.threads.drain(..) {
+            runs.push(handle.join().expect("shard thread panicked"));
+        }
+        let leftover = self.inner.inflight.lock().len();
+        assert_eq!(
+            leftover, 0,
+            "conservation violated: {leftover} requests never reached a terminal outcome"
+        );
+        let inner = &self.inner;
+        RouterReport {
+            replicas: self.config.replicas,
+            routing: self.config.routing.name().to_string(),
+            hedge: self.config.hedge.name(),
+            submitted: inner.submitted.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            served: inner.served.load(Ordering::Relaxed),
+            failed: inner.failed.load(Ordering::Relaxed),
+            shed: inner.shed.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            hedges: inner.hedges.load(Ordering::Relaxed),
+            hedge_wins: inner.hedge_wins.load(Ordering::Relaxed),
+            cancelled_copies: inner.cancelled_copies.load(Ordering::Relaxed),
+            late_events: inner.late_events.load(Ordering::Relaxed),
+            shards: runs
+                .into_iter()
+                .enumerate()
+                .map(|(ix, run)| ShardReport {
+                    shard: ix,
+                    routed: inner.shards[ix].routed.load(Ordering::Relaxed),
+                    hedged: inner.shards[ix].hedged.load(Ordering::Relaxed),
+                    breaker_state: run.breaker_state.name().to_string(),
+                    serving: run.report,
+                })
+                .collect(),
+        }
+    }
+}

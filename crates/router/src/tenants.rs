@@ -1,0 +1,110 @@
+//! Tenant directory: the fleet's tenant list and their models.
+//!
+//! A *tenant* is an isolation domain: its own weights, its own compiled
+//! plans (the executor's plan cache is tenant-keyed — see
+//! `bpar_core::exec::PlanKey`), its own batches, and its own pooled
+//! buffers. Requests carry a tenant index; every replica hosts every
+//! tenant so any shard can serve any request.
+//!
+//! The on-disk format (`bpar serve --tenants FILE`) is one tenant per
+//! line — `name seed` — with `#` comments and blank lines ignored. The
+//! seed keys the tenant's weight initialization, so two tenants with the
+//! same architecture still have distinct (and deterministic) weights.
+
+use bpar_core::model::{Brnn, BrnnConfig};
+use bpar_tensor::Float;
+
+/// One parsed tenant line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Human-readable name (reports only; routing uses the index).
+    pub name: String,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+/// Parses a tenants file. Errors carry the offending line for the CLI
+/// to print.
+pub fn parse_tenants(text: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut specs = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("non-empty line has a first token");
+        let seed = parts
+            .next()
+            .ok_or_else(|| format!("line {}: expected `name seed`, got `{line}`", ln + 1))?
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: seed is not a u64 in `{line}`", ln + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens in `{line}`", ln + 1));
+        }
+        specs.push(TenantSpec {
+            name: name.to_string(),
+            seed,
+        });
+    }
+    if specs.is_empty() {
+        return Err("tenants file defines no tenants".to_string());
+    }
+    Ok(specs)
+}
+
+/// A default directory of `n` tenants (`t0`, `t1`, …) with distinct
+/// seeds, used when no tenants file is given.
+pub fn default_tenants(n: usize) -> Vec<TenantSpec> {
+    (0..n.max(1))
+        .map(|i| TenantSpec {
+            name: format!("t{i}"),
+            seed: 0xBEEF + i as u64,
+        })
+        .collect()
+}
+
+/// Materializes one model per tenant from a shared architecture.
+pub fn build_models<T: Float>(config: BrnnConfig, specs: &[TenantSpec]) -> Vec<Brnn<T>> {
+    specs.iter().map(|s| Brnn::new(config, s.seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_seeds_comments_and_blanks() {
+        let text = "# fleet tenants\n\nalpha 7\n  beta 9\n";
+        let specs = parse_tenants(text).unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                TenantSpec {
+                    name: "alpha".into(),
+                    seed: 7
+                },
+                TenantSpec {
+                    name: "beta".into(),
+                    seed: 9
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_tenants("alpha").is_err());
+        assert!(parse_tenants("alpha notanumber").is_err());
+        assert!(parse_tenants("alpha 3 extra").is_err());
+        assert!(parse_tenants("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_weights() {
+        let specs = default_tenants(2);
+        let models: Vec<Brnn<f32>> = build_models(BrnnConfig::default(), &specs);
+        assert_eq!(models.len(), 2);
+        assert_ne!(models[0].dense.w.as_slice(), models[1].dense.w.as_slice(),);
+    }
+}

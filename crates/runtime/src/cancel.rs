@@ -1,0 +1,132 @@
+//! Cancel-on-first-win cells for hedged (redundant) dispatch.
+//!
+//! A router that hedges a straggling request enqueues a *second copy* on
+//! another replica. Two copies of the same request may then race; exactly
+//! one of them may be delivered to the client. [`CancelCell`] is the
+//! shared coin both copies flip:
+//!
+//! * **Claim** — a copy that finishes successfully calls
+//!   [`CancelCell::try_claim`]; the first caller wins and delivers, every
+//!   later caller observes the loss and downgrades its result to a
+//!   cancellation. The claim is a single compare-and-swap, so exactly one
+//!   terminal outcome per request is a structural property, not a
+//!   bookkeeping convention.
+//! * **Outstanding copies** — the router tracks how many copies of the
+//!   request are still in flight ([`CancelCell::add_copy`] /
+//!   [`CancelCell::finish_copy`]). A copy that fails without claiming
+//!   (panic, shed, reject) only produces a client-visible failure when it
+//!   was the *last* copy and nobody claimed — otherwise its sibling is
+//!   still running and may yet win.
+//!
+//! The runtime side ([`crate::runtime::Runtime::set_cancel_token`])
+//! consults the installed cell before each task body during a replay: once
+//! the cell is claimed the remaining bodies of the losing copy are skipped
+//! (their fault draws still advance, keeping seeded injection
+//! schedule-independent), which is what turns "cancel" from an accounting
+//! fiction into reclaimed executor time.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+const PENDING: u8 = 0;
+const CLAIMED: u8 = 1;
+
+/// Shared claim/outstanding state for one hedged request.
+///
+/// Cheap (two atomics); allocate one per request behind an `Arc` and hand
+/// clones to every dispatched copy.
+#[derive(Debug)]
+pub struct CancelCell {
+    state: AtomicU8,
+    /// Copies dispatched but not yet resolved. Starts at 1 (the primary).
+    outstanding: AtomicU32,
+}
+
+impl Default for CancelCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelCell {
+    /// A fresh cell: unclaimed, one outstanding copy (the primary).
+    pub fn new() -> Self {
+        Self {
+            state: AtomicU8::new(PENDING),
+            outstanding: AtomicU32::new(1),
+        }
+    }
+
+    /// Attempts to claim the right to deliver the terminal outcome.
+    /// Returns `true` exactly once across all copies.
+    pub fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Whether some copy has already claimed the terminal outcome.
+    pub fn is_claimed(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CLAIMED
+    }
+
+    /// Registers one more in-flight copy (called by the router before a
+    /// hedge enqueue). Returns the new outstanding count.
+    pub fn add_copy(&self) -> u32 {
+        self.outstanding.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Marks one copy resolved (served, cancelled, failed, shed, or
+    /// rejected). Returns the number of copies still outstanding; `0`
+    /// means the caller held the last copy.
+    pub fn finish_copy(&self) -> u32 {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "finish_copy() without a matching copy");
+        prev - 1
+    }
+
+    /// Copies currently in flight.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_succeeds_exactly_once() {
+        let c = CancelCell::new();
+        assert!(!c.is_claimed());
+        assert!(c.try_claim());
+        assert!(!c.try_claim());
+        assert!(c.is_claimed());
+    }
+
+    #[test]
+    fn claim_is_exclusive_across_threads() {
+        for _ in 0..50 {
+            let cell = Arc::new(CancelCell::new());
+            let wins: Vec<bool> = (0..4)
+                .map(|_| {
+                    let c = cell.clone();
+                    std::thread::spawn(move || c.try_claim())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            assert_eq!(wins.iter().filter(|&&w| w).count(), 1);
+        }
+    }
+
+    #[test]
+    fn outstanding_copy_accounting() {
+        let c = CancelCell::new();
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(c.add_copy(), 2);
+        assert_eq!(c.finish_copy(), 1);
+        assert_eq!(c.finish_copy(), 0);
+    }
+}

@@ -44,6 +44,7 @@
 //! rt.taskwait().unwrap();
 //! ```
 
+pub mod cancel;
 pub mod fault;
 pub mod graph;
 pub mod plan;
@@ -57,6 +58,7 @@ pub mod validate;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
+    pub use crate::cancel::CancelCell;
     pub use crate::fault::{FaultAction, FaultConfig, FaultPlan};
     pub use crate::graph::TaskGraph;
     pub use crate::plan::{CompiledPlan, PlanBuilder, PlanSpec};
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::validate::{AccessEvent, AccessKind, AccessRecorder};
 }
 
+pub use cancel::CancelCell;
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use graph::TaskGraph;
 pub use plan::{CompiledPlan, PlanBuilder, PlanSpec};

@@ -8,6 +8,7 @@
 //! layers. The only synchronisation point is [`Runtime::taskwait`], the
 //! equivalent of `#pragma omp taskwait` at the end of a training batch.
 
+use crate::cancel::CancelCell;
 use crate::fault::{self, FaultPlan};
 use crate::plan::CompiledPlan;
 use crate::region::{DepTracker, RegionId};
@@ -95,6 +96,9 @@ struct Inner {
     /// When set, workers consult the plan before each task body and may
     /// panic or straggle on its behalf (fault-injection mode).
     fault: Option<Arc<FaultPlan>>,
+    /// When set, workers check the cell before each task body and skip
+    /// the body once the cell is claimed (hedged-dispatch cancellation).
+    cancel: Option<Arc<CancelCell>>,
     /// The plan currently loaded by [`Runtime::replay`]. Tasks with an
     /// index inside this plan take their successor lists from it instead
     /// of from per-task `succs` vectors, which is what keeps a warm
@@ -143,6 +147,7 @@ impl Runtime {
                 record_trace: config.record_trace,
                 validation: None,
                 fault: None,
+                cancel: None,
                 replayed: None,
             }),
             work_cv: Condvar::new(),
@@ -359,6 +364,38 @@ impl Runtime {
         }
     }
 
+    /// Installs (or removes, with `None`) a [`CancelCell`]: while set,
+    /// workers check the cell before each task body and, once it has been
+    /// claimed by a competing copy of the same request, complete the
+    /// remaining tasks of the current epoch *without running their
+    /// bodies* — the losing side of a hedged pair stops burning executor
+    /// time mid-replay.
+    ///
+    /// Skipped bodies still consume their fault draw (see
+    /// [`crate::fault`]), so seeded injection stays schedule-independent.
+    /// Unlike a panic, a cancelled epoch is not an error: `taskwait`
+    /// returns `Ok`, and a replayed plan stays valid because forward-pass
+    /// slots are fully overwritten by the next replay — the embedder must
+    /// simply not read outputs of an epoch whose token was claimed.
+    ///
+    /// Install while idle (between `taskwait`s) so an epoch observes one
+    /// token for its whole lifetime; [`Runtime::shutdown`] clears it.
+    pub fn set_cancel_token(&self, cell: Option<Arc<CancelCell>>) {
+        self.shared.inner.lock().cancel = cell;
+    }
+
+    /// True when the installed cancel token (if any) has been claimed —
+    /// i.e. the epoch that just ran may have skipped bodies, and its
+    /// outputs must not be read.
+    pub fn cancel_claimed(&self) -> bool {
+        self.shared
+            .inner
+            .lock()
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_claimed())
+    }
+
     /// Convenience: submit a closure with explicit region clauses.
     pub fn spawn(
         &self,
@@ -383,6 +420,7 @@ impl Runtime {
         // embedder never uninstalled its recorder or plan.
         self.set_validation(None);
         self.set_fault_plan(None);
+        self.set_cancel_token(None);
         {
             let mut inner = self.shared.inner.lock();
             if inner.shutdown && self.workers.is_empty() {
@@ -429,10 +467,15 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             // keep taskwait from deadlocking). Poisoned tasks complete
             // without running their bodies.
             let poisoned = inner.panicked.is_some();
+            // A claimed cancel token skips bodies the same way poisoning
+            // does, but as a success: a competing copy of this request
+            // already won, so the rest of this epoch is wasted work.
+            let cancelled =
+                !poisoned && inner.cancel.as_ref().is_some_and(|cell| cell.is_claimed());
             let start = shared.epoch.elapsed().as_secs_f64();
             drop(inner);
 
-            let result = if poisoned {
+            let result = if poisoned || cancelled {
                 // Still consume this task's fault draw: every task must
                 // advance its occurrence counter exactly once per
                 // execution, or which tasks drew would depend on worker
@@ -539,6 +582,47 @@ mod tests {
             workers,
             ..Default::default()
         })
+    }
+
+    #[test]
+    fn claimed_cancel_token_skips_bodies_without_error() {
+        let r = rt(2);
+        let cell = StdArc::new(CancelCell::new());
+        assert!(cell.try_claim());
+        r.set_cancel_token(Some(cell));
+        let hit = StdArc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let h = hit.clone();
+            r.spawn("t", [RegionId(0)], [RegionId(0)], move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Cancellation is a success, not a poisoned epoch.
+        r.taskwait().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 0);
+        // Clearing the token restores normal execution.
+        r.set_cancel_token(None);
+        let h = hit.clone();
+        r.spawn("t", [], [], move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unclaimed_cancel_token_changes_nothing() {
+        let r = rt(2);
+        let cell = StdArc::new(CancelCell::new());
+        r.set_cancel_token(Some(cell.clone()));
+        let hit = StdArc::new(AtomicUsize::new(0));
+        let h = hit.clone();
+        r.spawn("t", [], [], move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        r.taskwait().unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert!(!cell.is_claimed());
     }
 
     #[test]

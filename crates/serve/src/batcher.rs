@@ -60,7 +60,9 @@ impl BatchPolicy {
 }
 
 struct Bucket<T: Float> {
-    key: usize,
+    /// `(tenant, quantized length)` — batches are tenant-pure, since all
+    /// rows of one batch run through one tenant's model.
+    key: (u32, usize),
     fifo: VecDeque<InferRequest<T>>,
     /// When the oldest member forces this bucket closed.
     deadline: Instant,
@@ -102,9 +104,9 @@ impl<T: Float> MicroBatcher<T> {
         self.pending
     }
 
-    /// Adds a request to its length bucket.
+    /// Adds a request to its `(tenant, length)` bucket.
     pub fn offer(&mut self, req: InferRequest<T>, now: Instant) {
-        let key = self.policy.bucket_of(req.seq_len());
+        let key = (req.tenant, self.policy.bucket_of(req.seq_len()));
         self.pending += 1;
         if let Some(b) = self.buckets.iter_mut().find(|b| b.key == key) {
             b.fifo.push_back(req);
@@ -232,6 +234,20 @@ mod tests {
         mb.offer(req_at(2, 8, base, 0), base); // bucket (8-1)/4 = 1
         let batch = mb.pop_ready(base, false).expect("shared bucket fills");
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn tenants_never_share_a_batch() {
+        let base = Instant::now();
+        let mut mb = MicroBatcher::new(BatchPolicy::new(2, Duration::from_secs(10)));
+        mb.offer(req_at(1, 5, base, 0).with_tenant(0), base);
+        mb.offer(req_at(2, 5, base, 0).with_tenant(1), base);
+        // Same length, different tenants: neither bucket is full.
+        assert!(mb.pop_ready(base, false).is_none());
+        mb.offer(req_at(3, 5, base, 0).with_tenant(1), base);
+        let batch = mb.pop_ready(base, false).expect("tenant-1 bucket fills");
+        assert!(batch.iter().all(|r| r.tenant == 1));
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]

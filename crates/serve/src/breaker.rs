@@ -49,6 +49,54 @@ pub enum BreakerState {
     Open,
 }
 
+/// Externally visible snapshot of the breaker, including the trial
+/// period an `Open` breaker enters once clean runs start accumulating
+/// (the classic "half-open" phase — this breaker folds it into `Open`
+/// internally, but routers want to distinguish "still failing" from
+/// "recovering, give it light traffic").
+///
+/// Purely derived from existing state: taking snapshots never perturbs
+/// the opened/closed counters, so same-seed runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerSnapshot {
+    /// Normal operation.
+    Closed,
+    /// Degraded mode with no clean runs yet.
+    Open,
+    /// Degraded mode, but the current clean streak is non-empty: the
+    /// breaker is partway to recovery.
+    HalfOpen,
+}
+
+impl BreakerSnapshot {
+    /// Stable wire encoding for the shared per-shard atomic cell.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BreakerSnapshot::Closed => 0,
+            BreakerSnapshot::Open => 1,
+            BreakerSnapshot::HalfOpen => 2,
+        }
+    }
+
+    /// Inverse of [`Self::as_u8`]; unknown encodings read as `Closed`.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => BreakerSnapshot::Open,
+            2 => BreakerSnapshot::HalfOpen,
+            _ => BreakerSnapshot::Closed,
+        }
+    }
+
+    /// Report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerSnapshot::Closed => "closed",
+            BreakerSnapshot::Open => "open",
+            BreakerSnapshot::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// Sliding-window circuit breaker over executor run outcomes.
 #[derive(Debug)]
 pub struct CircuitBreaker {
@@ -96,6 +144,15 @@ impl CircuitBreaker {
     /// Current state.
     pub fn state(&self) -> BreakerState {
         self.state
+    }
+
+    /// Current state with the recovery trial phase made visible.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        match self.state {
+            BreakerState::Closed => BreakerSnapshot::Closed,
+            BreakerState::Open if self.clean_streak > 0 => BreakerSnapshot::HalfOpen,
+            BreakerState::Open => BreakerSnapshot::Open,
+        }
     }
 
     /// Times the breaker has opened.
@@ -212,6 +269,23 @@ mod tests {
         assert_eq!(b.record(true), BreakerTransition::None);
         assert_eq!(b.record(true), BreakerTransition::Opened);
         assert_eq!(b.opened(), 2);
+    }
+
+    #[test]
+    fn snapshot_exposes_half_open_without_touching_counters() {
+        let mut b = breaker(1, 4, 3);
+        assert_eq!(b.snapshot(), BreakerSnapshot::Closed);
+        b.record(true);
+        assert_eq!(b.snapshot(), BreakerSnapshot::Open);
+        b.record(false);
+        assert_eq!(b.snapshot(), BreakerSnapshot::HalfOpen);
+        b.record(true); // streak reset → fully open again
+        assert_eq!(b.snapshot(), BreakerSnapshot::Open);
+        // Snapshots are pure reads: counters reflect transitions only.
+        assert_eq!((b.opened(), b.closed()), (1, 0));
+        for v in [0u8, 1, 2] {
+            assert_eq!(BreakerSnapshot::from_u8(v).as_u8(), v);
+        }
     }
 
     #[test]

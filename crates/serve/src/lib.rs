@@ -62,10 +62,14 @@ pub mod request;
 pub mod server;
 
 pub use batcher::{BatchPolicy, MicroBatcher};
-pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
-pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopConfig, OpenLoopConfig};
-pub use metrics::ServingReport;
+pub use breaker::{
+    BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransition, CircuitBreaker,
+};
+pub use loadgen::{
+    finish_report, run_closed_loop, run_open_loop, ClosedLoopConfig, OpenLoopConfig,
+};
+pub use metrics::{MetricsCollector, ServingReport};
 pub use pool::{BatchBuffers, BufferPool, PoolStats};
-pub use queue::{Admission, AdmissionQueue, BackpressurePolicy};
+pub use queue::{Admission, AdmissionQueue, BackpressurePolicy, DepthStats};
 pub use request::{InferRequest, InferResponse, Outcome};
 pub use server::{RetryPolicy, ServeConfig, Server};

@@ -87,7 +87,11 @@ fn admission_outcomes<T: Float>(admission: Admission<T>, out: &mut Vec<Outcome<T
     }
 }
 
-fn finish_report<T: Float>(
+/// Assembles the full [`ServingReport`] for one server at the end of a
+/// run: producer-side outcomes merged in, config echoed, queue / plan /
+/// pool / fault counters gathered. Public because the router tier builds
+/// one report per shard through the same path.
+pub fn finish_report<T: Float>(
     mut metrics: MetricsCollector,
     producer_outcomes: Vec<Outcome<T>>,
     queue: &AdmissionQueue<T>,
@@ -108,7 +112,9 @@ fn finish_report<T: Float>(
     report.queue_capacity = cfg.queue_capacity;
     report.workers = cfg.workers;
     report.queue_depth_mean = depth.mean();
-    report.queue_depth_max = depth.depth_max;
+    report.queue_depth_max = depth.max();
+    report.queue_depth = depth.summary();
+    report.tenant_evictions = plans.budget_evictions;
     report.plan_hits = plans.hits;
     report.plan_misses = plans.misses;
     report.plan_evictions = plans.evictions;

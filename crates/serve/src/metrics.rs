@@ -99,6 +99,9 @@ pub struct ServingReport {
     pub rejected: u64,
     /// Requests whose batch failed in the executor (task panic).
     pub failed: u64,
+    /// Hedged copies that lost the claim race (no client-visible result;
+    /// the winning copy is counted under `served`).
+    pub cancelled: u64,
     /// Wall time from first submission to last outcome, seconds.
     pub duration_s: f64,
     /// Served requests per second of `duration_s`.
@@ -133,6 +136,15 @@ pub struct ServingReport {
     pub queue_depth_mean: f64,
     /// Maximum admission-queue depth.
     pub queue_depth_max: usize,
+    /// Full admission-sampled queue-depth distribution (same samples as
+    /// `queue_depth_mean`). The values are **depths in requests**, not
+    /// microseconds — the `_us` field names are inherited from the shared
+    /// percentile summarizer. The router's least-loaded policy samples
+    /// the identical statistic at routing time.
+    pub queue_depth: LatencyStats,
+    /// Plans evicted from the tenant-keyed plan cache to stay under its
+    /// byte budget (0 when no budget is set).
+    pub tenant_evictions: u64,
     /// Batches executed.
     pub batches: u64,
     /// Mean rows per batch.
@@ -181,6 +193,7 @@ pub struct MetricsCollector {
     shed: u64,
     rejected: u64,
     failed: u64,
+    cancelled: u64,
     batch_rows: Vec<usize>,
     total_frames: u64,
     padded_frames: u64,
@@ -210,6 +223,7 @@ impl MetricsCollector {
             Outcome::Shed { .. } => self.shed += 1,
             Outcome::Rejected { .. } => self.rejected += 1,
             Outcome::Failed { .. } => self.failed += 1,
+            Outcome::Cancelled { .. } => self.cancelled += 1,
         }
     }
 
@@ -239,6 +253,11 @@ impl MetricsCollector {
     /// Failed count so far.
     pub fn failed(&self) -> u64 {
         self.failed
+    }
+
+    /// Cancelled (hedge-loser) count so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 
     /// Records one scheduled singleton retry; `first` marks the
@@ -300,6 +319,7 @@ impl MetricsCollector {
             shed: self.shed,
             rejected: self.rejected,
             failed: self.failed,
+            cancelled: self.cancelled,
             duration_s: secs,
             throughput_rps: if secs > 0.0 {
                 self.served as f64 / secs
@@ -347,12 +367,12 @@ pub fn config_hash(canonical: &str) -> u64 {
 }
 
 /// Deterministic `results/` basename: seed plus a configuration hash,
-/// no wall-clock component.
+/// no wall-clock component. The `prefix` (bench binary name) is folded
+/// into the hash as well, so two binaries sweeping an identical
+/// seed+config cannot collide on a filename.
 pub fn report_name(prefix: &str, seed: u64, canonical_config: &str) -> String {
-    format!(
-        "{prefix}_s{seed}_{:08x}",
-        config_hash(canonical_config) as u32
-    )
+    let keyed = format!("{prefix}|{canonical_config}");
+    format!("{prefix}_s{seed}_{:08x}", config_hash(&keyed) as u32)
 }
 
 #[cfg(test)]
@@ -441,5 +461,15 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.starts_with("serving_s7_"));
+    }
+
+    #[test]
+    fn report_name_hash_includes_binary_prefix() {
+        // Two binaries with identical seed+config must not collide: the
+        // hash suffix itself has to differ, not just the readable prefix.
+        let a = report_name("serving", 7, "w=1000,b=8");
+        let b = report_name("fleet", 7, "w=1000,b=8");
+        let suffix = |s: &str| s.rsplit('_').next().unwrap().to_string();
+        assert_ne!(suffix(&a), suffix(&b));
     }
 }

@@ -60,16 +60,25 @@ pub struct PoolStats {
     pub resident_bytes: u64,
 }
 
-/// LRU pool of [`BatchBuffers`] keyed by `(rows, padded_len)`.
+/// LRU pool of [`BatchBuffers`] keyed by `(tenant, rows, padded_len)`.
 ///
 /// Most-recently-returned entries sit at the back; lookup is a linear
 /// scan, matching the executor's `PlanCache` (a bucketed batcher yields a
 /// handful of shapes, not thousands). At most one buffer set is kept per
-/// shape: batches execute one at a time on the serving loop, so a second
-/// set for the same shape could never be in flight.
+/// key: batches execute one at a time on the serving loop, so a second
+/// set for the same key could never be in flight. Tenants with different
+/// input widths shape their buffers differently, so the tenant index is
+/// part of the key, not just a namespace.
+///
+/// Besides the entry-count capacity, an optional **byte budget** bounds
+/// the parked bytes: after every park, least-recently-used entries are
+/// dropped until `resident_bytes ≤ budget`. The budget is never exceeded
+/// between calls — a lone set larger than the whole budget is dropped
+/// rather than parked.
 pub struct BufferPool<T: Float> {
-    entries: Vec<((usize, usize), BatchBuffers<T>)>,
+    entries: Vec<((u32, usize, usize), BatchBuffers<T>)>,
     capacity: usize,
+    byte_budget: Option<u64>,
     stats: PoolStats,
 }
 
@@ -80,17 +89,31 @@ impl<T: Float> BufferPool<T> {
         Self {
             entries: Vec::new(),
             capacity,
+            byte_budget: None,
             stats: PoolStats::default(),
         }
     }
 
-    /// Takes the buffer set for `(rows, padded_len)` out of the pool,
-    /// allocating a fresh one if no parked set matches. The caller owns
-    /// the set until it hands it back via [`BufferPool::give_back`];
+    /// Caps the total parked bytes (`None` = unlimited).
+    pub fn with_byte_budget(mut self, budget: Option<u64>) -> Self {
+        self.byte_budget = budget;
+        self.enforce_budget();
+        self
+    }
+
+    /// Takes the buffer set for `(tenant, rows, padded_len)` out of the
+    /// pool, allocating a fresh one if no parked set matches. The caller
+    /// owns the set until it hands it back via [`BufferPool::give_back`];
     /// contents are whatever the previous batch left — every consumer
     /// fully overwrites before reading.
-    pub fn checkout(&mut self, model: &Brnn<T>, rows: usize, padded_len: usize) -> BatchBuffers<T> {
-        let key = (rows, padded_len);
+    pub fn checkout(
+        &mut self,
+        model: &Brnn<T>,
+        tenant: u32,
+        rows: usize,
+        padded_len: usize,
+    ) -> BatchBuffers<T> {
+        let key = (tenant, rows, padded_len);
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             let (_, bufs) = self.entries.remove(pos);
             self.stats.hits += 1;
@@ -102,16 +125,35 @@ impl<T: Float> BufferPool<T> {
         BatchBuffers::new(model, rows, padded_len)
     }
 
-    /// Parks a buffer set for reuse, evicting the least-recently-used
-    /// entry when full.
-    pub fn give_back(&mut self, rows: usize, padded_len: usize, bufs: BatchBuffers<T>) {
+    /// Parks a buffer set for reuse, evicting least-recently-used entries
+    /// while over the entry capacity or the byte budget.
+    pub fn give_back(
+        &mut self,
+        tenant: u32,
+        rows: usize,
+        padded_len: usize,
+        bufs: BatchBuffers<T>,
+    ) {
         if self.entries.len() >= self.capacity {
             let (_, dropped) = self.entries.remove(0);
             self.stats.evictions += 1;
             self.stats.resident_bytes -= dropped.nbytes();
         }
         self.stats.resident_bytes += bufs.nbytes();
-        self.entries.push(((rows, padded_len), bufs));
+        self.entries.push(((tenant, rows, padded_len), bufs));
+        self.stats.resident = self.entries.len();
+        self.enforce_budget();
+    }
+
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        while self.stats.resident_bytes > budget && !self.entries.is_empty() {
+            let (_, dropped) = self.entries.remove(0);
+            self.stats.evictions += 1;
+            self.stats.resident_bytes -= dropped.nbytes();
+        }
         self.stats.resident = self.entries.len();
     }
 
@@ -144,12 +186,12 @@ mod tests {
     fn same_shape_hits_after_first_checkout() {
         let m = model();
         let mut pool = BufferPool::new(4);
-        let b = pool.checkout(&m, 2, 5);
+        let b = pool.checkout(&m, 0, 2, 5);
         assert_eq!((pool.stats().hits, pool.stats().misses), (0, 1));
-        pool.give_back(2, 5, b);
+        pool.give_back(0, 2, 5, b);
         assert_eq!(pool.stats().resident, 1);
         assert!(pool.stats().resident_bytes > 0);
-        let b = pool.checkout(&m, 2, 5);
+        let b = pool.checkout(&m, 0, 2, 5);
         assert_eq!((pool.stats().hits, pool.stats().misses), (1, 1));
         assert_eq!(pool.stats().resident_bytes, 0);
         assert_eq!(b.xs.len(), 5);
@@ -162,14 +204,50 @@ mod tests {
         let m = model();
         let mut pool = BufferPool::new(2);
         for rows in 1..=3 {
-            let b = pool.checkout(&m, rows, 5);
-            pool.give_back(rows, 5, b);
+            let b = pool.checkout(&m, 0, rows, 5);
+            pool.give_back(0, rows, 5, b);
         }
         let s = pool.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (0, 3, 1));
         assert_eq!(s.resident, 2);
         // rows=1 was least recently used and got dropped.
-        let _ = pool.checkout(&m, 1, 5);
+        let _ = pool.checkout(&m, 0, 1, 5);
         assert_eq!(pool.stats().misses, 4);
+    }
+
+    #[test]
+    fn tenants_do_not_share_buffers() {
+        let m = model();
+        let mut pool = BufferPool::new(4);
+        let b = pool.checkout(&m, 0, 2, 5);
+        pool.give_back(0, 2, 5, b);
+        // Same shape, different tenant: a miss, not a cross-tenant hit.
+        let b = pool.checkout(&m, 1, 2, 5);
+        assert_eq!((pool.stats().hits, pool.stats().misses), (0, 2));
+        pool.give_back(1, 2, 5, b);
+        assert_eq!(pool.stats().resident, 2);
+    }
+
+    #[test]
+    fn byte_budget_is_never_exceeded() {
+        let m = model();
+        // Learn one set's size, then budget for exactly two of them.
+        let probe = BatchBuffers::new(&m, 2, 5);
+        let one = probe.nbytes();
+        let mut pool = BufferPool::new(16).with_byte_budget(Some(2 * one));
+        for tenant in 0..4u32 {
+            let b = pool.checkout(&m, tenant, 2, 5);
+            pool.give_back(tenant, 2, 5, b);
+            assert!(pool.stats().resident_bytes <= 2 * one);
+        }
+        let s = pool.stats();
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.evictions, 2);
+        // A budget smaller than one set parks nothing.
+        let mut tiny = BufferPool::new(16).with_byte_budget(Some(one - 1));
+        let b = tiny.checkout(&m, 0, 2, 5);
+        tiny.give_back(0, 2, 5, b);
+        assert_eq!(tiny.stats().resident, 0);
+        assert_eq!(tiny.stats().resident_bytes, 0);
     }
 }

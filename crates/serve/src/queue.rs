@@ -75,24 +75,48 @@ pub enum Popped<T: Float> {
 }
 
 /// Occupancy statistics, sampled after every admission.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Retains every sample so the full distribution (p50/p99, not just the
+/// mean) is reportable; a sample is 4 bytes, so even a million
+/// admissions cost ~4 MiB. The router's least-loaded policy feeds its
+/// routing-time depth samples through the same type.
+#[derive(Debug, Clone, Default)]
 pub struct DepthStats {
-    /// Number of samples (successful admissions).
-    pub samples: u64,
-    /// Sum of sampled depths (for the mean).
-    pub depth_sum: u64,
-    /// Maximum observed depth.
-    pub depth_max: usize,
+    depths: Vec<u32>,
+    depth_max: usize,
 }
 
 impl DepthStats {
+    /// Records one observed depth.
+    pub fn record(&mut self, depth: usize) {
+        self.depths.push(depth.min(u32::MAX as usize) as u32);
+        self.depth_max = self.depth_max.max(depth);
+    }
+
+    /// Number of samples (successful admissions).
+    pub fn samples(&self) -> u64 {
+        self.depths.len() as u64
+    }
+
     /// Mean queue depth over all admission samples.
     pub fn mean(&self) -> f64 {
-        if self.samples == 0 {
+        if self.depths.is_empty() {
             0.0
         } else {
-            self.depth_sum as f64 / self.samples as f64
+            self.depths.iter().map(|&d| d as f64).sum::<f64>() / self.depths.len() as f64
         }
+    }
+
+    /// Maximum observed depth.
+    pub fn max(&self) -> usize {
+        self.depth_max
+    }
+
+    /// Full percentile summary of the sampled depths. The values are
+    /// depths in requests; the `_us` field names come from the shared
+    /// latency summarizer.
+    pub fn summary(&self) -> crate::metrics::LatencyStats {
+        crate::metrics::LatencyStats::from_samples(self.depths.iter().map(|&d| d as u64).collect())
     }
 }
 
@@ -183,9 +207,7 @@ impl<T: Float> AdmissionQueue<T> {
         }
         st.items.push_back(req);
         let depth = st.items.len();
-        st.depth.samples += 1;
-        st.depth.depth_sum += depth as u64;
-        st.depth.depth_max = st.depth.depth_max.max(depth);
+        st.depth.record(depth);
         drop(st);
         self.data_cv.notify_one();
         Admission::Admitted { shed }
@@ -224,7 +246,7 @@ impl<T: Float> AdmissionQueue<T> {
 
     /// Occupancy statistics accumulated so far.
     pub fn depth_stats(&self) -> DepthStats {
-        self.state.lock().depth
+        self.state.lock().depth.clone()
     }
 
     /// Closes the queue: future pushes are rejected, blocked producers
@@ -261,9 +283,13 @@ mod tests {
             }
         }
         let d = q.depth_stats();
-        assert_eq!(d.samples, 3);
-        assert_eq!(d.depth_max, 3);
+        assert_eq!(d.samples(), 3);
+        assert_eq!(d.max(), 3);
         assert!((d.mean() - 2.0).abs() < 1e-9);
+        // Percentile view of the same samples (depths 1, 2, 3).
+        let s = d.summary();
+        assert_eq!(s.p50_us, 2);
+        assert_eq!(s.p99_us, 3);
     }
 
     #[test]

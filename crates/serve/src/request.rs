@@ -1,6 +1,8 @@
 //! Request / response types and per-request latency accounting.
 
+use bpar_runtime::cancel::CancelCell;
 use bpar_tensor::Float;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One inference request: a variable-length feature sequence.
@@ -8,6 +10,9 @@ use std::time::{Duration, Instant};
 pub struct InferRequest<T: Float> {
     /// Caller-assigned id, echoed in the response.
     pub id: u64,
+    /// Tenant (model) index this request targets. Single-tenant servers
+    /// only accept `0`.
+    pub tenant: u32,
     /// Feature frames, `seq_len × feature_dim` (row-major nested).
     pub frames: Vec<Vec<T>>,
     /// When the request entered the system.
@@ -16,6 +21,10 @@ pub struct InferRequest<T: Float> {
     /// [`crate::queue::BackpressurePolicy::ShedExpired`], requests whose
     /// budget elapses before service starts are shed instead of served.
     pub deadline: Option<Duration>,
+    /// Shared claim cell when this request is one copy of a hedged pair
+    /// (see `bpar_runtime::cancel`). Cloning the request clones the
+    /// `Arc`, so both copies race for the same claim.
+    pub cancel: Option<Arc<CancelCell>>,
 }
 
 impl<T: Float> InferRequest<T> {
@@ -23,15 +32,29 @@ impl<T: Float> InferRequest<T> {
     pub fn new(id: u64, frames: Vec<Vec<T>>) -> Self {
         Self {
             id,
+            tenant: 0,
             frames,
             arrival: Instant::now(),
             deadline: None,
+            cancel: None,
         }
     }
 
     /// Attaches a latency budget.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Targets a tenant (model) index.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Attaches a hedged-dispatch claim cell.
+    pub fn with_cancel(mut self, cell: Arc<CancelCell>) -> Self {
+        self.cancel = Some(cell);
         self
     }
 
@@ -106,6 +129,14 @@ pub enum Outcome<T: Float> {
         /// Echo of the request id.
         id: u64,
     },
+    /// This copy of a hedged request lost the claim race: a competing
+    /// copy on another shard already delivered the terminal outcome, so
+    /// this one resolves without a client-visible result. Never emitted
+    /// for requests without a [`InferRequest::cancel`] cell.
+    Cancelled {
+        /// Echo of the request id.
+        id: u64,
+    },
 }
 
 impl<T: Float> Outcome<T> {
@@ -113,7 +144,10 @@ impl<T: Float> Outcome<T> {
     pub fn id(&self) -> u64 {
         match self {
             Outcome::Served(r) => r.id,
-            Outcome::Shed { id } | Outcome::Rejected { id } | Outcome::Failed { id } => *id,
+            Outcome::Shed { id }
+            | Outcome::Rejected { id }
+            | Outcome::Failed { id }
+            | Outcome::Cancelled { id } => *id,
         }
     }
 }

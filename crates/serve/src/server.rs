@@ -20,12 +20,13 @@ use crate::metrics::MetricsCollector;
 use crate::pool::{BufferPool, PoolStats};
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
 use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
-use bpar_core::exec::{Executor, PlanCacheStats, TaskGraphExec};
+use bpar_core::exec::{PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
 use bpar_runtime::{FaultConfig, FaultPlan, SchedulerPolicy};
 use bpar_tensor::Float;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -122,6 +123,20 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// When sustained failure trips degraded mode.
     pub breaker: BreakerConfig,
+    /// Whether a request whose [`bpar_runtime::CancelCell`] is already
+    /// claimed (its hedge twin won) is skipped instead of executed.
+    /// `true` is the latency-optimizing mode: cancelled copies shed their
+    /// remaining work, including mid-batch via the runtime's cancel
+    /// token. `false` is the deterministic-redundancy mode: every copy
+    /// executes fully and the claim decides only who *delivers*, so
+    /// same-seed runs produce bit-identical work counters.
+    pub cancel_sheds_work: bool,
+    /// Byte budget for the serve-side buffer pool (`None` = unlimited).
+    pub pool_byte_budget: Option<u64>,
+    /// Byte budget for the executor's compiled-plan cache
+    /// (`None` = unlimited). Tenant-keyed plans make this the knob that
+    /// bounds per-replica model memory under many tenants.
+    pub plan_byte_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +149,9 @@ impl Default for ServeConfig {
             scheduler: SchedulerPolicy::LocalityAware,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            cancel_sheds_work: true,
+            pool_byte_budget: None,
+            plan_byte_budget: None,
         }
     }
 }
@@ -145,7 +163,8 @@ impl ServeConfig {
         format!(
             "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?},\
              retries={},backoff_us={},backoff_cap_us={},jitter={},\
-             brk_fail={},brk_win={},brk_rec={}",
+             brk_fail={},brk_win={},brk_rec={},\
+             cancel_sheds={},pool_budget={},plan_budget={}",
             self.queue_capacity,
             self.policy.name(),
             self.batch.max_batch,
@@ -160,6 +179,9 @@ impl ServeConfig {
             self.breaker.failure_threshold,
             self.breaker.window,
             self.breaker.recovery,
+            self.cancel_sheds_work,
+            self.pool_byte_budget.unwrap_or(0),
+            self.plan_byte_budget.unwrap_or(0),
         )
     }
 }
@@ -184,9 +206,14 @@ struct ServeState<'a, T: Float> {
     normal_max_batch: usize,
 }
 
-/// Inference server: resident model + resident executor + serving loop.
+/// Inference server: resident models + resident executor + serving loop.
+///
+/// A server hosts one model per **tenant**; request `tenant` indexes
+/// into that list. Tenants never share compiled plans (the executor's
+/// plan cache is tenant-keyed — sharing would thrash weight revisions),
+/// batches (the batcher keys buckets on tenant), or pooled buffers.
 pub struct Server<T: Float> {
-    model: Brnn<T>,
+    models: Vec<Brnn<T>>,
     exec: TaskGraphExec,
     config: ServeConfig,
     /// Fault plan installed on the resident runtime, kept so reports can
@@ -196,26 +223,40 @@ pub struct Server<T: Float> {
     /// batch re-fills retained memory instead of allocating (the serve
     /// half of the executor's plan arena — see [`crate::pool`]).
     pool: Mutex<BufferPool<T>>,
+    /// Latest [`crate::breaker::BreakerSnapshot`] encoding, published
+    /// after every breaker record so a router can sample shard health
+    /// without locking the serving loop.
+    breaker_cell: Arc<AtomicU8>,
 }
 
 impl<T: Float> Server<T> {
-    /// Builds a server around `model`. The executor (and its worker
-    /// pool) is created once here and reused for every batch.
+    /// Builds a single-tenant server around `model`. The executor (and
+    /// its worker pool) is created once here and reused for every batch.
     pub fn new(model: Brnn<T>, config: ServeConfig) -> Self {
+        Self::with_tenants(vec![model], config)
+    }
+
+    /// Builds a multi-tenant server: `models[i]` serves requests whose
+    /// `tenant == i`. One executor (and worker pool) is shared across
+    /// tenants; plans, batches, and buffers stay tenant-isolated.
+    pub fn with_tenants(models: Vec<Brnn<T>>, config: ServeConfig) -> Self {
+        assert!(!models.is_empty(), "a server needs at least one tenant");
         // mbs = 1 keeps each batch bit-identical to sequential execution;
         // data parallelism comes from batching requests, not splitting
         // the batch again.
         let exec = TaskGraphExec::with_config(config.workers, config.scheduler, 1);
+        exec.set_plan_byte_budget(config.plan_byte_budget);
         // Pool capacity mirrors the plan cache's order of magnitude: a
         // bucketed batcher produces one shape per (bucket, fill) pair, a
         // small bounded set.
-        let pool = Mutex::new(BufferPool::new(32));
+        let pool = Mutex::new(BufferPool::new(32).with_byte_budget(config.pool_byte_budget));
         Self {
-            model,
+            models,
             exec,
             config,
             fault: Mutex::new(None),
             pool,
+            breaker_cell: Arc::new(AtomicU8::new(0)),
         }
     }
 
@@ -235,9 +276,27 @@ impl<T: Float> Server<T> {
         self.fault.lock().clone()
     }
 
-    /// The resident model.
+    /// The resident model of tenant 0 (the only tenant for servers built
+    /// with [`Server::new`]).
     pub fn model(&self) -> &Brnn<T> {
-        &self.model
+        &self.models[0]
+    }
+
+    /// The model serving `tenant`, if that tenant exists.
+    pub fn tenant_model(&self, tenant: u32) -> Option<&Brnn<T>> {
+        self.models.get(tenant as usize)
+    }
+
+    /// Number of resident tenants.
+    pub fn tenants(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Shared cell holding the latest breaker snapshot
+    /// ([`crate::breaker::BreakerSnapshot::as_u8`] encoding). Routers
+    /// sample it to steer traffic away from degraded shards.
+    pub fn breaker_cell(&self) -> Arc<AtomicU8> {
+        self.breaker_cell.clone()
     }
 
     /// The serving configuration.
@@ -372,22 +431,45 @@ impl<T: Float> Server<T> {
         on_outcome: &mut impl FnMut(Outcome<T>),
     ) {
         let close = Instant::now();
-        let dim = self.model.config.input_size;
+        let cancel_sheds = self.config.cancel_sheds_work;
         let mut live: Vec<InferRequest<T>> = Vec::with_capacity(batch.len());
         for req in batch {
-            // Malformed sequences can't be served; bounce them rather
-            // than poisoning the whole batch.
-            if req.seq_len() == 0 || req.frames.iter().any(|f| f.len() != dim) {
+            // A hedge twin already won this request: shed the copy before
+            // spending executor time on it (latency mode only — the
+            // deterministic-redundancy mode executes every copy fully).
+            if cancel_sheds && req.cancel.as_ref().is_some_and(|c| c.is_claimed()) {
+                let outcome = Outcome::Cancelled { id: req.id };
+                metrics.record_outcome(&outcome);
+                on_outcome(outcome);
+                continue;
+            }
+            // Malformed sequences and unknown tenants can't be served;
+            // bounce them rather than poisoning the whole batch.
+            let dim = self
+                .models
+                .get(req.tenant as usize)
+                .map(|m| m.config.input_size);
+            let well_formed = dim
+                .is_some_and(|dim| req.seq_len() > 0 && req.frames.iter().all(|f| f.len() == dim));
+            if well_formed {
+                live.push(req);
+            } else {
                 let outcome = Outcome::Rejected { id: req.id };
                 metrics.record_outcome(&outcome);
                 on_outcome(outcome);
-            } else {
-                live.push(req);
             }
         }
         if live.is_empty() {
             return;
         }
+        let tenant = live[0].tenant;
+        debug_assert!(
+            live.iter().all(|r| r.tenant == tenant),
+            "batches are tenant-pure: the batcher keys buckets on tenant \
+             and retries are singletons"
+        );
+        let model = &self.models[tenant as usize];
+        let dim = model.config.input_size;
         let rows = live.len();
         let padded_len = live.iter().map(InferRequest::seq_len).max().unwrap_or(0);
         let real_frames: u64 = live.iter().map(|r| r.seq_len() as u64).sum();
@@ -396,7 +478,7 @@ impl<T: Float> Server<T> {
         // Every row is fully overwritten — short sequences get their tail
         // zero-filled explicitly (none are short when `bucket_width == 1`),
         // so a reused buffer can't leak a previous batch's frames.
-        let mut bufs = self.pool.lock().checkout(&self.model, rows, padded_len);
+        let mut bufs = self.pool.lock().checkout(model, tenant, rows, padded_len);
         for (t, x) in bufs.xs.iter_mut().enumerate() {
             let data = x.as_mut_slice();
             for (r, req) in live.iter().enumerate() {
@@ -407,21 +489,44 @@ impl<T: Float> Server<T> {
                 }
             }
         }
+        // A singleton hedged request gets the runtime's cancel token: if
+        // its twin wins mid-batch, the remaining task bodies are skipped
+        // (the epoch completes cleanly; the unread garbage output is
+        // discarded by the post-execution claim check below). Batches
+        // with more than one request never install a token — the epoch
+        // is shared, and one request's cancellation must not starve its
+        // batch-mates.
+        let token = if cancel_sheds && rows == 1 {
+            live[0].cancel.clone()
+        } else {
+            None
+        };
+        if token.is_some() {
+            self.exec.runtime().set_cancel_token(token);
+        }
         // A task panic must not take the server down with it: the batch's
         // requests go to the retry queue (or fail) and the loop — and its
         // worker pool — keeps serving. The buffers go back to the pool on
         // both paths; partially written output is fine because the next
         // batch fully overwrites before reading.
-        if self
-            .exec
-            .try_forward_into(&self.model, &bufs.xs, &mut bufs.out)
-            .is_err()
-        {
-            self.pool.lock().give_back(rows, padded_len, bufs);
+        let result =
+            self.exec
+                .try_forward_into_keyed(tenant as u64, model, &bufs.xs, &mut bufs.out);
+        if cancel_sheds && rows == 1 {
+            self.exec.runtime().set_cancel_token(None);
+        }
+        if result.is_err() {
+            self.pool.lock().give_back(tenant, rows, padded_len, bufs);
             self.breaker_record(true, st, metrics);
             let now = Instant::now();
             for req in live {
-                if attempt < self.config.retry.max_retries && !req.expired(now) {
+                // A copy whose twin won while it was failing sheds its
+                // retries too (latency mode): nobody is waiting for it.
+                if cancel_sheds && req.cancel.as_ref().is_some_and(|c| c.is_claimed()) {
+                    let outcome = Outcome::Cancelled { id: req.id };
+                    metrics.record_outcome(&outcome);
+                    on_outcome(outcome);
+                } else if attempt < self.config.retry.max_retries && !req.expired(now) {
                     metrics.record_retry(attempt == 0);
                     let due = now + self.config.retry.backoff(req.id, attempt + 1);
                     st.retries.push_back(RetryEntry {
@@ -446,24 +551,38 @@ impl<T: Float> Server<T> {
         let service = done.duration_since(close);
         metrics.record_batch(rows, padded_len, real_frames);
         for (r, req) in live.into_iter().enumerate() {
-            let outcome = Outcome::Served(InferResponse {
-                id: req.id,
-                // The one remaining per-request allocation: a response
-                // outlives its batch and must own its logits row.
-                logits: bufs.out.logits.row(r).to_vec(),
-                timing: ResponseTiming {
-                    queue_wait: close.duration_since(req.arrival),
-                    service,
-                    total: done.duration_since(req.arrival),
-                    batch_rows: rows,
-                    padded_len,
-                    attempts: attempt,
-                },
-            });
+            // Hedged requests race for the claim: exactly one copy in the
+            // fleet delivers `Served`; the rest observe a lost claim and
+            // emit `Cancelled` (their computed output is discarded). The
+            // mid-batch cancel token above makes a lost claim here also
+            // the path that reports a body-skipped epoch: its claim was
+            // taken, so its garbage output is never read.
+            let delivers = match &req.cancel {
+                Some(cell) => cell.try_claim(),
+                None => true,
+            };
+            let outcome = if delivers {
+                Outcome::Served(InferResponse {
+                    id: req.id,
+                    // The one remaining per-request allocation: a response
+                    // outlives its batch and must own its logits row.
+                    logits: bufs.out.logits.row(r).to_vec(),
+                    timing: ResponseTiming {
+                        queue_wait: close.duration_since(req.arrival),
+                        service,
+                        total: done.duration_since(req.arrival),
+                        batch_rows: rows,
+                        padded_len,
+                        attempts: attempt,
+                    },
+                })
+            } else {
+                Outcome::Cancelled { id: req.id }
+            };
             metrics.record_outcome(&outcome);
             on_outcome(outcome);
         }
-        self.pool.lock().give_back(rows, padded_len, bufs);
+        self.pool.lock().give_back(tenant, rows, padded_len, bufs);
     }
 
     /// Feeds one executor run into the breaker and applies any state
@@ -488,6 +607,8 @@ impl<T: Float> Server<T> {
                 st.queue.set_policy(st.normal_policy);
             }
         }
+        self.breaker_cell
+            .store(st.breaker.snapshot().as_u8(), Ordering::Relaxed);
     }
 }
 
@@ -495,8 +616,9 @@ impl<T: Float> Server<T> {
 mod tests {
     use super::*;
     use crate::queue::Admission;
-    use bpar_core::exec::SequentialExec;
+    use bpar_core::exec::{Executor, SequentialExec};
     use bpar_core::model::BrnnConfig;
+    use bpar_runtime::CancelCell;
     use bpar_tensor::Matrix;
     use std::sync::Arc;
 
@@ -630,16 +752,115 @@ mod tests {
     #[test]
     fn malformed_requests_are_rejected_not_served() {
         let server = Server::new(tiny_model(), ServeConfig::default());
-        let queue = AdmissionQueue::new(4, BackpressurePolicy::Block);
+        let queue = AdmissionQueue::new(8, BackpressurePolicy::Block);
         queue.push(InferRequest::new(0, vec![])); // empty sequence
         queue.push(InferRequest::new(1, vec![vec![0.0; 9]])); // wrong width
         queue.push(InferRequest::new(2, frames(4, 4, 2)));
+        // Unknown tenant: a single-tenant server only hosts tenant 0.
+        queue.push(InferRequest::new(3, frames(4, 4, 3)).with_tenant(5));
         queue.close();
         let mut metrics = MetricsCollector::new();
         let mut got = Vec::new();
         server.serve(&queue, &mut metrics, |o| got.push(o.id()));
-        assert_eq!(metrics.rejected(), 2);
+        assert_eq!(metrics.rejected(), 3);
         assert_eq!(metrics.served(), 1);
-        assert_eq!(got.len(), 3);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn tenants_get_their_own_models_and_plans() {
+        // Two tenants with the same architecture but different weights:
+        // each request must be answered by *its* tenant's model, and the
+        // executor must cache one plan per tenant (revision thrash would
+        // show up as weight_syncs > misses).
+        let model_a = tiny_model();
+        let model_b = Brnn::<f32>::new(model_a.config, 99);
+        // Singleton batches pin every execution to the (1, padded) shape,
+        // so the plan count below is exactly one per tenant regardless of
+        // arrival timing.
+        let server = Server::with_tenants(
+            vec![model_a.clone(), model_b.clone()],
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy::new(1, Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let queue = AdmissionQueue::new(16, BackpressurePolicy::Block);
+        for round in 0..3u64 {
+            for tenant in 0..2u32 {
+                let id = round * 2 + tenant as u64;
+                queue.push(InferRequest::new(id, frames(4, 4, 7)).with_tenant(tenant));
+            }
+        }
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        let mut responses = Vec::new();
+        server.serve(&queue, &mut metrics, |o| {
+            if let Outcome::Served(r) = o {
+                responses.push(r);
+            }
+        });
+        assert_eq!(responses.len(), 6);
+        let seq = SequentialExec;
+        let xs: Vec<Matrix<f32>> = frames(4, 4, 7)
+            .iter()
+            .map(|f| Matrix::from_vec(1, 4, f.clone()))
+            .collect();
+        let expect_a = seq.forward(&model_a, &xs).logits.row(0).to_vec();
+        let expect_b = seq.forward(&model_b, &xs).logits.row(0).to_vec();
+        assert_ne!(expect_a, expect_b, "different weights, different logits");
+        for resp in &responses {
+            let expect = if resp.id % 2 == 0 {
+                &expect_a
+            } else {
+                &expect_b
+            };
+            assert_eq!(
+                &resp.logits, expect,
+                "request {} answered by wrong tenant",
+                resp.id
+            );
+        }
+        let plans = server.plan_cache_stats();
+        assert_eq!(plans.cached_plans, 2, "one plan per tenant");
+        assert_eq!(plans.weight_syncs, plans.misses, "no revision thrash");
+    }
+
+    #[test]
+    fn claimed_requests_cancel_instead_of_serving() {
+        let server = Server::new(
+            tiny_model(),
+            ServeConfig {
+                workers: 2,
+                batch: BatchPolicy::new(1, Duration::from_millis(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let queue = AdmissionQueue::new(8, BackpressurePolicy::Block);
+        // Pre-claimed cell: the "other copy" already won, so this copy
+        // must shed without executing.
+        let lost = Arc::new(CancelCell::new());
+        assert!(lost.try_claim());
+        queue.push(InferRequest::new(0, frames(4, 4, 0)).with_cancel(lost));
+        // Unclaimed cell: this copy wins the claim and serves.
+        let won = Arc::new(CancelCell::new());
+        queue.push(InferRequest::new(1, frames(4, 4, 1)).with_cancel(won.clone()));
+        queue.push(InferRequest::new(2, frames(4, 4, 2))); // no cell at all
+        queue.close();
+        let mut metrics = MetricsCollector::new();
+        let mut cancelled = Vec::new();
+        let mut served = Vec::new();
+        server.serve(&queue, &mut metrics, |o| match o {
+            Outcome::Cancelled { id } => cancelled.push(id),
+            Outcome::Served(r) => served.push(r.id),
+            other => panic!("unexpected outcome for {}", other.id()),
+        });
+        assert_eq!(cancelled, vec![0]);
+        served.sort_unstable();
+        assert_eq!(served, vec![1, 2]);
+        assert_eq!(metrics.cancelled(), 1);
+        assert_eq!(metrics.served(), 2);
+        assert!(won.is_claimed(), "serving a hedged request claims its cell");
     }
 }

@@ -106,6 +106,8 @@ fn run_chaos(
             Outcome::Shed { id } => (*id, "shed", 0, 0),
             Outcome::Rejected { id } => (*id, "rejected", 0, 0),
             Outcome::Failed { id } => (*id, "failed", 0, 0),
+            // No hedging in this harness: requests carry no cancel cell.
+            Outcome::Cancelled { id } => (*id, "cancelled", 0, 0),
         };
         terminal.push(row);
     });
