@@ -16,6 +16,7 @@
 //!                   [--replicas N] [--routing hash|least-loaded]
 //!                   [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
 //!                   [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
+//!                   [--backend scalar|simd|int8]
 //!                                                 dynamic-batching inference serving
 //!                                                 (optionally under injected faults;
 //!                                                 --replicas > 1 runs the routed
@@ -93,6 +94,7 @@ USAGE:
                     [--replicas N] [--routing hash|least-loaded]
                     [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
                     [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
+                    [--backend scalar|simd|int8]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
                     [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
                     [--fuzz-seeds a,b,c] [--seed-bug] [--out PATH]";
@@ -466,6 +468,11 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
                 .map_err(|_| format!("--{name} expects an integer KiB count, got `{v}`")),
         }
     };
+    let backend = {
+        let name = opts.get("backend").map(String::as_str).unwrap_or("scalar");
+        bpar_tensor::BackendKind::parse(name)
+            .ok_or_else(|| format!("--backend expects scalar|simd|int8, got `{name}`"))?
+    };
     let cfg = ServeConfig {
         queue_capacity: get_usize(opts, "queue-cap", 64)?,
         policy,
@@ -479,6 +486,7 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         retry,
         plan_byte_budget: budget_kib("plan-budget-kib")?,
         pool_byte_budget: budget_kib("pool-budget-kib")?,
+        backend,
         ..ServeConfig::default()
     };
     let seed = get_usize(opts, "seed", 42)? as u64;

@@ -37,7 +37,7 @@ use crate::exec::Target;
 use crate::graphgen::{build_graph, GraphSpec, Phase};
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, ModelKind};
 use bpar_runtime::{AccessRecorder, RegionId, Runtime, RuntimeConfig, SchedulerPolicy};
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::{Backend, Float, Matrix};
 use bpar_verify::{
     check_shape, collect_metrics, policy_name, run_lints, validate_clauses, AnalysisReport,
     Finding, Fnv64, GraphReport, GraphView, ShapeSpec,
@@ -100,7 +100,14 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
     } else {
         BuildMode::Normal
     };
-    let plan = ExecPlan::build_with_mode(&model, &batch, opts.mbs, opts.train, mode);
+    let plan = ExecPlan::build_with_mode(
+        &model,
+        &batch,
+        opts.mbs,
+        opts.train,
+        mode,
+        Backend::scalar(),
+    );
     let names = region_name_map(&plan);
     let name_of = |r: RegionId| {
         names

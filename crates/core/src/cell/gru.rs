@@ -13,8 +13,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
-use bpar_tensor::ops::{add_bias, column_sums_into};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
+use bpar_tensor::ops::column_sums_into;
+use bpar_tensor::{init, Backend, Float, Matrix, Workspace};
 
 /// Fused GRU parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,7 +116,14 @@ impl<T: Float> GruParams<T> {
             c: None,
         };
         let mut cache = GruCache::zeros(batch, self.input, self.hidden);
-        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        self.forward_ws(
+            x,
+            prev,
+            &mut state,
+            &mut cache,
+            &mut Workspace::new(),
+            Backend::scalar(),
+        );
         (state, cache)
     }
 
@@ -136,6 +143,7 @@ impl<T: Float> GruParams<T> {
         state: &mut CellState<T>,
         cache: &mut GruCache<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
@@ -145,9 +153,9 @@ impl<T: Float> GruParams<T> {
         // Fused z/r gates; the pre-activation block is transient scratch.
         Matrix::hstack_into(&[x, &prev.h], &mut cache.zr_in);
         let mut zr = ws.checkout(batch, 2 * h);
-        gemm(T::ONE, &cache.zr_in, &self.wzr, T::ZERO, &mut zr);
-        add_bias(&mut zr, &self.bzr);
-        zr.map_inplace(|v| v.sigmoid());
+        be.gemm(T::ONE, &cache.zr_in, &self.wzr, T::ZERO, &mut zr, ws);
+        be.add_bias(&mut zr, &self.bzr);
+        be.sigmoid_inplace(&mut zr);
         for row in 0..batch {
             let src = zr.row(row);
             cache.z.row_mut(row).copy_from_slice(&src[..h]);
@@ -165,9 +173,9 @@ impl<T: Float> GruParams<T> {
                 dst[self.input + j] = rs[j] * hp[j];
             }
         }
-        gemm(T::ONE, &cache.h_in, &self.wh, T::ZERO, &mut cache.hbar);
-        add_bias(&mut cache.hbar, &self.bh);
-        cache.hbar.map_inplace(|v| v.tanh());
+        be.gemm(T::ONE, &cache.h_in, &self.wh, T::ZERO, &mut cache.hbar, ws);
+        be.add_bias(&mut cache.hbar, &self.bh);
+        be.tanh_inplace(&mut cache.hbar);
 
         // H_t = Z ⊙ H̄ + (1-Z) ⊙ H_{t-1}.
         for row in 0..batch {
@@ -205,6 +213,7 @@ impl<T: Float> GruParams<T> {
             &mut dx,
             &mut dprev,
             &mut Workspace::new(),
+            Backend::scalar(),
         );
         (dx, dprev)
     }
@@ -225,6 +234,7 @@ impl<T: Float> GruParams<T> {
         dx: &mut Matrix<T>,
         dprev: &mut StateGrad<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = dh.rows();
         let h = self.hidden;
@@ -235,7 +245,7 @@ impl<T: Float> GruParams<T> {
         let mut dh_total = ws.checkout(batch, h);
         dh_total.copy_from(dh);
         if let Some(sg) = dstate {
-            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
+            be.axpy(T::ONE, &sg.dh, &mut dh_total);
         }
 
         // Through Eq. (10).
@@ -265,12 +275,12 @@ impl<T: Float> GruParams<T> {
         }
 
         // Candidate kernel gradients and input gradient.
-        gemm_tn(T::ONE, &cache.h_in, &dhbar_pre, T::ONE, &mut grads.wh);
+        be.gemm_tn(T::ONE, &cache.h_in, &dhbar_pre, T::ONE, &mut grads.wh);
         let mut dbh = ws.checkout(1, h);
         column_sums_into(&dhbar_pre, &mut dbh);
-        bpar_tensor::ops::axpy(T::ONE, &dbh, &mut grads.bh);
+        be.axpy(T::ONE, &dbh, &mut grads.bh);
         let mut dh_in = ws.checkout(batch, self.input + h);
-        gemm_nt(T::ONE, &dhbar_pre, &self.wh, T::ZERO, &mut dh_in);
+        be.gemm_nt(T::ONE, &dhbar_pre, &self.wh, T::ZERO, &mut dh_in);
 
         // Split dh_in into dX (part 1) and d(R ⊙ H_prev).
         let mut dr_pre = ws.checkout(batch, h);
@@ -295,12 +305,12 @@ impl<T: Float> GruParams<T> {
         // Fused z/r kernel gradients and input gradient.
         let mut dzr_pre = ws.checkout(batch, 2 * h);
         Matrix::hstack_into(&[&dz_pre, &dr_pre], &mut dzr_pre);
-        gemm_tn(T::ONE, &cache.zr_in, &dzr_pre, T::ONE, &mut grads.wzr);
+        be.gemm_tn(T::ONE, &cache.zr_in, &dzr_pre, T::ONE, &mut grads.wzr);
         let mut dbzr = ws.checkout(1, 2 * h);
         column_sums_into(&dzr_pre, &mut dbzr);
-        bpar_tensor::ops::axpy(T::ONE, &dbzr, &mut grads.bzr);
+        be.axpy(T::ONE, &dbzr, &mut grads.bzr);
         let mut dzr_in = ws.checkout(batch, self.input + h);
-        gemm_nt(T::ONE, &dzr_pre, &self.wzr, T::ZERO, &mut dzr_in);
+        be.gemm_nt(T::ONE, &dzr_pre, &self.wzr, T::ZERO, &mut dzr_in);
         for row in 0..batch {
             let src = dzr_in.row(row);
             let dxr = dx.row_mut(row);
@@ -329,6 +339,7 @@ impl<T: Float> GruParams<T> {
 mod tests {
     use super::*;
     use crate::cell::{CellKind, CellState};
+    use bpar_tensor::ops::add_bias;
 
     fn state(batch: usize, hidden: usize, seed: u64) -> CellState<f64> {
         CellState {
@@ -562,12 +573,21 @@ mod tests {
             dc: None,
         };
         for _ in 0..3 {
-            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws, Backend::scalar());
             for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
             }
             let mut grads = p.zeros_like();
-            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            p.backward_ws(
+                &cache,
+                &dh,
+                None,
+                &mut grads,
+                &mut dx,
+                &mut dprev,
+                &mut ws,
+                Backend::scalar(),
+            );
             for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
             }

@@ -16,8 +16,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::{dsigmoid_from_y, dtanh_from_y};
-use bpar_tensor::ops::{add_bias, column_sums_into};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
+use bpar_tensor::ops::column_sums_into;
+use bpar_tensor::{init, Backend, Float, Matrix, Workspace};
 
 /// Fused LSTM parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,24 +110,33 @@ impl<T: Float> LstmParams<T> {
             c: Some(Matrix::zeros(batch, self.hidden)),
         };
         let mut cache = LstmCache::zeros(batch, self.input, self.hidden);
-        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        self.forward_ws(
+            x,
+            prev,
+            &mut state,
+            &mut cache,
+            &mut Workspace::new(),
+            Backend::scalar(),
+        );
         (state, cache)
     }
 
     /// Allocation-free forward update: every result is written into the
     /// caller-provided `state`/`cache` buffers (see [`LstmCache::zeros`]).
-    /// The LSTM needs no transient scratch, so `_ws` is unused — the
-    /// parameter keeps the cell-kind signatures uniform.
+    /// The gate GEMM and bias broadcast dispatch through `be`; `ws` only
+    /// supplies the int8 backend's quantization scratch.
     ///
-    /// Performs exactly the same kernel calls in the same order on the
-    /// same values as the allocating wrapper, so outputs are bit-identical.
+    /// With the scalar backend this performs exactly the same kernel calls
+    /// in the same order on the same values as the allocating wrapper, so
+    /// outputs are bit-identical.
     pub fn forward_ws(
         &self,
         x: &Matrix<T>,
         prev: &CellState<T>,
         state: &mut CellState<T>,
         cache: &mut LstmCache<T>,
-        _ws: &mut Workspace<T>,
+        ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
@@ -138,8 +147,8 @@ impl<T: Float> LstmParams<T> {
         // Z = [X_t, H_{t-1}]
         Matrix::hstack_into(&[x, &prev.h], &mut cache.z);
         // G = Z W + b
-        gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.gates);
-        add_bias(&mut cache.gates, &self.b);
+        be.gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.gates, ws);
+        be.add_bias(&mut cache.gates, &self.b);
         // Nonlinearities per block: σ on i,f,o; tanh on g.
         lstm_gate_nonlinearities(&mut cache.gates, h);
 
@@ -205,14 +214,16 @@ impl<T: Float> LstmParams<T> {
             &mut dx,
             &mut dprev,
             &mut Workspace::new(),
+            Backend::scalar(),
         );
         (dx, dprev)
     }
 
     /// Allocation-free backward update: `dx` and `dprev` are caller-provided
-    /// output buffers (fully overwritten), transient scratch comes from `ws`.
-    /// Same kernel calls, same order, same values as [`LstmParams::backward`]
-    /// ⇒ bit-identical gradients.
+    /// output buffers (fully overwritten), transient scratch comes from `ws`
+    /// and the GEMM kernels dispatch through `be`. With the scalar backend:
+    /// same kernel calls, same order, same values as
+    /// [`LstmParams::backward`] ⇒ bit-identical gradients.
     #[allow(clippy::too_many_arguments)]
     pub fn backward_ws(
         &self,
@@ -223,6 +234,7 @@ impl<T: Float> LstmParams<T> {
         dx: &mut Matrix<T>,
         dprev: &mut StateGrad<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = dh.rows();
         let h = self.hidden;
@@ -234,7 +246,7 @@ impl<T: Float> LstmParams<T> {
         let mut dh_total = ws.checkout(batch, h);
         dh_total.copy_from(dh);
         if let Some(sg) = dstate {
-            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dh_total);
+            be.axpy(T::ONE, &sg.dh, &mut dh_total);
         }
 
         // Gate pre-activation gradients, fused layout [i, f, g, o].
@@ -283,7 +295,7 @@ impl<T: Float> LstmParams<T> {
 
         // dZ = dG Wᵀ  →  split into dX and dH_{t-1}.
         let mut dz = ws.checkout(batch, self.input + h);
-        gemm_nt(T::ONE, &dgates, &self.w, T::ZERO, &mut dz);
+        be.gemm_nt(T::ONE, &dgates, &self.w, T::ZERO, &mut dz);
         for r in 0..batch {
             let row = dz.row(r);
             dx.row_mut(r).copy_from_slice(&row[..self.input]);
@@ -291,10 +303,10 @@ impl<T: Float> LstmParams<T> {
         }
 
         // dW += Zᵀ dG ;  dB += Σ_batch dG.
-        gemm_tn(T::ONE, &cache.z, &dgates, T::ONE, &mut grads.w);
+        be.gemm_tn(T::ONE, &cache.z, &dgates, T::ONE, &mut grads.w);
         let mut db = ws.checkout(1, 4 * h);
         column_sums_into(&dgates, &mut db);
-        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
+        be.axpy(T::ONE, &db, &mut grads.b);
 
         ws.give_back(dh_total);
         ws.give_back(dgates);
@@ -328,6 +340,7 @@ pub fn lstm_gate_nonlinearities<T: Float>(gates: &mut Matrix<T>, hidden: usize) 
 mod tests {
     use super::*;
     use crate::cell::{CellKind, CellState};
+    use bpar_tensor::ops::add_bias;
 
     fn state(batch: usize, hidden: usize, seed: u64) -> CellState<f64> {
         CellState {
@@ -561,7 +574,7 @@ mod tests {
             dc: Some(Matrix::zeros(batch, hidden)),
         };
         for _ in 0..3 {
-            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws, Backend::scalar());
             for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
             }
@@ -570,7 +583,16 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "C_t drifted");
             }
             let mut grads = p.zeros_like();
-            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            p.backward_ws(
+                &cache,
+                &dh,
+                None,
+                &mut grads,
+                &mut dx,
+                &mut dprev,
+                &mut ws,
+                Backend::scalar(),
+            );
             for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
             }

@@ -10,7 +10,7 @@ pub mod gru;
 pub mod lstm;
 pub mod vanilla;
 
-use bpar_tensor::{Float, Matrix, Workspace};
+use bpar_tensor::{Backend, Float, Matrix, Workspace};
 
 pub use gru::GruParams;
 pub use lstm::LstmParams;
@@ -232,7 +232,9 @@ impl<T: Float> CellParams<T> {
 
     /// Allocation-free forward cell update: writes into caller-provided
     /// `state` and `cache` buffers (see [`CellCache::zeros`]), drawing any
-    /// transient scratch from `ws`. Bit-identical to [`CellParams::forward`].
+    /// transient scratch from `ws`. The cell's GEMM and bias kernels
+    /// dispatch through `be`; with [`Backend::scalar`] this is bit-identical
+    /// to [`CellParams::forward`].
     pub fn forward_ws(
         &self,
         x: &Matrix<T>,
@@ -240,11 +242,14 @@ impl<T: Float> CellParams<T> {
         state: &mut CellState<T>,
         cache: &mut CellCache<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         match (self, cache) {
-            (CellParams::Lstm(p), CellCache::Lstm(c)) => p.forward_ws(x, prev, state, c, ws),
-            (CellParams::Gru(p), CellCache::Gru(c)) => p.forward_ws(x, prev, state, c, ws),
-            (CellParams::Vanilla(p), CellCache::Vanilla(c)) => p.forward_ws(x, prev, state, c, ws),
+            (CellParams::Lstm(p), CellCache::Lstm(c)) => p.forward_ws(x, prev, state, c, ws, be),
+            (CellParams::Gru(p), CellCache::Gru(c)) => p.forward_ws(x, prev, state, c, ws, be),
+            (CellParams::Vanilla(p), CellCache::Vanilla(c)) => {
+                p.forward_ws(x, prev, state, c, ws, be)
+            }
             _ => panic!("cell kind mismatch between params and cache"),
         }
     }
@@ -280,8 +285,9 @@ impl<T: Float> CellParams<T> {
     }
 
     /// Allocation-free backward cell update: `dx`/`dprev` are caller-provided
-    /// output buffers (fully overwritten), scratch comes from `ws`.
-    /// Bit-identical to [`CellParams::backward`].
+    /// output buffers (fully overwritten), scratch comes from `ws` and the
+    /// GEMM kernels dispatch through `be`. With [`Backend::scalar`] this is
+    /// bit-identical to [`CellParams::backward`].
     #[allow(clippy::too_many_arguments)]
     pub fn backward_ws(
         &self,
@@ -292,16 +298,17 @@ impl<T: Float> CellParams<T> {
         dx: &mut Matrix<T>,
         dprev: &mut StateGrad<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         match (self, cache, grads) {
             (CellParams::Lstm(p), CellCache::Lstm(c), CellParams::Lstm(g)) => {
-                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws, be)
             }
             (CellParams::Gru(p), CellCache::Gru(c), CellParams::Gru(g)) => {
-                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws, be)
             }
             (CellParams::Vanilla(p), CellCache::Vanilla(c), CellParams::Vanilla(g)) => {
-                p.backward_ws(c, dh, dstate, g, dx, dprev, ws)
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws, be)
             }
             _ => panic!("cell kind mismatch between params, cache and grads"),
         }
@@ -330,6 +337,20 @@ impl<T: Float> CellParams<T> {
                 f(&mut p.b, &g.b);
             }
             _ => panic!("cell kind mismatch in for_each_param"),
+        }
+    }
+
+    /// Visits every *weight* matrix (GEMM operands; biases excluded —
+    /// they are broadcast-added, never multiplied). Used by the int8
+    /// backend's weight-quantization pass at weight-store sync time.
+    pub fn for_each_weight_mut(&mut self, f: &mut impl FnMut(&mut Matrix<T>)) {
+        match self {
+            CellParams::Lstm(p) => f(&mut p.w),
+            CellParams::Gru(p) => {
+                f(&mut p.wzr);
+                f(&mut p.wh);
+            }
+            CellParams::Vanilla(p) => f(&mut p.w),
         }
     }
 

@@ -7,8 +7,8 @@
 
 use super::{CellState, StateGrad};
 use bpar_tensor::activation::dtanh_from_y;
-use bpar_tensor::ops::{add_bias, column_sums_into};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
+use bpar_tensor::ops::column_sums_into;
+use bpar_tensor::{init, Backend, Float, Matrix, Workspace};
 
 /// Vanilla RNN parameters for one layer and direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,33 +85,41 @@ impl<T: Float> VanillaParams<T> {
             c: None,
         };
         let mut cache = VanillaCache::zeros(batch, self.input, self.hidden);
-        self.forward_ws(x, prev, &mut state, &mut cache, &mut Workspace::new());
+        self.forward_ws(
+            x,
+            prev,
+            &mut state,
+            &mut cache,
+            &mut Workspace::new(),
+            Backend::scalar(),
+        );
         (state, cache)
     }
 
     /// Allocation-free forward update writing into caller-provided buffers
-    /// (see [`VanillaCache::zeros`]). The single-GEMM cell needs no
-    /// transient scratch, so `_ws` is unused — the parameter keeps the
-    /// cell-kind signatures uniform.
+    /// (see [`VanillaCache::zeros`]). The single GEMM and bias broadcast
+    /// dispatch through `be`; `ws` only supplies the int8 backend's
+    /// quantization scratch.
     ///
-    /// Same kernel calls, same order, same values as the allocating
-    /// wrapper ⇒ bit-identical outputs (the old `h.clone()` into the state
-    /// becomes a `copy_from`).
+    /// With the scalar backend: same kernel calls, same order, same values
+    /// as the allocating wrapper ⇒ bit-identical outputs (the old
+    /// `h.clone()` into the state becomes a `copy_from`).
     pub fn forward_ws(
         &self,
         x: &Matrix<T>,
         prev: &CellState<T>,
         state: &mut CellState<T>,
         cache: &mut VanillaCache<T>,
-        _ws: &mut Workspace<T>,
+        ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = x.rows();
         assert_eq!(x.cols(), self.input, "input width mismatch");
         assert_eq!(prev.h.shape(), (batch, self.hidden), "H_{{t-1}} shape");
         Matrix::hstack_into(&[x, &prev.h], &mut cache.z);
-        gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.h);
-        add_bias(&mut cache.h, &self.b);
-        cache.h.map_inplace(|v| v.tanh());
+        be.gemm(T::ONE, &cache.z, &self.w, T::ZERO, &mut cache.h, ws);
+        be.add_bias(&mut cache.h, &self.b);
+        be.tanh_inplace(&mut cache.h);
         state.h.copy_from(&cache.h);
     }
 
@@ -140,6 +148,7 @@ impl<T: Float> VanillaParams<T> {
             &mut dx,
             &mut dprev,
             &mut Workspace::new(),
+            Backend::scalar(),
         );
         (dx, dprev)
     }
@@ -158,6 +167,7 @@ impl<T: Float> VanillaParams<T> {
         dx: &mut Matrix<T>,
         dprev: &mut StateGrad<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         let batch = dh.rows();
         let h = self.hidden;
@@ -168,19 +178,19 @@ impl<T: Float> VanillaParams<T> {
         let mut dpre = ws.checkout(batch, h);
         dpre.copy_from(dh);
         if let Some(sg) = dstate {
-            bpar_tensor::ops::axpy(T::ONE, &sg.dh, &mut dpre);
+            be.axpy(T::ONE, &sg.dh, &mut dpre);
         }
         for (v, &y) in dpre.as_mut_slice().iter_mut().zip(cache.h.as_slice()) {
             *v *= dtanh_from_y(y);
         }
 
-        gemm_tn(T::ONE, &cache.z, &dpre, T::ONE, &mut grads.w);
+        be.gemm_tn(T::ONE, &cache.z, &dpre, T::ONE, &mut grads.w);
         let mut db = ws.checkout(1, h);
         column_sums_into(&dpre, &mut db);
-        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
+        be.axpy(T::ONE, &db, &mut grads.b);
 
         let mut dz = ws.checkout(batch, self.input + h);
-        gemm_nt(T::ONE, &dpre, &self.w, T::ZERO, &mut dz);
+        be.gemm_nt(T::ONE, &dpre, &self.w, T::ZERO, &mut dz);
         for r in 0..batch {
             let row = dz.row(r);
             dx.row_mut(r).copy_from_slice(&row[..self.input]);
@@ -196,6 +206,7 @@ impl<T: Float> VanillaParams<T> {
 mod tests {
     use super::*;
     use crate::cell::CellKind;
+    use bpar_tensor::ops::add_bias;
 
     #[test]
     fn forward_matches_manual() {
@@ -329,12 +340,21 @@ mod tests {
             dc: None,
         };
         for _ in 0..3 {
-            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws);
+            p.forward_ws(&x, &prev, &mut st, &mut cache, &mut ws, Backend::scalar());
             for (a, b) in st.h.as_slice().iter().zip(st_ref.h.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "H_t drifted");
             }
             let mut grads = p.zeros_like();
-            p.backward_ws(&cache, &dh, None, &mut grads, &mut dx, &mut dprev, &mut ws);
+            p.backward_ws(
+                &cache,
+                &dh,
+                None,
+                &mut grads,
+                &mut dx,
+                &mut dprev,
+                &mut ws,
+                Backend::scalar(),
+            );
             for (a, b) in dx.as_slice().iter().zip(dx_ref.as_slice()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "dX drifted");
             }

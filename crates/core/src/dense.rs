@@ -4,8 +4,8 @@
 //! Many-to-one models apply this once, to the final merge cell's output;
 //! many-to-many models apply it per timestep with shared weights.
 
-use bpar_tensor::ops::{add_bias, column_sums_into};
-use bpar_tensor::{gemm, gemm_nt, gemm_tn, init, Float, Matrix, Workspace};
+use bpar_tensor::ops::column_sums_into;
+use bpar_tensor::{init, Backend, Float, Matrix, Workspace};
 
 /// Dense layer parameters: `W: in × out`, `b: 1 × out`.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,16 +43,24 @@ impl<T: Float> DenseParams<T> {
     /// Thin allocating wrapper over [`DenseParams::forward_into`].
     pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(x.rows(), self.w.cols());
-        self.forward_into(x, &mut out);
+        self.forward_into(x, &mut out, &mut Workspace::new(), Backend::scalar());
         out
     }
 
     /// Allocation-free projection into a caller-provided `batch × out`
-    /// buffer (fully overwritten). Bit-identical to [`DenseParams::forward`].
-    pub fn forward_into(&self, x: &Matrix<T>, out: &mut Matrix<T>) {
+    /// buffer (fully overwritten). The GEMM and bias broadcast dispatch
+    /// through `be` (`ws` only feeds the int8 backend's scratch); with
+    /// [`Backend::scalar`] this is bit-identical to [`DenseParams::forward`].
+    pub fn forward_into(
+        &self,
+        x: &Matrix<T>,
+        out: &mut Matrix<T>,
+        ws: &mut Workspace<T>,
+        be: Backend,
+    ) {
         assert_eq!(out.shape(), (x.rows(), self.w.cols()), "logit buffer shape");
-        gemm(T::ONE, x, &self.w, T::ZERO, out);
-        add_bias(out, &self.b);
+        be.gemm(T::ONE, x, &self.w, T::ZERO, out, ws);
+        be.add_bias(out, &self.b);
     }
 
     /// Backward pass: given `x` and `dlogits`, accumulates `dW`, `dB` into
@@ -66,13 +74,21 @@ impl<T: Float> DenseParams<T> {
         grads: &mut DenseParams<T>,
     ) -> Matrix<T> {
         let mut dx = Matrix::zeros(x.rows(), x.cols());
-        self.backward_ws(x, dlogits, grads, &mut dx, &mut Workspace::new());
+        self.backward_ws(
+            x,
+            dlogits,
+            grads,
+            &mut dx,
+            &mut Workspace::new(),
+            Backend::scalar(),
+        );
         dx
     }
 
     /// Allocation-free backward pass: `dx` is a caller-provided buffer
-    /// (fully overwritten), the bias-gradient scratch row comes from `ws`.
-    /// Bit-identical to [`DenseParams::backward`].
+    /// (fully overwritten), the bias-gradient scratch row comes from `ws`
+    /// and the GEMMs dispatch through `be`. With [`Backend::scalar`] this
+    /// is bit-identical to [`DenseParams::backward`].
     pub fn backward_ws(
         &self,
         x: &Matrix<T>,
@@ -80,13 +96,14 @@ impl<T: Float> DenseParams<T> {
         grads: &mut DenseParams<T>,
         dx: &mut Matrix<T>,
         ws: &mut Workspace<T>,
+        be: Backend,
     ) {
         assert_eq!(dx.shape(), x.shape(), "dx buffer shape");
-        gemm_tn(T::ONE, x, dlogits, T::ONE, &mut grads.w);
+        be.gemm_tn(T::ONE, x, dlogits, T::ONE, &mut grads.w);
         let mut db = ws.checkout(1, dlogits.cols());
         column_sums_into(dlogits, &mut db);
-        bpar_tensor::ops::axpy(T::ONE, &db, &mut grads.b);
-        gemm_nt(T::ONE, dlogits, &self.w, T::ZERO, dx);
+        be.axpy(T::ONE, &db, &mut grads.b);
+        be.gemm_nt(T::ONE, dlogits, &self.w, T::ZERO, dx);
         ws.give_back(db);
     }
 

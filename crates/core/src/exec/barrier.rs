@@ -21,7 +21,7 @@ use super::{Executor, ForwardOutput, Target};
 use crate::model::Brnn;
 use crate::optim::Optimizer;
 use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy};
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::{Backend, Float, Matrix};
 
 /// Task executor with per-layer barriers (framework-style scheduling).
 pub struct BarrierExec {
@@ -59,7 +59,7 @@ impl<T: Float> Executor<T> for BarrierExec {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
         let (_weights, replicas, _) =
-            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions, Backend::scalar());
         let mut sink = LiveSink(&self.runtime);
         for l in 0..model.config.layers {
             for rep in &replicas {
@@ -86,7 +86,7 @@ impl<T: Float> Executor<T> for BarrierExec {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
         let (_weights, replicas, chunks) =
-            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions);
+            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions, Backend::scalar());
         let mut sink = LiveSink(&self.runtime);
         let layers = model.config.layers;
 

@@ -21,14 +21,18 @@
 //!
 //! Floating-point note: task bodies perform identical kernel calls in an
 //! order whose only reorderings are commutative two-operand additions, so
-//! results are bit-identical to [`super::SequentialExec`].
+//! results are bit-identical to [`super::SequentialExec`] when built with
+//! the scalar [`Backend`] (the default). Graphs built with the SIMD or
+//! int8 backend dispatch their *forward* kernels through that backend
+//! (see [`ReplicaGraph::backend`]); backward/training kernels always use
+//! the scalar oracle, since gradient checks depend on exact arithmetic.
 
 use crate::cell::{CellCache, CellParams, CellState, StateGrad};
 use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
 use bpar_runtime::{record_read, record_write, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
-use bpar_tensor::{Float, Matrix, Workspace};
+use bpar_tensor::{roundtrip_quantize, Backend, BackendKind, Float, Matrix, Workspace};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,14 +109,45 @@ pub(crate) struct WeightStore<T: Float> {
     snapshot: RwLock<Arc<Brnn<T>>>,
     /// Deep copies made over this store's lifetime (1 at construction).
     deep_copies: AtomicU64,
+    /// When set, every deep copy round-trip-quantizes the weight matrices
+    /// (see [`WeightStore::for_backend`]).
+    quantized: bool,
+}
+
+/// Round-trip int8-quantizes every weight matrix of `model` in place:
+/// per-tensor symmetric scales, biases untouched. After this pass the
+/// weights sit exactly on the int8 grid, so the int8 GEMM's B-operand
+/// quantization is lossless and only the activation side contributes
+/// error. `f64` models are left exact, matching the backend dispatch rule
+/// that `f64` always takes the scalar reference path.
+fn quantize_weights<T: Float>(model: &mut Brnn<T>) {
+    let mut q = |m: &mut Matrix<T>| {
+        if let Some(s) = T::as_f32_slice_mut(m.as_mut_slice()) {
+            roundtrip_quantize(s);
+        }
+    };
+    for layer in &mut model.layers {
+        layer.fwd.for_each_weight_mut(&mut q);
+        layer.rev.for_each_weight_mut(&mut q);
+    }
+    q(&mut model.dense.w);
 }
 
 impl<T: Float> WeightStore<T> {
-    /// A store seeded with one deep copy of `model`.
-    pub fn new(model: &Brnn<T>) -> Self {
+    /// A store whose deep copies are prepared for `backend`: under
+    /// [`BackendKind::Int8`] every copy (the seed and each revision
+    /// re-sync) is weight-quantized **once**, so the per-batch hot path
+    /// only quantizes activations. Other backends copy verbatim.
+    pub fn for_backend(model: &Brnn<T>, backend: Backend) -> Self {
+        let quantized = backend.kind() == BackendKind::Int8;
+        let mut seed = model.clone();
+        if quantized {
+            quantize_weights(&mut seed);
+        }
         Self {
-            snapshot: RwLock::new(Arc::new(model.clone())),
+            snapshot: RwLock::new(Arc::new(seed)),
             deep_copies: AtomicU64::new(1),
+            quantized,
         }
     }
 
@@ -122,12 +157,18 @@ impl<T: Float> WeightStore<T> {
     }
 
     /// Brings the snapshot up to date with `model`. Returns `true` iff a
-    /// deep copy was made (i.e. the revisions differed).
+    /// deep copy was made (i.e. the revisions differed). Clones preserve
+    /// the revision stamp, so a quantized snapshot still compares equal to
+    /// the model it was copied from.
     pub fn sync(&self, model: &Brnn<T>) -> bool {
         if self.snapshot.read().revision() == model.revision() {
             return false;
         }
-        *self.snapshot.write() = Arc::new(model.clone());
+        let mut copy = model.clone();
+        if self.quantized {
+            quantize_weights(&mut copy);
+        }
+        *self.snapshot.write() = Arc::new(copy);
         self.deep_copies.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -293,6 +334,11 @@ pub(crate) struct ReplicaGraph<T: Float> {
     /// cell (`t = 0` forward, `t = T-1` reverse) instead of allocating a
     /// fresh zero state inside each boundary task on every replay.
     pub zero_state: Arc<CellState<T>>,
+    /// Kernel backend every forward-path task body dispatches through
+    /// (cell GEMMs, bias broadcasts, gate non-linearities, classifier
+    /// projection). [`Backend::scalar`] reproduces the reference
+    /// bit-for-bit; backward/training tasks always use the scalar oracle.
+    pub backend: Backend,
 }
 
 impl<T: Float> ReplicaGraph<T> {
@@ -302,6 +348,7 @@ impl<T: Float> ReplicaGraph<T> {
         xs: Vec<Matrix<T>>,
         weight: f64,
         regions: &mut RegionAlloc,
+        backend: Backend,
     ) -> Self {
         let cfg = weights.snapshot().config;
         let seq = xs.len();
@@ -342,6 +389,7 @@ impl<T: Float> ReplicaGraph<T> {
             zero_state: Arc::new(CellState::zeros(cfg.cell, rows, cfg.hidden_size)),
             weights,
             config: cfg,
+            backend,
         }
     }
 
@@ -482,6 +530,7 @@ impl<T: Float> ReplicaGraph<T> {
             let dst = self.st_fwd[l][t].clone();
             let zero = self.zero_state.clone();
             let rows = self.rows;
+            let be = self.backend;
             // Per-task scratch arena. A compiled task runs at most once per
             // replay and replays are separated by `taskwait`, so the lock
             // is never contended; it exists to keep the body `Fn + Sync`.
@@ -514,14 +563,14 @@ impl<T: Float> ReplicaGraph<T> {
                                 prev.with(|v| {
                                     let p = &v.expect("missing t-1 state").0;
                                     dst.write_in_place(init, |(st, cache)| {
-                                        params.forward_ws(m, p, st, cache, &mut scratch)
+                                        params.forward_ws(m, p, st, cache, &mut scratch, be)
                                     })
                                 })
                             }),
                             (Some(below), None) => below.with(|m| {
                                 let m = m.expect("missing merge");
                                 dst.write_in_place(init, |(st, cache)| {
-                                    params.forward_ws(m, &zero, st, cache, &mut scratch)
+                                    params.forward_ws(m, &zero, st, cache, &mut scratch, be)
                                 })
                             }),
                             (None, Some(prev)) => {
@@ -529,14 +578,14 @@ impl<T: Float> ReplicaGraph<T> {
                                 prev.with(|v| {
                                     let p = &v.expect("missing t-1 state").0;
                                     dst.write_in_place(init, |(st, cache)| {
-                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch)
+                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch, be)
                                     })
                                 })
                             }
                             (None, None) => {
                                 let xs = xs.read();
                                 dst.write_in_place(init, |(st, cache)| {
-                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch)
+                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch, be)
                                 })
                             }
                         }
@@ -562,6 +611,7 @@ impl<T: Float> ReplicaGraph<T> {
             let dst = self.st_rev[l][t].clone();
             let zero = self.zero_state.clone();
             let rows = self.rows;
+            let be = self.backend;
             let scratch = Arc::new(Mutex::new(Workspace::new()));
             sink.push(
                 PlanSpec::new("cell_rev")
@@ -591,14 +641,14 @@ impl<T: Float> ReplicaGraph<T> {
                                 prev.with(|v| {
                                     let p = &v.expect("missing t+1 state").0;
                                     dst.write_in_place(init, |(st, cache)| {
-                                        params.forward_ws(m, p, st, cache, &mut scratch)
+                                        params.forward_ws(m, p, st, cache, &mut scratch, be)
                                     })
                                 })
                             }),
                             (Some(below), None) => below.with(|m| {
                                 let m = m.expect("missing merge");
                                 dst.write_in_place(init, |(st, cache)| {
-                                    params.forward_ws(m, &zero, st, cache, &mut scratch)
+                                    params.forward_ws(m, &zero, st, cache, &mut scratch, be)
                                 })
                             }),
                             (None, Some(prev)) => {
@@ -606,14 +656,14 @@ impl<T: Float> ReplicaGraph<T> {
                                 prev.with(|v| {
                                     let p = &v.expect("missing t+1 state").0;
                                     dst.write_in_place(init, |(st, cache)| {
-                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch)
+                                        params.forward_ws(&xs[t], p, st, cache, &mut scratch, be)
                                     })
                                 })
                             }
                             (None, None) => {
                                 let xs = xs.read();
                                 dst.write_in_place(init, |(st, cache)| {
-                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch)
+                                    params.forward_ws(&xs[t], &zero, st, cache, &mut scratch, be)
                                 })
                             }
                         }
@@ -706,6 +756,8 @@ impl<T: Float> ReplicaGraph<T> {
                 let feat = self.feat[i].clone();
                 let out = self.logits[i].clone();
                 let rows = self.rows;
+                let be = self.backend;
+                let scratch = Arc::new(Mutex::new(Workspace::new()));
                 sink.push(
                     PlanSpec::new("dense")
                         .tag(i as u64)
@@ -713,11 +765,12 @@ impl<T: Float> ReplicaGraph<T> {
                         .outs([out.region])
                         .body(move || {
                             let model = weights.snapshot();
+                            let mut scratch = scratch.lock();
                             feat.with(|x| {
                                 let x = x.expect("missing features");
                                 out.write_in_place(
                                     || Matrix::zeros(rows, model.dense.w.cols()),
-                                    |logits| model.dense.forward_into(x, logits),
+                                    |logits| model.dense.forward_into(x, logits, &mut scratch, be),
                                 )
                             });
                         }),
@@ -1108,7 +1161,7 @@ mod tests {
     #[test]
     fn weight_store_copies_only_on_revision_change() {
         let mut model = tiny();
-        let store = WeightStore::new(&model);
+        let store = WeightStore::for_backend(&model, Backend::scalar());
         assert_eq!(store.deep_copies(), 1);
 
         // Unchanged model: sync is a no-op, the snapshot stays shared.
@@ -1128,10 +1181,10 @@ mod tests {
     #[test]
     fn replica_rejects_mismatched_inputs() {
         let model = tiny();
-        let store = Arc::new(WeightStore::new(&model));
+        let store = Arc::new(WeightStore::for_backend(&model, Backend::scalar()));
         let mut regions = RegionAlloc::default();
         let xs: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::zeros(4, 3)).collect();
-        let rep = ReplicaGraph::new(store, xs, 1.0, &mut regions);
+        let rep = ReplicaGraph::new(store, xs, 1.0, &mut regions, Backend::scalar());
         let wrong_len: Vec<Matrix<f64>> = vec![Matrix::zeros(4, 3)];
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rep.load_inputs(&wrong_len, 0, 4)

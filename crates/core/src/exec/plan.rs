@@ -20,7 +20,7 @@ use super::taskgraph::TaskGraphExec;
 use super::{check_batch, Target};
 use crate::model::{Brnn, BrnnConfig};
 use bpar_runtime::{CompiledPlan, PlanBuilder};
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::{Backend, Float, Matrix};
 use std::any::{Any, TypeId};
 use std::sync::Arc;
 
@@ -67,8 +67,16 @@ impl<T: Float> ExecPlan<T> {
     /// Builds the full graph for `batch`'s shape: replicas, task bodies,
     /// frozen dependency structure. `batch` supplies only the shape; call
     /// [`ExecPlan::load_batch`] before every run (including the first).
-    pub fn build(model: &Brnn<T>, batch: &[Matrix<T>], mbs: usize, train: bool) -> Self {
-        Self::build_with_mode(model, batch, mbs, train, BuildMode::Normal)
+    /// Forward task bodies dispatch their kernels through `backend`
+    /// (frozen into the compiled bodies — one plan, one backend).
+    pub fn build(
+        model: &Brnn<T>,
+        batch: &[Matrix<T>],
+        mbs: usize,
+        train: bool,
+        backend: Backend,
+    ) -> Self {
+        Self::build_with_mode(model, batch, mbs, train, BuildMode::Normal, backend)
     }
 
     /// [`ExecPlan::build`] with an explicit [`BuildMode`]. The sabotaged
@@ -81,11 +89,12 @@ impl<T: Float> ExecPlan<T> {
         mbs: usize,
         train: bool,
         mode: BuildMode,
+        backend: Backend,
     ) -> Self {
         let layers = model.config.layers;
         let mut regions = super::builder::RegionAlloc::default();
         let (weights, replicas, chunks) =
-            TaskGraphExec::make_replicas(mbs, model, batch, &mut regions);
+            TaskGraphExec::make_replicas(mbs, model, batch, &mut regions, backend);
         let mut b = PlanBuilder::new();
         // Same submission order as the original live path: per replica the
         // forward layers, the output stage, then (training) the backward

@@ -33,7 +33,7 @@ use super::{check_batch, ExecError, Executor, ForwardOutput, Target};
 use crate::model::{Brnn, ModelKind};
 use crate::optim::Optimizer;
 use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy};
-use bpar_tensor::{Float, Matrix};
+use bpar_tensor::{Backend, BackendKind, Float, Matrix};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,6 +50,7 @@ pub(crate) type ReplicaSet<T> = (
 pub struct TaskGraphExec {
     runtime: Runtime,
     mbs: usize,
+    backend: BackendKind,
     plans: Mutex<PlanCache>,
 }
 
@@ -61,8 +62,24 @@ impl TaskGraphExec {
     }
 
     /// Full configuration: worker count, scheduling policy, and the number
-    /// of mini-batch replicas (`mbs:N` in the paper's figures).
+    /// of mini-batch replicas (`mbs:N` in the paper's figures). Kernels
+    /// run on the scalar reference backend.
     pub fn with_config(workers: usize, policy: SchedulerPolicy, mbs: usize) -> Self {
+        Self::with_backend(workers, policy, mbs, BackendKind::Scalar)
+    }
+
+    /// [`TaskGraphExec::with_config`] plus an explicit kernel backend.
+    /// Forward/inference kernels dispatch through `backend`; training
+    /// backward passes always use the scalar oracle, and the int8 backend
+    /// is inference-only — a training graph built under
+    /// [`BackendKind::Int8`] downgrades wholly to scalar, since quantized
+    /// forward activations would corrupt the exact gradients.
+    pub fn with_backend(
+        workers: usize,
+        policy: SchedulerPolicy,
+        mbs: usize,
+        backend: BackendKind,
+    ) -> Self {
         assert!(mbs >= 1, "mbs must be at least 1");
         Self {
             runtime: Runtime::new(RuntimeConfig {
@@ -71,6 +88,7 @@ impl TaskGraphExec {
                 record_trace: true,
             }),
             mbs,
+            backend,
             plans: Mutex::new(PlanCache::default()),
         }
     }
@@ -83,6 +101,21 @@ impl TaskGraphExec {
     /// Number of mini-batch replicas.
     pub fn mbs(&self) -> usize {
         self.mbs
+    }
+
+    /// The kernel backend inference plans are built with.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The backend a plan of the given phase dispatches through: the
+    /// configured backend for inference, with int8 downgraded to scalar
+    /// for training (see [`TaskGraphExec::with_backend`]).
+    fn plan_backend(&self, train: bool) -> Backend {
+        match (train, self.backend) {
+            (true, BackendKind::Int8) => Backend::scalar(),
+            (_, kind) => Backend::of(kind),
+        }
     }
 
     /// Plan-cache counters: hits, misses, weight deep copies, build vs
@@ -119,15 +152,22 @@ impl TaskGraphExec {
         model: &Brnn<T>,
         batch: &[Matrix<T>],
         regions: &mut RegionAlloc,
+        backend: Backend,
     ) -> ReplicaSet<T> {
         let (_, rows) = check_batch(model, batch);
-        let weights = Arc::new(WeightStore::new(model));
+        let weights = Arc::new(WeightStore::for_backend(model, backend));
         let chunks = row_chunks(rows, mbs);
         let replicas = chunks
             .iter()
             .map(|&(start, count)| {
                 let xs: Vec<Matrix<T>> = batch.iter().map(|x| x.row_block(start, count)).collect();
-                ReplicaGraph::new(weights.clone(), xs, count as f64 / rows as f64, regions)
+                ReplicaGraph::new(
+                    weights.clone(),
+                    xs,
+                    count as f64 / rows as f64,
+                    regions,
+                    backend,
+                )
             })
             .collect();
         (weights, replicas, chunks)
@@ -159,7 +199,13 @@ impl TaskGraphExec {
         // Build outside the lock: plan construction is the expensive path
         // and the serve loop may poll stats from another thread.
         let t0 = Instant::now();
-        let plan = Arc::new(ExecPlan::build(model, batch, self.mbs, train));
+        let plan = Arc::new(ExecPlan::build(
+            model,
+            batch,
+            self.mbs,
+            train,
+            self.plan_backend(train),
+        ));
         let build_ns = t0.elapsed().as_nanos() as u64;
         let mut cache = self.plans.lock();
         cache.stats.build_ns += build_ns;

@@ -16,7 +16,7 @@ use bpar_core::loss::{softmax_cross_entropy, softmax_cross_entropy_into};
 use bpar_core::merge::MergeMode;
 use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
 use bpar_core::optim::Sgd;
-use bpar_tensor::{init, Matrix, Workspace};
+use bpar_tensor::{init, Backend, Matrix, Workspace};
 use proptest::prelude::*;
 
 fn assert_bits(a: &Matrix<f64>, b: &Matrix<f64>, what: &str) {
@@ -76,7 +76,7 @@ fn check_cell_shape(
     let (st_ref, cache_ref) = p.forward(&x, &prev);
     let mut st = CellState::zeros(kind, batch, hidden);
     let mut cache = CellCache::zeros(kind, batch, input, hidden);
-    p.forward_ws(&x, &prev, &mut st, &mut cache, ws);
+    p.forward_ws(&x, &prev, &mut st, &mut cache, ws, Backend::scalar());
     assert_bits(&st_ref.h, &st.h, "state h");
     match (&st_ref.c, &st.c) {
         (Some(a), Some(b)) => assert_bits(a, b, "state c"),
@@ -110,6 +110,7 @@ fn check_cell_shape(
         &mut dx,
         &mut dprev,
         ws,
+        Backend::scalar(),
     );
     assert_bits(&dx_ref, &dx, "dx");
     assert_bits(&dprev_ref.dh, &dprev.dh, "dprev.dh");
@@ -181,7 +182,7 @@ proptest! {
             let x = init::uniform(rows, input, -1.0, 1.0, s + 1);
             let logits_ref = p.forward(&x);
             let mut logits = init::uniform(rows, out_w, 5.0, 9.0, s + 2);
-            p.forward_into(&x, &mut logits);
+            p.forward_into(&x, &mut logits, &mut ws, Backend::scalar());
             assert_bits(&logits_ref, &logits, "logits");
 
             let dlogits = init::uniform(rows, out_w, -1.0, 1.0, s + 3);
@@ -189,7 +190,7 @@ proptest! {
             let dx_ref = p.backward(&x, &dlogits, &mut grads_ref);
             let mut grads = p.zeros_like();
             let mut dx = Matrix::zeros(rows, input);
-            p.backward_ws(&x, &dlogits, &mut grads, &mut dx, &mut ws);
+            p.backward_ws(&x, &dlogits, &mut grads, &mut dx, &mut ws, Backend::scalar());
             assert_bits(&dx_ref, &dx, "dense dx");
             assert_bits(&grads_ref.w, &grads.w, "dense dW");
             assert_bits(&grads_ref.b, &grads.b, "dense dB");

@@ -23,7 +23,7 @@ use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
 use bpar_core::exec::{PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
 use bpar_runtime::{FaultConfig, FaultPlan, SchedulerPolicy};
-use bpar_tensor::Float;
+use bpar_tensor::{BackendKind, Float};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -137,6 +137,12 @@ pub struct ServeConfig {
     /// (`None` = unlimited). Tenant-keyed plans make this the knob that
     /// bounds per-replica model memory under many tenants.
     pub plan_byte_budget: Option<u64>,
+    /// Kernel backend inference batches dispatch through. `Scalar` (the
+    /// default) keeps responses bit-identical to `SequentialExec`; `Simd`
+    /// is also bit-identical on the forward path but uses vector
+    /// kernels; `Int8` trades a documented quantization tolerance for
+    /// throughput (weights are quantized once per revision sync).
+    pub backend: BackendKind,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +158,7 @@ impl Default for ServeConfig {
             cancel_sheds_work: true,
             pool_byte_budget: None,
             plan_byte_budget: None,
+            backend: BackendKind::Scalar,
         }
     }
 }
@@ -164,7 +171,7 @@ impl ServeConfig {
             "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?},\
              retries={},backoff_us={},backoff_cap_us={},jitter={},\
              brk_fail={},brk_win={},brk_rec={},\
-             cancel_sheds={},pool_budget={},plan_budget={}",
+             cancel_sheds={},pool_budget={},plan_budget={},backend={}",
             self.queue_capacity,
             self.policy.name(),
             self.batch.max_batch,
@@ -182,6 +189,7 @@ impl ServeConfig {
             self.cancel_sheds_work,
             self.pool_byte_budget.unwrap_or(0),
             self.plan_byte_budget.unwrap_or(0),
+            self.backend,
         )
     }
 }
@@ -244,7 +252,7 @@ impl<T: Float> Server<T> {
         // mbs = 1 keeps each batch bit-identical to sequential execution;
         // data parallelism comes from batching requests, not splitting
         // the batch again.
-        let exec = TaskGraphExec::with_config(config.workers, config.scheduler, 1);
+        let exec = TaskGraphExec::with_backend(config.workers, config.scheduler, 1, config.backend);
         exec.set_plan_byte_budget(config.plan_byte_budget);
         // Pool capacity mirrors the plan cache's order of magnitude: a
         // bucketed batcher produces one shape per (bucket, fill) pair, a

@@ -29,9 +29,22 @@ pub fn dtanh_from_y<T: Float>(y: T) -> T {
 }
 
 /// Row-wise numerically stable softmax (subtracts the row maximum).
+///
+/// A zero-column (or zero-row) matrix is a no-op: there is nothing to
+/// normalise, and indexing the first element of an empty row would panic.
 pub fn softmax_rows<T: Float>(m: &mut Matrix<T>) {
-    for r in 0..m.rows() {
-        let row = m.row_mut(r);
+    if m.cols() == 0 {
+        return;
+    }
+    let (rows, cols) = m.shape();
+    softmax_rows_slice(m.as_mut_slice(), rows, cols);
+}
+
+/// Slice-level core of [`softmax_rows`], shared with the kernel backends.
+/// Callers guarantee `cols > 0`.
+pub(crate) fn softmax_rows_slice<T: Float>(m: &mut [T], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let row = &mut m[r * cols..(r + 1) * cols];
         let mut mx = row[0];
         for &v in row.iter() {
             mx = mx.max(v);
@@ -133,6 +146,16 @@ mod tests {
         softmax_rows(&mut b);
         assert!(a.max_abs_diff(&b) < 1e-12);
         assert!(b.all_finite());
+    }
+
+    #[test]
+    fn softmax_handles_empty_shapes() {
+        let mut zero_cols: Matrix<f64> = Matrix::zeros(3, 0);
+        softmax_rows(&mut zero_cols); // must not panic
+        assert_eq!(zero_cols.shape(), (3, 0));
+        let mut zero_rows: Matrix<f64> = Matrix::zeros(0, 4);
+        softmax_rows(&mut zero_rows);
+        assert_eq!(zero_rows.shape(), (0, 4));
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Pluggable kernel backends.
+//!
+//! The scalar kernels in [`crate::gemm`], [`crate::ops`] and
+//! [`crate::activation`] are the *reference oracle*; this module lets hot
+//! callers dispatch the same operations through a [`KernelBackend`] trait
+//! with three implementations:
+//!
+//! * [`ScalarBackend`] — the reference kernels, verbatim,
+//! * [`SimdBackend`] — `std::arch` AVX2+FMA (x86-64) / NEON (aarch64)
+//!   vector kernels behind runtime feature detection, falling back to the
+//!   scalar kernels when the ISA is absent,
+//! * [`Int8Backend`] — a symmetric per-tensor int8 quantized inference
+//!   GEMM (everything else delegates to the SIMD backend).
+//!
+//! Numerical contract (property-tested in `tests/backend_parity.rs`):
+//!
+//! * `gemm` / `gemm_tn` and every element-wise op are **bit-identical**
+//!   between scalar and SIMD — the vector kernels replicate the scalar
+//!   per-element operation order exactly (IEEE-754 FMA lanes, ascending
+//!   `p`, one accumulator flush per `KC` block).
+//! * `gemm_nt` reduces dot products across vector lanes, which
+//!   re-associates the sum; it carries a documented relative error bound
+//!   of `~k · ε` instead of bit-identity.
+//! * Transcendentals (sigmoid/tanh/softmax) use the scalar implementations
+//!   in **every** backend, so activations never diverge.
+//! * The int8 GEMM carries the quantization error bound computed by
+//!   [`int8_bound`]; its backward kernels (`gemm_nt`/`gemm_tn`) stay in
+//!   f32.
+//!
+//! `f64` matrices always take the scalar reference path regardless of the
+//! selected backend ([`crate::Float::as_f32_slice`] declines the downcast),
+//! which is what keeps `f64` gradient-check tests exact.
+
+mod quant;
+mod scalar;
+mod simd;
+
+pub use quant::{int8_bound, roundtrip_quantize, Int8Backend};
+pub use scalar::ScalarBackend;
+pub use simd::SimdBackend;
+
+use crate::activation;
+use crate::gemm as gemm_mod;
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::scalar::Float;
+use crate::workspace::{QuantScratch, Workspace};
+
+/// Which kernel backend a component should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Scalar reference kernels (the oracle; always available).
+    #[default]
+    Scalar,
+    /// Runtime-detected AVX2/NEON vector kernels with scalar fallback.
+    Simd,
+    /// Int8 per-tensor quantized inference GEMM over the SIMD backend.
+    Int8,
+}
+
+impl BackendKind {
+    /// Parses a CLI spelling (`scalar|simd|int8`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "scalar" => Some(BackendKind::Scalar),
+            "simd" => Some(BackendKind::Simd),
+            "int8" => Some(BackendKind::Int8),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Simd => "simd",
+            BackendKind::Int8 => "int8",
+        }
+    }
+
+    /// All selectable kinds, in CLI order.
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::Scalar, BackendKind::Simd, BackendKind::Int8]
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Object-safe kernel surface a backend implements over raw `f32` slices.
+///
+/// All GEMM entry points are **accumulate-only** (`C += alpha * op(A) *
+/// op(B)`): shape checks, beta scaling and degenerate-shape early returns
+/// are handled uniformly by [`Backend`] before dispatch, so every
+/// implementation sees the same preconditions (`m, n, k > 0`,
+/// `alpha != 0`, consistent slice lengths).
+pub trait KernelBackend: Sync + std::fmt::Debug {
+    /// Which selectable kind this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// True when vector instructions are actually in use (false means the
+    /// runtime detection fell back to the scalar kernels).
+    fn simd_active(&self) -> bool {
+        false
+    }
+
+    /// `C += alpha * A * B` (`A: m×k`, `B: k×n`, `C: m×n`, row-major).
+    ///
+    /// `q` is the caller's grow-only quantization scratch; only the int8
+    /// backend touches it.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_f32(
+        &self,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        q: &mut QuantScratch,
+    );
+
+    /// `C += alpha * A * Bᵀ` (`A: m×k`, `B: n×k`, `C: m×n`).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_nt_f32(
+        &self,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// `C += alpha * Aᵀ * B` (`A: k×m`, `B: k×n`, `C: m×n`).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_f32(
+        &self,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// `y += alpha * x`.
+    fn axpy_f32(&self, alpha: f32, x: &[f32], y: &mut [f32]);
+
+    /// `out = a ⊙ b`.
+    fn hadamard_f32(&self, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out += a ⊙ b`.
+    fn hadamard_add_f32(&self, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out = a + b`.
+    fn add_f32(&self, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `out = a - b`.
+    fn sub_f32(&self, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `m *= alpha`.
+    fn scale_f32(&self, alpha: f32, m: &mut [f32]);
+
+    /// Adds a `cols`-wide bias row to each of the `rows` rows of `m`.
+    fn add_bias_f32(&self, m: &mut [f32], rows: usize, cols: usize, bias: &[f32]);
+
+    /// Element-wise logistic sigmoid.
+    ///
+    /// Default: the scalar reference. Every shipped backend keeps the
+    /// default so activations are bit-exact across backends (documented
+    /// error-bound policy: only GEMMs may diverge).
+    fn sigmoid_f32(&self, m: &mut [f32]) {
+        for v in m {
+            *v = v.sigmoid();
+        }
+    }
+
+    /// Element-wise tanh (same scalar-everywhere policy as sigmoid).
+    fn tanh_f32(&self, m: &mut [f32]) {
+        for v in m {
+            *v = v.tanh();
+        }
+    }
+
+    /// Row-wise stable softmax (same scalar-everywhere policy).
+    fn softmax_rows_f32(&self, m: &mut [f32], rows: usize, cols: usize) {
+        activation::softmax_rows_slice(m, rows, cols);
+    }
+}
+
+static SCALAR_BACKEND: ScalarBackend = ScalarBackend;
+static SIMD_BACKEND: SimdBackend = SimdBackend;
+static INT8_BACKEND: Int8Backend = Int8Backend;
+
+/// A cheap, copyable handle to a [`KernelBackend`].
+///
+/// Task bodies capture this by value in their closures (it is one pointer),
+/// and generic code calls the typed methods below, which downcast `f32`
+/// data to the raw-slice trait surface and route everything else to the
+/// scalar reference kernels.
+#[derive(Clone, Copy, Debug)]
+pub struct Backend(&'static dyn KernelBackend);
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::scalar()
+    }
+}
+
+impl PartialEq for Backend {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind() == other.kind()
+    }
+}
+impl Eq for Backend {}
+
+impl Backend {
+    /// The scalar reference backend (the oracle).
+    pub fn scalar() -> Backend {
+        Backend(&SCALAR_BACKEND)
+    }
+
+    /// The runtime-detected vector backend.
+    pub fn simd() -> Backend {
+        Backend(&SIMD_BACKEND)
+    }
+
+    /// The int8 quantized inference backend.
+    pub fn int8() -> Backend {
+        Backend(&INT8_BACKEND)
+    }
+
+    /// Handle for a [`BackendKind`].
+    pub fn of(kind: BackendKind) -> Backend {
+        match kind {
+            BackendKind::Scalar => Backend::scalar(),
+            BackendKind::Simd => Backend::simd(),
+            BackendKind::Int8 => Backend::int8(),
+        }
+    }
+
+    /// The kind this handle dispatches to.
+    pub fn kind(self) -> BackendKind {
+        self.0.kind()
+    }
+
+    /// True when vector instructions are actually in use.
+    pub fn simd_active(self) -> bool {
+        self.0.simd_active()
+    }
+
+    /// `C = alpha * A * B + beta * C` through the backend.
+    ///
+    /// `ws` supplies the int8 backend's quantization scratch; the other
+    /// backends never touch it. Same shape contract as [`crate::gemm`].
+    pub fn gemm<T: Float>(
+        self,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+        ws: &mut Workspace<T>,
+    ) {
+        let (m, k) = a.shape();
+        let (kb, n) = b.shape();
+        assert_eq!(k, kb, "gemm: inner dimensions differ ({k} vs {kb})");
+        assert_eq!(c.shape(), (m, n), "gemm: C has wrong shape");
+        gemm_mod::scale_c(beta, c);
+        if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let cf = T::as_f32_slice_mut(c.as_mut_slice()).expect("same scalar type");
+            self.0
+                .gemm_f32(alpha.to_f32(), af, bf, cf, m, k, n, ws.quant_scratch());
+        } else {
+            gemm_mod::gemm_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+        }
+    }
+
+    /// `C = alpha * A * Bᵀ + beta * C` through the backend.
+    pub fn gemm_nt<T: Float>(
+        self,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+    ) {
+        let (m, k) = a.shape();
+        let (n, kb) = b.shape();
+        assert_eq!(k, kb, "gemm_nt: inner dimensions differ ({k} vs {kb})");
+        assert_eq!(c.shape(), (m, n), "gemm_nt: C has wrong shape");
+        gemm_mod::scale_c(beta, c);
+        if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let cf = T::as_f32_slice_mut(c.as_mut_slice()).expect("same scalar type");
+            self.0.gemm_nt_f32(alpha.to_f32(), af, bf, cf, m, k, n);
+        } else {
+            gemm_mod::gemm_nt_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+        }
+    }
+
+    /// `C = alpha * Aᵀ * B + beta * C` through the backend.
+    pub fn gemm_tn<T: Float>(
+        self,
+        alpha: T,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        beta: T,
+        c: &mut Matrix<T>,
+    ) {
+        let (k, m) = a.shape();
+        let (kb, n) = b.shape();
+        assert_eq!(k, kb, "gemm_tn: inner dimensions differ ({k} vs {kb})");
+        assert_eq!(c.shape(), (m, n), "gemm_tn: C has wrong shape");
+        gemm_mod::scale_c(beta, c);
+        if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let cf = T::as_f32_slice_mut(c.as_mut_slice()).expect("same scalar type");
+            self.0.gemm_tn_f32(alpha.to_f32(), af, bf, cf, m, k, n);
+        } else {
+            gemm_mod::gemm_tn_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+        }
+    }
+
+    /// `y += alpha * x` through the backend.
+    pub fn axpy<T: Float>(self, alpha: T, x: &Matrix<T>, y: &mut Matrix<T>) {
+        assert_eq!(x.shape(), y.shape(), "axpy shape mismatch");
+        if let Some(xf) = T::as_f32_slice(x.as_slice()) {
+            let yf = T::as_f32_slice_mut(y.as_mut_slice()).expect("same scalar type");
+            self.0.axpy_f32(alpha.to_f32(), xf, yf);
+        } else {
+            ops::axpy_slice(alpha, x.as_slice(), y.as_mut_slice());
+        }
+    }
+
+    /// `out = a ⊙ b` through the backend.
+    pub fn hadamard<T: Float>(self, a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+        assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+        assert_eq!(a.shape(), out.shape(), "hadamard out shape mismatch");
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let of = T::as_f32_slice_mut(out.as_mut_slice()).expect("same scalar type");
+            self.0.hadamard_f32(af, bf, of);
+        } else {
+            ops::hadamard_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+        }
+    }
+
+    /// `out += a ⊙ b` through the backend.
+    pub fn hadamard_add<T: Float>(self, a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+        assert_eq!(a.shape(), b.shape(), "hadamard_add shape mismatch");
+        assert_eq!(a.shape(), out.shape(), "hadamard_add out shape mismatch");
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let of = T::as_f32_slice_mut(out.as_mut_slice()).expect("same scalar type");
+            self.0.hadamard_add_f32(af, bf, of);
+        } else {
+            ops::hadamard_add_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+        }
+    }
+
+    /// `out = a + b` through the backend.
+    pub fn add<T: Float>(self, a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+        assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+        assert_eq!(a.shape(), out.shape(), "add out shape mismatch");
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let of = T::as_f32_slice_mut(out.as_mut_slice()).expect("same scalar type");
+            self.0.add_f32(af, bf, of);
+        } else {
+            ops::add_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+        }
+    }
+
+    /// `out = a - b` through the backend.
+    pub fn sub<T: Float>(self, a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
+        assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+        assert_eq!(a.shape(), out.shape(), "sub out shape mismatch");
+        if let (Some(af), Some(bf)) = (T::as_f32_slice(a.as_slice()), T::as_f32_slice(b.as_slice()))
+        {
+            let of = T::as_f32_slice_mut(out.as_mut_slice()).expect("same scalar type");
+            self.0.sub_f32(af, bf, of);
+        } else {
+            ops::sub_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+        }
+    }
+
+    /// `m *= alpha` through the backend.
+    pub fn scale<T: Float>(self, alpha: T, m: &mut Matrix<T>) {
+        if let Some(mf) = T::as_f32_slice_mut(m.as_mut_slice()) {
+            self.0.scale_f32(alpha.to_f32(), mf);
+        } else {
+            ops::scale_slice(alpha, m.as_mut_slice());
+        }
+    }
+
+    /// Bias-row broadcast through the backend.
+    pub fn add_bias<T: Float>(self, m: &mut Matrix<T>, bias: &Matrix<T>) {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
+        let (rows, cols) = m.shape();
+        if let Some(bf) = T::as_f32_slice(bias.as_slice()) {
+            let mf = T::as_f32_slice_mut(m.as_mut_slice()).expect("same scalar type");
+            self.0.add_bias_f32(mf, rows, cols, bf);
+        } else {
+            ops::add_bias_slice(m.as_mut_slice(), rows, cols, bias.row(0));
+        }
+    }
+
+    /// Element-wise sigmoid through the backend (scalar in every shipped
+    /// backend — see the module docs' error-bound policy).
+    pub fn sigmoid_inplace<T: Float>(self, m: &mut Matrix<T>) {
+        if let Some(mf) = T::as_f32_slice_mut(m.as_mut_slice()) {
+            self.0.sigmoid_f32(mf);
+        } else {
+            activation::sigmoid_inplace(m);
+        }
+    }
+
+    /// Element-wise tanh through the backend.
+    pub fn tanh_inplace<T: Float>(self, m: &mut Matrix<T>) {
+        if let Some(mf) = T::as_f32_slice_mut(m.as_mut_slice()) {
+            self.0.tanh_f32(mf);
+        } else {
+            activation::tanh_inplace(m);
+        }
+    }
+
+    /// Row-wise softmax through the backend.
+    pub fn softmax_rows<T: Float>(self, m: &mut Matrix<T>) {
+        let (rows, cols) = m.shape();
+        if cols == 0 {
+            return;
+        }
+        if let Some(mf) = T::as_f32_slice_mut(m.as_mut_slice()) {
+            self.0.softmax_rows_f32(mf, rows, cols);
+        } else {
+            activation::softmax_rows(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for kind in BackendKind::all() {
+            assert_eq!(BackendKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(Backend::of(kind).kind(), kind);
+        }
+        assert_eq!(BackendKind::parse("mkl"), None);
+        assert_eq!(Backend::default().kind(), BackendKind::Scalar);
+        assert_eq!(format!("{}", BackendKind::Int8), "int8");
+    }
+
+    #[test]
+    fn handles_are_copy_and_comparable() {
+        let a = Backend::simd();
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_ne!(Backend::scalar(), Backend::int8());
+    }
+
+    #[test]
+    fn f64_always_takes_the_scalar_path() {
+        // Whatever the backend, f64 dispatch must reproduce the scalar
+        // reference bit-for-bit (the downcast declines).
+        let a = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f64 * 0.25 - 3.0);
+        let b = Matrix::from_fn(7, 4, |r, c| (r * 4 + c) as f64 * 0.125 - 1.0);
+        let mut want = Matrix::zeros(5, 4);
+        crate::gemm(1.0, &a, &b, 0.0, &mut want);
+        for be in [Backend::scalar(), Backend::simd(), Backend::int8()] {
+            let mut got = Matrix::zeros(5, 4);
+            be.gemm(1.0, &a, &b, 0.0, &mut got, &mut Workspace::new());
+            for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{:?} diverged on f64", be.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_backend_matches_free_functions_bitwise_f32() {
+        let a = Matrix::from_fn(9, 11, |r, c| ((r * 11 + c) as f32).sin());
+        let b = Matrix::from_fn(11, 6, |r, c| ((r * 6 + c) as f32).cos());
+        let mut want = Matrix::from_fn(9, 6, |r, c| (r + c) as f32 * 0.5);
+        let mut got = want.clone();
+        crate::gemm(1.25f32, &a, &b, 0.75, &mut want);
+        Backend::scalar().gemm(1.25f32, &a, &b, 0.75, &mut got, &mut Workspace::new());
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! General matrix multiply kernels.
+//! General matrix multiply kernels (scalar reference implementations).
 //!
 //! Three entry points cover everything the RNN forward and backward passes
 //! need (all row-major, all computing `C = alpha * op(A) * op(B) + beta * C`):
@@ -7,23 +7,29 @@
 //! * [`gemm_nt`] — `C += A  * Bᵀ`  (input gradients: `dG * Wᵀ`)
 //! * [`gemm_tn`] — `C += Aᵀ * B`   (weight gradients: `Xᵀ * dG`)
 //!
-//! The implementation is a classic three-level cache-blocked loop nest with
+//! All three share the same classic three-level cache-blocked loop nest with
 //! a small register tile, which is enough to stay within a small constant
 //! factor of vendor BLAS for the matrix shapes RNN cells produce
 //! (`batch × (input+hidden)` times `(input+hidden) × 4·hidden`). A naive
 //! triple loop ([`gemm_naive`]) is kept as the oracle for tests.
+//!
+//! These functions are also the **reference oracle** for the vectorized and
+//! quantized implementations in [`crate::backend`]: the SIMD backend
+//! reproduces the exact per-element operation order of the `_accum` loops
+//! here (same fused multiply-adds, ascending `p`, one accumulator flush per
+//! `KC` block), which is what makes scalar/SIMD bit-identity testable.
 
 use crate::matrix::Matrix;
 use crate::scalar::Float;
 
 /// Cache-block size along the `k` (reduction) dimension.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Cache-block size along the `m` (rows of C) dimension.
-const MC: usize = 64;
+pub(crate) const MC: usize = 64;
 /// Register tile: rows of C updated per micro-kernel invocation.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Register tile: columns of C updated per micro-kernel invocation.
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 
 /// `C = alpha * A * B + beta * C`, all matrices row-major.
 ///
@@ -50,8 +56,22 @@ pub fn gemm<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut M
     if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
+    gemm_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+}
 
-    let bs = b.as_slice();
+/// Accumulate-only core of [`gemm`]: `C += alpha * A * B` over raw slices.
+///
+/// Beta-scaling, shape checks and degenerate-shape early returns are the
+/// caller's job (done identically by [`gemm`] and the backend dispatcher).
+pub(crate) fn gemm_accum<T: Float>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     // Loop order: block over k (stream panels of B through cache), then
     // block over m (keep a panel of A hot), then the register micro-kernel.
     for kk in (0..k).step_by(KC) {
@@ -62,7 +82,7 @@ pub fn gemm<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut M
                 let ilim = (i0 + MR).min(mend);
                 for j0 in (0..n).step_by(NR) {
                     let jlim = (j0 + NR).min(n);
-                    micro_kernel(alpha, a, bs, c, i0, ilim, j0, jlim, kk, kend, n);
+                    micro_kernel(alpha, a, k, b, c, i0, ilim, j0, jlim, kk, kend, n);
                 }
             }
         }
@@ -70,14 +90,17 @@ pub fn gemm<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut M
 }
 
 /// Register-tile inner kernel: updates `C[i0..ilim, j0..jlim]` with the
-/// partial product over `k in [kk, kend)`.
+/// partial product over `k in [kk, kend)`. `lda` is the row stride of `a`
+/// (`k` for the N layout, `m` for the transposed layout's column count —
+/// see [`micro_kernel_t`]).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn micro_kernel<T: Float>(
+pub(crate) fn micro_kernel<T: Float>(
     alpha: T,
-    a: &Matrix<T>,
+    a: &[T],
+    lda: usize,
     bs: &[T],
-    c: &mut Matrix<T>,
+    c: &mut [T],
     i0: usize,
     ilim: usize,
     j0: usize,
@@ -91,7 +114,7 @@ fn micro_kernel<T: Float>(
     for p in kk..kend {
         let brow = &bs[p * n + j0..p * n + jlim];
         for (di, i) in (i0..ilim).enumerate() {
-            let aval = alpha * a.as_slice()[i * a.cols() + p];
+            let aval = alpha * a[i * lda + p];
             let accr = &mut acc[di];
             for (dj, &bv) in brow.iter().enumerate() {
                 accr[dj] = aval.mul_add(bv, accr[dj]);
@@ -99,7 +122,45 @@ fn micro_kernel<T: Float>(
         }
     }
     for (di, i) in (i0..ilim).enumerate() {
-        let crow = &mut c.row_mut(i)[j0..jlim];
+        let crow = &mut c[i * n + j0..i * n + jlim];
+        for (dj, cv) in crow.iter_mut().enumerate() {
+            *cv += acc[di][dj];
+        }
+    }
+}
+
+/// Transposed-A variant of [`micro_kernel`]: `A` is stored `k×m`
+/// (so element `(i, p)` of `Aᵀ` lives at `a[p * m + i]`). Identical
+/// accumulation order otherwise.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn micro_kernel_t<T: Float>(
+    alpha: T,
+    a: &[T],
+    m: usize,
+    bs: &[T],
+    c: &mut [T],
+    i0: usize,
+    ilim: usize,
+    j0: usize,
+    jlim: usize,
+    kk: usize,
+    kend: usize,
+    n: usize,
+) {
+    let mut acc = [[T::ZERO; NR]; MR];
+    for p in kk..kend {
+        let brow = &bs[p * n + j0..p * n + jlim];
+        for (di, i) in (i0..ilim).enumerate() {
+            let aval = alpha * a[p * m + i];
+            let accr = &mut acc[di];
+            for (dj, &bv) in brow.iter().enumerate() {
+                accr[dj] = aval.mul_add(bv, accr[dj]);
+            }
+        }
+    }
+    for (di, i) in (i0..ilim).enumerate() {
+        let crow = &mut c[i * n + j0..i * n + jlim];
         for (dj, cv) in crow.iter_mut().enumerate() {
             *cv += acc[di][dj];
         }
@@ -117,27 +178,59 @@ pub fn gemm_nt<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mu
     assert_eq!(c.shape(), (m, n), "gemm_nt: C has wrong shape");
 
     scale_c(beta, c);
-    if alpha == T::ZERO {
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let brow = b.row(j);
-            let mut s = T::ZERO;
-            for p in 0..k {
-                s = arow[p].mul_add(brow[p], s);
+    gemm_nt_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+}
+
+/// Accumulate-only core of [`gemm_nt`]: `C += alpha * A * Bᵀ`, cache-blocked.
+///
+/// Each `C[i, j]` is a dot product of two contiguous rows; the tile loop
+/// keeps an `MR`-row panel of `A` hot while streaming `NR` rows of `B`.
+pub(crate) fn gemm_nt_accum<T: Float>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for kk in (0..k).step_by(KC) {
+        let kend = (kk + KC).min(k);
+        for mm in (0..m).step_by(MC) {
+            let mend = (mm + MC).min(m);
+            for i0 in (mm..mend).step_by(MR) {
+                let ilim = (i0 + MR).min(mend);
+                for j0 in (0..n).step_by(NR) {
+                    let jlim = (j0 + NR).min(n);
+                    for i in i0..ilim {
+                        let arow = &a[i * k + kk..i * k + kend];
+                        for j in j0..jlim {
+                            let brow = &b[j * k + kk..j * k + kend];
+                            let mut s = T::ZERO;
+                            for (&av, &bv) in arow.iter().zip(brow) {
+                                s = av.mul_add(bv, s);
+                            }
+                            c[i * n + j] += alpha * s;
+                        }
+                    }
+                }
             }
-            let idx = i * n + j;
-            c.as_mut_slice()[idx] += alpha * s;
         }
     }
 }
 
 /// `C = alpha * Aᵀ * B + beta * C`.
 ///
-/// Shapes: `A: k×m`, `B: k×n`, `C: m×n`. The loop order (`p` outermost)
-/// keeps all three access patterns row-contiguous.
+/// Shapes: `A: k×m`, `B: k×n`, `C: m×n`. All three access patterns stay
+/// row-contiguous inside the blocked tile loop.
+///
+/// Note: every `B` element participates in the accumulation even when the
+/// matching `Aᵀ` element is zero — `0 · inf` and `0 · NaN` must produce
+/// `NaN` exactly as [`gemm_naive`] does (a zero-skip fast path here once
+/// silently dropped non-finite operands).
 pub fn gemm_tn<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
@@ -145,20 +238,34 @@ pub fn gemm_tn<T: Float>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mu
     assert_eq!(c.shape(), (m, n), "gemm_tn: C has wrong shape");
 
     scale_c(beta, c);
-    if alpha == T::ZERO {
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
-    for p in 0..k {
-        let arow = a.row(p);
-        let brow = b.row(p);
-        for (i, &av) in arow.iter().enumerate() {
-            let f = alpha * av;
-            if f == T::ZERO {
-                continue;
-            }
-            let crow = &mut c.row_mut(i)[..n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv = f.mul_add(bv, *cv);
+    gemm_tn_accum(alpha, a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+}
+
+/// Accumulate-only core of [`gemm_tn`]: `C += alpha * Aᵀ * B` over raw
+/// slices (`a` stored `k×m`), routed through the same blocked tile loop as
+/// [`gemm_accum`] via [`micro_kernel_t`].
+pub(crate) fn gemm_tn_accum<T: Float>(
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for kk in (0..k).step_by(KC) {
+        let kend = (kk + KC).min(k);
+        for mm in (0..m).step_by(MC) {
+            let mend = (mm + MC).min(m);
+            for i0 in (mm..mend).step_by(MR) {
+                let ilim = (i0 + MR).min(mend);
+                for j0 in (0..n).step_by(NR) {
+                    let jlim = (j0 + NR).min(n);
+                    micro_kernel_t(alpha, a, m, b, c, i0, ilim, j0, jlim, kk, kend, n);
+                }
             }
         }
     }
@@ -189,8 +296,9 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * m as u64 * k as u64 * n as u64
 }
 
+/// `C *= beta`, with `beta = 0` overwriting any garbage (NaN-safe).
 #[inline]
-fn scale_c<T: Float>(beta: T, c: &mut Matrix<T>) {
+pub(crate) fn scale_c<T: Float>(beta: T, c: &mut Matrix<T>) {
     if beta == T::ZERO {
         c.fill_zero();
     } else if beta != T::ONE {
@@ -246,26 +354,62 @@ mod tests {
 
     #[test]
     fn nt_matches_naive_on_transposed_operand() {
-        let (m, k, n) = (13, 21, 8);
-        let a = mat(m, k, 4);
-        let bt = mat(n, k, 5); // B stored transposed: n×k
-        let mut c1 = Matrix::zeros(m, n);
-        gemm_nt(2.0, &a, &bt, 0.0, &mut c1);
-        let mut c2 = Matrix::zeros(m, n);
-        gemm_naive(2.0, &a, &bt.transposed(), 0.0, &mut c2);
-        assert_close(&c1, &c2, 1e-10);
+        for &(m, k, n) in &[(13, 21, 8), (3, 300, 17), (65, 7, 9)] {
+            let a = mat(m, k, 4);
+            let bt = mat(n, k, 5); // B stored transposed: n×k
+            let mut c1 = Matrix::zeros(m, n);
+            gemm_nt(2.0, &a, &bt, 0.0, &mut c1);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_naive(2.0, &a, &bt.transposed(), 0.0, &mut c2);
+            assert_close(&c1, &c2, 1e-10);
+        }
     }
 
     #[test]
     fn tn_matches_naive_on_transposed_operand() {
-        let (m, k, n) = (9, 31, 14);
-        let at = mat(k, m, 6); // A stored transposed: k×m
-        let b = mat(k, n, 7);
-        let mut c1 = mat(m, n, 8);
-        let mut c2 = c1.clone();
-        gemm_tn(0.7, &at, &b, 1.0, &mut c1);
-        gemm_naive(0.7, &at.transposed(), &b, 1.0, &mut c2);
-        assert_close(&c1, &c2, 1e-10);
+        for &(m, k, n) in &[(9, 31, 14), (5, 300, 17), (66, 70, 3)] {
+            let at = mat(k, m, 6); // A stored transposed: k×m
+            let b = mat(k, n, 7);
+            let mut c1 = mat(m, n, 8);
+            let mut c2 = c1.clone();
+            gemm_tn(0.7, &at, &b, 1.0, &mut c1);
+            gemm_naive(0.7, &at.transposed(), &b, 1.0, &mut c2);
+            assert_close(&c1, &c2, 1e-10);
+        }
+    }
+
+    /// Regression for the old `if f == 0 { continue; }` fast path: a zero in
+    /// `Aᵀ` against a non-finite element of `B` must produce NaN exactly
+    /// like the naive oracle (`0 · inf = NaN`), not silently skip it.
+    #[test]
+    fn tn_propagates_nonfinite_through_zero_rows() {
+        let (m, k, n) = (3usize, 4usize, 5usize);
+        let mut at = mat(k, m, 9);
+        at.set(1, 0, 0.0); // Aᵀ[0, 1] = 0 pairs with B row 1
+        at.set(2, 2, 0.0);
+        let mut b = mat(k, n, 10);
+        b.set(1, 3, f64::INFINITY);
+        b.set(2, 0, f64::NAN);
+        let mut c1 = Matrix::zeros(m, n);
+        gemm_tn(1.0, &at, &b, 0.0, &mut c1);
+        let mut c2 = Matrix::zeros(m, n);
+        gemm_naive(1.0, &at.transposed(), &b, 0.0, &mut c2);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(
+                    c1.get(i, j).is_nan(),
+                    c2.get(i, j).is_nan(),
+                    "NaN placement diverges from oracle at ({i},{j})"
+                );
+                if c2.get(i, j).is_infinite() {
+                    assert_eq!(c1.get(i, j), c2.get(i, j), "inf sign at ({i},{j})");
+                } else if !c2.get(i, j).is_nan() {
+                    assert!((c1.get(i, j) - c2.get(i, j)).abs() < 1e-10);
+                }
+            }
+        }
+        // The oracle really does see NaN where the zero met the infinity.
+        assert!(c2.get(0, 3).is_nan(), "test must exercise the 0·inf path");
     }
 
     #[test]
@@ -309,6 +453,44 @@ mod tests {
         let mut c = Matrix::full(3, 2, 5.0);
         gemm(1.0, &a, &b, 1.0, &mut c); // k = 0: C unchanged
         assert!(c.as_slice().iter().all(|&v| v == 5.0));
+    }
+
+    /// The transpose variants get the same degenerate-shape guarantees as
+    /// [`gemm`]: zero-row / zero-col / zero-k products are no-ops (beyond
+    /// the beta scaling) and must not panic.
+    #[test]
+    fn empty_dims_are_noops_for_transpose_variants() {
+        // m = 0.
+        let a: Matrix<f64> = Matrix::zeros(0, 4);
+        let bt: Matrix<f64> = Matrix::zeros(2, 4);
+        let mut c: Matrix<f64> = Matrix::zeros(0, 2);
+        gemm_nt(1.0, &a, &bt, 0.0, &mut c);
+        let at: Matrix<f64> = Matrix::zeros(4, 0);
+        let b: Matrix<f64> = Matrix::zeros(4, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(0, 2);
+        gemm_tn(1.0, &at, &b, 0.0, &mut c);
+
+        // n = 0.
+        let a: Matrix<f64> = Matrix::zeros(3, 4);
+        let bt: Matrix<f64> = Matrix::zeros(0, 4);
+        let mut c: Matrix<f64> = Matrix::zeros(3, 0);
+        gemm_nt(1.0, &a, &bt, 0.0, &mut c);
+        let at: Matrix<f64> = Matrix::zeros(4, 3);
+        let b: Matrix<f64> = Matrix::zeros(4, 0);
+        let mut c: Matrix<f64> = Matrix::zeros(3, 0);
+        gemm_tn(1.0, &at, &b, 0.0, &mut c);
+
+        // k = 0: C only sees the beta scaling.
+        let a: Matrix<f64> = Matrix::zeros(3, 0);
+        let bt: Matrix<f64> = Matrix::zeros(2, 0);
+        let mut c = Matrix::full(3, 2, 5.0);
+        gemm_nt(1.0, &a, &bt, 1.0, &mut c);
+        assert!(c.as_slice().iter().all(|&v| v == 5.0));
+        let at: Matrix<f64> = Matrix::zeros(0, 3);
+        let b: Matrix<f64> = Matrix::zeros(0, 2);
+        let mut c = Matrix::full(3, 2, 5.0);
+        gemm_tn(1.0, &at, &b, 0.5, &mut c);
+        assert!(c.as_slice().iter().all(|&v| v == 2.5));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * [`ops`] — element-wise kernels (Hadamard products, axpy, bias
 //!   broadcast, reductions),
 //! * [`activation`] — sigmoid/tanh/softmax and their derivatives,
-//! * [`init`] — deterministic, seedable weight initialisation.
+//! * [`init`] — deterministic, seedable weight initialisation,
+//! * [`backend`] — pluggable kernel backends: the scalar reference oracle,
+//!   runtime-detected AVX2/NEON vector kernels, and a symmetric per-tensor
+//!   int8 quantized inference GEMM.
 //!
 //! All kernels are sequential by design: in the B-Par execution model,
 //! parallelism comes from running many *tasks* (cell updates) concurrently,
@@ -20,6 +23,7 @@
 
 pub mod activation;
 pub mod alloc_track;
+pub mod backend;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
@@ -28,7 +32,11 @@ pub mod scalar;
 pub mod workspace;
 
 pub use alloc_track::CountingAlloc;
+pub use backend::{
+    int8_bound, roundtrip_quantize, Backend, BackendKind, Int8Backend, KernelBackend,
+    ScalarBackend, SimdBackend,
+};
 pub use gemm::{gemm, gemm_naive, gemm_nt, gemm_tn};
 pub use matrix::Matrix;
 pub use scalar::Float;
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{QuantScratch, Workspace, WorkspaceStats};

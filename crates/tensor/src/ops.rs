@@ -13,7 +13,12 @@ use crate::scalar::Float;
 /// Panics on shape mismatch.
 pub fn axpy<T: Float>(alpha: T, x: &Matrix<T>, y: &mut Matrix<T>) {
     assert_eq!(x.shape(), y.shape(), "axpy shape mismatch");
-    for (yv, &xv) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+    axpy_slice(alpha, x.as_slice(), y.as_mut_slice());
+}
+
+/// Slice-level core of [`axpy`], shared with the kernel backends.
+pub(crate) fn axpy_slice<T: Float>(alpha: T, x: &[T], y: &mut [T]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
         *yv = alpha.mul_add(xv, *yv);
     }
 }
@@ -22,12 +27,12 @@ pub fn axpy<T: Float>(alpha: T, x: &Matrix<T>, y: &mut Matrix<T>) {
 pub fn hadamard<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
     assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
     assert_eq!(a.shape(), out.shape(), "hadamard out shape mismatch");
-    for ((o, &x), &y) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
+    hadamard_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
+/// Slice-level core of [`hadamard`], shared with the kernel backends.
+pub(crate) fn hadamard_slice<T: Float>(a: &[T], b: &[T], out: &mut [T]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x * y;
     }
 }
@@ -36,12 +41,12 @@ pub fn hadamard<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
 pub fn hadamard_add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
     assert_eq!(a.shape(), b.shape(), "hadamard_add shape mismatch");
     assert_eq!(a.shape(), out.shape(), "hadamard_add out shape mismatch");
-    for ((o, &x), &y) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
+    hadamard_add_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
+/// Slice-level core of [`hadamard_add`], shared with the kernel backends.
+pub(crate) fn hadamard_add_slice<T: Float>(a: &[T], b: &[T], out: &mut [T]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x.mul_add(y, *o);
     }
 }
@@ -52,9 +57,14 @@ pub fn hadamard_add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>)
 pub fn add_bias<T: Float>(m: &mut Matrix<T>, bias: &Matrix<T>) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
-    let b = bias.row(0);
-    for r in 0..m.rows() {
-        for (v, &bv) in m.row_mut(r).iter_mut().zip(b) {
+    let (rows, cols) = m.shape();
+    add_bias_slice(m.as_mut_slice(), rows, cols, bias.row(0));
+}
+
+/// Slice-level core of [`add_bias`], shared with the kernel backends.
+pub(crate) fn add_bias_slice<T: Float>(m: &mut [T], rows: usize, cols: usize, bias: &[T]) {
+    for r in 0..rows {
+        for (v, &bv) in m[r * cols..(r + 1) * cols].iter_mut().zip(bias) {
             *v += bv;
         }
     }
@@ -87,12 +97,12 @@ pub fn column_sums_into<T: Float>(m: &Matrix<T>, out: &mut Matrix<T>) {
 pub fn add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
     assert_eq!(a.shape(), b.shape(), "add shape mismatch");
     assert_eq!(a.shape(), out.shape(), "add out shape mismatch");
-    for ((o, &x), &y) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
+    add_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
+/// Slice-level core of [`add`], shared with the kernel backends.
+pub(crate) fn add_slice<T: Float>(a: &[T], b: &[T], out: &mut [T]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x + y;
     }
 }
@@ -101,19 +111,24 @@ pub fn add<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
 pub fn sub<T: Float>(a: &Matrix<T>, b: &Matrix<T>, out: &mut Matrix<T>) {
     assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
     assert_eq!(a.shape(), out.shape(), "sub out shape mismatch");
-    for ((o, &x), &y) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
+    sub_slice(a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
+/// Slice-level core of [`sub`], shared with the kernel backends.
+pub(crate) fn sub_slice<T: Float>(a: &[T], b: &[T], out: &mut [T]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
         *o = x - y;
     }
 }
 
 /// Scales every element of `m` by `alpha` in place.
 pub fn scale<T: Float>(alpha: T, m: &mut Matrix<T>) {
-    for v in m.as_mut_slice() {
+    scale_slice(alpha, m.as_mut_slice());
+}
+
+/// Slice-level core of [`scale`], shared with the kernel backends.
+pub(crate) fn scale_slice<T: Float>(alpha: T, m: &mut [T]) {
+    for v in m {
         *v *= alpha;
     }
 }

@@ -78,6 +78,37 @@ pub trait Float:
     /// Fused multiply-add where the platform provides one.
     fn mul_add(self, a: Self, b: Self) -> Self;
 
+    /// Narrowing conversion to `f32` (exact when `Self = f32`).
+    fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Reinterprets a slice of `Self` as `&[f32]` when `Self` *is* `f32`.
+    ///
+    /// This is the monomorphization escape hatch the kernel backends use:
+    /// vector and quantized kernels are written once against `f32`, and
+    /// generic code downcasts through here (`None` for `f64`, which always
+    /// takes the scalar reference path).
+    fn as_f32_slice(s: &[Self]) -> Option<&[f32]> {
+        if std::any::TypeId::of::<Self>() == std::any::TypeId::of::<f32>() {
+            // SAFETY: TypeId equality proves `Self` is exactly `f32`, so the
+            // slice has identical layout, alignment and lifetime.
+            Some(unsafe { &*(s as *const [Self] as *const [f32]) })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable counterpart of [`Float::as_f32_slice`].
+    fn as_f32_slice_mut(s: &mut [Self]) -> Option<&mut [f32]> {
+        if std::any::TypeId::of::<Self>() == std::any::TypeId::of::<f32>() {
+            // SAFETY: see `as_f32_slice`; exclusivity carries over unchanged.
+            Some(unsafe { &mut *(s as *mut [Self] as *mut [f32]) })
+        } else {
+            None
+        }
+    }
+
     /// Numerically stable logistic function `1 / (1 + e^-x)`.
     ///
     /// Implemented here (rather than in `activation`) so both precisions
@@ -186,5 +217,20 @@ mod tests {
     fn min_max() {
         assert_eq!(Float::max(1.0f32, 2.0), 2.0);
         assert_eq!(Float::min(1.0f32, 2.0), 1.0);
+    }
+
+    #[test]
+    fn f32_downcast_is_identity_and_f64_declines() {
+        let xs = [1.0f32, -2.5, 3.25];
+        let view = f32::as_f32_slice(&xs).expect("f32 must downcast");
+        assert_eq!(view, &xs[..]);
+        let mut ys = [0.0f32; 2];
+        f32::as_f32_slice_mut(&mut ys).expect("f32 must downcast")[1] = 7.0;
+        assert_eq!(ys, [0.0, 7.0]);
+
+        let zs = [1.0f64, 2.0];
+        assert!(f64::as_f32_slice(&zs).is_none());
+        let mut zm = [1.0f64];
+        assert!(f64::as_f32_slice_mut(&mut zm).is_none());
     }
 }
