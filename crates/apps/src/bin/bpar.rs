@@ -23,8 +23,13 @@
 //!                                                 multi-replica fleet tier)
 //! bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
 //!                   [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
-//!                   [--seed-bug] [--out PATH]     verify dependency clauses and
-//!                                                 graph structure; exit 1 on findings
+//!                   [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
+//!                   [--explore-max-tasks N] [--explore-max-schedules N]
+//!                   [--format text|json] [--out PATH]
+//!                                                 verify dependency clauses, graph
+//!                                                 structure, happens-before races,
+//!                                                 lock discipline and schedule
+//!                                                 invariance; exit 1 on findings
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI-crate dependency); every
@@ -97,20 +102,33 @@ USAGE:
                     [--backend scalar|simd|int8]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
                     [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
-                    [--fuzz-seeds a,b,c] [--seed-bug] [--out PATH]";
+                    [--fuzz-seeds a,b,c]
+                    [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
+                    [--explore-max-tasks N] [--explore-max-schedules N]
+                    [--format text|json] [--out PATH]";
 
 type Flags = HashMap<String, String>;
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument `{a}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "barriers" | "inference" | "seed-bug") {
+        if matches!(name, "barriers" | "inference") {
             out.insert(name.into(), "true".into());
+            continue;
+        }
+        // `--seed-bug` takes an optional bug name; bare means the
+        // original missing-clause fixture.
+        if name == "seed-bug" {
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "missing-clause".into(),
+            };
+            out.insert(name.into(), value);
             continue;
         }
         let value = it
@@ -339,7 +357,7 @@ fn simulate_cmd(opts: &Flags) -> Result<(), String> {
 }
 
 fn analyze_cmd(opts: &Flags) -> Result<(), String> {
-    use bpar_core::analyze::{analyze, AnalyzeOptions};
+    use bpar_core::analyze::{analyze, AnalyzeOptions, SeedBug};
 
     let kind = match opts.get("kind").map(String::as_str) {
         None | Some("m2o") => ModelKind::ManyToOne,
@@ -353,6 +371,22 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
             .map(|s| s.trim().parse().map_err(|_| format!("bad seed `{s}`")))
             .collect::<Result<_, _>>()?,
     };
+    let seed_bug = match opts.get("seed-bug").map(String::as_str) {
+        None => None,
+        Some("missing-clause") => Some(SeedBug::MissingClause),
+        Some("dropped-edge") => Some(SeedBug::DroppedEdge),
+        Some("cross-epoch-race") => Some(SeedBug::CrossEpochRace),
+        Some(other) => {
+            return Err(format!(
+                "--seed-bug expects missing-clause|dropped-edge|cross-epoch-race, got `{other}`"
+            ))
+        }
+    };
+    let format = opts.get("format").map(String::as_str).unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format expects text|json, got `{format}`"));
+    }
+    let defaults = AnalyzeOptions::default();
     let analyze_opts = AnalyzeOptions {
         config: BrnnConfig {
             cell: get_cell(opts)?,
@@ -367,9 +401,16 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
         rows: get_usize(opts, "batch", 4)?,
         mbs: get_usize(opts, "mbs", 1)?,
         train: !opts.contains_key("inference"),
-        seed_bug: opts.contains_key("seed-bug"),
+        seed_bug,
         fuzz_seeds,
         model_seed: get_usize(opts, "seed", 7)? as u64,
+        explore_max_tasks: get_usize(opts, "explore-max-tasks", defaults.explore_max_tasks)?,
+        explore_max_schedules: get_usize(
+            opts,
+            "explore-max-schedules",
+            defaults.explore_max_schedules,
+        )?,
+        ..defaults
     };
 
     let report = analyze(&analyze_opts);
@@ -383,35 +424,43 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
     }
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
 
-    for g in &report.graphs {
-        println!(
-            "{:<18} {:>5} tasks {:>5} edges {:>3} findings",
-            g.name,
-            g.metrics.tasks,
-            g.metrics.edges,
-            g.findings.len()
-        );
-        for f in &g.findings {
-            let task = f
-                .task
-                .map(|t| format!(" task {t} ({})", f.label))
-                .unwrap_or_default();
-            let region = f
-                .region
-                .as_deref()
-                .map(|r| format!(" region {r}"))
-                .unwrap_or_default();
-            println!("  [{}]{task}{region}: {}", f.check, f.detail);
+    if format == "json" {
+        // Machine mode: the byte-deterministic report itself, nothing
+        // else, so CI can `cmp` two same-seed runs.
+        println!("{json}");
+    } else {
+        for g in &report.graphs {
+            println!(
+                "{:<18} {:>5} tasks {:>5} edges {:>3} findings",
+                g.name,
+                g.metrics.tasks,
+                g.metrics.edges,
+                g.findings.len()
+            );
+            for f in &g.findings {
+                let task = f
+                    .task
+                    .map(|t| format!(" task {t} ({})", f.label))
+                    .unwrap_or_default();
+                let region = f
+                    .region
+                    .as_deref()
+                    .map(|r| format!(" region {r}"))
+                    .unwrap_or_default();
+                println!("  [{} {}]{task}{region}: {}", f.code, f.check, f.detail);
+            }
         }
+        println!("[written {out}]");
     }
-    println!("[written {out}]");
     if report.errors > 0 {
         return Err(format!(
             "{} gating finding(s) — the dependency clauses or graph structure are unsound",
             report.errors
         ));
     }
-    println!("clean: every prong passed (clauses sound, schedules bit-identical)");
+    if format == "text" {
+        println!("clean: every prong passed (clauses sound, schedules bit-identical)");
+    }
     Ok(())
 }
 

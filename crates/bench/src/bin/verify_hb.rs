@@ -1,0 +1,144 @@
+//! Measures the full `bpar analyze` soundness pipeline on small configs.
+//!
+//! Each row runs the complete analysis — static shape checks, clause
+//! validation, the happens-before race engine, lock discipline, and the
+//! schedule prong (exhaustive exploration under the task budget,
+//! fingerprint fuzzing above it) — and reports wall time plus the
+//! exploration statistics. Seeded-bug rows double as a regression
+//! record: the `codes` column must keep showing exactly the designated
+//! detector's finding code (`BPV301` for the dropped edge, `BPV401` for
+//! the cross-epoch alias).
+//!
+//! Usage: `cargo run --release -p bpar-bench --bin verify_hb`
+
+use bpar_bench::{print_table, write_json};
+use bpar_core::analyze::{analyze, AnalyzeOptions, SeedBug};
+use bpar_core::model::{BrnnConfig, ModelKind};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct VerifyRow {
+    name: String,
+    tasks: usize,
+    edges: usize,
+    analyze_ms: f64,
+    explored_schedules: usize,
+    pruned_branches: usize,
+    explore_complete: bool,
+    errors: usize,
+    codes: Vec<String>,
+}
+
+fn small(kind: ModelKind) -> BrnnConfig {
+    BrnnConfig {
+        layers: 1,
+        seq_len: 2,
+        input_size: 4,
+        hidden_size: 4,
+        output_size: 3,
+        kind,
+        ..BrnnConfig::default()
+    }
+}
+
+fn run(name: &str, opts: &AnalyzeOptions) -> VerifyRow {
+    let t0 = Instant::now();
+    let report = analyze(opts);
+    let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let plan = report
+        .graphs
+        .iter()
+        .find(|g| g.name == "static-plan")
+        .expect("static-plan section");
+    let explore = report.graphs.iter().find(|g| g.name == "schedule-explore");
+    let codes: BTreeSet<String> = report
+        .graphs
+        .iter()
+        .flat_map(|g| g.findings.iter().map(|f| f.code.clone()))
+        .collect();
+
+    VerifyRow {
+        name: name.into(),
+        tasks: plan.metrics.tasks,
+        edges: plan.metrics.edges,
+        analyze_ms,
+        explored_schedules: explore.map_or(0, |g| g.metrics.explored_schedules),
+        pruned_branches: explore.map_or(0, |g| g.metrics.pruned_branches),
+        explore_complete: explore.is_some_and(|g| g.metrics.explore_complete == 1),
+        errors: report.errors,
+        codes: codes.into_iter().collect(),
+    }
+}
+
+fn main() {
+    let rows = vec![
+        run(
+            "clean-inference-small",
+            &AnalyzeOptions {
+                config: small(ModelKind::ManyToOne),
+                train: false,
+                ..AnalyzeOptions::default()
+            },
+        ),
+        run(
+            "clean-train-fig2",
+            &AnalyzeOptions {
+                train: true,
+                ..AnalyzeOptions::default()
+            },
+        ),
+        run(
+            "clean-inference-fig2",
+            &AnalyzeOptions {
+                train: false,
+                explore_max_tasks: 32,
+                ..AnalyzeOptions::default()
+            },
+        ),
+        run(
+            "seeded-dropped-edge",
+            &AnalyzeOptions {
+                config: small(ModelKind::ManyToMany),
+                train: true,
+                seed_bug: Some(SeedBug::DroppedEdge),
+                ..AnalyzeOptions::default()
+            },
+        ),
+        run(
+            "seeded-cross-epoch-race",
+            &AnalyzeOptions {
+                config: small(ModelKind::ManyToOne),
+                train: false,
+                seed_bug: Some(SeedBug::CrossEpochRace),
+                ..AnalyzeOptions::default()
+            },
+        ),
+    ];
+
+    print_table(
+        "soundness pipeline cost and coverage (rows=4, seed 7)",
+        &[
+            "config", "tasks", "edges", "ms", "explored", "pruned", "complete", "errors", "codes",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.tasks.to_string(),
+                    r.edges.to_string(),
+                    format!("{:.1}", r.analyze_ms),
+                    r.explored_schedules.to_string(),
+                    r.pruned_branches.to_string(),
+                    r.explore_complete.to_string(),
+                    r.errors.to_string(),
+                    r.codes.join(","),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    write_json("verify_hb_small", &rows);
+}

@@ -2,32 +2,58 @@
 //! `bpar-verify` prongs over them.
 //!
 //! `bpar-verify` holds the analyses (structural lints, the closed-form
-//! Fig. 2 shape check, the clause differ, output fingerprinting) but knows
-//! nothing about BRNNs; this module supplies the subjects. For one model
-//! configuration it:
+//! Fig. 2 shape check, the clause differ, the happens-before race engine,
+//! the schedule explorer, output fingerprinting) but knows nothing about
+//! BRNNs; this module supplies the subjects. For one model configuration
+//! it:
 //!
 //! 1. compiles the live executor's [`ExecPlan`] and lints both that plan
 //!    and the simulator's [`crate::graphgen::build_graph`] twin, checking
 //!    both against the closed-form shape;
 //! 2. replays the plan once on a single-worker FIFO runtime with the
-//!    access recorder installed and diffs every task's *observed* region
-//!    accesses against its *declared* `in`/`out` clauses;
-//! 3. replays the same plan under adversarial ready-queue orders
-//!    ([`bpar_verify::fuzz_policies`]) and fingerprints the outputs —
-//!    every legal topological order of a sound graph must produce
-//!    identical bits, so any divergence (or schedule-dependent panic) is
-//!    a concrete race witness.
+//!    access recorder and lock witness installed, then
+//!    * diffs every task's *observed* region accesses against its
+//!      *declared* `in`/`out` clauses (`clause-validation`),
+//!    * classifies every conflicting access pair as ordered-by-an-edge or
+//!      a race via the plan's happens-before relation (`happens-before`),
+//!    * lints the witnessed lock-acquisition-order graph
+//!      (`lock-discipline`);
+//! 3. re-executes the plan under other schedules and fingerprints the
+//!    outputs — every legal topological order of a sound graph must
+//!    produce identical bits. Small plans (at most
+//!    [`AnalyzeOptions::explore_max_tasks`] tasks) get *exhaustive*
+//!    enumeration of all dependency-consistent orders with
+//!    persistent-set + sleep-set pruning (`schedule-explore`); larger
+//!    plans fall back to the adversarial policy sample
+//!    ([`bpar_verify::fuzz_policies`], `schedule-fuzz`).
 //!
-//! [`AnalyzeOptions::seed_bug`] rebuilds the plan with
-//! [`BuildMode::MissingStateClause`] — one dropped `in` clause, body
-//! untouched — as an end-to-end detector check: the clause validator must
-//! name the missing region and the fuzzer must produce a divergence
-//! witness, while the default FIFO schedule still happens to run clean.
+//! [`AnalyzeOptions::seed_bug`] rebuilds the plan with one of the
+//! [`SeedBug`] fixtures — each a realistic bug class that exactly one
+//! prong can witness, proving the prongs are not redundant:
+//!
+//! * [`SeedBug::MissingClause`] — a dropped `in` clause; caught by the
+//!   clause differ (`BPV201`) and by schedule fuzzing (`BPV212`).
+//! * [`SeedBug::DroppedEdge`] — clauses intact, one compiled edge
+//!   surgically removed; invisible to the clause differ and (because the
+//!   reordered bodies commute bitwise) to fingerprint fuzzing — only the
+//!   happens-before engine sees the unordered conflicting pair
+//!   (`BPV301`).
+//! * [`SeedBug::CrossEpochRace`] — two region ids aliasing one physical
+//!   buffer; clauses and happens-before are region-keyed and stay clean —
+//!   only exhaustive exploration, whose conflicts are keyed on observed
+//!   *physical sites*, reaches a schedule whose fingerprint diverges
+//!   (`BPV401`).
+//!
+//! Fault injection ([`AnalyzeOptions::fault`]) and cooperative
+//! cancellation ([`AnalyzeOptions::cancel`]) can be layered onto the
+//! recorded replay to prove the analyses do not false-positive on
+//! *expected* incompleteness: injected panics and cancelled epochs gate
+//! the completion-dependent lints instead of tripping them.
 //!
 //! Everything is deterministic: the model is seeded, the batch is a
 //! hash-filled tensor, single-worker replays are schedule-deterministic,
-//! and findings are sorted — the JSON report is byte-identical across
-//! reruns.
+//! fault plans are seeded draws, and findings are sorted — the JSON
+//! report is byte-identical across reruns.
 
 use crate::cell::CellParams;
 use crate::exec::builder::BuildMode;
@@ -36,14 +62,44 @@ use crate::exec::taskgraph::{collect_logits, row_chunks};
 use crate::exec::Target;
 use crate::graphgen::{build_graph, GraphSpec, Phase};
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, ModelKind};
-use bpar_runtime::{AccessRecorder, RegionId, Runtime, RuntimeConfig, SchedulerPolicy};
+use bpar_runtime::lockwitness::{self, LockWitness};
+use bpar_runtime::validate::AccessEvent;
+use bpar_runtime::{
+    AccessRecorder, CancelCell, FaultConfig, FaultPlan, RegionId, Runtime, RuntimeConfig,
+    SchedulerPolicy,
+};
 use bpar_tensor::{Backend, Float, Matrix};
 use bpar_verify::{
-    check_shape, collect_metrics, policy_name, run_lints, validate_clauses, AnalysisReport,
-    Finding, Fnv64, GraphReport, GraphView, ShapeSpec,
+    check_happens_before, check_lock_discipline, check_shape, collect_metrics, explore_schedules,
+    policy_name, run_lints, validate_clauses, AnalysisReport, ExploreBudget, Finding, Fnv64,
+    GraphReport, GraphView, ReplayOutcome, ShapeSpec,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// A deliberately seeded bug class, each the exclusive prey of one
+/// analysis prong (see the module docs for the exclusivity argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedBug {
+    /// Drop one `in` clause ([`BuildMode::MissingStateClause`]).
+    MissingClause,
+    /// Remove one compiled edge, clauses intact
+    /// ([`BuildMode::DroppedEdge`]).
+    DroppedEdge,
+    /// Alias one buffer under two region ids
+    /// ([`BuildMode::CrossEpochRace`]).
+    CrossEpochRace,
+}
+
+impl SeedBug {
+    fn mode(self) -> BuildMode {
+        match self {
+            SeedBug::MissingClause => BuildMode::MissingStateClause,
+            SeedBug::DroppedEdge => BuildMode::DroppedEdge,
+            SeedBug::CrossEpochRace => BuildMode::CrossEpochRace,
+        }
+    }
+}
 
 /// What to analyze: one model configuration and batch shape.
 #[derive(Debug, Clone)]
@@ -57,14 +113,28 @@ pub struct AnalyzeOptions {
     /// Analyze the training graph (loss + backward + reductions) instead
     /// of inference.
     pub train: bool,
-    /// Build the plan with one deliberately dropped `in` clause
-    /// ([`BuildMode::MissingStateClause`]) to prove the detectors fire.
-    pub seed_bug: bool,
+    /// Build the plan with one deliberately seeded bug to prove the
+    /// detectors fire (each [`SeedBug`] targets a different prong).
+    pub seed_bug: Option<SeedBug>,
     /// Seeds for the random adversarial schedules (on top of the always-on
-    /// FIFO and reverse orders).
+    /// FIFO and reverse orders) when the fuzz fallback runs.
     pub fuzz_seeds: Vec<u64>,
     /// Model weight initialisation seed.
     pub model_seed: u64,
+    /// Plans with at most this many tasks get exhaustive schedule
+    /// exploration instead of policy fuzzing.
+    pub explore_max_tasks: usize,
+    /// Hard cap on replayed schedules during exploration; hitting it
+    /// truncates the proof (reported, never silent).
+    pub explore_max_schedules: usize,
+    /// Run the recorded replay under seeded fault injection. Injected
+    /// panics are *expected*: they gate completion-dependent lints and
+    /// suppress the schedule prongs rather than producing findings.
+    pub fault: Option<FaultConfig>,
+    /// Claim a cancel token before the recorded replay: every body is
+    /// skipped, the epoch completes without error, and the analyses must
+    /// stay silent about the (expected) emptiness.
+    pub cancel: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -81,25 +151,27 @@ impl Default for AnalyzeOptions {
             rows: 4,
             mbs: 1,
             train: true,
-            seed_bug: false,
+            seed_bug: None,
             fuzz_seeds: vec![42, 1337],
             model_seed: 7,
+            explore_max_tasks: 12,
+            explore_max_schedules: 4096,
+            fault: None,
+            cancel: false,
         }
     }
 }
 
 /// Runs every prong over the configured graph and returns the combined
-/// report: sections `static-plan`, `static-graphgen`, `clause-validation`
-/// and `schedule-fuzz`.
+/// report: sections `static-plan`, `static-graphgen`, `clause-validation`,
+/// `happens-before`, `lock-discipline` and — unless fault/cancel
+/// injection is active — either `schedule-explore` (small plans) or
+/// `schedule-fuzz`.
 pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
     let model = Brnn::<f64>::new(opts.config, opts.model_seed);
     let batch = synth_batch(&opts.config, opts.rows);
     let target = synth_target(&opts.config, opts.rows);
-    let mode = if opts.seed_bug {
-        BuildMode::MissingStateClause
-    } else {
-        BuildMode::Normal
-    };
+    let mode = opts.seed_bug.map_or(BuildMode::Normal, SeedBug::mode);
     let plan = ExecPlan::build_with_mode(
         &model,
         &batch,
@@ -127,10 +199,18 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
         training: opts.train,
     };
 
-    // Prong 1a: structural lints + shape over the compiled plan.
+    // Prong 1a: structural lints + shape over the compiled plan. The
+    // seeded graph-surgery bugs change the compiled shape by a known
+    // delta; compensate so the shape check stays a pure Fig. 2 gate and
+    // the seeded bug is caught by its *designated* prong only.
     let plan_view = GraphView::from_plan(&plan.compiled);
+    let (shape_tasks, shape_edges) = match opts.seed_bug {
+        Some(SeedBug::DroppedEdge) => (plan_view.len(), plan_view.edge_count() + 1),
+        Some(SeedBug::CrossEpochRace) => (plan_view.len() - 1, plan_view.edge_count() - 1),
+        _ => (plan_view.len(), plan_view.edge_count()),
+    };
     let mut plan_findings = run_lints(&plan_view, &name_of);
-    plan_findings.extend(check_shape(plan_view.len(), plan_view.edge_count(), &spec));
+    plan_findings.extend(check_shape(shape_tasks, shape_edges, &spec));
     let plan_metrics = collect_metrics(&plan_view);
 
     // Prong 1b: the same lints over the simulator's static twin of the
@@ -159,13 +239,32 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
     ));
     let graph_metrics = collect_metrics(&graph_view);
 
-    // Prong 2: dynamic clause validation (one recorded FIFO replay).
-    let clause_findings = validate_plan(&plan, &model, &batch, &target, opts.train, &name_of);
+    // Prong 2: one recorded FIFO replay feeding three analyses — the
+    // clause differ, the happens-before race engine, and the lock
+    // discipline lints.
+    let run = recorded_replay(&plan, &model, &batch, &target, opts);
+    let mut clause_findings = validate_clauses(&plan_view, &run.events, run.completed, &name_of);
+    if let Some(msg) = &run.panic {
+        // Injected faults are supposed to panic; only an *uninjected*
+        // panic is a finding.
+        if opts.fault.is_none() {
+            clause_findings.push(Finding::graph_error(
+                "validation-run-panic",
+                format!("recorded replay did not complete: {msg}"),
+            ));
+        }
+    }
+    let hb_findings = check_happens_before(&plan_view, &run.events, &name_of);
+    let task_label = |t: usize| {
+        plan_view
+            .tasks
+            .get(t)
+            .map(|tv| tv.label.clone())
+            .unwrap_or_else(|| format!("task {t}"))
+    };
+    let lock_findings = check_lock_discipline(&run.lock_edges, &run.task_acqs, &task_label);
 
-    // Prong 3: schedule fuzzing (adversarial replays + fingerprints).
-    let fuzz_findings = fuzz_plan(&plan, &model, &batch, &target, opts.train, &opts.fuzz_seeds);
-
-    AnalysisReport::new(vec![
+    let mut sections = vec![
         GraphReport::new("static-plan", plan_metrics, plan_findings),
         GraphReport::new("static-graphgen", graph_metrics, graph_findings),
         GraphReport::new(
@@ -173,8 +272,45 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
             collect_metrics(&plan_view),
             clause_findings,
         ),
-        GraphReport::new("schedule-fuzz", collect_metrics(&plan_view), fuzz_findings),
-    ])
+        GraphReport::new("happens-before", collect_metrics(&plan_view), hb_findings),
+        GraphReport::new(
+            "lock-discipline",
+            collect_metrics(&plan_view),
+            lock_findings,
+        ),
+    ];
+
+    // Prong 3: schedule exploration (small plans) or fuzzing. Skipped
+    // entirely under fault/cancel injection — the injected panics and
+    // skipped bodies would surface as schedule-panic false positives.
+    if opts.fault.is_none() && !opts.cancel {
+        if plan_view.len() <= opts.explore_max_tasks {
+            let (findings, stats) = explore_plan(
+                &plan,
+                &model,
+                &batch,
+                &target,
+                opts,
+                &plan_view,
+                &run.events,
+            );
+            let mut metrics = collect_metrics(&plan_view);
+            metrics.explored_schedules = stats.replayed;
+            metrics.pruned_branches = stats.pruned;
+            metrics.explore_complete = usize::from(stats.complete);
+            sections.push(GraphReport::new("schedule-explore", metrics, findings));
+        } else {
+            let fuzz_findings =
+                fuzz_plan(&plan, &model, &batch, &target, opts.train, &opts.fuzz_seeds);
+            sections.push(GraphReport::new(
+                "schedule-fuzz",
+                collect_metrics(&plan_view),
+                fuzz_findings,
+            ));
+        }
+    }
+
+    AnalysisReport::new(sections)
 }
 
 /// Human-readable `(cell, slot)` coordinates for every region of every
@@ -187,17 +323,32 @@ fn region_name_map<T: Float>(plan: &ExecPlan<T>) -> HashMap<u64, String> {
     names.into_iter().map(|(r, n)| (r.0, n)).collect()
 }
 
+/// Everything one recorded replay yields for the analyses.
+struct RecordedRun {
+    /// Observed accesses, in deterministic (shard-merged) order.
+    events: Vec<AccessEvent>,
+    /// True when every task body actually ran: no panic, no claimed
+    /// cancel token. Gates the completion-dependent lints
+    /// (`dead-declaration`).
+    completed: bool,
+    /// Panic message, if the replay panicked.
+    panic: Option<String>,
+    /// Witnessed lock-acquisition-order edges (held → then-acquired).
+    lock_edges: BTreeSet<(String, String)>,
+    /// Witnessed (task id, lock) acquisitions inside task bodies.
+    task_acqs: BTreeSet<(usize, String)>,
+}
+
 /// Replays `plan` once on a single-worker FIFO runtime with the access
-/// recorder installed and diffs observed accesses against declared
-/// clauses.
-fn validate_plan<T: Float>(
+/// recorder and lock witness installed, optionally under fault injection
+/// or a pre-claimed cancel token.
+fn recorded_replay<T: Float>(
     plan: &ExecPlan<T>,
     model: &Brnn<T>,
     batch: &[Matrix<T>],
     target: &Target,
-    train: bool,
-    name_of: &dyn Fn(RegionId) -> String,
-) -> Vec<Finding> {
+    opts: &AnalyzeOptions,
+) -> RecordedRun {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
         policy: SchedulerPolicy::Fifo,
@@ -205,26 +356,120 @@ fn validate_plan<T: Float>(
     });
     let recorder = Arc::new(AccessRecorder::new());
     rt.set_validation(Some(recorder.clone()));
+    let witness = Arc::new(LockWitness::new());
+    lockwitness::install(Some(witness.clone()));
+    if let Some(cfg) = opts.fault {
+        rt.set_fault_plan(Some(Arc::new(FaultPlan::new(cfg))));
+    }
+    if opts.cancel {
+        let cell = Arc::new(CancelCell::new());
+        assert!(cell.try_claim(), "fresh cancel token must be claimable");
+        rt.set_cancel_token(Some(cell));
+    }
+
     plan.clear_values();
     plan.load_batch(model, batch);
-    if train {
+    if opts.train {
         plan.load_target(target);
     }
     rt.replay(&plan.compiled);
     let result = rt.taskwait();
+
+    let cancelled = rt.cancel_claimed();
+    rt.set_fault_plan(None);
+    rt.set_cancel_token(None);
     rt.set_validation(None);
+    lockwitness::install(None);
     let events = recorder.take_events();
     plan.clear_values();
 
-    let view = GraphView::from_plan(&plan.compiled);
-    let mut findings = validate_clauses(&view, &events, result.is_ok(), name_of);
-    if let Err(msg) = result {
-        findings.push(Finding::graph_error(
-            "validation-run-panic",
-            format!("recorded replay did not complete: {msg}"),
-        ));
+    let lock_edges = witness
+        .edges()
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    let task_acqs = witness
+        .task_acquisitions()
+        .into_iter()
+        .map(|(t, l)| (t, l.to_string()))
+        .collect();
+    RecordedRun {
+        events,
+        completed: result.is_ok() && !cancelled,
+        panic: result.err(),
+        lock_edges,
+        task_acqs,
     }
-    findings
+}
+
+/// Exhaustively replays every dependency-consistent schedule of `plan`
+/// (with persistent-set + sleep-set pruning) and checks fingerprint
+/// invariance. Conflicts are keyed on *observed physical sites* from the
+/// recorded baseline run, so storage aliased under two region ids still
+/// conflicts — the property that makes this prong strictly stronger than
+/// the region-keyed ones on small plans.
+fn explore_plan<T: Float>(
+    plan: &ExecPlan<T>,
+    model: &Brnn<T>,
+    batch: &[Matrix<T>],
+    target: &Target,
+    opts: &AnalyzeOptions,
+    view: &GraphView,
+    events: &[AccessEvent],
+) -> (Vec<Finding>, bpar_verify::ExploreStats) {
+    let n = view.len();
+    // Symmetric conflict matrix: tasks conflict when they touch the same
+    // physical site and at least one access is a write.
+    let mut by_site: HashMap<u64, Vec<(usize, bool)>> = HashMap::new();
+    for ev in events {
+        if ev.task < n {
+            by_site.entry(ev.site).or_default().push((
+                ev.task,
+                ev.kind == bpar_runtime::validate::AccessKind::Write,
+            ));
+        }
+    }
+    let mut conflict = vec![false; n * n];
+    for accesses in by_site.values() {
+        for (i, &(ta, wa)) in accesses.iter().enumerate() {
+            for &(tb, wb) in &accesses[i + 1..] {
+                if ta != tb && (wa || wb) {
+                    conflict[ta * n + tb] = true;
+                    conflict[tb * n + ta] = true;
+                }
+            }
+        }
+    }
+    let conflicts = |a: usize, b: usize| conflict[a * n + b];
+    let succs: Vec<Vec<usize>> = view.tasks.iter().map(|t| t.succs.clone()).collect();
+
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        policy: SchedulerPolicy::Fifo,
+        record_trace: false,
+    });
+    let mut replay = |order: &[usize]| {
+        rt.set_schedule_script(Some(order.to_vec().into()));
+        plan.clear_values();
+        plan.load_batch(model, batch);
+        if opts.train {
+            plan.load_target(target);
+        }
+        rt.replay(&plan.compiled);
+        let outcome = match rt.taskwait() {
+            Ok(()) => ReplayOutcome::Ok(fingerprint_outputs(plan, model, opts.train)),
+            Err(msg) => ReplayOutcome::Panic(msg),
+        };
+        plan.clear_values();
+        outcome
+    };
+    let budget = ExploreBudget {
+        max_tasks: opts.explore_max_tasks,
+        max_schedules: opts.explore_max_schedules,
+    };
+    let result = explore_schedules(&succs, &conflicts, budget, &mut replay);
+    rt.set_schedule_script(None);
+    result
 }
 
 /// One fuzzed replay's result: an output fingerprint or a panic message.

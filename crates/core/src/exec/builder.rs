@@ -31,21 +31,44 @@ use crate::cell::{CellCache, CellParams, CellState, StateGrad};
 use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
-use bpar_runtime::{record_read, record_write, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec};
+use bpar_runtime::{
+    record_read_at, record_write_at, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec,
+};
 use bpar_tensor::{roundtrip_quantize, Backend, BackendKind, Float, Matrix, Workspace};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// How faithfully to declare dependency clauses while building a graph.
+/// How faithfully to build a graph — `Normal`, or with one of three
+/// deliberately seeded bugs, each invisible to every detector except the
+/// one prong designed to catch it.
 ///
-/// [`BuildMode::MissingStateClause`] deliberately drops one `in` clause —
-/// the `t-1` recurrent-state dependency of the first replica's
-/// `cell_fwd(l=0, t=1)` — while leaving the task body untouched. The body
-/// still reads the state slot, so the plan carries a real undeclared
-/// dependency: the canonical clause-soundness bug `bpar-verify` exists to
-/// catch. Used by `bpar analyze --seed-bug` and the detector tests; the
-/// normal build path always uses [`BuildMode::Normal`].
+/// * [`BuildMode::MissingStateClause`] drops one `in` clause — the `t-1`
+///   recurrent-state dependency of the first replica's
+///   `cell_fwd(l=0, t=1)` — while leaving the task body untouched. The
+///   body still reads the state slot, so the plan carries a real
+///   undeclared dependency: caught by the clause differ (`BPV201`).
+/// * [`BuildMode::DroppedEdge`] declares every clause faithfully and then
+///   surgically removes the compiled dependency edge between the first
+///   two `loss` tasks (see `ExecPlan::build_with_mode`) — a
+///   dependency-*protocol* bug, not a clause bug. Both tasks' observed
+///   accesses match their declarations perfectly, and the lost orderings
+///   are two-operand FP additions (bitwise commutative), so clause
+///   validation, fuzzing and exploration all stay clean: only the
+///   happens-before engine sees the unordered conflicting pair
+///   (`BPV301`). Requires a many-to-many training graph.
+/// * [`BuildMode::CrossEpochRace`] appends an `epoch_probe` task whose
+///   clauses are complete and truthful *for the region ids it uses* — but
+///   one of those ids is a fresh alias of `feat[0]`'s physical storage
+///   (the stale-region-id-recycled-across-epochs bug class). Every
+///   region-keyed analysis is blind by construction; only exhaustive
+///   schedule exploration, whose conflict relation is keyed on observed
+///   *physical sites*, reorders the probe against the real
+///   `merge_final`/`dense` pair and witnesses the fingerprint divergence
+///   (`BPV401`).
+///
+/// Used by `bpar analyze --seed-bug` and the detector tests; the normal
+/// build path always uses [`BuildMode::Normal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) enum BuildMode {
     /// Declare exactly the clauses the bodies need (sound).
@@ -53,6 +76,10 @@ pub(crate) enum BuildMode {
     Normal,
     /// Omit the `st_fwd[0][0]` in-clause of `cell_fwd(l=0, t=1)`.
     MissingStateClause,
+    /// Remove the compiled edge between the first two `loss` tasks.
+    DroppedEdge,
+    /// Append a probe task writing `feat[0]` under an aliased region id.
+    CrossEpochRace,
 }
 
 /// Hands out fresh region ids for one batch.
@@ -186,11 +213,15 @@ impl<T: Float> WeightStore<T> {
 /// sharing safe without `unsafe`.
 ///
 /// Every access reports itself to the runtime's validation recorder
-/// ([`bpar_runtime::record_read`] / [`bpar_runtime::record_write`]) — a
-/// single relaxed atomic load when validation is off. Because all task
-/// data flows through slots, the recorder's event stream is a complete
-/// trace of what each task body *actually* touched, which `bpar-verify`
-/// diffs against the declared `in`/`out` clauses.
+/// ([`bpar_runtime::record_read_at`] / [`bpar_runtime::record_write_at`])
+/// — a single relaxed atomic load when validation is off. Because all
+/// task data flows through slots, the recorder's event stream is a
+/// complete trace of what each task body *actually* touched, which
+/// `bpar-verify` diffs against the declared `in`/`out` clauses. Each
+/// event carries both the *region id* (what the dependency protocol
+/// reasons about) and the *physical site* — the address of the shared
+/// data cell — so the schedule-exploration prong can detect storage
+/// aliased under two region ids, which no region-keyed analysis can see.
 pub(crate) struct Slot<X> {
     data: Arc<RwLock<Option<X>>>,
     /// Dependency region representing this value.
@@ -214,21 +245,42 @@ impl<X> Slot<X> {
         }
     }
 
+    /// A second handle to the *same* data cell under a *fresh* region id.
+    ///
+    /// This deliberately breaks the slot invariant that one region guards
+    /// one cell: the dependency protocol sees two independent regions and
+    /// will happily schedule their tasks concurrently, while the physical
+    /// storage is shared. Only the [`BuildMode::CrossEpochRace`] fixture
+    /// uses this — it is the seeded bug itself, not a building block.
+    pub fn alias_with_fresh_region(&self, regions: &mut RegionAlloc) -> Self {
+        Self {
+            data: self.data.clone(),
+            region: regions.fresh(),
+        }
+    }
+
+    /// The address of the shared data cell, reported as the access `site`
+    /// so physical aliasing is visible to the exploration prong even when
+    /// region ids disagree.
+    fn site(&self) -> u64 {
+        Arc::as_ptr(&self.data) as u64
+    }
+
     /// Stores a value (writer side).
     pub fn put(&self, v: X) {
-        record_write(self.region);
+        record_write_at(self.region, self.site());
         *self.data.write() = Some(v);
     }
 
     /// Removes the value (single-consumer reads).
     pub fn take(&self) -> Option<X> {
-        record_read(self.region);
+        record_read_at(self.region, self.site());
         self.data.write().take()
     }
 
     /// Reads the value by reference (multi-consumer reads).
     pub fn with<R>(&self, f: impl FnOnce(Option<&X>) -> R) -> R {
-        record_read(self.region);
+        record_read_at(self.region, self.site());
         f(self.data.read().as_ref())
     }
 
@@ -236,8 +288,8 @@ impl<X> Slot<X> {
     /// (accumulator slots). A read-modify-write: tasks using it must
     /// declare the region *inout* (both `in` and `out`).
     pub fn update(&self, init: impl FnOnce() -> X, f: impl FnOnce(&mut X)) {
-        record_read(self.region);
-        record_write(self.region);
+        record_read_at(self.region, self.site());
+        record_write_at(self.region, self.site());
         let mut guard = self.data.write();
         let v = guard.get_or_insert_with(init);
         f(v);
@@ -252,7 +304,7 @@ impl<X> Slot<X> {
     /// allocation-free counterpart of `put`: warm replays reuse the buffer
     /// instead of dropping and reallocating it every batch.
     pub fn write_in_place(&self, init: impl FnOnce() -> X, f: impl FnOnce(&mut X)) {
-        record_write(self.region);
+        record_write_at(self.region, self.site());
         let mut guard = self.data.write();
         let v = guard.get_or_insert_with(init);
         f(v);
@@ -262,8 +314,8 @@ impl<X> Slot<X> {
     /// it into the existing value with `add`. A read-modify-write: tasks
     /// using it must declare the region *inout*.
     pub fn accumulate(&self, v: X, add: impl FnOnce(&mut X, X)) {
-        record_read(self.region);
-        record_write(self.region);
+        record_read_at(self.region, self.site());
+        record_write_at(self.region, self.site());
         let mut guard = self.data.write();
         match guard.as_mut() {
             Some(acc) => add(acc, v),
@@ -849,6 +901,40 @@ impl<T: Float> ReplicaGraph<T> {
                 );
             }
         }
+    }
+
+    /// Submits the [`BuildMode::CrossEpochRace`] probe task. Declared
+    /// clauses: reads `st_fwd[0][0]`, writes a *fresh* region that is
+    /// secretly an alias of `feat[0]`'s physical storage (see
+    /// [`Slot::alias_with_fresh_region`]). Every clause matches what the
+    /// body touches — region-keyed clause validation and happens-before
+    /// analysis both pass — but the graph admits schedules where the
+    /// probe's zero-fill lands between `merge_final` and the classifier,
+    /// corrupting the logits. Only exhaustive schedule exploration, which
+    /// keys conflicts on physical sites, can witness the divergence.
+    pub fn submit_epoch_probe(&self, sink: &mut dyn TaskSink, regions: &mut RegionAlloc) {
+        let probe_src = self.st_fwd[0][0].clone();
+        let aliased = self.feat[0].alias_with_fresh_region(regions);
+        let rows = self.rows;
+        let width = self.config.merge.output_width(self.config.hidden_size);
+        sink.push(
+            PlanSpec::new("epoch_probe")
+                .ins([probe_src.region])
+                .outs([aliased.region])
+                .body(move || {
+                    // Touch the declared input so the recorded trace
+                    // matches the clauses exactly.
+                    probe_src.with(|_| {});
+                    aliased.write_in_place(
+                        || Matrix::zeros(rows, width),
+                        |m| {
+                            for v in m.as_mut_slice() {
+                                *v = T::from_f64(0.0);
+                            }
+                        },
+                    );
+                }),
+        );
     }
 
     /// Submits the BPTT tasks of layer `l`: forward-direction backward

@@ -79,10 +79,11 @@ impl<T: Float> ExecPlan<T> {
         Self::build_with_mode(model, batch, mbs, train, BuildMode::Normal, backend)
     }
 
-    /// [`ExecPlan::build`] with an explicit [`BuildMode`]. The sabotaged
-    /// mode drops one `in` clause in the *first* replica only (see
-    /// [`BuildMode::MissingStateClause`]); it exists for the
-    /// clause-soundness detectors and is never used by executors.
+    /// [`ExecPlan::build`] with an explicit [`BuildMode`]. Every sabotaged
+    /// mode seeds its bug in the *first* replica only (see the
+    /// [`BuildMode`] variants for which analysis prong each one targets);
+    /// they exist for the soundness detectors and are never used by
+    /// executors.
     pub(crate) fn build_with_mode(
         model: &Brnn<T>,
         batch: &[Matrix<T>],
@@ -116,7 +117,33 @@ impl<T: Float> ExecPlan<T> {
                 rep.submit_reduce_into(&mut b, &replicas[0]);
             }
         }
-        let compiled = Arc::new(b.compile());
+        if mode == BuildMode::CrossEpochRace {
+            // Submitted last so the probe's declared clauses attach no
+            // edges to the classifier chain — the aliasing bug, not a
+            // clause bug, is what makes it racy.
+            replicas[0].submit_epoch_probe(&mut b, &mut regions);
+        }
+        let mut compiled = b.compile();
+        if mode == BuildMode::DroppedEdge {
+            // Surgically remove the write-after-write edge between the
+            // first two loss tasks. The clauses still *declare* the
+            // dependency — only the compiled graph lost it — which is
+            // exactly the race class the happens-before prong exists for.
+            let loss: Vec<usize> = (0..compiled.len())
+                .filter(|&i| compiled.label(i) == "loss")
+                .take(2)
+                .collect();
+            assert!(
+                loss.len() == 2,
+                "BuildMode::DroppedEdge requires a training graph with at \
+                 least two loss tasks (many-to-many)"
+            );
+            assert!(
+                compiled.drop_edge(loss[0], loss[1]),
+                "expected a compiled edge between consecutive loss tasks"
+            );
+        }
+        let compiled = Arc::new(compiled);
         let arena_bytes = replicas.iter().map(ReplicaGraph::persistent_bytes).sum();
         Self {
             weights,

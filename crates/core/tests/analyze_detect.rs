@@ -1,57 +1,115 @@
 //! End-to-end detector checks for `bpar_core::analyze`.
 //!
-//! The acceptance bar for the verification layer: a plan built with one
-//! deliberately dropped `in` clause (`AnalyzeOptions::seed_bug`, which
-//! removes `st_fwd[0][0]` from the `cell_fwd(l=0, t=1)` clause of the
-//! first replica while leaving the body untouched) must be caught by
-//! *both* dynamic prongs —
+//! The acceptance bar for the verification layer: each [`SeedBug`] is a
+//! realistic bug class that exactly one analysis prong can witness, so
+//! these tests pin both directions of the exclusivity claims —
 //!
-//! * the clause validator names the exact missing region from a recorded
-//!   FIFO replay (which itself still runs clean, because FIFO happens to
-//!   pop tasks in submission order);
-//! * the schedule fuzzer produces a divergence witness, because the
-//!   reverse/random orders are free to run the reader before its
-//!   undeclared writer.
+//! * [`SeedBug::MissingClause`] (a dropped `in` clause) is caught by the
+//!   clause validator (`BPV201`, naming the exact region) and by the
+//!   schedule fuzzer (`BPV212`);
+//! * [`SeedBug::DroppedEdge`] (clauses intact, one compiled edge
+//!   removed) is *invisible* to the clause validator and to fingerprint
+//!   fuzzing — the reordered bodies commute bitwise — and is caught only
+//!   by the happens-before engine (`BPV301`), which names the missing
+//!   edge;
+//! * [`SeedBug::CrossEpochRace`] (one buffer aliased under two region
+//!   ids) passes every region-keyed analysis and is caught only by
+//!   exhaustive schedule exploration (`BPV401`), whose conflicts key on
+//!   observed physical sites.
+//!
+//! Plus the no-false-positive direction: fault-injected and cancelled
+//! replays of *clean* plans must not produce findings, and the full
+//! Fig. 2 inference graph must be exhaustively explored (100% of its
+//! schedule classes) within the default budget.
 
-use bpar_core::analyze::{analyze, AnalyzeOptions};
+use bpar_core::analyze::{analyze, AnalyzeOptions, SeedBug};
+use bpar_core::model::{BrnnConfig, ModelKind};
+use bpar_runtime::FaultConfig;
+use bpar_verify::AnalysisReport;
 
-fn seeded(train: bool) -> AnalyzeOptions {
+fn seeded(train: bool, bug: SeedBug) -> AnalyzeOptions {
     AnalyzeOptions {
         train,
-        seed_bug: true,
+        seed_bug: Some(bug),
         ..AnalyzeOptions::default()
     }
 }
 
-#[test]
-fn clause_validator_names_the_dropped_region() {
-    let report = analyze(&seeded(false));
-    let clauses = report
+/// Smallest config with two `loss` tasks: many-to-many training over one
+/// layer and two timesteps — 14 tasks, over the explore budget, so the
+/// schedule prong is the fuzzer (pinning that fuzzing *misses* this bug).
+fn dropped_edge_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        config: BrnnConfig {
+            layers: 1,
+            seq_len: 2,
+            input_size: 4,
+            hidden_size: 4,
+            output_size: 3,
+            kind: ModelKind::ManyToMany,
+            ..BrnnConfig::default()
+        },
+        train: true,
+        seed_bug: Some(SeedBug::DroppedEdge),
+        ..AnalyzeOptions::default()
+    }
+}
+
+/// Smallest interesting inference graph: one layer, two timesteps,
+/// many-to-one — 7 tasks with the probe, under the explore budget, so
+/// the schedule prong is exhaustive exploration.
+fn cross_epoch_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        config: BrnnConfig {
+            layers: 1,
+            seq_len: 2,
+            input_size: 4,
+            hidden_size: 4,
+            output_size: 3,
+            kind: ModelKind::ManyToOne,
+            ..BrnnConfig::default()
+        },
+        train: false,
+        seed_bug: Some(SeedBug::CrossEpochRace),
+        ..AnalyzeOptions::default()
+    }
+}
+
+fn section<'a>(report: &'a AnalysisReport, name: &str) -> &'a bpar_verify::GraphReport {
+    report
         .graphs
         .iter()
-        .find(|g| g.name == "clause-validation")
-        .expect("clause-validation section");
+        .find(|g| g.name == name)
+        .unwrap_or_else(|| panic!("missing section {name}:\n{}", report.to_json()))
+}
+
+fn codes_in(report: &AnalysisReport, name: &str) -> Vec<String> {
+    section(report, name)
+        .findings
+        .iter()
+        .map(|f| f.code.clone())
+        .collect()
+}
+
+#[test]
+fn clause_validator_names_the_dropped_region() {
+    let report = analyze(&seeded(false, SeedBug::MissingClause));
+    let clauses = section(&report, "clause-validation");
     let hit = clauses
         .findings
         .iter()
         .find(|f| f.check == "undeclared-read")
         .unwrap_or_else(|| panic!("no undeclared-read finding:\n{}", report.to_json()));
+    assert_eq!(hit.code, "BPV201");
     assert_eq!(hit.label, "cell_fwd");
     assert_eq!(hit.region.as_deref(), Some("r0.st_fwd[0][0]"));
 }
 
 #[test]
 fn schedule_fuzzer_produces_a_divergence_witness() {
-    let report = analyze(&seeded(false));
-    let fuzz = report
-        .graphs
-        .iter()
-        .find(|g| g.name == "schedule-fuzz")
-        .expect("schedule-fuzz section");
+    let report = analyze(&seeded(false, SeedBug::MissingClause));
     assert!(
-        fuzz.findings
-            .iter()
-            .any(|f| f.check == "schedule-divergence"),
+        codes_in(&report, "schedule-fuzz").contains(&"BPV212".to_string()),
         "no divergence witness:\n{}",
         report.to_json()
     );
@@ -59,22 +117,14 @@ fn schedule_fuzzer_produces_a_divergence_witness() {
 
 #[test]
 fn both_prongs_fire_on_a_seeded_training_graph() {
-    let report = analyze(&seeded(true));
-    let find = |section: &str, check: &str| {
-        report
-            .graphs
-            .iter()
-            .find(|g| g.name == section)
-            .map(|g| g.findings.iter().any(|f| f.check == check))
-            .unwrap_or(false)
-    };
+    let report = analyze(&seeded(true, SeedBug::MissingClause));
     assert!(
-        find("clause-validation", "undeclared-read"),
+        codes_in(&report, "clause-validation").contains(&"BPV201".to_string()),
         "{}",
         report.to_json()
     );
     assert!(
-        find("schedule-fuzz", "schedule-divergence"),
+        codes_in(&report, "schedule-fuzz").contains(&"BPV212".to_string()),
         "{}",
         report.to_json()
     );
@@ -85,30 +135,163 @@ fn both_prongs_fire_on_a_seeded_training_graph() {
 fn static_shape_check_notices_the_missing_edge() {
     // Dropping the in clause also removes one RAW edge, so the compiled
     // plan no longer matches the closed-form edge count.
-    let report = analyze(&seeded(false));
-    let plan = report
-        .graphs
-        .iter()
-        .find(|g| g.name == "static-plan")
-        .expect("static-plan section");
+    let report = analyze(&seeded(false, SeedBug::MissingClause));
     assert!(
-        plan.findings.iter().any(|f| f.check == "shape-mismatch"),
+        codes_in(&report, "static-plan").contains(&"BPV106".to_string()),
         "{}",
         report.to_json()
     );
     // The untouched graphgen twin stays clean — the bug is in the plan,
     // not the paper's dataflow.
-    let twin = report
+    assert_eq!(
+        section(&report, "static-graphgen").error_count(),
+        0,
+        "{}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn dropped_edge_is_caught_only_by_happens_before() {
+    let report = analyze(&dropped_edge_opts());
+    let hb = section(&report, "happens-before");
+    let races: Vec<_> = hb
+        .findings
+        .iter()
+        .filter(|f| f.check == "hb-race")
+        .collect();
+    assert!(
+        !races.is_empty(),
+        "happens-before must witness the dropped edge:\n{}",
+        report.to_json()
+    );
+    for f in &races {
+        assert_eq!(f.code, "BPV301");
+        assert!(
+            f.detail.contains("lost the edge"),
+            "race witness must name the missing edge: {}",
+            f.detail
+        );
+    }
+    // Exclusivity: every other prong stays silent. The clauses still
+    // declare the dependency (only the compiled graph lost it) and the
+    // two loss bodies commute bitwise, so fuzzing sees identical
+    // fingerprints.
+    for sec in [
+        "static-plan",
+        "static-graphgen",
+        "clause-validation",
+        "lock-discipline",
+    ] {
+        assert_eq!(
+            section(&report, sec).error_count(),
+            0,
+            "{sec} must stay clean:\n{}",
+            report.to_json()
+        );
+    }
+    assert_eq!(
+        section(&report, "schedule-fuzz").error_count(),
+        0,
+        "fuzzing must miss this bug (commuting reorder):\n{}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn cross_epoch_race_is_caught_only_by_exploration() {
+    let report = analyze(&cross_epoch_opts());
+    let explore = section(&report, "schedule-explore");
+    let hits: Vec<_> = explore
+        .findings
+        .iter()
+        .filter(|f| f.check == "exploration-divergence")
+        .collect();
+    assert!(
+        !hits.is_empty(),
+        "exploration must witness the aliased buffer:\n{}",
+        report.to_json()
+    );
+    for f in &hits {
+        assert_eq!(f.code, "BPV401");
+    }
+    // Exclusivity: the probe's clauses match its body exactly and the
+    // race is invisible to any region-keyed analysis.
+    for sec in [
+        "static-plan",
+        "static-graphgen",
+        "clause-validation",
+        "happens-before",
+        "lock-discipline",
+    ] {
+        assert_eq!(
+            section(&report, sec).error_count(),
+            0,
+            "{sec} must stay clean:\n{}",
+            report.to_json()
+        );
+    }
+}
+
+#[test]
+fn fault_injected_clean_plan_has_no_false_positives() {
+    // Injected panics poison downstream tasks: the run is incomplete by
+    // design, and the analyses must treat that as expected (gating the
+    // completion-dependent lints) instead of reporting findings.
+    let opts = AnalyzeOptions {
+        fault: Some(FaultConfig {
+            seed: 11,
+            panic_rate: 0.3,
+            ..FaultConfig::default()
+        }),
+        ..AnalyzeOptions::default()
+    };
+    let report = analyze(&opts);
+    assert_eq!(report.errors, 0, "{}", report.to_json());
+    // The schedule prongs are suppressed: injected panics would read as
+    // schedule-panic witnesses.
+    assert!(report
         .graphs
         .iter()
-        .find(|g| g.name == "static-graphgen")
-        .expect("static-graphgen section");
-    assert_eq!(twin.error_count(), 0, "{}", report.to_json());
+        .all(|g| g.name != "schedule-fuzz" && g.name != "schedule-explore"));
+}
+
+#[test]
+fn cancelled_clean_plan_has_no_false_positives() {
+    // A pre-claimed cancel token skips every body: zero accesses, zero
+    // outputs, taskwait still Ok. Nothing to report.
+    let opts = AnalyzeOptions {
+        cancel: true,
+        ..AnalyzeOptions::default()
+    };
+    let report = analyze(&opts);
+    assert_eq!(report.errors, 0, "{}", report.to_json());
+}
+
+#[test]
+fn fig2_inference_graph_explores_completely() {
+    // The full Fig. 2 shape (L=3, T=3, many-to-one inference, 26 tasks):
+    // every conflicting access pair follows a compiled edge, so the
+    // persistent-set filter collapses the schedule space to one class —
+    // 100% coverage in a single replay, well inside the budget.
+    let opts = AnalyzeOptions {
+        train: false,
+        explore_max_tasks: 32,
+        ..AnalyzeOptions::default()
+    };
+    let report = analyze(&opts);
+    assert_eq!(report.errors, 0, "{}", report.to_json());
+    let explore = section(&report, "schedule-explore");
+    assert_eq!(explore.metrics.explore_complete, 1, "{}", report.to_json());
+    assert!(explore.metrics.explored_schedules >= 1);
 }
 
 #[test]
 fn seeded_reports_are_deterministic_too() {
-    let a = analyze(&seeded(false)).to_json();
-    let b = analyze(&seeded(false)).to_json();
+    let a = analyze(&seeded(false, SeedBug::MissingClause)).to_json();
+    let b = analyze(&seeded(false, SeedBug::MissingClause)).to_json();
     assert_eq!(a, b);
+    let c = analyze(&cross_epoch_opts()).to_json();
+    let d = analyze(&cross_epoch_opts()).to_json();
+    assert_eq!(c, d);
 }

@@ -44,9 +44,14 @@
 //! rt.taskwait().unwrap();
 //! ```
 
+// Unsafe-audit policy (see `bpar-verify::audit`): every crate containing
+// unsafe code must force explicit `unsafe` blocks inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cancel;
 pub mod fault;
 pub mod graph;
+pub mod lockwitness;
 pub mod plan;
 pub mod region;
 pub mod runtime;
@@ -73,10 +78,14 @@ pub mod prelude {
 pub use cancel::CancelCell;
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use graph::TaskGraph;
+pub use lockwitness::LockWitness;
 pub use plan::{CompiledPlan, PlanBuilder, PlanSpec};
 pub use region::{DepTracker, RegionId};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use scheduler::{AdversarialOrder, SchedulerPolicy};
 pub use stats::RuntimeStats;
 pub use task::{TaskId, TaskSpec};
-pub use validate::{record_read, record_write, AccessEvent, AccessKind, AccessRecorder};
+pub use validate::{
+    record_read, record_read_at, record_write, record_write_at, AccessEvent, AccessKind,
+    AccessRecorder,
+};

@@ -1,0 +1,277 @@
+//! Lock-order witnessing for the runtime's internal locks.
+//!
+//! ROADMAP item 4 (work-stealing deques, wait-free ready paths) will
+//! replace the runtime's single-lock discipline with something much finer
+//! grained. Before that migration starts we want a machine-checked
+//! baseline of the discipline we have: which internal locks exist, in
+//! which orders they nest, and the invariant that **task bodies never
+//! block on a runtime-internal lock** (bodies run with the central lock
+//! dropped — a body that re-enters it is either an embedder bug or a
+//! future scheduler bug).
+//!
+//! [`WitnessedMutex`] wraps `parking_lot::Mutex` with a static name. While
+//! a [`LockWitness`] is [`install`]ed, every acquisition records:
+//!
+//! * an **acquisition-order edge** `(held, acquired)` for each lock the
+//!   thread already holds — the per-thread lock-order graph. A cycle in
+//!   the union of these edges is a potential deadlock
+//!   (`bpar-verify::locks` does the cycle detection);
+//! * a **task acquisition** `(task, lock)` whenever the acquiring thread
+//!   is inside a [`crate::validate::TaskScope`] — i.e. a task body blocked
+//!   on a runtime-internal lock.
+//!
+//! With no witness installed the cost per acquisition is one relaxed
+//! atomic load, same opt-in pattern as validation and fault injection.
+//! Condvar waits re-acquire the same lock the thread already nominally
+//! holds, which cannot introduce a *new* ordering edge, so
+//! [`WitnessedGuard::wait`] leaves the held-set untouched.
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Accumulates lock-order observations across all threads.
+#[derive(Debug, Default)]
+pub struct LockWitness {
+    /// `(held, acquired)` pairs: the thread held the first lock while
+    /// acquiring the second.
+    edges: Mutex<BTreeSet<(&'static str, &'static str)>>,
+    /// `(task index, lock)` pairs: a task body acquired a runtime lock.
+    task_acquisitions: Mutex<BTreeSet<(usize, &'static str)>>,
+}
+
+impl LockWitness {
+    /// Empty witness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observed acquisition-order edges, sorted (BTreeSet order).
+    pub fn edges(&self) -> Vec<(&'static str, &'static str)> {
+        self.edges.lock().iter().copied().collect()
+    }
+
+    /// The observed task-body acquisitions, sorted.
+    pub fn task_acquisitions(&self) -> Vec<(usize, &'static str)> {
+        self.task_acquisitions.lock().iter().copied().collect()
+    }
+
+    fn note_acquire(&self, held: &[&'static str], acquired: &'static str) {
+        if !held.is_empty() {
+            let mut edges = self.edges.lock();
+            for &h in held {
+                if h != acquired {
+                    edges.insert((h, acquired));
+                }
+            }
+        }
+        if let Some(task) = crate::validate::current_task() {
+            self.task_acquisitions.lock().insert((task, acquired));
+        }
+    }
+}
+
+/// Whether a witness is installed; keeps the witness-off fast path at one
+/// relaxed load per acquisition.
+static WITNESS_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed witness (global: the locks it observes are themselves
+/// global statics or live inside arbitrarily many runtimes).
+static WITNESS: Mutex<Option<Arc<LockWitness>>> = Mutex::new(None);
+
+/// Installs (or removes, with `None`) the process-wide lock witness.
+/// Observation windows are meant to be short and exclusive — install, run
+/// the workload under test, read the witness back, uninstall.
+pub fn install(witness: Option<Arc<LockWitness>>) {
+    let mut slot = WITNESS.lock();
+    WITNESS_ACTIVE.store(witness.is_some(), Ordering::Release);
+    *slot = witness;
+}
+
+thread_local! {
+    /// Names of witnessed locks currently held by this thread.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records the acquisition in the installed witness (if any) and pushes
+/// `name` onto the thread's held-set. Returns whether the held-set was
+/// touched, so the guard knows to pop on drop.
+fn on_acquire(name: &'static str) -> bool {
+    if !WITNESS_ACTIVE.load(Ordering::Acquire) {
+        return false;
+    }
+    let witness = WITNESS.lock().clone();
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(w) = &witness {
+            w.note_acquire(&held, name);
+        }
+        held.push(name);
+    });
+    true
+}
+
+fn on_release(name: &'static str) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&n| n == name) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// A named `parking_lot::Mutex` whose acquisitions are observable by the
+/// installed [`LockWitness`].
+#[derive(Debug)]
+pub struct WitnessedMutex<T> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> WitnessedMutex<T> {
+    /// A witnessed mutex carrying `name` in every observation.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        Self {
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The lock's static name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, recording order edges against locks this thread
+    /// already holds while a witness is installed.
+    pub fn lock(&self) -> WitnessedGuard<'_, T> {
+        let tracked = on_acquire(self.name);
+        WitnessedGuard {
+            guard: self.inner.lock(),
+            name: self.name,
+            tracked,
+        }
+    }
+}
+
+/// Guard returned by [`WitnessedMutex::lock`].
+pub struct WitnessedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    name: &'static str,
+    tracked: bool,
+}
+
+impl<T> WitnessedGuard<'_, T> {
+    /// Blocks on `cv` releasing and re-acquiring the underlying mutex —
+    /// the witnessed replacement for `Condvar::wait(&mut guard)`. The
+    /// held-set is left untouched (see module docs).
+    pub fn wait(&mut self, cv: &Condvar) {
+        cv.wait(&mut self.guard);
+    }
+}
+
+impl<T> std::ops::Deref for WitnessedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for WitnessedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for WitnessedGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.tracked {
+            on_release(self.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The witness slot is process-global, so tests that install one must
+    // not run concurrently with each other.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn nested_acquisitions_record_order_edges() {
+        let _serial = SERIAL.lock();
+        let a = WitnessedMutex::new("test.lock_a", 0u32);
+        let b = WitnessedMutex::new("test.lock_b", 0u32);
+        let w = Arc::new(LockWitness::new());
+        install(Some(w.clone()));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a held while acquiring b
+        }
+        install(None);
+        assert!(w.edges().contains(&("test.lock_a", "test.lock_b")));
+        assert!(!w.edges().contains(&("test.lock_b", "test.lock_a")));
+    }
+
+    #[test]
+    fn reversed_nesting_records_the_cycle_edges() {
+        let _serial = SERIAL.lock();
+        let a = WitnessedMutex::new("test.cycle_a", ());
+        let b = WitnessedMutex::new("test.cycle_b", ());
+        let w = Arc::new(LockWitness::new());
+        install(Some(w.clone()));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        install(None);
+        let edges = w.edges();
+        assert!(edges.contains(&("test.cycle_a", "test.cycle_b")));
+        assert!(edges.contains(&("test.cycle_b", "test.cycle_a")));
+    }
+
+    #[test]
+    fn single_lock_records_no_edges() {
+        let _serial = SERIAL.lock();
+        let a = WitnessedMutex::new("test.single", ());
+        let w = Arc::new(LockWitness::new());
+        install(Some(w.clone()));
+        drop(a.lock());
+        drop(a.lock());
+        install(None);
+        assert!(w.edges().is_empty());
+    }
+
+    #[test]
+    fn task_scope_acquisitions_are_attributed() {
+        use crate::validate::{AccessRecorder, TaskScope};
+        let _serial = SERIAL.lock();
+        let a = WitnessedMutex::new("test.body_lock", ());
+        let w = Arc::new(LockWitness::new());
+        install(Some(w.clone()));
+        {
+            let rec = Arc::new(AccessRecorder::new());
+            let _scope = TaskScope::enter(rec, 42);
+            drop(a.lock());
+        }
+        drop(a.lock()); // outside any task scope: not attributed
+        install(None);
+        assert_eq!(w.task_acquisitions(), vec![(42, "test.body_lock")]);
+    }
+
+    #[test]
+    fn no_witness_means_no_tracking() {
+        let _serial = SERIAL.lock();
+        install(None);
+        let a = WitnessedMutex::new("test.untracked", 5u32);
+        assert_eq!(*a.lock(), 5);
+    }
+}

@@ -263,6 +263,35 @@ impl CompiledPlan {
     pub fn roots(&self) -> &[usize] {
         &self.roots
     }
+
+    /// **Test fixture.** Removes the dependency edge `from → to` from the
+    /// frozen graph — successor list, predecessor count, and root set stay
+    /// mutually consistent — while leaving both tasks' *declared clauses*
+    /// untouched. This simulates a dependency-protocol bug (an edge the
+    /// tracker dropped even though the clauses were faithfully declared),
+    /// the bug class the happens-before prong of `bpar-verify` exists to
+    /// catch and the observed-vs-declared clause diff is blind to.
+    ///
+    /// Returns `false` (plan unchanged) when the edge does not exist. Only
+    /// the first copy of a duplicated edge is removed. Do not call this on
+    /// plans used outside of verification tests.
+    pub fn drop_edge(&mut self, from: usize, to: usize) -> bool {
+        let Some(pos) = self
+            .succs
+            .get(from)
+            .and_then(|s| s.iter().position(|&t| t == to))
+        else {
+            return false;
+        };
+        self.succs[from].remove(pos);
+        self.pending[to] -= 1;
+        if self.pending[to] == 0 {
+            if let Err(i) = self.roots.binary_search(&to) {
+                self.roots.insert(i, to);
+            }
+        }
+        true
+    }
 }
 
 impl std::fmt::Debug for CompiledPlan {
@@ -339,6 +368,23 @@ mod tests {
     #[should_panic(expected = "without a body")]
     fn bodyless_spec_is_rejected() {
         PlanBuilder::new().submit(PlanSpec::new("nobody"));
+    }
+
+    #[test]
+    fn drop_edge_keeps_structure_consistent() {
+        let mut b = PlanBuilder::new();
+        b.submit(PlanSpec::new("a").outs([r(1)]).body(|| {}));
+        b.submit(PlanSpec::new("b").ins([r(1)]).outs([r(2)]).body(|| {}));
+        let mut plan = b.compile();
+        assert!(!plan.drop_edge(1, 0), "no such edge");
+        assert!(plan.drop_edge(0, 1));
+        assert!(!plan.drop_edge(0, 1), "already dropped");
+        assert_eq!(plan.edge_count(), 0);
+        assert_eq!(plan.pending_of(1), 0);
+        // Task 1 became a root; the root list stays sorted.
+        assert_eq!(plan.roots(), &[0, 1]);
+        // Declared clauses are untouched — that is the whole point.
+        assert_eq!(plan.ins(1), &[r(1)]);
     }
 
     #[test]

@@ -10,13 +10,14 @@
 
 use crate::cancel::CancelCell;
 use crate::fault::{self, FaultPlan};
+use crate::lockwitness::WitnessedMutex;
 use crate::plan::CompiledPlan;
 use crate::region::{DepTracker, RegionId};
 use crate::scheduler::{ReadySet, SchedulerPolicy};
 use crate::stats::{RuntimeStats, TaskRecord};
 use crate::task::{TaskId, TaskSpec};
 use crate::validate::{self, AccessRecorder, TaskScope};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -107,7 +108,10 @@ struct Inner {
 }
 
 struct Shared {
-    inner: Mutex<Inner>,
+    /// The central runtime lock, witnessed (see [`crate::lockwitness`]) so
+    /// the verify tooling can audit the lock discipline the work-stealing
+    /// refactor will later replace.
+    inner: WitnessedMutex<Inner>,
     /// Signals workers that the ready set or shutdown flag changed.
     work_cv: Condvar,
     /// Signals `taskwait` that `incomplete` may have reached zero.
@@ -135,21 +139,24 @@ impl Runtime {
             config.workers
         };
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                deps: DepTracker::new(),
-                tasks: Vec::new(),
-                ready: ReadySet::new(config.policy, n_workers),
-                incomplete: 0,
-                records: Vec::new(),
-                overhead: Duration::ZERO,
-                panicked: None,
-                shutdown: false,
-                record_trace: config.record_trace,
-                validation: None,
-                fault: None,
-                cancel: None,
-                replayed: None,
-            }),
+            inner: WitnessedMutex::new(
+                "runtime.inner",
+                Inner {
+                    deps: DepTracker::new(),
+                    tasks: Vec::new(),
+                    ready: ReadySet::new(config.policy, n_workers),
+                    incomplete: 0,
+                    records: Vec::new(),
+                    overhead: Duration::ZERO,
+                    panicked: None,
+                    shutdown: false,
+                    record_trace: config.record_trace,
+                    validation: None,
+                    fault: None,
+                    cancel: None,
+                    replayed: None,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             epoch: Instant::now(),
@@ -230,12 +237,21 @@ impl Runtime {
     pub fn taskwait(&self) -> Result<(), String> {
         let mut inner = self.shared.inner.lock();
         while inner.incomplete > 0 {
-            self.shared.done_cv.wait(&mut inner);
+            inner.wait(&self.shared.done_cv);
         }
-        match inner.panicked.take() {
+        let result = match inner.panicked.take() {
             Some(msg) => Err(msg),
             None => Ok(()),
+        };
+        // Taskwait is the epoch barrier of the happens-before model: flush
+        // the recorder's worker shards and advance its epoch so accesses
+        // on either side of this wait are barrier-ordered, never racy.
+        let recorder = inner.validation.clone();
+        drop(inner);
+        if let Some(rec) = recorder {
+            rec.barrier();
         }
+        result
     }
 
     /// Aggregate statistics over all tasks completed so far.
@@ -396,6 +412,20 @@ impl Runtime {
             .is_some_and(|c| c.is_claimed())
     }
 
+    /// Installs (or removes, with `None`) a ready-queue script: while set,
+    /// workers pop ready tasks in exactly the scripted order (see
+    /// [`crate::scheduler::ReadySet::set_script`]). This is how the
+    /// schedule-exploration prong of `bpar-verify` replays one specific
+    /// dependency-consistent topological order per run.
+    ///
+    /// The scripted order is only faithful with a single worker (with more
+    /// workers, pops interleave with completions non-deterministically).
+    /// Install while idle; a script does not reset on `replay`, so install
+    /// a fresh one per explored schedule.
+    pub fn set_schedule_script(&self, order: Option<Arc<[usize]>>) {
+        self.shared.inner.lock().ready.set_script(order);
+    }
+
     /// Convenience: submit a closure with explicit region clauses.
     pub fn spawn(
         &self,
@@ -486,7 +516,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 drop(body);
                 Ok(())
             } else {
-                let _scope = recorder.map(|rec| TaskScope::enter(rec, tid));
+                let _scope = recorder.map(|rec| TaskScope::enter_on(rec, tid, worker));
                 std::panic::catch_unwind(AssertUnwindSafe(move || {
                     if let Some(plan) = plan {
                         plan.apply(tid, label);
@@ -566,7 +596,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         } else if inner.shutdown {
             return;
         } else {
-            shared.work_cv.wait(&mut inner);
+            inner.wait(&shared.work_cv);
         }
     }
 }
@@ -574,6 +604,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc as StdArc;
 
@@ -1131,6 +1162,39 @@ mod tests {
         r.replay(&compiled);
         r.taskwait().unwrap(); // budget exhausted: clean
         r.set_fault_plan(None);
+    }
+
+    #[test]
+    fn schedule_script_replays_exact_topological_order() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = Runtime::new(RuntimeConfig {
+            workers: 1,
+            policy: SchedulerPolicy::Fifo,
+            record_trace: false,
+        });
+        // Four independent tasks: every permutation is a legal schedule.
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        let mut b = PlanBuilder::new();
+        for i in 0..4u64 {
+            let l = log.clone();
+            b.submit(PlanSpec::new("t").outs([RegionId(i)]).body(move || {
+                l.lock().push(i as usize);
+            }));
+        }
+        let plan = Arc::new(b.compile());
+        for order in [vec![2, 0, 3, 1], vec![3, 2, 1, 0], vec![0, 1, 2, 3]] {
+            log.lock().clear();
+            r.set_schedule_script(Some(order.clone().into()));
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            assert_eq!(*log.lock(), order);
+        }
+        // Clearing the script restores the policy order.
+        r.set_schedule_script(None);
+        log.lock().clear();
+        r.replay(&plan);
+        r.taskwait().unwrap();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! simulator, so Fig. 7 compares identical policies.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A scripted pop order (see [`ReadySet::set_script`]).
+#[derive(Debug)]
+struct Script {
+    order: Arc<[usize]>,
+    cursor: usize,
+}
 
 /// Which ready-queue discipline to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +79,8 @@ pub struct ReadySet {
     window: usize,
     /// xorshift64 state for [`AdversarialOrder::Random`].
     rng: u64,
+    /// When set, overrides the policy: pops follow this exact task order.
+    script: Option<Script>,
 }
 
 impl ReadySet {
@@ -91,7 +101,22 @@ impl ReadySet {
             // tasks) while bounding the cost of a pop.
             window: (2 * workers).max(8),
             rng,
+            script: None,
         }
+    }
+
+    /// Installs (or clears, with `None`) a scripted pop order: while set,
+    /// [`ReadySet::pop`] returns the scripted task ids in order, skipping
+    /// the policy entirely. Used by the schedule-exploration prong of
+    /// `bpar-verify` to replay one specific dependency-consistent
+    /// topological order per run.
+    ///
+    /// A scripted task that is not yet ready falls back to the policy pop
+    /// without advancing the script — that cannot happen when the script
+    /// is a valid topological order driven by a single worker, where every
+    /// prefix of the script has completed before the next pop.
+    pub fn set_script(&mut self, order: Option<Arc<[usize]>>) {
+        self.script = order.map(|order| Script { order, cursor: 0 });
     }
 
     /// The active policy.
@@ -114,6 +139,15 @@ impl ReadySet {
     /// the scan window, or the queue front. Returns `None` when no task
     /// is ready.
     pub fn pop(&mut self, worker: usize) -> Option<usize> {
+        if let Some(script) = &mut self.script {
+            if script.cursor < script.order.len() && !self.queue.is_empty() {
+                let want = script.order[script.cursor];
+                if let Some(pos) = self.queue.iter().position(|&(t, _)| t == want) {
+                    script.cursor += 1;
+                    return self.queue.remove(pos).map(|(t, _)| t);
+                }
+            }
+        }
         match self.policy {
             SchedulerPolicy::LocalityAware => {
                 let depth = self.window.min(self.queue.len());
@@ -275,6 +309,32 @@ mod tests {
         let mut rs = ReadySet::new(SchedulerPolicy::Adversarial(AdversarialOrder::Random(0)), 1);
         rs.push(7, None);
         assert_eq!(rs.pop(0), Some(7));
+    }
+
+    #[test]
+    fn script_overrides_policy_until_exhausted() {
+        let mut rs = ReadySet::new(SchedulerPolicy::Fifo, 1);
+        for i in 0..4 {
+            rs.push(i, None);
+        }
+        rs.set_script(Some(vec![2, 0, 3].into()));
+        assert_eq!(rs.pop(0), Some(2));
+        assert_eq!(rs.pop(0), Some(0));
+        assert_eq!(rs.pop(0), Some(3));
+        // Script exhausted: back to the FIFO policy for the remainder.
+        assert_eq!(rs.pop(0), Some(1));
+        assert_eq!(rs.pop(0), None);
+    }
+
+    #[test]
+    fn scripted_task_not_ready_falls_back_without_advancing() {
+        let mut rs = ReadySet::new(SchedulerPolicy::Fifo, 1);
+        rs.push(0, None);
+        rs.set_script(Some(vec![5, 0].into()));
+        // Task 5 is not in the queue: policy pop, script stays on 5.
+        assert_eq!(rs.pop(0), Some(0));
+        rs.push(5, None);
+        assert_eq!(rs.pop(0), Some(5));
     }
 
     #[test]

@@ -17,18 +17,45 @@
 //! in the recorder attributed to the right task regardless of which worker
 //! ran it.
 //!
+//! ## Sharding and determinism
+//!
+//! Events are pushed into **per-worker shards** (each its own mutex), so
+//! validation mode no longer serialises all workers on one global lock:
+//! with fewer workers than shards every push is uncontended. Shards are
+//! flushed into the primary log at each [`crate::Runtime::taskwait`]
+//! barrier (which also advances the recorder's *epoch* — see below) and by
+//! [`AccessRecorder::take_events`].
+//!
+//! Determinism no longer comes from sorting by region: each event carries
+//! a **per-task sequence number** (`seq`), assigned in body program order
+//! on whichever worker runs the task. A task body is sequential and runs
+//! exactly once per replay, so `(epoch, task, seq)` is a total order
+//! independent of worker interleaving — `take_events` sorts by it.
+//!
+//! Each event also carries:
+//!
+//! * `epoch` — how many taskwait barriers the recorder had seen when the
+//!   event was recorded. The happens-before engine in `bpar-verify` treats
+//!   accesses from different epochs as barrier-ordered.
+//! * `site` — an opaque physical-site id (for slot-backed regions, the
+//!   address of the backing cell via [`record_read_at`] /
+//!   [`record_write_at`]; otherwise the region id). Two events alias the
+//!   same storage iff their sites are equal, even if a builder bug gave
+//!   the storage two different region ids. Sites are process-local and
+//!   must never be serialised into reports.
+//!
 //! When no recorder is installed the cost per access is one relaxed atomic
 //! load — validation mode is strictly opt-in.
 //!
 //! The comparison half (diffing observed accesses against declared
-//! clauses) lives in `bpar-verify`, which consumes the
-//! [`AccessRecorder::take_events`] log together with
-//! [`crate::CompiledPlan`] introspection.
+//! clauses, happens-before race checking, schedule exploration) lives in
+//! `bpar-verify`, which consumes the [`AccessRecorder::take_events`] log
+//! together with [`crate::CompiledPlan`] introspection.
 
 use crate::region::RegionId;
 use parking_lot::Mutex;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// How a task body touched a region.
@@ -50,41 +77,113 @@ pub struct AccessEvent {
     pub region: RegionId,
     /// Read or write.
     pub kind: AccessKind,
+    /// Position of this access within its task body (program order).
+    /// Assigned per task execution, so it is schedule-independent.
+    pub seq: u32,
+    /// Taskwait-barrier count at recording time. Events from different
+    /// epochs are ordered by the barrier between them.
+    pub epoch: u32,
+    /// Opaque physical-site id: equal sites alias the same storage.
+    /// Process-local (may be an address) — never serialise it.
+    pub site: u64,
 }
 
+impl AccessEvent {
+    /// Event with default ordering metadata (`seq`/`epoch` zero, site
+    /// derived from the region id). Mainly for tests and synthetic logs.
+    pub fn new(task: usize, region: RegionId, kind: AccessKind) -> Self {
+        Self {
+            task,
+            region,
+            kind,
+            seq: 0,
+            epoch: 0,
+            site: region.0,
+        }
+    }
+}
+
+/// Default shard count; workers index shards modulo this, so any pool of
+/// up to 16 workers records contention-free.
+const DEFAULT_SHARDS: usize = 16;
+
 /// Collects [`AccessEvent`]s from task bodies across all worker threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AccessRecorder {
-    events: Mutex<Vec<AccessEvent>>,
+    /// Per-worker event buffers (worker index modulo shard count).
+    shards: Box<[Mutex<Vec<AccessEvent>>]>,
+    /// Events migrated out of the shards at the last flush.
+    primary: Mutex<Vec<AccessEvent>>,
+    /// Taskwait-barrier count stamped into every event.
+    epoch: AtomicU32,
+}
+
+impl Default for AccessRecorder {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl AccessRecorder {
-    /// Empty recorder.
+    /// Empty recorder with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn record(&self, task: usize, region: RegionId, kind: AccessKind) {
-        self.events.lock().push(AccessEvent { task, region, kind });
+    /// Empty recorder with `shards` per-worker buffers (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            primary: Mutex::new(Vec::new()),
+            epoch: AtomicU32::new(0),
+        }
+    }
+
+    fn record(&self, shard: usize, event: AccessEvent) {
+        self.shards[shard % self.shards.len()].lock().push(event);
+    }
+
+    /// The current taskwait-barrier count.
+    pub fn current_epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Drains every worker shard into the primary log (no ordering work).
+    pub fn flush(&self) {
+        let mut primary = self.primary.lock();
+        for shard in self.shards.iter() {
+            primary.append(&mut shard.lock());
+        }
+    }
+
+    /// Taskwait hook: flushes the shards and advances the epoch, so events
+    /// recorded after the barrier are distinguishable from those before.
+    /// Called by [`crate::Runtime::taskwait`] while a recorder is
+    /// installed; callers driving recording by hand may call it directly.
+    pub fn barrier(&self) {
+        self.flush();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.primary.lock().len() + self.shards.iter().map(|s| s.lock().len()).sum::<usize>()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.len() == 0
     }
 
-    /// Removes and returns the recorded events, sorted by (task, region,
-    /// kind) so downstream reports are deterministic regardless of worker
-    /// interleaving.
+    /// Removes and returns the recorded events, sorted by `(epoch, task,
+    /// seq)` — a schedule-independent total order — so downstream reports
+    /// are deterministic regardless of worker interleaving. The epoch
+    /// counter is *not* reset; install-to-take windows stay comparable.
     pub fn take_events(&self) -> Vec<AccessEvent> {
-        let mut ev = std::mem::take(&mut *self.events.lock());
-        ev.sort_unstable_by_key(|e| (e.task, e.region, e.kind));
-        ev.dedup();
+        self.flush();
+        let mut ev = std::mem::take(&mut *self.primary.lock());
+        ev.sort_unstable_by_key(|e| (e.epoch, e.task, e.seq));
         ev
     }
 }
@@ -109,8 +208,18 @@ pub(crate) fn validation_installed(installed: bool) {
 }
 
 thread_local! {
-    /// (recorder, task index) for the task body running on this thread.
-    static CURRENT: Cell<Option<(*const AccessRecorder, usize)>> = const { Cell::new(None) };
+    /// (recorder, task index, shard index) for the task body running on
+    /// this thread.
+    static CURRENT: Cell<Option<(*const AccessRecorder, usize, usize)>> = const { Cell::new(None) };
+    /// Per-task access counter; reset on scope entry, restored on drop.
+    static SEQ: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Task index currently attributed on this thread, if a [`TaskScope`] is
+/// live (used by the lock-witness hooks to lint task bodies that block on
+/// runtime-internal locks).
+pub(crate) fn current_task() -> Option<usize> {
+    CURRENT.with(|c| c.get().map(|(_, task, _)| task))
 }
 
 /// RAII guard naming the task whose body runs on the current thread.
@@ -122,17 +231,27 @@ thread_local! {
 /// drop).
 pub struct TaskScope {
     _recorder: Arc<AccessRecorder>,
-    prev: Option<(*const AccessRecorder, usize)>,
+    prev: Option<(*const AccessRecorder, usize, usize)>,
+    prev_seq: u32,
 }
 
 impl TaskScope {
     /// Attributes subsequent [`record_read`]/[`record_write`] calls on
-    /// this thread to `task` until the guard drops.
+    /// this thread to `task` until the guard drops, recording into shard
+    /// 0. Prefer [`TaskScope::enter_on`] inside a worker pool.
     pub fn enter(recorder: Arc<AccessRecorder>, task: usize) -> Self {
-        let prev = CURRENT.with(|c| c.replace(Some((Arc::as_ptr(&recorder), task))));
+        Self::enter_on(recorder, task, 0)
+    }
+
+    /// Like [`TaskScope::enter`], but events land in `worker`'s shard so
+    /// concurrent workers never contend on one buffer.
+    pub fn enter_on(recorder: Arc<AccessRecorder>, task: usize, worker: usize) -> Self {
+        let prev = CURRENT.with(|c| c.replace(Some((Arc::as_ptr(&recorder), task, worker))));
+        let prev_seq = SEQ.with(|s| s.replace(0));
         Self {
             _recorder: recorder,
             prev,
+            prev_seq,
         }
     }
 }
@@ -140,32 +259,65 @@ impl TaskScope {
 impl Drop for TaskScope {
     fn drop(&mut self) {
         CURRENT.with(|c| c.set(self.prev));
+        SEQ.with(|s| s.set(self.prev_seq));
     }
 }
 
-fn record(region: RegionId, kind: AccessKind) {
+fn record(region: RegionId, kind: AccessKind, site: u64) {
     if !VALIDATION_ACTIVE.load(Ordering::Acquire) {
         return;
     }
     CURRENT.with(|c| {
-        if let Some((rec, task)) = c.get() {
-            // Safety: the pointer was stored by a live `TaskScope`, which
+        if let Some((rec, task, shard)) = c.get() {
+            let seq = SEQ.with(|s| {
+                let v = s.get();
+                s.set(v.wrapping_add(1));
+                v
+            });
+            // SAFETY: the pointer was stored by a live `TaskScope`, which
             // keeps its recorder alive until the TLS slot is restored.
-            unsafe { &*rec }.record(task, region, kind);
+            let rec = unsafe { &*rec };
+            let epoch = rec.current_epoch();
+            rec.record(
+                shard,
+                AccessEvent {
+                    task,
+                    region,
+                    kind,
+                    seq,
+                    epoch,
+                    site,
+                },
+            );
         }
     });
 }
 
 /// Notes that the running task body read `region`. No-op outside a
-/// [`TaskScope`] or when validation is off.
+/// [`TaskScope`] or when validation is off. The event's site defaults to
+/// the region id; storage-backed callers should prefer
+/// [`record_read_at`].
 pub fn record_read(region: RegionId) {
-    record(region, AccessKind::Read);
+    record(region, AccessKind::Read, region.0);
 }
 
-/// Notes that the running task body wrote `region`. No-op outside a
-/// [`TaskScope`] or when validation is off.
+/// Notes that the running task body wrote `region` (site defaults to the
+/// region id; see [`record_write_at`]).
 pub fn record_write(region: RegionId) {
-    record(region, AccessKind::Write);
+    record(region, AccessKind::Write, region.0);
+}
+
+/// [`record_read`] with an explicit physical-site id (e.g. the address of
+/// the backing cell), letting the analysis detect two region ids aliasing
+/// one piece of storage.
+pub fn record_read_at(region: RegionId, site: u64) {
+    record(region, AccessKind::Read, site);
+}
+
+/// [`record_write`] with an explicit physical-site id (see
+/// [`record_read_at`]).
+pub fn record_write_at(region: RegionId, site: u64) {
+    record(region, AccessKind::Write, site);
 }
 
 #[cfg(test)]
@@ -177,42 +329,92 @@ mod tests {
     }
 
     #[test]
-    fn records_are_attributed_and_sorted() {
+    fn records_are_attributed_and_ordered_by_task_seq() {
         let rec = Arc::new(AccessRecorder::new());
         validation_installed(true);
         {
-            let _scope = TaskScope::enter(rec.clone(), 7);
+            let _scope = TaskScope::enter_on(rec.clone(), 7, 1);
             record_write(r(2));
             record_read(r(1));
-            record_read(r(1)); // duplicate collapses
+            record_read(r(1)); // repeated access is preserved, seq disambiguates
         }
         {
-            let _scope = TaskScope::enter(rec.clone(), 3);
+            let _scope = TaskScope::enter_on(rec.clone(), 3, 0);
             record_read(r(9));
         }
         validation_installed(false);
         let ev = rec.take_events();
+        let key: Vec<_> = ev
+            .iter()
+            .map(|e| (e.task, e.region, e.kind, e.seq))
+            .collect();
         assert_eq!(
-            ev,
+            key,
             vec![
-                AccessEvent {
-                    task: 3,
-                    region: r(9),
-                    kind: AccessKind::Read
-                },
-                AccessEvent {
-                    task: 7,
-                    region: r(1),
-                    kind: AccessKind::Read
-                },
-                AccessEvent {
-                    task: 7,
-                    region: r(2),
-                    kind: AccessKind::Write
-                },
+                (3, r(9), AccessKind::Read, 0),
+                (7, r(2), AccessKind::Write, 0),
+                (7, r(1), AccessKind::Read, 1),
+                (7, r(1), AccessKind::Read, 2),
             ]
         );
+        assert!(ev.iter().all(|e| e.epoch == 0));
+        // Default sites mirror the region id.
+        assert!(ev.iter().all(|e| e.site == e.region.0));
         assert!(rec.is_empty(), "take_events drains");
+    }
+
+    #[test]
+    fn explicit_sites_survive_into_events() {
+        let rec = Arc::new(AccessRecorder::new());
+        validation_installed(true);
+        {
+            let _scope = TaskScope::enter(rec.clone(), 0);
+            record_write_at(r(1), 0xDEAD);
+            record_read_at(r(2), 0xDEAD); // different region, same storage
+        }
+        validation_installed(false);
+        let ev = rec.take_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].region, ev[0].site), (r(1), 0xDEAD));
+        assert_eq!((ev[1].region, ev[1].site), (r(2), 0xDEAD));
+    }
+
+    #[test]
+    fn barrier_advances_epoch_and_flushes_shards() {
+        let rec = Arc::new(AccessRecorder::with_shards(4));
+        validation_installed(true);
+        {
+            let _scope = TaskScope::enter_on(rec.clone(), 0, 3);
+            record_write(r(1));
+        }
+        rec.barrier();
+        {
+            let _scope = TaskScope::enter_on(rec.clone(), 0, 2);
+            record_write(r(1));
+        }
+        validation_installed(false);
+        assert_eq!(rec.current_epoch(), 1);
+        let ev = rec.take_events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].epoch, ev[1].epoch), (0, 1));
+        // Same task, same seq — the epoch is what orders them.
+        assert_eq!((ev[0].seq, ev[1].seq), (0, 0));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_take_events_order() {
+        let run = |shards: usize| {
+            let rec = Arc::new(AccessRecorder::with_shards(shards));
+            validation_installed(true);
+            for (task, worker) in [(5usize, 0usize), (2, 1), (9, 2)] {
+                let _scope = TaskScope::enter_on(rec.clone(), task, worker);
+                record_write(r(task as u64));
+                record_read(r(0));
+            }
+            validation_installed(false);
+            rec.take_events()
+        };
+        assert_eq!(run(1), run(8));
     }
 
     #[test]
@@ -230,17 +432,19 @@ mod tests {
         validation_installed(true);
         {
             let _outer = TaskScope::enter(rec.clone(), 1);
+            record_read(r(4));
             {
                 let _inner = TaskScope::enter(rec.clone(), 2);
                 record_read(r(5));
             }
-            record_read(r(6)); // back to task 1
+            record_read(r(6)); // back to task 1, seq continues after 0
         }
         validation_installed(false);
         let ev = rec.take_events();
-        assert_eq!(ev.len(), 2);
-        assert_eq!((ev[0].task, ev[0].region), (1, r(6)));
-        assert_eq!((ev[1].task, ev[1].region), (2, r(5)));
+        assert_eq!(ev.len(), 3);
+        assert_eq!((ev[0].task, ev[0].region, ev[0].seq), (1, r(4), 0));
+        assert_eq!((ev[1].task, ev[1].region, ev[1].seq), (1, r(6), 1));
+        assert_eq!((ev[2].task, ev[2].region, ev[2].seq), (2, r(5), 0));
     }
 
     #[test]

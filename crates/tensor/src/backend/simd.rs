@@ -257,7 +257,10 @@ mod x86 {
                     let ilim = (i0 + MR).min(mend);
                     let mut j0 = 0;
                     while j0 + NR <= n {
-                        mk_n(alpha, a, b, c, i0, ilim, j0, kk, kend, k, n);
+                        // SAFETY: the tile [i0, ilim) × [j0, j0+NR) and
+                        // the k-panel [kk, kend) are in bounds for the
+                        // m×k / k×n / m×n slices by loop construction.
+                        unsafe { mk_n(alpha, a, b, c, i0, ilim, j0, kk, kend, k, n) };
                         j0 += NR;
                     }
                     if j0 < n {
@@ -288,7 +291,9 @@ mod x86 {
                     let ilim = (i0 + MR).min(mend);
                     let mut j0 = 0;
                     while j0 + NR <= n {
-                        mk_t(alpha, a, b, c, i0, ilim, j0, kk, kend, m, n);
+                        // SAFETY: same in-bounds argument as `gemm`, with
+                        // `A` indexed transposed (k×m).
+                        unsafe { mk_t(alpha, a, b, c, i0, ilim, j0, kk, kend, m, n) };
                         j0 += NR;
                     }
                     if j0 < n {
@@ -315,18 +320,23 @@ mod x86 {
         lda: usize,
         n: usize,
     ) {
-        let mut acc = [_mm256_setzero_ps(); MR];
-        let rows = ilim - i0;
-        for p in kk..kend {
-            let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
-            for (di, accv) in acc.iter_mut().take(rows).enumerate() {
-                let aval = alpha * *a.get_unchecked((i0 + di) * lda + p);
-                *accv = _mm256_fmadd_ps(_mm256_set1_ps(aval), bv, *accv);
+        // SAFETY: caller (`gemm`) guarantees AVX2+FMA and that every
+        // index below — rows [i0, ilim) of `a`/`c`, the 8-wide column
+        // strip at j0, the k-panel [kk, kend) — is inside the slices.
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); MR];
+            let rows = ilim - i0;
+            for p in kk..kend {
+                let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
+                for (di, accv) in acc.iter_mut().take(rows).enumerate() {
+                    let aval = alpha * *a.get_unchecked((i0 + di) * lda + p);
+                    *accv = _mm256_fmadd_ps(_mm256_set1_ps(aval), bv, *accv);
+                }
             }
-        }
-        for (di, accv) in acc.iter().take(rows).enumerate() {
-            let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
-            _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accv));
+            for (di, accv) in acc.iter().take(rows).enumerate() {
+                let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accv));
+            }
         }
     }
 
@@ -346,18 +356,22 @@ mod x86 {
         m: usize,
         n: usize,
     ) {
-        let mut acc = [_mm256_setzero_ps(); MR];
-        let rows = ilim - i0;
-        for p in kk..kend {
-            let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
-            for (di, accv) in acc.iter_mut().take(rows).enumerate() {
-                let aval = alpha * *a.get_unchecked(p * m + i0 + di);
-                *accv = _mm256_fmadd_ps(_mm256_set1_ps(aval), bv, *accv);
+        // SAFETY: caller (`gemm_tn`) guarantees AVX2+FMA and in-bounds
+        // tile/panel indices, with `a` indexed transposed (k×m).
+        unsafe {
+            let mut acc = [_mm256_setzero_ps(); MR];
+            let rows = ilim - i0;
+            for p in kk..kend {
+                let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
+                for (di, accv) in acc.iter_mut().take(rows).enumerate() {
+                    let aval = alpha * *a.get_unchecked(p * m + i0 + di);
+                    *accv = _mm256_fmadd_ps(_mm256_set1_ps(aval), bv, *accv);
+                }
             }
-        }
-        for (di, accv) in acc.iter().take(rows).enumerate() {
-            let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
-            _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accv));
+            for (di, accv) in acc.iter().take(rows).enumerate() {
+                let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accv));
+            }
         }
     }
 
@@ -373,30 +387,35 @@ mod x86 {
         k: usize,
         n: usize,
     ) {
-        for kk in (0..k).step_by(KC) {
-            let kend = (kk + KC).min(k);
-            for mm in (0..m).step_by(MC) {
-                let mend = (mm + MC).min(m);
-                for i in mm..mend {
-                    let ap = a.as_ptr().add(i * k);
-                    for j in 0..n {
-                        let bp = b.as_ptr().add(j * k);
-                        let mut accv = _mm256_setzero_ps();
-                        let mut p = kk;
-                        while p + 8 <= kend {
-                            accv = _mm256_fmadd_ps(
-                                _mm256_loadu_ps(ap.add(p)),
-                                _mm256_loadu_ps(bp.add(p)),
-                                accv,
-                            );
-                            p += 8;
+        // SAFETY: `a` is m×k and `b` is n×k row-major, so `i*k + p` and
+        // `j*k + p` stay in bounds for p < kend ≤ k; `i*n + j` indexes
+        // the m×n output. AVX2+FMA availability is this fn's contract.
+        unsafe {
+            for kk in (0..k).step_by(KC) {
+                let kend = (kk + KC).min(k);
+                for mm in (0..m).step_by(MC) {
+                    let mend = (mm + MC).min(m);
+                    for i in mm..mend {
+                        let ap = a.as_ptr().add(i * k);
+                        for j in 0..n {
+                            let bp = b.as_ptr().add(j * k);
+                            let mut accv = _mm256_setzero_ps();
+                            let mut p = kk;
+                            while p + 8 <= kend {
+                                accv = _mm256_fmadd_ps(
+                                    _mm256_loadu_ps(ap.add(p)),
+                                    _mm256_loadu_ps(bp.add(p)),
+                                    accv,
+                                );
+                                p += 8;
+                            }
+                            let mut s = hsum(accv);
+                            while p < kend {
+                                s = (*ap.add(p)).mul_add(*bp.add(p), s);
+                                p += 1;
+                            }
+                            *c.get_unchecked_mut(i * n + j) += alpha * s;
                         }
-                        let mut s = hsum(accv);
-                        while p < kend {
-                            s = (*ap.add(p)).mul_add(*bp.add(p), s);
-                            p += 1;
-                        }
-                        *c.get_unchecked_mut(i * n + j) += alpha * s;
                     }
                 }
             }
@@ -405,111 +424,136 @@ mod x86 {
 
     #[inline(always)]
     unsafe fn hsum(v: __m256) -> f32 {
-        let hi = _mm256_extractf128_ps(v, 1);
-        let lo = _mm256_castps256_ps128(v);
-        let s = _mm_add_ps(lo, hi);
-        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
-        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
-        _mm_cvtss_f32(s)
+        // SAFETY: pure register shuffles and adds — no memory access;
+        // the caller guarantees AVX2 is available.
+        unsafe {
+            let hi = _mm256_extractf128_ps(v, 1);
+            let lo = _mm256_castps256_ps128(v);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+            _mm_cvtss_f32(s)
+        }
     }
 
     /// `y += alpha * x`, lane-wise FMA (bit-identical to the scalar op).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-        let len = x.len().min(y.len());
-        let av = _mm256_set1_ps(alpha);
-        let mut i = 0;
-        while i + 8 <= len {
-            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
-            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
-            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
-            i += 8;
-        }
-        while i < len {
-            *y.get_unchecked_mut(i) = alpha.mul_add(*x.get_unchecked(i), *y.get_unchecked(i));
-            i += 1;
+        // SAFETY: every access is below `len = min(x.len(), y.len())`;
+        // AVX2+FMA availability is this fn's contract.
+        unsafe {
+            let len = x.len().min(y.len());
+            let av = _mm256_set1_ps(alpha);
+            let mut i = 0;
+            while i + 8 <= len {
+                let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+                _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+                i += 8;
+            }
+            while i < len {
+                *y.get_unchecked_mut(i) = alpha.mul_add(*x.get_unchecked(i), *y.get_unchecked(i));
+                i += 1;
+            }
         }
     }
 
     /// `out += a ⊙ b`, lane-wise FMA (bit-identical to the scalar op).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn hadamard_add(a: &[f32], b: &[f32], out: &mut [f32]) {
-        let len = a.len().min(b.len()).min(out.len());
-        let mut i = 0;
-        while i + 8 <= len {
-            let ov = _mm256_loadu_ps(out.as_ptr().add(i));
-            let av = _mm256_loadu_ps(a.as_ptr().add(i));
-            let bv = _mm256_loadu_ps(b.as_ptr().add(i));
-            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_fmadd_ps(av, bv, ov));
-            i += 8;
-        }
-        while i < len {
-            *out.get_unchecked_mut(i) = a
-                .get_unchecked(i)
-                .mul_add(*b.get_unchecked(i), *out.get_unchecked(i));
-            i += 1;
+        // SAFETY: every access is below the min of the three lengths;
+        // AVX2+FMA availability is this fn's contract.
+        unsafe {
+            let len = a.len().min(b.len()).min(out.len());
+            let mut i = 0;
+            while i + 8 <= len {
+                let ov = _mm256_loadu_ps(out.as_ptr().add(i));
+                let av = _mm256_loadu_ps(a.as_ptr().add(i));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_fmadd_ps(av, bv, ov));
+                i += 8;
+            }
+            while i < len {
+                *out.get_unchecked_mut(i) = a
+                    .get_unchecked(i)
+                    .mul_add(*b.get_unchecked(i), *out.get_unchecked(i));
+                i += 1;
+            }
         }
     }
 
     /// Lane-wise binary op: `OP = 0` mul, `1` add, `2` sub (bit-identical).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn binary<const OP: u8>(a: &[f32], b: &[f32], out: &mut [f32]) {
-        let len = a.len().min(b.len()).min(out.len());
-        let mut i = 0;
-        while i + 8 <= len {
-            let av = _mm256_loadu_ps(a.as_ptr().add(i));
-            let bv = _mm256_loadu_ps(b.as_ptr().add(i));
-            let r = match OP {
-                0 => _mm256_mul_ps(av, bv),
-                1 => _mm256_add_ps(av, bv),
-                _ => _mm256_sub_ps(av, bv),
-            };
-            _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
-            i += 8;
-        }
-        while i < len {
-            let (x, y) = (*a.get_unchecked(i), *b.get_unchecked(i));
-            *out.get_unchecked_mut(i) = match OP {
-                0 => x * y,
-                1 => x + y,
-                _ => x - y,
-            };
-            i += 1;
+        // SAFETY: every access is below the min of the three lengths;
+        // AVX2 availability is this fn's contract.
+        unsafe {
+            let len = a.len().min(b.len()).min(out.len());
+            let mut i = 0;
+            while i + 8 <= len {
+                let av = _mm256_loadu_ps(a.as_ptr().add(i));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+                let r = match OP {
+                    0 => _mm256_mul_ps(av, bv),
+                    1 => _mm256_add_ps(av, bv),
+                    _ => _mm256_sub_ps(av, bv),
+                };
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+                i += 8;
+            }
+            while i < len {
+                let (x, y) = (*a.get_unchecked(i), *b.get_unchecked(i));
+                *out.get_unchecked_mut(i) = match OP {
+                    0 => x * y,
+                    1 => x + y,
+                    _ => x - y,
+                };
+                i += 1;
+            }
         }
     }
 
     /// `m *= alpha`, lane-wise (bit-identical).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn scale(alpha: f32, m: &mut [f32]) {
-        let av = _mm256_set1_ps(alpha);
-        let len = m.len();
-        let mut i = 0;
-        while i + 8 <= len {
-            let v = _mm256_loadu_ps(m.as_ptr().add(i));
-            _mm256_storeu_ps(m.as_mut_ptr().add(i), _mm256_mul_ps(v, av));
-            i += 8;
-        }
-        while i < len {
-            *m.get_unchecked_mut(i) *= alpha;
-            i += 1;
+        // SAFETY: every access is below `m.len()`; AVX2 availability is
+        // this fn's contract.
+        unsafe {
+            let av = _mm256_set1_ps(alpha);
+            let len = m.len();
+            let mut i = 0;
+            while i + 8 <= len {
+                let v = _mm256_loadu_ps(m.as_ptr().add(i));
+                _mm256_storeu_ps(m.as_mut_ptr().add(i), _mm256_mul_ps(v, av));
+                i += 8;
+            }
+            while i < len {
+                *m.get_unchecked_mut(i) *= alpha;
+                i += 1;
+            }
         }
     }
 
     /// Bias-row broadcast, lane-wise add per row (bit-identical).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn add_bias(m: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
-        for r in 0..rows {
-            let row = m.as_mut_ptr().add(r * cols);
-            let mut j = 0;
-            while j + 8 <= cols {
-                let v = _mm256_loadu_ps(row.add(j) as *const f32);
-                let bv = _mm256_loadu_ps(bias.as_ptr().add(j));
-                _mm256_storeu_ps(row.add(j), _mm256_add_ps(v, bv));
-                j += 8;
-            }
-            while j < cols {
-                *row.add(j) += *bias.get_unchecked(j);
-                j += 1;
+        // SAFETY: the caller guarantees `m.len() >= rows * cols` and
+        // `bias.len() >= cols`; every offset stays inside those bounds.
+        // AVX2 availability is this fn's contract.
+        unsafe {
+            for r in 0..rows {
+                let row = m.as_mut_ptr().add(r * cols);
+                let mut j = 0;
+                while j + 8 <= cols {
+                    let v = _mm256_loadu_ps(row.add(j) as *const f32);
+                    let bv = _mm256_loadu_ps(bias.as_ptr().add(j));
+                    _mm256_storeu_ps(row.add(j), _mm256_add_ps(v, bv));
+                    j += 8;
+                }
+                while j < cols {
+                    *row.add(j) += *bias.get_unchecked(j);
+                    j += 1;
+                }
             }
         }
     }
@@ -540,7 +584,11 @@ mod neon {
                     let ilim = (i0 + MR).min(mend);
                     let mut j0 = 0;
                     while j0 + NR <= n {
-                        mk_n(alpha, a, b, c, i0, ilim, j0, kk, kend, k, n);
+                        // SAFETY: the tile [i0, ilim) × [j0, j0+NR) and the
+                        // k-panel [kk, kend) are in bounds of a/b/c by the
+                        // loop limits; NEON availability is this fn's
+                        // contract.
+                        unsafe { mk_n(alpha, a, b, c, i0, ilim, j0, kk, kend, k, n) };
                         j0 += NR;
                     }
                     if j0 < n {
@@ -566,126 +614,152 @@ mod neon {
         lda: usize,
         n: usize,
     ) {
-        let mut lo = [vdupq_n_f32(0.0); MR];
-        let mut hi = [vdupq_n_f32(0.0); MR];
-        let rows = ilim - i0;
-        for p in kk..kend {
-            let bl = vld1q_f32(b.as_ptr().add(p * n + j0));
-            let bh = vld1q_f32(b.as_ptr().add(p * n + j0 + 4));
-            for di in 0..rows {
-                let aval = alpha * *a.get_unchecked((i0 + di) * lda + p);
-                let av = vdupq_n_f32(aval);
-                lo[di] = vfmaq_f32(lo[di], av, bl);
-                hi[di] = vfmaq_f32(hi[di], av, bh);
+        // SAFETY: the caller (gemm) guarantees the MR×NR tile at
+        // (i0, j0) and the k-panel [kk, kend) are in bounds of a/b/c,
+        // and only calls this with NEON available.
+        unsafe {
+            let mut lo = [vdupq_n_f32(0.0); MR];
+            let mut hi = [vdupq_n_f32(0.0); MR];
+            let rows = ilim - i0;
+            for p in kk..kend {
+                let bl = vld1q_f32(b.as_ptr().add(p * n + j0));
+                let bh = vld1q_f32(b.as_ptr().add(p * n + j0 + 4));
+                for di in 0..rows {
+                    let aval = alpha * *a.get_unchecked((i0 + di) * lda + p);
+                    let av = vdupq_n_f32(aval);
+                    lo[di] = vfmaq_f32(lo[di], av, bl);
+                    hi[di] = vfmaq_f32(hi[di], av, bh);
+                }
             }
-        }
-        for di in 0..rows {
-            let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
-            vst1q_f32(cp, vaddq_f32(vld1q_f32(cp as *const f32), lo[di]));
-            vst1q_f32(
-                cp.add(4),
-                vaddq_f32(vld1q_f32(cp.add(4) as *const f32), hi[di]),
-            );
+            for di in 0..rows {
+                let cp = c.as_mut_ptr().add((i0 + di) * n + j0);
+                vst1q_f32(cp, vaddq_f32(vld1q_f32(cp as *const f32), lo[di]));
+                vst1q_f32(
+                    cp.add(4),
+                    vaddq_f32(vld1q_f32(cp.add(4) as *const f32), hi[di]),
+                );
+            }
         }
     }
 
     /// `y += alpha * x`, lane-wise FMA (bit-identical).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-        let len = x.len().min(y.len());
-        let av = vdupq_n_f32(alpha);
-        let mut i = 0;
-        while i + 4 <= len {
-            let yv = vld1q_f32(y.as_ptr().add(i));
-            let xv = vld1q_f32(x.as_ptr().add(i));
-            vst1q_f32(y.as_mut_ptr().add(i), vfmaq_f32(yv, av, xv));
-            i += 4;
-        }
-        while i < len {
-            *y.get_unchecked_mut(i) = alpha.mul_add(*x.get_unchecked(i), *y.get_unchecked(i));
-            i += 1;
+        // SAFETY: every access is below the min of the two lengths;
+        // NEON availability is this fn's contract.
+        unsafe {
+            let len = x.len().min(y.len());
+            let av = vdupq_n_f32(alpha);
+            let mut i = 0;
+            while i + 4 <= len {
+                let yv = vld1q_f32(y.as_ptr().add(i));
+                let xv = vld1q_f32(x.as_ptr().add(i));
+                vst1q_f32(y.as_mut_ptr().add(i), vfmaq_f32(yv, av, xv));
+                i += 4;
+            }
+            while i < len {
+                *y.get_unchecked_mut(i) = alpha.mul_add(*x.get_unchecked(i), *y.get_unchecked(i));
+                i += 1;
+            }
         }
     }
 
     /// `out += a ⊙ b`, lane-wise FMA (bit-identical).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn hadamard_add(a: &[f32], b: &[f32], out: &mut [f32]) {
-        let len = a.len().min(b.len()).min(out.len());
-        let mut i = 0;
-        while i + 4 <= len {
-            let ov = vld1q_f32(out.as_ptr().add(i));
-            let av = vld1q_f32(a.as_ptr().add(i));
-            let bv = vld1q_f32(b.as_ptr().add(i));
-            vst1q_f32(out.as_mut_ptr().add(i), vfmaq_f32(ov, av, bv));
-            i += 4;
-        }
-        while i < len {
-            *out.get_unchecked_mut(i) = a
-                .get_unchecked(i)
-                .mul_add(*b.get_unchecked(i), *out.get_unchecked(i));
-            i += 1;
+        // SAFETY: every access is below the min of the three lengths;
+        // NEON availability is this fn's contract.
+        unsafe {
+            let len = a.len().min(b.len()).min(out.len());
+            let mut i = 0;
+            while i + 4 <= len {
+                let ov = vld1q_f32(out.as_ptr().add(i));
+                let av = vld1q_f32(a.as_ptr().add(i));
+                let bv = vld1q_f32(b.as_ptr().add(i));
+                vst1q_f32(out.as_mut_ptr().add(i), vfmaq_f32(ov, av, bv));
+                i += 4;
+            }
+            while i < len {
+                *out.get_unchecked_mut(i) = a
+                    .get_unchecked(i)
+                    .mul_add(*b.get_unchecked(i), *out.get_unchecked(i));
+                i += 1;
+            }
         }
     }
 
     /// Lane-wise binary op: `OP = 0` mul, `1` add, `2` sub (bit-identical).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn binary<const OP: u8>(a: &[f32], b: &[f32], out: &mut [f32]) {
-        let len = a.len().min(b.len()).min(out.len());
-        let mut i = 0;
-        while i + 4 <= len {
-            let av = vld1q_f32(a.as_ptr().add(i));
-            let bv = vld1q_f32(b.as_ptr().add(i));
-            let r = match OP {
-                0 => vmulq_f32(av, bv),
-                1 => vaddq_f32(av, bv),
-                _ => vsubq_f32(av, bv),
-            };
-            vst1q_f32(out.as_mut_ptr().add(i), r);
-            i += 4;
-        }
-        while i < len {
-            let (x, y) = (*a.get_unchecked(i), *b.get_unchecked(i));
-            *out.get_unchecked_mut(i) = match OP {
-                0 => x * y,
-                1 => x + y,
-                _ => x - y,
-            };
-            i += 1;
+        // SAFETY: every access is below the min of the three lengths;
+        // NEON availability is this fn's contract.
+        unsafe {
+            let len = a.len().min(b.len()).min(out.len());
+            let mut i = 0;
+            while i + 4 <= len {
+                let av = vld1q_f32(a.as_ptr().add(i));
+                let bv = vld1q_f32(b.as_ptr().add(i));
+                let r = match OP {
+                    0 => vmulq_f32(av, bv),
+                    1 => vaddq_f32(av, bv),
+                    _ => vsubq_f32(av, bv),
+                };
+                vst1q_f32(out.as_mut_ptr().add(i), r);
+                i += 4;
+            }
+            while i < len {
+                let (x, y) = (*a.get_unchecked(i), *b.get_unchecked(i));
+                *out.get_unchecked_mut(i) = match OP {
+                    0 => x * y,
+                    1 => x + y,
+                    _ => x - y,
+                };
+                i += 1;
+            }
         }
     }
 
     /// `m *= alpha`, lane-wise (bit-identical).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn scale(alpha: f32, m: &mut [f32]) {
-        let av = vdupq_n_f32(alpha);
-        let len = m.len();
-        let mut i = 0;
-        while i + 4 <= len {
-            let v = vld1q_f32(m.as_ptr().add(i));
-            vst1q_f32(m.as_mut_ptr().add(i), vmulq_f32(v, av));
-            i += 4;
-        }
-        while i < len {
-            *m.get_unchecked_mut(i) *= alpha;
-            i += 1;
+        // SAFETY: every access is below `m.len()`; NEON availability is
+        // this fn's contract.
+        unsafe {
+            let av = vdupq_n_f32(alpha);
+            let len = m.len();
+            let mut i = 0;
+            while i + 4 <= len {
+                let v = vld1q_f32(m.as_ptr().add(i));
+                vst1q_f32(m.as_mut_ptr().add(i), vmulq_f32(v, av));
+                i += 4;
+            }
+            while i < len {
+                *m.get_unchecked_mut(i) *= alpha;
+                i += 1;
+            }
         }
     }
 
     /// Bias-row broadcast, lane-wise add per row (bit-identical).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn add_bias(m: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
-        for r in 0..rows {
-            let row = m.as_mut_ptr().add(r * cols);
-            let mut j = 0;
-            while j + 4 <= cols {
-                let v = vld1q_f32(row.add(j) as *const f32);
-                let bv = vld1q_f32(bias.as_ptr().add(j));
-                vst1q_f32(row.add(j), vaddq_f32(v, bv));
-                j += 4;
-            }
-            while j < cols {
-                *row.add(j) += *bias.get_unchecked(j);
-                j += 1;
+        // SAFETY: the caller guarantees `m.len() >= rows * cols` and
+        // `bias.len() >= cols`; every offset stays inside those bounds.
+        // NEON availability is this fn's contract.
+        unsafe {
+            for r in 0..rows {
+                let row = m.as_mut_ptr().add(r * cols);
+                let mut j = 0;
+                while j + 4 <= cols {
+                    let v = vld1q_f32(row.add(j) as *const f32);
+                    let bv = vld1q_f32(bias.as_ptr().add(j));
+                    vst1q_f32(row.add(j), vaddq_f32(v, bv));
+                    j += 4;
+                }
+                while j < cols {
+                    *row.add(j) += *bias.get_unchecked(j);
+                    j += 1;
+                }
             }
         }
     }

@@ -21,6 +21,12 @@
 //! each of which calls these kernels on its private working set — exactly
 //! the "B-Par is mapped to MKL-Sequential" configuration of the paper.
 
+// The only crate in the workspace with real unsafe (SIMD intrinsics and
+// the counting allocator): every unsafe operation must sit in its own
+// block with a SAFETY comment, enforced here and by the `unsafe_audit`
+// binary in CI.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod activation;
 pub mod alloc_track;
 pub mod backend;

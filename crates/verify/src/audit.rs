@@ -1,0 +1,314 @@
+//! Unsafe-code audit: source-level lints over the repo's own crates.
+//!
+//! The workspace keeps its `unsafe` surface small and concentrated (SIMD
+//! kernels, the allocation tracker, one TLS deref in the access
+//! recorder). This module enforces the two rules that keep it reviewable:
+//!
+//! * `missing-safety-comment` — every `unsafe` *block* must be preceded
+//!   by a `// SAFETY:` comment (within the few lines above it, or on the
+//!   same line) stating the invariant that makes it sound.
+//! * `missing-unsafe-lint` — every crate that contains unsafe code must
+//!   carry `#![deny(unsafe_op_in_unsafe_fn)]` in its crate root, so an
+//!   `unsafe fn` body cannot silently perform unsafe operations without
+//!   an explicit, commentable block.
+//!
+//! The scanner is a line-oriented lexer, not a parser: it strips string
+//! literals (including raw strings) and comments, then looks for the
+//! `unsafe` token followed by `{`. Tokens introducing `unsafe fn` /
+//! `unsafe impl` / `unsafe trait` / `unsafe extern` declarations are
+//! exempt — the in-block rule plus `unsafe_op_in_unsafe_fn` already
+//! forces a commented block at every use site.
+//!
+//! The `unsafe_audit` binary walks `crates/`, applies both rules, and
+//! exits nonzero on any finding; CI runs it in the `soundness` job.
+
+use crate::report::Finding;
+
+/// Strips comments and string literals from `source`, preserving line
+/// structure, so token scans cannot be fooled by text in literals.
+fn code_only(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Char,
+        Block(usize),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let mut kept = String::with_capacity(line.len());
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match st {
+                St::Code => match c {
+                    '/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+                    '/' if bytes.get(i + 1) == Some(&b'*') => {
+                        st = St::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        st = St::Str;
+                        kept.push(' ');
+                    }
+                    '\'' => {
+                        // Lifetime or char literal: a char literal closes
+                        // within a few bytes; lifetimes have no closing
+                        // quote before a non-ident char.
+                        let is_char = bytes.get(i + 1) == Some(&b'\\')
+                            || (bytes.get(i + 2) == Some(&b'\''))
+                            || (bytes.get(i + 1).is_some_and(|b| *b == b'\'')); // ''
+                        if is_char {
+                            st = St::Char;
+                        }
+                        kept.push(' ');
+                    }
+                    'r' => {
+                        // r"..." / r#"..."# raw string heads.
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let prev_ident =
+                            i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                        if bytes.get(j) == Some(&b'"') && !prev_ident {
+                            st = St::RawStr(hashes);
+                            kept.push(' ');
+                            i = j + 1;
+                            continue;
+                        }
+                        kept.push(c);
+                    }
+                    _ => kept.push(c),
+                },
+                St::Str => match c {
+                    '\\' => {
+                        i += 2;
+                        continue;
+                    }
+                    '"' => st = St::Code,
+                    _ => {}
+                },
+                St::RawStr(hashes) => {
+                    if c == '"' {
+                        let closed = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                        if closed {
+                            st = St::Code;
+                            i += 1 + hashes;
+                            continue;
+                        }
+                    }
+                }
+                St::Char => match c {
+                    '\\' => {
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => st = St::Code,
+                    _ => {}
+                },
+                St::Block(depth) => {
+                    if c == '*' && bytes.get(i + 1) == Some(&b'/') {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated short literals do not really span lines.
+        if st == St::Str || st == St::Char {
+            st = St::Code;
+        }
+        out.push(kept);
+    }
+    out
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of `unsafe` tokens that open a *block* on this (or a
+/// following) code-only line.
+fn unsafe_block_tokens(code: &[String], line_idx: usize) -> Vec<usize> {
+    let line = &code[line_idx];
+    let bytes = line.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("unsafe") {
+        let at = from + pos;
+        from = at + 6;
+        let pre_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let post_ok = at + 6 >= bytes.len() || !is_ident(bytes[at + 6]);
+        if !(pre_ok && post_ok) {
+            continue;
+        }
+        // What follows the token (skipping whitespace, possibly onto the
+        // next code lines)?
+        let mut rest: &str = line[at + 6..].trim_start();
+        let mut look = line_idx + 1;
+        while rest.is_empty() && look < code.len() && look <= line_idx + 3 {
+            rest = code[look].trim_start();
+            look += 1;
+        }
+        if rest.starts_with('{') {
+            hits.push(at);
+        }
+        // `unsafe fn` / `unsafe impl` / `unsafe trait` / `unsafe extern`
+        // declarations fall through: not blocks.
+    }
+    hits
+}
+
+/// True when a SAFETY marker appears on `line_idx` before `col`, or on
+/// the few raw lines above it.
+fn has_safety_comment(raw: &[&str], line_idx: usize, col: usize) -> bool {
+    const LOOKBACK: usize = 4;
+    let marker = |s: &str| s.contains("SAFETY:") || s.contains("Safety:");
+    if marker(&raw[line_idx][..col.min(raw[line_idx].len())]) {
+        return true;
+    }
+    let start = line_idx.saturating_sub(LOOKBACK);
+    raw[start..line_idx].iter().any(|l| marker(l))
+}
+
+/// Audits one source file. Returns the number of `unsafe` blocks found
+/// and a `missing-safety-comment` finding for each uncommented one.
+/// `path_label` is the file path as it should appear in findings.
+pub fn audit_source(path_label: &str, source: &str) -> (usize, Vec<Finding>) {
+    let code = code_only(source);
+    let raw: Vec<&str> = source.lines().collect();
+    let mut blocks = 0;
+    let mut findings = Vec::new();
+    for li in 0..code.len() {
+        for col in unsafe_block_tokens(&code, li) {
+            blocks += 1;
+            if !has_safety_comment(&raw, li, col) {
+                findings.push(Finding::graph_error(
+                    "missing-safety-comment",
+                    format!(
+                        "{path_label}:{}: unsafe block has no preceding \
+                         SAFETY comment stating its invariant",
+                        li + 1
+                    ),
+                ));
+            }
+        }
+    }
+    (blocks, findings)
+}
+
+/// Audits a crate root: a crate whose sources contain unsafe blocks must
+/// opt in to `unsafe_op_in_unsafe_fn`.
+pub fn audit_crate_root(
+    crate_name: &str,
+    root_label: &str,
+    root_source: &str,
+    crate_has_unsafe: bool,
+) -> Option<Finding> {
+    if crate_has_unsafe && !root_source.contains("unsafe_op_in_unsafe_fn") {
+        return Some(Finding::graph_error(
+            "missing-unsafe-lint",
+            format!(
+                "crate '{crate_name}' contains unsafe code but {root_label} \
+                 does not deny(unsafe_op_in_unsafe_fn)"
+            ),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commented_block_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        let (blocks, f) = audit_source("x.rs", src);
+        assert_eq!(blocks, 1);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn uncommented_block_is_flagged_with_line() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let (blocks, f) = audit_source("x.rs", src);
+        assert_eq!(blocks, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "missing-safety-comment");
+        assert_eq!(f[0].code, "BPV601");
+        assert!(f[0].detail.contains("x.rs:2"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn declarations_are_not_blocks() {
+        let src = "unsafe fn g() {}\nunsafe impl Send for X {}\nunsafe trait T {}\n";
+        let (blocks, f) = audit_source("x.rs", src);
+        assert_eq!(blocks, 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn token_in_strings_and_comments_is_ignored() {
+        let src = concat!(
+            "// the word unsafe { in a comment\n",
+            "/* unsafe { in a block comment */\n",
+            "let s = \"unsafe { in a string\";\n",
+            "let r = r#\"unsafe { raw\"#;\n",
+        );
+        let (blocks, f) = audit_source("x.rs", src);
+        assert_eq!(blocks, 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn brace_on_next_line_still_counts() {
+        let src = "fn f() {\n    unsafe\n    {\n        work();\n    }\n}\n";
+        let (blocks, f) = audit_source("x.rs", src);
+        assert_eq!(blocks, 1);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_lookback_is_bounded() {
+        let src = "// SAFETY: too far away.\n\n\n\n\n\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let (_, f) = audit_source("x.rs", src);
+        assert_eq!(f.len(), 1, "a SAFETY comment 6 lines up must not count");
+    }
+
+    #[test]
+    fn identifier_containing_unsafe_is_not_a_token() {
+        let src = "let not_unsafe = 1;\nlet unsafe_count = 2;\n";
+        let (blocks, _) = audit_source("x.rs", src);
+        assert_eq!(blocks, 0);
+    }
+
+    #[test]
+    fn crate_lint_gate_requires_the_deny() {
+        let with = "#![deny(unsafe_op_in_unsafe_fn)]\npub mod x;\n";
+        let without = "pub mod x;\n";
+        assert!(audit_crate_root("c", "c/src/lib.rs", with, true).is_none());
+        let f = audit_crate_root("c", "c/src/lib.rs", without, true).unwrap();
+        assert_eq!(f.check, "missing-unsafe-lint");
+        assert_eq!(f.code, "BPV602");
+        assert!(audit_crate_root("c", "c/src/lib.rs", without, false).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Repo-wide unsafe-code audit gate.
+//!
+//! Walks the workspace's `crates/` tree (skipping build output), applies
+//! the [`bpar_verify::audit`] lints to every Rust source, and exits
+//! nonzero when any finding fires. CI runs this in the `soundness` job:
+//!
+//! ```text
+//! cargo run -p bpar-verify --bin unsafe_audit -- crates
+//! ```
+//!
+//! Output is one line per finding, prefixed by its stable `BPV` code, and
+//! a final summary of files / unsafe blocks scanned.
+
+use bpar_verify::audit::{audit_crate_root, audit_source};
+use bpar_verify::report::Finding;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| "crates".into());
+    let root = PathBuf::from(root);
+    if !root.is_dir() {
+        eprintln!("unsafe_audit: '{}' is not a directory", root.display());
+        std::process::exit(2);
+    }
+
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&root) {
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(err) => {
+            eprintln!("unsafe_audit: cannot read '{}': {err}", root.display());
+            std::process::exit(2);
+        }
+    };
+    crate_dirs.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut total_blocks = 0usize;
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let mut files = Vec::new();
+        collect_rs_files(crate_dir, &mut files);
+        let mut crate_blocks = 0usize;
+        for file in &files {
+            let Ok(source) = fs::read_to_string(file) else {
+                continue;
+            };
+            files_scanned += 1;
+            let label = file.display().to_string();
+            let (blocks, file_findings) = audit_source(&label, &source);
+            crate_blocks += blocks;
+            findings.extend(file_findings);
+        }
+        total_blocks += crate_blocks;
+        // The crate root is lib.rs for libraries, main.rs for pure bins.
+        for root_name in ["src/lib.rs", "src/main.rs"] {
+            let root_path = crate_dir.join(root_name);
+            if let Ok(root_source) = fs::read_to_string(&root_path) {
+                if let Some(f) = audit_crate_root(
+                    &crate_name,
+                    &root_path.display().to_string(),
+                    &root_source,
+                    crate_blocks > 0,
+                ) {
+                    findings.push(f);
+                }
+                break;
+            }
+        }
+    }
+
+    for f in &findings {
+        println!("[{} {}] {}", f.code, f.check, f.detail);
+    }
+    println!(
+        "unsafe_audit: {} files, {} unsafe blocks, {} findings",
+        files_scanned,
+        total_blocks,
+        findings.len()
+    );
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -167,11 +167,7 @@ mod tests {
     }
 
     fn ev(task: usize, region: u64, kind: AccessKind) -> AccessEvent {
-        AccessEvent {
-            task,
-            region: r(region),
-            kind,
-        }
+        AccessEvent::new(task, r(region), kind)
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! Bounded exhaustive schedule exploration (DPOR-lite).
+//!
+//! Schedule fuzzing ([`crate::fingerprint`]) samples a handful of
+//! adversarial orders; for small plans we can do better and enumerate
+//! *every* dependency-consistent topological order, replay each through
+//! the real runtime, and prove the output fingerprint invariant. A bug
+//! that only corrupts state under one interleaving out of hundreds —
+//! e.g. storage aliased under two region ids, which every region-keyed
+//! analysis is blind to — cannot hide from an exhaustive sweep.
+//!
+//! Naive enumeration of topological orders explodes factorially, but most
+//! orders are equivalent: swapping two adjacent *independent* tasks
+//! cannot change any outcome. We prune with the classic partial-order
+//! reduction pair:
+//!
+//! * **Persistent (stubborn) sets** — at each state only a closed subset
+//!   of the enabled tasks is branched on: starting from one seed, any
+//!   unexecuted task conflicting with a member joins the set, and a
+//!   disabled member pulls in its unexecuted predecessors (the only tasks
+//!   that can enable it). Everything outside the set provably commutes
+//!   past the whole subtree, so exploring only the set's enabled members
+//!   is exhaustive. On a conflict-free graph the set is a single task and
+//!   the search degenerates to one linear walk.
+//! * **Sleep sets** — after exploring task `t` at a state, `t` enters the
+//!   sleep set of its sibling branches and is only woken by a task that
+//!   conflicts with it. Branches whose every enabled task is asleep are
+//!   provably redundant and counted as pruned, not replayed.
+//!
+//! With a sound conflict relation this visits at least one representative
+//! of every Mazurkiewicz trace — for a conflict-free graph, exactly one
+//! schedule total.
+//!
+//! Conflicts are derived from the **observed physical sites** of a
+//! baseline recorded run (two tasks conflict when they touch the same
+//! site and at least one writes), not from declared clauses. That choice
+//! is what keeps the reduction sound in the presence of region-aliasing
+//! bugs: the clauses claim independence, the sites say otherwise, and
+//! the sites win.
+//!
+//! The replay callback owns all runtime mechanics (installing the
+//! schedule script, resetting state, fingerprinting); this module is pure
+//! search. Budget overruns surface as an informational
+//! `explore-truncated` finding with `complete == false` — never silent.
+
+use crate::report::Finding;
+
+/// Limits on the exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreBudget {
+    /// Plans with more tasks than this are not explored at all (the
+    /// caller should fall back to schedule fuzzing).
+    pub max_tasks: usize,
+    /// Maximum complete schedules replayed before giving up.
+    pub max_schedules: usize,
+}
+
+impl Default for ExploreBudget {
+    fn default() -> Self {
+        Self {
+            max_tasks: 12,
+            max_schedules: 4096,
+        }
+    }
+}
+
+/// What happened while exploring.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Complete schedules replayed.
+    pub replayed: usize,
+    /// Redundant branches cut by the sleep-set rule.
+    pub pruned: usize,
+    /// True when every dependency-consistent schedule class was covered
+    /// within budget.
+    pub complete: bool,
+}
+
+/// Result of replaying one complete schedule.
+#[derive(Debug, Clone)]
+pub enum ReplayOutcome {
+    /// Run completed; carries the output fingerprint.
+    Ok(String),
+    /// Run panicked or failed; carries the error rendering.
+    Panic(String),
+}
+
+struct Search<'a> {
+    n: usize,
+    succs: &'a [Vec<usize>],
+    preds: Vec<Vec<usize>>,
+    conflicts: &'a dyn Fn(usize, usize) -> bool,
+    max_schedules: usize,
+    replay: &'a mut dyn FnMut(&[usize]) -> ReplayOutcome,
+    pending: Vec<usize>,
+    executed: Vec<bool>,
+    schedule: Vec<usize>,
+    baseline: Option<(Vec<usize>, String)>,
+    stats: ExploreStats,
+    findings: Vec<Finding>,
+    stop: bool,
+}
+
+const MAX_DIVERGENCE_FINDINGS: usize = 8;
+
+fn fmt_schedule(s: &[usize]) -> String {
+    let parts: Vec<String> = s.iter().map(|t| t.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+impl Search<'_> {
+    fn run_leaf(&mut self) {
+        if self.stats.replayed >= self.max_schedules {
+            self.stop = true;
+            return;
+        }
+        self.stats.replayed += 1;
+        let outcome = (self.replay)(&self.schedule);
+        match outcome {
+            ReplayOutcome::Ok(fp) => match &self.baseline {
+                None => self.baseline = Some((self.schedule.clone(), fp)),
+                Some((base_sched, base_fp)) => {
+                    if fp != *base_fp {
+                        self.findings.push(Finding::graph_error(
+                            "exploration-divergence",
+                            format!(
+                                "schedule {} produced fingerprint {} but schedule {} \
+                                 produced {} — outputs depend on task interleaving",
+                                fmt_schedule(&self.schedule),
+                                fp,
+                                fmt_schedule(base_sched),
+                                base_fp,
+                            ),
+                        ));
+                        if self.findings.len() >= MAX_DIVERGENCE_FINDINGS {
+                            self.stop = true;
+                        }
+                    }
+                }
+            },
+            ReplayOutcome::Panic(err) => {
+                self.findings.push(Finding::graph_error(
+                    "explore-schedule-panic",
+                    format!(
+                        "schedule {} failed during replay: {}",
+                        fmt_schedule(&self.schedule),
+                        err
+                    ),
+                ));
+                if self.findings.len() >= MAX_DIVERGENCE_FINDINGS {
+                    self.stop = true;
+                }
+            }
+        }
+    }
+
+    /// Stubborn-set closure over the unexecuted tasks, seeded at `seed`:
+    /// any unexecuted task conflicting with a member joins, and a
+    /// disabled member pulls in its unexecuted predecessors (the only
+    /// tasks whose execution can enable it). Branching on the enabled
+    /// members of this set is exhaustive up to trace equivalence.
+    fn persistent_set(&self, seed: usize) -> Vec<bool> {
+        let mut in_set = vec![false; self.n];
+        let mut work = vec![seed];
+        in_set[seed] = true;
+        while let Some(p) = work.pop() {
+            for (v, flag) in in_set.iter_mut().enumerate() {
+                if !*flag && !self.executed[v] && (self.conflicts)(v, p) {
+                    *flag = true;
+                    work.push(v);
+                }
+            }
+            if self.pending[p] > 0 {
+                for &u in &self.preds[p] {
+                    if !in_set[u] && !self.executed[u] {
+                        in_set[u] = true;
+                        work.push(u);
+                    }
+                }
+            }
+        }
+        in_set
+    }
+
+    fn dfs(&mut self, sleep: &[usize]) {
+        if self.stop {
+            return;
+        }
+        if self.schedule.len() == self.n {
+            self.run_leaf();
+            return;
+        }
+        let enabled: Vec<usize> = (0..self.n)
+            .filter(|&t| !self.executed[t] && self.pending[t] == 0)
+            .collect();
+        if enabled.is_empty() {
+            // Cyclic graph: nothing runnable yet tasks remain. The
+            // structural lints gate on cycles; just abandon the branch.
+            return;
+        }
+        let Some(&seed) = enabled.iter().find(|t| !sleep.contains(t)) else {
+            // Every enabled task is asleep: any completion of this branch
+            // is a reordering of an already-explored one.
+            self.stats.pruned += 1;
+            return;
+        };
+        let persistent = self.persistent_set(seed);
+        let candidates: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&t| persistent[t] && !sleep.contains(&t))
+            .collect();
+        let mut explored_here: Vec<usize> = Vec::new();
+        for &t in &candidates {
+            // Sleeping siblings stay asleep across t unless t conflicts
+            // with them (a conflict makes the orders inequivalent).
+            let child_sleep: Vec<usize> = sleep
+                .iter()
+                .chain(explored_here.iter())
+                .copied()
+                .filter(|&u| !(self.conflicts)(u, t))
+                .collect();
+            self.executed[t] = true;
+            self.schedule.push(t);
+            for &s in &self.succs[t] {
+                self.pending[s] -= 1;
+            }
+            self.dfs(&child_sleep);
+            for &s in &self.succs[t] {
+                self.pending[s] += 1;
+            }
+            self.schedule.pop();
+            self.executed[t] = false;
+            if self.stop {
+                return;
+            }
+            explored_here.push(t);
+        }
+    }
+}
+
+/// Enumerates all dependency-consistent schedules of a DAG (sleep-set
+/// pruned), replaying each through `replay` and diffing fingerprints
+/// against the first schedule's.
+///
+/// `succs[t]` lists the dependency successors of task `t`;
+/// `conflicts(a, b)` must be symmetric and say whether reordering `a`
+/// and `b` could matter (soundness requires *true* whenever unsure).
+/// Panics in `replay` must be caught by the callback and returned as
+/// [`ReplayOutcome::Panic`].
+pub fn explore_schedules(
+    succs: &[Vec<usize>],
+    conflicts: &dyn Fn(usize, usize) -> bool,
+    budget: ExploreBudget,
+    replay: &mut dyn FnMut(&[usize]) -> ReplayOutcome,
+) -> (Vec<Finding>, ExploreStats) {
+    let n = succs.len();
+    if n > budget.max_tasks {
+        return (
+            vec![Finding::graph_info(
+                "explore-truncated",
+                format!(
+                    "plan has {n} tasks, over the exploration budget of {} — \
+                     falling back to schedule fuzzing",
+                    budget.max_tasks
+                ),
+            )],
+            ExploreStats::default(),
+        );
+    }
+    let mut pending = vec![0usize; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (t, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            pending[s] += 1;
+            preds[s].push(t);
+        }
+    }
+    // A conflict between dependency-ordered tasks can never reverse:
+    // every legal schedule runs the pair the same way, so it creates no
+    // distinct trace classes and branching on it is pure waste. Filter
+    // such pairs out once, up front — this is what makes plans whose
+    // conflicts all follow their edges (every sound Fig. 2 graph) explore
+    // in a single schedule with zero branching.
+    let mut reach = vec![false; n * n];
+    for start in 0..n {
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for &v in &succs[u] {
+                if !reach[start * n + v] {
+                    reach[start * n + v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    let eff_conflicts =
+        move |a: usize, b: usize| conflicts(a, b) && !reach[a * n + b] && !reach[b * n + a];
+    let mut search = Search {
+        n,
+        succs,
+        preds,
+        conflicts: &eff_conflicts,
+        max_schedules: budget.max_schedules,
+        replay,
+        pending,
+        executed: vec![false; n],
+        schedule: Vec::with_capacity(n),
+        baseline: None,
+        stats: ExploreStats::default(),
+        findings: Vec::new(),
+        stop: false,
+    };
+    search.dfs(&[]);
+    let mut findings = search.findings;
+    let mut stats = search.stats;
+    stats.complete = !search.stop;
+    // A truncated sweep that already surfaced findings needs no extra
+    // noise; a truncated sweep that found nothing proved nothing — say so.
+    if search.stop && findings.is_empty() {
+        findings.push(Finding::graph_info(
+            "explore-truncated",
+            format!(
+                "stopped after replaying {} schedules (budget {}) without \
+                 exhausting the schedule space",
+                stats.replayed, budget.max_schedules
+            ),
+        ));
+    }
+    (findings, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_conflicts(_: usize, _: usize) -> bool {
+        false
+    }
+
+    fn all_conflict(_: usize, _: usize) -> bool {
+        true
+    }
+
+    fn count_ok(fp: &str) -> impl FnMut(&[usize]) -> ReplayOutcome + '_ {
+        move |_s: &[usize]| ReplayOutcome::Ok(fp.to_string())
+    }
+
+    #[test]
+    fn independent_commuting_tasks_collapse_to_one_schedule() {
+        let succs = vec![vec![], vec![], vec![]];
+        let (f, stats) = explore_schedules(
+            &succs,
+            &no_conflicts,
+            ExploreBudget::default(),
+            &mut count_ok("fp"),
+        );
+        assert!(f.is_empty());
+        assert_eq!(stats.replayed, 1, "3! orders, one trace class");
+        assert_eq!(
+            stats.pruned, 0,
+            "a singleton persistent set never even branches"
+        );
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn conflicting_tasks_explore_every_order() {
+        let succs = vec![vec![], vec![], vec![]];
+        let (f, stats) = explore_schedules(
+            &succs,
+            &all_conflict,
+            ExploreBudget::default(),
+            &mut count_ok("fp"),
+        );
+        assert!(f.is_empty());
+        assert_eq!(stats.replayed, 6, "3! orders, all inequivalent");
+        assert_eq!(stats.pruned, 0);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn chains_admit_exactly_one_order() {
+        let succs = vec![vec![1], vec![2], vec![]];
+        let mut seen = Vec::new();
+        let (f, stats) = explore_schedules(
+            &succs,
+            &all_conflict,
+            ExploreBudget::default(),
+            &mut |s: &[usize]| {
+                seen.push(s.to_vec());
+                ReplayOutcome::Ok("fp".into())
+            },
+        );
+        assert!(f.is_empty());
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(seen, vec![vec![0, 1, 2]]);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn divergent_fingerprint_is_reported_with_both_schedules() {
+        // Two conflicting independent tasks whose order changes the
+        // outcome — the aliased-write bug in miniature.
+        let succs = vec![vec![], vec![]];
+        let (f, stats) = explore_schedules(
+            &succs,
+            &all_conflict,
+            ExploreBudget::default(),
+            &mut |s: &[usize]| ReplayOutcome::Ok(format!("fp-last-{}", s[s.len() - 1])),
+        );
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "exploration-divergence");
+        assert_eq!(f[0].code, "BPV401");
+        assert!(f[0].detail.contains("[0,1]"), "{}", f[0].detail);
+        assert!(f[0].detail.contains("[1,0]"), "{}", f[0].detail);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn panicking_schedule_is_reported() {
+        let succs = vec![vec![], vec![]];
+        let (f, _stats) = explore_schedules(
+            &succs,
+            &all_conflict,
+            ExploreBudget::default(),
+            &mut |s: &[usize]| {
+                if s == [1, 0] {
+                    ReplayOutcome::Panic("boom".into())
+                } else {
+                    ReplayOutcome::Ok("fp".into())
+                }
+            },
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "explore-schedule-panic");
+        assert!(f[0].detail.contains("boom"));
+    }
+
+    #[test]
+    fn task_budget_overrun_truncates_with_info() {
+        let succs = vec![vec![]; 5];
+        let budget = ExploreBudget {
+            max_tasks: 3,
+            max_schedules: 10,
+        };
+        let mut called = false;
+        let (f, stats) = explore_schedules(&succs, &all_conflict, budget, &mut |_s: &[usize]| {
+            called = true;
+            ReplayOutcome::Ok("fp".into())
+        });
+        assert!(!called, "over-budget plans are not replayed at all");
+        assert!(!stats.complete);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "explore-truncated");
+        assert_eq!(f[0].code, "BPV403");
+    }
+
+    #[test]
+    fn schedule_budget_overrun_truncates_with_info() {
+        let succs = vec![vec![]; 4];
+        let budget = ExploreBudget {
+            max_tasks: 12,
+            max_schedules: 5,
+        };
+        let (f, stats) = explore_schedules(&succs, &all_conflict, budget, &mut count_ok("fp"));
+        assert!(!stats.complete);
+        assert_eq!(stats.replayed, 5);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "explore-truncated");
+    }
+
+    #[test]
+    fn sleep_sets_preserve_trace_coverage_with_mixed_conflicts() {
+        // Tasks 0 and 1 conflict; 2 is independent of both. The distinct
+        // trace classes are {0<1, 1<0} x {2 anywhere} / 2-commutes = 2.
+        let succs = vec![vec![], vec![], vec![]];
+        let conflicts = |a: usize, b: usize| (a, b) == (0, 1) || (a, b) == (1, 0);
+        let mut orders_01 = std::collections::BTreeSet::new();
+        let (f, stats) = explore_schedules(
+            &succs,
+            &conflicts,
+            ExploreBudget::default(),
+            &mut |s: &[usize]| {
+                let p0 = s.iter().position(|&t| t == 0).unwrap();
+                let p1 = s.iter().position(|&t| t == 1).unwrap();
+                orders_01.insert(p0 < p1);
+                ReplayOutcome::Ok("fp".into())
+            },
+        );
+        assert!(f.is_empty());
+        assert!(stats.complete);
+        assert_eq!(orders_01.len(), 2, "both 0<1 and 1<0 must be covered");
+        assert_eq!(
+            stats.replayed, 2,
+            "exactly one representative per trace class"
+        );
+    }
+
+    #[test]
+    fn dependency_ordered_conflicts_do_not_branch() {
+        // Fig. 2-like shape: two independent producers feed a merge that
+        // feeds a consumer, and every conflicting pair already has an
+        // edge. One schedule covers the whole space with zero branching.
+        let succs = vec![vec![2], vec![2], vec![3], vec![]];
+        let conflicts = |a: usize, b: usize| a != b && (a == 2 || b == 2);
+        let (f, stats) = explore_schedules(
+            &succs,
+            &conflicts,
+            ExploreBudget::default(),
+            &mut count_ok("fp"),
+        );
+        assert!(f.is_empty());
+        assert_eq!(stats.replayed, 1, "all conflicts are edge-ordered");
+        assert_eq!(stats.pruned, 0);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn disabled_conflicting_task_pulls_in_its_enablers() {
+        // 1 -> 2, and 2 conflicts with 0. The persistent set seeded at 0
+        // must absorb disabled 2 and therefore its enabler 1, or the
+        // class where 2 precedes 0 would never be explored.
+        let succs = vec![vec![], vec![2], vec![]];
+        let conflicts = |a: usize, b: usize| (a, b) == (0, 2) || (a, b) == (2, 0);
+        let mut orders_02 = std::collections::BTreeSet::new();
+        let (f, stats) = explore_schedules(
+            &succs,
+            &conflicts,
+            ExploreBudget::default(),
+            &mut |s: &[usize]| {
+                let p0 = s.iter().position(|&t| t == 0).unwrap();
+                let p2 = s.iter().position(|&t| t == 2).unwrap();
+                orders_02.insert(p0 < p2);
+                ReplayOutcome::Ok("fp".into())
+            },
+        );
+        assert!(f.is_empty());
+        assert!(stats.complete);
+        assert_eq!(orders_02.len(), 2, "both 0<2 and 2<0 must be covered");
+    }
+
+    #[test]
+    fn fig2_like_diamond_explores_completely() {
+        // Fork-join: 0 -> {1,2} -> 3, with 1 and 2 independent.
+        let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let (f, stats) = explore_schedules(
+            &succs,
+            &no_conflicts,
+            ExploreBudget::default(),
+            &mut count_ok("fp"),
+        );
+        assert!(f.is_empty());
+        assert_eq!(stats.replayed, 1);
+        assert!(stats.complete);
+    }
+}

@@ -21,26 +21,48 @@
 //!   any divergence or panic is a concrete race witness, because every
 //!   legal topological order of a sound graph must produce identical
 //!   bits.
+//! * **Concurrency soundness** ([`hb`], [`explore`], [`locks`]) — derive
+//!   the happens-before relation from the executed plan plus taskwait
+//!   barriers and classify every conflicting recorded access pair
+//!   (`hb-race`); exhaustively enumerate all dependency-consistent
+//!   schedules of small plans with sleep-set pruning and prove output
+//!   fingerprints invariant (`exploration-divergence`); and lint the
+//!   witnessed lock-acquisition-order graph (`lock-cycle`,
+//!   `task-blocks-runtime-lock`).
+//! * **Source audit** ([`audit`]) — in-repo lints over the workspace's
+//!   own `unsafe` code (`missing-safety-comment`, `missing-unsafe-lint`),
+//!   run by the `unsafe_audit` binary in CI.
 //!
 //! Everything reports through [`report::Finding`] /
 //! [`report::AnalysisReport`], which serialize to byte-deterministic JSON
-//! for the `bpar analyze` CI gate.
+//! for the `bpar analyze` CI gate. Every check carries a stable `BPV` code
+//! ([`report::code_for`]); CI greps codes, never prose.
 //!
 //! The drivers that build plans and execute them live in `bpar-core`
 //! (`bpar_core::analyze`); this crate holds only the analyses, so it
 //! depends on nothing heavier than `bpar-runtime`.
 
+pub mod audit;
 pub mod clauses;
+pub mod explore;
 pub mod fingerprint;
+pub mod hb;
 pub mod lints;
+pub mod locks;
 pub mod report;
 pub mod shape;
 pub mod view;
 
+pub use audit::{audit_crate_root, audit_source};
 pub use clauses::validate_clauses;
+pub use explore::{explore_schedules, ExploreBudget, ExploreStats, ReplayOutcome};
 pub use fingerprint::Fnv64;
+pub use hb::check_happens_before;
 pub use lints::{collect_metrics, run_lints};
-pub use report::{sort_findings, AnalysisReport, Finding, GraphMetrics, GraphReport, Severity};
+pub use locks::check_lock_discipline;
+pub use report::{
+    code_for, sort_findings, AnalysisReport, Finding, GraphMetrics, GraphReport, Severity,
+};
 pub use shape::{check_shape, expected_shape, ExpectedShape, ShapeSpec};
 pub use view::{default_region_name, GraphView, TaskView};
 

@@ -70,6 +70,8 @@ pub fn collect_metrics(view: &GraphView) -> GraphMetrics {
         regions_never_read: written_anywhere.difference(&read_anywhere).count(),
         regions_never_written: read_anywhere.difference(&written_anywhere).count(),
         duplicate_clause_entries,
+        // Filled in by the exploration prong when it runs on this graph.
+        ..Default::default()
     }
 }
 

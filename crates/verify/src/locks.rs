@@ -1,0 +1,175 @@
+//! Lock-discipline analysis over witnessed runtime locks.
+//!
+//! The runtime's internal locks are wrapped in
+//! [`bpar_runtime::lockwitness::WitnessedMutex`]; with a witness
+//! installed, every acquisition records (a) the set of locks already held
+//! by the acquiring thread, yielding a global *lock-acquisition-order
+//! graph*, and (b) the task (if any) on whose behalf the lock was taken.
+//!
+//! Two findings fall out:
+//!
+//! * `lock-cycle` — a cycle in the acquisition-order graph: some pair of
+//!   threads can acquire the same locks in opposite orders, the classic
+//!   deadlock recipe. The finding names the cycle.
+//! * `task-blocks-runtime-lock` — a *task body* acquired a
+//!   runtime-internal lock. Task bodies must stay lock-free with respect
+//!   to the runtime: a body blocking on `runtime.inner` while its worker
+//!   holds scheduler state is one work-stealing refactor away from a
+//!   self-deadlock, and today it serializes what the dependency graph
+//!   says may run in parallel.
+//!
+//! The observed edge *count* is also the baseline that guards the planned
+//! work-stealing scheduler: any new edge in this graph is a new ordering
+//! obligation and must show up in review.
+
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Finds a cycle in the acquisition-order graph, returned as a node path
+/// `a -> b -> ... -> a`. Deterministic: nodes and edges are visited in
+/// sorted order.
+fn find_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    // Colors: 0 unvisited, 1 on current path, 2 done.
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut path: Vec<&str> = Vec::new();
+
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        color.insert(node, 1);
+        path.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            match color.get(next).copied().unwrap_or(0) {
+                1 => {
+                    let start = path.iter().position(|&p| p == next).unwrap();
+                    let mut cycle: Vec<String> =
+                        path[start..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(c) = dfs(next, adj, color, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        color.insert(node, 2);
+        None
+    }
+
+    let roots: Vec<&str> = adj.keys().copied().collect();
+    for root in roots {
+        if color.get(root).copied().unwrap_or(0) == 0 {
+            if let Some(c) = dfs(root, &adj, &mut color, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Checks witnessed lock behaviour: `edges` is the acquisition-order
+/// graph (held lock, then-acquired lock), `task_acquisitions` the set of
+/// (task id, lock) pairs taken inside task bodies. `task_label` renders
+/// task ids for findings.
+pub fn check_lock_discipline(
+    edges: &BTreeSet<(String, String)>,
+    task_acquisitions: &BTreeSet<(usize, String)>,
+    task_label: &dyn Fn(usize) -> String,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if let Some(cycle) = find_cycle(edges) {
+        findings.push(Finding::graph_error(
+            "lock-cycle",
+            format!(
+                "lock-acquisition-order graph contains the cycle {} — two \
+                 threads interleaving these acquisitions deadlock",
+                cycle.join(" -> ")
+            ),
+        ));
+    }
+    for (task, lock) in task_acquisitions {
+        findings.push(Finding::error(
+            "task-blocks-runtime-lock",
+            *task,
+            &task_label(*task),
+            format!(
+                "task body blocked on runtime-internal lock '{lock}' — task \
+                 bodies must not contend with the scheduler's own locks"
+            ),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(pairs: &[(&str, &str)]) -> BTreeSet<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    fn label(t: usize) -> String {
+        format!("task{t}")
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let edges = e(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let f = check_lock_discipline(&edges, &BTreeSet::new(), &label);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let edges = e(&[("a", "b"), ("b", "a")]);
+        let f = check_lock_discipline(&edges, &BTreeSet::new(), &label);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "lock-cycle");
+        assert_eq!(f[0].code, "BPV501");
+        assert!(f[0].detail.contains("a -> b -> a"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn longer_cycles_are_named_in_full() {
+        let edges = e(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let f = check_lock_discipline(&edges, &BTreeSet::new(), &label);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].detail.contains("a -> b -> c -> a"), "{}", f[0].detail);
+    }
+
+    #[test]
+    fn task_acquisitions_are_flagged_per_task_and_lock() {
+        let mut acq = BTreeSet::new();
+        acq.insert((3usize, "runtime.inner".to_string()));
+        acq.insert((5usize, "runtime.inner".to_string()));
+        let f = check_lock_discipline(&BTreeSet::new(), &acq, &label);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].check, "task-blocks-runtime-lock");
+        assert_eq!(f[0].code, "BPV502");
+        assert_eq!(f[0].task, Some(3));
+        assert_eq!(f[0].label, "task3");
+        assert!(f[0].detail.contains("runtime.inner"));
+        assert_eq!(f[1].task, Some(5));
+    }
+
+    #[test]
+    fn empty_witness_data_is_clean() {
+        let f = check_lock_discipline(&BTreeSet::new(), &BTreeSet::new(), &label);
+        assert!(f.is_empty());
+    }
+}

@@ -28,9 +28,46 @@ impl Serialize for Severity {
     }
 }
 
+/// Stable machine-readable code for a check name.
+///
+/// This is the single source of truth for `BPV` codes: CI jobs grep for
+/// codes, not prose, so a reworded detail string can never silently
+/// disarm a gate. Blocks: `1xx` structural/shape, `2xx` clause validation
+/// and recorded replay, `21x` schedule fuzzing, `3xx` happens-before,
+/// `4xx` exhaustive exploration, `5xx` lock discipline, `6xx` unsafe
+/// audit. Unknown checks map to `BPV000` (and should be added here).
+pub fn code_for(check: &str) -> &'static str {
+    match check {
+        "backward-edge" => "BPV101",
+        "mirror-mismatch" => "BPV102",
+        "duplicate-edge" => "BPV103",
+        "dead-write" => "BPV104",
+        "isolated-task" => "BPV105",
+        "shape-mismatch" => "BPV106",
+        "undeclared-read" => "BPV201",
+        "undeclared-write" => "BPV202",
+        "dead-declaration" => "BPV203",
+        "unattributed-access" => "BPV204",
+        "validation-run-panic" => "BPV205",
+        "schedule-panic" => "BPV211",
+        "schedule-divergence" => "BPV212",
+        "hb-race" => "BPV301",
+        "exploration-divergence" => "BPV401",
+        "explore-schedule-panic" => "BPV402",
+        "explore-truncated" => "BPV403",
+        "lock-cycle" => "BPV501",
+        "task-blocks-runtime-lock" => "BPV502",
+        "missing-safety-comment" => "BPV601",
+        "missing-unsafe-lint" => "BPV602",
+        _ => "BPV000",
+    }
+}
+
 /// One analysis finding, tied to a task and (usually) a region.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Finding {
+    /// Stable machine-readable code (see [`code_for`]); what CI greps.
+    pub code: String,
     /// Which check produced this (e.g. `"undeclared-read"`,
     /// `"dead-write"`, `"shape-mismatch"`).
     pub check: String,
@@ -51,6 +88,7 @@ impl Finding {
     /// Gating finding for `check` on task `task` (labelled `label`).
     pub fn error(check: &str, task: usize, label: &str, detail: String) -> Self {
         Self {
+            code: code_for(check).to_string(),
             check: check.to_string(),
             severity: Severity::Error,
             task: Some(task),
@@ -63,8 +101,22 @@ impl Finding {
     /// Graph-level gating finding (no task coordinate).
     pub fn graph_error(check: &str, detail: String) -> Self {
         Self {
+            code: code_for(check).to_string(),
             check: check.to_string(),
             severity: Severity::Error,
+            task: None,
+            label: String::new(),
+            region: None,
+            detail,
+        }
+    }
+
+    /// Graph-level informational finding (reported, never gating).
+    pub fn graph_info(check: &str, detail: String) -> Self {
+        Self {
+            code: code_for(check).to_string(),
+            check: check.to_string(),
+            severity: Severity::Info,
             task: None,
             label: String::new(),
             region: None,
@@ -110,6 +162,15 @@ pub struct GraphMetrics {
     /// clause of the same task (harmless after the `DepTracker` reader
     /// dedup, but worth accounting).
     pub duplicate_clause_entries: usize,
+    /// Complete schedules replayed by the exploration prong (zero for
+    /// sections that do not explore).
+    pub explored_schedules: usize,
+    /// Branches cut by the sleep-set pruning of the exploration prong.
+    pub pruned_branches: usize,
+    /// `1` when the exploration prong enumerated every
+    /// dependency-consistent schedule class within budget, `0` otherwise
+    /// (including sections that do not explore).
+    pub explore_complete: usize,
 }
 
 /// Analysis result for one named graph.
@@ -160,7 +221,8 @@ impl AnalysisReport {
     pub fn new(graphs: Vec<GraphReport>) -> Self {
         let errors = graphs.iter().map(GraphReport::error_count).sum();
         Self {
-            version: 1,
+            // v2: findings carry `code`, metrics carry exploration counts.
+            version: 2,
             graphs,
             errors,
         }
@@ -231,8 +293,21 @@ mod tests {
         };
         assert_eq!(mk().to_json(), mk().to_json());
         let json = mk().to_json();
-        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"version\": 2"));
         // Sorted: check "a" precedes check "z".
         assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
+    }
+
+    #[test]
+    fn codes_are_stable_and_attached() {
+        assert_eq!(code_for("undeclared-read"), "BPV201");
+        assert_eq!(code_for("hb-race"), "BPV301");
+        assert_eq!(code_for("exploration-divergence"), "BPV401");
+        assert_eq!(code_for("no-such-check"), "BPV000");
+        let finding = Finding::error("hb-race", 3, "t", "d".into());
+        assert_eq!(finding.code, "BPV301");
+        let info = Finding::graph_info("explore-truncated", "d".into());
+        assert_eq!(info.severity, Severity::Info);
+        assert_eq!(info.code, "BPV403");
     }
 }
