@@ -17,6 +17,7 @@
 //!                   [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
 //!                   [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
 //!                   [--backend scalar|simd|int8]
+//!                   [--scheduler fifo|locality|work-stealing]
 //!                                                 dynamic-batching inference serving
 //!                                                 (optionally under injected faults;
 //!                                                 --replicas > 1 runs the routed
@@ -25,6 +26,7 @@
 //!                   [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
 //!                   [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
 //!                   [--explore-max-tasks N] [--explore-max-schedules N]
+//!                   [--scheduler fifo|locality|work-stealing]
 //!                   [--format text|json] [--out PATH]
 //!                                                 verify dependency clauses, graph
 //!                                                 structure, happens-before races,
@@ -100,9 +102,10 @@ USAGE:
                     [--hedge-mode off|at-dispatch|deadline] [--hedge-quantile Q]
                     [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
                     [--backend scalar|simd|int8]
+                    [--scheduler fifo|locality|work-stealing]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
                     [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
-                    [--fuzz-seeds a,b,c]
+                    [--fuzz-seeds a,b,c] [--scheduler fifo|locality|work-stealing]
                     [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
                     [--explore-max-tasks N] [--explore-max-schedules N]
                     [--format text|json] [--out PATH]";
@@ -154,6 +157,15 @@ fn get_f64(opts: &Flags, name: &str, default: f64) -> Result<f64, String> {
         Some(v) => v
             .parse()
             .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn get_scheduler(opts: &Flags, default: SchedulerPolicy) -> Result<SchedulerPolicy, String> {
+    match opts.get("scheduler") {
+        None => Ok(default),
+        Some(name) => SchedulerPolicy::parse(name).ok_or_else(|| {
+            format!("--scheduler expects fifo|locality|work-stealing, got `{name}`")
+        }),
     }
 }
 
@@ -410,6 +422,7 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
             "explore-max-schedules",
             defaults.explore_max_schedules,
         )?,
+        scheduler: get_scheduler(opts, defaults.scheduler)?,
         ..defaults
     };
 
@@ -531,7 +544,7 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         )
         .with_bucket_width(get_usize(opts, "bucket-width", 1)?),
         workers: get_usize(opts, "workers", 0)?,
-        scheduler: SchedulerPolicy::LocalityAware,
+        scheduler: get_scheduler(opts, SchedulerPolicy::LocalityAware)?,
         retry,
         plan_byte_budget: budget_kib("plan-budget-kib")?,
         pool_byte_budget: budget_kib("pool-budget-kib")?,

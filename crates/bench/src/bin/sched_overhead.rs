@@ -1,0 +1,396 @@
+//! Scheduler overhead and scaling: the work-stealing modernization gates.
+//!
+//! Three sections, each printed as a table and written together to
+//! `results/sched_overhead.json`:
+//!
+//! 1. **live** — per-task scheduling overhead (ns/task) of the live
+//!    runtime at 8 workers for Fifo / LocalityAware / WorkStealing, on a
+//!    replayed plan of 8 independent chains of empty tasks. Empty bodies
+//!    make the measurement pure runtime cost: lock traffic, queue ops,
+//!    wakeups. Gate: work-stealing ≤ global-FIFO (per-worker deques plus
+//!    immediate-successor handoff must not cost more than the single
+//!    global queue).
+//! 2. **queue-depth** — the satellite fix for `VecDeque::remove(pos)`:
+//!    draining a 10k-deep ready queue through the old shift-on-remove
+//!    code (replicated inline) vs the current swap-to-front `ReadySet`,
+//!    for the locality-affinity path and the random-adversarial path.
+//!    Gate: the swap-remove implementation is not slower on either path.
+//! 3. **scaling** — deterministic bpar-sim makespans of a BRNN training
+//!    graph at 1..48 virtual cores, global FIFO vs work-stealing. Gate:
+//!    work-stealing throughput ≥ FIFO at every core count and strictly
+//!    better at 48 (the deque organisation homes each released task on
+//!    its releasing core, so it inherits the locality win of Fig. 7
+//!    without the global queue's contention).
+//!
+//! The live and queue-depth numbers are wall-clock measurements and vary
+//! run to run; the scaling section is a bit-deterministic function of the
+//! cost model. Usage:
+//! `cargo run --release -p bpar-bench --bin sched_overhead`
+
+use bpar_bench::{bpar_result, brnn_config, print_table, write_json, Phase, TableConfig};
+use bpar_core::cell::CellKind;
+use bpar_runtime::plan::{PlanBuilder, PlanSpec};
+use bpar_runtime::scheduler::{AdversarialOrder, ReadySet, SchedulerPolicy};
+use bpar_runtime::{RegionId, Runtime, RuntimeConfig};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKERS: usize = 8;
+const CHAINS: u64 = 8;
+const CHAIN_LEN: usize = 2500;
+const REPS: usize = 7;
+
+#[derive(Serialize)]
+struct LiveRow {
+    policy: String,
+    workers: usize,
+    tasks: usize,
+    ns_per_task: f64,
+}
+
+#[derive(Serialize)]
+struct DepthRow {
+    path: String,
+    implementation: String,
+    depth: usize,
+    ns_per_pop: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    cores: usize,
+    fifo_makespan: f64,
+    locality_makespan: f64,
+    work_stealing_makespan: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    live: Vec<LiveRow>,
+    queue_depth: Vec<DepthRow>,
+    scaling: Vec<ScalingRow>,
+}
+
+/// Median wall-clock ns/task for replaying the chain plan under `policy`.
+fn live_ns_per_task(policy: SchedulerPolicy) -> f64 {
+    let rt = Runtime::new(RuntimeConfig {
+        workers: WORKERS,
+        policy,
+        record_trace: false,
+    });
+    let mut b = PlanBuilder::new();
+    for c in 0..CHAINS {
+        for _ in 0..CHAIN_LEN {
+            b.submit(
+                PlanSpec::new("t")
+                    .ins([RegionId(c)])
+                    .outs([RegionId(c)])
+                    .body(|| {}),
+            );
+        }
+    }
+    let plan = Arc::new(b.compile());
+    let tasks = (CHAINS as usize) * CHAIN_LEN;
+    // Warm: first replays grow the queues/deques to steady-state capacity.
+    for _ in 0..3 {
+        rt.replay(&plan);
+        rt.taskwait().unwrap();
+    }
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            rt.replay(&plan);
+            rt.taskwait().unwrap();
+            t0.elapsed().as_secs_f64() * 1e9 / tasks as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[REPS / 2]
+}
+
+/// The pre-fix ready set: one global `VecDeque` with `remove(pos)` for
+/// every non-front extraction — the O(window × n) behaviour the
+/// swap-to-front fix removed. Replicated here so the before/after is
+/// measured on the same toolchain rather than quoted from an old commit.
+struct LegacyReadySet {
+    queue: VecDeque<(usize, Option<usize>)>,
+    window: usize,
+    rng: u64,
+}
+
+impl LegacyReadySet {
+    fn new(workers: usize, seed: u64) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            window: (2 * workers).max(8),
+            rng: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    fn push(&mut self, task: usize, preferred: Option<usize>) {
+        self.queue.push_back((task, preferred));
+    }
+
+    fn pop_locality(&mut self, worker: usize) -> Option<usize> {
+        let depth = self.window.min(self.queue.len());
+        if let Some(pos) = self
+            .queue
+            .iter()
+            .take(depth)
+            .position(|&(_, tag)| tag == Some(worker))
+        {
+            return self.queue.remove(pos).map(|(t, _)| t);
+        }
+        self.queue.pop_front().map(|(t, _)| t)
+    }
+
+    fn pop_random(&mut self) -> Option<usize> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let len = self.queue.len() as u64;
+        let pos = ((self.rng as u128 * len as u128) >> 64) as usize;
+        self.queue.remove(pos).map(|(t, _)| t)
+    }
+}
+
+/// ns/pop to fully drain a `depth`-deep queue, where every 8th task is
+/// affine to the draining worker (the affinity scan finds a mid-window
+/// hit on most pops, forcing a non-front removal).
+fn drain_locality(depth: usize, legacy: bool) -> f64 {
+    let fill = |push: &mut dyn FnMut(usize, Option<usize>)| {
+        for i in 0..depth {
+            push(i, if i % 8 == 0 { Some(0) } else { Some(1) });
+        }
+    };
+    let t0;
+    if legacy {
+        let mut q = LegacyReadySet::new(WORKERS, 1);
+        fill(&mut |t, tag| q.push(t, tag));
+        t0 = Instant::now();
+        while q.pop_locality(0).is_some() {}
+    } else {
+        let mut q = ReadySet::new(SchedulerPolicy::LocalityAware, WORKERS);
+        fill(&mut |t, tag| q.push(t, tag));
+        t0 = Instant::now();
+        while q.pop(0).is_some() {}
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / depth as f64
+}
+
+/// ns/pop to fully drain a `depth`-deep queue through the seeded random
+/// adversarial order (uniform mid-queue removals).
+fn drain_random(depth: usize, legacy: bool) -> f64 {
+    let t0;
+    if legacy {
+        let mut q = LegacyReadySet::new(WORKERS, 42);
+        for i in 0..depth {
+            q.push(i, None);
+        }
+        t0 = Instant::now();
+        while q.pop_random().is_some() {}
+    } else {
+        let mut q = ReadySet::new(
+            SchedulerPolicy::Adversarial(AdversarialOrder::Random(42)),
+            WORKERS,
+        );
+        for i in 0..depth {
+            q.push(i, None);
+        }
+        t0 = Instant::now();
+        while q.pop(0).is_some() {}
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / depth as f64
+}
+
+fn main() {
+    // ---- 1. live runtime overhead ------------------------------------
+    let live: Vec<LiveRow> = [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::LocalityAware,
+        SchedulerPolicy::WorkStealing,
+    ]
+    .into_iter()
+    .map(|policy| LiveRow {
+        policy: policy.as_str().into(),
+        workers: WORKERS,
+        tasks: (CHAINS as usize) * CHAIN_LEN,
+        ns_per_task: live_ns_per_task(policy),
+    })
+    .collect();
+    print_table(
+        "live scheduling overhead (8 chains x 2500 empty tasks, 8 workers, median of 7)",
+        &["policy", "ns/task"],
+        &live
+            .iter()
+            .map(|r| vec![r.policy.clone(), format!("{:.0}", r.ns_per_task)])
+            .collect::<Vec<_>>(),
+    );
+    let ns_of = |name: &str| {
+        live.iter()
+            .find(|r| r.policy == name)
+            .expect("policy row")
+            .ns_per_task
+    };
+    assert!(
+        ns_of("work-stealing") <= ns_of("fifo"),
+        "GATE: work-stealing ns/task ({:.0}) must not exceed global-FIFO ({:.0}) at {WORKERS} workers",
+        ns_of("work-stealing"),
+        ns_of("fifo"),
+    );
+
+    // ---- 2. deep-ready-queue removal ---------------------------------
+    let depth = 10_000;
+    let median = |f: fn(usize, bool) -> f64, legacy: bool| {
+        let mut s: Vec<f64> = (0..5).map(|_| f(depth, legacy)).collect();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[2]
+    };
+    let mut queue_depth = Vec::new();
+    for (path, f) in [
+        ("locality-scan", drain_locality as fn(usize, bool) -> f64),
+        ("random-adversarial", drain_random as fn(usize, bool) -> f64),
+    ] {
+        for legacy in [true, false] {
+            queue_depth.push(DepthRow {
+                path: path.into(),
+                implementation: if legacy { "remove(pos)" } else { "swap-remove" }.into(),
+                depth,
+                ns_per_pop: median(f, legacy),
+            });
+        }
+    }
+    print_table(
+        "10k-deep ready-queue drain (before/after the swap-to-front fix)",
+        &["path", "impl", "ns/pop"],
+        &queue_depth
+            .iter()
+            .map(|r| {
+                vec![
+                    r.path.clone(),
+                    r.implementation.clone(),
+                    format!("{:.0}", r.ns_per_pop),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // The affinity path finds its hit inside the bounded scan window, so
+    // `remove(pos)` there shifted at most `window` elements (VecDeque
+    // removes through the shorter side) and both implementations are
+    // dominated by the scan itself — gate at parity with noise slack. The
+    // mid-queue paths (random adversarial, and scripted pops which share
+    // the same removal) are where the O(n)→O(1) fix lives: on a 10k-deep
+    // queue the old code shifted ~len/2 elements per pop, so the gate is
+    // strict there (the measured win is ~60x).
+    for pair in queue_depth.chunks(2) {
+        let slack = if pair[0].path == "locality-scan" {
+            1.25
+        } else {
+            1.0
+        };
+        assert!(
+            pair[1].ns_per_pop <= pair[0].ns_per_pop * slack,
+            "GATE: swap-remove ({:.0} ns/pop) slower than remove(pos) ({:.0} ns/pop) on {}",
+            pair[1].ns_per_pop,
+            pair[0].ns_per_pop,
+            pair[0].path,
+        );
+    }
+
+    // ---- 3. simulated scaling ----------------------------------------
+    let tc = TableConfig {
+        input: 64,
+        hidden: 128,
+        batch: 64,
+        seq: 50,
+    };
+    let cfg = brnn_config(CellKind::Lstm, &tc, 4);
+    let mbs = 8;
+    let scaling: Vec<ScalingRow> = [1usize, 2, 4, 8, 12, 16, 24, 32, 48]
+        .into_iter()
+        .map(|cores| ScalingRow {
+            cores,
+            fifo_makespan: bpar_result(
+                &cfg,
+                tc.batch,
+                cores,
+                mbs,
+                Phase::Training,
+                SchedulerPolicy::Fifo,
+            )
+            .makespan,
+            locality_makespan: bpar_result(
+                &cfg,
+                tc.batch,
+                cores,
+                mbs,
+                Phase::Training,
+                SchedulerPolicy::LocalityAware,
+            )
+            .makespan,
+            work_stealing_makespan: bpar_result(
+                &cfg,
+                tc.batch,
+                cores,
+                mbs,
+                Phase::Training,
+                SchedulerPolicy::WorkStealing,
+            )
+            .makespan,
+        })
+        .collect();
+    print_table(
+        "simulated BLSTM training makespan, FIFO vs work-stealing (4 layers, hidden 128, seq 50, mbs 8)",
+        &["cores", "fifo ms", "locality ms", "work-stealing ms", "ws speedup"],
+        &scaling
+            .iter()
+            .map(|r| {
+                vec![
+                    r.cores.to_string(),
+                    format!("{:.2}", r.fifo_makespan * 1e3),
+                    format!("{:.2}", r.locality_makespan * 1e3),
+                    format!("{:.2}", r.work_stealing_makespan * 1e3),
+                    format!("{:.2}x", r.fifo_makespan / r.work_stealing_makespan),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for r in &scaling {
+        // Throughput ≥ FIFO at every core count: allow only float-noise
+        // slack (reordered f64 accumulation) below 48 cores…
+        assert!(
+            r.work_stealing_makespan <= r.fifo_makespan * (1.0 + 1e-9),
+            "GATE: work-stealing makespan {} > fifo {} at {} cores",
+            r.work_stealing_makespan,
+            r.fifo_makespan,
+            r.cores,
+        );
+    }
+    // …and strictly better at the full 48-core machine.
+    let at48 = scaling.last().expect("48-core row");
+    assert!(
+        at48.work_stealing_makespan < at48.fifo_makespan,
+        "GATE: work-stealing must strictly beat the global queue at 48 cores ({} vs {})",
+        at48.work_stealing_makespan,
+        at48.fifo_makespan,
+    );
+
+    write_json(
+        "sched_overhead",
+        &Report {
+            live,
+            queue_depth,
+            scaling,
+        },
+    );
+    println!("all scheduler gates passed");
+}

@@ -135,6 +135,13 @@ pub struct AnalyzeOptions {
     /// skipped, the epoch completes without error, and the analyses must
     /// stay silent about the (expected) emptiness.
     pub cancel: bool,
+    /// Scheduler policy for the recorded replay. The clause and
+    /// happens-before prongs are schedule-independent, so any policy is a
+    /// valid witness; running them under `WorkStealing` proves the
+    /// per-worker-deque scheduler produces clean executions too. Schedule
+    /// exploration always scripts its own orders over a FIFO runtime
+    /// regardless of this setting.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for AnalyzeOptions {
@@ -158,6 +165,7 @@ impl Default for AnalyzeOptions {
             explore_max_schedules: 4096,
             fault: None,
             cancel: false,
+            scheduler: SchedulerPolicy::Fifo,
         }
     }
 }
@@ -339,9 +347,10 @@ struct RecordedRun {
     task_acqs: BTreeSet<(usize, String)>,
 }
 
-/// Replays `plan` once on a single-worker FIFO runtime with the access
-/// recorder and lock witness installed, optionally under fault injection
-/// or a pre-claimed cancel token.
+/// Replays `plan` once on a single-worker runtime (policy from
+/// [`AnalyzeOptions::scheduler`]) with the access recorder and lock
+/// witness installed, optionally under fault injection or a pre-claimed
+/// cancel token.
 fn recorded_replay<T: Float>(
     plan: &ExecPlan<T>,
     model: &Brnn<T>,
@@ -351,7 +360,7 @@ fn recorded_replay<T: Float>(
 ) -> RecordedRun {
     let rt = Runtime::new(RuntimeConfig {
         workers: 1,
-        policy: SchedulerPolicy::Fifo,
+        policy: opts.scheduler,
         record_trace: false,
     });
     let recorder = Arc::new(AccessRecorder::new());
@@ -699,6 +708,19 @@ mod tests {
     fn clean_inference_graph_has_zero_findings() {
         let opts = AnalyzeOptions {
             train: false,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&opts);
+        assert_eq!(report.errors, 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn work_stealing_replay_has_zero_findings() {
+        // The clause/HB prongs are schedule-independent; a recorded
+        // replay under the per-worker-deque scheduler must be as clean as
+        // the FIFO one.
+        let opts = AnalyzeOptions {
+            scheduler: SchedulerPolicy::WorkStealing,
             ..AnalyzeOptions::default()
         };
         let report = analyze(&opts);

@@ -51,8 +51,29 @@ fn config(cell: CellKind, merge: MergeMode, kind: ModelKind) -> BrnnConfig {
 /// carries a quantization tolerance instead (covered by the
 /// `backend_parity` suite), so its gate checks allocations and shape only.
 fn gate<T: Float>(cfg: BrnnConfig, seed: u64, backend: BackendKind, check_bits: bool) {
+    gate_scheduled::<T>(
+        cfg,
+        seed,
+        backend,
+        check_bits,
+        SchedulerPolicy::LocalityAware,
+    );
+}
+
+/// The gate under an explicit scheduler policy. Work-stealing keeps its
+/// per-worker deques and injector warm across replays (capacity is
+/// retained like the global queue's), so it must be as allocation-free as
+/// the paper-parity policies — and bit-identical, since any topological
+/// order produces the same logits.
+fn gate_scheduled<T: Float>(
+    cfg: BrnnConfig,
+    seed: u64,
+    backend: BackendKind,
+    check_bits: bool,
+    scheduler: SchedulerPolicy,
+) {
     let model = Brnn::<T>::new(cfg, seed);
-    let exec = TaskGraphExec::with_backend(2, SchedulerPolicy::LocalityAware, 1, backend);
+    let exec = TaskGraphExec::with_backend(2, scheduler, 1, backend);
     let xs = batch::<T>(cfg.seq_len, 4, cfg.input_size, seed + 100);
     let mut out = ForwardOutput::zeros_for(&model, 4, cfg.seq_len);
 
@@ -142,4 +163,22 @@ fn warm_replayed_inference_batches_allocate_nothing() {
             false,
         );
     }
+
+    // The work-stealing scheduler must preserve the zero-allocation warm
+    // path: deques and injector retain capacity across replays exactly
+    // like the global queue, and direct handoff touches no queue at all.
+    gate_scheduled::<f64>(
+        config(CellKind::Lstm, MergeMode::Concat, ModelKind::ManyToOne),
+        3,
+        BackendKind::Scalar,
+        true,
+        SchedulerPolicy::WorkStealing,
+    );
+    gate_scheduled::<f32>(
+        config(CellKind::Gru, MergeMode::Sum, ModelKind::ManyToMany),
+        11,
+        BackendKind::Simd,
+        true,
+        SchedulerPolicy::WorkStealing,
+    );
 }

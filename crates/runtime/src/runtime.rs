@@ -471,11 +471,40 @@ impl Drop for Runtime {
     }
 }
 
+/// How many `work_cv` wakeups a completing worker must issue after
+/// queueing `queued` newly released tasks.
+///
+/// On the classic path (no script, no direct handoff) the completing
+/// worker takes one of the queued tasks itself on its next loop
+/// iteration, so only the tasks *beyond* that one need a peer woken.
+/// That assumption breaks in two cases, and under-notifying strands
+/// ready tasks until the next unrelated wakeup:
+///
+/// * a schedule script is installed — the script may withhold every
+///   queued task from this worker (scripted pops can target any task,
+///   and the single scripted driver may be a *different* worker), so
+///   every queued task needs a wakeup;
+/// * the completing worker already took a successor by direct handoff —
+///   its next iteration consumes the handoff, not the queue, so again
+///   every queued task needs a peer.
+fn wake_count(queued: usize, script_active: bool, direct_taken: bool) -> usize {
+    if script_active || direct_taken {
+        queued
+    } else {
+        queued.saturating_sub(1)
+    }
+}
+
 /// Body of each worker thread.
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     let mut inner = shared.inner.lock();
+    // Immediate-successor execution (work-stealing policy only): the
+    // first successor released by the task this worker just completed,
+    // run next without ever touching a queue. The successor's inputs are
+    // the completed task's outputs — still in this worker's cache.
+    let mut handoff: Option<usize> = None;
     loop {
-        if let Some(tid) = inner.ready.pop(worker) {
+        if let Some(tid) = handoff.take().or_else(|| inner.ready.pop(worker)) {
             let body = inner.tasks[tid]
                 .body
                 .take()
@@ -562,14 +591,19 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 Some(p) if tid < p.tasks.len() => Some(p.clone()),
                 _ => None,
             };
-            let mut released = 0;
+            let direct = inner.ready.direct_handoff();
+            let mut queued = 0;
             if let Some(plan) = frozen {
                 for &s in &plan.succs[tid] {
                     let sm = &mut inner.tasks[s];
                     sm.pending -= 1;
                     if sm.pending == 0 {
-                        inner.ready.push(s, Some(worker));
-                        released += 1;
+                        if direct && handoff.is_none() {
+                            handoff = Some(s);
+                        } else {
+                            inner.ready.push(s, Some(worker));
+                            queued += 1;
+                        }
                     }
                 }
             } else {
@@ -578,8 +612,12 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     let sm = &mut inner.tasks[s];
                     sm.pending -= 1;
                     if sm.pending == 0 {
-                        inner.ready.push(s, Some(worker));
-                        released += 1;
+                        if direct && handoff.is_none() {
+                            handoff = Some(s);
+                        } else {
+                            inner.ready.push(s, Some(worker));
+                            queued += 1;
+                        }
                     }
                 }
             }
@@ -587,9 +625,9 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             if inner.incomplete == 0 {
                 shared.done_cv.notify_all();
             }
-            // Wake peers for the newly released tasks beyond the one this
-            // worker grabs itself on the next loop iteration.
-            for _ in 1..released {
+            // Wake peers for the newly queued tasks this worker will not
+            // take itself (see `wake_count` for the script/handoff cases).
+            for _ in 0..wake_count(queued, inner.ready.script_active(), handoff.is_some()) {
                 shared.work_cv.notify_one();
             }
             inner.overhead += t0.elapsed();
@@ -1214,5 +1252,156 @@ mod tests {
         }
         r.shutdown();
         assert_eq!(count.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn wake_count_covers_script_and_handoff_cases() {
+        // Classic path: the completing worker takes one queued task
+        // itself, so n queued tasks need n-1 peer wakeups.
+        assert_eq!(wake_count(0, false, false), 0);
+        assert_eq!(wake_count(1, false, false), 0);
+        assert_eq!(wake_count(3, false, false), 2);
+        // Script installed: the script may withhold every queued task
+        // from this worker. The old `for _ in 1..released` loop issued 0
+        // wakeups for 1 released task here.
+        assert_eq!(wake_count(1, true, false), 1);
+        assert_eq!(wake_count(3, true, false), 3);
+        // Direct handoff taken: this worker's next iteration consumes the
+        // handoff, not the queue.
+        assert_eq!(wake_count(1, false, true), 1);
+        assert_eq!(wake_count(2, true, true), 2);
+        assert_eq!(wake_count(0, true, true), 0);
+    }
+
+    #[test]
+    fn scripted_run_never_strands_a_ready_task() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        // Regression for wakeup under-notification: a fan-out whose
+        // script takes the released tasks in an order the policy would
+        // not. Every task must still run (no stranded ready task), driven
+        // by a single worker as set_script's contract requires. The old
+        // accounting skipped one wakeup per completion on the assumption
+        // that the completing worker takes a released task — under a
+        // script it may not, and only the always-pop-before-wait worker
+        // loop hid the bug; this pins the contract directly.
+        let r = Runtime::new(RuntimeConfig {
+            workers: 1,
+            policy: SchedulerPolicy::Fifo,
+            record_trace: false,
+        });
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        let mut b = PlanBuilder::new();
+        // Root 0 releases 1..=4 at once; the script defers task 1 to last.
+        let l = log.clone();
+        b.submit(PlanSpec::new("root").outs([RegionId(0)]).body(move || {
+            l.lock().push(0usize);
+        }));
+        for i in 1..5u64 {
+            let l = log.clone();
+            b.submit(
+                PlanSpec::new("leaf")
+                    .ins([RegionId(0)])
+                    .outs([RegionId(i)])
+                    .body(move || {
+                        l.lock().push(i as usize);
+                    }),
+            );
+        }
+        let plan = Arc::new(b.compile());
+        for _ in 0..50 {
+            log.lock().clear();
+            r.set_schedule_script(Some(vec![0, 4, 3, 2, 1].into()));
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            assert_eq!(*log.lock(), vec![0, 4, 3, 2, 1]);
+        }
+    }
+
+    #[test]
+    fn work_stealing_executes_chains_correctly() {
+        let r = Runtime::new(RuntimeConfig {
+            workers: 4,
+            policy: SchedulerPolicy::WorkStealing,
+            record_trace: true,
+        });
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        // Four independent chains of dependent tasks: exercises direct
+        // handoff (each completion releases exactly one successor).
+        for c in 0..4u64 {
+            for i in 0..25usize {
+                let l = log.clone();
+                r.spawn("link", [RegionId(c)], [RegionId(c)], move || {
+                    l.lock().push((c, i));
+                });
+            }
+        }
+        r.taskwait().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(got.len(), 100);
+        for c in 0..4u64 {
+            let chain: Vec<usize> = got
+                .iter()
+                .filter(|&&(cc, _)| cc == c)
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(chain, (0..25).collect::<Vec<_>>(), "chain {c} order");
+        }
+    }
+
+    #[test]
+    fn work_stealing_fan_out_runs_every_task_exactly_once() {
+        // A completion that releases many successors at once: one goes by
+        // direct handoff, the rest are queued and must all be woken (the
+        // handoff arm of wake_count).
+        let r = Runtime::new(RuntimeConfig {
+            workers: 4,
+            policy: SchedulerPolicy::WorkStealing,
+            record_trace: false,
+        });
+        for _ in 0..20 {
+            let count = StdArc::new(AtomicUsize::new(0));
+            let c0 = count.clone();
+            r.spawn("root", [], [RegionId(0)], move || {
+                c0.fetch_add(1, Ordering::SeqCst);
+            });
+            for i in 1..32u64 {
+                let c = count.clone();
+                r.spawn("leaf", [RegionId(0)], [RegionId(i)], move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            r.taskwait().unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 32);
+            r.reset();
+        }
+    }
+
+    #[test]
+    fn work_stealing_replay_matches_live_results() {
+        use crate::plan::{PlanBuilder, PlanSpec};
+        let r = Runtime::new(RuntimeConfig {
+            workers: 3,
+            policy: SchedulerPolicy::WorkStealing,
+            record_trace: false,
+        });
+        let count = StdArc::new(AtomicUsize::new(0));
+        let mut b = PlanBuilder::new();
+        for i in 0..30u64 {
+            let c = count.clone();
+            let (ins, outs) = if i % 5 == 0 {
+                (vec![], vec![RegionId(i)])
+            } else {
+                (vec![RegionId(i - 1)], vec![RegionId(i)])
+            };
+            b.submit(PlanSpec::new("t").ins(ins).outs(outs).body(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        let plan = Arc::new(b.compile());
+        for replay in 1..=10 {
+            r.replay(&plan);
+            r.taskwait().unwrap();
+            assert_eq!(count.load(Ordering::SeqCst), 30 * replay);
+        }
     }
 }

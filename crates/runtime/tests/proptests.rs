@@ -3,6 +3,7 @@
 
 use bpar_runtime::graph::TaskNode;
 use bpar_runtime::prelude::*;
+use bpar_runtime::scheduler::ReadySet;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -28,15 +29,21 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Execution order respects every dependency edge computed by a
-    /// reference DepTracker, under both scheduler policies and several
+    /// reference DepTracker, and every task runs exactly once, under every
+    /// scheduler policy (including work-stealing, where concurrent workers
+    /// push to their own deques and steal from each other's) and several
     /// worker counts.
     #[test]
     fn execution_respects_dependencies(
         accs in accesses(60, 6),
         workers in 1usize..5,
-        fifo in any::<bool>(),
+        which in 0usize..3,
     ) {
-        let policy = if fifo { SchedulerPolicy::Fifo } else { SchedulerPolicy::LocalityAware };
+        let policy = [
+            SchedulerPolicy::Fifo,
+            SchedulerPolicy::LocalityAware,
+            SchedulerPolicy::WorkStealing,
+        ][which];
         let rt = Runtime::new(RuntimeConfig { workers, policy, record_trace: false });
 
         // Reference edges.
@@ -61,7 +68,12 @@ proptest! {
         rt.taskwait().unwrap();
 
         let order = order.lock();
+        // Exactly-once: every submitted task appears exactly one time.
         prop_assert_eq!(order.len(), accs.len());
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), accs.len(), "a task ran twice or not at all");
         let mut position = vec![0usize; accs.len()];
         for (pos, &t) in order.iter().enumerate() {
             position[t] = pos;
@@ -74,6 +86,45 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The ReadySet facade itself is exactly-once and lossless under every
+    /// policy for arbitrary interleavings of tagged/untagged pushes with
+    /// pops issued from arbitrary worker ids (the pure queue-level
+    /// counterpart of `execution_respects_dependencies`).
+    #[test]
+    fn ready_set_is_exactly_once_under_any_interleaving(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..4, 0usize..6), 1..200),
+        which in 0usize..5,
+    ) {
+        let policy = [
+            SchedulerPolicy::Fifo,
+            SchedulerPolicy::LocalityAware,
+            SchedulerPolicy::WorkStealing,
+            SchedulerPolicy::Adversarial(AdversarialOrder::Reverse),
+            SchedulerPolicy::Adversarial(AdversarialOrder::Random(7)),
+        ][which];
+        let mut rs = ReadySet::new(policy, 4);
+        let mut pushed = Vec::new();
+        let mut popped = Vec::new();
+        let mut next = 0usize;
+        for (is_push, worker, raw_tag) in ops {
+            // raw_tag 5 encodes "untagged"; 4 is an out-of-range worker id.
+            let tag = (raw_tag < 5).then_some(raw_tag);
+            if is_push {
+                rs.push(next, tag);
+                pushed.push(next);
+                next += 1;
+            } else if let Some(t) = rs.pop(worker) {
+                popped.push(t);
+            }
+        }
+        while let Some(t) = rs.pop(0) {
+            popped.push(t);
+        }
+        prop_assert!(rs.is_empty());
+        popped.sort_unstable();
+        prop_assert_eq!(popped, pushed, "pops must be a permutation of pushes");
     }
 
     /// The static TaskGraph built from the same clauses is a valid DAG whose

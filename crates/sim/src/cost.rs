@@ -43,7 +43,21 @@ pub struct CostModel {
     /// Fixed per-task runtime overhead (creation + scheduling +
     /// dependency release), seconds. The paper measures B-Par overhead at
     /// under 10% of task time; 30 µs against multi-ms tasks satisfies that.
+    ///
+    /// This is the *global-queue* figure: every ready-path operation takes
+    /// the one runtime lock, so dispatch serializes behind it. Applies to
+    /// the Fifo / LocalityAware / Adversarial policies.
     pub per_task_overhead: f64,
+    /// Per-task overhead for the work-stealing deque scheduler, seconds.
+    ///
+    /// Per-worker deques give each worker a private, contention-free
+    /// ready path (pushes and pops touch only the owner's deque; steals
+    /// are rare at steady state, and direct handoff skips the queue
+    /// entirely), which is the headline task-management saving of the
+    /// post-paper task-runtime synchronization work DESIGN.md §13 cites.
+    /// The global-queue policies keep [`CostModel::per_task_overhead`]
+    /// unchanged, so paper-parity simulations are bit-identical.
+    pub deque_task_overhead: f64,
     /// Fraction of the working set that must still come from memory when
     /// the producer ran on the same core.
     pub same_core_miss: f64,
@@ -73,6 +87,7 @@ impl Default for CostModel {
     fn default() -> Self {
         Self {
             per_task_overhead: 30e-6,
+            deque_task_overhead: 10e-6,
             same_core_miss: 0.35,
             same_socket_miss: 0.55,
             cold_miss: 1.0,

@@ -116,9 +116,40 @@ fn locality_of(
     }
 }
 
+/// Tries to start one ready task on the idle `core` at time `now`.
+fn try_start(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State, core: usize) -> bool {
+    let machine = &cfg.machine;
+    let Some(task) = st.ready.pop(core) else {
+        return false;
+    };
+    let socket = machine.socket_of(core);
+    let locality = locality_of(graph, &st.task_core, machine, task, core);
+    let bw_share = machine.mem_bw_per_socket / (st.active_per_socket[socket] + 1) as f64;
+    let node = graph.node(task);
+    let mut dur = cfg.cost.duration(node, task, locality, bw_share, machine);
+    if matches!(cfg.policy, SchedulerPolicy::WorkStealing) {
+        // Swap the global-queue scheduling overhead for the deques'
+        // contention-free ready-path cost. Applied as a correction so the
+        // global-queue policies' arithmetic is untouched (bit-identical
+        // paper-parity runs).
+        dur += cfg.cost.deque_task_overhead - cfg.cost.per_task_overhead;
+    }
+    let mut miss = cfg.cost.miss_bytes(node, locality, machine);
+    if locality == Locality::RemoteSocket {
+        miss *= machine.numa_penalty;
+    }
+
+    st.idle[core] = false;
+    st.task_core[task] = core;
+    st.task_start[task] = now;
+    st.task_miss[task] = miss;
+    st.active_per_socket[socket] += 1;
+    st.heap.push(Reverse((Key(now + dur), task, core)));
+    true
+}
+
 /// Starts every ready task for which an idle core exists, at time `now`.
 fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
-    let machine = &cfg.machine;
     let n = st.idle.len();
     if cfg.rotate_scan {
         st.scan_origin = (st.scan_origin + 1) % n;
@@ -127,29 +158,9 @@ fn dispatch(graph: &TaskGraph, cfg: &SimConfig, now: f64, st: &mut State) {
         let mut assigned = false;
         for i in 0..n {
             let core = (st.scan_origin + i) % n;
-            if !st.idle[core] {
-                continue;
+            if st.idle[core] && try_start(graph, cfg, now, st, core) {
+                assigned = true;
             }
-            let Some(task) = st.ready.pop(core) else {
-                continue;
-            };
-            let socket = machine.socket_of(core);
-            let locality = locality_of(graph, &st.task_core, machine, task, core);
-            let bw_share = machine.mem_bw_per_socket / (st.active_per_socket[socket] + 1) as f64;
-            let node = graph.node(task);
-            let dur = cfg.cost.duration(node, task, locality, bw_share, machine);
-            let mut miss = cfg.cost.miss_bytes(node, locality, machine);
-            if locality == Locality::RemoteSocket {
-                miss *= machine.numa_penalty;
-            }
-
-            st.idle[core] = false;
-            st.task_core[task] = core;
-            st.task_start[task] = now;
-            st.task_miss[task] = miss;
-            st.active_per_socket[socket] += 1;
-            st.heap.push(Reverse((Key(now + dur), task, core)));
-            assigned = true;
         }
         if !assigned {
             break;
@@ -272,6 +283,14 @@ pub fn simulate(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
             if pending[s] == 0 {
                 st.ready.push(s, Some(core));
             }
+        }
+        // Immediate-successor execution (work-stealing only, mirroring
+        // the live runtime's direct handoff): the completing core claims
+        // its next task — the successor it just released, sitting at the
+        // bottom of its own deque — before the global dispatch scan lets
+        // a lower-numbered idle core steal it cold.
+        if st.ready.direct_handoff() {
+            try_start(graph, cfg, now, &mut st, core);
         }
         dispatch(graph, cfg, now, &mut st);
     }
@@ -431,6 +450,70 @@ mod tests {
         // still complete with consistent records.
         let r = simulate(&g, &SimConfig::xeon(48).with_policy(SchedulerPolicy::Fifo));
         assert_eq!(r.records.len(), 48);
+    }
+
+    #[test]
+    fn work_stealing_completes_and_respects_dependencies() {
+        let g = chain(12, 40_000_000);
+        let r = simulate(
+            &g,
+            &SimConfig::xeon(4).with_policy(SchedulerPolicy::WorkStealing),
+        );
+        assert_eq!(r.records.len(), 12);
+        let mut end_of = [0.0f64; 12];
+        for rec in &r.records {
+            end_of[rec.task] = rec.end;
+        }
+        for rec in &r.records {
+            for &p in g.preds(rec.task) {
+                assert!(rec.start >= end_of[p] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_keeps_chains_home_like_locality() {
+        // Same imbalanced multi-chain workload as the locality test: the
+        // deque organisation homes each released task on its releasing
+        // core, so work-stealing must also beat FIFO on cache misses.
+        let mut g = TaskGraph::new();
+        for i in 0..10u64 {
+            for c in 0..16u64 {
+                g.add_task(
+                    TaskNode::new("t")
+                        .flops(5_000_000 + c * 1_700_000)
+                        .working_set(2 << 20),
+                    &[RegionId(c * 100 + i)],
+                    &[RegionId(c * 100 + i + 1)],
+                );
+            }
+        }
+        let fifo = simulate(&g, &SimConfig::xeon(8).with_policy(SchedulerPolicy::Fifo));
+        let ws = simulate(
+            &g,
+            &SimConfig::xeon(8).with_policy(SchedulerPolicy::WorkStealing),
+        );
+        let miss = |r: &SimResult| r.records.iter().map(|t| t.miss_bytes).sum::<f64>();
+        assert!(
+            miss(&ws) < miss(&fifo),
+            "work-stealing {} vs fifo {}",
+            miss(&ws),
+            miss(&fifo)
+        );
+        assert!(ws.makespan <= fifo.makespan * 1.3);
+    }
+
+    #[test]
+    fn work_stealing_is_deterministic() {
+        let g = independent(32, 60_000_000);
+        let cfg = SimConfig::xeon(6).with_policy(SchedulerPolicy::WorkStealing);
+        let a = simulate(&g, &cfg);
+        let b = simulate(&g, &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.core, y.core);
+            assert_eq!(x.end, y.end);
+        }
     }
 
     #[test]

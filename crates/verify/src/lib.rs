@@ -90,6 +90,7 @@ pub fn policy_name(policy: SchedulerPolicy) -> String {
     match policy {
         SchedulerPolicy::Fifo => "fifo".to_string(),
         SchedulerPolicy::LocalityAware => "locality".to_string(),
+        SchedulerPolicy::WorkStealing => "work-stealing".to_string(),
         SchedulerPolicy::Adversarial(AdversarialOrder::Reverse) => "reverse".to_string(),
         SchedulerPolicy::Adversarial(AdversarialOrder::Random(seed)) => {
             format!("random-{seed}")
@@ -119,6 +120,7 @@ mod tests {
     #[test]
     fn policy_names_are_stable() {
         assert_eq!(policy_name(SchedulerPolicy::Fifo), "fifo");
+        assert_eq!(policy_name(SchedulerPolicy::WorkStealing), "work-stealing");
         assert_eq!(
             policy_name(SchedulerPolicy::Adversarial(AdversarialOrder::Random(42))),
             "random-42"
