@@ -18,15 +18,17 @@
 //!                   [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
 //!                   [--backend scalar|simd|int8]
 //!                   [--scheduler fifo|locality|work-stealing]
+//!                   [--recurrence chain|scan|scan:N]
 //!                                                 dynamic-batching inference serving
 //!                                                 (optionally under injected faults;
 //!                                                 --replicas > 1 runs the routed
 //!                                                 multi-replica fleet tier)
 //! bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
-//!                   [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
+//!                   [--cell lstm|gru|vanilla|linear] [--kind m2o|m2m] [--inference]
 //!                   [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
 //!                   [--explore-max-tasks N] [--explore-max-schedules N]
 //!                   [--scheduler fifo|locality|work-stealing]
+//!                   [--recurrence chain|scan|scan:N]
 //!                   [--format text|json] [--out PATH]
 //!                                                 verify dependency clauses, graph
 //!                                                 structure, happens-before races,
@@ -39,6 +41,7 @@
 
 use bpar_core::graphgen::{build_graph, GraphSpec};
 use bpar_core::prelude::*;
+use bpar_core::scanplan::RecurrenceStrategy;
 use bpar_core::train::{Batch, Trainer};
 use bpar_data::tidigits::{TidigitsDataset, DIGIT_CLASSES};
 use bpar_data::wikitext::{WikitextDataset, VOCAB_SIZE};
@@ -103,11 +106,13 @@ USAGE:
                     [--tenants FILE] [--plan-budget-kib N] [--pool-budget-kib N]
                     [--backend scalar|simd|int8]
                     [--scheduler fifo|locality|work-stealing]
+                    [--recurrence chain|scan|scan:N]
   bpar analyze      [--layers N] [--hidden N] [--seq N] [--batch N] [--mbs N]
-                    [--cell lstm|gru|vanilla] [--kind m2o|m2m] [--inference]
+                    [--cell lstm|gru|vanilla|linear] [--kind m2o|m2m] [--inference]
                     [--fuzz-seeds a,b,c] [--scheduler fifo|locality|work-stealing]
                     [--seed-bug [missing-clause|dropped-edge|cross-epoch-race]]
                     [--explore-max-tasks N] [--explore-max-schedules N]
+                    [--recurrence chain|scan|scan:N]
                     [--format text|json] [--out PATH]";
 
 type Flags = HashMap<String, String>;
@@ -174,7 +179,16 @@ fn get_cell(opts: &Flags) -> Result<CellKind, String> {
         None | Some("lstm") => Ok(CellKind::Lstm),
         Some("gru") => Ok(CellKind::Gru),
         Some("vanilla") => Ok(CellKind::Vanilla),
+        Some("linear") => Ok(CellKind::Linear),
         Some(other) => Err(format!("unknown cell `{other}`")),
+    }
+}
+
+fn get_recurrence(opts: &Flags) -> Result<RecurrenceStrategy, String> {
+    match opts.get("recurrence") {
+        None => Ok(RecurrenceStrategy::Chain),
+        Some(name) => RecurrenceStrategy::parse(name)
+            .ok_or_else(|| format!("--recurrence expects chain|scan|scan:N, got `{name}`")),
     }
 }
 
@@ -423,6 +437,7 @@ fn analyze_cmd(opts: &Flags) -> Result<(), String> {
             defaults.explore_max_schedules,
         )?,
         scheduler: get_scheduler(opts, defaults.scheduler)?,
+        recurrence: get_recurrence(opts)?,
         ..defaults
     };
 
@@ -549,6 +564,7 @@ fn serve_cmd(opts: &Flags) -> Result<(), String> {
         plan_byte_budget: budget_kib("plan-budget-kib")?,
         pool_byte_budget: budget_kib("pool-budget-kib")?,
         backend,
+        recurrence: get_recurrence(opts)?,
         ..ServeConfig::default()
     };
     let seed = get_usize(opts, "seed", 42)? as u64;

@@ -62,6 +62,7 @@ use crate::exec::taskgraph::{collect_logits, row_chunks};
 use crate::exec::Target;
 use crate::graphgen::{build_graph, GraphSpec, Phase};
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, ModelKind};
+use crate::scanplan::RecurrenceStrategy;
 use bpar_runtime::lockwitness::{self, LockWitness};
 use bpar_runtime::validate::AccessEvent;
 use bpar_runtime::{
@@ -142,6 +143,11 @@ pub struct AnalyzeOptions {
     /// exploration always scripts its own orders over a FIFO runtime
     /// regardless of this setting.
     pub scheduler: SchedulerPolicy,
+    /// Recurrence strategy for the analysed graph. Scan requests resolve
+    /// through [`RecurrenceStrategy::effective`] exactly like the
+    /// executor's plan cache, so `scan` on a non-scannable cell analyses
+    /// the chain graph it would actually run.
+    pub recurrence: RecurrenceStrategy,
 }
 
 impl Default for AnalyzeOptions {
@@ -166,6 +172,7 @@ impl Default for AnalyzeOptions {
             fault: None,
             cancel: false,
             scheduler: SchedulerPolicy::Fifo,
+            recurrence: RecurrenceStrategy::Chain,
         }
     }
 }
@@ -180,6 +187,9 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
     let batch = synth_batch(&opts.config, opts.rows);
     let target = synth_target(&opts.config, opts.rows);
     let mode = opts.seed_bug.map_or(BuildMode::Normal, SeedBug::mode);
+    let recurrence = opts
+        .recurrence
+        .effective(opts.config.cell, opts.config.seq_len);
     let plan = ExecPlan::build_with_mode(
         &model,
         &batch,
@@ -187,6 +197,7 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
         opts.train,
         mode,
         Backend::scalar(),
+        recurrence,
     );
     let names = region_name_map(&plan);
     let name_of = |r: RegionId| {
@@ -196,6 +207,11 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
             .unwrap_or_else(|| bpar_verify::default_region_name(r))
     };
     let replicas = row_chunks(opts.rows, opts.mbs).len();
+    // Read the strategy back off the compiled replica rather than trusting
+    // the local resolution: the shape check must describe the graph that
+    // was actually built.
+    let built_strategy = plan.replicas[0].strategy;
+    debug_assert_eq!(built_strategy, recurrence);
     let spec = ShapeSpec {
         layers: opts.config.layers,
         seq: opts.config.seq_len,
@@ -205,6 +221,7 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
         },
         replicas,
         training: opts.train,
+        scan_chunks: built_strategy.scan_chunks(),
     };
 
     // Prong 1a: structural lints + shape over the compiled plan. The
@@ -236,6 +253,7 @@ pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
         barriers: false,
         fuse_merges: false,
         split_cells: false,
+        recurrence: opts.recurrence,
     };
     let graph = build_graph(&gspec);
     let graph_view = GraphView::from_graph(&graph);
@@ -605,6 +623,11 @@ fn hash_cell<T: Float>(h: &mut Fnv64, c: &CellParams<T>) {
             hash_matrix(h, &p.w);
             hash_matrix(h, &p.b);
         }
+        CellParams::Linear(p) => {
+            hash_matrix(h, &p.w);
+            hash_matrix(h, &p.lambda);
+            hash_matrix(h, &p.b);
+        }
     }
 }
 
@@ -721,6 +744,61 @@ mod tests {
         // the FIFO one.
         let opts = AnalyzeOptions {
             scheduler: SchedulerPolicy::WorkStealing,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&opts);
+        assert_eq!(report.errors, 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn scan_training_graph_has_zero_findings() {
+        // The full prong stack over a live scan plan: shape (plan and
+        // graphgen twin), clause differ, happens-before, lock discipline
+        // and schedule fuzzing must all come back clean.
+        let opts = AnalyzeOptions {
+            config: BrnnConfig {
+                cell: crate::cell::CellKind::Linear,
+                layers: 2,
+                seq_len: 8,
+                input_size: 6,
+                hidden_size: 6,
+                output_size: 3,
+                ..BrnnConfig::default()
+            },
+            recurrence: RecurrenceStrategy::Scan { chunks: 4 },
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&opts);
+        assert_eq!(report.errors, 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn scan_inference_graph_has_zero_findings() {
+        let opts = AnalyzeOptions {
+            config: BrnnConfig {
+                cell: crate::cell::CellKind::Linear,
+                layers: 2,
+                seq_len: 9, // uneven 4-chunk split
+                input_size: 6,
+                hidden_size: 6,
+                output_size: 3,
+                ..BrnnConfig::default()
+            },
+            train: false,
+            mbs: 2,
+            recurrence: RecurrenceStrategy::Scan { chunks: 4 },
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze(&opts);
+        assert_eq!(report.errors, 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn scan_fallback_on_chain_cell_analyses_the_chain_graph() {
+        // LSTM + scan request: both the compiled plan and the graphgen
+        // twin must resolve to the chain shape — no phantom scan counts.
+        let opts = AnalyzeOptions {
+            recurrence: RecurrenceStrategy::Scan { chunks: 4 },
             ..AnalyzeOptions::default()
         };
         let report = analyze(&opts);

@@ -7,12 +7,14 @@
 //! working-set estimators that feed the multi-core simulator's cost model.
 
 pub mod gru;
+pub mod linear;
 pub mod lstm;
 pub mod vanilla;
 
 use bpar_tensor::{Backend, Float, Matrix, Workspace};
 
 pub use gru::GruParams;
+pub use linear::LinearParams;
 pub use lstm::LstmParams;
 pub use vanilla::VanillaParams;
 
@@ -26,17 +28,29 @@ pub enum CellKind {
     Gru,
     /// Basic (Elman) RNN unit: `H_t = tanh(W [X_t, H_{t-1}] + B)`.
     Vanilla,
+    /// Diagonal linear recurrence `H_t = λ ⊙ H_{t-1} + (X_t W + B)`
+    /// (Martin & Cundy) — the only cell whose recurrence is associative
+    /// and therefore eligible for parallel-scan execution.
+    Linear,
 }
 
 impl CellKind {
     /// Number of gate blocks in the fused recurrent weight matrix
-    /// (4 for LSTM: i, f, g, o; 3 for GRU: z, r, h).
+    /// (4 for LSTM: i, f, c̄, o; 3 for GRU: z, r, h; 1 otherwise).
     pub fn gates(self) -> usize {
         match self {
             CellKind::Lstm => 4,
             CellKind::Gru => 3,
-            CellKind::Vanilla => 1,
+            CellKind::Vanilla | CellKind::Linear => 1,
         }
+    }
+
+    /// True when the cell's recurrence is a linear map of the previous
+    /// state, making it executable by a Blelloch scan over sequence
+    /// length (`RecurrenceStrategy::Scan`); nonlinear cells always run
+    /// the timestep chain.
+    pub fn scannable(self) -> bool {
+        matches!(self, CellKind::Linear)
     }
 
     /// Trainable parameters of one cell (one layer, one direction) with
@@ -45,18 +59,30 @@ impl CellKind {
     /// Matches the "Parameters" column of Tables III/IV when summed over
     /// layers and directions.
     pub fn params(self, input: usize, hidden: usize) -> usize {
-        (input + hidden) * self.gates() * hidden + self.gates() * hidden
+        match self {
+            // Input kernel + diagonal decay + bias; no dense recurrent
+            // block at all.
+            CellKind::Linear => input * hidden + 2 * hidden,
+            _ => (input + hidden) * self.gates() * hidden + self.gates() * hidden,
+        }
     }
 
     /// Floating-point operations of one forward cell update on a batch of
     /// `b` samples (GEMM plus element-wise gate algebra).
     pub fn forward_flops(self, b: usize, input: usize, hidden: usize) -> u64 {
-        let gemm = 2 * b as u64 * (input + hidden) as u64 * (self.gates() * hidden) as u64;
+        let gemm = match self {
+            // The diagonal cell's only GEMM is input × kernel (the
+            // recurrence is element-wise).
+            CellKind::Linear => 2 * b as u64 * input as u64 * hidden as u64,
+            _ => 2 * b as u64 * (input + hidden) as u64 * (self.gates() * hidden) as u64,
+        };
         let elementwise = match self {
             // i,f,o sigmoids + g tanh + C/H updates ≈ 30 flops per unit.
             CellKind::Lstm => 30 * b as u64 * hidden as u64,
             CellKind::Gru => 25 * b as u64 * hidden as u64,
             CellKind::Vanilla => 8 * b as u64 * hidden as u64,
+            // bias add + λ-fma.
+            CellKind::Linear => 3 * b as u64 * hidden as u64,
         };
         gemm + elementwise
     }
@@ -80,6 +106,11 @@ impl CellKind {
         hidden: usize,
         scalar: usize,
     ) -> usize {
+        if self == CellKind::Linear {
+            let weights = input * hidden + 2 * hidden;
+            let acts = b * input + 3 * b * hidden; // input + prev + u + output
+            return (weights + acts) * scalar;
+        }
         let g = self.gates();
         let weights = (input + hidden) * g * hidden + g * hidden;
         let acts = b * (input + hidden) // concatenated input
@@ -117,7 +148,7 @@ impl<T: Float> CellState<T> {
             h: Matrix::zeros(batch, hidden),
             c: match kind {
                 CellKind::Lstm => Some(Matrix::zeros(batch, hidden)),
-                CellKind::Gru | CellKind::Vanilla => None,
+                CellKind::Gru | CellKind::Vanilla | CellKind::Linear => None,
             },
         }
     }
@@ -138,6 +169,8 @@ pub enum CellCache<T: Float> {
     Gru(gru::GruCache<T>),
     /// Vanilla RNN: concatenated input and activated output.
     Vanilla(vanilla::VanillaCache<T>),
+    /// Diagonal linear cell: input and previous hidden state.
+    Linear(linear::LinearCache<T>),
 }
 
 impl<T: Float> CellCache<T> {
@@ -150,6 +183,7 @@ impl<T: Float> CellCache<T> {
             CellKind::Vanilla => {
                 CellCache::Vanilla(vanilla::VanillaCache::zeros(batch, input, hidden))
             }
+            CellKind::Linear => CellCache::Linear(linear::LinearCache::zeros(batch, input, hidden)),
         }
     }
 
@@ -159,6 +193,7 @@ impl<T: Float> CellCache<T> {
             CellCache::Lstm(c) => c.nbytes(),
             CellCache::Gru(c) => c.nbytes(),
             CellCache::Vanilla(c) => c.nbytes(),
+            CellCache::Linear(c) => c.nbytes(),
         }
     }
 }
@@ -172,6 +207,8 @@ pub enum CellParams<T: Float> {
     Gru(GruParams<T>),
     /// Vanilla RNN parameters.
     Vanilla(VanillaParams<T>),
+    /// Diagonal linear recurrence parameters.
+    Linear(LinearParams<T>),
 }
 
 impl<T: Float> CellParams<T> {
@@ -181,6 +218,7 @@ impl<T: Float> CellParams<T> {
             CellKind::Lstm => CellParams::Lstm(LstmParams::init(input, hidden, seed)),
             CellKind::Gru => CellParams::Gru(GruParams::init(input, hidden, seed)),
             CellKind::Vanilla => CellParams::Vanilla(VanillaParams::init(input, hidden, seed)),
+            CellKind::Linear => CellParams::Linear(LinearParams::init(input, hidden, seed)),
         }
     }
 
@@ -190,6 +228,7 @@ impl<T: Float> CellParams<T> {
             CellParams::Lstm(p) => CellParams::Lstm(p.zeros_like()),
             CellParams::Gru(p) => CellParams::Gru(p.zeros_like()),
             CellParams::Vanilla(p) => CellParams::Vanilla(p.zeros_like()),
+            CellParams::Linear(p) => CellParams::Linear(p.zeros_like()),
         }
     }
 
@@ -199,6 +238,7 @@ impl<T: Float> CellParams<T> {
             CellParams::Lstm(_) => CellKind::Lstm,
             CellParams::Gru(_) => CellKind::Gru,
             CellParams::Vanilla(_) => CellKind::Vanilla,
+            CellParams::Linear(_) => CellKind::Linear,
         }
     }
 
@@ -208,6 +248,7 @@ impl<T: Float> CellParams<T> {
             CellParams::Lstm(p) => p.param_count(),
             CellParams::Gru(p) => p.param_count(),
             CellParams::Vanilla(p) => p.param_count(),
+            CellParams::Linear(p) => p.param_count(),
         }
     }
 
@@ -226,6 +267,10 @@ impl<T: Float> CellParams<T> {
             CellParams::Vanilla(p) => {
                 let (st, cache) = p.forward(x, prev);
                 (st, CellCache::Vanilla(cache))
+            }
+            CellParams::Linear(p) => {
+                let (st, cache) = p.forward(x, prev);
+                (st, CellCache::Linear(cache))
             }
         }
     }
@@ -248,6 +293,9 @@ impl<T: Float> CellParams<T> {
             (CellParams::Lstm(p), CellCache::Lstm(c)) => p.forward_ws(x, prev, state, c, ws, be),
             (CellParams::Gru(p), CellCache::Gru(c)) => p.forward_ws(x, prev, state, c, ws, be),
             (CellParams::Vanilla(p), CellCache::Vanilla(c)) => {
+                p.forward_ws(x, prev, state, c, ws, be)
+            }
+            (CellParams::Linear(p), CellCache::Linear(c)) => {
                 p.forward_ws(x, prev, state, c, ws, be)
             }
             _ => panic!("cell kind mismatch between params and cache"),
@@ -280,6 +328,9 @@ impl<T: Float> CellParams<T> {
             (CellParams::Vanilla(p), CellCache::Vanilla(c), CellParams::Vanilla(g)) => {
                 p.backward(c, dh, dstate, g)
             }
+            (CellParams::Linear(p), CellCache::Linear(c), CellParams::Linear(g)) => {
+                p.backward(c, dh, dstate, g)
+            }
             _ => panic!("cell kind mismatch between params, cache and grads"),
         }
     }
@@ -310,6 +361,9 @@ impl<T: Float> CellParams<T> {
             (CellParams::Vanilla(p), CellCache::Vanilla(c), CellParams::Vanilla(g)) => {
                 p.backward_ws(c, dh, dstate, g, dx, dprev, ws, be)
             }
+            (CellParams::Linear(p), CellCache::Linear(c), CellParams::Linear(g)) => {
+                p.backward_ws(c, dh, dstate, g, dx, dprev, ws, be)
+            }
             _ => panic!("cell kind mismatch between params, cache and grads"),
         }
     }
@@ -336,6 +390,11 @@ impl<T: Float> CellParams<T> {
                 f(&mut p.w, &g.w);
                 f(&mut p.b, &g.b);
             }
+            (CellParams::Linear(p), CellParams::Linear(g)) => {
+                f(&mut p.w, &g.w);
+                f(&mut p.lambda, &g.lambda);
+                f(&mut p.b, &g.b);
+            }
             _ => panic!("cell kind mismatch in for_each_param"),
         }
     }
@@ -351,6 +410,8 @@ impl<T: Float> CellParams<T> {
                 f(&mut p.wh);
             }
             CellParams::Vanilla(p) => f(&mut p.w),
+            // λ and the bias are broadcast operands, never GEMM inputs.
+            CellParams::Linear(p) => f(&mut p.w),
         }
     }
 
@@ -370,6 +431,11 @@ impl<T: Float> CellParams<T> {
             }
             (CellParams::Vanilla(a), CellParams::Vanilla(b)) => {
                 bpar_tensor::ops::axpy(T::ONE, &b.w, &mut a.w);
+                bpar_tensor::ops::axpy(T::ONE, &b.b, &mut a.b);
+            }
+            (CellParams::Linear(a), CellParams::Linear(b)) => {
+                bpar_tensor::ops::axpy(T::ONE, &b.w, &mut a.w);
+                bpar_tensor::ops::axpy(T::ONE, &b.lambda, &mut a.lambda);
                 bpar_tensor::ops::axpy(T::ONE, &b.b, &mut a.b);
             }
             _ => panic!("cell kind mismatch in add_assign"),
@@ -393,7 +459,7 @@ impl<T: Float> StateGrad<T> {
             dh: Matrix::zeros(batch, hidden),
             dc: match kind {
                 CellKind::Lstm => Some(Matrix::zeros(batch, hidden)),
-                CellKind::Gru | CellKind::Vanilla => None,
+                CellKind::Gru | CellKind::Vanilla | CellKind::Linear => None,
             },
         }
     }

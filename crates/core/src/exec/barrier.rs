@@ -58,8 +58,14 @@ impl<T: Float> Executor<T> for BarrierExec {
     fn forward(&self, model: &Brnn<T>, batch: &[Matrix<T>]) -> ForwardOutput<T> {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
-        let (_weights, replicas, _) =
-            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions, Backend::scalar());
+        let (_weights, replicas, _) = TaskGraphExec::make_replicas(
+            self.mbs,
+            model,
+            batch,
+            &mut regions,
+            Backend::scalar(),
+            crate::scanplan::RecurrenceStrategy::Chain,
+        );
         let mut sink = LiveSink(&self.runtime);
         for l in 0..model.config.layers {
             for rep in &replicas {
@@ -85,8 +91,14 @@ impl<T: Float> Executor<T> for BarrierExec {
     ) -> f64 {
         self.runtime.reset();
         let mut regions = RegionAlloc::default();
-        let (_weights, replicas, chunks) =
-            TaskGraphExec::make_replicas(self.mbs, model, batch, &mut regions, Backend::scalar());
+        let (_weights, replicas, chunks) = TaskGraphExec::make_replicas(
+            self.mbs,
+            model,
+            batch,
+            &mut regions,
+            Backend::scalar(),
+            crate::scanplan::RecurrenceStrategy::Chain,
+        );
         let mut sink = LiveSink(&self.runtime);
         let layers = model.config.layers;
 

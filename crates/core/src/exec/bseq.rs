@@ -83,10 +83,13 @@ impl<T: Float> Executor<T> for BSeqExec {
             }
             ModelKind::ManyToMany => {
                 let seq = parts[0].seq_logits.len();
+                // One refs buffer reused across timesteps instead of a
+                // fresh Vec per `t`.
+                let mut refs: Vec<&Matrix<T>> = Vec::with_capacity(parts.len());
                 let seq_logits: Vec<Matrix<T>> = (0..seq)
                     .map(|t| {
-                        let refs: Vec<&Matrix<T>> =
-                            parts.iter().map(|p| &p.seq_logits[t]).collect();
+                        refs.clear();
+                        refs.extend(parts.iter().map(|p| &p.seq_logits[t]));
                         Matrix::vstack(&refs)
                     })
                     .collect();

@@ -31,6 +31,7 @@ use crate::cell::{CellCache, CellParams, CellState, StateGrad};
 use crate::dense::DenseParams;
 use crate::loss::softmax_cross_entropy;
 use crate::model::{Brnn, BrnnConfig, BrnnGrads, LayerPair, ModelKind};
+use crate::scanplan::{NodeRef, RecurrenceStrategy, ScanPlan};
 use bpar_runtime::{
     record_read_at, record_write_at, PlanBuilder, PlanSpec, RegionId, Runtime, TaskSpec,
 };
@@ -327,6 +328,65 @@ impl<X> Slot<X> {
 /// A cell's forward output: recurrent state plus the BPTT cache.
 pub(crate) type CellSlot<T> = Slot<(CellState<T>, CellCache<T>)>;
 
+/// A scan transfer `(a, b) : h ↦ a ⊙ h + b` — `a` is `1 × hidden`
+/// (a diagonal decay power), `b` is `rows × hidden`.
+pub(crate) type TransferSlot<T> = Slot<(Matrix<T>, Matrix<T>)>;
+
+/// Transfer slots for one direction of one layer under
+/// [`RecurrenceStrategy::Scan`].
+pub(crate) struct DirScanSlots<T: Float> {
+    /// Per-chunk total transfers, written by the chunk-local sweeps
+    /// (indexed by *scan-order* chunk: forward chunk order for the
+    /// activation scan).
+    pub totals: Vec<TransferSlot<T>>,
+    /// Combine-node outputs, indexed like `ScanPlan::combines`.
+    pub nodes: Vec<TransferSlot<T>>,
+    /// Adjoint-scan chunk totals (training). Indexed by *backward*
+    /// scan order: `btotals[bc]` holds forward chunk `C-1-bc`'s adjoint
+    /// transfer, so the one [`ScanPlan`] serves both sweeps.
+    pub btotals: Vec<TransferSlot<T>>,
+    /// Adjoint combine-node outputs (training).
+    pub bnodes: Vec<TransferSlot<T>>,
+}
+
+impl<T: Float> DirScanSlots<T> {
+    fn new(plan: &ScanPlan, regions: &mut RegionAlloc) -> Self {
+        let slots = |n: usize, regions: &mut RegionAlloc| -> Vec<TransferSlot<T>> {
+            (0..n).map(|_| Slot::new(regions)).collect()
+        };
+        Self {
+            totals: slots(plan.chunk_count(), regions),
+            nodes: slots(plan.combines.len(), regions),
+            btotals: slots(plan.chunk_count(), regions),
+            bnodes: slots(plan.combines.len(), regions),
+        }
+    }
+
+    /// The slot a [`NodeRef`] resolves to (activation or adjoint set).
+    fn resolve(&self, r: NodeRef, adjoint: bool) -> TransferSlot<T> {
+        let (totals, nodes) = if adjoint {
+            (&self.btotals, &self.bnodes)
+        } else {
+            (&self.totals, &self.nodes)
+        };
+        match r {
+            NodeRef::Total(i) => totals[i].clone(),
+            NodeRef::Node(i) => nodes[i].clone(),
+            NodeRef::Identity => unreachable!("identity transfers are never materialised"),
+        }
+    }
+}
+
+/// Scan topology plus all transfer slots of a replica built under
+/// [`RecurrenceStrategy::Scan`].
+pub(crate) struct ScanSlots<T: Float> {
+    pub plan: ScanPlan,
+    /// Forward-direction transfer slots, `[layer]`.
+    pub fwd: Vec<DirScanSlots<T>>,
+    /// Reverse-direction transfer slots, `[layer]`.
+    pub rev: Vec<DirScanSlots<T>>,
+}
+
 /// All slots and regions for one mini-batch replica.
 pub(crate) struct ReplicaGraph<T: Float> {
     /// Shared weight snapshot read by every task.
@@ -391,6 +451,12 @@ pub(crate) struct ReplicaGraph<T: Float> {
     /// projection). [`Backend::scalar`] reproduces the reference
     /// bit-for-bit; backward/training tasks always use the scalar oracle.
     pub backend: Backend,
+    /// How each direction's timestep recurrence is executed (the
+    /// *effective* strategy — callers resolve fallback/clamping via
+    /// [`RecurrenceStrategy::effective`] before construction).
+    pub strategy: RecurrenceStrategy,
+    /// Scan topology and transfer slots; `Some` iff `strategy` is scan.
+    pub scan: Option<ScanSlots<T>>,
 }
 
 impl<T: Float> ReplicaGraph<T> {
@@ -401,10 +467,29 @@ impl<T: Float> ReplicaGraph<T> {
         weight: f64,
         regions: &mut RegionAlloc,
         backend: Backend,
+        strategy: RecurrenceStrategy,
     ) -> Self {
         let cfg = weights.snapshot().config;
         let seq = xs.len();
         let rows = xs[0].rows();
+        let scan = strategy.scan_chunks().map(|chunks| {
+            assert!(
+                cfg.cell.scannable(),
+                "scan recurrence requires a scannable cell (got {:?}); callers \
+                 must resolve RecurrenceStrategy::effective first",
+                cfg.cell
+            );
+            let plan = ScanPlan::new(seq, chunks);
+            ScanSlots {
+                fwd: (0..cfg.layers)
+                    .map(|_| DirScanSlots::new(&plan, regions))
+                    .collect(),
+                rev: (0..cfg.layers)
+                    .map(|_| DirScanSlots::new(&plan, regions))
+                    .collect(),
+                plan,
+            }
+        });
         fn grid<X>(layers: usize, seq: usize, regions: &mut RegionAlloc) -> Vec<Vec<Slot<X>>> {
             (0..layers)
                 .map(|_| (0..seq).map(|_| Slot::new(regions)).collect())
@@ -442,6 +527,8 @@ impl<T: Float> ReplicaGraph<T> {
             weights,
             config: cfg,
             backend,
+            strategy,
+            scan,
         }
     }
 
@@ -493,6 +580,15 @@ impl<T: Float> ReplicaGraph<T> {
         let merge_w = cfg.merge.output_width(cfg.hidden_size);
         total += cfg.layers.saturating_sub(1) * self.seq * self.rows * merge_w * scalar;
         total += self.feat.len() * self.rows * (merge_w + cfg.output_size) * scalar;
+        if let Some(scan) = &self.scan {
+            // Activation-scan transfer slots stay warm between inference
+            // replays: one (1 × h, rows × h) pair per chunk total and per
+            // combine node, per direction, per layer. Adjoint transfers
+            // are training-only and drained every batch, like gradients.
+            let per = (cfg.hidden_size + self.rows * cfg.hidden_size) * scalar;
+            let n = scan.plan.chunk_count() + scan.plan.combines.len();
+            total += 2 * cfg.layers * n * per;
+        }
         total as u64
     }
 
@@ -536,6 +632,19 @@ impl<T: Float> ReplicaGraph<T> {
         for s in self.grads_fwd.iter().chain(&self.grads_rev) {
             s.take();
         }
+        if let Some(scan) = &self.scan {
+            for dir in scan.fwd.iter().chain(&scan.rev) {
+                for s in dir
+                    .totals
+                    .iter()
+                    .chain(&dir.nodes)
+                    .chain(&dir.btotals)
+                    .chain(&dir.bnodes)
+                {
+                    s.take();
+                }
+            }
+        }
         self.grads_dense.take();
         self.loss.take();
         self.xs.write().clear();
@@ -551,6 +660,16 @@ impl<T: Float> ReplicaGraph<T> {
     /// [`ReplicaGraph::submit_forward_layer`] with an explicit
     /// [`BuildMode`] (sabotage hook for the clause-soundness detectors).
     pub fn submit_forward_layer_mode(&self, sink: &mut dyn TaskSink, l: usize, mode: BuildMode) {
+        if self.scan.is_some() {
+            assert!(
+                mode != BuildMode::MissingStateClause,
+                "the MissingStateClause sabotage targets a chain task that \
+                 scan graphs do not contain"
+            );
+            self.submit_forward_layer_scan(sink, l);
+            self.submit_merge_tasks(sink, l);
+            return;
+        }
         let cfg = self.config;
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
@@ -723,9 +842,17 @@ impl<T: Float> ReplicaGraph<T> {
             );
         }
 
-        // Merge cells (all layers except the last, which is handled by
-        // `submit_output`). Kept as separate tasks so forward and reverse
-        // cells never depend on each other (§III-A).
+        self.submit_merge_tasks(sink, l);
+    }
+
+    /// Merge cells (all layers except the last, which is handled by
+    /// `submit_output`). Kept as separate tasks so forward and reverse
+    /// cells never depend on each other (§III-A). Shared by the chain and
+    /// scan forward paths — merges read completed `st` slots either way.
+    fn submit_merge_tasks(&self, sink: &mut dyn TaskSink, l: usize) {
+        let cfg = self.config;
+        let seq = self.seq_len();
+        let hidden = cfg.hidden_size;
         if l + 1 < cfg.layers {
             let merge_ws =
                 3 * self.rows * cfg.merge.output_width(hidden) * std::mem::size_of::<T>();
@@ -757,6 +884,502 @@ impl<T: Float> ReplicaGraph<T> {
                                     )
                                 })
                             });
+                        }),
+                );
+            }
+        }
+    }
+
+    /// Submits layer `l`'s forward tasks under
+    /// [`RecurrenceStrategy::Scan`]: per direction, `C` chunk-local
+    /// sweeps (`scan_local`), the Blelloch combine tree (`scan_comb`),
+    /// and `C-1` fix-ups (`scan_fix`) that fold each chunk's exclusive
+    /// prefix into its states. After the fix-ups every `st` slot holds
+    /// the same `(state, cache)` a chain execution would have produced
+    /// (up to FP reassociation in chunks > 0), so merges and everything
+    /// downstream are strategy-oblivious.
+    fn submit_forward_layer_scan(&self, sink: &mut dyn TaskSink, l: usize) {
+        let scan = self.scan.as_ref().expect("scan slots");
+        let cfg = self.config;
+        let seq = self.seq_len();
+        let hidden = cfg.hidden_size;
+        let input_w = cfg.layer_input_size(l);
+        let cell_ws =
+            cfg.cell
+                .forward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+
+        for fwd_dir in [true, false] {
+            let (st, dirslots) = if fwd_dir {
+                (&self.st_fwd[l], &scan.fwd[l])
+            } else {
+                (&self.st_rev[l], &scan.rev[l])
+            };
+            // Logical scan position -> physical timestep: the reverse
+            // direction's recurrence runs right-to-left, so its chunk 0
+            // starts at t = T-1.
+            let phys = |j: usize| if fwd_dir { j } else { seq - 1 - j };
+            let dir_bit = u64::from(!fwd_dir);
+            let tag = |i: usize| (dir_bit << 56) | ((l as u64) << 32) | i as u64;
+
+            // Chunk-local sweeps: a sequential chain from a *zero*
+            // incoming state, writing every `st` slot of the chunk plus
+            // the chunk's total transfer (λ^len, h_last). Chunk 0's
+            // incoming state really is zero, so its states are final
+            // (and bit-identical to the chain executor's).
+            for (c, &(j0, j1)) in scan.plan.chunks.iter().enumerate() {
+                let len = j1 - j0;
+                let mut ins: Vec<RegionId> = Vec::new();
+                if l > 0 {
+                    ins.extend((j0..j1).map(|j| self.merged[l - 1][phys(j)].region));
+                }
+                let mut outs: Vec<RegionId> = (j0..j1).map(|j| st[phys(j)].region).collect();
+                outs.push(dirslots.totals[c].region);
+                let weights = self.weights.clone();
+                let xs = self.xs.clone();
+                let below: Option<Vec<Slot<Matrix<T>>>> = (l > 0).then(|| {
+                    (j0..j1)
+                        .map(|j| self.merged[l - 1][phys(j)].clone())
+                        .collect()
+                });
+                let dsts: Vec<CellSlot<T>> = (j0..j1).map(|j| st[phys(j)].clone()).collect();
+                let phys_ts: Vec<usize> = (j0..j1).map(phys).collect();
+                let total = dirslots.totals[c].clone();
+                let rows = self.rows;
+                let be = self.backend;
+                let scratch = Arc::new(Mutex::new(Workspace::new()));
+                // Persistent running state: the within-chunk recurrence
+                // carry, reset to zero at the top of every run.
+                let carry = Arc::new(Mutex::new(CellState::<T>::zeros(cfg.cell, rows, hidden)));
+                sink.push(
+                    PlanSpec::new("scan_local")
+                        .tag(tag(c))
+                        .ins(ins)
+                        .outs(outs)
+                        .working_set(cell_ws * len)
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let cfg = model.config;
+                            let params = if fwd_dir {
+                                &model.layers[l].fwd
+                            } else {
+                                &model.layers[l].rev
+                            };
+                            let mut scratch = scratch.lock();
+                            let mut carry = carry.lock();
+                            carry.h.fill_zero();
+                            let xs_guard = below.is_none().then(|| xs.read());
+                            for (i, dst) in dsts.iter().enumerate() {
+                                let init = || {
+                                    (
+                                        CellState::zeros(cfg.cell, rows, cfg.hidden_size),
+                                        CellCache::zeros(
+                                            cfg.cell,
+                                            rows,
+                                            cfg.layer_input_size(l),
+                                            cfg.hidden_size,
+                                        ),
+                                    )
+                                };
+                                match &below {
+                                    Some(b) => b[i].with(|m| {
+                                        let m = m.expect("missing merge");
+                                        dst.write_in_place(init, |(stv, cache)| {
+                                            params.forward_ws(
+                                                m,
+                                                &carry,
+                                                stv,
+                                                cache,
+                                                &mut scratch,
+                                                be,
+                                            );
+                                            carry.h.copy_from(&stv.h);
+                                        })
+                                    }),
+                                    None => {
+                                        let x = &xs_guard.as_ref().expect("inputs")[phys_ts[i]];
+                                        dst.write_in_place(init, |(stv, cache)| {
+                                            params.forward_ws(
+                                                x,
+                                                &carry,
+                                                stv,
+                                                cache,
+                                                &mut scratch,
+                                                be,
+                                            );
+                                            carry.h.copy_from(&stv.h);
+                                        })
+                                    }
+                                }
+                            }
+                            let lam = match params {
+                                CellParams::Linear(p) => &p.lambda,
+                                _ => unreachable!("scan requires a scannable cell"),
+                            };
+                            total.write_in_place(
+                                || {
+                                    (
+                                        Matrix::zeros(1, cfg.hidden_size),
+                                        Matrix::zeros(rows, cfg.hidden_size),
+                                    )
+                                },
+                                |(a, b)| {
+                                    a.fill(T::ONE);
+                                    for _ in 0..len {
+                                        be.row_scale(lam, a);
+                                    }
+                                    b.copy_from(&carry.h);
+                                },
+                            );
+                        }),
+                );
+            }
+
+            // Combine tree: `(a1,b1) ∘ (a2,b2) = (a1⊙a2, a2⊙b1+b2)`,
+            // emitted in the plan's dependency-safe order.
+            for (k, comb) in scan.plan.combines.iter().enumerate() {
+                let lhs = dirslots.resolve(comb.lhs, false);
+                let rhs = dirslots.resolve(comb.rhs, false);
+                let dst = dirslots.nodes[k].clone();
+                let rows = self.rows;
+                let be = self.backend;
+                sink.push(
+                    PlanSpec::new("scan_comb")
+                        .tag(tag(k))
+                        .ins([lhs.region, rhs.region])
+                        .outs([dst.region])
+                        .body(move || {
+                            lhs.with(|lv| {
+                                let (a1, b1) = lv.expect("missing scan operand");
+                                rhs.with(|rv| {
+                                    let (a2, b2) = rv.expect("missing scan operand");
+                                    dst.write_in_place(
+                                        || (Matrix::zeros(1, hidden), Matrix::zeros(rows, hidden)),
+                                        |(oa, ob)| be.scan_combine(a1, b1, a2, b2, oa, ob),
+                                    )
+                                })
+                            });
+                        }),
+                );
+            }
+
+            // Fix-ups: chunk c's true incoming state is the `b` component
+            // of its exclusive prefix (the global initial state is zero).
+            // Walk the chunk once, updating carry `p ← λ⊙p` and adding the
+            // decayed correction to each state (and, for BPTT, to each
+            // cached h_prev). Read-modify-writes, so the `st` regions are
+            // declared inout.
+            for (c, &(j0, j1)) in scan.plan.chunks.iter().enumerate().skip(1) {
+                let pref = dirslots.resolve(scan.plan.prefix_of_chunk[c], false);
+                let dsts: Vec<CellSlot<T>> = (j0..j1).map(|j| st[phys(j)].clone()).collect();
+                let mut ins: Vec<RegionId> = vec![pref.region];
+                ins.extend(dsts.iter().map(|s| s.region));
+                let outs: Vec<RegionId> = dsts.iter().map(|s| s.region).collect();
+                let weights = self.weights.clone();
+                let rows = self.rows;
+                let be = self.backend;
+                let scratch = Arc::new(Mutex::new(Workspace::new()));
+                sink.push(
+                    PlanSpec::new("scan_fix")
+                        .tag(tag(c))
+                        .ins(ins)
+                        .outs(outs)
+                        .working_set(rows * hidden * std::mem::size_of::<T>())
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let params = if fwd_dir {
+                                &model.layers[l].fwd
+                            } else {
+                                &model.layers[l].rev
+                            };
+                            let lam = match params {
+                                CellParams::Linear(p) => &p.lambda,
+                                _ => unreachable!("scan requires a scannable cell"),
+                            };
+                            let mut scratch = scratch.lock();
+                            let mut carry = scratch.checkout(rows, model.config.hidden_size);
+                            pref.with(|p| {
+                                let (_, pb) = p.expect("missing scan prefix");
+                                carry.copy_from(pb);
+                            });
+                            for dst in &dsts {
+                                dst.update(
+                                    || unreachable!("scan_fix ran before its chunk-local sweep"),
+                                    |(stv, cache)| {
+                                        // True h_prev at this step gains
+                                        // λ^i ⊙ h_in (carry before the
+                                        // scale), the state λ^(i+1) ⊙ h_in.
+                                        if let CellCache::Linear(lc) = cache {
+                                            bpar_tensor::ops::axpy(T::ONE, &carry, &mut lc.h_prev);
+                                        }
+                                        be.row_scale(lam, &mut carry);
+                                        bpar_tensor::ops::axpy(T::ONE, &carry, &mut stv.h);
+                                    },
+                                );
+                            }
+                            scratch.give_back(carry);
+                        }),
+                );
+            }
+        }
+    }
+
+    /// Submits layer `l`'s BPTT tasks under [`RecurrenceStrategy::Scan`].
+    /// The adjoint `δ_t = dh_t + λ ⊙ δ_{t+1}` is itself a diagonal linear
+    /// recurrence over *reversed* scan order (BPPSA), so the same
+    /// [`ScanPlan`] runs again: `bscan_local` sweeps each chunk from a
+    /// zero incoming adjoint, `bscan_comb` builds the tree over the
+    /// reversed chunk sequence, `bscan_fix` folds each chunk's exclusive
+    /// adjoint prefix in, and `bscan_grad` turns the corrected adjoints
+    /// into weight/input gradients (one task per chunk, accumulator-
+    /// serialised in the chain executor's t-descending order).
+    fn submit_backward_layer_scan(&self, sink: &mut dyn TaskSink, l: usize) {
+        let scan = self.scan.as_ref().expect("scan slots");
+        let cfg = self.config;
+        let seq = self.seq_len();
+        let hidden = cfg.hidden_size;
+        let input_w = cfg.layer_input_size(l);
+        let cell_ws =
+            cfg.cell
+                .backward_working_set(self.rows, input_w, hidden, std::mem::size_of::<T>());
+        let cc = scan.plan.chunk_count();
+
+        for fwd_dir in [true, false] {
+            let (st, dh, sg, dinput, gacc_slot, dirslots) = if fwd_dir {
+                (
+                    &self.st_fwd[l],
+                    &self.dh_fwd[l],
+                    &self.sg_fwd[l],
+                    &self.dinput_f[l],
+                    &self.grads_fwd[l],
+                    &scan.fwd[l],
+                )
+            } else {
+                (
+                    &self.st_rev[l],
+                    &self.dh_rev[l],
+                    &self.sg_rev[l],
+                    &self.dinput_r[l],
+                    &self.grads_rev[l],
+                    &scan.rev[l],
+                )
+            };
+            let phys = |j: usize| if fwd_dir { j } else { seq - 1 - j };
+            let dir_bit = u64::from(!fwd_dir);
+            let tag = |i: usize| (dir_bit << 56) | ((l as u64) << 32) | i as u64;
+
+            // Adjoint chunk-local sweeps. Backward scan-order chunk `bc`
+            // is forward chunk `C-1-bc`; within it the adjoint runs over
+            // logical positions descending from a zero incoming adjoint.
+            // The `sg` slots hold the (local, later corrected) total
+            // adjoint δ — a different convention from the chain executor,
+            // whose `sg[t]` holds the λ-scaled gradient flowing into
+            // `t-1`; both are internal to their own task sets.
+            for bc in 0..cc {
+                let c = cc - 1 - bc;
+                let (j0, j1) = scan.plan.chunks[c];
+                let len = j1 - j0;
+                let ins: Vec<RegionId> = (j0..j1).map(|j| dh[phys(j)].region).collect();
+                let mut outs: Vec<RegionId> = (j0..j1).map(|j| sg[phys(j)].region).collect();
+                outs.push(dirslots.btotals[bc].region);
+                let weights = self.weights.clone();
+                let dhs: Vec<Slot<Matrix<T>>> = (j0..j1).map(|j| dh[phys(j)].clone()).collect();
+                let sgs: Vec<Slot<StateGrad<T>>> = (j0..j1).map(|j| sg[phys(j)].clone()).collect();
+                let btotal = dirslots.btotals[bc].clone();
+                let rows = self.rows;
+                let scratch = Arc::new(Mutex::new(Workspace::new()));
+                sink.push(
+                    PlanSpec::new("bscan_local")
+                        .tag(tag(bc))
+                        .ins(ins)
+                        .outs(outs)
+                        .working_set(cell_ws * len)
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let cfg = model.config;
+                            let params = if fwd_dir {
+                                &model.layers[l].fwd
+                            } else {
+                                &model.layers[l].rev
+                            };
+                            let lam = match params {
+                                CellParams::Linear(p) => &p.lambda,
+                                _ => unreachable!("scan requires a scannable cell"),
+                            };
+                            let mut scratch = scratch.lock();
+                            // Checkout zeroes the buffer: the chunk-local
+                            // sweep starts from a zero incoming adjoint.
+                            let mut carry = scratch.checkout(rows, cfg.hidden_size);
+                            for i in (0..len).rev() {
+                                let dh_val = dhs[i]
+                                    .take()
+                                    .unwrap_or_else(|| Matrix::zeros(rows, cfg.hidden_size));
+                                sgs[i].write_in_place(
+                                    || StateGrad::zeros(cfg.cell, rows, cfg.hidden_size),
+                                    |sgv| {
+                                        bpar_tensor::ops::row_mul_add(
+                                            lam,
+                                            &carry,
+                                            &dh_val,
+                                            &mut sgv.dh,
+                                        );
+                                        carry.copy_from(&sgv.dh);
+                                    },
+                                );
+                            }
+                            btotal.write_in_place(
+                                || {
+                                    (
+                                        Matrix::zeros(1, cfg.hidden_size),
+                                        Matrix::zeros(rows, cfg.hidden_size),
+                                    )
+                                },
+                                |(a, b)| {
+                                    a.fill(T::ONE);
+                                    for _ in 0..len {
+                                        bpar_tensor::ops::row_scale(lam, a);
+                                    }
+                                    b.copy_from(&carry);
+                                },
+                            );
+                            scratch.give_back(carry);
+                        }),
+                );
+            }
+
+            // Adjoint combine tree — the transfers compose identically,
+            // just over the reversed chunk sequence. Backward tasks stay
+            // on the scalar oracle like all training kernels.
+            for (k, comb) in scan.plan.combines.iter().enumerate() {
+                let lhs = dirslots.resolve(comb.lhs, true);
+                let rhs = dirslots.resolve(comb.rhs, true);
+                let dst = dirslots.bnodes[k].clone();
+                let rows = self.rows;
+                sink.push(
+                    PlanSpec::new("bscan_comb")
+                        .tag(tag(k))
+                        .ins([lhs.region, rhs.region])
+                        .outs([dst.region])
+                        .body(move || {
+                            lhs.with(|lv| {
+                                let (a1, b1) = lv.expect("missing adjoint operand");
+                                rhs.with(|rv| {
+                                    let (a2, b2) = rv.expect("missing adjoint operand");
+                                    dst.write_in_place(
+                                        || (Matrix::zeros(1, hidden), Matrix::zeros(rows, hidden)),
+                                        |(oa, ob)| {
+                                            bpar_tensor::ops::scan_combine(a1, b1, a2, b2, oa, ob)
+                                        },
+                                    )
+                                })
+                            });
+                        }),
+                );
+            }
+
+            // Adjoint fix-ups: chunk `bc`'s incoming adjoint δ_in is the
+            // `b` of its exclusive prefix (the adjoint past the last
+            // timestep is zero); each position j gains λ^(j1-j) ⊙ δ_in.
+            for bc in 1..cc {
+                let c = cc - 1 - bc;
+                let (j0, j1) = scan.plan.chunks[c];
+                let len = j1 - j0;
+                let pref = dirslots.resolve(scan.plan.prefix_of_chunk[bc], true);
+                let sgs: Vec<Slot<StateGrad<T>>> = (j0..j1).map(|j| sg[phys(j)].clone()).collect();
+                let mut ins: Vec<RegionId> = vec![pref.region];
+                ins.extend(sgs.iter().map(|s| s.region));
+                let outs: Vec<RegionId> = sgs.iter().map(|s| s.region).collect();
+                let weights = self.weights.clone();
+                let rows = self.rows;
+                let scratch = Arc::new(Mutex::new(Workspace::new()));
+                sink.push(
+                    PlanSpec::new("bscan_fix")
+                        .tag(tag(bc))
+                        .ins(ins)
+                        .outs(outs)
+                        .working_set(rows * hidden * std::mem::size_of::<T>())
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let params = if fwd_dir {
+                                &model.layers[l].fwd
+                            } else {
+                                &model.layers[l].rev
+                            };
+                            let lam = match params {
+                                CellParams::Linear(p) => &p.lambda,
+                                _ => unreachable!("scan requires a scannable cell"),
+                            };
+                            let mut scratch = scratch.lock();
+                            let mut carry = scratch.checkout(rows, model.config.hidden_size);
+                            pref.with(|p| {
+                                let (_, pb) = p.expect("missing adjoint prefix");
+                                carry.copy_from(pb);
+                            });
+                            for i in (0..len).rev() {
+                                bpar_tensor::ops::row_scale(lam, &mut carry);
+                                sgs[i].update(
+                                    || unreachable!("bscan_fix ran before its local sweep"),
+                                    |sgv| bpar_tensor::ops::axpy(T::ONE, &carry, &mut sgv.dh),
+                                );
+                            }
+                            scratch.give_back(carry);
+                        }),
+                );
+            }
+
+            // Gradient tasks: with the corrected total adjoint δ in hand,
+            // each timestep's parameter/input gradients follow from the
+            // cell's ordinary backward with a zero recurrent state-grad
+            // (the recurrence is already folded into δ). Chunks are
+            // emitted in reverse order and walked descending, so the
+            // inout-serialised accumulator adds timesteps in exactly the
+            // chain executor's order for both directions.
+            for bc in 0..cc {
+                let c = cc - 1 - bc;
+                let (j0, j1) = scan.plan.chunks[c];
+                let len = j1 - j0;
+                let mut ins: Vec<RegionId> = Vec::with_capacity(2 * len + 1);
+                for j in j0..j1 {
+                    ins.push(sg[phys(j)].region);
+                    ins.push(st[phys(j)].region);
+                }
+                ins.push(gacc_slot.region);
+                let mut outs: Vec<RegionId> = (j0..j1).map(|j| dinput[phys(j)].region).collect();
+                outs.push(gacc_slot.region);
+                let weights = self.weights.clone();
+                let sts: Vec<CellSlot<T>> = (j0..j1).map(|j| st[phys(j)].clone()).collect();
+                let sgs: Vec<Slot<StateGrad<T>>> = (j0..j1).map(|j| sg[phys(j)].clone()).collect();
+                let dinputs: Vec<Slot<Matrix<T>>> =
+                    (j0..j1).map(|j| dinput[phys(j)].clone()).collect();
+                let gacc = gacc_slot.clone();
+                sink.push(
+                    PlanSpec::new("bscan_grad")
+                        .tag(tag(c))
+                        .ins(ins)
+                        .outs(outs)
+                        .working_set(cell_ws * len)
+                        .body(move || {
+                            let model = weights.snapshot();
+                            let params = if fwd_dir {
+                                &model.layers[l].fwd
+                            } else {
+                                &model.layers[l].rev
+                            };
+                            gacc.update(
+                                || params.zeros_like(),
+                                |g| {
+                                    for i in (0..len).rev() {
+                                        sts[i].with(|cached| {
+                                            let (_, cache) = cached.expect("missing forward cache");
+                                            sgs[i].with(|sgv| {
+                                                let delta = &sgv.expect("missing scan adjoint").dh;
+                                                let (dx, _sg_prev) =
+                                                    params.backward(cache, delta, None, g);
+                                                dinputs[i].put(dx);
+                                            });
+                                        });
+                                    }
+                                },
+                            );
                         }),
                 );
             }
@@ -942,6 +1565,11 @@ impl<T: Float> ReplicaGraph<T> {
     /// ascending), and — for `l > 0` — the merge-backward tasks that seed
     /// layer `l-1`.
     pub fn submit_backward_layer(&self, sink: &mut dyn TaskSink, l: usize) {
+        if self.scan.is_some() {
+            self.submit_backward_layer_scan(sink, l);
+            self.submit_merge_bwd_tasks(sink, l);
+            return;
+        }
         let cfg = self.config;
         let seq = self.seq_len();
         let hidden = cfg.hidden_size;
@@ -1058,10 +1686,17 @@ impl<T: Float> ReplicaGraph<T> {
             );
         }
 
-        // Merge-backward tasks seeding layer l-1. The layer-input gradient
-        // is the sum of the two directions' contributions; summing here —
-        // in fwd-then-rev order, matching the sequential reference — keeps
-        // the directions' BPTT chains free of mutual dependencies.
+        self.submit_merge_bwd_tasks(sink, l);
+    }
+
+    /// Merge-backward tasks seeding layer l-1. The layer-input gradient
+    /// is the sum of the two directions' contributions; summing here —
+    /// in fwd-then-rev order, matching the sequential reference — keeps
+    /// the directions' BPTT chains free of mutual dependencies. Shared by
+    /// the chain and scan backward paths.
+    fn submit_merge_bwd_tasks(&self, sink: &mut dyn TaskSink, l: usize) {
+        let cfg = self.config;
+        let seq = self.seq_len();
         if l > 0 {
             let mode = cfg.merge;
             for t in 0..seq {
@@ -1161,6 +1796,22 @@ impl<T: Float> ReplicaGraph<T> {
         grid(prefix, "dinput_r", &self.dinput_r, names);
         list(prefix, "grads_fwd", &self.grads_fwd, names);
         list(prefix, "grads_rev", &self.grads_rev, names);
+        if let Some(scan) = &self.scan {
+            for (dir_name, dirs) in [("f", &scan.fwd), ("r", &scan.rev)] {
+                for (l, d) in dirs.iter().enumerate() {
+                    for (what, slots) in [
+                        ("scan_total", &d.totals),
+                        ("scan_node", &d.nodes),
+                        ("bscan_total", &d.btotals),
+                        ("bscan_node", &d.bnodes),
+                    ] {
+                        for (i, s) in slots.iter().enumerate() {
+                            names.push((s.region, format!("{prefix}{what}_{dir_name}[{l}][{i}]")));
+                        }
+                    }
+                }
+            }
+        }
         names.push((self.grads_dense.region, format!("{prefix}grads_dense")));
         names.push((self.loss.region, format!("{prefix}loss")));
     }
@@ -1270,7 +1921,14 @@ mod tests {
         let store = Arc::new(WeightStore::for_backend(&model, Backend::scalar()));
         let mut regions = RegionAlloc::default();
         let xs: Vec<Matrix<f64>> = (0..2).map(|_| Matrix::zeros(4, 3)).collect();
-        let rep = ReplicaGraph::new(store, xs, 1.0, &mut regions, Backend::scalar());
+        let rep = ReplicaGraph::new(
+            store,
+            xs,
+            1.0,
+            &mut regions,
+            Backend::scalar(),
+            RecurrenceStrategy::Chain,
+        );
         let wrong_len: Vec<Matrix<f64>> = vec![Matrix::zeros(4, 3)];
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rep.load_inputs(&wrong_len, 0, 4)

@@ -19,8 +19,9 @@ use super::builder::{BuildMode, ReplicaGraph, WeightStore};
 use super::taskgraph::TaskGraphExec;
 use super::{check_batch, Target};
 use crate::model::{Brnn, BrnnConfig};
+use crate::scanplan::RecurrenceStrategy;
 use bpar_runtime::{CompiledPlan, PlanBuilder};
-use bpar_tensor::{Backend, Float, Matrix};
+use bpar_tensor::{Backend, BackendKind, Float, Matrix};
 use std::any::{Any, TypeId};
 use std::sync::Arc;
 
@@ -43,6 +44,16 @@ pub(crate) struct PlanKey {
     pub mbs: usize,
     /// `true` for a training graph (loss + backward + reduction tasks).
     pub train: bool,
+    /// Kernel backend the task bodies were frozen with. Two executions
+    /// that differ only in backend must never share a plan: the backend
+    /// is captured into the compiled bodies at build time, so a shared
+    /// plan would silently run the wrong kernels (and int8 plans own
+    /// quantized weight planes a scalar run must not touch).
+    pub backend: BackendKind,
+    /// *Effective* recurrence strategy (post `RecurrenceStrategy::
+    /// effective` fallback/clamping). Chain and scan graphs have entirely
+    /// different task structures over the same shapes.
+    pub strategy: RecurrenceStrategy,
 }
 
 /// A compiled, replayable task graph plus the replica state it runs over.
@@ -75,8 +86,17 @@ impl<T: Float> ExecPlan<T> {
         mbs: usize,
         train: bool,
         backend: Backend,
+        strategy: RecurrenceStrategy,
     ) -> Self {
-        Self::build_with_mode(model, batch, mbs, train, BuildMode::Normal, backend)
+        Self::build_with_mode(
+            model,
+            batch,
+            mbs,
+            train,
+            BuildMode::Normal,
+            backend,
+            strategy,
+        )
     }
 
     /// [`ExecPlan::build`] with an explicit [`BuildMode`]. Every sabotaged
@@ -91,11 +111,12 @@ impl<T: Float> ExecPlan<T> {
         train: bool,
         mode: BuildMode,
         backend: Backend,
+        strategy: RecurrenceStrategy,
     ) -> Self {
         let layers = model.config.layers;
         let mut regions = super::builder::RegionAlloc::default();
         let (weights, replicas, chunks) =
-            TaskGraphExec::make_replicas(mbs, model, batch, &mut regions, backend);
+            TaskGraphExec::make_replicas(mbs, model, batch, &mut regions, backend, strategy);
         let mut b = PlanBuilder::new();
         // Same submission order as the original live path: per replica the
         // forward layers, the output stage, then (training) the backward

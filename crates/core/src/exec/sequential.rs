@@ -62,17 +62,21 @@ pub(crate) fn forward_trace<T: Float>(model: &Brnn<T>, batch: &[Matrix<T>]) -> F
             state = st;
         }
 
-        // Reverse order: t = T-1 .. 0.
-        let mut rev_h = vec![Matrix::zeros(0, 0); seq_len];
-        let mut rev_caches: Vec<Option<CellCache<T>>> = (0..seq_len).map(|_| None).collect();
+        // Reverse order: t = T-1 .. 0, pushed in traversal order and
+        // reversed once at the end — no placeholder matrices, no
+        // per-slot `Option` shuffle. The cell-update order (and with it
+        // every floating-point result) is unchanged.
+        let mut rev_h = Vec::with_capacity(seq_len);
+        let mut rev_caches = Vec::with_capacity(seq_len);
         let mut state = CellState::zeros(kind, rows, hidden);
-        for t in (0..seq_len).rev() {
-            let (st, cache) = params.rev.forward(&inputs[t], &state);
-            rev_h[t] = st.h.clone();
-            rev_caches[t] = Some(cache);
+        for x in inputs.iter().rev() {
+            let (st, cache) = params.rev.forward(x, &state);
+            rev_h.push(st.h.clone());
+            rev_caches.push(cache);
             state = st;
         }
-        let rev_caches: Vec<CellCache<T>> = rev_caches.into_iter().map(Option::unwrap).collect();
+        rev_h.reverse();
+        rev_caches.reverse();
 
         // Merge cells.
         let last_layer = l == cfg.layers - 1;

@@ -32,6 +32,7 @@ use super::plan::{ExecPlan, PlanCache, PlanCacheStats, PlanKey};
 use super::{check_batch, ExecError, Executor, ForwardOutput, Target};
 use crate::model::{Brnn, ModelKind};
 use crate::optim::Optimizer;
+use crate::scanplan::RecurrenceStrategy;
 use bpar_runtime::{Runtime, RuntimeConfig, SchedulerPolicy};
 use bpar_tensor::{Backend, BackendKind, Float, Matrix};
 use parking_lot::Mutex;
@@ -51,6 +52,7 @@ pub struct TaskGraphExec {
     runtime: Runtime,
     mbs: usize,
     backend: BackendKind,
+    strategy: RecurrenceStrategy,
     plans: Mutex<PlanCache>,
 }
 
@@ -89,8 +91,24 @@ impl TaskGraphExec {
             }),
             mbs,
             backend,
+            strategy: RecurrenceStrategy::Chain,
             plans: Mutex::new(PlanCache::default()),
         }
+    }
+
+    /// Selects how timestep recurrences execute
+    /// ([`RecurrenceStrategy::Chain`] by default). Scan requests fall back
+    /// to chain per plan when the model's cell is not scannable (see
+    /// [`RecurrenceStrategy::effective`]); plans are cached under the
+    /// *effective* strategy, so the fallback shares the chain plan.
+    pub fn with_strategy(mut self, strategy: RecurrenceStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured (requested, pre-fallback) recurrence strategy.
+    pub fn strategy(&self) -> RecurrenceStrategy {
+        self.strategy
     }
 
     /// The underlying runtime (task statistics, trace records).
@@ -153,6 +171,7 @@ impl TaskGraphExec {
         batch: &[Matrix<T>],
         regions: &mut RegionAlloc,
         backend: Backend,
+        strategy: RecurrenceStrategy,
     ) -> ReplicaSet<T> {
         let (_, rows) = check_batch(model, batch);
         let weights = Arc::new(WeightStore::for_backend(model, backend));
@@ -167,6 +186,7 @@ impl TaskGraphExec {
                     count as f64 / rows as f64,
                     regions,
                     backend,
+                    strategy,
                 )
             })
             .collect();
@@ -183,6 +203,11 @@ impl TaskGraphExec {
         train: bool,
     ) -> (Arc<ExecPlan<T>>, PlanKey) {
         let (seq, rows) = check_batch(model, batch);
+        let backend = self.plan_backend(train);
+        // Cache under the *effective* strategy: a scan request on a
+        // non-scannable cell shares the chain plan instead of building a
+        // duplicate under a distinct key.
+        let strategy = self.strategy.effective(model.config.cell, seq);
         let key = PlanKey {
             tenant,
             config: model.config,
@@ -190,6 +215,8 @@ impl TaskGraphExec {
             seq,
             mbs: self.mbs,
             train,
+            backend: backend.kind(),
+            strategy,
         };
         let mut cache = self.plans.lock();
         if let Some(plan) = cache.get::<T>(&key) {
@@ -200,11 +227,7 @@ impl TaskGraphExec {
         // and the serve loop may poll stats from another thread.
         let t0 = Instant::now();
         let plan = Arc::new(ExecPlan::build(
-            model,
-            batch,
-            self.mbs,
-            train,
-            self.plan_backend(train),
+            model, batch, self.mbs, train, backend, strategy,
         ));
         let build_ns = t0.elapsed().as_nanos() as u64;
         let mut cache = self.plans.lock();

@@ -20,6 +20,7 @@
 //! B-Par contributes.
 
 use crate::model::{BrnnConfig, ModelKind};
+use crate::scanplan::{NodeRef, RecurrenceStrategy, ScanPlan};
 use bpar_runtime::graph::{TaskGraph, TaskNode};
 use bpar_runtime::RegionId;
 
@@ -55,6 +56,13 @@ pub struct GraphSpec {
     /// GEMM and the element-wise gate tail) to probe task granularity —
     /// twice the tasks, twice the scheduling overhead, same work.
     pub split_cells: bool,
+    /// How each direction's timestep recurrence is executed. `Scan` (for
+    /// scannable cells) replaces the per-timestep chain with chunk-local
+    /// sweeps, a Blelloch combine tree and fix-ups — the same tasks,
+    /// clauses and tags `exec::builder` submits. Falls back to `Chain`
+    /// exactly like the live executor (see
+    /// [`RecurrenceStrategy::effective`]).
+    pub recurrence: RecurrenceStrategy,
 }
 
 impl GraphSpec {
@@ -68,6 +76,7 @@ impl GraphSpec {
             barriers: false,
             fuse_merges: false,
             split_cells: false,
+            recurrence: RecurrenceStrategy::Chain,
         }
     }
 
@@ -103,6 +112,12 @@ impl GraphSpec {
         self.split_cells = split;
         self
     }
+
+    /// Same spec with the given recurrence execution strategy.
+    pub fn with_recurrence(mut self, recurrence: RecurrenceStrategy) -> Self {
+        self.recurrence = recurrence;
+        self
+    }
 }
 
 /// Region-id grid for one replica (mirrors `exec::builder::ReplicaGraph`).
@@ -134,10 +149,40 @@ struct Regions {
     b_bdir: Vec<RegionId>,
     /// Per-layer end barrier (backward pass).
     b_blayer: Vec<RegionId>,
+    /// Scan-transfer regions, present only under
+    /// [`RecurrenceStrategy::Scan`].
+    scan: Option<ScanRegions>,
+}
+
+/// Region ids of the scan-transfer values (chunk totals and combine-node
+/// outputs), mirroring `exec::builder::ScanSlots`. Indexed
+/// `[direction][layer][i]` with direction 0 = forward, 1 = reverse.
+struct ScanRegions {
+    tot: [Vec<Vec<RegionId>>; 2],
+    node: [Vec<Vec<RegionId>>; 2],
+    btot: [Vec<Vec<RegionId>>; 2],
+    bnode: [Vec<Vec<RegionId>>; 2],
+}
+
+impl ScanRegions {
+    /// The region holding a [`NodeRef`] transfer value of one direction
+    /// of one layer, in the forward (`adjoint = false`) or adjoint tree.
+    fn resolve(&self, d: usize, l: usize, r: NodeRef, adjoint: bool) -> RegionId {
+        let (tot, node) = if adjoint {
+            (&self.btot, &self.bnode)
+        } else {
+            (&self.tot, &self.node)
+        };
+        match r {
+            NodeRef::Identity => unreachable!("identity transfer is never materialised"),
+            NodeRef::Total(i) => tot[d][l][i],
+            NodeRef::Node(i) => node[d][l][i],
+        }
+    }
 }
 
 impl Regions {
-    fn new(cfg: &BrnnConfig, seq: usize, next: &mut u64) -> Self {
+    fn new(cfg: &BrnnConfig, seq: usize, scan: Option<&ScanPlan>, next: &mut u64) -> Self {
         let mut fresh = || {
             let id = RegionId(*next);
             *next += 1;
@@ -176,6 +221,21 @@ impl Regions {
             b_layer: (0..cfg.layers).map(|_| fresh()).collect(),
             b_bdir: (0..cfg.layers).map(|_| fresh()).collect(),
             b_blayer: (0..cfg.layers).map(|_| fresh()).collect(),
+            scan: scan.map(|plan| {
+                let mut grid2 = |n: usize| -> [Vec<Vec<RegionId>>; 2] {
+                    std::array::from_fn(|_| {
+                        (0..cfg.layers)
+                            .map(|_| (0..n).map(|_| fresh()).collect())
+                            .collect()
+                    })
+                };
+                ScanRegions {
+                    tot: grid2(plan.chunk_count()),
+                    node: grid2(plan.combines.len()),
+                    btot: grid2(plan.chunk_count()),
+                    bnode: grid2(plan.combines.len()),
+                }
+            }),
         }
     }
 }
@@ -188,6 +248,16 @@ pub fn build_graph(spec: &GraphSpec) -> TaskGraph {
         !(spec.barriers && spec.fuse_merges),
         "barrier and merge-fusion ablations are mutually exclusive"
     );
+    // The generator honours the same fallback the live executor applies:
+    // non-scannable cells and degenerate chunk counts run the chain.
+    let recurrence = spec.recurrence.effective(cfg.cell, cfg.seq_len);
+    let scan_plan = recurrence
+        .scan_chunks()
+        .map(|c| ScanPlan::new(cfg.seq_len, c));
+    assert!(
+        scan_plan.is_none() || !(spec.barriers || spec.fuse_merges || spec.split_cells),
+        "the scan strategy excludes the barrier/fusion/granularity ablations"
+    );
     let mut g = TaskGraph::new();
     let mut next_region = 0u64;
     let scalar = 4; // cost model assumes f32, like the paper's kernels
@@ -195,8 +265,8 @@ pub fn build_graph(spec: &GraphSpec) -> TaskGraph {
 
     let mut replica_regions = Vec::with_capacity(chunks.len());
     for &(_, rows) in &chunks {
-        let r = Regions::new(&cfg, cfg.seq_len, &mut next_region);
-        build_replica(&mut g, spec, rows, &r, scalar);
+        let r = Regions::new(&cfg, cfg.seq_len, scan_plan.as_ref(), &mut next_region);
+        build_replica(&mut g, spec, rows, &r, scalar, scan_plan.as_ref());
         replica_regions.push(r);
     }
 
@@ -302,7 +372,14 @@ fn add_cell(
     }
 }
 
-fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, scalar: usize) {
+fn build_replica(
+    g: &mut TaskGraph,
+    spec: &GraphSpec,
+    rows: usize,
+    r: &Regions,
+    scalar: usize,
+    scan: Option<&ScanPlan>,
+) {
     let cfg = spec.config;
     let seq = cfg.seq_len;
     let hidden = cfg.hidden_size;
@@ -314,6 +391,11 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
         let flops = cfg.cell.forward_flops(rows, input_w, hidden);
         let ws = cfg.cell.forward_working_set(rows, input_w, hidden, scalar);
 
+        if let Some(plan) = scan {
+            add_scan_forward_layer(g, spec, plan, rows, r, scalar, l);
+            add_merges(g, spec, rows, r, scalar, l);
+            continue;
+        }
         for t in 0..seq {
             let mut ins = Vec::with_capacity(3);
             if t > 0 {
@@ -392,28 +474,7 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
                 r.st_rev[l][t],
             );
         }
-        if l < last && !spec.fuse_merges {
-            let merge_ws = 3 * rows * cfg.merge.output_width(hidden) * scalar;
-            for t in 0..seq {
-                g.add_task(
-                    TaskNode::new("merge")
-                        .tag(((l as u64) << 32) | t as u64)
-                        .flops(cfg.merge.flops(rows, hidden))
-                        .working_set(merge_ws),
-                    &[r.st_fwd[l][t], r.st_rev[l][t]],
-                    &[r.merged[l][t]],
-                );
-            }
-            if spec.barriers {
-                // Layer barrier: layer l+1 starts only after every merge.
-                let ins: Vec<RegionId> = (0..seq).map(|t| r.merged[l][t]).collect();
-                g.add_task(
-                    TaskNode::new("barrier").tag(100 + l as u64),
-                    &ins,
-                    &[r.b_layer[l]],
-                );
-            }
-        }
+        add_merges(g, spec, rows, r, scalar, l);
     }
 
     // ---- Output stage ----
@@ -469,6 +530,11 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
         let flops = cfg.cell.backward_flops(rows, input_w, hidden);
         let ws = cfg.cell.backward_working_set(rows, input_w, hidden, scalar);
 
+        if let Some(plan) = scan {
+            add_scan_backward_layer(g, spec, plan, rows, r, scalar, l);
+            add_merge_bwds(g, spec, rows, r, l);
+            continue;
+        }
         for t in (0..seq).rev() {
             // The weight-gradient accumulator is inout; its read edge
             // duplicates the BPTT chain edge and dedups away.
@@ -515,22 +581,7 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
                 &[r.sg_rev[l][t], r.dinput_r[l][t], r.grads_rev[l]],
             );
         }
-        if l > 0 {
-            for t in 0..seq {
-                g.add_task(
-                    TaskNode::new("merge_bwd")
-                        .tag((((l - 1) as u64) << 32) | t as u64)
-                        .flops(cfg.merge.flops(rows, hidden)),
-                    &[
-                        r.dinput_f[l][t],
-                        r.dinput_r[l][t],
-                        r.st_fwd[l - 1][t],
-                        r.st_rev[l - 1][t],
-                    ],
-                    &[r.dh_fwd[l - 1][t], r.dh_rev[l - 1][t]],
-                );
-            }
-        }
+        add_merge_bwds(g, spec, rows, r, l);
         if spec.barriers {
             let ins: Vec<RegionId> = if l > 0 {
                 (0..seq)
@@ -543,6 +594,280 @@ fn build_replica(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, 
                 TaskNode::new("barrier").tag(300 + l as u64),
                 &ins,
                 &[r.b_blayer[l]],
+            );
+        }
+    }
+}
+
+/// Adds layer `l`'s forward merge tasks (and the post-merge barrier when
+/// the framework ablation is on) — shared by the chain and scan paths.
+fn add_merges(
+    g: &mut TaskGraph,
+    spec: &GraphSpec,
+    rows: usize,
+    r: &Regions,
+    scalar: usize,
+    l: usize,
+) {
+    let cfg = spec.config;
+    let seq = cfg.seq_len;
+    let hidden = cfg.hidden_size;
+    if l >= cfg.layers - 1 || spec.fuse_merges {
+        return;
+    }
+    let merge_ws = 3 * rows * cfg.merge.output_width(hidden) * scalar;
+    for t in 0..seq {
+        g.add_task(
+            TaskNode::new("merge")
+                .tag(((l as u64) << 32) | t as u64)
+                .flops(cfg.merge.flops(rows, hidden))
+                .working_set(merge_ws),
+            &[r.st_fwd[l][t], r.st_rev[l][t]],
+            &[r.merged[l][t]],
+        );
+    }
+    if spec.barriers {
+        // Layer barrier: layer l+1 starts only after every merge.
+        let ins: Vec<RegionId> = (0..seq).map(|t| r.merged[l][t]).collect();
+        g.add_task(
+            TaskNode::new("barrier").tag(100 + l as u64),
+            &ins,
+            &[r.b_layer[l]],
+        );
+    }
+}
+
+/// Adds layer `l`'s inner backward merges (feeding layer `l-1`'s `dh`
+/// slots) — shared by the chain and scan paths.
+fn add_merge_bwds(g: &mut TaskGraph, spec: &GraphSpec, rows: usize, r: &Regions, l: usize) {
+    let cfg = spec.config;
+    if l == 0 {
+        return;
+    }
+    for t in 0..cfg.seq_len {
+        g.add_task(
+            TaskNode::new("merge_bwd")
+                .tag((((l - 1) as u64) << 32) | t as u64)
+                .flops(cfg.merge.flops(rows, cfg.hidden_size)),
+            &[
+                r.dinput_f[l][t],
+                r.dinput_r[l][t],
+                r.st_fwd[l - 1][t],
+                r.st_rev[l - 1][t],
+            ],
+            &[r.dh_fwd[l - 1][t], r.dh_rev[l - 1][t]],
+        );
+    }
+}
+
+/// Cost of one scan combine `(a1,b1)∘(a2,b2) = (a1⊙a2, a2⊙b1+b2)`:
+/// a `1×H` element-wise product plus a `rows×H` row-scaled add.
+fn combine_flops(rows: usize, hidden: usize) -> u64 {
+    ((2 * rows + 1) * hidden) as u64
+}
+
+/// Emits layer `l`'s forward scan tasks for both directions, mirroring
+/// `exec::builder::ReplicaGraph::submit_forward_layer_scan` clause for
+/// clause: per direction `C` chunk-local sweeps (`scan_local`), the
+/// Blelloch combine tree (`scan_comb`) and `C-1` prefix fix-ups
+/// (`scan_fix`, inout on the chunk's `st` regions).
+fn add_scan_forward_layer(
+    g: &mut TaskGraph,
+    spec: &GraphSpec,
+    plan: &ScanPlan,
+    rows: usize,
+    r: &Regions,
+    scalar: usize,
+    l: usize,
+) {
+    let cfg = spec.config;
+    let seq = cfg.seq_len;
+    let hidden = cfg.hidden_size;
+    let input_w = cfg.layer_input_size(l);
+    let step_flops = cfg.cell.forward_flops(rows, input_w, hidden);
+    let cell_ws = cfg.cell.forward_working_set(rows, input_w, hidden, scalar);
+    let scan = r.scan.as_ref().expect("scan regions");
+    let transfer_bytes = (hidden + rows * hidden) * scalar;
+
+    for fwd_dir in [true, false] {
+        let d = usize::from(!fwd_dir);
+        let st = if fwd_dir { &r.st_fwd[l] } else { &r.st_rev[l] };
+        // Logical scan position -> physical timestep (the reverse
+        // direction's chunk 0 starts at t = T-1).
+        let phys = |j: usize| if fwd_dir { j } else { seq - 1 - j };
+        let dir_bit = u64::from(!fwd_dir);
+        let tag = |i: usize| (dir_bit << 56) | ((l as u64) << 32) | i as u64;
+
+        for (c, &(j0, j1)) in plan.chunks.iter().enumerate() {
+            let len = j1 - j0;
+            let mut ins: Vec<RegionId> = Vec::new();
+            if l > 0 {
+                ins.extend((j0..j1).map(|j| r.merged[l - 1][phys(j)]));
+            }
+            let mut outs: Vec<RegionId> = (j0..j1).map(|j| st[phys(j)]).collect();
+            outs.push(scan.tot[d][l][c]);
+            g.add_task(
+                TaskNode::new("scan_local")
+                    .tag(tag(c))
+                    // Chain sweep over the chunk plus the λ^len total.
+                    .flops(len as u64 * step_flops + (len * hidden) as u64)
+                    .working_set(cell_ws * len),
+                &ins,
+                &outs,
+            );
+        }
+        for (k, comb) in plan.combines.iter().enumerate() {
+            g.add_task(
+                TaskNode::new("scan_comb")
+                    .tag(tag(k))
+                    .flops(combine_flops(rows, hidden))
+                    .working_set(3 * transfer_bytes),
+                &[
+                    scan.resolve(d, l, comb.lhs, false),
+                    scan.resolve(d, l, comb.rhs, false),
+                ],
+                &[scan.node[d][l][k]],
+            );
+        }
+        for (c, &(j0, j1)) in plan.chunks.iter().enumerate().skip(1) {
+            let len = j1 - j0;
+            let pref = scan.resolve(d, l, plan.prefix_of_chunk[c], false);
+            let mut ins: Vec<RegionId> = vec![pref];
+            ins.extend((j0..j1).map(|j| st[phys(j)]));
+            let outs: Vec<RegionId> = (j0..j1).map(|j| st[phys(j)]).collect();
+            g.add_task(
+                TaskNode::new("scan_fix")
+                    .tag(tag(c))
+                    // Per position: h_prev += carry, carry ← λ⊙carry,
+                    // h += carry (all rows×H element-wise).
+                    .flops((5 * rows * hidden * len) as u64)
+                    .working_set((2 * len + 1) * rows * hidden * scalar),
+                &ins,
+                &outs,
+            );
+        }
+    }
+}
+
+/// Emits layer `l`'s backward scan tasks for both directions, mirroring
+/// `exec::builder::ReplicaGraph::submit_backward_layer_scan`: the adjoint
+/// recurrence runs the same tree over reversed chunk order (`bscan_*`),
+/// then one gradient task per chunk (`bscan_grad`) serialised on the
+/// weight-gradient accumulator in the chain executor's order.
+fn add_scan_backward_layer(
+    g: &mut TaskGraph,
+    spec: &GraphSpec,
+    plan: &ScanPlan,
+    rows: usize,
+    r: &Regions,
+    scalar: usize,
+    l: usize,
+) {
+    let cfg = spec.config;
+    let seq = cfg.seq_len;
+    let hidden = cfg.hidden_size;
+    let input_w = cfg.layer_input_size(l);
+    let bwd_flops = cfg.cell.backward_flops(rows, input_w, hidden);
+    let cell_ws = cfg.cell.backward_working_set(rows, input_w, hidden, scalar);
+    let scan = r.scan.as_ref().expect("scan regions");
+    let transfer_bytes = (hidden + rows * hidden) * scalar;
+    let cc = plan.chunk_count();
+
+    for fwd_dir in [true, false] {
+        let d = usize::from(!fwd_dir);
+        let (st, dh, sg, dinput, gacc) = if fwd_dir {
+            (
+                &r.st_fwd[l],
+                &r.dh_fwd[l],
+                &r.sg_fwd[l],
+                &r.dinput_f[l],
+                r.grads_fwd[l],
+            )
+        } else {
+            (
+                &r.st_rev[l],
+                &r.dh_rev[l],
+                &r.sg_rev[l],
+                &r.dinput_r[l],
+                r.grads_rev[l],
+            )
+        };
+        let phys = |j: usize| if fwd_dir { j } else { seq - 1 - j };
+        let dir_bit = u64::from(!fwd_dir);
+        let tag = |i: usize| (dir_bit << 56) | ((l as u64) << 32) | i as u64;
+
+        // Adjoint chunk-local sweeps: backward scan-order chunk `bc` is
+        // forward chunk `C-1-bc`.
+        for bc in 0..cc {
+            let c = cc - 1 - bc;
+            let (j0, j1) = plan.chunks[c];
+            let len = j1 - j0;
+            let ins: Vec<RegionId> = (j0..j1).map(|j| dh[phys(j)]).collect();
+            let mut outs: Vec<RegionId> = (j0..j1).map(|j| sg[phys(j)]).collect();
+            outs.push(scan.btot[d][l][bc]);
+            g.add_task(
+                TaskNode::new("bscan_local")
+                    .tag(tag(bc))
+                    // Per position: δ = dh + λ⊙carry plus the λ^len total.
+                    .flops((3 * rows * hidden * len + hidden * len) as u64)
+                    .working_set(2 * len * rows * hidden * scalar),
+                &ins,
+                &outs,
+            );
+        }
+        for (k, comb) in plan.combines.iter().enumerate() {
+            g.add_task(
+                TaskNode::new("bscan_comb")
+                    .tag(tag(k))
+                    .flops(combine_flops(rows, hidden))
+                    .working_set(3 * transfer_bytes),
+                &[
+                    scan.resolve(d, l, comb.lhs, true),
+                    scan.resolve(d, l, comb.rhs, true),
+                ],
+                &[scan.bnode[d][l][k]],
+            );
+        }
+        for bc in 1..cc {
+            let c = cc - 1 - bc;
+            let (j0, j1) = plan.chunks[c];
+            let len = j1 - j0;
+            let pref = scan.resolve(d, l, plan.prefix_of_chunk[bc], true);
+            let sg_regions: Vec<RegionId> = (j0..j1).map(|j| sg[phys(j)]).collect();
+            let mut ins: Vec<RegionId> = vec![pref];
+            ins.extend(&sg_regions);
+            g.add_task(
+                TaskNode::new("bscan_fix")
+                    .tag(tag(bc))
+                    // Per position: carry ← λ⊙carry, δ += carry.
+                    .flops((3 * rows * hidden * len) as u64)
+                    .working_set((len + 1) * rows * hidden * scalar),
+                &ins,
+                &sg_regions,
+            );
+        }
+        // Gradient tasks, chunks emitted in reverse (bc ascending) so the
+        // accumulator chain matches the chain executor's t-descending
+        // order.
+        for bc in 0..cc {
+            let c = cc - 1 - bc;
+            let (j0, j1) = plan.chunks[c];
+            let len = j1 - j0;
+            let mut ins: Vec<RegionId> = Vec::with_capacity(2 * len + 1);
+            for j in j0..j1 {
+                ins.push(sg[phys(j)]);
+                ins.push(st[phys(j)]);
+            }
+            ins.push(gacc);
+            let mut outs: Vec<RegionId> = (j0..j1).map(|j| dinput[phys(j)]).collect();
+            outs.push(gacc);
+            g.add_task(
+                TaskNode::new("bscan_grad")
+                    .tag(tag(c))
+                    .flops(len as u64 * bwd_flops)
+                    .working_set(cell_ws * len),
+                &ins,
+                &outs,
             );
         }
     }
@@ -750,6 +1075,132 @@ mod ablation_tests {
             &GraphSpec::training(cfg(), 2)
                 .with_barriers(true)
                 .with_fused_merges(true),
+        );
+    }
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::merge::MergeMode;
+    use crate::scanplan::combine_count;
+
+    fn linear_cfg(layers: usize, seq: usize) -> BrnnConfig {
+        BrnnConfig {
+            cell: CellKind::Linear,
+            input_size: 4,
+            hidden_size: 4,
+            layers,
+            seq_len: seq,
+            output_size: 2,
+            merge: MergeMode::Sum,
+            kind: ModelKind::ManyToOne,
+        }
+    }
+
+    #[test]
+    fn scan_task_labels_and_counts() {
+        let spec = GraphSpec::training(linear_cfg(2, 12), 2)
+            .with_recurrence(RecurrenceStrategy::Scan { chunks: 4 });
+        let g = build_graph(&spec);
+        let k = combine_count(4); // 3 per direction per layer
+        assert_eq!(g.count_label("scan_local"), 16);
+        assert_eq!(g.count_label("scan_comb"), 4 * k);
+        assert_eq!(g.count_label("scan_fix"), 12);
+        assert_eq!(g.count_label("bscan_local"), 16);
+        assert_eq!(g.count_label("bscan_comb"), 4 * k);
+        assert_eq!(g.count_label("bscan_fix"), 12);
+        assert_eq!(g.count_label("bscan_grad"), 16);
+        // No chain cells anywhere; merges are strategy-oblivious.
+        assert_eq!(g.count_label("cell_fwd"), 0);
+        assert_eq!(g.count_label("cell_fwd_bwd"), 0);
+        assert_eq!(g.count_label("merge"), 12);
+        assert_eq!(g.count_label("merge_bwd"), 13);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn scan_shortens_the_critical_path_and_widens_the_graph() {
+        let cfg = linear_cfg(1, 4096);
+        let chain = build_graph(&GraphSpec::inference(cfg, 8));
+        let scan = build_graph(
+            &GraphSpec::inference(cfg, 8).with_recurrence(RecurrenceStrategy::Scan { chunks: 64 }),
+        );
+        let cp = |g: &TaskGraph| g.critical_path(|n| n.flops as f64);
+        // Inference: the whole T-step chain collapses to chunk + tree +
+        // fix work — orders of magnitude shorter at T = 4096.
+        assert!(
+            cp(&scan) < cp(&chain) / 4.0,
+            "scan cp {} vs chain cp {}",
+            cp(&scan),
+            cp(&chain)
+        );
+        assert!(scan.max_width() > chain.max_width());
+
+        // Training still wins (forward + adjoint trees parallelise) even
+        // though the gradient accumulator chain stays sequential.
+        let chain_t = build_graph(&GraphSpec::training(cfg, 8));
+        let scan_t = build_graph(
+            &GraphSpec::training(cfg, 8).with_recurrence(RecurrenceStrategy::Scan { chunks: 64 }),
+        );
+        assert!(cp(&scan_t) < cp(&chain_t));
+        scan.validate().unwrap();
+        scan_t.validate().unwrap();
+    }
+
+    #[test]
+    fn scan_combines_read_locals_and_fixes_read_prefixes() {
+        let spec = GraphSpec::inference(linear_cfg(1, 8), 2)
+            .with_recurrence(RecurrenceStrategy::Scan { chunks: 4 });
+        let g = build_graph(&spec);
+        // Emission per direction: 4 locals, K=3 combines, 3 fixes.
+        // Forward direction starts at task 0.
+        for comb in 4..7 {
+            assert_eq!(g.node(comb).label, "scan_comb");
+            for &p in g.preds(comb) {
+                assert!(
+                    g.node(p).label == "scan_local" || g.node(p).label == "scan_comb",
+                    "combine preds must be transfers, got {}",
+                    g.node(p).label
+                );
+            }
+        }
+        for fix in 7..10 {
+            assert_eq!(g.node(fix).label, "scan_fix");
+            // Exactly two deduplicated preds: the prefix transfer and the
+            // chunk's own local sweep.
+            assert_eq!(g.preds(fix).len(), 2, "{:?}", g.preds(fix));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn non_scannable_cells_fall_back_to_the_chain_graph() {
+        let cfg = BrnnConfig {
+            cell: CellKind::Lstm,
+            ..linear_cfg(2, 8)
+        };
+        let scan = build_graph(
+            &GraphSpec::training(cfg, 2).with_recurrence(RecurrenceStrategy::Scan { chunks: 4 }),
+        );
+        let chain = build_graph(&GraphSpec::training(cfg, 2));
+        assert_eq!(scan.count_label("scan_local"), 0);
+        assert_eq!(scan.len(), chain.len());
+        for i in 0..scan.len() {
+            assert_eq!(scan.node(i).label, chain.node(i).label);
+            assert_eq!(scan.node(i).tag, chain.node(i).tag);
+            assert_eq!(scan.preds(i), chain.preds(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ablations")]
+    fn scan_and_barriers_conflict() {
+        build_graph(
+            &GraphSpec::training(linear_cfg(1, 8), 2)
+                .with_barriers(true)
+                .with_recurrence(RecurrenceStrategy::Scan { chunks: 4 }),
         );
     }
 }

@@ -54,6 +54,7 @@ fn cell_code(k: CellKind) -> u8 {
         CellKind::Lstm => 0,
         CellKind::Gru => 1,
         CellKind::Vanilla => 2,
+        CellKind::Linear => 3,
     }
 }
 
@@ -62,6 +63,7 @@ fn cell_from(code: u8) -> Result<CellKind, CheckpointError> {
         0 => CellKind::Lstm,
         1 => CellKind::Gru,
         2 => CellKind::Vanilla,
+        3 => CellKind::Linear,
         c => return Err(CheckpointError::Format(format!("unknown cell code {c}"))),
     })
 }
@@ -158,6 +160,11 @@ fn visit_matrices<T: Float>(
                 }
                 CellParams::Vanilla(p) => {
                     f(&mut p.w)?;
+                    f(&mut p.b)?;
+                }
+                CellParams::Linear(p) => {
+                    f(&mut p.w)?;
+                    f(&mut p.lambda)?;
                     f(&mut p.b)?;
                 }
             }
@@ -267,7 +274,12 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_is_exact_for_all_cells() {
-        for cell in [CellKind::Lstm, CellKind::Gru, CellKind::Vanilla] {
+        for cell in [
+            CellKind::Lstm,
+            CellKind::Gru,
+            CellKind::Vanilla,
+            CellKind::Linear,
+        ] {
             let (a, b) = roundtrip::<f64>(cell);
             assert_eq!(a.max_param_diff(&b), 0.0, "{cell:?}");
             assert_eq!(a.config, b.config);

@@ -79,6 +79,7 @@ pub mod loss;
 pub mod merge;
 pub mod model;
 pub mod optim;
+pub mod scanplan;
 pub mod train;
 
 /// Common imports for downstream crates.
@@ -91,6 +92,7 @@ pub mod prelude {
     pub use crate::merge::MergeMode;
     pub use crate::model::{Brnn, BrnnConfig, ModelKind};
     pub use crate::optim::{Adam, GradClip, Momentum, Optimizer, Schedule, ScheduledSgd, Sgd};
+    pub use crate::scanplan::RecurrenceStrategy;
     pub use crate::train::Trainer;
 }
 

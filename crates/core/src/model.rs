@@ -268,6 +268,11 @@ impl<T: Float> Brnn<T> {
                     acc(&a.w, &b.w);
                     acc(&a.b, &b.b);
                 }
+                (CellParams::Linear(a), CellParams::Linear(b)) => {
+                    acc(&a.w, &b.w);
+                    acc(&a.lambda, &b.lambda);
+                    acc(&a.b, &b.b);
+                }
                 _ => panic!("cell kind mismatch"),
             }
             match (&x.rev, &y.rev) {
@@ -283,6 +288,11 @@ impl<T: Float> Brnn<T> {
                 }
                 (CellParams::Vanilla(a), CellParams::Vanilla(b)) => {
                     acc(&a.w, &b.w);
+                    acc(&a.b, &b.b);
+                }
+                (CellParams::Linear(a), CellParams::Linear(b)) => {
+                    acc(&a.w, &b.w);
+                    acc(&a.lambda, &b.lambda);
                     acc(&a.b, &b.b);
                 }
                 _ => panic!("cell kind mismatch"),

@@ -15,6 +15,7 @@ use bpar_core::cell::CellKind;
 use bpar_core::exec::{Executor, ForwardOutput, SequentialExec, TaskGraphExec};
 use bpar_core::merge::MergeMode;
 use bpar_core::model::{Brnn, BrnnConfig, ModelKind};
+use bpar_core::scanplan::RecurrenceStrategy;
 use bpar_runtime::SchedulerPolicy;
 use bpar_tensor::alloc_track::{allocation_count, bytes_allocated};
 use bpar_tensor::{init, BackendKind, Float, Matrix};
@@ -121,6 +122,43 @@ fn gate_scheduled<T: Float>(
     }
 }
 
+/// The scan strategy's gate: a warm Blelloch-scan plan must replay with
+/// zero allocations exactly like the chain — the up-sweep/down-sweep
+/// tasks draw their chunk prefixes, combine scratch and fix-up buffers
+/// from the cached plan's arena. The scan reassociates the recurrence,
+/// so instead of the bit check the logits must land within the
+/// documented scan tolerance of the sequential reference
+/// (`scan_parity.rs` header: 1e-10 for `f64`, 1e-4 for `f32`).
+fn gate_scan<T: Float>(cfg: BrnnConfig, seed: u64, backend: BackendKind, chunks: usize, tol: f64) {
+    let model = Brnn::<T>::new(cfg, seed);
+    let exec = TaskGraphExec::with_backend(2, SchedulerPolicy::LocalityAware, 1, backend)
+        .with_strategy(RecurrenceStrategy::Scan { chunks });
+    let xs = batch::<T>(cfg.seq_len, 4, cfg.input_size, seed + 100);
+    let mut out = ForwardOutput::zeros_for(&model, 4, cfg.seq_len);
+    for _ in 0..5 {
+        exec.try_forward_into(&model, &xs, &mut out).unwrap();
+    }
+
+    let allocs_before = allocation_count();
+    let bytes_before = bytes_allocated();
+    exec.try_forward_into(&model, &xs, &mut out).unwrap();
+    let allocs = allocation_count() - allocs_before;
+    let bytes = bytes_allocated() - bytes_before;
+    assert_eq!(
+        allocs, 0,
+        "warm replayed scan batch allocated {allocs} times ({bytes} bytes) \
+         for chunks={chunks} under the {backend} backend"
+    );
+
+    let reference = SequentialExec.forward(&model, &xs);
+    let d = out.logits.max_abs_diff(&reference.logits);
+    assert!(d <= tol, "scan logits diverge from sequential by {d:e}");
+    for (m, r) in out.seq_logits.iter().zip(&reference.seq_logits) {
+        let d = m.max_abs_diff(r);
+        assert!(d <= tol, "scan seq logits diverge by {d:e}");
+    }
+}
+
 #[test]
 fn warm_replayed_inference_batches_allocate_nothing() {
     // All three cell kinds; concat exercises the widest merge buffers,
@@ -180,5 +218,24 @@ fn warm_replayed_inference_batches_allocate_nothing() {
         BackendKind::Simd,
         true,
         SchedulerPolicy::WorkStealing,
+    );
+
+    // The Blelloch scan strategy over the diagonal linear cell: three
+    // chunks of two timesteps exercise every scan task kind (local
+    // sweeps, combine tree, fix-up wave) through the warm path on both
+    // element widths.
+    gate_scan::<f64>(
+        config(CellKind::Linear, MergeMode::Concat, ModelKind::ManyToMany),
+        17,
+        BackendKind::Scalar,
+        3,
+        1e-10,
+    );
+    gate_scan::<f32>(
+        config(CellKind::Linear, MergeMode::Sum, ModelKind::ManyToMany),
+        19,
+        BackendKind::Simd,
+        3,
+        1e-4,
     );
 }

@@ -127,6 +127,37 @@ fn barrier_executor_matches_sequential_bitwise() {
     assert_eq!(ldiff, 0.0);
 }
 
+/// Regression for the reverse-pass rewrite in `forward_trace` (push in
+/// traversal order + one `reverse()`, replacing placeholder matrices
+/// and per-slot `Option`s) and the hoisted vstack refs buffer in
+/// B-Seq's many-to-many assembly: both are container-plumbing changes,
+/// so every executor that reuses the sequential drivers must stay
+/// *bitwise* identical — including uneven row chunking, where the refs
+/// buffer sees chunks of different heights.
+#[test]
+fn reverse_pass_rewrite_is_bit_identical_across_chunkings() {
+    let cfg = config(CellKind::Lstm, ModelKind::ManyToMany, MergeMode::Concat);
+    let rows = 5; // 5 rows over 3 chunks: 2 + 2 + 1 (uneven)
+    let model: Brnn<f64> = Brnn::new(cfg, 9);
+    let xs = batch(cfg.seq_len, rows, cfg.input_size, 11);
+
+    let reference = SequentialExec::new().forward(&model, &xs);
+    let bseq = BSeqExec::new(2, 3).forward(&model, &xs);
+    assert_eq!(reference.logits.max_abs_diff(&bseq.logits), 0.0);
+    for t in 0..cfg.seq_len {
+        assert_eq!(
+            reference.seq_logits[t].max_abs_diff(&bseq.seq_logits[t]),
+            0.0
+        );
+    }
+
+    // Training drives `backward_from_trace` over the rewritten caches.
+    let exec = BSeqExec::new(2, 1);
+    let (pdiff, ldiff) = train_and_diff(&exec, cfg, 2);
+    assert_eq!(pdiff, 0.0);
+    assert_eq!(ldiff, 0.0);
+}
+
 #[test]
 fn bseq_single_chunk_matches_sequential_bitwise() {
     let cfg = config(CellKind::Gru, ModelKind::ManyToOne, MergeMode::Sum);

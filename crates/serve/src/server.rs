@@ -22,6 +22,7 @@ use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
 use crate::request::{InferRequest, InferResponse, Outcome, ResponseTiming};
 use bpar_core::exec::{PlanCacheStats, TaskGraphExec};
 use bpar_core::model::Brnn;
+use bpar_core::scanplan::RecurrenceStrategy;
 use bpar_runtime::{FaultConfig, FaultPlan, SchedulerPolicy};
 use bpar_tensor::{BackendKind, Float};
 use parking_lot::Mutex;
@@ -143,6 +144,13 @@ pub struct ServeConfig {
     /// kernels; `Int8` trades a documented quantization tolerance for
     /// throughput (weights are quantized once per revision sync).
     pub backend: BackendKind,
+    /// How each direction's recurrence executes. `Chain` (the default)
+    /// is the paper's timestep chain, bit-identical to sequential;
+    /// `Scan { chunks }` runs the Blelloch parallel scan over sequence
+    /// chunks for scannable (diagonal linear) cells, within the
+    /// documented scan tolerance, and falls back to the chain for
+    /// everything else.
+    pub recurrence: RecurrenceStrategy,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +167,7 @@ impl Default for ServeConfig {
             pool_byte_budget: None,
             plan_byte_budget: None,
             backend: BackendKind::Scalar,
+            recurrence: RecurrenceStrategy::Chain,
         }
     }
 }
@@ -171,7 +180,7 @@ impl ServeConfig {
             "cap={},policy={},max_batch={},window_us={},bucket_width={},workers={},sched={:?},\
              retries={},backoff_us={},backoff_cap_us={},jitter={},\
              brk_fail={},brk_win={},brk_rec={},\
-             cancel_sheds={},pool_budget={},plan_budget={},backend={}",
+             cancel_sheds={},pool_budget={},plan_budget={},backend={},recurrence={}",
             self.queue_capacity,
             self.policy.name(),
             self.batch.max_batch,
@@ -190,6 +199,7 @@ impl ServeConfig {
             self.pool_byte_budget.unwrap_or(0),
             self.plan_byte_budget.unwrap_or(0),
             self.backend,
+            self.recurrence,
         )
     }
 }
@@ -252,7 +262,8 @@ impl<T: Float> Server<T> {
         // mbs = 1 keeps each batch bit-identical to sequential execution;
         // data parallelism comes from batching requests, not splitting
         // the batch again.
-        let exec = TaskGraphExec::with_backend(config.workers, config.scheduler, 1, config.backend);
+        let exec = TaskGraphExec::with_backend(config.workers, config.scheduler, 1, config.backend)
+            .with_strategy(config.recurrence);
         exec.set_plan_byte_budget(config.plan_byte_budget);
         // Pool capacity mirrors the plan cache's order of magnitude: a
         // bucketed batcher produces one shape per (bucket, fill) pair, a

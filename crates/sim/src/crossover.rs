@@ -1,0 +1,310 @@
+//! Chain-vs-scan crossover: where parallel-scan recurrence execution
+//! starts beating the timestep chain.
+//!
+//! Two independent estimators over the *same* generated graphs:
+//!
+//! * [`predict`] — an analytic Brent bound. Each task costs
+//!   `per_task_overhead + flops / flops_per_core`; a graph then takes at
+//!   least its critical path and at least `work / cores`, and a greedy
+//!   scheduler finishes within the sum of the two. The bound ignores
+//!   everything the event simulation models — queueing, locality
+//!   penalties, bandwidth sharing, duration jitter — which is the point:
+//!   it is a closed-form prediction, not a replay.
+//! * [`replay`] — the full discrete-event simulation ([`simulate`]) of
+//!   the same graphs under the live scheduler policy.
+//!
+//! The `scan_crossover` bench gates the two curves against each other:
+//! if the replayed crossover drifts more than 2× from the Brent
+//! prediction, either the cost annotations or the scan graph shape are
+//! wrong.
+//!
+//! Why a crossover exists at all: a chain exposes only `2·layers·mbs`
+//! parallel strands, so once cores exceed that, extra cores idle. The
+//! scan splits each strand into chunks, but pays a combine tree, a
+//! fix-up sweep and (for training) a serialized gradient accumulation —
+//! fixed costs that only amortize once the sequence is long enough.
+
+use crate::engine::{simulate, SimConfig};
+use bpar_core::graphgen::{build_graph, GraphSpec};
+use bpar_core::scanplan::RecurrenceStrategy;
+use serde::Serialize;
+
+/// Minimum timesteps per scan chunk. Below this the chunk-local sweep is
+/// too short to amortize its own dispatch, so [`chunks_for`] prefers
+/// fewer, longer chunks (degenerating to the chain for tiny sequences).
+pub const MIN_CHUNK_LEN: usize = 4;
+
+/// Chunk-count heuristic shared by the predictor and the live bench:
+/// two chunks per core (so the fix-up wave overlaps the next chunk's
+/// local sweep), capped so chunks never drop under [`MIN_CHUNK_LEN`]
+/// timesteps. A result of 1 means "don't scan" —
+/// [`RecurrenceStrategy::effective`] folds it back to the chain.
+pub fn chunks_for(seq_len: usize, cores: usize) -> usize {
+    (2 * cores).min(seq_len / MIN_CHUNK_LEN).max(1)
+}
+
+/// Chain and scan estimates for one sequence length.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CrossoverPoint {
+    pub seq_len: usize,
+    /// Chunk count the scan ran with ([`chunks_for`]).
+    pub chunks: usize,
+    /// Chain-strategy batch time, seconds.
+    pub chain_s: f64,
+    /// Scan-strategy batch time, seconds.
+    pub scan_s: f64,
+    /// `chain_s / scan_s` — above 1.0 the scan wins.
+    pub speedup: f64,
+}
+
+/// A swept chain-vs-scan curve and its crossover point.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossoverCurve {
+    pub cores: usize,
+    pub points: Vec<CrossoverPoint>,
+    /// Interpolated sequence length where the scan starts winning *and
+    /// keeps winning* for the rest of the sweep (`None` if it never
+    /// does). See [`crossover_of`].
+    pub crossover_seq: Option<f64>,
+}
+
+/// The chain/scan spec pair evaluated at one sequence length.
+fn specs_at(base: &GraphSpec, seq_len: usize, cores: usize) -> (GraphSpec, GraphSpec, usize) {
+    let mut chain = *base;
+    chain.config.seq_len = seq_len;
+    chain.recurrence = RecurrenceStrategy::Chain;
+    let chunks = chunks_for(seq_len, cores);
+    let mut scan = chain;
+    scan.recurrence = RecurrenceStrategy::Scan { chunks };
+    (chain, scan, chunks)
+}
+
+fn curve(
+    base: &GraphSpec,
+    seq_lens: &[usize],
+    cfg: &SimConfig,
+    eval: impl Fn(&GraphSpec) -> f64,
+) -> CrossoverCurve {
+    let points: Vec<CrossoverPoint> = seq_lens
+        .iter()
+        .map(|&seq_len| {
+            let (chain, scan, chunks) = specs_at(base, seq_len, cfg.cores);
+            let chain_s = eval(&chain);
+            let scan_s = eval(&scan);
+            CrossoverPoint {
+                seq_len,
+                chunks,
+                chain_s,
+                scan_s,
+                speedup: chain_s / scan_s,
+            }
+        })
+        .collect();
+    CrossoverCurve {
+        cores: cfg.cores,
+        crossover_seq: crossover_of(&points),
+        points,
+    }
+}
+
+/// Analytic Brent-bound curve: per-task time is overhead plus roofline
+/// compute; a graph takes `max(critical path, work / cores)`.
+pub fn predict(base: &GraphSpec, seq_lens: &[usize], cfg: &SimConfig) -> CrossoverCurve {
+    let task_s = |n: &bpar_runtime::graph::TaskNode| {
+        cfg.cost.per_task_overhead + n.flops as f64 / cfg.machine.flops_per_core
+    };
+    curve(base, seq_lens, cfg, |spec| {
+        let g = build_graph(spec);
+        let cp = g.critical_path(task_s);
+        let work = g.total_work(task_s);
+        cp.max(work / cfg.cores as f64)
+    })
+}
+
+/// Discrete-event replay curve: the same graphs through [`simulate`]
+/// under `cfg`'s scheduler policy and full cost model.
+pub fn replay(base: &GraphSpec, seq_lens: &[usize], cfg: &SimConfig) -> CrossoverCurve {
+    curve(base, seq_lens, cfg, |spec| {
+        simulate(&build_graph(spec), cfg).makespan
+    })
+}
+
+/// The sequence length where `speedup` crosses 1.0 for good.
+///
+/// Scans for the last run of consecutive scan wins that extends to the
+/// end of the sweep; the crossover is log-log interpolated between the
+/// last losing point and the first point of that run (or the first swept
+/// length if the scan never loses). Transient early wins that later
+/// revert do not count.
+pub fn crossover_of(points: &[CrossoverPoint]) -> Option<f64> {
+    let mut start = None;
+    for (i, p) in points.iter().enumerate() {
+        if p.speedup > 1.0 {
+            start.get_or_insert(i);
+        } else {
+            start = None;
+        }
+    }
+    let i = start?;
+    if i == 0 {
+        return Some(points[0].seq_len as f64);
+    }
+    let (a, b) = (&points[i - 1], &points[i]);
+    let (la, lb) = (a.speedup.ln(), b.speedup.ln());
+    let (xa, xb) = ((a.seq_len as f64).ln(), (b.seq_len as f64).ln());
+    let frac = if (lb - la).abs() < 1e-12 {
+        0.0
+    } else {
+        -la / (lb - la)
+    };
+    Some((xa + frac * (xb - xa)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpar_core::cell::CellKind;
+    use bpar_core::model::BrnnConfig;
+
+    /// A single-layer diagonal-recurrent model: the workload class the
+    /// scan targets (one sequence, no data parallelism to hide behind).
+    fn linear_spec(training: bool) -> GraphSpec {
+        let config = BrnnConfig {
+            cell: CellKind::Linear,
+            layers: 1,
+            seq_len: 64, // overridden per point
+            input_size: 128,
+            hidden_size: 128,
+            output_size: 8,
+            ..BrnnConfig::default()
+        };
+        if training {
+            GraphSpec::training(config, 16)
+        } else {
+            GraphSpec::inference(config, 16)
+        }
+    }
+
+    #[test]
+    fn chunk_heuristic_bounds() {
+        for cores in [1, 8, 48] {
+            for seq in [1, 4, 63, 64, 1024, 16384] {
+                let c = chunks_for(seq, cores);
+                assert!(c >= 1 && c <= 2 * cores, "seq={seq} cores={cores}: {c}");
+                if c >= 2 {
+                    assert!(seq / c >= MIN_CHUNK_LEN, "seq={seq} cores={cores}: {c}");
+                }
+            }
+        }
+        assert_eq!(chunks_for(4, 8), 1); // too short: stay on the chain
+        assert_eq!(chunks_for(16384, 8), 16);
+    }
+
+    #[test]
+    fn too_short_to_chunk_means_an_exact_tie() {
+        // chunks_for(4, 8) == 1, which `effective` folds back to Chain:
+        // both strategies build the identical graph, so the replayed
+        // makespans are bit-equal — the scan request costs nothing.
+        let c = replay(&linear_spec(false), &[4], &SimConfig::xeon(8));
+        assert_eq!(c.points[0].chain_s, c.points[0].scan_s);
+        assert!(c.crossover_seq.is_none());
+    }
+
+    #[test]
+    fn scan_wins_long_inference_at_eight_cores() {
+        let c = replay(&linear_spec(false), &[4096, 16384], &SimConfig::xeon(8));
+        for p in &c.points {
+            assert!(p.speedup > 1.0, "T={}: speedup {:.2}", p.seq_len, p.speedup);
+        }
+        // A single-layer chain keeps at most 2 of 8 cores busy; once the
+        // tree overhead is amortized the scan should be *well* clear of
+        // parity, not scraping past it.
+        assert!(
+            c.points[1].speedup > 2.0,
+            "16k speedup {:.2}",
+            c.points[1].speedup
+        );
+    }
+
+    #[test]
+    fn scan_still_wins_long_training_despite_the_serial_grad_chain() {
+        // bscan_grad tasks are serialized by the gradient accumulator,
+        // so training keeps T·bwd_flops on the critical path — the win
+        // is smaller than inference but must not vanish.
+        let c = replay(&linear_spec(true), &[16384], &SimConfig::xeon(8));
+        assert!(
+            c.points[0].speedup > 1.0,
+            "speedup {:.2}",
+            c.points[0].speedup
+        );
+    }
+
+    #[test]
+    fn no_scan_win_when_the_chain_already_saturates_the_cores() {
+        // Four replicas of a compute-heavy cell = 8 chain strands on 8
+        // cores, each cache-warm on its own core. The scan has no idle
+        // cores to recruit and its combine/fix-up traffic crosses
+        // cores, so the replay must show it losing — the strategy
+        // boundary is core headroom, not sequence length.
+        let config = BrnnConfig {
+            cell: CellKind::Linear,
+            layers: 1,
+            seq_len: 64,
+            input_size: 512,
+            hidden_size: 512,
+            output_size: 8,
+            ..BrnnConfig::default()
+        };
+        let spec = GraphSpec::inference(config, 64).with_mbs(4);
+        let c = replay(&spec, &[64, 512], &SimConfig::xeon(8));
+        for p in &c.points {
+            assert!(p.speedup < 1.0, "T={}: speedup {:.2}", p.seq_len, p.speedup);
+        }
+        assert!(c.crossover_seq.is_none());
+    }
+
+    #[test]
+    fn replayed_crossover_lands_within_2x_of_the_brent_prediction() {
+        let sweep = [32, 64, 128, 256, 512, 1024, 2048, 4096];
+        let cfg = SimConfig::xeon(8);
+        let spec = linear_spec(false);
+        let predicted = predict(&spec, &sweep, &cfg)
+            .crossover_seq
+            .expect("prediction must cross");
+        let replayed = replay(&spec, &sweep, &cfg)
+            .crossover_seq
+            .expect("replay must cross");
+        let ratio = (predicted / replayed).max(replayed / predicted);
+        assert!(
+            ratio <= 2.0,
+            "predicted {predicted:.0} vs replayed {replayed:.0} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn crossover_interpolation_ignores_transient_wins() {
+        let p = |seq_len: usize, speedup: f64| CrossoverPoint {
+            seq_len,
+            chunks: 8,
+            chain_s: speedup,
+            scan_s: 1.0,
+            speedup,
+        };
+        // Transient win at 64 reverts at 128: only the final run counts.
+        let pts = [
+            p(64, 1.2),
+            p(128, 0.8),
+            p(256, 1.0 / 1.25),
+            p(512, 1.25),
+            p(1024, 2.0),
+        ];
+        let x = crossover_of(&pts).unwrap();
+        // Log-log interpolation between 256 (speedup 0.8) and 512
+        // (speedup 1.25) crosses 1.0 exactly halfway in log space.
+        let expected = (256.0f64 * 512.0).sqrt();
+        assert!((x - expected).abs() < 1e-6, "{x} vs {expected}");
+        // Never crossing → None; winning everywhere → first point.
+        assert!(crossover_of(&pts[1..3]).is_none());
+        assert_eq!(crossover_of(&[p(64, 1.1), p(128, 1.2)]), Some(64.0));
+    }
+}

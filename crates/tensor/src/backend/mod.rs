@@ -171,6 +171,50 @@ pub trait KernelBackend: Sync + std::fmt::Debug {
     /// Adds a `cols`-wide bias row to each of the `rows` rows of `m`.
     fn add_bias_f32(&self, m: &mut [f32], rows: usize, cols: usize, bias: &[f32]);
 
+    /// `out[r] = a ⊙ x[r] + y[r]` with `a` a `cols`-wide decay row
+    /// broadcast over `rows` rows — the diagonal linear-recurrence update
+    /// and the `B` half of the scan transfer composition.
+    ///
+    /// Default: the scalar reference. Shipped backends keep the default so
+    /// scan arithmetic is bit-exact across backends (same policy as the
+    /// transcendentals: only GEMMs may diverge).
+    #[allow(clippy::too_many_arguments)]
+    fn row_mul_add_f32(
+        &self,
+        a: &[f32],
+        x: &[f32],
+        y: &[f32],
+        out: &mut [f32],
+        rows: usize,
+        cols: usize,
+    ) {
+        ops::row_mul_add_slice(a, x, y, out, rows, cols);
+    }
+
+    /// `m[r] = a ⊙ m[r]` in place (row-broadcast carry update `p ← λ ⊙ p`;
+    /// same scalar-everywhere default as [`Self::row_mul_add_f32`]).
+    fn row_scale_f32(&self, a: &[f32], m: &mut [f32], rows: usize, cols: usize) {
+        ops::row_scale_slice(a, m, rows, cols);
+    }
+
+    /// Blelloch-scan transfer composition: `out_a = a1 ⊙ a2`,
+    /// `out_b = a2 ⊙ b1 + b2` (apply `(a1,b1)` first, then `(a2,b2)`).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_combine_f32(
+        &self,
+        a1: &[f32],
+        b1: &[f32],
+        a2: &[f32],
+        b2: &[f32],
+        out_a: &mut [f32],
+        out_b: &mut [f32],
+        rows: usize,
+        cols: usize,
+    ) {
+        self.hadamard_f32(a1, a2, out_a);
+        self.row_mul_add_f32(a2, b1, b2, out_b, rows, cols);
+    }
+
     /// Element-wise logistic sigmoid.
     ///
     /// Default: the scalar reference. Every shipped backend keeps the
@@ -422,6 +466,69 @@ impl Backend {
         } else {
             ops::add_bias_slice(m.as_mut_slice(), rows, cols, bias.row(0));
         }
+    }
+
+    /// `out = a ⊙ x + y` with `a` a `1 × cols` row broadcast over the
+    /// rows of `x`, through the backend.
+    pub fn row_mul_add<T: Float>(
+        self,
+        a: &Matrix<T>,
+        x: &Matrix<T>,
+        y: &Matrix<T>,
+        out: &mut Matrix<T>,
+    ) {
+        assert_eq!(a.rows(), 1, "row_mul_add: a must be a row vector");
+        assert_eq!(a.cols(), x.cols(), "row_mul_add: a width mismatch");
+        assert_eq!(x.shape(), y.shape(), "row_mul_add shape mismatch");
+        assert_eq!(x.shape(), out.shape(), "row_mul_add out shape mismatch");
+        let (rows, cols) = x.shape();
+        if let (Some(af), Some(xf), Some(yf)) = (
+            T::as_f32_slice(a.as_slice()),
+            T::as_f32_slice(x.as_slice()),
+            T::as_f32_slice(y.as_slice()),
+        ) {
+            let of = T::as_f32_slice_mut(out.as_mut_slice()).expect("same scalar type");
+            self.0.row_mul_add_f32(af, xf, yf, of, rows, cols);
+        } else {
+            ops::row_mul_add_slice(
+                a.row(0),
+                x.as_slice(),
+                y.as_slice(),
+                out.as_mut_slice(),
+                rows,
+                cols,
+            );
+        }
+    }
+
+    /// `m[r] = a ⊙ m[r]` in place through the backend.
+    pub fn row_scale<T: Float>(self, a: &Matrix<T>, m: &mut Matrix<T>) {
+        assert_eq!(a.rows(), 1, "row_scale: a must be a row vector");
+        assert_eq!(a.cols(), m.cols(), "row_scale: a width mismatch");
+        let (rows, cols) = m.shape();
+        if let Some(af) = T::as_f32_slice(a.as_slice()) {
+            let mf = T::as_f32_slice_mut(m.as_mut_slice()).expect("same scalar type");
+            self.0.row_scale_f32(af, mf, rows, cols);
+        } else {
+            ops::row_scale_slice(a.row(0), m.as_mut_slice(), rows, cols);
+        }
+    }
+
+    /// Scan transfer composition through the backend: `(a1,b1)` then
+    /// `(a2,b2)` into `(out_a, out_b)` — see [`ops::scan_combine`].
+    pub fn scan_combine<T: Float>(
+        self,
+        a1: &Matrix<T>,
+        b1: &Matrix<T>,
+        a2: &Matrix<T>,
+        b2: &Matrix<T>,
+        out_a: &mut Matrix<T>,
+        out_b: &mut Matrix<T>,
+    ) {
+        assert_eq!(a1.shape(), a2.shape(), "scan_combine decay shape mismatch");
+        assert_eq!(a1.shape(), out_a.shape(), "scan_combine out_a shape");
+        self.hadamard(a1, a2, out_a);
+        self.row_mul_add(a2, b1, b2, out_b);
     }
 
     /// Element-wise sigmoid through the backend (scalar in every shipped

@@ -70,6 +70,92 @@ pub(crate) fn add_bias_slice<T: Float>(m: &mut [T], rows: usize, cols: usize, bi
     }
 }
 
+/// `out[r] = a ⊙ x[r] + y[r]` — a row vector `a` (`1 × cols`) broadcast
+/// over every row of `x`, fused with an element-wise add.
+///
+/// This is the update step of a diagonal linear recurrence
+/// `h_t = λ ⊙ h_{t-1} + u_t` and the `B` half of the parallel-scan
+/// transfer composition (see [`scan_combine`]).
+pub fn row_mul_add<T: Float>(a: &Matrix<T>, x: &Matrix<T>, y: &Matrix<T>, out: &mut Matrix<T>) {
+    assert_eq!(a.rows(), 1, "row_mul_add: a must be a row vector");
+    assert_eq!(a.cols(), x.cols(), "row_mul_add: a width mismatch");
+    assert_eq!(x.shape(), y.shape(), "row_mul_add shape mismatch");
+    assert_eq!(x.shape(), out.shape(), "row_mul_add out shape mismatch");
+    let (rows, cols) = x.shape();
+    row_mul_add_slice(
+        a.row(0),
+        x.as_slice(),
+        y.as_slice(),
+        out.as_mut_slice(),
+        rows,
+        cols,
+    );
+}
+
+/// Slice-level core of [`row_mul_add`], shared with the kernel backends.
+pub(crate) fn row_mul_add_slice<T: Float>(
+    a: &[T],
+    x: &[T],
+    y: &[T],
+    out: &mut [T],
+    rows: usize,
+    cols: usize,
+) {
+    for r in 0..rows {
+        let xs = &x[r * cols..(r + 1) * cols];
+        let ys = &y[r * cols..(r + 1) * cols];
+        let os = &mut out[r * cols..(r + 1) * cols];
+        for (((o, &av), &xv), &yv) in os.iter_mut().zip(a).zip(xs).zip(ys) {
+            *o = av.mul_add(xv, yv);
+        }
+    }
+}
+
+/// `m[r] = a ⊙ m[r]` in place — a row vector `a` (`1 × cols`) broadcast
+/// over every row of `m`. Used as the per-step carry update `p ← λ ⊙ p`
+/// inside scan fix-up tasks.
+pub fn row_scale<T: Float>(a: &Matrix<T>, m: &mut Matrix<T>) {
+    assert_eq!(a.rows(), 1, "row_scale: a must be a row vector");
+    assert_eq!(a.cols(), m.cols(), "row_scale: a width mismatch");
+    let (rows, cols) = m.shape();
+    row_scale_slice(a.row(0), m.as_mut_slice(), rows, cols);
+}
+
+/// Slice-level core of [`row_scale`], shared with the kernel backends.
+pub(crate) fn row_scale_slice<T: Float>(a: &[T], m: &mut [T], rows: usize, cols: usize) {
+    for r in 0..rows {
+        for (v, &av) in m[r * cols..(r + 1) * cols].iter_mut().zip(a) {
+            *v *= av;
+        }
+    }
+}
+
+/// Composes two linear-recurrence transfer functions.
+///
+/// A transfer `(a, b)` maps an incoming hidden state to
+/// `h ↦ a ⊙ h + b`, with `a` a `1 × hidden` decay row (broadcast over the
+/// batch) and `b` a `rows × hidden` offset. Applying chunk `(a1, b1)`
+/// first and then chunk `(a2, b2)` yields
+///
+/// `out_a = a1 ⊙ a2`, `out_b = a2 ⊙ b1 + b2`
+///
+/// which is associative — the Blelloch-scan combine operator over sequence
+/// chunks (Martin & Cundy, "Parallelizing Linear Recurrent Neural Nets
+/// Over Sequence Length").
+pub fn scan_combine<T: Float>(
+    a1: &Matrix<T>,
+    b1: &Matrix<T>,
+    a2: &Matrix<T>,
+    b2: &Matrix<T>,
+    out_a: &mut Matrix<T>,
+    out_b: &mut Matrix<T>,
+) {
+    assert_eq!(a1.shape(), a2.shape(), "scan_combine decay shape mismatch");
+    assert_eq!(a1.shape(), out_a.shape(), "scan_combine out_a shape");
+    hadamard(a1, a2, out_a);
+    row_mul_add(a2, b1, b2, out_b);
+}
+
 /// Column-wise sum of `m`, producing a `1 × cols` row vector.
 ///
 /// This is the reduction used to form bias gradients from a batch of
@@ -258,6 +344,77 @@ mod tests {
         let b = m(1, 3, &[4.0, 5.0, 6.0]);
         assert_eq!(dot(&a, &b), 32.0);
         assert_eq!(sum(&a), 6.0);
+    }
+
+    #[test]
+    fn row_mul_add_broadcasts_decay_row() {
+        let a = m(1, 2, &[2.0, 3.0]);
+        let x = m(2, 2, &[1.0, 1.0, 2.0, 2.0]);
+        let y = m(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        let mut out = Matrix::zeros(2, 2);
+        row_mul_add(&a, &x, &y, &mut out);
+        assert_eq!(out.as_slice(), &[12.0, 23.0, 34.0, 46.0]);
+    }
+
+    #[test]
+    fn row_scale_broadcasts_in_place() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let mut x = m(2, 3, &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        row_scale(&a, &mut x);
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 3.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn scan_combine_matches_sequential_application() {
+        // Applying (a1,b1) then (a2,b2) to an arbitrary h must equal
+        // applying their composition once.
+        let a1 = m(1, 2, &[0.5, 0.25]);
+        let b1 = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let a2 = m(1, 2, &[0.125, 2.0]);
+        let b2 = m(2, 2, &[-1.0, 0.5, 7.0, -2.0]);
+        let h = m(2, 2, &[5.0, -3.0, 0.5, 8.0]);
+
+        let mut step1 = Matrix::zeros(2, 2);
+        row_mul_add(&a1, &h, &b1, &mut step1);
+        let mut step2 = Matrix::zeros(2, 2);
+        row_mul_add(&a2, &step1, &b2, &mut step2);
+
+        let mut ca = Matrix::zeros(1, 2);
+        let mut cb = Matrix::zeros(2, 2);
+        scan_combine(&a1, &b1, &a2, &b2, &mut ca, &mut cb);
+        let mut once = Matrix::zeros(2, 2);
+        row_mul_add(&ca, &h, &cb, &mut once);
+        assert_eq!(once, step2);
+    }
+
+    #[test]
+    fn scan_combine_is_associative() {
+        let t = |s: u64| {
+            (
+                crate::init::uniform::<f64>(1, 3, 0.1, 0.9, s),
+                crate::init::uniform::<f64>(2, 3, -1.0, 1.0, s + 50),
+            )
+        };
+        let (a1, b1) = t(1);
+        let (a2, b2) = t(2);
+        let (a3, b3) = t(3);
+        let combine = |x: &(Matrix<f64>, Matrix<f64>), y: &(Matrix<f64>, Matrix<f64>)| {
+            let mut oa = Matrix::zeros(1, 3);
+            let mut ob = Matrix::zeros(2, 3);
+            scan_combine(&x.0, &x.1, &y.0, &y.1, &mut oa, &mut ob);
+            (oa, ob)
+        };
+        let left = combine(
+            &combine(&(a1.clone(), b1.clone()), &(a2.clone(), b2.clone())),
+            &(a3.clone(), b3.clone()),
+        );
+        let right = combine(&(a1, b1), &combine(&(a2, b2), &(a3, b3)));
+        for (l, r) in left.0.as_slice().iter().zip(right.0.as_slice()) {
+            assert!((l - r).abs() < 1e-12);
+        }
+        for (l, r) in left.1.as_slice().iter().zip(right.1.as_slice()) {
+            assert!((l - r).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use locks::check_lock_discipline;
 pub use report::{
     code_for, sort_findings, AnalysisReport, Finding, GraphMetrics, GraphReport, Severity,
 };
-pub use shape::{check_shape, expected_shape, ExpectedShape, ShapeSpec};
+pub use shape::{check_shape, expected_shape, scan_combine_count, ExpectedShape, ShapeSpec};
 pub use view::{default_region_name, GraphView, TaskView};
 
 use bpar_runtime::scheduler::{AdversarialOrder, SchedulerPolicy};

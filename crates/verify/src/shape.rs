@@ -57,6 +57,26 @@ pub struct ShapeSpec {
     pub replicas: usize,
     /// Whether the graph includes the backward pass and reductions.
     pub training: bool,
+    /// `Some(C)` when each direction runs a `C`-chunk Blelloch scan
+    /// instead of the timestep chain (the *effective* strategy — chain
+    /// fallbacks pass `None`). See [`scan_combine_count`] for the tree
+    /// arithmetic and the derivation below for the counts.
+    pub scan_chunks: Option<usize>,
+}
+
+/// Combine-node count of a `C`-chunk Blelloch exclusive-prefix tree that
+/// never materialises the identity: up-sweep pairs (`⌊C/2⌋` nodes),
+/// recurse on the `⌈C/2⌉` pair totals, down-sweep interleave (`⌊C/2⌋-1`
+/// nodes — position 0's pair-prefix is the identity and aliases away).
+///
+/// This mirrors `bpar_core::scanplan::combine_count`; `bpar-verify`
+/// cannot depend on `bpar-core`, so the recursion is duplicated here and
+/// cross-checked by a test in `bpar-core` against the planned tree.
+pub fn scan_combine_count(chunks: usize) -> usize {
+    if chunks <= 2 {
+        return 0;
+    }
+    chunks / 2 + (chunks / 2 - 1) + scan_combine_count(chunks.div_ceil(2))
 }
 
 /// Expected task and edge counts.
@@ -70,17 +90,44 @@ pub struct ExpectedShape {
 
 /// Closed-form expected shape for a canonical (barrier-free, unfused,
 /// unsplit) B-Par graph.
+///
+/// **Scan mode** (`scan_chunks = Some(C)`, `K = scan_combine_count(C)`):
+/// each direction of each layer replaces its `T`-task chain with `C`
+/// chunk-local sweeps, `K` combines and `C-1` fix-ups (forward), plus in
+/// training `C` adjoint sweeps, `K` adjoint combines, `C-1` adjoint
+/// fix-ups and `C` gradient tasks. Merges, output heads and reductions
+/// are strategy-oblivious. Edges per direction per layer: the combine
+/// tree reads two transfers each (`2K`), every fix-up reads its prefix
+/// and (deduplicated) its chunk's sweep (`2(C-1)`), and in training every
+/// gradient task reads its chunk's corrected adjoints and cached states
+/// (2 deduplicated edges) plus the accumulator chain (`C-1` total); the
+/// chain's `2L(T-1)` state edges disappear, everything else (merge reads,
+/// `dh` seeds, loss chain, reductions) is unchanged from the chain
+/// derivation above.
 pub fn expected_shape(s: &ShapeSpec) -> ExpectedShape {
     let (l, t, n, r) = (s.layers, s.seq, s.outputs, s.replicas.max(1));
     let chain = l * t.saturating_sub(1); // one direction's state chain
     let inner = l.saturating_sub(1) * t; // merge positions per direction
-    let (per_tasks, per_edges) = if s.training {
-        (
+    let (per_tasks, per_edges) = match (s.scan_chunks, s.training) {
+        (Some(c), training) => {
+            let k = scan_combine_count(c);
+            if training {
+                (
+                    2 * l * (5 * c + 2 * k - 2) + 2 * inner + 3 * n,
+                    2 * l * (4 * k + 7 * c - 5) + 10 * inner + 9 * n - 1,
+                )
+            } else {
+                (
+                    2 * l * (2 * c + k - 1) + inner + 2 * n,
+                    2 * l * (2 * k + 2 * (c - 1)) + 4 * inner + 3 * n,
+                )
+            }
+        }
+        (None, true) => (
             4 * l * t + 2 * inner + 3 * n,
             4 * chain + 10 * inner + 2 * l * t + 9 * n - 1,
-        )
-    } else {
-        (2 * l * t + inner + 2 * n, 2 * chain + 4 * inner + 3 * n)
+        ),
+        (None, false) => (2 * l * t + inner + 2 * n, 2 * chain + 4 * inner + 3 * n),
     };
     let (red_tasks, red_edges) = if s.training {
         let per_extra = 2 * l + 2;
@@ -153,6 +200,7 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: false,
+            scan_chunks: None,
         };
         assert_eq!(
             expected_shape(&s),
@@ -171,6 +219,7 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: true,
+            scan_chunks: None,
         };
         assert_eq!(
             expected_shape(&s),
@@ -189,6 +238,7 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: true,
+            scan_chunks: None,
         });
         let three = expected_shape(&ShapeSpec {
             layers: 2,
@@ -196,6 +246,7 @@ mod tests {
             outputs: 1,
             replicas: 3,
             training: true,
+            scan_chunks: None,
         });
         // 2 extra replicas, each adding the per-replica graph plus
         // 2L+2 = 6 reduce tasks with 2 edges each.
@@ -211,6 +262,7 @@ mod tests {
             outputs: 3,
             replicas: 4,
             training: false,
+            scan_chunks: None,
         };
         let one = expected_shape(&ShapeSpec { replicas: 1, ..s });
         let four = expected_shape(&s);
@@ -226,6 +278,7 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: false,
+            scan_chunks: None,
         };
         assert!(check_shape(26, 39, &s).is_empty());
     }
@@ -238,6 +291,7 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: false,
+            scan_chunks: None,
         };
         let f = check_shape(27, 39, &s);
         assert_eq!(f.len(), 1);
@@ -256,9 +310,83 @@ mod tests {
             outputs: 1,
             replicas: 1,
             training: false,
+            scan_chunks: None,
         };
         // cells fwd+rev, final merge, dense = 4 tasks; 2 merge reads + 1
         // dense read = 3 edges.
         assert_eq!(expected_shape(&s), ExpectedShape { tasks: 4, edges: 3 });
+    }
+
+    #[test]
+    fn scan_combine_counts_match_hand_checked_trees() {
+        // Same table as bpar-core's scanplan tests — the two recursions
+        // must stay in lock-step.
+        for (c, k) in [(1, 0), (2, 0), (3, 1), (4, 3), (5, 4), (8, 10), (16, 25)] {
+            assert_eq!(scan_combine_count(c), k, "C={c}");
+        }
+    }
+
+    #[test]
+    fn scan_training_shape_hand_checked_minimal_case() {
+        // L=1, T=2, C=2 (K=0), many-to-one: per direction 2 sweeps + 1
+        // fix + 2 adjoint sweeps + 1 adjoint fix + 2 gradient tasks = 8;
+        // both directions 16, plus final merge + loss + final backward
+        // merge = 19 tasks. Edges: per direction fix 2 + adjoint fix 2 +
+        // gradients (2 each for sg/st, dedup) 4 + accumulator chain 1 =
+        // 9; ×2 = 18, plus 2 final-merge + 1 loss + 3 backward-merge + 2
+        // dh seeds = 26.
+        let s = ShapeSpec {
+            layers: 1,
+            seq: 2,
+            outputs: 1,
+            replicas: 1,
+            training: true,
+            scan_chunks: Some(2),
+        };
+        assert_eq!(
+            expected_shape(&s),
+            ExpectedShape {
+                tasks: 19,
+                edges: 26
+            }
+        );
+    }
+
+    #[test]
+    fn scan_task_count_is_seq_independent() {
+        // The whole point of the scan: task count depends on C, not T.
+        let shape = |seq| {
+            expected_shape(&ShapeSpec {
+                layers: 1,
+                seq,
+                outputs: 1,
+                replicas: 1,
+                training: true,
+                scan_chunks: Some(8),
+            })
+        };
+        assert_eq!(shape(64), shape(16384));
+    }
+
+    #[test]
+    fn scan_replicas_scale_like_chain_replicas() {
+        let one = expected_shape(&ShapeSpec {
+            layers: 2,
+            seq: 16,
+            outputs: 1,
+            replicas: 1,
+            training: true,
+            scan_chunks: Some(4),
+        });
+        let three = expected_shape(&ShapeSpec {
+            layers: 2,
+            seq: 16,
+            outputs: 1,
+            replicas: 3,
+            training: true,
+            scan_chunks: Some(4),
+        });
+        assert_eq!(three.tasks, 3 * one.tasks + 2 * 6);
+        assert_eq!(three.edges, 3 * one.edges + 2 * 12);
     }
 }
